@@ -1,0 +1,53 @@
+//! End-to-end benchmarks: a real threaded pipeline training iteration on
+//! the mini-Llama under different schedules, and a full grid search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mepipe_core::svpp::{generate_svpp, SvppConfig};
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::baselines::generate_dapple;
+use mepipe_strategy::{search, Method};
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{
+    params::ModelParams,
+    pipeline::{PipelineRuntime, WgradMode},
+};
+
+fn bench_threaded_pipeline(c: &mut Criterion) {
+    let cfg = TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) };
+    let rt = PipelineRuntime::new(ModelParams::init(cfg, 1), 2, 1);
+    let batch: Vec<Vec<usize>> =
+        (0..4).map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i)).collect();
+    let svpp = generate_svpp(&SvppConfig {
+        stages: 2,
+        virtual_chunks: 1,
+        slices: 4,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    let dapple = generate_dapple(2, 4).unwrap();
+    let mut g = c.benchmark_group("threaded_iteration");
+    g.sample_size(10);
+    g.bench_function("svpp_s4", |b| {
+        b.iter(|| rt.run_iteration(&svpp, &batch, WgradMode::Immediate, None))
+    });
+    g.bench_function("dapple", |b| {
+        b.iter(|| rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None))
+    });
+    g.finish();
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let mut g = c.benchmark_group("grid_search");
+    g.sample_size(10);
+    g.bench_function("mepipe_13b_gbs128", |b| {
+        b.iter(|| search(Method::Mepipe, &model, &cluster, 128).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded_pipeline, bench_grid_search);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks for the CPU tensor kernels: matmul (and its dX/dW halves),
+//! slice attention, normalisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mepipe_tensor::{
+    init::{rng, uniform},
+    ops::{causal_attention, matmul, matmul_dgrad, matmul_wgrad, rmsnorm},
+    Tensor,
+};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut r = rng(1);
+        let a = uniform(n, n, 1.0, &mut r);
+        let b = uniform(n, n, 1.0, &mut r);
+        g.bench_with_input(BenchmarkId::new("fwd", n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b))
+        });
+        let dc = uniform(n, n, 1.0, &mut r);
+        g.bench_with_input(BenchmarkId::new("dgrad", n), &n, |bench, _| {
+            bench.iter(|| matmul_dgrad(&dc, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("wgrad", n), &n, |bench, _| {
+            bench.iter(|| matmul_wgrad(&a, &dc))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("causal_attention");
+    let mut r = rng(2);
+    for (t, ctx) in [(16usize, 16usize), (16, 64), (64, 64)] {
+        let q = uniform(t, 32, 1.0, &mut r);
+        let k = uniform(ctx, 32, 1.0, &mut r);
+        let v = uniform(ctx, 32, 1.0, &mut r);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("t{t}_ctx{ctx}")),
+            &t,
+            |bench, _| bench.iter(|| causal_attention(&q, &k, &v, ctx - t)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_rmsnorm(c: &mut Criterion) {
+    let mut r = rng(3);
+    let x = uniform(128, 256, 1.0, &mut r);
+    let w = Tensor::from_vec(1, 256, vec![1.0; 256]);
+    c.bench_function("rmsnorm_128x256", |b| b.iter(|| rmsnorm(&x, &w)));
+}
+
+criterion_group!(benches, bench_matmul, bench_attention, bench_rmsnorm);
+criterion_main!(benches);

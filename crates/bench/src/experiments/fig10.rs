@@ -1,0 +1,92 @@
+//! Figure 10 + Table 8: iteration time across model sizes (7B / 13B /
+//! 34B) at global batch size 128 on the 64× RTX 4090 cluster.
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_strategy::{search_all, Method};
+
+use crate::report::{format_table, ExperimentReport};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "fig10",
+        "Iteration time by model size, GBS 128, 64x RTX 4090 (+ Table 8 configs)",
+    );
+    let cluster = ClusterSpec::rtx4090_cluster();
+    for (name, model) in [
+        ("7B", TransformerConfig::llama2_7b()),
+        ("13B", TransformerConfig::llama2_13b()),
+        ("34B", TransformerConfig::llama2_34b()),
+    ] {
+        rep.line(format!("--- Llama {name} ---"));
+        let results = search_all(&model, &cluster, 128);
+        let mut rows = Vec::new();
+        let mut best_baseline = f64::INFINITY;
+        let mut mepipe_time = f64::NAN;
+        for (m, e) in &results {
+            match e {
+                Some(e) => {
+                    rows.push(vec![
+                        m.name().into(),
+                        format!("{:.0} ms", e.iteration_time * 1e3),
+                        e.candidate.label(),
+                        format!("{:.1}%", e.mfu * 100.0),
+                    ]);
+                    rep.row(&format!("{name}/{}", m.name()), &[
+                        ("iter_ms", e.iteration_time * 1e3),
+                        ("mfu", e.mfu),
+                    ]);
+                    if *m == Method::Mepipe {
+                        mepipe_time = e.iteration_time;
+                    } else {
+                        best_baseline = best_baseline.min(e.iteration_time);
+                    }
+                }
+                None => {
+                    rows.push(vec![m.name().into(), "-".into(), "infeasible".into(), "-".into()]);
+                    rep.row(&format!("{name}/{}", m.name()), &[("infeasible", 1.0)]);
+                }
+            }
+        }
+        rep.line(format_table(
+            &["system", "iteration", "config (PP, CP/SPP, VP, recomp)", "MFU"],
+            &rows,
+        ));
+        if best_baseline.is_finite() && mepipe_time.is_finite() {
+            rep.row(&format!("{name}/speedup"), &[("speedup", best_baseline / mepipe_time)]);
+            rep.line(format!("MEPipe speedup: {:.2}x", best_baseline / mepipe_time));
+        }
+    }
+    rep.line("Paper: VPP and ZB/ZBV cannot hold Llama-34B (static memory); DAPPLE needs recompute; MEPipe runs it at (16, 16, 1, ✗).");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mepipe_wins_every_model_size() {
+        let rep = super::run();
+        for size in ["7B", "13B", "34B"] {
+            let sp = rep
+                .rows
+                .iter()
+                .find(|(l, _)| l == &format!("{size}/speedup"))
+                .map(|(_, v)| v[0].1);
+            let sp = sp.unwrap_or_else(|| panic!("{size}: no speedup row (MEPipe or all baselines infeasible)"));
+            assert!(sp > 1.0, "{size}: speedup {sp}");
+        }
+    }
+
+    #[test]
+    fn vpp_and_zbv_infeasible_on_34b() {
+        let rep = super::run();
+        for m in ["VPP", "ZBV"] {
+            let row = rep.rows.iter().find(|(l, _)| l == &format!("34B/{m}"));
+            let infeasible = row
+                .map(|(_, v)| v.iter().any(|(k, _)| k == "infeasible"))
+                .unwrap_or(false);
+            assert!(infeasible, "{m} should be infeasible on 34B per the paper");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 8 + Table 5: iteration time of every system on Llama-13B at
+//! global batch sizes 32 / 64 / 128, with the grid-searched optimal
+//! configurations.
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_strategy::{search_all, Method};
+
+use crate::report::{format_table, ExperimentReport};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "fig8",
+        "Iteration time, Llama-13B, 64x RTX 4090, GBS in {32, 64, 128} (+ Table 5 configs)",
+    );
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    for gbs in [32usize, 64, 128] {
+        rep.line(format!("--- global batch size {gbs} ---"));
+        let results = search_all(&model, &cluster, gbs);
+        let mut rows = Vec::new();
+        let mut best_baseline = f64::INFINITY;
+        let mut mepipe_time = f64::NAN;
+        for (m, e) in &results {
+            match e {
+                Some(e) => {
+                    rows.push(vec![
+                        m.name().into(),
+                        format!("{:.0} ms", e.iteration_time * 1e3),
+                        e.candidate.label(),
+                        format!("{:.1}%", e.bubble_ratio * 100.0),
+                        format!("{:.1}%", e.mfu * 100.0),
+                    ]);
+                    rep.row(&format!("gbs{gbs}/{}", m.name()), &[
+                        ("iter_ms", e.iteration_time * 1e3),
+                        ("bubble", e.bubble_ratio),
+                        ("mfu", e.mfu),
+                    ]);
+                    if *m == Method::Mepipe {
+                        mepipe_time = e.iteration_time;
+                    } else {
+                        best_baseline = best_baseline.min(e.iteration_time);
+                    }
+                }
+                None => rows.push(vec![m.name().into(), "OOM".into(), "-".into(), "-".into(), "-".into()]),
+            }
+        }
+        rep.line(format_table(
+            &["system", "iteration", "config (PP, CP/SPP, VP, recomp)", "bubble", "MFU"],
+            &rows,
+        ));
+        if best_baseline.is_finite() && mepipe_time.is_finite() {
+            let speedup = best_baseline / mepipe_time;
+            rep.line(format!("MEPipe speedup over best baseline: {speedup:.2}x"));
+            rep.row(&format!("gbs{gbs}/speedup"), &[("speedup", speedup)]);
+        }
+    }
+    rep.line("Paper: 1.36x (GBS 128), 1.49x (64), 1.86x (32) over the respective best baselines.");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mepipe_wins_every_batch_size_and_smaller_batches_win_more() {
+        let rep = super::run();
+        let speedup = |gbs: usize| {
+            rep.rows
+                .iter()
+                .find(|(l, _)| l == &format!("gbs{gbs}/speedup"))
+                .map(|(_, v)| v[0].1)
+                .expect("speedup row")
+        };
+        let (s32, s64, s128) = (speedup(32), speedup(64), speedup(128));
+        for (g, s) in [(32, s32), (64, s64), (128, s128)] {
+            assert!(s > 1.0, "GBS {g}: speedup {s} <= 1");
+        }
+        // The paper's trend: smaller global batches amplify MEPipe's edge.
+        assert!(
+            s32 >= s128 * 0.95,
+            "expected GBS-32 speedup ({s32}) to be at least GBS-128's ({s128})"
+        );
+    }
+}

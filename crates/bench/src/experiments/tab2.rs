@@ -1,0 +1,47 @@
+//! Table 2: communication and partitioning comparison of parallel
+//! strategies, quantified for Llama-13B.
+
+use mepipe_model::{comm, config::TransformerConfig};
+
+use crate::report::{format_table, ExperimentReport};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentReport {
+    let mut rep = ExperimentReport::new(
+        "tab2",
+        "Comparison of parallel strategies (quantified per-worker GB sent per iteration, 13B, group 4, 16 micro-batches)",
+    );
+    let cfg = TransformerConfig::llama2_13b();
+    let rows_data = comm::table2(&cfg, 4, 16);
+    let gib = 1024f64.powi(3);
+    let mark = |b: bool| if b { "✓" } else { "✗" };
+    let mut rows = Vec::new();
+    for r in &rows_data {
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.2}", r.bytes_per_iteration / gib),
+            mark(r.profile.parameters).into(),
+            mark(r.profile.activations).into(),
+            mark(r.profile.optimizer).into(),
+        ]);
+        rep.row(r.name, &[("gib_per_iter", r.bytes_per_iteration / gib)]);
+    }
+    rep.line(format_table(
+        &["strategy", "GB sent/iter", "param part.", "act part.", "opt part."],
+        &rows,
+    ));
+    rep.line("Ordering matches the paper's +'s: TP >>> CP > DP > PP = SPP.");
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ordering_matches_paper() {
+        let rep = super::run();
+        let v: Vec<f64> = rep.rows.iter().map(|(_, r)| r[0].1).collect();
+        // TP > CP > DP > PP = SPP.
+        assert!(v[0] > v[1] && v[1] > v[2] && v[2] > v[3]);
+        assert!((v[3] - v[4]).abs() < 1e-12);
+    }
+}

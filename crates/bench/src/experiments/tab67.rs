@@ -1,0 +1,109 @@
+//! Tables 6 and 7: the influence of PP and CP sizes on DAPPLE for
+//! Llama-13B.
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::{
+    config::TransformerConfig,
+    partition::{PartitionSpec, SequenceSplit},
+};
+use mepipe_strategy::{evaluate, Candidate, Method};
+
+use crate::report::{format_table, ExperimentReport};
+
+fn dapple_candidate(pp: usize, dp: usize, cp: usize, gbs: usize) -> Candidate {
+    Candidate {
+        method: Method::Dapple,
+        spec: PartitionSpec {
+            pp,
+            vp: 1,
+            dp,
+            seq: if cp > 1 { SequenceSplit::Context { size: cp } } else { SequenceSplit::None },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: gbs,
+        },
+    }
+}
+
+fn sweep(id: &str, title: &str, combos: &[(usize, usize, usize)], gbs: usize) -> ExperimentReport {
+    let mut rep = ExperimentReport::new(id, title);
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let mut rows = Vec::new();
+    for &(pp, dp, cp) in combos {
+        let cand = dapple_candidate(pp, dp, cp, gbs);
+        match evaluate(&cand, &model, &cluster) {
+            Ok(e) => {
+                rows.push(vec![
+                    format!("({pp}, {dp}, {cp}, ✗)"),
+                    format!("{:.1}%", e.bubble_ratio * 100.0),
+                    format!("{:.1} ms", e.iteration_time * 1e3),
+                ]);
+                rep.row(&format!("pp{pp}_dp{dp}_cp{cp}"), &[
+                    ("bubble", e.bubble_ratio),
+                    ("iter_ms", e.iteration_time * 1e3),
+                ]);
+            }
+            Err(why) => {
+                rows.push(vec![format!("({pp}, {dp}, {cp}, ✗)"), "-".into(), format!("OOM ({why})")]);
+                rep.row(&format!("pp{pp}_dp{dp}_cp{cp}"), &[("oom", 1.0)]);
+            }
+        }
+    }
+    rep.line(format_table(&["(PP, DP, CP, recomp)", "bubble ratio", "iteration time"], &rows));
+    rep
+}
+
+/// Table 6: PP sweep at GBS 64 — (2,4,8) OOMs, (8,4,2) beats (4,4,4).
+pub fn tab6() -> ExperimentReport {
+    sweep(
+        "tab6",
+        "Influence of PP on DAPPLE, Llama-13B, GBS 64",
+        &[(2, 4, 8), (4, 4, 4), (8, 4, 2)],
+        64,
+    )
+}
+
+/// Table 7: CP sweep at GBS 32 — CP 2 is the sweet spot.
+pub fn tab7() -> ExperimentReport {
+    sweep(
+        "tab7",
+        "Influence of CP on DAPPLE, Llama-13B, GBS 32",
+        &[(8, 8, 1), (8, 4, 2), (8, 2, 4)],
+        32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tab6_shape_matches_paper() {
+        // Paper: pp=2 OOM; pp=8 beats pp=4 despite the higher bubble.
+        let rep = super::tab6();
+        let find = |l: &str| rep.rows.iter().find(|(ll, _)| ll == l).map(|(_, v)| v.clone());
+        let pp2 = find("pp2_dp4_cp8").unwrap();
+        assert!(pp2.iter().any(|(k, _)| k == "oom"), "pp=2 should OOM: {pp2:?}");
+        let t4 = find("pp4_dp4_cp4").unwrap().iter().find(|(k, _)| k == "iter_ms").unwrap().1;
+        let t8 = find("pp8_dp4_cp2").unwrap().iter().find(|(k, _)| k == "iter_ms").unwrap().1;
+        assert!(t8 < t4, "pp=8 ({t8} ms) should beat pp=4 ({t4} ms)");
+        let b4 = find("pp4_dp4_cp4").unwrap().iter().find(|(k, _)| k == "bubble").unwrap().1;
+        let b8 = find("pp8_dp4_cp2").unwrap().iter().find(|(k, _)| k == "bubble").unwrap().1;
+        assert!(b8 > b4, "bubble rises with pp");
+    }
+
+    #[test]
+    fn tab7_cp2_is_the_sweet_spot() {
+        let rep = super::tab7();
+        let time = |l: &str| {
+            rep.rows
+                .iter()
+                .find(|(ll, _)| ll == l)
+                .and_then(|(_, v)| v.iter().find(|(k, _)| k == "iter_ms"))
+                .map(|(_, t)| *t)
+                .unwrap_or(f64::INFINITY)
+        };
+        let (t1, t2, t4) = (time("pp8_dp8_cp1"), time("pp8_dp4_cp2"), time("pp8_dp2_cp4"));
+        assert!(t2 < t1, "cp=2 ({t2}) should beat cp=1 ({t1})");
+        assert!(t2 < t4, "cp=2 ({t2}) should beat cp=4 ({t4})");
+    }
+}

@@ -1,0 +1,134 @@
+//! Report plumbing: aligned text tables, CSV, JSON result files.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `"fig8"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The rendered text body.
+    pub body: String,
+    /// Machine-readable rows (label → named values).
+    pub rows: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Self { id: id.into(), title: title.into(), body: String::new(), rows: Vec::new() }
+    }
+
+    /// Appends a text line to the body.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.body.push_str(s.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Records one data row.
+    pub fn row(&mut self, label: &str, values: &[(&str, f64)]) {
+        self.rows.push((
+            label.to_string(),
+            values.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        ));
+    }
+
+    /// Full printable form.
+    pub fn render(&self) -> String {
+        format!("== {} — {} ==\n{}", self.id, self.title, self.body)
+    }
+}
+
+/// Output directory for experiment artifacts.
+pub fn output_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(base).join("experiments")
+}
+
+/// Writes a report as `.txt` and `.json` under [`output_dir`]; returns the
+/// text path. I/O failures are reported, not fatal (CI may be read-only).
+pub fn write_report(report: &ExperimentReport) -> Option<PathBuf> {
+    let dir = output_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let txt = dir.join(format!("{}.txt", report.id));
+    if let Err(e) = fs::write(&txt, report.render()) {
+        eprintln!("warning: cannot write {}: {e}", txt.display());
+        return None;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(&report) {
+        let _ = fs::write(dir.join(format!("{}.json", report.id)), json);
+    }
+    Some(txt)
+}
+
+/// Formats a simple aligned table: header + rows of equal arity.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let pad = widths.get(i).copied().unwrap_or(0).saturating_sub(c.chars().count());
+            line.push_str(c);
+            line.push_str(&" ".repeat(pad + 2));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = ExperimentReport::new("figX", "test");
+        r.line("hello");
+        r.row("a", &[("t", 1.0)]);
+        assert!(r.render().contains("figX"));
+        assert!(r.render().contains("hello"));
+        assert_eq!(r.rows.len(), 1);
+    }
+}

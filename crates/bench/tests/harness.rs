@@ -1,0 +1,19 @@
+//! Harness-wide smoke test: every registered experiment runs, produces a
+//! non-empty body with data rows, and writes its artifacts.
+
+use mepipe_bench::{experiments, write_report};
+
+#[test]
+fn every_experiment_runs_and_writes() {
+    let all = experiments::all();
+    assert!(all.len() >= 20, "expected the full experiment roster, got {}", all.len());
+    for (id, run) in all {
+        let rep = run();
+        assert_eq!(rep.id, id, "report id mismatch");
+        assert!(!rep.body.trim().is_empty(), "{id}: empty body");
+        assert!(!rep.rows.is_empty(), "{id}: no data rows");
+        let path = write_report(&rep).unwrap_or_else(|| panic!("{id}: write failed"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains(id), "{id}: artifact missing id header");
+    }
+}

@@ -1,0 +1,28 @@
+//! MEPipe's core contribution: SVPP slice-level pipeline scheduling and
+//! fine-grained weight-gradient computation.
+//!
+//! * [`svpp`] — Sequence Virtual Pipeline Parallelism schedule generation
+//!   (Section 4.1): slice-granular 1F1B with per-stage warmup capacities.
+//! * [`variants`] — the memory/bubble trade-off family of Section 4.2 and
+//!   the selection of the variant that fits a memory budget (Section 4.5).
+//! * [`reschedule`] — the backward-rescheduling optimisation of Section 4.3
+//!   (priority = descendant count, earliest-initiation table).
+//! * [`wgrad`] — the fine-grained weight-gradient queue of Section 5, which
+//!   the simulator and the threaded runtime drain opportunistically.
+//! * [`analytic`] — the closed-form bubble-ratio and activation-memory
+//!   expressions of Table 3 for every scheduling method.
+//! * [`nonuniform`] — TeraPipe's dynamic-programming slice balancing and
+//!   the uniform-vs-non-uniform crossover analysis of Section 5.
+#![warn(missing_docs)]
+
+
+pub mod analytic;
+pub mod nonuniform;
+pub mod reschedule;
+pub mod svpp;
+pub mod variants;
+pub mod wgrad;
+
+pub use svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+pub use variants::{select_variant_for_budget, variant_peak_units, SvppVariant};
+pub use wgrad::{WgradEntry, WgradQueue};

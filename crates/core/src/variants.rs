@@ -1,0 +1,212 @@
+//! SVPP scheduling variants and memory-constrained selection
+//! (Sections 4.2 and 4.5).
+//!
+//! A variant is an SVPP schedule with a particular warmup budget `f`.
+//! Larger `f` means fewer bubbles but more retained activations; the floor
+//! `f = v·s` halves memory versus the default at roughly 1.5× the bubble
+//! ratio (the Figure 5(c) trade). Given a device memory budget, the
+//! selector computes the activation budget via the Section 4.5 memory
+//! model and picks the largest `f` that fits.
+
+use mepipe_hw::accelerator::AcceleratorSpec;
+use mepipe_model::{
+    config::TransformerConfig,
+    memory,
+    partition::{PartitionSpec, SequenceSplit},
+};
+
+use crate::svpp::SvppConfig;
+
+/// One point on the memory/bubble trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvppVariant {
+    /// Warmup budget `f`.
+    pub warmup: usize,
+    /// Peak in-flight slice units on stage 0 (≤ `warmup`).
+    pub peak_units: usize,
+    /// Peak activation bytes implied by `peak_units`.
+    pub peak_activation_bytes: f64,
+    /// Closed-form bubble-ratio estimate for this variant.
+    pub bubble_estimate: f64,
+}
+
+/// Peak in-flight units of the variant with warmup budget `f` — the budget
+/// itself, clamped into the feasible range.
+pub fn variant_peak_units(cfg: &SvppConfig, f: usize) -> usize {
+    f.clamp(cfg.min_warmup(), cfg.max_warmup())
+}
+
+/// Bubble-ratio estimate for a warmup budget `f` (small-cluster regime):
+/// the default variant achieves `(p−1)/(n·s·v + p−1)`; each unit of delay
+/// below `f_max` adds one slice-length bubble per iteration on stage 0.
+pub fn variant_bubble_estimate(cfg: &SvppConfig, f: usize) -> f64 {
+    let p = cfg.stages as f64;
+    let work = (cfg.micro_batches * cfg.slices * cfg.virtual_chunks) as f64;
+    let delay = (cfg.max_warmup() - variant_peak_units(cfg, f)) as f64;
+    // Base fill/drain bubble plus one extra forward-sized stall per delayed
+    // admission (Section 4.2: "reduces the memory consumption by 50% while
+    // increasing the bubble ratio by 50%" at the floor).
+    (p - 1.0 + delay) / (p - 1.0 + delay + 3.0 * work)
+}
+
+/// Enumerates every variant from the memory floor to the bubble floor.
+pub fn enumerate_variants(
+    cfg: &SvppConfig,
+    model: &TransformerConfig,
+    spec: &PartitionSpec,
+) -> Vec<SvppVariant> {
+    let unit = memory::activation_bytes_per_unit(model, spec);
+    (cfg.min_warmup()..=cfg.max_warmup())
+        .map(|f| SvppVariant {
+            warmup: f,
+            peak_units: variant_peak_units(cfg, f),
+            peak_activation_bytes: variant_peak_units(cfg, f) as f64 * unit,
+            bubble_estimate: variant_bubble_estimate(cfg, f),
+        })
+        .collect()
+}
+
+/// Selects the variant with the lowest bubble ratio that fits the device
+/// (Section 4.5), returning the configured [`SvppConfig`]; `None` when even
+/// the `f = v·s` floor exceeds the activation budget.
+pub fn select_variant_for_budget(
+    mut cfg: SvppConfig,
+    model: &TransformerConfig,
+    spec: &PartitionSpec,
+    accel: &AcceleratorSpec,
+) -> Option<SvppConfig> {
+    debug_assert_eq!(spec.pp, cfg.stages);
+    debug_assert_eq!(spec.vp, cfg.virtual_chunks);
+    debug_assert_eq!(spec.seq.spp_slices(), cfg.slices);
+    let max_units = memory::max_in_flight_units(model, spec, accel.usable_memory_bytes());
+    if max_units < cfg.min_warmup() {
+        return None;
+    }
+    let f = max_units.min(cfg.max_warmup());
+    cfg.warmup_cap = Some(f);
+    Some(cfg)
+}
+
+/// Convenience: the partition spec matching an SVPP config on a cluster of
+/// `total_workers` devices with the given data-parallel size.
+pub fn partition_for(
+    cfg: &SvppConfig,
+    dp: usize,
+    global_batch: usize,
+    recompute: bool,
+) -> PartitionSpec {
+    PartitionSpec {
+        pp: cfg.stages,
+        vp: cfg.virtual_chunks,
+        dp,
+        seq: SequenceSplit::SlicePipeline { slices: cfg.slices },
+        recompute,
+        micro_batch_size: 1,
+        global_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> SvppConfig {
+        SvppConfig {
+            stages: 8,
+            virtual_chunks: 1,
+            slices: 4,
+            micro_batches: 16,
+            warmup_cap: None,
+        }
+    }
+
+    fn spec_13b(slices: usize) -> PartitionSpec {
+        PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 8,
+            seq: SequenceSplit::SlicePipeline { slices },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        }
+    }
+
+    #[test]
+    fn variants_span_floor_to_default() {
+        let cfg = base_cfg();
+        let model = TransformerConfig::llama2_13b();
+        let vs = enumerate_variants(&cfg, &model, &spec_13b(4));
+        assert_eq!(vs.first().unwrap().warmup, 4);
+        assert_eq!(vs.last().unwrap().warmup, 8 + 4 - 1);
+        // Memory rises, bubbles fall along the family.
+        for w in vs.windows(2) {
+            assert!(w[1].peak_activation_bytes > w[0].peak_activation_bytes);
+            assert!(w[1].bubble_estimate <= w[0].bubble_estimate);
+        }
+    }
+
+    #[test]
+    fn floor_variant_halves_memory_of_figure5_example() {
+        // Figure 5: p=4, v=2, s=2 — the floor variant (f = 4) halves the
+        // peak memory of the default (f = 9 → ~8 achieved) family head.
+        let cfg = SvppConfig {
+            stages: 4,
+            virtual_chunks: 2,
+            slices: 2,
+            micro_batches: 2,
+            warmup_cap: None,
+        };
+        assert_eq!(variant_peak_units(&cfg, cfg.min_warmup()), 4);
+        assert_eq!(variant_peak_units(&cfg, usize::MAX), 9);
+    }
+
+    #[test]
+    fn selection_picks_largest_fitting_f() {
+        let model = TransformerConfig::llama2_13b();
+        let accel = AcceleratorSpec::rtx4090();
+        let cfg = base_cfg();
+        let picked = select_variant_for_budget(cfg, &model, &spec_13b(4), &accel)
+            .expect("13B (8, spp 4) fits");
+        let f = picked.warmup_cap.unwrap();
+        assert!(f >= cfg.min_warmup());
+        assert!(f <= cfg.max_warmup());
+        // 13B at s=4 fits the default variant on a 24 GB card.
+        assert_eq!(f, cfg.max_warmup());
+    }
+
+    #[test]
+    fn selection_fails_when_even_floor_oom() {
+        // Llama-34B at pp=8 without recompute leaves too little activation
+        // room for 16 slices of warmup... use a tiny slice count to force
+        // a large per-unit size.
+        let model = TransformerConfig::llama2_34b();
+        let accel = AcceleratorSpec::rtx4090();
+        let spec = PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 8,
+            seq: SequenceSplit::SlicePipeline { slices: 2 },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        };
+        let cfg = SvppConfig {
+            stages: 8,
+            virtual_chunks: 1,
+            slices: 2,
+            micro_batches: 16,
+            warmup_cap: None,
+        };
+        assert!(select_variant_for_budget(cfg, &model, &spec, &accel).is_none());
+    }
+
+    #[test]
+    fn partition_helper_matches_config() {
+        let cfg = base_cfg();
+        let spec = partition_for(&cfg, 8, 128, false);
+        assert_eq!(spec.num_workers(), 64);
+        assert_eq!(spec.micro_batches(), 16);
+        assert_eq!(spec.seq.spp_slices(), 4);
+    }
+}

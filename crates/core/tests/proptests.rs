@@ -1,0 +1,111 @@
+//! Property tests for the SVPP core: analytic formulas, variant family,
+//! non-uniform slicing.
+
+use proptest::prelude::*;
+
+use mepipe_core::{
+    analytic::{self, AnalysisParams},
+    nonuniform::{balance_slices, Slicing},
+    svpp::SvppConfig,
+    variants,
+};
+use mepipe_model::config::TransformerConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every Table 3 cell is a valid probability / positive fraction.
+    #[test]
+    fn analytic_cells_well_formed(
+        p in 1usize..=32,
+        v in 1usize..=4,
+        s in 1usize..=16,
+        n in 1usize..=64,
+    ) {
+        let a = AnalysisParams { p, v, s, n };
+        for row in analytic::table3(a) {
+            if let Some(b) = row.bubble_ratio {
+                prop_assert!((0.0..1.0).contains(&b), "{}: bubble {b}", row.method);
+            }
+            if let Some(m) = row.memory_fraction {
+                prop_assert!(m > 0.0 && m <= (n as f64).max(1.0), "{}: mem {m}", row.method);
+            }
+        }
+    }
+
+    /// SVPP's bubble ratio is never above TeraPipe's (same slicing, plus
+    /// virtual chunks) in the small-cluster regime.
+    #[test]
+    fn svpp_dominates_terapipe(
+        p in 2usize..=16,
+        v in 1usize..=4,
+        s in 1usize..=8,
+        extra_n in 0usize..=32,
+    ) {
+        let n = p + extra_n; // n >= p.
+        let a = AnalysisParams { p, v, s, n };
+        let svpp = analytic::svpp(a).bubble_ratio.unwrap();
+        let tera = analytic::terapipe(a).bubble_ratio.unwrap();
+        prop_assert!(svpp <= tera + 1e-12);
+        let svpp_m = analytic::svpp(a).memory_fraction.unwrap();
+        let tera_m = analytic::terapipe(a).memory_fraction.unwrap();
+        prop_assert!(svpp_m <= tera_m + 1e-12);
+    }
+
+    /// SVPP memory tends to A/p as s grows, from above.
+    #[test]
+    fn svpp_memory_limit(p in 2usize..=16, v in 1usize..=4) {
+        let mut prev = f64::INFINITY;
+        for s_pow in 0..=10usize {
+            let s = 1usize << s_pow;
+            let frac = analytic::svpp_memory_fraction(AnalysisParams { p, v, s, n: 64 });
+            prop_assert!(frac <= prev + 1e-12);
+            prop_assert!(frac >= 1.0 / p as f64 - 1e-12);
+            prev = frac;
+        }
+    }
+
+    /// The variant family is totally ordered: more warmup, more memory,
+    /// fewer estimated bubbles.
+    #[test]
+    fn variant_family_ordered(p in 2usize..=8, v in 1usize..=3, s in 1usize..=6, n in 1usize..=8) {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        };
+        prop_assert!(cfg.min_warmup() <= cfg.max_warmup());
+        let mut prev_mem = 0usize;
+        let mut prev_bubble = f64::INFINITY;
+        for f in cfg.min_warmup()..=cfg.max_warmup() {
+            let peak = variants::variant_peak_units(&cfg, f);
+            let bubble = variants::variant_bubble_estimate(&cfg, f);
+            prop_assert!(peak >= prev_mem);
+            prop_assert!(bubble <= prev_bubble + 1e-12);
+            prev_mem = peak;
+            prev_bubble = bubble;
+        }
+    }
+
+    /// The DP slicing never has a worse bottleneck than uniform and its
+    /// boundaries are strictly increasing and cover the sequence.
+    #[test]
+    fn dp_slicing_sound(s_pow in 1usize..=3, grid_pow in 5usize..=8) {
+        // Power-of-two slice counts keep the uniform slicing on the DP's
+        // grid, which the dominance property requires.
+        let s = 1usize << s_pow;
+        let cfg = TransformerConfig::llama2_13b();
+        let grid = 1usize << grid_pow; // 32..=256 divides 4096.
+        let b = balance_slices(&cfg, s, grid, 165e12);
+        prop_assert_eq!(b.len(), s);
+        prop_assert_eq!(*b.bounds.first().unwrap(), 0);
+        prop_assert_eq!(*b.bounds.last().unwrap(), cfg.seq_len);
+        prop_assert!(b.bounds.windows(2).all(|w| w[0] < w[1]));
+        let uniform = Slicing::uniform(cfg.seq_len, s);
+        prop_assert!(
+            b.bottleneck_time(&cfg, 165e12) <= uniform.bottleneck_time(&cfg, 165e12) + 1e-15
+        );
+    }
+}

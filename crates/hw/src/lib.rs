@@ -1,0 +1,27 @@
+//! Hardware substrate for the MEPipe reproduction.
+//!
+//! The paper evaluates on two clusters:
+//!
+//! * 8 servers × 8 NVIDIA RTX 4090 (24 GB), PCIe 4.0 intra-node,
+//!   100 Gb/s InfiniBand inter-node;
+//! * 4 servers × 8 NVIDIA A100-80G with NVLink intra-node and
+//!   800 Gb/s InfiniBand inter-node.
+//!
+//! This crate models accelerators, links, cluster topology, the mapping of
+//! parallel groups (pipeline / data / context-or-sequence parallelism) onto
+//! physical devices, and the pricing model behind the paper's
+//! cost-effectiveness analysis (Table 9).
+#![warn(missing_docs)]
+
+
+pub mod accelerator;
+pub mod link;
+pub mod mapping;
+pub mod pricing;
+pub mod topology;
+
+pub use accelerator::AcceleratorSpec;
+pub use link::LinkSpec;
+pub use mapping::{ParallelLayout, RankMapping};
+pub use pricing::{CostReport, ServerPricing};
+pub use topology::{ClusterSpec, DeviceId};

@@ -1,0 +1,130 @@
+//! Interconnect link specifications.
+//!
+//! Communication time for a message of `b` bytes over a link is modelled as
+//! the classic alpha–beta cost: `latency + b / bandwidth`. Bandwidth values
+//! are *effective* point-to-point numbers (datasheet figures derated for
+//! protocol overhead), matching what NCCL-style transports actually deliver.
+
+/// Static description of one interconnect link class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"PCIe 4.0 x16"`.
+    pub name: &'static str,
+    /// Effective unidirectional point-to-point bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Per-message latency in seconds (software + wire).
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// PCIe 4.0 x16 peer-to-peer through the host bridge. Datasheet is
+    /// 32 GB/s per direction; effective p2p through host memory on dual-root
+    /// consumer boards is substantially lower.
+    pub fn pcie4() -> Self {
+        Self { name: "PCIe 4.0 x16", bandwidth: 22e9, latency: 12e-6 }
+    }
+
+    /// NVLink 3 (A100): 600 GB/s bidirectional, ~250 GB/s effective p2p.
+    pub fn nvlink3() -> Self {
+        Self { name: "NVLink 3", bandwidth: 250e9, latency: 4e-6 }
+    }
+
+    /// 100 Gb/s InfiniBand HDR100 (the 4090 cluster's inter-node fabric).
+    pub fn ib_100g() -> Self {
+        Self { name: "InfiniBand 100G", bandwidth: 11e9, latency: 18e-6 }
+    }
+
+    /// 800 Gb/s InfiniBand (the A100 cluster's inter-node fabric).
+    pub fn ib_800g() -> Self {
+        Self { name: "InfiniBand 800G", bandwidth: 90e9, latency: 14e-6 }
+    }
+
+    /// Zero-cost loopback for single-device groups.
+    pub fn loopback() -> Self {
+        Self { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 }
+    }
+
+    /// Time in seconds to move `bytes` over this link point-to-point.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time for a ring all-gather where each of `n` ranks contributes
+    /// `bytes_per_rank`: `(n-1)` steps each moving one shard.
+    pub fn ring_all_gather_time(&self, n: usize, bytes_per_rank: u64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        (n - 1) as f64 * self.transfer_time(bytes_per_rank)
+    }
+
+    /// Time for a ring reduce-scatter over `total_bytes` of payload across
+    /// `n` ranks: `(n-1)` steps each moving `total/n` bytes.
+    pub fn ring_reduce_scatter_time(&self, n: usize, total_bytes: u64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let shard = total_bytes / n as u64;
+        (n - 1) as f64 * self.transfer_time(shard)
+    }
+
+    /// Time for a ring all-reduce over `total_bytes` across `n` ranks
+    /// (reduce-scatter followed by all-gather: `2(n-1)` shard moves).
+    pub fn ring_all_reduce_time(&self, n: usize, total_bytes: u64) -> f64 {
+        if n <= 1 {
+            return 0.0;
+        }
+        let shard = total_bytes / n as u64;
+        2.0 * (n - 1) as f64 * self.transfer_time(shard)
+    }
+
+    /// The slower (more constrained) of two links; collectives that span
+    /// both intra- and inter-node hops are bottlenecked by the weaker one.
+    pub fn bottleneck<'a>(&'a self, other: &'a LinkSpec) -> &'a LinkSpec {
+        if self.bandwidth <= other.bandwidth {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkSpec::pcie4();
+        let t = l.transfer_time(22_000_000_000);
+        assert!((t - (1.0 + l.latency)).abs() < 1e-9);
+        assert_eq!(l.transfer_time(0), 0.0);
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let l = LinkSpec::loopback();
+        assert_eq!(l.transfer_time(1 << 30), 0.0);
+        assert_eq!(l.ring_all_reduce_time(8, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn collectives_scale_with_ranks() {
+        let l = LinkSpec::ib_100g();
+        let t2 = l.ring_all_reduce_time(2, 1 << 30);
+        let t8 = l.ring_all_reduce_time(8, 1 << 30);
+        // All-reduce volume per rank approaches 2x payload as n grows.
+        assert!(t8 > t2);
+        assert_eq!(l.ring_all_reduce_time(1, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_picks_slower() {
+        let a = LinkSpec::nvlink3();
+        let b = LinkSpec::ib_100g();
+        assert_eq!(a.bottleneck(&b).name, b.name);
+    }
+}

@@ -1,0 +1,222 @@
+//! Mapping of parallel groups onto cluster ranks.
+//!
+//! The paper combines pipeline parallelism (PP) with data parallelism
+//! (DP, with ZeRO-1 optimizer sharding) and either context parallelism (CP)
+//! or sequence pipeline parallelism (SPP). SPP needs no extra worker
+//! dimension — slices stay on the pipeline workers — so a layout is the
+//! triple `(pp, dp, cp)`.
+//!
+//! Following Megatron-LM conventions (and minimising traffic on the weakest
+//! links), the CP dimension varies fastest so CP collectives stay inside a
+//! node whenever possible, DP comes next, and PP is outermost so that
+//! inter-stage point-to-point transfers cross node boundaries — the cheapest
+//! communication pattern for the most constrained fabric.
+
+use crate::topology::ClusterSpec;
+
+/// Sizes of the three worker-partitioning dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelLayout {
+    /// Pipeline-parallel size (number of stages), ≥ 1.
+    pub pp: usize,
+    /// Data-parallel size, ≥ 1.
+    pub dp: usize,
+    /// Context-parallel size, ≥ 1 (1 when using SPP instead of CP).
+    pub cp: usize,
+}
+
+impl ParallelLayout {
+    /// Creates a layout; returns `None` if any dimension is zero.
+    pub fn new(pp: usize, dp: usize, cp: usize) -> Option<Self> {
+        if pp == 0 || dp == 0 || cp == 0 {
+            None
+        } else {
+            Some(Self { pp, dp, cp })
+        }
+    }
+
+    /// Total number of workers required.
+    pub fn num_workers(&self) -> usize {
+        self.pp * self.dp * self.cp
+    }
+
+    /// Whether this layout exactly fills the given cluster.
+    pub fn fits(&self, cluster: &ClusterSpec) -> bool {
+        self.num_workers() == cluster.num_devices()
+    }
+}
+
+/// Resolves layout coordinates to global ranks on a concrete cluster.
+#[derive(Debug, Clone)]
+pub struct RankMapping {
+    layout: ParallelLayout,
+}
+
+impl RankMapping {
+    /// Builds a mapping; fails if the layout does not exactly fill the
+    /// cluster.
+    pub fn new(layout: ParallelLayout, cluster: &ClusterSpec) -> Result<Self, String> {
+        if !layout.fits(cluster) {
+            return Err(format!(
+                "layout {}x{}x{} = {} workers does not fill {}-device cluster",
+                layout.pp,
+                layout.dp,
+                layout.cp,
+                layout.num_workers(),
+                cluster.num_devices()
+            ));
+        }
+        Ok(Self { layout })
+    }
+
+    /// The layout this mapping realises.
+    pub fn layout(&self) -> ParallelLayout {
+        self.layout
+    }
+
+    /// Global rank of the worker at `(stage, dp_idx, cp_idx)`.
+    pub fn rank(&self, stage: usize, dp_idx: usize, cp_idx: usize) -> usize {
+        debug_assert!(stage < self.layout.pp);
+        debug_assert!(dp_idx < self.layout.dp);
+        debug_assert!(cp_idx < self.layout.cp);
+        (stage * self.layout.dp + dp_idx) * self.layout.cp + cp_idx
+    }
+
+    /// Ranks of one context-parallel group (fixed stage and DP index).
+    pub fn cp_group(&self, stage: usize, dp_idx: usize) -> Vec<usize> {
+        (0..self.layout.cp).map(|c| self.rank(stage, dp_idx, c)).collect()
+    }
+
+    /// Ranks of one data-parallel group (fixed stage and CP index).
+    pub fn dp_group(&self, stage: usize, cp_idx: usize) -> Vec<usize> {
+        (0..self.layout.dp).map(|d| self.rank(stage, d, cp_idx)).collect()
+    }
+
+    /// Ranks of one pipeline (fixed DP and CP index), first stage first.
+    pub fn pp_group(&self, dp_idx: usize, cp_idx: usize) -> Vec<usize> {
+        (0..self.layout.pp).map(|s| self.rank(s, dp_idx, cp_idx)).collect()
+    }
+
+    /// The link used for the stage → stage+1 point-to-point transfer on
+    /// pipeline `(dp_idx, cp_idx)`; `None` past the last boundary.
+    pub fn pp_link<'c>(
+        &self,
+        cluster: &'c ClusterSpec,
+        stage: usize,
+        dp_idx: usize,
+        cp_idx: usize,
+    ) -> Option<&'c crate::link::LinkSpec> {
+        if stage + 1 >= self.layout.pp {
+            return None;
+        }
+        let a = self.rank(stage, dp_idx, cp_idx);
+        let b = self.rank(stage + 1, dp_idx, cp_idx);
+        Some(cluster.link_between_ranks(a, b))
+    }
+
+    /// The slowest stage-boundary link across the whole pipeline for DP/CP
+    /// index (0, 0); schedules are bottlenecked by this hop.
+    pub fn worst_pp_link<'c>(&self, cluster: &'c ClusterSpec) -> &'c crate::link::LinkSpec {
+        let mut worst = cluster.link_between_ranks(
+            self.rank(0, 0, 0),
+            self.rank(0, 0, 0),
+        );
+        for s in 0..self.layout.pp.saturating_sub(1) {
+            let l = self.pp_link(cluster, s, 0, 0).expect("boundary exists");
+            worst = worst.bottleneck(l);
+        }
+        worst
+    }
+
+    /// The bottleneck link for a CP collective at the given coordinates.
+    pub fn cp_link<'c>(
+        &self,
+        cluster: &'c ClusterSpec,
+        stage: usize,
+        dp_idx: usize,
+    ) -> &'c crate::link::LinkSpec {
+        cluster.group_link(&self.cp_group(stage, dp_idx))
+    }
+
+    /// The bottleneck link for a DP gradient synchronisation at the given
+    /// coordinates.
+    pub fn dp_link<'c>(
+        &self,
+        cluster: &'c ClusterSpec,
+        stage: usize,
+        cp_idx: usize,
+    ) -> &'c crate::link::LinkSpec {
+        cluster.group_link(&self.dp_group(stage, cp_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::rtx4090_cluster()
+    }
+
+    #[test]
+    fn layout_arithmetic() {
+        let l = ParallelLayout::new(8, 4, 2).unwrap();
+        assert_eq!(l.num_workers(), 64);
+        assert!(l.fits(&cluster()));
+        assert!(ParallelLayout::new(0, 1, 1).is_none());
+    }
+
+    #[test]
+    fn mapping_rejects_partial_fill() {
+        let l = ParallelLayout::new(4, 4, 2).unwrap();
+        assert!(RankMapping::new(l, &cluster()).is_err());
+    }
+
+    #[test]
+    fn cp_groups_stay_intra_node_when_small() {
+        let l = ParallelLayout::new(8, 4, 2).unwrap();
+        let m = RankMapping::new(l, &cluster()).unwrap();
+        // CP is innermost, so a CP group of 2 occupies adjacent local slots.
+        let g = m.cp_group(0, 0);
+        assert_eq!(g, vec![0, 1]);
+        assert_eq!(m.cp_link(&cluster(), 0, 0).name, "PCIe 4.0 x16");
+    }
+
+    #[test]
+    fn pp_boundaries_cross_nodes() {
+        let l = ParallelLayout::new(8, 4, 2).unwrap();
+        let m = RankMapping::new(l, &cluster()).unwrap();
+        // dp*cp = 8 = gpus_per_node, so each stage owns one node and every
+        // stage boundary is inter-node.
+        assert_eq!(m.pp_link(&cluster(), 0, 0, 0).unwrap().name, "InfiniBand 100G");
+        assert_eq!(m.worst_pp_link(&cluster()).name, "InfiniBand 100G");
+        assert!(m.pp_link(&cluster(), 7, 0, 0).is_none());
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_cover() {
+        let l = ParallelLayout::new(4, 4, 4).unwrap();
+        let m = RankMapping::new(l, &cluster()).unwrap();
+        let mut seen = [false; 64];
+        for s in 0..4 {
+            for d in 0..4 {
+                for r in m.cp_group(s, d) {
+                    assert!(!seen[r], "rank {r} appears twice");
+                    seen[r] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn pp_group_orders_stages() {
+        let l = ParallelLayout::new(8, 8, 1).unwrap();
+        let m = RankMapping::new(l, &cluster()).unwrap();
+        let g = m.pp_group(3, 0);
+        assert_eq!(g.len(), 8);
+        for (s, r) in g.iter().enumerate() {
+            assert_eq!(*r, s * 8 + 3);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Pricing and cost-effectiveness model (Table 9 and Section 9).
+//!
+//! The paper's headline economic claim: a 64× RTX 4090 cluster matches the
+//! iteration time of a 32× A100 cluster at one fifth of the per-server
+//! price per FLOP-equivalent, making it 2.5× more cost-effective. This
+//! module reproduces that arithmetic, including the operating-cost
+//! break-even analysis from Section 9.
+
+use crate::accelerator::AcceleratorSpec;
+
+/// Capital cost of one 8-GPU server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPricing {
+    /// Price of one server with 8 accelerators, in USD (October 2024 per
+    /// the paper).
+    pub server_price_usd: f64,
+    /// Accelerators per server.
+    pub gpus_per_server: usize,
+}
+
+impl ServerPricing {
+    /// The paper's A100 server price: $150,000.
+    pub fn a100() -> Self {
+        Self { server_price_usd: 150_000.0, gpus_per_server: 8 }
+    }
+
+    /// The paper's RTX 4090 server price: $30,000.
+    pub fn rtx4090() -> Self {
+        Self { server_price_usd: 30_000.0, gpus_per_server: 8 }
+    }
+
+    /// Capital cost per accelerator.
+    pub fn price_per_gpu(&self) -> f64 {
+        self.server_price_usd / self.gpus_per_server as f64
+    }
+}
+
+/// Outcome of a cost-effectiveness comparison between two training setups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Capital cost of setup A in USD.
+    pub capital_a: f64,
+    /// Capital cost of setup B in USD.
+    pub capital_b: f64,
+    /// Iteration time of setup A in seconds.
+    pub iter_time_a: f64,
+    /// Iteration time of setup B in seconds.
+    pub iter_time_b: f64,
+    /// How many times more cost-effective A is than B:
+    /// `(capital_b × time_b) / (capital_a × time_a)`.
+    pub cost_effectiveness_ratio: f64,
+}
+
+/// Compares the cost-effectiveness of two clusters on the same workload.
+///
+/// Cost-effectiveness is capital × time-to-result; lower is better, so the
+/// returned ratio is `>1` when setup A wins.
+///
+/// # Examples
+///
+/// ```
+/// use mepipe_hw::pricing::{compare_cost_effectiveness, ServerPricing};
+///
+/// // Table 9's 13B row: 5852 ms on 64x4090 vs 6131 ms on 32xA100.
+/// let r = compare_cost_effectiveness(
+///     ServerPricing::rtx4090(), 64, 5.852,
+///     ServerPricing::a100(), 32, 6.131,
+/// );
+/// assert!(r.cost_effectiveness_ratio > 2.0);
+/// ```
+pub fn compare_cost_effectiveness(
+    pricing_a: ServerPricing,
+    gpus_a: usize,
+    iter_time_a: f64,
+    pricing_b: ServerPricing,
+    gpus_b: usize,
+    iter_time_b: f64,
+) -> CostReport {
+    let capital_a = pricing_a.price_per_gpu() * gpus_a as f64;
+    let capital_b = pricing_b.price_per_gpu() * gpus_b as f64;
+    let ratio = (capital_b * iter_time_b) / (capital_a * iter_time_a);
+    CostReport {
+        capital_a,
+        capital_b,
+        iter_time_a,
+        iter_time_b,
+        cost_effectiveness_ratio: ratio,
+    }
+}
+
+/// Years of continuous operation until the *total* cost (capital + energy)
+/// of the cheaper-capital cluster catches up with the pricier one, given
+/// equal delivered throughput (Section 9's ~24-year figure).
+///
+/// Returns `None` if the cheap cluster never catches up (it draws less or
+/// equal power).
+pub fn operating_cost_break_even_years(
+    cheap: &AcceleratorSpec,
+    cheap_count: usize,
+    cheap_capital: f64,
+    pricey: &AcceleratorSpec,
+    pricey_count: usize,
+    pricey_capital: f64,
+    usd_per_kwh: f64,
+) -> Option<f64> {
+    let cheap_kw = cheap.power_watts * cheap_count as f64 / 1000.0;
+    let pricey_kw = pricey.power_watts * pricey_count as f64 / 1000.0;
+    let extra_kw = cheap_kw - pricey_kw;
+    if extra_kw <= 0.0 {
+        return None;
+    }
+    let capital_gap = pricey_capital - cheap_capital;
+    if capital_gap <= 0.0 {
+        return Some(0.0);
+    }
+    let hours = capital_gap / (extra_kw * usd_per_kwh);
+    Some(hours / (24.0 * 365.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratio_is_about_2_5x() {
+        // Llama 13B, Table 9: 5852 ms on 64×4090 vs 6131 ms on 32×A100.
+        let r = compare_cost_effectiveness(
+            ServerPricing::rtx4090(),
+            64,
+            5.852,
+            ServerPricing::a100(),
+            32,
+            6.131,
+        );
+        assert!(
+            (r.cost_effectiveness_ratio - 2.5).abs() < 0.2,
+            "expected ~2.5x, got {}",
+            r.cost_effectiveness_ratio
+        );
+    }
+
+    #[test]
+    fn equal_setups_are_even() {
+        let r = compare_cost_effectiveness(
+            ServerPricing::a100(),
+            32,
+            1.0,
+            ServerPricing::a100(),
+            32,
+            1.0,
+        );
+        assert!((r.cost_effectiveness_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_matches_section9_order_of_magnitude() {
+        // 64×4090 (450 W each) vs 32×A100 (400 W each); capital gap
+        // $240k vs $600k; $0.1/kWh.
+        let years = operating_cost_break_even_years(
+            &AcceleratorSpec::rtx4090(),
+            64,
+            240_000.0,
+            &AcceleratorSpec::a100_80g(),
+            32,
+            600_000.0,
+            0.1,
+        )
+        .expect("4090 cluster draws more power");
+        assert!(
+            (10.0..60.0).contains(&years),
+            "expected tens of years, got {years}"
+        );
+    }
+
+    #[test]
+    fn break_even_none_when_cheap_is_also_frugal() {
+        let years = operating_cost_break_even_years(
+            &AcceleratorSpec::a100_80g(),
+            32,
+            100.0,
+            &AcceleratorSpec::rtx4090(),
+            64,
+            200.0,
+            0.1,
+        );
+        assert!(years.is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster topology: nodes, devices and the links between them.
+
+use crate::{
+    accelerator::AcceleratorSpec,
+    link::LinkSpec,
+};
+
+/// Physical position of one device in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId {
+    /// Node (server) index.
+    pub node: usize,
+    /// Device index within the node.
+    pub local: usize,
+}
+
+/// A homogeneous cluster: `nodes × gpus_per_node` identical accelerators,
+/// one link class inside a node and one between nodes.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of servers.
+    pub nodes: usize,
+    /// Accelerators per server.
+    pub gpus_per_node: usize,
+    /// The accelerator model installed in every slot.
+    pub accelerator: AcceleratorSpec,
+    /// Link class between two devices in the same node.
+    pub intra_node: LinkSpec,
+    /// Link class between two devices in different nodes.
+    pub inter_node: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's main testbed: 8 servers × 8 RTX 4090, PCIe 4.0 inside a
+    /// node, 100 Gb/s InfiniBand between nodes (Section 7.1).
+    pub fn rtx4090_cluster() -> Self {
+        Self {
+            nodes: 8,
+            gpus_per_node: 8,
+            accelerator: AcceleratorSpec::rtx4090(),
+            intra_node: LinkSpec::pcie4(),
+            inter_node: LinkSpec::ib_100g(),
+        }
+    }
+
+    /// The paper's reference cluster: 4 servers × 8 A100-80G, NVLink inside
+    /// a node, 800 Gb/s InfiniBand between nodes (Section 7.6).
+    pub fn a100_cluster() -> Self {
+        Self {
+            nodes: 4,
+            gpus_per_node: 8,
+            accelerator: AcceleratorSpec::a100_80g(),
+            intra_node: LinkSpec::nvlink3(),
+            inter_node: LinkSpec::ib_800g(),
+        }
+    }
+
+    /// Total number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Device at a given global rank, ranks laid out node-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= num_devices()`.
+    pub fn device_of_rank(&self, rank: usize) -> DeviceId {
+        assert!(rank < self.num_devices(), "rank {rank} out of range");
+        DeviceId { node: rank / self.gpus_per_node, local: rank % self.gpus_per_node }
+    }
+
+    /// The link class connecting two devices.
+    pub fn link_between(&self, a: DeviceId, b: DeviceId) -> &LinkSpec {
+        if a == b {
+            // Same device: schedule-internal handoff, no transfer.
+            const LOOPBACK: LinkSpec =
+                LinkSpec { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 };
+            // A `const` local keeps the zero-cost case allocation-free.
+            static LOOPBACK_STATIC: LinkSpec = LOOPBACK;
+            &LOOPBACK_STATIC
+        } else if a.node == b.node {
+            &self.intra_node
+        } else {
+            &self.inter_node
+        }
+    }
+
+    /// The link class connecting two global ranks.
+    pub fn link_between_ranks(&self, a: usize, b: usize) -> &LinkSpec {
+        self.link_between(self.device_of_rank(a), self.device_of_rank(b))
+    }
+
+    /// The bottleneck link for a collective spanning the given ranks: the
+    /// inter-node link if the group crosses a node boundary, the intra-node
+    /// link if it spans multiple devices of one node, loopback otherwise.
+    pub fn group_link(&self, ranks: &[usize]) -> &LinkSpec {
+        if ranks.len() <= 1 {
+            static LOOPBACK_STATIC: LinkSpec =
+                LinkSpec { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 };
+            return &LOOPBACK_STATIC;
+        }
+        let first = self.device_of_rank(ranks[0]).node;
+        if ranks.iter().any(|&r| self.device_of_rank(r).node != first) {
+            &self.inter_node
+        } else {
+            &self.intra_node
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clusters_have_64_and_32_gpus() {
+        assert_eq!(ClusterSpec::rtx4090_cluster().num_devices(), 64);
+        assert_eq!(ClusterSpec::a100_cluster().num_devices(), 32);
+    }
+
+    #[test]
+    fn rank_layout_is_node_major() {
+        let c = ClusterSpec::rtx4090_cluster();
+        assert_eq!(c.device_of_rank(0), DeviceId { node: 0, local: 0 });
+        assert_eq!(c.device_of_rank(7), DeviceId { node: 0, local: 7 });
+        assert_eq!(c.device_of_rank(8), DeviceId { node: 1, local: 0 });
+        assert_eq!(c.device_of_rank(63), DeviceId { node: 7, local: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        ClusterSpec::rtx4090_cluster().device_of_rank(64);
+    }
+
+    #[test]
+    fn link_selection_respects_node_boundary() {
+        let c = ClusterSpec::rtx4090_cluster();
+        assert_eq!(c.link_between_ranks(0, 1).name, "PCIe 4.0 x16");
+        assert_eq!(c.link_between_ranks(0, 8).name, "InfiniBand 100G");
+        assert_eq!(c.link_between_ranks(3, 3).name, "loopback");
+    }
+
+    #[test]
+    fn group_link_is_bottleneck() {
+        let c = ClusterSpec::rtx4090_cluster();
+        assert_eq!(c.group_link(&[0, 1, 2, 3]).name, "PCIe 4.0 x16");
+        assert_eq!(c.group_link(&[0, 8]).name, "InfiniBand 100G");
+        assert_eq!(c.group_link(&[5]).name, "loopback");
+    }
+}

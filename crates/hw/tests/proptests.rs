@@ -1,0 +1,73 @@
+//! Property tests for topology and rank mapping.
+
+use proptest::prelude::*;
+
+use mepipe_hw::{
+    mapping::{ParallelLayout, RankMapping},
+    topology::ClusterSpec,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any layout that fills the cluster maps groups that partition the
+    /// ranks exactly (no overlap, no gaps) along all three axes.
+    #[test]
+    fn groups_partition_ranks(pp_pow in 0usize..=6, dp_pow in 0usize..=6, cp_pow in 0usize..=3) {
+        let (pp, dp, cp) = (1usize << pp_pow, 1usize << dp_pow, 1usize << cp_pow);
+        prop_assume!(pp * dp * cp == 64);
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let layout = ParallelLayout::new(pp, dp, cp).unwrap();
+        let m = RankMapping::new(layout, &cluster).unwrap();
+
+        let mut seen = vec![0u32; 64];
+        for s in 0..pp {
+            for d in 0..dp {
+                for r in m.cp_group(s, d) {
+                    seen[r] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x == 1), "cp groups: {:?}", seen);
+
+        let mut seen = vec![0u32; 64];
+        for d in 0..dp {
+            for c in 0..cp {
+                for r in m.pp_group(d, c) {
+                    seen[r] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x == 1), "pp groups: {:?}", seen);
+    }
+
+    /// Stage-boundary links never report loopback for distinct ranks and
+    /// the worst link is at most as fast as any individual boundary.
+    #[test]
+    fn pp_links_sane(pp_pow in 1usize..=6, cp_pow in 0usize..=3) {
+        let pp = 1usize << pp_pow;
+        let cp = 1usize << cp_pow;
+        prop_assume!(64 % (pp * cp) == 0);
+        let dp = 64 / (pp * cp);
+        prop_assume!(dp >= 1);
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let m = RankMapping::new(ParallelLayout::new(pp, dp, cp).unwrap(), &cluster).unwrap();
+        let worst = m.worst_pp_link(&cluster);
+        for s in 0..pp - 1 {
+            let l = m.pp_link(&cluster, s, 0, 0).unwrap();
+            prop_assert!(l.bandwidth > 0.0);
+            prop_assert!(worst.bandwidth <= l.bandwidth);
+        }
+    }
+
+    /// Transfer time is monotone in message size and respects latency.
+    #[test]
+    fn transfer_time_monotone(bytes_a in 0u64..1_000_000_000, bytes_b in 0u64..1_000_000_000) {
+        let link = mepipe_hw::link::LinkSpec::pcie4();
+        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        if hi > 0 {
+            prop_assert!(link.transfer_time(hi) >= link.latency);
+        }
+    }
+}

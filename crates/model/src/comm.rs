@@ -1,0 +1,172 @@
+//! Communication volumes per parallel strategy (Table 2).
+//!
+//! Table 2 of the paper ranks TP ≫ CP > DP > PP ≈ SPP by communication
+//! cost and records which of parameters / activations / optimizer state
+//! each strategy partitions. This module computes the actual per-iteration
+//! byte volumes behind that ranking for a concrete model, so the harness
+//! can print the quantitative version of the table.
+
+use crate::config::TransformerConfig;
+
+/// Bytes of one fp16 element.
+const FP16: f64 = 2.0;
+
+/// Which resources a strategy partitions (the ✓/✗ columns of Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionProfile {
+    /// Does the strategy shard parameters across workers?
+    pub parameters: bool,
+    /// Does it shard activations?
+    pub activations: bool,
+    /// Does it shard optimizer state?
+    pub optimizer: bool,
+}
+
+/// One row of the quantitative Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyComm {
+    /// Strategy name as printed in the paper.
+    pub name: &'static str,
+    /// Bytes each worker sends per iteration.
+    pub bytes_per_iteration: f64,
+    /// What the strategy partitions.
+    pub profile: PartitionProfile,
+}
+
+/// Per-worker bytes sent per iteration under tensor parallelism of the
+/// given size: two ring all-reduces of the layer output per layer, in both
+/// forward and backward, for every token of every sample.
+pub fn tp_bytes_per_iteration(cfg: &TransformerConfig, tp: usize, samples: usize) -> f64 {
+    if tp <= 1 {
+        return 0.0;
+    }
+    let payload = cfg.seq_len as f64 * cfg.hidden as f64 * FP16;
+    // Ring all-reduce moves 2(n-1)/n of the payload per worker; 2 per layer
+    // forward and 2 per layer backward.
+    let per_layer = 4.0 * 2.0 * (tp as f64 - 1.0) / tp as f64 * payload;
+    per_layer * cfg.layers as f64 * samples as f64
+}
+
+/// Per-worker bytes sent per iteration under context parallelism: an
+/// all-gather of the local KV shard per layer forward and the matching
+/// reduce-scatter of dKV per layer backward.
+pub fn cp_bytes_per_iteration(cfg: &TransformerConfig, cp: usize, samples: usize) -> f64 {
+    if cp <= 1 {
+        return 0.0;
+    }
+    let local_tokens = cfg.seq_len as f64 / cp as f64;
+    let kv = 2.0 * local_tokens * cfg.kv_hidden() as f64 * FP16;
+    // Ring all-gather: send own shard (cp-1) times; reduce-scatter mirrors.
+    let per_layer = 2.0 * (cp as f64 - 1.0) * kv;
+    per_layer * cfg.layers as f64 * samples as f64
+}
+
+/// Per-worker bytes sent per iteration under ZeRO-1 data parallelism:
+/// gradient reduce-scatter plus parameter all-gather once per iteration
+/// over the worker's parameter shard.
+pub fn dp_bytes_per_iteration(cfg: &TransformerConfig, dp: usize, pp: usize) -> f64 {
+    if dp <= 1 {
+        return 0.0;
+    }
+    let params_per_worker = cfg.num_params() as f64 / pp as f64;
+    let payload = params_per_worker * FP16;
+    2.0 * (dp as f64 - 1.0) / dp as f64 * payload * 2.0
+}
+
+/// Per-worker bytes sent per iteration under pipeline parallelism: one
+/// hidden-state tensor per micro-batch per stage boundary, forward and
+/// backward.
+pub fn pp_bytes_per_iteration(cfg: &TransformerConfig, micro_batches: usize) -> f64 {
+    let boundary = cfg.seq_len as f64 * cfg.hidden as f64 * FP16;
+    2.0 * boundary * micro_batches as f64
+}
+
+/// Per-worker bytes sent per iteration under sequence pipeline parallelism:
+/// slices of a micro-batch sum to the same boundary volume as PP.
+pub fn spp_bytes_per_iteration(
+    cfg: &TransformerConfig,
+    micro_batches: usize,
+    _slices: usize,
+) -> f64 {
+    // Identical total volume to PP; slicing only changes message counts.
+    pp_bytes_per_iteration(cfg, micro_batches)
+}
+
+/// Builds the quantitative Table 2 for a model at the given group sizes.
+pub fn table2(cfg: &TransformerConfig, group: usize, samples: usize) -> Vec<StrategyComm> {
+    vec![
+        StrategyComm {
+            name: "TP",
+            bytes_per_iteration: tp_bytes_per_iteration(cfg, group, samples),
+            profile: PartitionProfile { parameters: true, activations: true, optimizer: true },
+        },
+        StrategyComm {
+            name: "CP (ZeRO)",
+            bytes_per_iteration: cp_bytes_per_iteration(cfg, group, samples),
+            profile: PartitionProfile { parameters: false, activations: true, optimizer: true },
+        },
+        StrategyComm {
+            name: "DP (ZeRO)",
+            bytes_per_iteration: dp_bytes_per_iteration(cfg, group, 1),
+            profile: PartitionProfile { parameters: false, activations: false, optimizer: true },
+        },
+        StrategyComm {
+            name: "PP",
+            bytes_per_iteration: pp_bytes_per_iteration(cfg, samples),
+            profile: PartitionProfile { parameters: true, activations: false, optimizer: true },
+        },
+        StrategyComm {
+            name: "SPP",
+            bytes_per_iteration: spp_bytes_per_iteration(cfg, samples, 4),
+            profile: PartitionProfile { parameters: true, activations: true, optimizer: true },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TransformerConfig {
+        TransformerConfig::llama2_13b()
+    }
+
+    #[test]
+    fn table2_ordering_matches_paper() {
+        // TP >>> CP > DP > PP = SPP at equal group sizes.
+        let rows = table2(&cfg(), 4, 16);
+        let by_name = |n: &str| {
+            rows.iter().find(|r| r.name == n).map(|r| r.bytes_per_iteration).unwrap()
+        };
+        assert!(by_name("TP") > by_name("CP (ZeRO)"));
+        assert!(by_name("CP (ZeRO)") > by_name("DP (ZeRO)"));
+        assert!(by_name("DP (ZeRO)") > by_name("PP"));
+        assert_eq!(by_name("PP"), by_name("SPP"));
+    }
+
+    #[test]
+    fn degenerate_groups_cost_nothing() {
+        assert_eq!(tp_bytes_per_iteration(&cfg(), 1, 16), 0.0);
+        assert_eq!(cp_bytes_per_iteration(&cfg(), 1, 16), 0.0);
+        assert_eq!(dp_bytes_per_iteration(&cfg(), 1, 8), 0.0);
+    }
+
+    #[test]
+    fn cp_volume_grows_with_group() {
+        let c2 = cp_bytes_per_iteration(&cfg(), 2, 16);
+        let c8 = cp_bytes_per_iteration(&cfg(), 8, 16);
+        // (cp-1)/cp scaling on fixed total KV: volume grows with cp.
+        assert!(c8 > c2);
+    }
+
+    #[test]
+    fn spp_equals_pp_volume() {
+        // Section 2.2 / Table 2: SPP introduces no extra communication.
+        for n in [8usize, 16, 64] {
+            assert_eq!(
+                spp_bytes_per_iteration(&cfg(), n, 8),
+                pp_bytes_per_iteration(&cfg(), n)
+            );
+        }
+    }
+}

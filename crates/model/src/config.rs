@@ -1,0 +1,173 @@
+//! Transformer (Llama-2) model configurations.
+//!
+//! The paper evaluates Llama-2 at 7B, 13B and 34B, with two transformer
+//! layers removed so that the embedding and head layers can occupy the
+//! first and last pipeline slots without imbalance (Table 4: 30 / 38 / 46
+//! decoder layers at hidden sizes 4096 / 5120 / 8192).
+
+/// Architecture of one decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// Number of decoder layers (after the paper's 2-layer removal).
+    pub layers: usize,
+    /// MLP intermediate size (SwiGLU: three `h × ffn` matrices).
+    pub ffn_hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Number of key/value heads (grouped-query attention; equal to
+    /// `heads` for multi-head attention).
+    pub kv_heads: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Training context (sequence) length.
+    pub seq_len: usize,
+}
+
+impl TransformerConfig {
+    /// Llama-2 7B with the paper's layer adjustment (Table 4).
+    pub fn llama2_7b() -> Self {
+        Self {
+            hidden: 4096,
+            layers: 30,
+            ffn_hidden: 11008,
+            heads: 32,
+            kv_heads: 32,
+            vocab: 32000,
+            seq_len: 4096,
+        }
+    }
+
+    /// Llama-2 13B with the paper's layer adjustment (Table 4).
+    pub fn llama2_13b() -> Self {
+        Self {
+            hidden: 5120,
+            layers: 38,
+            ffn_hidden: 13824,
+            heads: 40,
+            kv_heads: 40,
+            vocab: 32000,
+            seq_len: 4096,
+        }
+    }
+
+    /// Llama-2 (Code-Llama-style) 34B with the paper's layer adjustment
+    /// (Table 4: hidden 8192, 46 layers). `kv_heads = 16` lands the
+    /// parameter count at ~33B, matching the paper's `34·4/p` GB static
+    /// memory arithmetic (Section 7.4) that makes `pp = 8` infeasible.
+    pub fn llama2_34b() -> Self {
+        Self {
+            hidden: 8192,
+            layers: 46,
+            ffn_hidden: 22016,
+            heads: 64,
+            kv_heads: 16,
+            vocab: 32000,
+            seq_len: 4096,
+        }
+    }
+
+    /// A tiny configuration for tests and the threaded training runtime.
+    pub fn tiny(layers: usize) -> Self {
+        Self {
+            hidden: 64,
+            layers,
+            ffn_hidden: 128,
+            heads: 4,
+            kv_heads: 4,
+            vocab: 256,
+            seq_len: 64,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Hidden size of the key/value projection output.
+    pub fn kv_hidden(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Parameters in one decoder layer: attention projections
+    /// (`q`, `k`, `v`, `o`) plus the three SwiGLU matrices plus two
+    /// RMSNorm vectors.
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        let kvh = self.kv_hidden() as u64;
+        let f = self.ffn_hidden as u64;
+        let attn = h * h /* q */ + h * kvh /* k */ + h * kvh /* v */ + h * h /* o */;
+        let mlp = 3 * h * f;
+        let norms = 2 * h;
+        attn + mlp + norms
+    }
+
+    /// Parameters in the embedding table (tied head weights counted once;
+    /// Llama unties them, so embedding and head each hold `vocab × h`).
+    pub fn embedding_params(&self) -> u64 {
+        (self.vocab * self.hidden) as u64
+    }
+
+    /// Total parameter count: layers + embedding + output head + final norm.
+    pub fn num_params(&self) -> u64 {
+        self.layers as u64 * self.params_per_layer()
+            + 2 * self.embedding_params()
+            + self.hidden as u64
+    }
+
+    /// Pipeline-visible layer count: the paper models embedding and head as
+    /// occupying one layer slot each, so `layers + 2` slots are divided
+    /// among stages ("Llama 13B comprises 40 layers (including the
+    /// embedding and head layer)", Section 7.2).
+    pub fn pipeline_slots(&self) -> usize {
+        self.layers + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_are_in_the_right_ballpark() {
+        // The adjusted models shed ~2 layers, so allow generous bands.
+        let b7 = TransformerConfig::llama2_7b().num_params() as f64 / 1e9;
+        let b13 = TransformerConfig::llama2_13b().num_params() as f64 / 1e9;
+        let b34 = TransformerConfig::llama2_34b().num_params() as f64 / 1e9;
+        assert!((6.0..7.5).contains(&b7), "7B model has {b7}B params");
+        assert!((11.5..13.5).contains(&b13), "13B model has {b13}B params");
+        assert!((30.0..36.0).contains(&b34), "34B model has {b34}B params");
+    }
+
+    #[test]
+    fn pipeline_slots_match_paper() {
+        // Section 7.2: "Llama 13B comprises 40 layers (including the
+        // embedding and head layer)".
+        assert_eq!(TransformerConfig::llama2_13b().pipeline_slots(), 40);
+        assert_eq!(TransformerConfig::llama2_7b().pipeline_slots(), 32);
+        assert_eq!(TransformerConfig::llama2_34b().pipeline_slots(), 48);
+    }
+
+    #[test]
+    fn head_dims_divide() {
+        for c in [
+            TransformerConfig::llama2_7b(),
+            TransformerConfig::llama2_13b(),
+            TransformerConfig::llama2_34b(),
+            TransformerConfig::tiny(4),
+        ] {
+            assert_eq!(c.head_dim() * c.heads, c.hidden);
+            assert_eq!(c.kv_hidden() % c.head_dim(), 0);
+        }
+    }
+
+    #[test]
+    fn gqa_shrinks_kv() {
+        let c = TransformerConfig::llama2_34b();
+        assert!(c.kv_hidden() < c.hidden);
+        let m = TransformerConfig::llama2_13b();
+        assert_eq!(m.kv_hidden(), m.hidden);
+    }
+}

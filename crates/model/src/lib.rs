@@ -1,0 +1,31 @@
+//! Transformer model descriptions and the analytic cost model.
+//!
+//! Everything downstream — the discrete-event simulator, the strategy grid
+//! search, the experiment harness — prices work through this crate:
+//!
+//! * [`config`] — Llama-2 7B/13B/34B configurations (Table 4 of the paper)
+//!   and parameter counting;
+//! * [`partition`] — how a training job is partitioned (PP × DP × CP/SPP ×
+//!   VP, recomputation);
+//! * [`flops`] — FLOP counts per layer and per sequence slice, including the
+//!   causal-attention imbalance across slices that motivates Section 5;
+//! * [`gemm`] — the operator-efficiency curve behind Figure 9 (GEMM and
+//!   FlashAttention lose throughput as slices shrink);
+//! * [`memory`] — activation / static / temporary memory (Section 4.5);
+//! * [`comm`] — per-strategy communication volumes (Table 2);
+//! * [`cost`] — ties it all together into per-op durations and transfer
+//!   sizes for a concrete accelerator.
+#![warn(missing_docs)]
+
+
+pub mod comm;
+pub mod config;
+pub mod cost;
+pub mod flops;
+pub mod gemm;
+pub mod memory;
+pub mod partition;
+
+pub use config::TransformerConfig;
+pub use cost::ExecutionCost;
+pub use partition::PartitionSpec;

@@ -1,0 +1,209 @@
+//! Partitioning of one training job across workers.
+//!
+//! A partition fixes the five knobs the paper's grid search explores
+//! (Section 7.3): pipeline size, data-parallel size, context parallelism
+//! *or* sequence pipeline parallelism, virtual pipeline size, and whether
+//! activation recomputation is enabled. CP and SPP are mutually exclusive
+//! in the paper's configurations (the "CP/SPP" column of Tables 5 and 8).
+
+use crate::config::TransformerConfig;
+
+/// How single samples are split, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequenceSplit {
+    /// No sample splitting: whole micro-batches flow through the pipeline.
+    None,
+    /// Context parallelism: each sample is sharded across `size` workers
+    /// that communicate KV blocks every layer (ring attention).
+    Context {
+        /// Number of CP workers each sample is sharded over.
+        size: usize,
+    },
+    /// Sequence pipeline parallelism: each sample is cut into `slices`
+    /// token slices that flow through the pipeline one after another
+    /// (TeraPipe / MEPipe).
+    SlicePipeline {
+        /// Number of slices per sample.
+        slices: usize,
+    },
+}
+
+impl SequenceSplit {
+    /// CP worker count (1 when CP is not in use).
+    pub fn cp_size(&self) -> usize {
+        match self {
+            SequenceSplit::Context { size } => *size,
+            _ => 1,
+        }
+    }
+
+    /// Slices per sample for pipeline scheduling (1 when SPP is not in use).
+    pub fn spp_slices(&self) -> usize {
+        match self {
+            SequenceSplit::SlicePipeline { slices } => *slices,
+            _ => 1,
+        }
+    }
+}
+
+/// A complete parallel-strategy choice for one training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionSpec {
+    /// Pipeline-parallel size `p` (number of stages).
+    pub pp: usize,
+    /// Virtual pipeline size `v` (model chunks per stage).
+    pub vp: usize,
+    /// Data-parallel size `d` (with ZeRO-1 optimizer sharding).
+    pub dp: usize,
+    /// How samples are split (CP or SPP or neither).
+    pub seq: SequenceSplit,
+    /// Whether full activation recomputation is enabled.
+    pub recompute: bool,
+    /// Samples per micro-batch (the paper uses 1 throughout).
+    pub micro_batch_size: usize,
+    /// Global batch size in samples.
+    pub global_batch: usize,
+}
+
+impl PartitionSpec {
+    /// Workers required by this partition.
+    pub fn num_workers(&self) -> usize {
+        self.pp * self.dp * self.seq.cp_size()
+    }
+
+    /// Micro-batches `n` processed by each pipeline per iteration.
+    pub fn micro_batches(&self) -> usize {
+        self.global_batch / (self.dp * self.micro_batch_size)
+    }
+
+    /// Pipeline-visible layer slots per virtual chunk, if the model divides
+    /// evenly; `None` otherwise (the paper requires even partitions).
+    pub fn slots_per_chunk(&self, cfg: &TransformerConfig) -> Option<usize> {
+        let total = cfg.pipeline_slots();
+        let chunks = self.pp * self.vp;
+        if chunks == 0 || !total.is_multiple_of(chunks) {
+            None
+        } else {
+            Some(total / chunks)
+        }
+    }
+
+    /// Tokens per pipeline work unit: the sequence divided across CP workers
+    /// and/or SPP slices.
+    pub fn tokens_per_unit(&self, cfg: &TransformerConfig) -> usize {
+        let t = cfg.seq_len * self.micro_batch_size;
+        match self.seq {
+            SequenceSplit::None => t,
+            SequenceSplit::Context { size } => t / size,
+            SequenceSplit::SlicePipeline { slices } => t / slices,
+        }
+    }
+
+    /// Validates divisibility constraints against a model and worker count.
+    pub fn validate(&self, cfg: &TransformerConfig, total_workers: usize) -> Result<(), String> {
+        if self.pp == 0 || self.vp == 0 || self.dp == 0 || self.micro_batch_size == 0 {
+            return Err("all partition dimensions must be nonzero".into());
+        }
+        if self.num_workers() != total_workers {
+            return Err(format!(
+                "partition needs {} workers but cluster has {total_workers}",
+                self.num_workers()
+            ));
+        }
+        if !self.global_batch.is_multiple_of(self.dp * self.micro_batch_size) {
+            return Err(format!(
+                "global batch {} not divisible by dp*mbs = {}",
+                self.global_batch,
+                self.dp * self.micro_batch_size
+            ));
+        }
+        if self.slots_per_chunk(cfg).is_none() {
+            return Err(format!(
+                "{} pipeline slots not divisible into {}x{} chunks",
+                cfg.pipeline_slots(),
+                self.pp,
+                self.vp
+            ));
+        }
+        match self.seq {
+            SequenceSplit::Context { size } => {
+                if size == 0 || !cfg.seq_len.is_multiple_of(size) {
+                    return Err(format!("seq_len {} not divisible by cp {size}", cfg.seq_len));
+                }
+            }
+            SequenceSplit::SlicePipeline { slices } => {
+                if slices == 0 || !cfg.seq_len.is_multiple_of(slices) {
+                    return Err(format!(
+                        "seq_len {} not divisible by spp {slices}",
+                        cfg.seq_len
+                    ));
+                }
+            }
+            SequenceSplit::None => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> PartitionSpec {
+        PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 2,
+            seq: SequenceSplit::SlicePipeline { slices: 4 },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        }
+    }
+
+    #[test]
+    fn mepipe_13b_config_from_table5_validates() {
+        // MEPipe's optimal 13B config: (PP, SPP, VP, recomp) = (8, 4, 1, no)
+        // with DP filling the rest of the 64 GPUs... dp = 64 / 8 = 8.
+        let spec = PartitionSpec { dp: 8, ..base() };
+        let cfg = TransformerConfig::llama2_13b();
+        assert!(spec.validate(&cfg, 64).is_ok());
+        assert_eq!(spec.micro_batches(), 16);
+        assert_eq!(spec.slots_per_chunk(&cfg), Some(5));
+        assert_eq!(spec.tokens_per_unit(&cfg), 1024);
+    }
+
+    #[test]
+    fn cp_occupies_workers_but_spp_does_not() {
+        let spp = base();
+        let cp = PartitionSpec { seq: SequenceSplit::Context { size: 4 }, ..base() };
+        assert_eq!(spp.num_workers(), 16);
+        assert_eq!(cp.num_workers(), 64);
+    }
+
+    #[test]
+    fn uneven_chunks_are_rejected() {
+        // 40 slots cannot split into 16 x 1 chunks? 40 / 16 is uneven.
+        let spec = PartitionSpec { pp: 16, dp: 4, seq: SequenceSplit::None, ..base() };
+        let cfg = TransformerConfig::llama2_13b();
+        assert!(spec.validate(&cfg, 64).is_err());
+    }
+
+    #[test]
+    fn uneven_batch_is_rejected() {
+        let spec = PartitionSpec { global_batch: 30, dp: 4, pp: 16, ..base() };
+        let cfg = TransformerConfig::llama2_13b();
+        assert!(spec.validate(&cfg, 64).is_err());
+    }
+
+    #[test]
+    fn uneven_slices_are_rejected() {
+        let spec = PartitionSpec {
+            seq: SequenceSplit::SlicePipeline { slices: 3 },
+            dp: 8,
+            ..base()
+        };
+        let cfg = TransformerConfig::llama2_13b();
+        assert!(spec.validate(&cfg, 64).is_err());
+    }
+}

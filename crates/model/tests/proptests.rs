@@ -1,0 +1,120 @@
+//! Property tests for the cost and memory models.
+
+use proptest::prelude::*;
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::{
+    config::TransformerConfig,
+    cost::ExecutionCost,
+    flops,
+    gemm::GemmEfficiency,
+    memory,
+    partition::{PartitionSpec, SequenceSplit},
+};
+
+fn spec(pp: usize, dp: usize, slices: usize, recompute: bool) -> PartitionSpec {
+    PartitionSpec {
+        pp,
+        vp: 1,
+        dp,
+        seq: SequenceSplit::SlicePipeline { slices },
+        recompute,
+        micro_batch_size: 1,
+        global_batch: 128,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slice forward FLOPs always sum exactly to the whole-sample count —
+    /// slicing redistributes work, it never changes it.
+    #[test]
+    fn slice_flops_conservation(s_pow in 0usize..=5, seed in 0usize..3) {
+        let cfg = [
+            TransformerConfig::llama2_7b(),
+            TransformerConfig::llama2_13b(),
+            TransformerConfig::llama2_34b(),
+        ][seed];
+        let s = 1usize << s_pow;
+        let sum: f64 = (0..s).map(|i| flops::slice_forward_flops(&cfg, 4096, s, i)).sum();
+        let whole = flops::slice_forward_flops(&cfg, 4096, 1, 0);
+        prop_assert!(((sum - whole) / whole).abs() < 1e-9);
+    }
+
+    /// dgrad + wgrad always equals the full backward, for every slice.
+    #[test]
+    fn backward_split_conservation(s_pow in 0usize..=4, i_frac in 0.0f64..1.0) {
+        let cfg = TransformerConfig::llama2_13b();
+        let s = 1usize << s_pow;
+        let i = ((i_frac * s as f64) as usize).min(s - 1);
+        let b = flops::slice_backward_flops(&cfg, 4096, s, i);
+        let d = flops::slice_dgrad_flops(&cfg, 4096, s, i);
+        let w = flops::slice_wgrad_flops(&cfg, 4096, s);
+        prop_assert!(((d + w - b) / b).abs() < 1e-12);
+    }
+
+    /// Forward time rises with the slice index (causal imbalance) and the
+    /// weight-gradient time never depends on it.
+    #[test]
+    fn cost_monotonicity(slices in prop::sample::select(vec![2usize, 4, 8, 16])) {
+        let cfg = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let cost = ExecutionCost::new(cfg, spec(8, 8, slices, false), &cluster).unwrap();
+        let mut prev = 0.0;
+        for i in 0..slices {
+            let t = cost.forward_time(i);
+            prop_assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    /// Memory budget shrinks as pipeline stages shrink (more parameters
+    /// per worker), for every model size.
+    #[test]
+    fn budget_monotone_in_pp(model_idx in 0usize..3) {
+        let cfg = [
+            TransformerConfig::llama2_7b(),
+            TransformerConfig::llama2_13b(),
+            TransformerConfig::llama2_34b(),
+        ][model_idx];
+        let usable = ClusterSpec::rtx4090_cluster().accelerator.usable_memory_bytes();
+        let b8 = memory::activation_budget_bytes(&cfg, &spec(8, 8, 4, false), usable);
+        let b4 = memory::activation_budget_bytes(&cfg, &spec(4, 16, 4, false), usable);
+        let b2 = memory::activation_budget_bytes(&cfg, &spec(2, 32, 4, false), usable);
+        prop_assert!(b8 > b4 && b4 > b2, "{b8} {b4} {b2}");
+    }
+
+    /// Recomputation always shrinks the per-unit activation bytes by at
+    /// least 85% (the paper's "reduces ... by 90%").
+    #[test]
+    fn recompute_reduction(slices in prop::sample::select(vec![1usize, 2, 4, 8])) {
+        let cfg = TransformerConfig::llama2_13b();
+        let plain = memory::activation_bytes_per_unit(&cfg, &spec(8, 8, slices, false));
+        let rc = memory::activation_bytes_per_unit(&cfg, &spec(8, 8, slices, true));
+        prop_assert!(rc < 0.15 * plain);
+    }
+
+    /// GEMM efficiency is bounded in (0, 1) and tile-aligned sizes always
+    /// dominate the ragged size just below them.
+    #[test]
+    fn efficiency_bounds(t in 1usize..65536) {
+        let e = GemmEfficiency::default();
+        let x = e.efficiency(t);
+        prop_assert!(x > 0.0 && x < 1.0);
+        if t % 128 == 0 && t > 128 {
+            prop_assert!(e.efficiency(t) > e.efficiency(t - 1));
+        }
+    }
+
+    /// The cost model rejects exactly the partitions `validate` rejects.
+    #[test]
+    fn cost_model_respects_validation(pp in 1usize..=64, dp in 1usize..=64) {
+        let cfg = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let s = spec(pp, dp, 4, false);
+        let valid = s.validate(&cfg, cluster.num_devices()).is_ok();
+        let built = ExecutionCost::new(cfg, s, &cluster).is_ok();
+        prop_assert_eq!(valid, built);
+    }
+}

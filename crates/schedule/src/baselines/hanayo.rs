@@ -1,0 +1,120 @@
+//! Hanayo: wave-like pipeline scheduling (Liu et al., SC '23).
+//!
+//! Hanayo runs `v` *waves* over the stages — even waves sweep down the
+//! pipeline, odd waves sweep back up — achieving the interleaved-pipeline
+//! bubble ratio `(p−1)/(p−1+n·v)` (Table 3) **without** replicating
+//! parameters the way Chimera's bidirectional pipelines do. The cost is
+//! memory: the activation footprint stays at `A` per worker (Table 3),
+//! because each worker ultimately hosts a slice of every wave.
+//!
+//! Generation uses the shared greedy capacity-bounded generator over the
+//! zigzag [`ChunkPlacement::Wave`] with capacities allowing the full-`A`
+//! footprint.
+
+use crate::{
+    generate::greedy_generate,
+    ir::{ChunkPlacement, Schedule, ScheduleMeta},
+};
+
+/// Generates a Hanayo wave schedule: `stages` stages, `waves` chunks per
+/// stage laid out as a zigzag, `micro_batches` micro-batches.
+pub fn generate_hanayo(
+    stages: usize,
+    waves: usize,
+    micro_batches: usize,
+) -> Result<Schedule, String> {
+    let meta = ScheduleMeta {
+        name: "Hanayo".into(),
+        stages,
+        virtual_chunks: waves,
+        slices: 1,
+        micro_batches,
+        split_backward: false,
+        placement: ChunkPlacement::Wave,
+    };
+    meta.check_shape()?;
+    // Table 3: Hanayo's activation footprint is A — p·v chunk units. The
+    // generator's whole-pair reservation is conservative by up to v units,
+    // so grant that headroom to reach the analytic footprint.
+    let caps = vec![stages * waves + waves; stages];
+    greedy_generate(&meta, &caps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, UnitCost};
+    use crate::validate::{peak_in_flight, validate};
+
+    #[test]
+    fn hanayo_is_valid() {
+        for (p, v, n) in [(2usize, 2usize, 4usize), (4, 2, 8), (4, 3, 6), (4, 4, 8)] {
+            let s = generate_hanayo(p, v, n).unwrap();
+            validate(&s).unwrap_or_else(|_| panic!("p={p} v={v} n={n}"));
+        }
+    }
+
+    #[test]
+    fn wave_placement_round_trips() {
+        use crate::ir::ChunkPlacement;
+        let pl = ChunkPlacement::Wave;
+        for p in [2usize, 4, 8] {
+            for v in [1usize, 2, 3, 4] {
+                for g in 0..p * v {
+                    let (w, c) = pl.stage_chunk_of(p, g);
+                    assert_eq!(pl.global_pos(p, w, c), g);
+                    assert!(w < p && c < v);
+                }
+            }
+        }
+        // Wave at v = 2 equals VShape.
+        for w in 0..4 {
+            for c in 0..2 {
+                assert_eq!(
+                    pl.global_pos(4, w, c),
+                    ChunkPlacement::VShape.global_pos(4, w, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_near_table3_formula() {
+        // Table 3: (p−1)/(p−1+n·v). Waves shorten fill/drain like VPP.
+        let (p, v, n) = (4usize, 2usize, 8usize);
+        let s = generate_hanayo(p, v, n).unwrap();
+        let t = execute(&s, &UnitCost::ones()).unwrap();
+        let expected = (p as f64 - 1.0) / (p as f64 - 1.0 + (n * v) as f64);
+        assert!(
+            (t.bubble_ratio() - expected).abs() < 0.08,
+            "got {}, want ~{expected}",
+            t.bubble_ratio()
+        );
+    }
+
+    #[test]
+    fn waves_beat_plain_1f1b() {
+        let (p, n) = (4usize, 8usize);
+        let h = generate_hanayo(p, 2, n).unwrap();
+        let d = crate::baselines::generate_dapple(p, n).unwrap();
+        let th = execute(&h, &UnitCost::ones()).unwrap();
+        let td = execute(&d, &UnitCost { fwd: 2.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+        assert!(
+            th.bubble_ratio() < td.bubble_ratio(),
+            "hanayo {} vs dapple {}",
+            th.bubble_ratio(),
+            td.bubble_ratio()
+        );
+    }
+
+    #[test]
+    fn memory_footprint_exceeds_vpp_style_floor() {
+        // Table 3 charges Hanayo a full A; our greedy realisation drains
+        // backwards eagerly and lands below that bound, but each stage
+        // still retains several wave units at its peak.
+        let s = generate_hanayo(4, 2, 16).unwrap();
+        let peaks = peak_in_flight(&s);
+        assert!(peaks[0] >= 3, "peaks = {peaks:?}");
+        assert!(peaks.iter().all(|&x| x <= 4 * 2 + 2), "peaks = {peaks:?}");
+    }
+}

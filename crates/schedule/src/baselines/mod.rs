@@ -1,0 +1,20 @@
+//! Baseline pipeline-scheduling methods from the literature (Section 2).
+//!
+//! Each generator returns a validated-shape [`crate::ir::Schedule`]; the
+//! shared validator and executors treat them identically to SVPP.
+
+pub mod dapple;
+pub mod gpipe;
+pub mod hanayo;
+pub mod terapipe;
+pub mod vpp;
+pub mod zb;
+pub mod zbv;
+
+pub use dapple::generate_dapple;
+pub use gpipe::generate_gpipe;
+pub use hanayo::generate_hanayo;
+pub use terapipe::generate_terapipe;
+pub use vpp::generate_vpp;
+pub use zb::generate_zb;
+pub use zbv::generate_zbv;

@@ -1,0 +1,227 @@
+//! Dependency derivation for schedule operations.
+//!
+//! Dependencies encode the training semantics of a decoder-only
+//! transformer under slice-level pipelining (Sections 2.1 and 4.1):
+//!
+//! * a forward pass needs the hidden states from the previous global chunk
+//!   position (cross-stage transfer) *and*, because causal attention reads
+//!   the key/value tensors of every preceding slice, the forward of the
+//!   previous slice on the same worker;
+//! * a backward pass needs the activation gradient from the next global
+//!   position, its own forward's saved activations, *and* the backward of
+//!   the next slice on the same worker (whose attention backward produces
+//!   dK/dV contributions for this slice);
+//! * a weight-gradient op needs its matching input-gradient op.
+
+use crate::ir::{Op, OpKind, ScheduleMeta};
+
+/// One producer an op must wait for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dep {
+    /// The producing op.
+    pub op: Op,
+    /// Stage (worker) the producer runs on.
+    pub stage: usize,
+    /// Whether satisfying this dependency moves a tensor between stages.
+    pub cross_stage: bool,
+}
+
+/// All producers of `op` when placed on `stage` under `meta`.
+///
+/// # Panics
+///
+/// Panics if the op's coordinates are outside the meta's shape, or if a
+/// weight-gradient op appears in a non-split schedule.
+pub fn dependencies(meta: &ScheduleMeta, stage: usize, op: Op) -> Vec<Dep> {
+    assert!(op.micro_batch < meta.micro_batches, "micro-batch out of range: {op}");
+    assert!(op.slice < meta.slices, "slice out of range: {op}");
+    assert!(op.chunk < meta.virtual_chunks, "chunk out of range: {op}");
+    let backward_kind =
+        if meta.split_backward { OpKind::BackwardInput } else { OpKind::Backward };
+    let g = meta.global_pos(stage, op.chunk);
+    let mut deps = Vec::with_capacity(3);
+    match op.kind {
+        OpKind::Forward => {
+            if g > 0 {
+                let (pw, pc) = meta.stage_chunk_of(g - 1);
+                deps.push(Dep {
+                    op: Op::new(OpKind::Forward, op.micro_batch, op.slice, pc),
+                    stage: pw,
+                    cross_stage: pw != stage,
+                });
+            }
+            if op.slice > 0 {
+                deps.push(Dep {
+                    op: Op::new(OpKind::Forward, op.micro_batch, op.slice - 1, op.chunk),
+                    stage,
+                    cross_stage: false,
+                });
+            }
+        }
+        OpKind::Backward | OpKind::BackwardInput => {
+            assert_eq!(
+                op.kind, backward_kind,
+                "backward kind must match meta.split_backward"
+            );
+            if g < meta.last_global_pos() {
+                let (nw, nc) = meta.stage_chunk_of(g + 1);
+                deps.push(Dep {
+                    op: Op::new(backward_kind, op.micro_batch, op.slice, nc),
+                    stage: nw,
+                    cross_stage: nw != stage,
+                });
+            }
+            // Saved activations from this unit's own forward.
+            deps.push(Dep {
+                op: Op::new(OpKind::Forward, op.micro_batch, op.slice, op.chunk),
+                stage,
+                cross_stage: false,
+            });
+            if op.slice + 1 < meta.slices {
+                deps.push(Dep {
+                    op: Op::new(backward_kind, op.micro_batch, op.slice + 1, op.chunk),
+                    stage,
+                    cross_stage: false,
+                });
+            }
+        }
+        OpKind::BackwardWeight => {
+            assert!(
+                meta.split_backward,
+                "weight-gradient ops only exist in split-backward schedules"
+            );
+            deps.push(Dep {
+                op: Op::new(OpKind::BackwardInput, op.micro_batch, op.slice, op.chunk),
+                stage,
+                cross_stage: false,
+            });
+        }
+    }
+    deps
+}
+
+/// Descendant count of a backward op on its own worker — the priority key
+/// used by the Section 4.3 rescheduling pass ("we prioritize the backward
+/// passes based on the number of their children").
+///
+/// A backward at `(slice i, chunk j)` unlocks every backward at
+/// `(slice ≤ i, chunk ≤ j)` on the same worker except itself, hence
+/// `(i + 1)·(j_rank + 1) − 1` where `j_rank` counts how many of the
+/// worker's chunks come *after* this one in backward order.
+pub fn backward_descendants(meta: &ScheduleMeta, stage: usize, op: Op) -> usize {
+    debug_assert!(op.kind.is_backward_pass());
+    let g = meta.global_pos(stage, op.chunk);
+    // Chunks on this worker whose global position is below g (they run
+    // after this one in the backward direction).
+    let later_chunks = (0..meta.virtual_chunks)
+        .filter(|&c| meta.global_pos(stage, c) < g)
+        .count();
+    (op.slice + 1) * (later_chunks + 1) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ChunkPlacement;
+
+    fn meta(p: usize, v: usize, s: usize, split: bool) -> ScheduleMeta {
+        ScheduleMeta {
+            name: "test".into(),
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: 4,
+            split_backward: split,
+            placement: ChunkPlacement::Interleaved,
+        }
+    }
+
+    #[test]
+    fn first_forward_has_no_deps() {
+        let m = meta(4, 1, 2, false);
+        let d = dependencies(&m, 0, Op::new(OpKind::Forward, 0, 0, 0));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn forward_slice_dep_stays_on_worker() {
+        let m = meta(4, 1, 2, false);
+        let d = dependencies(&m, 2, Op::new(OpKind::Forward, 0, 1, 0));
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.cross_stage && x.stage == 1));
+        assert!(d
+            .iter()
+            .any(|x| !x.cross_stage && x.stage == 2 && x.op.slice == 0));
+    }
+
+    #[test]
+    fn interleaved_wraparound_crosses_from_last_to_first() {
+        // With v=2, chunk 1 of stage 0 (g=4) depends on chunk 0 of stage 3
+        // (g=3) — the Figure 4(b) arrow.
+        let m = meta(4, 2, 2, false);
+        let d = dependencies(&m, 0, Op::new(OpKind::Forward, 0, 0, 1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].stage, 3);
+        assert_eq!(d[0].op.chunk, 0);
+        assert!(d[0].cross_stage);
+    }
+
+    #[test]
+    fn last_stage_backward_needs_own_forward_and_next_slice() {
+        let m = meta(4, 1, 2, false);
+        // Backward of slice 0 on the last stage (g = last).
+        let d = dependencies(&m, 3, Op::new(OpKind::Backward, 0, 0, 0));
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.op.kind == OpKind::Forward && x.op.slice == 0));
+        assert!(d
+            .iter()
+            .any(|x| x.op.kind == OpKind::Backward && x.op.slice == 1 && !x.cross_stage));
+    }
+
+    #[test]
+    fn mid_stage_backward_waits_for_downstream() {
+        let m = meta(4, 1, 1, false);
+        let d = dependencies(&m, 1, Op::new(OpKind::Backward, 2, 0, 0));
+        assert!(d
+            .iter()
+            .any(|x| x.stage == 2 && x.cross_stage && x.op.kind == OpKind::Backward));
+    }
+
+    #[test]
+    fn weight_op_depends_on_its_input_grad() {
+        let m = meta(4, 1, 2, true);
+        let d = dependencies(&m, 1, Op::new(OpKind::BackwardWeight, 0, 1, 0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op.kind, OpKind::BackwardInput);
+        assert!(!d[0].cross_stage);
+    }
+
+    #[test]
+    #[should_panic(expected = "split-backward")]
+    fn weight_op_in_fused_schedule_panics() {
+        let m = meta(4, 1, 2, false);
+        dependencies(&m, 0, Op::new(OpKind::BackwardWeight, 0, 0, 0));
+    }
+
+    #[test]
+    fn descendant_counts_match_figure4_example() {
+        // Section 4.3: in Figure 4(b) — p=4, v=2, s=2 — (Slice 1, Chunk 1)
+        // on the last stage has 3 children.
+        let m = meta(4, 2, 2, false);
+        let op = Op::new(OpKind::Backward, 0, 1, 1);
+        assert_eq!(backward_descendants(&m, 3, op), 3);
+        // (Slice 0, Chunk 0) is a leaf.
+        assert_eq!(backward_descendants(&m, 3, Op::new(OpKind::Backward, 0, 0, 0)), 0);
+    }
+
+    #[test]
+    fn vshape_backward_chain_descends() {
+        let mut m = meta(4, 2, 1, true);
+        m.placement = ChunkPlacement::VShape;
+        // Chunk 1 of stage 0 is the last global position (loss there).
+        let d = dependencies(&m, 0, Op::new(OpKind::BackwardInput, 0, 0, 1));
+        // Only dep: its own forward (plus no downstream, no next slice).
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op.kind, OpKind::Forward);
+    }
+}

@@ -1,0 +1,392 @@
+//! Greedy capacity-bounded schedule generation.
+//!
+//! The generator runs a synchronous unit-time simulation. At every tick
+//! each idle worker picks, in priority order:
+//!
+//! 1. a *ready backward* pass (oldest micro-batch first, slices and chunks
+//!    in backward-chain order) — the one-forward-one-backward steady state;
+//! 2. otherwise a *ready forward* pass, but only while the worker's count
+//!    of in-flight forward units is below its capacity `cap[w]` — the
+//!    paper's `f` parameter (forwards admitted before the first backward),
+//!    which is exactly the activation-memory knob of Section 4.2;
+//! 3. otherwise it idles (a bubble).
+//!
+//! Among ready forwards, the deepest global chunk position wins (drain
+//! in-flight work before admitting new micro-batches), which reproduces
+//! the Figure 4(b) interleaving where a sample's second chunk preempts the
+//! next sample's first chunk.
+//!
+//! For split-backward schedules, weight-gradient ops are appended directly
+//! after their input-gradient op — the "compute W immediately" layout of
+//! Figure 7(a); the simulator's dynamic drain (Section 5) reorders them at
+//! execution time.
+
+use std::collections::HashSet;
+
+use crate::ir::{Op, OpKind, Schedule, ScheduleMeta};
+
+/// Generates a schedule under per-stage in-flight capacities.
+///
+/// `caps[w]` bounds the number of forward units worker `w` may hold before
+/// backing off; every cap must be at least `v·s` (the first backward needs
+/// the whole first micro-batch in flight — Section 4.2: "at least `v × s`
+/// forward passes must be executed before the first backward pass").
+pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, String> {
+    meta.check_shape()?;
+    let p = meta.stages;
+    if caps.len() != p {
+        return Err(format!("need {p} caps, got {}", caps.len()));
+    }
+    let min_cap = meta.virtual_chunks * meta.slices;
+    if let Some(w) = caps.iter().position(|&c| c < min_cap) {
+        return Err(format!(
+            "cap {} at stage {w} below the feasibility floor v*s = {min_cap}",
+            caps[w]
+        ));
+    }
+
+    let backward_kind =
+        if meta.split_backward { OpKind::BackwardInput } else { OpKind::Backward };
+
+    // Incremental readiness tracking: instead of re-scanning every pending
+    // op per tick, ops enter per-worker ready sets the moment their last
+    // producer finishes (dependents are enumerated by inverting the
+    // dependency derivation). Ready sets stay small, so a tick costs
+    // O(ready) instead of O(pending).
+    let mut finished: HashSet<(usize, Op)> = HashSet::with_capacity(2 * meta.units_per_worker() * p);
+    let mut ready_fwd: Vec<Vec<Op>> = vec![Vec::new(); p];
+    let mut ready_bwd: Vec<Vec<Op>> = vec![Vec::new(); p];
+    // Guard against double-enqueueing when two producers of the same
+    // consumer finish in the same tick.
+    let mut queued: HashSet<(usize, Op)> = HashSet::new();
+
+    // Seed: forwards with no producers (slice 0 of every micro-batch at
+    // global position 0).
+    {
+        let (w0, c0) = meta.stage_chunk_of(0);
+        for mb in 0..meta.micro_batches {
+            ready_fwd[w0].push(Op::new(OpKind::Forward, mb, 0, c0));
+        }
+    }
+
+    let mut lists: Vec<Vec<Op>> = vec![Vec::new(); p];
+    let mut in_flight = vec![0usize; p];
+    // Deep-chunk reservations: once a worker admits a (micro-batch, slice)
+    // pair at its shallowest chunk, the pair's remaining chunks *will*
+    // arrive and must never be starved by new admissions (they sit on the
+    // backward critical path). `reserved[w]` counts those outstanding deep
+    // units; admissions of new pairs are charged against them.
+    let mut reserved = vec![0usize; p];
+    // Steady-state 1F1B alternation at slice granularity: after a backward
+    // the worker prefers a forward (the paper inserts "single bubbles ...
+    // between two consecutive backward passes of different slices" exactly
+    // so the next micro-batch's forwards can fill them). Without this,
+    // same-worker backward chains (s > 1 or v > 1) would monopolise the
+    // worker and starve downstream stages.
+    let mut prefer_forward = vec![false; p];
+    let shallow_chunk: Vec<usize> = (0..p)
+        .map(|w| {
+            (0..meta.virtual_chunks)
+                .min_by_key(|&c| meta.global_pos(w, c))
+                .expect("at least one chunk")
+        })
+        .collect();
+    let total_units = meta.units_per_worker();
+    let mut remaining = 2 * total_units * p;
+    let mut tick = 0usize;
+    // Generous upper bound: every op could in the worst case wait for the
+    // whole pipeline to drain.
+    let tick_limit = 4 * (remaining + p * p + 16);
+
+    // Newly finished ops of the current tick (their dependents unlock at
+    // the next tick).
+    let mut freshly_done: Vec<(usize, Op)> = Vec::new();
+
+    while remaining > 0 {
+        if tick > tick_limit {
+            let state: Vec<String> = (0..p)
+                .map(|w| {
+                    format!(
+                        "w{w}: placed {} ready_f {:?} ready_b {:?} if {} rsv {}",
+                        lists[w].len(),
+                        ready_fwd[w],
+                        ready_bwd[w],
+                        in_flight[w],
+                        reserved[w]
+                    )
+                })
+                .collect();
+            return Err(format!(
+                "generation exceeded {tick_limit} ticks; caps {caps:?} likely deadlock\n{}",
+                state.join("\n")
+            ));
+        }
+        freshly_done.clear();
+        for w in 0..p {
+            // 1. Ready backward, deepest global position first (the
+            //    backward wavefront), older micro-batch on ties.
+            let mut bwd_best: Option<(usize, usize)> = None; // (index, g)
+            for (i, op) in ready_bwd[w].iter().enumerate() {
+                let g = meta.global_pos(w, op.chunk);
+                let better = match bwd_best {
+                    None => true,
+                    Some((bi, bg)) => {
+                        let b = ready_bwd[w][bi];
+                        g > bg || (g == bg && op.micro_batch < b.micro_batch)
+                    }
+                };
+                if better {
+                    bwd_best = Some((i, g));
+                }
+            }
+            // 2. Ready forward, deepest global chunk first. Deep chunks
+            //    (pairs already admitted) bypass the capacity check — their
+            //    room was reserved at admission; new pairs are admitted
+            //    only if capacity remains after honouring reservations.
+            // Tie-break at equal depth: oldest micro-batch, earliest slice
+            // — this keeps an admitted micro-batch's slice chain ahead of
+            // newer admissions, which is what guarantees the first
+            // backward can always be reached within the capacity.
+            let mut fwd_best: Option<(usize, usize)> = None; // (index, g)
+            for (i, op) in ready_fwd[w].iter().enumerate() {
+                let is_shallow = op.chunk == shallow_chunk[w];
+                // Admission reserves room for the WHOLE (micro-batch,
+                // slice) pair — its deep chunks will arrive and bypass the
+                // check — so the cap is a hard bound on in-flight units.
+                if is_shallow && in_flight[w] + reserved[w] + meta.virtual_chunks > caps[w] {
+                    continue;
+                }
+                let g = meta.global_pos(w, op.chunk);
+                let better = match fwd_best {
+                    None => true,
+                    Some((bi, bg)) => {
+                        let b = ready_fwd[w][bi];
+                        g > bg
+                            || (g == bg
+                                && (op.micro_batch, op.slice) < (b.micro_batch, b.slice))
+                    }
+                };
+                if better {
+                    fwd_best = Some((i, g));
+                }
+            }
+
+            // 3. Pick per the 1F1B alternation preference.
+            let run_forward = match (fwd_best, bwd_best) {
+                (Some(_), Some(_)) => prefer_forward[w],
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if run_forward {
+                let (i, _) = fwd_best.expect("forward candidate exists");
+                let op = ready_fwd[w].swap_remove(i);
+                if op.chunk == shallow_chunk[w] {
+                    reserved[w] += meta.virtual_chunks - 1;
+                } else {
+                    reserved[w] -= 1;
+                }
+                lists[w].push(op);
+                in_flight[w] += 1;
+                remaining -= 1;
+                prefer_forward[w] = false;
+                freshly_done.push((w, op));
+            } else if let Some((i, _)) = bwd_best {
+                let op = ready_bwd[w].swap_remove(i);
+                lists[w].push(op);
+                if meta.split_backward {
+                    // Default static layout: weight grads right after.
+                    lists[w].push(op.with_kind(OpKind::BackwardWeight));
+                }
+                in_flight[w] -= 1;
+                remaining -= 1;
+                prefer_forward[w] = true;
+                freshly_done.push((w, op));
+            }
+        }
+        // Commit this tick's completions and unlock dependents for the
+        // next tick.
+        for &(w, op) in &freshly_done {
+            finished.insert((w, op));
+        }
+        for &(w, op) in &freshly_done {
+            for (dw, dep) in dependents(meta, w, op, backward_kind) {
+                let all_done = crate::deps::dependencies(meta, dw, dep)
+                    .iter()
+                    .all(|d| finished.contains(&(d.stage, d.op)));
+                if all_done && queued.insert((dw, dep)) {
+                    match dep.kind {
+                        OpKind::Forward => ready_fwd[dw].push(dep),
+                        _ => ready_bwd[dw].push(dep),
+                    }
+                }
+            }
+        }
+        tick += 1;
+    }
+
+    Ok(Schedule { meta: meta.clone(), workers: lists })
+}
+
+/// Consumers an op can unlock — the inverse of
+/// [`crate::deps::dependencies`]. Weight ops are excluded (the generator
+/// appends them inline after their input-gradient op).
+fn dependents(
+    meta: &ScheduleMeta,
+    stage: usize,
+    op: Op,
+    backward_kind: OpKind,
+) -> Vec<(usize, Op)> {
+    let g = meta.global_pos(stage, op.chunk);
+    let mut out = Vec::with_capacity(3);
+    match op.kind {
+        OpKind::Forward => {
+            if g < meta.last_global_pos() {
+                let (nw, nc) = meta.stage_chunk_of(g + 1);
+                out.push((nw, Op::new(OpKind::Forward, op.micro_batch, op.slice, nc)));
+            }
+            if op.slice + 1 < meta.slices {
+                out.push((stage, Op::new(OpKind::Forward, op.micro_batch, op.slice + 1, op.chunk)));
+            }
+            // Its own backward becomes a candidate once the rest of its
+            // producers complete.
+            out.push((stage, Op::new(backward_kind, op.micro_batch, op.slice, op.chunk)));
+        }
+        OpKind::Backward | OpKind::BackwardInput => {
+            if g > 0 {
+                let (pw, pc) = meta.stage_chunk_of(g - 1);
+                out.push((pw, Op::new(backward_kind, op.micro_batch, op.slice, pc)));
+            }
+            if op.slice > 0 {
+                out.push((stage, Op::new(backward_kind, op.micro_batch, op.slice - 1, op.chunk)));
+            }
+        }
+        OpKind::BackwardWeight => {}
+    }
+    out
+}
+
+/// Default per-stage capacities for a warmup budget `f` at stage 0:
+/// `max(f − w, v·s)` — later stages start later and drain sooner, so they
+/// never need the full budget (Section 4.1's analysis focuses on stage 0).
+pub fn default_caps(meta: &ScheduleMeta, f: usize) -> Vec<usize> {
+    let floor = meta.virtual_chunks * meta.slices;
+    (0..meta.stages).map(|w| f.saturating_sub(w).max(floor)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ChunkPlacement;
+    use crate::validate::{peak_in_flight, validate};
+
+    fn meta(p: usize, v: usize, s: usize, n: usize) -> ScheduleMeta {
+        ScheduleMeta {
+            name: "greedy".into(),
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: n,
+            split_backward: false,
+            placement: ChunkPlacement::Interleaved,
+        }
+    }
+
+    #[test]
+    fn figure4a_shape() {
+        // p=4, s=2, v=1, n=4, f = v·max(p,s)+min(p,s)-1 = 5.
+        let m = meta(4, 1, 2, 4);
+        let caps = default_caps(&m, 5);
+        let s = greedy_generate(&m, &caps).unwrap();
+        validate(&s).unwrap();
+        let peaks = peak_in_flight(&s);
+        // Section 4.1: "The peak memory consumption of activations in
+        // Figure 4(a) is 5/8 A" — five slice units on stage 0.
+        assert_eq!(peaks[0], 5, "peaks = {peaks:?}");
+        assert!(peaks[3] <= 3);
+    }
+
+    #[test]
+    fn figure4b_shape() {
+        // p=4, s=2, v=2, n=4: peak = 9 units of A/16 (Section 4.1).
+        let m = meta(4, 2, 2, 4);
+        let caps = default_caps(&m, 9);
+        let s = greedy_generate(&m, &caps).unwrap();
+        validate(&s).unwrap();
+        // The closed-form bound is 9 units (Section 4.1); the greedy
+        // generator drains backwards eagerly and reserves whole pairs at
+        // admission, so it can undershoot the bound by up to v units.
+        let peak = peak_in_flight(&s)[0];
+        assert!((7..=9).contains(&peak), "peak = {peak}");
+    }
+
+    #[test]
+    fn caps_bound_memory() {
+        let m = meta(4, 1, 2, 8);
+        for f in [2usize, 3, 4, 5, 6] {
+            let s = greedy_generate(&m, &default_caps(&m, f)).unwrap();
+            validate(&s).unwrap();
+            let peaks = peak_in_flight(&s);
+            assert!(
+                peaks[0] <= f.max(2),
+                "f={f}: stage-0 peak {} exceeds cap",
+                peaks[0]
+            );
+        }
+    }
+
+    #[test]
+    fn cap_below_floor_is_rejected() {
+        let m = meta(4, 2, 2, 4);
+        let err = greedy_generate(&m, &[3, 4, 4, 4]).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+    }
+
+    #[test]
+    fn split_backward_appends_weight_ops() {
+        let m = ScheduleMeta { split_backward: true, ..meta(4, 1, 2, 4) };
+        let s = greedy_generate(&m, &default_caps(&m, 5)).unwrap();
+        validate(&s).unwrap();
+        // Every Bi is immediately followed by its W in the static layout.
+        for ops in &s.workers {
+            for pair in ops.windows(2) {
+                if pair[0].kind == OpKind::BackwardInput {
+                    assert_eq!(pair[1].kind, OpKind::BackwardWeight);
+                    assert_eq!(pair[1].micro_batch, pair[0].micro_batch);
+                    assert_eq!(pair[1].slice, pair[0].slice);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vshape_generation_is_valid() {
+        let m = ScheduleMeta {
+            placement: ChunkPlacement::VShape,
+            split_backward: true,
+            ..meta(4, 2, 1, 8)
+        };
+        let caps: Vec<usize> = (0..4).map(|w| (2 * (4 - w)).max(2)).collect();
+        let s = greedy_generate(&m, &caps).unwrap();
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn degenerate_single_stage_works() {
+        let m = meta(1, 1, 1, 3);
+        let s = greedy_generate(&m, &default_caps(&m, 1)).unwrap();
+        validate(&s).unwrap();
+        // Pure 1F1B on one stage: F B F B F B.
+        let kinds: Vec<OpKind> = s.workers[0].iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::Forward,
+                OpKind::Backward,
+                OpKind::Forward,
+                OpKind::Backward,
+                OpKind::Forward,
+                OpKind::Backward
+            ]
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Pipeline-schedule intermediate representation and baseline schedules.
+//!
+//! A [`ir::Schedule`] is a per-worker ordered list of operations (forward,
+//! backward, split input-/weight-gradient backward) over micro-batches ×
+//! sequence slices × virtual model chunks. Dependencies between operations
+//! are *derived* from the training semantics ([`deps`]), never stored, so a
+//! single validator and a single executor serve every scheduling method —
+//! the baselines here, and SVPP in `mepipe-core`.
+//!
+//! Baselines implemented (Section 2 of the paper):
+//!
+//! * [`baselines::gpipe`] — GPipe: all forwards, then all backwards.
+//! * [`baselines::dapple`] — DAPPLE / PipeDream-flush 1F1B.
+//! * [`baselines::vpp`] — Megatron-LM interleaved virtual-pipeline 1F1B.
+//! * [`baselines::hanayo`] — Hanayo: wave-like scheduling over a zigzag
+//!   chunk placement.
+//! * [`baselines::terapipe`] — TeraPipe: GPipe-style slice-level SPP.
+//! * [`baselines::zb`] — ZB-1P: 1F1B with split backward (zero bubble).
+//! * [`baselines::zbv`] — ZBV: V-shaped two-chunk placement with split
+//!   backward.
+#![warn(missing_docs)]
+
+
+pub mod baselines;
+pub mod deps;
+pub mod exec;
+pub mod generate;
+pub mod ir;
+pub mod render;
+pub mod stats;
+pub mod validate;
+
+pub use ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};

@@ -1,0 +1,121 @@
+//! Schedule statistics: communication message counts and phase structure.
+//!
+//! Slicing does not change the total bytes crossing stage boundaries
+//! (Table 2: SPP's volume equals PP's) but it multiplies the *message
+//! count* — each slice is its own transfer, paying per-message latency.
+//! These statistics quantify that, and give reports the warmup / steady /
+//! drain decomposition of a schedule.
+
+use crate::{
+    deps::dependencies,
+    ir::{OpKind, Schedule},
+};
+
+/// Communication message counts for one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageStats {
+    /// Cross-stage activation transfers (forward direction).
+    pub forward_messages: usize,
+    /// Cross-stage gradient transfers (backward direction).
+    pub backward_messages: usize,
+}
+
+impl MessageStats {
+    /// Total transfers per iteration.
+    pub fn total(&self) -> usize {
+        self.forward_messages + self.backward_messages
+    }
+}
+
+/// Counts every cross-stage transfer the schedule implies.
+pub fn message_stats(schedule: &Schedule) -> MessageStats {
+    let mut stats = MessageStats::default();
+    for (w, _, op) in schedule.iter_ops() {
+        for d in dependencies(&schedule.meta, w, op) {
+            if d.cross_stage {
+                match op.kind {
+                    OpKind::Forward => stats.forward_messages += 1,
+                    OpKind::Backward | OpKind::BackwardInput => stats.backward_messages += 1,
+                    OpKind::BackwardWeight => {}
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Phase decomposition of one worker's op list: ops before the first
+/// backward (warmup), between first backward and last forward (steady),
+/// and after the last forward (drain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseLengths {
+    /// Ops before the first backward pass.
+    pub warmup: usize,
+    /// Ops from the first backward through the last forward.
+    pub steady: usize,
+    /// Ops after the last forward.
+    pub drain: usize,
+}
+
+/// Computes [`PhaseLengths`] for each worker.
+pub fn phase_lengths(schedule: &Schedule) -> Vec<PhaseLengths> {
+    schedule
+        .workers
+        .iter()
+        .map(|ops| {
+            let first_b = ops.iter().position(|o| o.kind.is_backward_pass()).unwrap_or(ops.len());
+            let last_f = ops
+                .iter()
+                .rposition(|o| o.kind == OpKind::Forward)
+                .map_or(0, |i| i + 1);
+            let steady_end = last_f.max(first_b);
+            PhaseLengths {
+                warmup: first_b,
+                steady: steady_end - first_b,
+                drain: ops.len() - steady_end,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{generate_dapple, generate_terapipe};
+
+    #[test]
+    fn dapple_message_count() {
+        // p stages, n micro-batches: (p-1) boundaries crossed by n
+        // forwards and n backwards each.
+        let (p, n) = (4usize, 8usize);
+        let s = generate_dapple(p, n).unwrap();
+        let m = message_stats(&s);
+        assert_eq!(m.forward_messages, (p - 1) * n);
+        assert_eq!(m.backward_messages, (p - 1) * n);
+    }
+
+    #[test]
+    fn slicing_multiplies_messages() {
+        // Same p, n: s slices mean s-fold the transfers at 1/s the size.
+        let (p, n, slices) = (4usize, 8usize, 4usize);
+        let plain = message_stats(&generate_dapple(p, n).unwrap());
+        let sliced = message_stats(&generate_terapipe(p, n, slices).unwrap());
+        assert_eq!(sliced.total(), plain.total() * slices);
+    }
+
+    #[test]
+    fn phases_partition_the_list() {
+        let s = generate_dapple(4, 8).unwrap();
+        for (w, ph) in phase_lengths(&s).iter().enumerate() {
+            assert_eq!(
+                ph.warmup + ph.steady + ph.drain,
+                s.workers[w].len(),
+                "worker {w}"
+            );
+        }
+        // Stage 0 has the longest warmup, the last stage none beyond one F.
+        let ph = phase_lengths(&s);
+        assert!(ph[0].warmup > ph[3].warmup);
+        assert_eq!(ph[3].warmup, 1);
+    }
+}

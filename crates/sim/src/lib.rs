@@ -1,0 +1,30 @@
+//! Discrete-event simulator for pipeline-parallel training iterations.
+//!
+//! The simulator executes a [`mepipe_schedule::ir::Schedule`] under a
+//! pluggable cost model ([`cost::SimCost`]) and produces a full timeline,
+//! iteration time, bubble ratio, peak activation memory and communication
+//! statistics. It layers the behaviours the static list executor cannot
+//! express:
+//!
+//! * **dynamic weight-gradient draining** (Section 5) — weight-gradient
+//!   GEMMs queue at input-gradient completion and fill the gaps where a
+//!   worker waits on inter-stage transfers, at per-GEMM granularity for
+//!   MEPipe and per-op granularity for zero-bubble baselines;
+//! * **memory tracking with a device cap** — activations are charged at
+//!   forward start and released at (fused) backward or weight-gradient
+//!   completion; deferred weight work retains activations *and* activation
+//!   gradients; exceeding the cap first forces a drain, then reports OOM;
+//! * **inter-stage transfer pricing** from the cluster's links.
+#![warn(missing_docs)]
+
+
+pub mod cost;
+pub mod engine;
+pub mod metrics;
+pub mod timeline;
+pub mod trace;
+
+pub use cost::{ModelCost, SimCost, UniformSimCost};
+pub use engine::{simulate, SimConfig, SimResult};
+pub use timeline::{Segment, SegmentKind};
+pub use trace::to_chrome_trace;

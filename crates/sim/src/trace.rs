@@ -1,0 +1,83 @@
+//! Chrome-tracing export: view any simulated iteration in
+//! `chrome://tracing` / Perfetto.
+//!
+//! Produces the Trace Event Format's JSON array of complete (`"X"`)
+//! events — one per timeline segment, one track (`tid`) per pipeline
+//! stage. Times are exported in microseconds as the format requires.
+
+use mepipe_schedule::ir::Op;
+
+use crate::timeline::{Segment, SegmentKind};
+
+/// Serialises per-stage segments as a Chrome Trace Event Format JSON
+/// string (a complete-events array).
+pub fn to_chrome_trace(segments: &[Vec<Segment>]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (stage, segs) in segments.iter().enumerate() {
+        for s in segs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = segment_name(s.kind, s.op);
+            let cat = match s.kind {
+                SegmentKind::Forward => "forward",
+                SegmentKind::Backward | SegmentKind::BackwardInput => "backward",
+                SegmentKind::BackwardWeight | SegmentKind::WgradDrain => "wgrad",
+            };
+            out.push_str(&format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\"tid\":{stage},\"ts\":{:.3},\"dur\":{:.3}}}",
+                s.start * 1e6,
+                (s.end - s.start) * 1e6
+            ));
+        }
+    }
+    out.push(']');
+    out
+}
+
+fn segment_name(kind: SegmentKind, op: Option<Op>) -> String {
+    match op {
+        Some(op) => format!(
+            "{} mb{} sl{} ck{}",
+            kind.letter(),
+            op.micro_batch,
+            op.slice,
+            op.chunk
+        ),
+        None => "W drain".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        cost::UniformSimCost,
+        engine::{simulate, SimConfig},
+    };
+    use mepipe_schedule::baselines::generate_dapple;
+
+    #[test]
+    fn trace_is_valid_json_with_one_event_per_segment() {
+        let sch = generate_dapple(2, 2).unwrap();
+        let r = simulate(&sch, &UniformSimCost::default(), &SimConfig::default()).unwrap();
+        let json = to_chrome_trace(&r.segments);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().expect("array");
+        let total: usize = r.segments.iter().map(Vec::len).sum();
+        assert_eq!(events.len(), total);
+        // Every event is a complete event with non-negative duration.
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["dur"].as_f64().unwrap() >= 0.0);
+            assert!(e["tid"].as_u64().unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn empty_timeline_is_an_empty_array() {
+        assert_eq!(to_chrome_trace(&[]), "[]");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the simulator's memory semantics and dynamic
+//! weight-gradient draining.
+
+use proptest::prelude::*;
+
+use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+use mepipe_schedule::baselines;
+use mepipe_sim::{
+    engine::{simulate, SimConfig},
+    UniformSimCost,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A memory limit equal to the unconstrained peak never triggers OOM
+    /// or forced drains that change the outcome.
+    #[test]
+    fn exact_limit_is_feasible(p in 1usize..=6, n in 1usize..=8) {
+        let sch = baselines::generate_dapple(p, n).unwrap();
+        let cost = UniformSimCost { act_bytes: 2.0, ..Default::default() };
+        let free = simulate(&sch, &cost, &SimConfig::default()).unwrap();
+        let peak = free.peak_activation_bytes.iter().copied().fold(0.0, f64::max);
+        let capped = simulate(
+            &sch,
+            &cost,
+            &SimConfig { memory_limit_bytes: Some(peak), ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(capped.oom.is_none());
+        prop_assert!((capped.makespan - free.makespan).abs() < 1e-9);
+    }
+
+    /// A limit below one unit always reports OOM on any non-trivial
+    /// schedule.
+    #[test]
+    fn impossible_limit_always_ooms(p in 1usize..=5, n in 1usize..=6) {
+        let sch = baselines::generate_gpipe(p, n).unwrap();
+        let cost = UniformSimCost { act_bytes: 2.0, ..Default::default() };
+        let r = simulate(
+            &sch,
+            &cost,
+            &SimConfig { memory_limit_bytes: Some(1.0), ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(r.oom.is_some());
+    }
+
+    /// With dynamic weight draining under a cap, the reported peak never
+    /// exceeds cap + one unit (the admission that triggered the check).
+    #[test]
+    fn capped_peak_is_bounded(p in 2usize..=5, s in 1usize..=3, n in 2usize..=6) {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: 1,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        };
+        let sch = generate_svpp_split(&cfg).unwrap();
+        let cost = UniformSimCost { act_bytes: 1.0, wgrad_units: 4, ..Default::default() };
+        let cap = (cfg.max_warmup() as f64) * 1.6; // Room for some retention.
+        let r = simulate(
+            &sch,
+            &cost,
+            &SimConfig {
+                dynamic_wgrad: true,
+                memory_limit_bytes: Some(cap),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        if r.oom.is_none() {
+            let peak = r.peak_activation_bytes.iter().copied().fold(0.0, f64::max);
+            prop_assert!(peak <= cap + 1.0 + 1e-9, "peak {} vs cap {}", peak, cap);
+        }
+    }
+
+    /// SVPP variants admit a strictly tighter feasible cap than DAPPLE at
+    /// the same problem size (the whole point of the paper).
+    #[test]
+    fn svpp_feasible_below_dapple_floor(p in 2usize..=5, n_extra in 0usize..=4) {
+        let n = p + n_extra;
+        let s = 4usize;
+        // DAPPLE's stage-0 floor is p whole-micro-batch units of size s.
+        let dapple = baselines::generate_dapple(p, n).unwrap();
+        let d_cost = UniformSimCost { act_bytes: s as f64, ..Default::default() };
+        // A cap of (s + p - 1) slice units: below DAPPLE's p*s.
+        let cap = (s + p - 1) as f64;
+        let rd = simulate(
+            &dapple,
+            &d_cost,
+            &SimConfig { memory_limit_bytes: Some(cap), ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(rd.oom.is_some(), "DAPPLE should exceed {} units", cap);
+        let svpp = generate_svpp(&SvppConfig {
+            stages: p,
+            virtual_chunks: 1,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: Some(s + p - 1),
+        })
+        .unwrap();
+        let s_cost = UniformSimCost { act_bytes: 1.0, ..Default::default() };
+        let rs = simulate(
+            &svpp,
+            &s_cost,
+            &SimConfig { memory_limit_bytes: Some(cap), ..Default::default() },
+        )
+        .unwrap();
+        prop_assert!(rs.oom.is_none(), "SVPP must fit {} slice units", cap);
+    }
+}

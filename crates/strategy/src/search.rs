@@ -1,0 +1,119 @@
+//! Grid search: best feasible strategy per method (Tables 5 and 8).
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+
+use crate::{
+    evaluate::{evaluate, Evaluated},
+    space::{enumerate_candidates, Method},
+};
+
+/// Finds the fastest feasible configuration of `method`; `None` when
+/// nothing fits (the paper's "-" cells, e.g. VPP/ZBV on Llama-34B).
+pub fn search(
+    method: Method,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Option<Evaluated> {
+    enumerate_candidates(method, model, cluster, global_batch)
+        .iter()
+        .filter_map(|c| evaluate(c, model, cluster).ok())
+        .min_by(|a, b| a.iteration_time.total_cmp(&b.iteration_time))
+}
+
+/// Evaluates the *entire* space of one method, returning every candidate
+/// with its outcome — the transparency view behind Tables 5/8, and the
+/// input to Section 9's observation that grid search "incurs substantial
+/// overhead due to the large search space".
+pub fn search_verbose(
+    method: Method,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Vec<(crate::space::Candidate, Result<Evaluated, String>)> {
+    enumerate_candidates(method, model, cluster, global_batch)
+        .into_iter()
+        .map(|c| {
+            let e = evaluate(&c, model, cluster);
+            (c, e)
+        })
+        .collect()
+}
+
+/// Runs the search for every method — one Figure 8 / Figure 10 group.
+pub fn search_all(
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Vec<(Method, Option<Evaluated>)> {
+    Method::all()
+        .into_iter()
+        .map(|m| (m, search(m, model, cluster, global_batch)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbose_search_agrees_with_best() {
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let all = search_verbose(Method::Mepipe, &model, &cluster, 128);
+        assert!(!all.is_empty());
+        let best_verbose = all
+            .iter()
+            .filter_map(|(_, e)| e.as_ref().ok())
+            .map(|e| e.iteration_time)
+            .fold(f64::INFINITY, f64::min);
+        let best = search(Method::Mepipe, &model, &cluster, 128).unwrap();
+        assert!((best.iteration_time - best_verbose).abs() < 1e-12);
+        // The space contains infeasible points too (OOM rows of Table 5).
+        assert!(all.iter().any(|(_, e)| e.is_err()));
+    }
+
+    #[test]
+    fn mepipe_wins_on_13b_gbs128() {
+        // Figure 8's headline: MEPipe is fastest at every global batch
+        // size; 1.36x over the best baseline at GBS 128.
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let results = search_all(&model, &cluster, 128);
+        let time_of = |m: Method| {
+            results
+                .iter()
+                .find(|(mm, _)| *mm == m)
+                .and_then(|(_, e)| e.as_ref())
+                .map(|e| e.iteration_time)
+        };
+        let mepipe = time_of(Method::Mepipe).expect("MEPipe feasible");
+        let best_baseline = [Method::Dapple, Method::Vpp, Method::Zb, Method::Zbv]
+            .into_iter()
+            .filter_map(time_of)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_baseline.is_finite(), "no baseline feasible");
+        assert!(
+            mepipe < best_baseline,
+            "MEPipe {mepipe} s not fastest (best baseline {best_baseline} s)"
+        );
+        let speedup = best_baseline / mepipe;
+        assert!(
+            (1.05..2.5).contains(&speedup),
+            "speedup {speedup} outside the paper's plausible band"
+        );
+    }
+
+    #[test]
+    fn mepipe_optimum_uses_slices() {
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let best = search(Method::Mepipe, &model, &cluster, 128).expect("feasible");
+        assert!(
+            best.candidate.spec.seq.spp_slices() >= 2,
+            "optimum {} should slice",
+            best.candidate.label()
+        );
+    }
+}

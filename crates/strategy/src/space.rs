@@ -1,0 +1,226 @@
+//! The strategy search space, per scheduling method.
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::{
+    config::TransformerConfig,
+    partition::{PartitionSpec, SequenceSplit},
+};
+
+/// The five systems compared in Section 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// DAPPLE / 1F1B (optionally with CP and recomputation).
+    Dapple,
+    /// Megatron interleaved virtual pipeline parallelism.
+    Vpp,
+    /// Zero bubble ZB-1P.
+    Zb,
+    /// Zero bubble ZBV (V-shaped, v = 2).
+    Zbv,
+    /// MEPipe: SVPP + fine-grained weight gradients.
+    Mepipe,
+}
+
+impl Method {
+    /// All methods in the paper's plotting order.
+    pub fn all() -> [Method; 5] {
+        [Method::Dapple, Method::Vpp, Method::Zb, Method::Zbv, Method::Mepipe]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Dapple => "DAPPLE",
+            Method::Vpp => "VPP",
+            Method::Zb => "ZB",
+            Method::Zbv => "ZBV",
+            Method::Mepipe => "MEPipe",
+        }
+    }
+
+    /// Whether the method can use activation recomputation (the paper
+    /// notes it is incompatible with zero-bubble W deferral, and MEPipe
+    /// never needs it).
+    pub fn supports_recompute(self) -> bool {
+        matches!(self, Method::Dapple | Method::Vpp)
+    }
+}
+
+/// One point of the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Scheduling method.
+    pub method: Method,
+    /// The partition (PP, VP, DP, CP/SPP, recompute, batching).
+    pub spec: PartitionSpec,
+}
+
+impl Candidate {
+    /// Compact label like `(8, 4, 1, ✗)` — (PP, CP/SPP, VP, recompute), the
+    /// notation of Tables 5 and 8.
+    pub fn label(&self) -> String {
+        let seq = match self.spec.seq {
+            SequenceSplit::None => 1,
+            SequenceSplit::Context { size } => size,
+            SequenceSplit::SlicePipeline { slices } => slices,
+        };
+        format!(
+            "({}, {}, {}, {})",
+            self.spec.pp,
+            seq,
+            self.spec.vp,
+            if self.spec.recompute { "✓" } else { "✗" }
+        )
+    }
+}
+
+/// Enumerates every shape-valid candidate for `method` on `cluster`.
+///
+/// Constraints follow Section 7.1: the model must split evenly into
+/// `pp × vp` chunks, the data-parallel size is at least 2, CP occupies
+/// workers while SPP does not, and the global batch must divide evenly.
+pub fn enumerate_candidates(
+    method: Method,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Vec<Candidate> {
+    let devices = cluster.num_devices();
+    let mut out = Vec::new();
+    let pps = [2usize, 4, 8, 16, 32];
+    let vps: &[usize] = match method {
+        Method::Vpp => &[2, 4],
+        Method::Zbv => &[2],
+        _ => &[1],
+    };
+    let seqs: &[usize] = match method {
+        Method::Mepipe => &[1, 2, 4, 8, 16],
+        _ => &[1, 2, 4, 8],
+    };
+    let recomputes: &[bool] =
+        if method.supports_recompute() { &[false, true] } else { &[false] };
+
+    for &pp in &pps {
+        for &vp in vps {
+            if !model.pipeline_slots().is_multiple_of(pp * vp) {
+                continue;
+            }
+            for &seq in seqs {
+                let seq_split = match method {
+                    Method::Mepipe => {
+                        if seq == 1 {
+                            SequenceSplit::SlicePipeline { slices: 1 }
+                        } else {
+                            SequenceSplit::SlicePipeline { slices: seq }
+                        }
+                    }
+                    _ if seq == 1 => SequenceSplit::None,
+                    _ => SequenceSplit::Context { size: seq },
+                };
+                let cp_workers = seq_split.cp_size();
+                if pp * cp_workers > devices {
+                    continue;
+                }
+                if !devices.is_multiple_of(pp * cp_workers) {
+                    continue;
+                }
+                let dp = devices / (pp * cp_workers);
+                if dp < 2 {
+                    continue;
+                }
+                if !global_batch.is_multiple_of(dp) {
+                    continue;
+                }
+                for &recompute in recomputes {
+                    let spec = PartitionSpec {
+                        pp,
+                        vp,
+                        dp,
+                        seq: seq_split,
+                        recompute,
+                        micro_batch_size: 1,
+                        global_batch,
+                    };
+                    if spec.validate(model, devices).is_err() {
+                        continue;
+                    }
+                    // Megatron's interleaved scheduler needs n % p == 0.
+                    if method == Method::Vpp && !spec.micro_batches().is_multiple_of(pp) {
+                        continue;
+                    }
+                    out.push(Candidate { method, spec });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_is_nonempty_for_every_method() {
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        for m in Method::all() {
+            let c = enumerate_candidates(m, &model, &cluster, 128);
+            assert!(!c.is_empty(), "{} has an empty space", m.name());
+        }
+    }
+
+    #[test]
+    fn mepipe_space_contains_the_paper_optimum() {
+        // Table 5: MEPipe's 13B optimum is (8, 4, 1, ✗).
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let c = enumerate_candidates(Method::Mepipe, &model, &cluster, 128);
+        assert!(c.iter().any(|x| x.label() == "(8, 4, 1, ✗)"), "labels: {:?}",
+            c.iter().map(Candidate::label).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cp_consumes_workers_spp_does_not() {
+        let model = TransformerConfig::llama2_13b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let dapple = enumerate_candidates(Method::Dapple, &model, &cluster, 128);
+        // DAPPLE with cp=8 and pp=8 would need dp=1 — excluded.
+        assert!(!dapple
+            .iter()
+            .any(|c| c.spec.pp == 8 && c.spec.seq.cp_size() == 8));
+        let mepipe = enumerate_candidates(Method::Mepipe, &model, &cluster, 128);
+        // MEPipe at spp=8, pp=8 keeps dp=8 — allowed.
+        assert!(mepipe
+            .iter()
+            .any(|c| c.spec.pp == 8 && c.spec.seq.spp_slices() == 8));
+    }
+
+    #[test]
+    fn every_candidate_validates() {
+        let model = TransformerConfig::llama2_7b();
+        let cluster = ClusterSpec::rtx4090_cluster();
+        for m in Method::all() {
+            for c in enumerate_candidates(m, &model, &cluster, 128) {
+                assert!(c.spec.validate(&model, 64).is_ok(), "{:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        let c = Candidate {
+            method: Method::Mepipe,
+            spec: PartitionSpec {
+                pp: 8,
+                vp: 1,
+                dp: 8,
+                seq: SequenceSplit::SlicePipeline { slices: 4 },
+                recompute: false,
+                micro_batch_size: 1,
+                global_batch: 128,
+            },
+        };
+        assert_eq!(c.label(), "(8, 4, 1, ✗)");
+    }
+}

@@ -1,0 +1,67 @@
+//! Deterministic parameter and data initialisation.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Uniform initialisation in `[-scale, scale]` from a seeded generator.
+pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Xavier/Glorot-style initialisation for a `[fan_in, fan_out]` weight.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let scale = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, scale, rng)
+}
+
+/// A fresh deterministic generator.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A deterministic synthetic token stream in `[0, vocab)` — the stand-in
+/// for the paper's tokenised OpenWebText shard (throughput experiments are
+/// insensitive to token content).
+pub fn synthetic_tokens(count: usize, vocab: usize, seed: u64) -> Vec<usize> {
+    let mut r = rng(seed);
+    // Zipf-flavoured skew: squaring a uniform sample biases toward low ids,
+    // mimicking natural-language token frequency without a lookup table.
+    (0..count)
+        .map(|_| {
+            let u: f64 = r.gen::<f64>();
+            ((u * u) * vocab as f64) as usize % vocab
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = uniform(4, 4, 1.0, &mut rng(7));
+        let b = uniform(4, 4, 1.0, &mut rng(7));
+        assert_eq!(a, b);
+        let c = uniform(4, 4, 1.0, &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut r = rng(1);
+        let big = xavier(4096, 4096, &mut r);
+        assert!(big.data().iter().all(|x| x.abs() < 0.05));
+    }
+
+    #[test]
+    fn tokens_in_range_and_skewed() {
+        let toks = synthetic_tokens(10_000, 100, 42);
+        assert!(toks.iter().all(|&t| t < 100));
+        let low = toks.iter().filter(|&&t| t < 50).count();
+        assert!(low > 6_000, "expected low-id skew, got {low}");
+        assert_eq!(toks, synthetic_tokens(10_000, 100, 42));
+    }
+}

@@ -1,0 +1,25 @@
+//! A small, deterministic CPU tensor library with explicit backward passes.
+//!
+//! This is the numerical substrate under the threaded pipeline runtime
+//! (`mepipe-train`). Design constraints, in order:
+//!
+//! 1. **Deterministic** — identical inputs produce bit-identical outputs
+//!    regardless of scheduling, so sliced pipeline execution can be checked
+//!    for *exact* equality against single-device execution.
+//! 2. **Explicit gradients** — every op ships its backward as a plain
+//!    function; matmul exposes *separate* input-gradient and
+//!    weight-gradient halves, the property MEPipe's fine-grained
+//!    weight-gradient scheduling exploits (Section 5).
+//! 3. **Slice-aware attention** — causal attention takes a query slice
+//!    plus the key/value prefix of all preceding slices and produces
+//!    gradients for the whole prefix, mirroring TeraPipe/MEPipe dataflow.
+//!
+//! No unsafe code, no hidden parallelism, f32 throughout.
+#![warn(missing_docs)]
+
+
+pub mod init;
+pub mod ops;
+pub mod tensor;
+
+pub use tensor::Tensor;

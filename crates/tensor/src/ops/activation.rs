@@ -1,0 +1,66 @@
+//! SiLU (swish) activation — the gate nonlinearity of Llama's SwiGLU MLP.
+
+use crate::tensor::Tensor;
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Element-wise `silu(x) = x * sigmoid(x)`.
+pub fn silu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| v * sigmoid(v)).collect();
+    Tensor::from_vec(x.rows(), x.cols(), data)
+}
+
+/// Backward of [`silu`] given upstream `dy` and the saved input `x`.
+pub fn silu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(x.rows(), dy.rows());
+    assert_eq!(x.cols(), dy.cols());
+    let data = x
+        .data()
+        .iter()
+        .zip(dy.data())
+        .map(|(&v, &g)| {
+            let s = sigmoid(v);
+            g * (s + v * s * (1.0 - s))
+        })
+        .collect();
+    Tensor::from_vec(x.rows(), x.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn silu_values() {
+        let x = Tensor::from_vec(1, 3, vec![0.0, 10.0, -10.0]);
+        let y = silu(&x);
+        assert_eq!(y.at(0, 0), 0.0);
+        assert!((y.at(0, 1) - 10.0).abs() < 1e-3);
+        assert!(y.at(0, 2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut r = rng(21);
+        let x = uniform(2, 6, 2.0, &mut r);
+        let dy = Tensor::from_vec(2, 6, vec![1.0; 12]);
+        let dx = silu_backward(&dy, &x);
+        let eps = 1e-3;
+        for rr in 0..2 {
+            for c in 0..6 {
+                let mut xp = x.clone();
+                xp.set(rr, c, x.at(rr, c) + eps);
+                let mut xm = x.clone();
+                xm.set(rr, c, x.at(rr, c) - eps);
+                let num = (silu(&xp).data().iter().sum::<f32>()
+                    - silu(&xm).data().iter().sum::<f32>())
+                    / (2.0 * eps);
+                assert!((num - dx.at(rr, c)).abs() < 1e-2);
+            }
+        }
+    }
+}

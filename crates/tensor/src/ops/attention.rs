@@ -1,0 +1,247 @@
+//! Single-head causal attention over a query *slice* and its key/value
+//! prefix — the dataflow primitive of sequence pipeline parallelism.
+//!
+//! Under TeraPipe/MEPipe slicing, the forward of slice `i` consumes the
+//! keys and values of every preceding slice (Section 4.1, Figure 3); the
+//! backward of slice `i` produces gradient *contributions* to those
+//! prefix keys/values, which the caller accumulates in reverse slice
+//! order. This module implements exactly that contract:
+//!
+//! * forward: `q: [t, d]` for the slice, `k, v: [c, d]` for the whole
+//!   prefix `c = offset + t`; causal masking inside the slice;
+//! * backward: returns `dq: [t, d]` plus `dk, dv: [c, d]` over the whole
+//!   prefix.
+
+use crate::{
+    ops::matmul::{matmul, matmul_wgrad},
+    tensor::Tensor,
+};
+
+/// Forward-pass state kept for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionSaved {
+    /// Post-softmax attention probabilities, `[t, c]`.
+    pub probs: Tensor,
+    /// Token offset of the query slice within the sample.
+    pub offset: usize,
+}
+
+/// Causal attention forward for one head.
+///
+/// # Panics
+///
+/// Panics unless `k`/`v` cover exactly `offset + q.rows()` positions and
+/// all head dimensions agree.
+pub fn causal_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    offset: usize,
+) -> (Tensor, AttentionSaved) {
+    let t = q.rows();
+    let d = q.cols();
+    let c = offset + t;
+    assert_eq!(k.rows(), c, "key prefix must cover offset + slice");
+    assert_eq!(v.rows(), c, "value prefix must cover offset + slice");
+    assert_eq!(k.cols(), d, "key head dim mismatch");
+    assert_eq!(v.cols(), d, "value head dim mismatch");
+    let scale = 1.0 / (d as f32).sqrt();
+
+    let mut probs = Tensor::zeros(t, c);
+    for i in 0..t {
+        let limit = offset + i + 1; // Causal: keys [0, limit).
+        let qi = q.row(i);
+        // Scores with running max for a stable softmax.
+        let mut max = f32::NEG_INFINITY;
+        let mut scores = vec![0.0f32; limit];
+        for (j, s) in scores.iter_mut().enumerate() {
+            let kj = k.row(j);
+            let dot: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum();
+            *s = dot * scale;
+            max = max.max(*s);
+        }
+        let mut denom = 0.0;
+        for s in &mut scores {
+            *s = (*s - max).exp();
+            denom += *s;
+        }
+        let prow = probs.row_mut(i);
+        for (j, s) in scores.iter().enumerate() {
+            prow[j] = s / denom;
+        }
+    }
+    let out = matmul(&probs, v);
+    (out, AttentionSaved { probs, offset })
+}
+
+/// Backward of [`causal_attention`]: `(dq, dk, dv)` with `dk`/`dv`
+/// spanning the whole prefix.
+pub fn causal_attention_backward(
+    dout: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    saved: &AttentionSaved,
+) -> (Tensor, Tensor, Tensor) {
+    let t = q.rows();
+    let d = q.cols();
+    let c = k.rows();
+    assert_eq!(saved.probs.rows(), t);
+    assert_eq!(saved.probs.cols(), c);
+    assert_eq!(dout.rows(), t);
+    assert_eq!(dout.cols(), d);
+    let scale = 1.0 / (d as f32).sqrt();
+
+    // dV = Pᵀ · dOut.
+    let dv = matmul_wgrad(&saved.probs, dout);
+    // dP = dOut · Vᵀ.
+    let dp = matmul(dout, &v.transpose());
+    // Softmax backward per row: dS = P ⊙ (dP − rowsum(P ⊙ dP)).
+    let mut ds = Tensor::zeros(t, c);
+    for i in 0..t {
+        let prow = saved.probs.row(i);
+        let dprow = dp.row(i);
+        let dot: f32 = prow.iter().zip(dprow).map(|(p, g)| p * g).sum();
+        let dsrow = ds.row_mut(i);
+        for j in 0..c {
+            dsrow[j] = prow[j] * (dprow[j] - dot);
+        }
+    }
+    // dQ = dS · K · scale; dK = dSᵀ · Q · scale.
+    let mut dq = matmul(&ds, k);
+    dq.scale(scale);
+    let mut dk = matmul_wgrad(&ds, q);
+    dk.scale(scale);
+    (dq, dk, dv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    /// Full-sequence attention must equal the concatenation of per-slice
+    /// attention with KV prefixes — the core SPP correctness property.
+    #[test]
+    fn slice_forward_equals_full_forward() {
+        let mut r = rng(31);
+        let (t, d, s) = (8usize, 4usize, 4usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let (full, _) = causal_attention(&q, &k, &v, 0);
+        let step = t / s;
+        let mut parts = Vec::new();
+        for i in 0..s {
+            let qs = q.slice_rows(i * step, step);
+            let kp = k.slice_rows(0, (i + 1) * step);
+            let vp = v.slice_rows(0, (i + 1) * step);
+            let (o, _) = causal_attention(&qs, &kp, &vp, i * step);
+            parts.push(o);
+        }
+        let sliced = Tensor::vstack(&parts);
+        assert!(full.max_abs_diff(&sliced) < 1e-5);
+    }
+
+    /// Gradients accumulated over slices must equal full-sequence
+    /// gradients.
+    #[test]
+    fn slice_backward_equals_full_backward() {
+        let mut r = rng(32);
+        let (t, d, s) = (6usize, 4usize, 3usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let dout = uniform(t, d, 1.0, &mut r);
+        let (_, saved) = causal_attention(&q, &k, &v, 0);
+        let (dq_full, dk_full, dv_full) =
+            causal_attention_backward(&dout, &q, &k, &v, &saved);
+
+        let step = t / s;
+        let mut dq_parts = Vec::new();
+        let mut dk_acc = Tensor::zeros(t, d);
+        let mut dv_acc = Tensor::zeros(t, d);
+        for i in 0..s {
+            let off = i * step;
+            let qs = q.slice_rows(off, step);
+            let kp = k.slice_rows(0, off + step);
+            let vp = v.slice_rows(0, off + step);
+            let (_, sv) = causal_attention(&qs, &kp, &vp, off);
+            let (dq, dk, dv) = causal_attention_backward(
+                &dout.slice_rows(off, step),
+                &qs,
+                &kp,
+                &vp,
+                &sv,
+            );
+            dq_parts.push(dq);
+            // Accumulate prefix contributions into the full-length buffers.
+            for rr in 0..dk.rows() {
+                for cc in 0..d {
+                    dk_acc.set(rr, cc, dk_acc.at(rr, cc) + dk.at(rr, cc));
+                    dv_acc.set(rr, cc, dv_acc.at(rr, cc) + dv.at(rr, cc));
+                }
+            }
+        }
+        assert!(dq_full.max_abs_diff(&Tensor::vstack(&dq_parts)) < 1e-5);
+        assert!(dk_full.max_abs_diff(&dk_acc) < 1e-5);
+        assert!(dv_full.max_abs_diff(&dv_acc) < 1e-5);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng(33);
+        let (t, d) = (3usize, 2usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let loss = |q: &Tensor, k: &Tensor, v: &Tensor| {
+            let (o, _) = causal_attention(q, k, v, 0);
+            o.data().iter().sum::<f32>()
+        };
+        let dout = Tensor::from_vec(t, d, vec![1.0; t * d]);
+        let (_, saved) = causal_attention(&q, &k, &v, 0);
+        let (dq, dk, dv) = causal_attention_backward(&dout, &q, &k, &v, &saved);
+        let eps = 1e-3;
+        let check = |name: &str, x: &Tensor, g: &Tensor, which: usize| {
+            for rr in 0..x.rows() {
+                for cc in 0..x.cols() {
+                    let mut xp = x.clone();
+                    xp.set(rr, cc, x.at(rr, cc) + eps);
+                    let mut xm = x.clone();
+                    xm.set(rr, cc, x.at(rr, cc) - eps);
+                    let (lp, lm) = match which {
+                        0 => (loss(&xp, &k, &v), loss(&xm, &k, &v)),
+                        1 => (loss(&q, &xp, &v), loss(&q, &xm, &v)),
+                        _ => (loss(&q, &k, &xp), loss(&q, &k, &xm)),
+                    };
+                    let num = (lp - lm) / (2.0 * eps);
+                    assert!(
+                        (num - g.at(rr, cc)).abs() < 2e-2,
+                        "{name}({rr},{cc}): {num} vs {}",
+                        g.at(rr, cc)
+                    );
+                }
+            }
+        };
+        check("dq", &q, &dq, 0);
+        check("dk", &k, &dk, 1);
+        check("dv", &v, &dv, 2);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut r = rng(34);
+        let q = uniform(2, 2, 1.0, &mut r);
+        let k = uniform(2, 2, 1.0, &mut r);
+        let v1 = uniform(2, 2, 1.0, &mut r);
+        // Changing the second value row must not affect the first output
+        // row.
+        let mut v2 = v1.clone();
+        v2.set(1, 0, 99.0);
+        let (o1, _) = causal_attention(&q, &k, &v1, 0);
+        let (o2, _) = causal_attention(&q, &k, &v2, 0);
+        assert_eq!(o1.row(0), o2.row(0));
+        assert_ne!(o1.row(1), o2.row(1));
+    }
+}

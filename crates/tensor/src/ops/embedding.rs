@@ -1,0 +1,79 @@
+//! Token-embedding lookup with gradient accumulation into the table.
+
+use crate::tensor::Tensor;
+
+/// Gathers rows of `table` (`[vocab, h]`) for `tokens`, plus a fixed
+/// sinusoidal positional term at absolute positions
+/// `offset..offset + tokens.len()` (slices must agree with full-sequence
+/// execution, hence the offset).
+///
+/// # Panics
+///
+/// Panics if any token id is out of range.
+pub fn embedding(table: &Tensor, tokens: &[usize], offset: usize) -> Tensor {
+    let h = table.cols();
+    let mut out = Tensor::zeros(tokens.len(), h);
+    for (i, &tok) in tokens.iter().enumerate() {
+        assert!(tok < table.rows(), "token id {tok} out of vocab");
+        let row = out.row_mut(i);
+        row.copy_from_slice(table.row(tok));
+        let pos = (offset + i) as f32;
+        for (c, v) in row.iter_mut().enumerate() {
+            // Alternating sin/cos positional signal (fixed, not learned).
+            let freq = 1.0 / 10_000f32.powf((2 * (c / 2)) as f32 / h as f32);
+            *v += if c % 2 == 0 { (pos * freq).sin() } else { (pos * freq).cos() } * 0.1;
+        }
+    }
+    out
+}
+
+/// Backward of [`embedding`]: scatter-adds `dout` rows into a zeroed
+/// gradient table (positional term is constant, so it contributes
+/// nothing).
+pub fn embedding_backward(dout: &Tensor, tokens: &[usize], vocab: usize) -> Tensor {
+    let mut grad = Tensor::zeros(vocab, dout.cols());
+    for (i, &tok) in tokens.iter().enumerate() {
+        let g = dout.row(i);
+        let row = grad.row_mut(tok);
+        for (a, b) in row.iter_mut().zip(g) {
+            *a += b;
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn lookup_respects_offset() {
+        let table = uniform(10, 4, 1.0, &mut rng(41));
+        let full = embedding(&table, &[1, 2, 3, 4], 0);
+        let a = embedding(&table, &[1, 2], 0);
+        let b = embedding(&table, &[3, 4], 2);
+        assert!(full.slice_rows(0, 2).max_abs_diff(&a) < 1e-7);
+        assert!(full.slice_rows(2, 2).max_abs_diff(&b) < 1e-7);
+        // Same token at different positions differs (positional term).
+        let c = embedding(&table, &[1], 0);
+        let d = embedding(&table, &[1], 5);
+        assert!(c.max_abs_diff(&d) > 1e-4);
+    }
+
+    #[test]
+    fn backward_accumulates_repeats() {
+        let dout = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let grad = embedding_backward(&dout, &[7, 7, 2], 10);
+        assert_eq!(grad.row(7), &[4.0, 6.0]);
+        assert_eq!(grad.row(2), &[5.0, 6.0]);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn oov_token_panics() {
+        let table = Tensor::zeros(4, 2);
+        embedding(&table, &[4], 0);
+    }
+}

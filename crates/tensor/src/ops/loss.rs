@@ -1,0 +1,92 @@
+//! Token-level cross-entropy over logits, with gradient.
+
+use crate::tensor::Tensor;
+
+/// Output of the loss computation.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOut {
+    /// Sum of per-token negative log-likelihoods (callers divide by the
+    /// *global* token count so that slice losses add up exactly).
+    pub loss_sum: f64,
+    /// Gradient of `loss_sum` w.r.t. the logits.
+    pub dlogits: Tensor,
+}
+
+/// Cross-entropy of `logits: [t, vocab]` against `targets` (one id per
+/// row), computed with a stable log-softmax.
+///
+/// # Panics
+///
+/// Panics if row counts disagree or a target is out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> CrossEntropyOut {
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    let v = logits.cols();
+    let mut dlogits = Tensor::zeros(logits.rows(), v);
+    let mut loss_sum = 0.0f64;
+    for (i, &tgt) in targets.iter().enumerate() {
+        assert!(tgt < v, "target {tgt} out of vocab");
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &x in row {
+            denom += ((x - max) as f64).exp();
+        }
+        let log_denom = denom.ln();
+        loss_sum += log_denom - (row[tgt] - max) as f64;
+        let drow = dlogits.row_mut(i);
+        for (c, &x) in row.iter().enumerate() {
+            let p = (((x - max) as f64).exp() / denom) as f32;
+            drow[c] = p - if c == tgt { 1.0 } else { 0.0 };
+        }
+    }
+    CrossEntropyOut { loss_sum, dlogits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn uniform_logits_give_log_vocab() {
+        let logits = Tensor::zeros(2, 8);
+        let out = cross_entropy(&logits, &[3, 5]);
+        assert!((out.loss_sum - 2.0 * (8.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut r = rng(51);
+        let logits = uniform(2, 5, 1.0, &mut r);
+        let targets = [1usize, 4];
+        let out = cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for rr in 0..2 {
+            for c in 0..5 {
+                let mut lp = logits.clone();
+                lp.set(rr, c, logits.at(rr, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(rr, c, logits.at(rr, c) - eps);
+                let num = ((cross_entropy(&lp, &targets).loss_sum
+                    - cross_entropy(&lm, &targets).loss_sum)
+                    / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (num - out.dlogits.at(rr, c)).abs() < 1e-2,
+                    "({rr},{c}): {num} vs {}",
+                    out.dlogits.at(rr, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_losses_sum_to_full_loss() {
+        let mut r = rng(52);
+        let logits = uniform(6, 7, 1.0, &mut r);
+        let targets = [0usize, 1, 2, 3, 4, 5];
+        let full = cross_entropy(&logits, &targets);
+        let a = cross_entropy(&logits.slice_rows(0, 3), &targets[..3]);
+        let b = cross_entropy(&logits.slice_rows(3, 3), &targets[3..]);
+        assert!((full.loss_sum - (a.loss_sum + b.loss_sum)).abs() < 1e-9);
+    }
+}

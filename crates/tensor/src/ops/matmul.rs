@@ -1,0 +1,156 @@
+//! Matrix multiplication and its two gradient halves.
+//!
+//! For `C = A · B` with `A: [m,k]` (activations) and `B: [k,n]` (weights):
+//!
+//! * the *input gradient* `dA = dC · Bᵀ` is on the pipeline's critical
+//!   path (it feeds the previous layer / previous stage);
+//! * the *weight gradient* `dB = Aᵀ · dC` has no consumers until the
+//!   optimizer step and can float — this is the GEMM MEPipe queues and
+//!   drains opportunistically (Section 5).
+
+use crate::tensor::Tensor;
+
+/// `C = A · B`.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    // i-k-j loop order keeps the inner loop contiguous over both B and C.
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.at(i, p);
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = out.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Input gradient of a matmul: `dA = dC · Bᵀ`.
+pub fn matmul_dgrad(dc: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(dc.cols(), b.cols(), "dgrad dimension mismatch");
+    let (m, n, k) = (dc.rows(), dc.cols(), b.rows());
+    let mut da = Tensor::zeros(m, k);
+    for i in 0..m {
+        for p in 0..k {
+            let brow = b.row(p);
+            let dcrow = dc.row(i);
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += dcrow[j] * brow[j];
+            }
+            da.set(i, p, acc);
+        }
+    }
+    da
+}
+
+/// Weight gradient of a matmul: `dB = Aᵀ · dC`.
+pub fn matmul_wgrad(a: &Tensor, dc: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), dc.rows(), "wgrad dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), dc.cols());
+    let mut db = Tensor::zeros(k, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let dcrow = dc.row(i);
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let dbrow = db.row_mut(p);
+            for j in 0..n {
+                dbrow[j] += aip * dcrow[j];
+            }
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    fn finite_diff_check(
+        f: &dyn Fn(&Tensor) -> f32,
+        x: &Tensor,
+        analytic: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.at(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.at(r, c) - eps);
+                let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+                let ana = analytic.at(r, c);
+                assert!(
+                    (num - ana).abs() < tol,
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_matmul_is_exact() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn dgrad_matches_finite_differences() {
+        let mut r = rng(3);
+        let a = uniform(3, 4, 1.0, &mut r);
+        let b = uniform(4, 2, 1.0, &mut r);
+        // Scalar objective: sum of C.
+        let loss = |a: &Tensor| matmul(a, &b).data().iter().sum::<f32>();
+        let dc = Tensor::from_vec(3, 2, vec![1.0; 6]);
+        let da = matmul_dgrad(&dc, &b);
+        finite_diff_check(&loss, &a, &da, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn wgrad_matches_finite_differences() {
+        let mut r = rng(4);
+        let a = uniform(3, 4, 1.0, &mut r);
+        let b = uniform(4, 2, 1.0, &mut r);
+        let loss = |b: &Tensor| matmul(&a, b).data().iter().sum::<f32>();
+        let dc = Tensor::from_vec(3, 2, vec![1.0; 6]);
+        let db = matmul_wgrad(&a, &dc);
+        finite_diff_check(&loss, &b, &db, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn wgrad_sums_over_row_slices() {
+        // The slice-equivalence property MEPipe relies on: the weight
+        // gradient over a whole batch equals the sum over token slices.
+        let mut r = rng(5);
+        let a = uniform(8, 4, 1.0, &mut r);
+        let dc = uniform(8, 3, 1.0, &mut r);
+        let whole = matmul_wgrad(&a, &dc);
+        let mut parts = matmul_wgrad(&a.slice_rows(0, 3), &dc.slice_rows(0, 3));
+        parts.add_assign(&matmul_wgrad(&a.slice_rows(3, 5), &dc.slice_rows(3, 5)));
+        assert!(whole.max_abs_diff(&parts) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn dimension_mismatch_panics() {
+        matmul(&Tensor::zeros(2, 3), &Tensor::zeros(2, 3));
+    }
+}

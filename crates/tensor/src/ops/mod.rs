@@ -1,0 +1,19 @@
+//! Tensor operations with explicit forward and backward functions.
+//!
+//! Each module pairs a forward with the backward(s) it needs. Matmul
+//! deliberately exposes its input-gradient and weight-gradient halves as
+//! separate functions — the decomposition MEPipe schedules independently.
+
+pub mod activation;
+pub mod attention;
+pub mod embedding;
+pub mod loss;
+pub mod matmul;
+pub mod norm;
+
+pub use activation::{silu, silu_backward};
+pub use attention::{causal_attention, causal_attention_backward, AttentionSaved};
+pub use embedding::{embedding, embedding_backward};
+pub use loss::{cross_entropy, CrossEntropyOut};
+pub use matmul::{matmul, matmul_dgrad, matmul_wgrad};
+pub use norm::{rmsnorm, rmsnorm_backward, RmsNormSaved};

@@ -1,0 +1,117 @@
+//! RMSNorm (the normalisation Llama uses) with explicit backward.
+
+use crate::tensor::Tensor;
+
+/// Numerical floor inside the root-mean-square.
+const EPS: f32 = 1e-5;
+
+/// Values saved by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+pub struct RmsNormSaved {
+    /// Input of the forward pass.
+    pub x: Tensor,
+    /// Per-row inverse RMS.
+    pub inv_rms: Vec<f32>,
+}
+
+/// `y[r] = x[r] / rms(x[r]) * w`, row-wise.
+///
+/// # Panics
+///
+/// Panics if `w` is not a `[1, cols]` vector matching `x`.
+pub fn rmsnorm(x: &Tensor, w: &Tensor) -> (Tensor, RmsNormSaved) {
+    assert_eq!(w.rows(), 1, "weight must be a row vector");
+    assert_eq!(w.cols(), x.cols(), "weight length mismatch");
+    let n = x.cols() as f32;
+    let mut y = Tensor::zeros(x.rows(), x.cols());
+    let mut inv_rms = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / n;
+        let inv = 1.0 / (ms + EPS).sqrt();
+        inv_rms.push(inv);
+        let out = y.row_mut(r);
+        for (c, (&xv, &wv)) in row.iter().zip(w.row(0)).enumerate() {
+            out[c] = xv * inv * wv;
+        }
+    }
+    (y, RmsNormSaved { x: x.clone(), inv_rms })
+}
+
+/// Backward of [`rmsnorm`]: returns `(dx, dw)`.
+pub fn rmsnorm_backward(dy: &Tensor, w: &Tensor, saved: &RmsNormSaved) -> (Tensor, Tensor) {
+    let x = &saved.x;
+    let n = x.cols() as f32;
+    let mut dx = Tensor::zeros(x.rows(), x.cols());
+    let mut dw = Tensor::zeros(1, x.cols());
+    for r in 0..x.rows() {
+        let inv = saved.inv_rms[r];
+        let xr = x.row(r);
+        let dyr = dy.row(r);
+        // dL/dw_c += dy_c * x_c * inv.
+        for c in 0..x.cols() {
+            dw.row_mut(0)[c] += dyr[c] * xr[c] * inv;
+        }
+        // dx = inv * (w*dy) − inv^3/n * x * Σ(w*dy*x).
+        let dot: f32 = (0..x.cols()).map(|c| w.at(0, c) * dyr[c] * xr[c]).sum();
+        let k = inv * inv * inv / n * dot;
+        let dxr = dx.row_mut(r);
+        for c in 0..x.cols() {
+            dxr[c] = inv * w.at(0, c) * dyr[c] - k * xr[c];
+        }
+    }
+    (dx, dw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{rng, uniform};
+
+    #[test]
+    fn forward_normalises_rows() {
+        let x = Tensor::from_vec(1, 4, vec![2.0, 2.0, 2.0, 2.0]);
+        let w = Tensor::from_vec(1, 4, vec![1.0; 4]);
+        let (y, _) = rmsnorm(&x, &w);
+        for &v in y.data() {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut r = rng(11);
+        let x = uniform(3, 5, 1.0, &mut r);
+        let w = uniform(1, 5, 1.0, &mut r);
+        let loss = |x: &Tensor, w: &Tensor| {
+            let (y, _) = rmsnorm(x, w);
+            y.data().iter().sum::<f32>()
+        };
+        let dy = Tensor::from_vec(3, 5, vec![1.0; 15]);
+        let (_, saved) = rmsnorm(&x, &w);
+        let (dx, dw) = rmsnorm_backward(&dy, &w, &saved);
+        let eps = 1e-3;
+        for rr in 0..3 {
+            for c in 0..5 {
+                let mut xp = x.clone();
+                xp.set(rr, c, x.at(rr, c) + eps);
+                let mut xm = x.clone();
+                xm.set(rr, c, x.at(rr, c) - eps);
+                let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+                assert!(
+                    (num - dx.at(rr, c)).abs() < 2e-2,
+                    "dx({rr},{c}): {num} vs {}",
+                    dx.at(rr, c)
+                );
+            }
+        }
+        for c in 0..5 {
+            let mut wp = w.clone();
+            wp.set(0, c, w.at(0, c) + eps);
+            let mut wm = w.clone();
+            wm.set(0, c, w.at(0, c) - eps);
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!((num - dw.at(0, c)).abs() < 2e-2, "dw({c}): {num} vs {}", dw.at(0, c));
+        }
+    }
+}

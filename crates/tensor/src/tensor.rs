@@ -1,0 +1,274 @@
+//! The dense row-major 2-D tensor type.
+//!
+//! Everything in the mini-Llama is a matrix of shape `[rows, cols]`
+//! (tokens × features, or features × features for weights), so the tensor
+//! type is deliberately 2-D; vectors are `[1, n]` or `[n, 1]` as
+//! convenient.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)
+    }
+}
+
+impl Tensor {
+    /// An all-zeros tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One element.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets one element.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise sum, returning a new tensor.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.at(r, c));
+            }
+        }
+        out
+    }
+
+    /// Copy of columns `[start, start + len)` — used to split heads out of
+    /// a `[tokens, hidden]` activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.cols, "column slice out of range");
+        let mut out = Tensor::zeros(self.rows, len);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+        }
+        out
+    }
+
+    /// Adds `src` into columns `[start, start + len)` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible.
+    pub fn add_cols(&mut self, start: usize, src: &Tensor) {
+        assert!(start + src.cols <= self.cols, "column slice out of range");
+        assert_eq!(self.rows, src.rows, "row mismatch");
+        for r in 0..self.rows {
+            let dst = &mut self.row_mut(r)[start..start + src.cols];
+            for (d, s) in dst.iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Copy of rows `[start, start + len)` — used to cut token slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Tensor {
+        assert!(start + len <= self.rows, "row slice out of range");
+        Tensor::from_vec(
+            len,
+            self.cols,
+            self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        )
+    }
+
+    /// Stacks tensors vertically (concatenating rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ or the input is empty.
+    pub fn vstack(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "column mismatch in vstack");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    /// Maximum absolute difference to another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Memory footprint in bytes (f32 payload only).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.at(0, 2), 3.0);
+        assert_eq!(t.at(1, 0), 4.0);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let t = Tensor::from_vec(2, 3, (0..6).map(|x| x as f32).collect());
+        assert_eq!(t.transpose().transpose(), t);
+        assert_eq!(t.transpose().at(2, 1), t.at(1, 2));
+    }
+
+    #[test]
+    fn col_slicing_and_accumulation() {
+        let t = Tensor::from_vec(2, 4, (0..8).map(|x| x as f32).collect());
+        let s = t.slice_cols(1, 2);
+        assert_eq!(s.data(), &[1.0, 2.0, 5.0, 6.0]);
+        let mut acc = Tensor::zeros(2, 4);
+        acc.add_cols(1, &s);
+        assert_eq!(acc.at(0, 1), 1.0);
+        assert_eq!(acc.at(1, 2), 6.0);
+        assert_eq!(acc.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_slicing_and_stacking() {
+        let t = Tensor::from_vec(4, 2, (0..8).map(|x| x as f32).collect());
+        let a = t.slice_rows(0, 2);
+        let b = t.slice_rows(2, 2);
+        assert_eq!(Tensor::vstack(&[a, b]), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(1, 3, vec![0.5, 0.5, 0.5]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+        assert_eq!(a.max_abs_diff(&b), 6.5);
+    }
+}

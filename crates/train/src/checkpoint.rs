@@ -1,0 +1,220 @@
+//! In-memory checkpointing for fault tolerance (Section 9).
+//!
+//! The paper estimates hardware failures cost under 5% of a thousand-GPU
+//! 4090 cluster's time, assuming memory-based checkpointing (MegaScale,
+//! GEMINI) brings recovery down to minutes. This module supplies the
+//! substrate: serialise the full model to a flat byte buffer (an
+//! "in-memory checkpoint"), restore it bit-exactly, and verify that
+//! training resumes on the identical trajectory.
+//!
+//! The format is deliberately trivial — a header of shape metadata plus
+//! little-endian `f32`s — because the interesting questions (how often to
+//! checkpoint, what failures cost) live in [`failure_overhead`], not in
+//! the encoding.
+
+use mepipe_model::config::TransformerConfig;
+use mepipe_tensor::Tensor;
+
+use crate::params::{LayerParams, ModelParams};
+
+/// Serialises a model to an in-memory checkpoint.
+///
+/// # Examples
+///
+/// ```
+/// use mepipe_model::config::TransformerConfig;
+/// use mepipe_train::{checkpoint, params::ModelParams};
+///
+/// let model = ModelParams::init(TransformerConfig::tiny(2), 7);
+/// let bytes = checkpoint::save(&model);
+/// let restored = checkpoint::restore(&bytes).unwrap();
+/// assert_eq!(restored.embedding, model.embedding);
+/// ```
+pub fn save(model: &ModelParams) -> Vec<u8> {
+    let mut out = Vec::new();
+    let push_usize = |out: &mut Vec<u8>, v: usize| out.extend((v as u64).to_le_bytes());
+    push_usize(&mut out, model.cfg.hidden);
+    push_usize(&mut out, model.cfg.layers);
+    push_usize(&mut out, model.cfg.ffn_hidden);
+    push_usize(&mut out, model.cfg.heads);
+    push_usize(&mut out, model.cfg.kv_heads);
+    push_usize(&mut out, model.cfg.vocab);
+    push_usize(&mut out, model.cfg.seq_len);
+    let push_tensor = |out: &mut Vec<u8>, t: &Tensor| {
+        out.extend((t.rows() as u64).to_le_bytes());
+        out.extend((t.cols() as u64).to_le_bytes());
+        for &v in t.data() {
+            out.extend(v.to_le_bytes());
+        }
+    };
+    push_tensor(&mut out, &model.embedding);
+    for l in &model.layers {
+        for t in [&l.wq, &l.wk, &l.wv, &l.wo, &l.wg, &l.wu, &l.wd, &l.norm1, &l.norm2] {
+            push_tensor(&mut out, t);
+        }
+    }
+    push_tensor(&mut out, &model.final_norm);
+    push_tensor(&mut out, &model.head);
+    out
+}
+
+/// Restores a model from a checkpoint produced by [`save`].
+///
+/// Returns `Err` on truncated or malformed input.
+pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
+    let mut pos = 0usize;
+    let mut read_u64 = |bytes: &[u8]| -> Result<usize, String> {
+        let end = pos + 8;
+        let chunk: [u8; 8] = bytes
+            .get(pos..end)
+            .ok_or("truncated checkpoint header")?
+            .try_into()
+            .map_err(|_| "bad header chunk".to_string())?;
+        pos = end;
+        Ok(u64::from_le_bytes(chunk) as usize)
+    };
+    let hidden = read_u64(bytes)?;
+    let layers = read_u64(bytes)?;
+    let ffn_hidden = read_u64(bytes)?;
+    let heads = read_u64(bytes)?;
+    let kv_heads = read_u64(bytes)?;
+    let vocab = read_u64(bytes)?;
+    let seq_len = read_u64(bytes)?;
+    let cfg = TransformerConfig { hidden, layers, ffn_hidden, heads, kv_heads, vocab, seq_len };
+
+    let read_tensor = |bytes: &[u8], pos: &mut usize| -> Result<Tensor, String> {
+        let rows = u64::from_le_bytes(
+            bytes.get(*pos..*pos + 8).ok_or("truncated tensor header")?.try_into().unwrap(),
+        ) as usize;
+        *pos += 8;
+        let cols = u64::from_le_bytes(
+            bytes.get(*pos..*pos + 8).ok_or("truncated tensor header")?.try_into().unwrap(),
+        ) as usize;
+        *pos += 8;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            let v = f32::from_le_bytes(
+                bytes.get(*pos..*pos + 4).ok_or("truncated tensor data")?.try_into().unwrap(),
+            );
+            *pos += 4;
+            data.push(v);
+        }
+        Ok(Tensor::from_vec(rows, cols, data))
+    };
+
+    let embedding = read_tensor(bytes, &mut pos)?;
+    let mut layer_params = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        let wq = read_tensor(bytes, &mut pos)?;
+        let wk = read_tensor(bytes, &mut pos)?;
+        let wv = read_tensor(bytes, &mut pos)?;
+        let wo = read_tensor(bytes, &mut pos)?;
+        let wg = read_tensor(bytes, &mut pos)?;
+        let wu = read_tensor(bytes, &mut pos)?;
+        let wd = read_tensor(bytes, &mut pos)?;
+        let norm1 = read_tensor(bytes, &mut pos)?;
+        let norm2 = read_tensor(bytes, &mut pos)?;
+        layer_params.push(LayerParams { wq, wk, wv, wo, wg, wu, wd, norm1, norm2 });
+    }
+    let final_norm = read_tensor(bytes, &mut pos)?;
+    let head = read_tensor(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(format!("{} trailing bytes in checkpoint", bytes.len() - pos));
+    }
+    Ok(ModelParams { cfg, embedding, layers: layer_params, final_norm, head })
+}
+
+/// Expected fraction of cluster time lost to failures under periodic
+/// checkpointing (first-order Young/Daly accounting):
+///
+/// * checkpoint overhead: `checkpoint_cost / interval`;
+/// * per failure, half an interval of lost work plus the recovery time,
+///   at a failure rate of `1 / mtbf`.
+pub fn failure_overhead(mtbf_secs: f64, checkpoint_cost_secs: f64, recovery_secs: f64, interval_secs: f64) -> f64 {
+    checkpoint_cost_secs / interval_secs + (interval_secs / 2.0 + recovery_secs) / mtbf_secs
+}
+
+/// Young's optimal checkpoint interval: `sqrt(2 · cost · MTBF)`.
+pub fn optimal_interval(mtbf_secs: f64, checkpoint_cost_secs: f64) -> f64 {
+    (2.0 * checkpoint_cost_secs * mtbf_secs).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use crate::reference::forward_backward;
+    use mepipe_tensor::init::synthetic_tokens;
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let cfg = TransformerConfig::tiny(2);
+        let model = ModelParams::init(cfg, 31);
+        let bytes = save(&model);
+        let back = restore(&bytes).unwrap();
+        assert_eq!(back.cfg, model.cfg);
+        assert_eq!(back.embedding, model.embedding);
+        assert_eq!(back.layers[1].wd, model.layers[1].wd);
+        assert_eq!(back.head, model.head);
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let model = ModelParams::init(TransformerConfig::tiny(1), 1);
+        let bytes = save(&model);
+        assert!(restore(&bytes[..bytes.len() - 3]).is_err());
+        assert!(restore(&bytes[..10]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(restore(&extra).is_err());
+    }
+
+    #[test]
+    fn training_resumes_on_the_same_trajectory() {
+        // Train 2 steps, checkpoint, train 2 more; versus restore at the
+        // checkpoint and replay the last 2 — identical weights.
+        let cfg = TransformerConfig::tiny(2);
+        let mut a = ModelParams::init(cfg, 77);
+        let step = |m: &mut ModelParams, seed: u64| {
+            let toks = synthetic_tokens(cfg.seq_len + 1, cfg.vocab, seed);
+            let out = forward_backward(m, &toks);
+            Sgd { lr: 0.1 }.step_model(m, &out.grads);
+        };
+        step(&mut a, 1);
+        step(&mut a, 2);
+        let ckpt = save(&a);
+        step(&mut a, 3);
+        step(&mut a, 4);
+
+        let mut b = restore(&ckpt).unwrap();
+        step(&mut b, 3);
+        step(&mut b, 4);
+        assert_eq!(a.embedding, b.embedding);
+        assert_eq!(a.layers[0].wq, b.layers[0].wq);
+        assert_eq!(a.head, b.head);
+    }
+
+    #[test]
+    fn paper_failure_estimate_holds() {
+        // Section 9: MTBF ~12h for 1000 A100s; a 1000-GPU 4090 cluster at
+        // similar rates with minute-scale in-memory recovery should lose
+        // <5%. Checkpoint cost ~10s (in-memory copy), recovery ~3 min.
+        let mtbf = 12.0 * 3600.0;
+        let ckpt_cost = 10.0;
+        let recovery = 180.0;
+        let interval = optimal_interval(mtbf, ckpt_cost);
+        let overhead = failure_overhead(mtbf, ckpt_cost, recovery, interval);
+        assert!(overhead < 0.05, "overhead {overhead}");
+        assert!(overhead > 0.001, "suspiciously free: {overhead}");
+    }
+
+    #[test]
+    fn optimal_interval_minimises_overhead() {
+        let mtbf = 12.0 * 3600.0;
+        let cost = 10.0;
+        let best = optimal_interval(mtbf, cost);
+        let at = |i: f64| failure_overhead(mtbf, cost, 180.0, i);
+        assert!(at(best) <= at(best * 2.0));
+        assert!(at(best) <= at(best / 2.0));
+    }
+}

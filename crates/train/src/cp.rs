@@ -1,0 +1,193 @@
+//! Context parallelism on real tensors (Section 2.2).
+//!
+//! CP shards one sample's tokens across workers that each hold the full
+//! model. Every attention layer then needs the key/value tensors of *all*
+//! workers — the all-gather/reduce-scatter traffic that makes CP the
+//! paper's expensive alternative to SPP (Figure 9, Table 7).
+//!
+//! Two Megatron details reproduced here:
+//!
+//! * **Symmetric two-slice assignment** (Section 7.3): the sample is cut
+//!   into `2R` slices and worker `r` gets slices `r` and `2R−1−r`, so
+//!   every worker sees the same total causal context — balanced FLOPs.
+//! * **dKV reduction**: each worker produces gradient contributions for
+//!   the *whole* K/V tensor; summing across workers (the reduce-scatter)
+//!   recovers the exact full-sequence gradient.
+//!
+//! The functions here run the workers sequentially — the object of study
+//! is the *math and the communication volumes*, which the cost model
+//! prices; thread-level execution lives in the pipeline runtime.
+
+use mepipe_tensor::{
+    ops::{causal_attention, causal_attention_backward},
+    Tensor,
+};
+
+/// Slice indices `(lo, hi)` of worker `r` under Megatron's symmetric
+/// two-slice assignment of `2R` slices.
+pub fn symmetric_slices(worker: usize, workers: usize) -> (usize, usize) {
+    (worker, 2 * workers - 1 - worker)
+}
+
+/// Forward of one attention head under CP: each worker computes its two
+/// symmetric slices' queries against the (all-gathered) full K/V prefix.
+/// Returns the full output, assembled in token order.
+///
+/// # Panics
+///
+/// Panics unless the token count divides by `2 × workers`.
+pub fn cp_attention_forward(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    workers: usize,
+) -> Tensor {
+    let t = q.rows();
+    assert_eq!(t % (2 * workers), 0, "tokens must divide into 2R slices");
+    let step = t / (2 * workers);
+    let mut out = Tensor::zeros(t, q.cols());
+    for r in 0..workers {
+        let (a, b) = symmetric_slices(r, workers);
+        for sl in [a, b] {
+            let off = sl * step;
+            let qs = q.slice_rows(off, step);
+            // The "all-gather": this worker sees the K/V prefix it needs.
+            let kp = k.slice_rows(0, off + step);
+            let vp = v.slice_rows(0, off + step);
+            let (o, _) = causal_attention(&qs, &kp, &vp, off);
+            for i in 0..step {
+                out.row_mut(off + i).copy_from_slice(o.row(i));
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`cp_attention_forward`]: returns `(dq, dk, dv)` with the
+/// dK/dV contributions of all workers reduced (the reduce-scatter).
+pub fn cp_attention_backward(
+    dout: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    workers: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let t = q.rows();
+    let d = q.cols();
+    let step = t / (2 * workers);
+    let mut dq = Tensor::zeros(t, d);
+    let mut dk = Tensor::zeros(t, d);
+    let mut dv = Tensor::zeros(t, d);
+    for r in 0..workers {
+        let (a, b) = symmetric_slices(r, workers);
+        for sl in [a, b] {
+            let off = sl * step;
+            let qs = q.slice_rows(off, step);
+            let kp = k.slice_rows(0, off + step);
+            let vp = v.slice_rows(0, off + step);
+            let (_, saved) = causal_attention(&qs, &kp, &vp, off);
+            let (dqs, dks, dvs) = causal_attention_backward(
+                &dout.slice_rows(off, step),
+                &qs,
+                &kp,
+                &vp,
+                &saved,
+            );
+            for i in 0..step {
+                dq.row_mut(off + i).copy_from_slice(dqs.row(i));
+            }
+            for i in 0..off + step {
+                for c in 0..d {
+                    dk.set(i, c, dk.at(i, c) + dks.at(i, c));
+                    dv.set(i, c, dv.at(i, c) + dvs.at(i, c));
+                }
+            }
+        }
+    }
+    (dq, dk, dv)
+}
+
+/// The causal-attention FLOPs a worker performs under the symmetric
+/// assignment (in key-position visits): slice `r` contributes its
+/// positions' prefix lengths; pairing `r` with `2R−1−r` equalises the sum
+/// across workers — the balancing claim of Section 7.3.
+pub fn worker_attention_cost(worker: usize, workers: usize, tokens: usize) -> usize {
+    let step = tokens / (2 * workers);
+    let (a, b) = symmetric_slices(worker, workers);
+    let slice_cost = |sl: usize| -> usize {
+        // Σ over the slice's positions of (position + 1).
+        let lo = sl * step;
+        (lo + 1..=lo + step).sum()
+    };
+    slice_cost(a) + slice_cost(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mepipe_tensor::init::{rng, uniform};
+
+    #[test]
+    fn cp_forward_equals_full_attention() {
+        let mut r = rng(61);
+        let (t, d) = (16usize, 4usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let (full, _) = causal_attention(&q, &k, &v, 0);
+        for workers in [1usize, 2, 4] {
+            let cp = cp_attention_forward(&q, &k, &v, workers);
+            assert!(
+                full.max_abs_diff(&cp) < 1e-5,
+                "workers = {workers}: diff {}",
+                full.max_abs_diff(&cp)
+            );
+        }
+    }
+
+    #[test]
+    fn cp_backward_equals_full_attention_backward() {
+        let mut r = rng(62);
+        let (t, d) = (16usize, 4usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let dout = uniform(t, d, 1.0, &mut r);
+        let (_, saved) = causal_attention(&q, &k, &v, 0);
+        let (dq_f, dk_f, dv_f) = causal_attention_backward(&dout, &q, &k, &v, &saved);
+        for workers in [2usize, 4] {
+            let (dq, dk, dv) = cp_attention_backward(&dout, &q, &k, &v, workers);
+            assert!(dq_f.max_abs_diff(&dq) < 1e-4);
+            assert!(dk_f.max_abs_diff(&dk) < 1e-4);
+            assert!(dv_f.max_abs_diff(&dv) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn symmetric_assignment_balances_attention_cost() {
+        // Section 7.3: "(1,4) for one worker and (2,3) for another ...
+        // balances the computation workload across different workers".
+        for workers in [2usize, 4, 8] {
+            let tokens = 64 * workers;
+            let costs: Vec<usize> =
+                (0..workers).map(|r| worker_attention_cost(r, workers, tokens)).collect();
+            assert!(
+                costs.iter().all(|&c| c == costs[0]),
+                "workers = {workers}: {costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn slices_cover_without_overlap() {
+        let workers = 4;
+        let mut seen = vec![false; 2 * workers];
+        for r in 0..workers {
+            let (a, b) = symmetric_slices(r, workers);
+            assert!(!seen[a] && !seen[b]);
+            seen[a] = true;
+            seen[b] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

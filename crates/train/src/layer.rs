@@ -1,0 +1,463 @@
+//! Slice-wise decoder layer with explicit, splittable backward.
+//!
+//! The layer implements the SPP dataflow contract end to end:
+//!
+//! * `forward_slice` consumes one token slice, *appends* its keys/values
+//!   to the layer's per-sample KV cache, and attends over the whole
+//!   prefix;
+//! * `backward_input_slice` consumes the output gradient of one slice,
+//!   accumulates dK/dV contributions for all preceding slices into the
+//!   per-sample dKV buffer, pulls out the completed rows for its *own*
+//!   positions (valid because slices are processed in reverse order), and
+//!   returns the input gradient plus a bag of deferred weight-gradient
+//!   GEMMs;
+//! * `apply_wgrads` executes those GEMMs — the op MEPipe schedules freely.
+
+use mepipe_tensor::{
+    ops::{
+        causal_attention, causal_attention_backward, matmul, matmul_dgrad, matmul_wgrad,
+        rmsnorm, rmsnorm_backward, silu, silu_backward, AttentionSaved, RmsNormSaved,
+    },
+    Tensor,
+};
+
+use crate::params::LayerParams;
+
+/// Per-layer per-sample key/value cache (grows slice by slice).
+#[derive(Debug, Clone, Default)]
+pub struct Kv {
+    /// Keys `[tokens_so_far, h]`.
+    pub k: Option<Tensor>,
+    /// Values `[tokens_so_far, h]`.
+    pub v: Option<Tensor>,
+}
+
+impl Kv {
+    /// Appends one slice's keys/values.
+    pub fn append(&mut self, k_new: Tensor, v_new: Tensor) {
+        self.k = Some(match self.k.take() {
+            Some(k) => Tensor::vstack(&[k, k_new]),
+            None => k_new,
+        });
+        self.v = Some(match self.v.take() {
+            Some(v) => Tensor::vstack(&[v, v_new]),
+            None => v_new,
+        });
+    }
+
+    /// Cached token count.
+    pub fn len(&self) -> usize {
+        self.k.as_ref().map_or(0, Tensor::rows)
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Byte footprint of the cache.
+    pub fn bytes(&self) -> usize {
+        self.k.as_ref().map_or(0, Tensor::bytes) + self.v.as_ref().map_or(0, Tensor::bytes)
+    }
+}
+
+/// Which weight a deferred gradient GEMM updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightId {
+    /// Query projection.
+    Wq,
+    /// Key projection.
+    Wk,
+    /// Value projection.
+    Wv,
+    /// Output projection.
+    Wo,
+    /// SwiGLU gate.
+    Wg,
+    /// SwiGLU up.
+    Wu,
+    /// SwiGLU down.
+    Wd,
+}
+
+/// One deferred weight-gradient GEMM: `dW += inputᵀ · out_grad`.
+#[derive(Debug, Clone)]
+pub struct WgradGemm {
+    /// Which weight to update.
+    pub weight: WeightId,
+    /// The forward input activation.
+    pub input: Tensor,
+    /// The output gradient.
+    pub out_grad: Tensor,
+}
+
+impl WgradGemm {
+    /// Byte footprint of the retained operands.
+    pub fn bytes(&self) -> usize {
+        self.input.bytes() + self.out_grad.bytes()
+    }
+}
+
+/// Activations one slice-forward saves for its backward.
+#[derive(Debug, Clone)]
+pub struct LayerFwdSaved {
+    x_in: Tensor,
+    norm1_saved: RmsNormSaved,
+    normed1: Tensor,
+    q: Tensor,
+    attn_saved: Vec<AttentionSaved>,
+    attn_concat: Tensor,
+    resid1: Tensor,
+    norm2_saved: RmsNormSaved,
+    normed2: Tensor,
+    gate_pre: Tensor,
+    gate_act: Tensor,
+    up: Tensor,
+    offset: usize,
+    heads: usize,
+}
+
+impl LayerFwdSaved {
+    /// Byte footprint of everything retained for the backward pass.
+    pub fn bytes(&self) -> usize {
+        self.x_in.bytes()
+            + self.norm1_saved.x.bytes()
+            + self.normed1.bytes()
+            + self.q.bytes()
+            + self.attn_saved.iter().map(|a| a.probs.bytes()).sum::<usize>()
+            + self.attn_concat.bytes()
+            + self.resid1.bytes()
+            + self.norm2_saved.x.bytes()
+            + self.normed2.bytes()
+            + self.gate_pre.bytes()
+            + self.gate_act.bytes()
+            + self.up.bytes()
+    }
+}
+
+/// Forward of one token slice through one decoder layer.
+///
+/// `offset` is the slice's first absolute token position; the layer's KV
+/// cache must contain exactly `offset` tokens on entry.
+///
+/// # Panics
+///
+/// Panics if the KV cache length disagrees with `offset`.
+pub fn forward_slice(
+    p: &LayerParams,
+    x: &Tensor,
+    kv: &mut Kv,
+    offset: usize,
+    heads: usize,
+) -> (Tensor, LayerFwdSaved) {
+    assert_eq!(kv.len(), offset, "KV cache out of sync with slice offset");
+    let h = x.cols();
+    let hd = h / heads;
+
+    let (normed1, norm1_saved) = rmsnorm(x, &p.norm1);
+    let q = matmul(&normed1, &p.wq);
+    let k_new = matmul(&normed1, &p.wk);
+    let v_new = matmul(&normed1, &p.wv);
+    kv.append(k_new, v_new);
+    let k_all = kv.k.as_ref().expect("cache nonempty after append");
+    let v_all = kv.v.as_ref().expect("cache nonempty after append");
+
+    let mut attn_concat = Tensor::zeros(x.rows(), h);
+    let mut attn_saved = Vec::with_capacity(heads);
+    for head in 0..heads {
+        let qh = q.slice_cols(head * hd, hd);
+        let kh = k_all.slice_cols(head * hd, hd);
+        let vh = v_all.slice_cols(head * hd, hd);
+        let (oh, sv) = causal_attention(&qh, &kh, &vh, offset);
+        attn_concat.add_cols(head * hd, &oh);
+        attn_saved.push(sv);
+    }
+    let attn_out = matmul(&attn_concat, &p.wo);
+    let resid1 = x.add(&attn_out);
+
+    let (normed2, norm2_saved) = rmsnorm(&resid1, &p.norm2);
+    let gate_pre = matmul(&normed2, &p.wg);
+    let up = matmul(&normed2, &p.wu);
+    let gate_act = silu(&gate_pre);
+    let mut mlp_act = gate_act.clone();
+    for (a, b) in mlp_act.data_mut().iter_mut().zip(up.data()) {
+        *a *= b;
+    }
+    let mlp_out = matmul(&mlp_act, &p.wd);
+    let y = resid1.add(&mlp_out);
+
+    let saved = LayerFwdSaved {
+        x_in: x.clone(),
+        norm1_saved,
+        normed1,
+        q,
+        attn_saved,
+        attn_concat,
+        resid1,
+        norm2_saved,
+        normed2,
+        gate_pre,
+        gate_act,
+        up,
+        offset,
+        heads,
+    };
+    (y, saved)
+}
+
+/// Output of one slice's input-gradient backward.
+pub struct BackwardOut {
+    /// Gradient w.r.t. the slice's layer input.
+    pub dx: Tensor,
+    /// Deferred weight-gradient GEMMs (7 per layer).
+    pub wgrads: Vec<WgradGemm>,
+    /// Immediate RMSNorm weight gradients `(d_norm1, d_norm2)`.
+    pub dnorm1: Tensor,
+    /// See `dnorm1`.
+    pub dnorm2: Tensor,
+}
+
+/// Input-gradient backward of one slice.
+///
+/// `dkv` holds per-layer dK/dV accumulators over the *whole* sample; it
+/// must already contain the contributions of every later slice (slices
+/// run in reverse order). This slice's own rows are consumed here.
+pub fn backward_input_slice(
+    p: &LayerParams,
+    saved: &LayerFwdSaved,
+    kv: &Kv,
+    dkv: &mut Kv,
+    dy: &Tensor,
+) -> BackwardOut {
+    let t = dy.rows();
+    let h = dy.cols();
+    let heads = saved.heads;
+    let hd = h / heads;
+    let offset = saved.offset;
+    let k_all = kv.k.as_ref().expect("kv cache present");
+    let v_all = kv.v.as_ref().expect("kv cache present");
+    let prefix = offset + t;
+    if dkv.is_empty() {
+        // First (i.e. last-slice) backward allocates the accumulators for
+        // the whole cached prefix.
+        dkv.k = Some(Tensor::zeros(kv.len(), h));
+        dkv.v = Some(Tensor::zeros(kv.len(), h));
+    }
+
+    let mut wgrads = Vec::with_capacity(7);
+
+    // MLP backward.
+    let d_mlp_act = matmul_dgrad(dy, &p.wd);
+    let mut mlp_act = saved.gate_act.clone();
+    for (a, b) in mlp_act.data_mut().iter_mut().zip(saved.up.data()) {
+        *a *= b;
+    }
+    wgrads.push(WgradGemm { weight: WeightId::Wd, input: mlp_act, out_grad: dy.clone() });
+    let mut d_silu = d_mlp_act.clone();
+    for (a, b) in d_silu.data_mut().iter_mut().zip(saved.up.data()) {
+        *a *= b;
+    }
+    let d_gate_pre = silu_backward(&d_silu, &saved.gate_pre);
+    let mut d_up = d_mlp_act;
+    for (a, b) in d_up.data_mut().iter_mut().zip(saved.gate_act.data()) {
+        *a *= b;
+    }
+    let mut d_normed2 = matmul_dgrad(&d_gate_pre, &p.wg);
+    d_normed2.add_assign(&matmul_dgrad(&d_up, &p.wu));
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wg,
+        input: saved.normed2.clone(),
+        out_grad: d_gate_pre,
+    });
+    wgrads.push(WgradGemm { weight: WeightId::Wu, input: saved.normed2.clone(), out_grad: d_up });
+    let (d_resid1_norm, dnorm2) = rmsnorm_backward(&d_normed2, &p.norm2, &saved.norm2_saved);
+    let mut d_resid1 = dy.clone();
+    d_resid1.add_assign(&d_resid1_norm);
+
+    // Attention output projection.
+    let d_attn_concat = matmul_dgrad(&d_resid1, &p.wo);
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wo,
+        input: saved.attn_concat.clone(),
+        out_grad: d_resid1.clone(),
+    });
+
+    // Per-head attention backward; accumulate prefix dK/dV.
+    let mut dq = Tensor::zeros(t, h);
+    {
+        let dk_acc = dkv.k.as_mut().expect("allocated above");
+        let dv_acc = dkv.v.as_mut().expect("allocated above");
+        for head in 0..heads {
+            let qh = saved.q.slice_cols(head * hd, hd);
+            let kh = k_all.slice_rows(0, prefix).slice_cols(head * hd, hd);
+            let vh = v_all.slice_rows(0, prefix).slice_cols(head * hd, hd);
+            let doh = d_attn_concat.slice_cols(head * hd, hd);
+            let (dqh, dkh, dvh) =
+                causal_attention_backward(&doh, &qh, &kh, &vh, &saved.attn_saved[head]);
+            dq.add_cols(head * hd, &dqh);
+            for r in 0..prefix {
+                let dst_k = &mut dk_acc.row_mut(r)[head * hd..(head + 1) * hd];
+                for (a, b) in dst_k.iter_mut().zip(dkh.row(r)) {
+                    *a += b;
+                }
+                let dst_v = &mut dv_acc.row_mut(r)[head * hd..(head + 1) * hd];
+                for (a, b) in dst_v.iter_mut().zip(dvh.row(r)) {
+                    *a += b;
+                }
+            }
+        }
+    }
+
+    // This slice's own dK/dV rows are now complete.
+    let dk_own = dkv.k.as_ref().expect("allocated").slice_rows(offset, t);
+    let dv_own = dkv.v.as_ref().expect("allocated").slice_rows(offset, t);
+
+    let mut d_normed1 = matmul_dgrad(&dq, &p.wq);
+    d_normed1.add_assign(&matmul_dgrad(&dk_own, &p.wk));
+    d_normed1.add_assign(&matmul_dgrad(&dv_own, &p.wv));
+    wgrads.push(WgradGemm { weight: WeightId::Wq, input: saved.normed1.clone(), out_grad: dq });
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wk,
+        input: saved.normed1.clone(),
+        out_grad: dk_own,
+    });
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wv,
+        input: saved.normed1.clone(),
+        out_grad: dv_own,
+    });
+
+    let (d_x_norm, dnorm1) = rmsnorm_backward(&d_normed1, &p.norm1, &saved.norm1_saved);
+    let mut dx = d_resid1;
+    dx.add_assign(&d_x_norm);
+
+    BackwardOut { dx, wgrads, dnorm1, dnorm2 }
+}
+
+/// Executes deferred weight-gradient GEMMs, accumulating into `grads`.
+pub fn apply_wgrads(grads: &mut LayerParams, gemms: &[WgradGemm]) {
+    for g in gemms {
+        let dw = matmul_wgrad(&g.input, &g.out_grad);
+        let target = match g.weight {
+            WeightId::Wq => &mut grads.wq,
+            WeightId::Wk => &mut grads.wk,
+            WeightId::Wv => &mut grads.wv,
+            WeightId::Wo => &mut grads.wo,
+            WeightId::Wg => &mut grads.wg,
+            WeightId::Wu => &mut grads.wu,
+            WeightId::Wd => &mut grads.wd,
+        };
+        target.add_assign(&dw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mepipe_model::config::TransformerConfig;
+    use mepipe_tensor::init::{rng, uniform};
+
+    use crate::params::LayerParams as LP;
+
+    fn setup() -> (LP, Tensor) {
+        let cfg = TransformerConfig::tiny(1);
+        let mut r = rng(71);
+        let p = LP::init(&cfg, &mut r);
+        let x = uniform(16, cfg.hidden, 1.0, &mut r);
+        (p, x)
+    }
+
+    #[test]
+    fn sliced_forward_equals_full_forward() {
+        let (p, x) = setup();
+        let mut kv_full = Kv::default();
+        let (y_full, _) = forward_slice(&p, &x, &mut kv_full, 0, 4);
+        let mut kv = Kv::default();
+        let mut parts = Vec::new();
+        for i in 0..4 {
+            let xs = x.slice_rows(i * 4, 4);
+            let (y, _) = forward_slice(&p, &xs, &mut kv, i * 4, 4);
+            parts.push(y);
+        }
+        let y_sliced = Tensor::vstack(&parts);
+        assert!(
+            y_full.max_abs_diff(&y_sliced) < 1e-4,
+            "diff = {}",
+            y_full.max_abs_diff(&y_sliced)
+        );
+    }
+
+    #[test]
+    fn sliced_backward_equals_full_backward() {
+        let (p, x) = setup();
+        let mut r = rng(72);
+        let dy = uniform(16, x.cols(), 1.0, &mut r);
+
+        // Full-sequence reference.
+        let mut kv_f = Kv::default();
+        let (_, saved_f) = forward_slice(&p, &x, &mut kv_f, 0, 4);
+        let mut dkv_f = Kv::default();
+        let out_f = backward_input_slice(&p, &saved_f, &kv_f, &mut dkv_f, &dy);
+        let mut grads_f = p.zero_grads();
+        apply_wgrads(&mut grads_f, &out_f.wgrads);
+
+        // Sliced execution: forwards 0..4, backwards 3..0.
+        let mut kv = Kv::default();
+        let mut saves = Vec::new();
+        for i in 0..4 {
+            let xs = x.slice_rows(i * 4, 4);
+            let (_, sv) = forward_slice(&p, &xs, &mut kv, i * 4, 4);
+            saves.push(sv);
+        }
+        let mut dkv = Kv::default();
+        let mut grads_s = p.zero_grads();
+        let mut dx_parts = vec![Tensor::zeros(0, 0); 4];
+        for i in (0..4).rev() {
+            let out = backward_input_slice(
+                &p,
+                &saves[i],
+                &kv,
+                &mut dkv,
+                &dy.slice_rows(i * 4, 4),
+            );
+            apply_wgrads(&mut grads_s, &out.wgrads);
+            grads_s.norm1.add_assign(&out.dnorm1);
+            grads_s.norm2.add_assign(&out.dnorm2);
+            dx_parts[i] = out.dx;
+        }
+        // Fold reference norm grads in for comparison.
+        grads_f.norm1.add_assign(&out_f.dnorm1);
+        grads_f.norm2.add_assign(&out_f.dnorm2);
+
+        let dx_sliced = Tensor::vstack(&dx_parts);
+        assert!(
+            out_f.dx.max_abs_diff(&dx_sliced) < 1e-3,
+            "dx diff = {}",
+            out_f.dx.max_abs_diff(&dx_sliced)
+        );
+        assert!(
+            grads_f.max_abs_diff(&grads_s) < 1e-3,
+            "grad diff = {}",
+            grads_f.max_abs_diff(&grads_s)
+        );
+    }
+
+    #[test]
+    fn backward_produces_seven_deferred_gemms() {
+        let (p, x) = setup();
+        let mut kv = Kv::default();
+        let (_, saved) = forward_slice(&p, &x, &mut kv, 0, 4);
+        let mut dkv = Kv::default();
+        let out =
+            backward_input_slice(&p, &saved, &kv, &mut dkv, &Tensor::zeros(16, x.cols()));
+        assert_eq!(out.wgrads.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn wrong_offset_panics() {
+        let (p, x) = setup();
+        let mut kv = Kv::default();
+        forward_slice(&p, &x, &mut kv, 3, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Real pipeline-parallel training runtime on a mini-Llama.
+//!
+//! This crate is the executable counterpart of the simulator: it runs the
+//! *same schedule IR* on real tensors across real OS threads, one thread
+//! per pipeline stage, with channels standing in for the interconnect. It
+//! demonstrates that SVPP's dependency structure is correct:
+//!
+//! * slice-wise forward with per-layer KV caches equals full-sequence
+//!   forward;
+//! * backward with reverse-slice dKV accumulation equals full-sequence
+//!   backward;
+//! * splitting weight-gradient GEMMs out of the backward pass and draining
+//!   them later yields identical gradients;
+//! * the peak activation bytes a stage holds under SVPP are a fraction of
+//!   what 1F1B holds, measured on live tensors, not a model.
+//!
+//! Modules: [`params`] (weights/grads/optimizer state), [`layer`]
+//! (slice-wise decoder layer with explicit backward), [`mod@reference`]
+//! (single-device baseline), [`pipeline`] (the threaded runtime),
+//! [`optim`] (SGD/Adam), [`memtrack`] (live activation accounting),
+//! [`profiler`] (measures real per-slice op times and feeds them to the
+//! simulator — the paper's profiler → scheduler → engine pipeline).
+#![warn(missing_docs)]
+
+
+pub mod checkpoint;
+pub mod cp;
+pub mod layer;
+pub mod memtrack;
+pub mod optim;
+pub mod params;
+pub mod pipeline;
+pub mod profiler;
+pub mod reference;
+pub mod tp;
+
+pub use pipeline::{PipelineRuntime, RunStats};

@@ -1,0 +1,90 @@
+//! Live activation-memory accounting for one pipeline stage.
+//!
+//! The tracker plays the role of the device allocator: saved activations,
+//! KV caches and retained weight-gradient operands are charged when
+//! created and credited when dropped; the running peak is what Tables 5–8
+//! and Figure 1 are about. An optional hard cap turns over-subscription
+//! into an explicit error — the "OOM" rows of the paper's configuration
+//! tables.
+
+/// Byte-level activation tracker with optional cap.
+#[derive(Debug, Clone)]
+pub struct MemTracker {
+    current: usize,
+    peak: usize,
+    cap: Option<usize>,
+}
+
+impl MemTracker {
+    /// A tracker with an optional capacity in bytes.
+    pub fn new(cap: Option<usize>) -> Self {
+        Self { current: 0, peak: 0, cap }
+    }
+
+    /// Charges `bytes`; returns `Err` if a cap would be exceeded (the
+    /// charge is still recorded so callers can report the overshoot).
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), String> {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+        match self.cap {
+            Some(cap) if self.current > cap => Err(format!(
+                "activation memory {} exceeds cap {cap}",
+                self.current
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Credits `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (credit exceeding the balance).
+    pub fn free(&mut self, bytes: usize) {
+        assert!(bytes <= self.current, "freeing more than allocated");
+        self.current -= bytes;
+    }
+
+    /// Current balance in bytes.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Peak balance in bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak_across_churn() {
+        let mut m = MemTracker::new(None);
+        m.alloc(100).unwrap();
+        m.alloc(50).unwrap();
+        m.free(120);
+        m.alloc(10).unwrap();
+        assert_eq!(m.current(), 40);
+        assert_eq!(m.peak(), 150);
+    }
+
+    #[test]
+    fn cap_violation_is_reported_once_exceeded() {
+        let mut m = MemTracker::new(Some(100));
+        assert!(m.alloc(80).is_ok());
+        assert!(m.alloc(30).is_err());
+        assert_eq!(m.peak(), 110);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing more than allocated")]
+    #[allow(unused_must_use)]
+    fn double_free_panics() {
+        let mut m = MemTracker::new(None);
+        m.alloc(10);
+        m.free(20);
+    }
+}

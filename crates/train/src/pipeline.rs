@@ -1,0 +1,749 @@
+//! The threaded pipeline runtime: one OS thread per stage, channels as
+//! the interconnect, executing the schedule IR on real tensors.
+//!
+//! Workers follow their schedule lists exactly as the simulator assumes:
+//! a forward op blocks until its input activation arrives from the
+//! previous global chunk position, a backward op blocks until the output
+//! gradient arrives from the next one. Three weight-gradient modes mirror
+//! the paper's design space:
+//!
+//! * [`WgradMode::Immediate`] — fused backward (DAPPLE-style);
+//! * [`WgradMode::AtWeightOp`] — split backward, W executed at its static
+//!   list position (zero-bubble w/o dynamic scheduling, Figure 11);
+//! * [`WgradMode::DrainOnWait`] — split backward, W GEMMs drained one at a
+//!   time *while blocked on the interconnect* (MEPipe's fine-grained
+//!   weight-gradient computation, Figure 12).
+//!
+//! Every byte of saved activation, KV cache, dKV buffer and retained
+//! weight-gradient operand is charged to a per-stage [`MemTracker`], so
+//! peak-memory claims are measured on live tensors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use mepipe_schedule::ir::{OpKind, Schedule};
+use mepipe_tensor::{
+    ops::{cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad,
+        rmsnorm, rmsnorm_backward},
+    Tensor,
+};
+
+use crate::{
+    layer::{apply_wgrads, backward_input_slice, forward_slice, Kv, LayerFwdSaved, WgradGemm},
+    memtrack::MemTracker,
+    optim::{ModelGrads, Sgd},
+    params::ModelParams,
+    reference::add_grads,
+};
+
+/// When weight-gradient GEMMs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WgradMode {
+    /// Apply weight gradients inside the backward op (fused schedules).
+    Immediate,
+    /// Apply them at the schedule's `W` op positions (static split).
+    AtWeightOp,
+    /// Apply them opportunistically while waiting on the interconnect,
+    /// finishing leftovers at `W` op positions (MEPipe, Section 5).
+    DrainOnWait,
+}
+
+/// Result of one pipelined iteration.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Mean next-token cross-entropy over the whole batch.
+    pub loss: f64,
+    /// Accumulated model gradients (already scaled like the reference).
+    pub grads: ModelGrads,
+    /// Peak live activation bytes per stage.
+    pub peak_bytes: Vec<usize>,
+    /// Weight-gradient GEMMs drained while waiting, per stage.
+    pub drained_wgrads: Vec<usize>,
+    /// First stage that exceeded the memory cap, with the bytes it held.
+    pub oom: Option<(usize, usize)>,
+}
+
+enum Msg {
+    Fwd { mb: usize, slice: usize, g: usize, x: Tensor },
+    Bwd { mb: usize, slice: usize, g: usize, dy: Tensor },
+}
+
+/// A model plus the pipeline shape needed to run schedules against it.
+pub struct PipelineRuntime {
+    /// The model (shared read-only across stage threads during a run).
+    pub model: ModelParams,
+    stages: usize,
+    virtual_chunks: usize,
+}
+
+impl PipelineRuntime {
+    /// Creates a runtime for `stages × virtual_chunks` interleaved chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer count is not divisible by the chunk count.
+    pub fn new(model: ModelParams, stages: usize, virtual_chunks: usize) -> Self {
+        assert_eq!(
+            model.cfg.layers % (stages * virtual_chunks),
+            0,
+            "layers must divide evenly into chunks"
+        );
+        Self { model, stages, virtual_chunks }
+    }
+
+    /// Runs one training iteration under `schedule` and returns loss,
+    /// gradients and memory statistics. `batch[mb]` must hold
+    /// `seq_len + 1` token ids. The model is not mutated; apply an
+    /// optimizer step with the returned gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule shape disagrees with the runtime or batch.
+    pub fn run_iteration(
+        &self,
+        schedule: &Schedule,
+        batch: &[Vec<usize>],
+        mode: WgradMode,
+        mem_cap: Option<usize>,
+    ) -> RunStats {
+        let meta = &schedule.meta;
+        assert_eq!(meta.stages, self.stages, "stage mismatch");
+        assert_eq!(meta.virtual_chunks, self.virtual_chunks, "chunk mismatch");
+        assert_eq!(meta.micro_batches, batch.len(), "batch size mismatch");
+        let seq = self.model.cfg.seq_len;
+        for s in batch {
+            assert_eq!(s.len(), seq + 1, "each sample needs seq_len + 1 tokens");
+        }
+        assert_eq!(seq % meta.slices, 0, "slices must divide the sequence");
+
+        let p = self.stages;
+        let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
+            (0..p).map(|_| unbounded()).unzip();
+        let batch = Arc::new(batch.to_vec());
+        let model = &self.model;
+
+        let mut results: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, rx) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let batch = Arc::clone(&batch);
+                let ops = schedule.workers[w].clone();
+                let meta = meta.clone();
+                handles.push(scope.spawn(move || {
+                    let mut ctx = WorkerCtx::new(model, &meta, w, rx, senders, batch, mode, mem_cap);
+                    for op in &ops {
+                        ctx.execute(op);
+                    }
+                    ctx.finish()
+                }));
+            }
+            for (w, h) in handles.into_iter().enumerate() {
+                results[w] = Some(h.join().expect("stage thread panicked"));
+            }
+        });
+
+        // Merge per-worker results.
+        let mut grads = ModelGrads::zeros(model);
+        let mut loss = 0.0f64;
+        let mut peaks = vec![0usize; p];
+        let mut drained = vec![0usize; p];
+        let mut oom = None;
+        for (w, out) in results.into_iter().enumerate() {
+            let out = out.expect("worker result present");
+            loss += out.loss_sum;
+            peaks[w] = out.peak_bytes;
+            drained[w] = out.drained;
+            if out.oom && oom.is_none() {
+                oom = Some((w, out.peak_bytes));
+            }
+            add_grads(&mut grads, &out.grads, 1.0);
+        }
+        RunStats { loss, grads, peak_bytes: peaks, drained_wgrads: drained, oom }
+    }
+
+    /// Runs one iteration under data parallelism: the batch is split
+    /// across `replicas` pipeline replicas (each executing the same
+    /// schedule on its shard) and gradients are averaged — the all-reduce
+    /// of Section 2.2's DP, realised over replica runs. The schedule's
+    /// micro-batch count must equal the per-replica shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not split evenly across replicas.
+    pub fn run_data_parallel(
+        &self,
+        schedule: &Schedule,
+        batch: &[Vec<usize>],
+        replicas: usize,
+        mode: WgradMode,
+    ) -> RunStats {
+        assert!(replicas > 0, "need at least one replica");
+        assert_eq!(batch.len() % replicas, 0, "batch must split evenly across replicas");
+        let shard = batch.len() / replicas;
+        let mut merged: Option<RunStats> = None;
+        for r in 0..replicas {
+            let stats =
+                self.run_iteration(schedule, &batch[r * shard..(r + 1) * shard], mode, None);
+            merged = Some(match merged {
+                None => stats,
+                Some(mut acc) => {
+                    acc.loss += stats.loss;
+                    add_grads(&mut acc.grads, &stats.grads, 1.0);
+                    for (a, b) in acc.peak_bytes.iter_mut().zip(&stats.peak_bytes) {
+                        *a = (*a).max(*b);
+                    }
+                    for (a, b) in acc.drained_wgrads.iter_mut().zip(&stats.drained_wgrads) {
+                        *a += b;
+                    }
+                    acc.oom = acc.oom.or(stats.oom);
+                    acc
+                }
+            });
+        }
+        let mut out = merged.expect("at least one replica ran");
+        // Each replica normalised by its shard size; the DP average
+        // divides by the replica count (gradients) and the replica count
+        // (losses).
+        out.loss /= replicas as f64;
+        scale_grads(&mut out.grads, 1.0 / replicas as f32);
+        out
+    }
+
+    /// Convenience: one iteration plus an SGD step.
+    pub fn train_step(
+        &mut self,
+        schedule: &Schedule,
+        batch: &[Vec<usize>],
+        mode: WgradMode,
+        lr: f32,
+    ) -> RunStats {
+        let stats = self.run_iteration(schedule, batch, mode, None);
+        Sgd { lr }.step_model(&mut self.model, &stats.grads);
+        stats
+    }
+}
+
+fn scale_grads(g: &mut ModelGrads, s: f32) {
+    let zero = |t: &mut mepipe_tensor::Tensor| {
+        for x in t.data_mut() {
+            *x *= s;
+        }
+    };
+    zero(&mut g.embedding);
+    for l in &mut g.layers {
+        zero(&mut l.wq);
+        zero(&mut l.wk);
+        zero(&mut l.wv);
+        zero(&mut l.wo);
+        zero(&mut l.wg);
+        zero(&mut l.wu);
+        zero(&mut l.wd);
+        zero(&mut l.norm1);
+        zero(&mut l.norm2);
+    }
+    zero(&mut g.final_norm);
+    zero(&mut g.head);
+}
+
+struct WorkerOut {
+    loss_sum: f64,
+    grads: ModelGrads,
+    peak_bytes: usize,
+    drained: usize,
+    oom: bool,
+}
+
+struct WorkerCtx<'m> {
+    model: &'m ModelParams,
+    meta: mepipe_schedule::ir::ScheduleMeta,
+    w: usize,
+    rx: Receiver<Msg>,
+    senders: Vec<Sender<Msg>>,
+    batch: Arc<Vec<Vec<usize>>>,
+    mode: WgradMode,
+    grads: ModelGrads,
+    // (mb, chunk, layer-in-chunk) KV caches and dKV accumulators.
+    kvs: HashMap<(usize, usize, usize), Kv>,
+    dkvs: HashMap<(usize, usize, usize), Kv>,
+    // Saved activations per (mb, slice, chunk), one per local layer.
+    saves: HashMap<(usize, usize, usize), (Tensor, Vec<LayerFwdSaved>)>,
+    // Final hidden state per (mb, slice) on the loss-owning chunk.
+    finals: HashMap<(usize, usize), Tensor>,
+    // Deferred weight-gradient GEMMs: (unit key, layer global idx, gemm).
+    pending_w: Vec<(usize, usize, usize, usize, WgradGemm)>,
+    inbox: HashMap<(bool, usize, usize, usize), Tensor>,
+    mem: MemTracker,
+    oom: bool,
+    loss_sum: f64,
+    drained: usize,
+    tokens_per_slice: usize,
+}
+
+impl<'m> WorkerCtx<'m> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        model: &'m ModelParams,
+        meta: &mepipe_schedule::ir::ScheduleMeta,
+        w: usize,
+        rx: Receiver<Msg>,
+        senders: Vec<Sender<Msg>>,
+        batch: Arc<Vec<Vec<usize>>>,
+        mode: WgradMode,
+        mem_cap: Option<usize>,
+    ) -> Self {
+        Self {
+            model,
+            meta: meta.clone(),
+            w,
+            rx,
+            senders,
+            batch,
+            mode,
+            grads: ModelGrads::zeros(model),
+            kvs: HashMap::new(),
+            dkvs: HashMap::new(),
+            saves: HashMap::new(),
+            finals: HashMap::new(),
+            pending_w: Vec::new(),
+            inbox: HashMap::new(),
+            mem: MemTracker::new(mem_cap),
+            oom: false,
+            loss_sum: 0.0,
+            drained: 0,
+            tokens_per_slice: model.cfg.seq_len / meta.slices,
+        }
+    }
+
+    fn layers_of_chunk(&self, chunk: usize) -> (usize, usize) {
+        let g = self.meta.global_pos(self.w, chunk);
+        self.model.chunk_layer_range(g, self.meta.total_chunks())
+    }
+
+    /// Blocking receive with optional W-drain while waiting.
+    fn recv_tagged(&mut self, is_fwd: bool, mb: usize, slice: usize, g: usize) -> Tensor {
+        let key = (is_fwd, mb, slice, g);
+        loop {
+            if let Some(t) = self.inbox.remove(&key) {
+                return t;
+            }
+            if self.mode == WgradMode::DrainOnWait {
+                match self.rx.try_recv() {
+                    Ok(m) => self.stash(m),
+                    Err(TryRecvError::Empty) => {
+                        if let Some((_, _, _, li, gemm)) = self.pending_w.pop() {
+                            // Drain exactly one GEMM, then re-check.
+                            apply_wgrads(&mut self.grads.layers[li], std::slice::from_ref(&gemm));
+                            self.mem.free(gemm.bytes());
+                            self.drained += 1;
+                        } else {
+                            let m = self.rx.recv().expect("channel closed");
+                            self.stash(m);
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => panic!("channel closed"),
+                }
+            } else {
+                let m = self.rx.recv().expect("channel closed");
+                self.stash(m);
+            }
+        }
+    }
+
+    /// Charges activation bytes, remembering cap violations (the runtime
+    /// keeps executing so gradients stay comparable — the flag is the
+    /// verdict, as in the paper's OOM table cells).
+    fn charge(&mut self, bytes: usize) {
+        if self.mem.alloc(bytes).is_err() {
+            self.oom = true;
+        }
+    }
+
+    fn stash(&mut self, m: Msg) {
+        match m {
+            Msg::Fwd { mb, slice, g, x } => {
+                self.inbox.insert((true, mb, slice, g), x);
+            }
+            Msg::Bwd { mb, slice, g, dy } => {
+                self.inbox.insert((false, mb, slice, g), dy);
+            }
+        }
+    }
+
+    fn execute(&mut self, op: &mepipe_schedule::ir::Op) {
+        match op.kind {
+            OpKind::Forward => self.forward(op.micro_batch, op.slice, op.chunk),
+            OpKind::Backward | OpKind::BackwardInput => {
+                self.backward(op.micro_batch, op.slice, op.chunk)
+            }
+            OpKind::BackwardWeight => self.weight_op(op.micro_batch, op.slice, op.chunk),
+        }
+    }
+
+    fn forward(&mut self, mb: usize, slice: usize, chunk: usize) {
+        let g = self.meta.global_pos(self.w, chunk);
+        let ts = self.tokens_per_slice;
+        let offset = slice * ts;
+        let x = if g == 0 {
+            let toks = &self.batch[mb][offset..offset + ts];
+            embedding(&self.model.embedding, toks, offset)
+        } else {
+            self.recv_tagged(true, mb, slice, g)
+        };
+        let (lo, hi) = self.layers_of_chunk(chunk);
+        let mut cur = x.clone();
+        let mut saves = Vec::with_capacity(hi - lo);
+        for li in lo..hi {
+            let kv = self.kvs.entry((mb, chunk, li - lo)).or_default();
+            let before = kv.bytes();
+            let (y, sv) = forward_slice(&self.model.layers[li], &cur, kv, offset, self.model.cfg.heads);
+            let kv_delta = kv.bytes() - before;
+            self.charge(sv.bytes() + kv_delta);
+            saves.push(sv);
+            cur = y;
+        }
+        self.charge(x.bytes());
+        self.saves.insert((mb, slice, chunk), (x, saves));
+        if g == self.meta.last_global_pos() {
+            self.charge(cur.bytes());
+            self.finals.insert((mb, slice), cur);
+        } else {
+            let (nw, _nc) = self.meta.stage_chunk_of(g + 1);
+            self.senders[nw]
+                .send(Msg::Fwd { mb, slice, g: g + 1, x: cur })
+                .expect("send forward");
+        }
+    }
+
+    fn backward(&mut self, mb: usize, slice: usize, chunk: usize) {
+        let g = self.meta.global_pos(self.w, chunk);
+        let ts = self.tokens_per_slice;
+        let offset = slice * ts;
+        let n_batch = self.batch.len();
+        let total_tokens = self.model.cfg.seq_len;
+
+        let mut dy = if g == self.meta.last_global_pos() {
+            // Loss path: final norm + head + cross-entropy on this slice.
+            let hidden = self.finals.remove(&(mb, slice)).expect("final hidden saved");
+            self.mem.free(hidden.bytes());
+            let (normed, norm_saved) = rmsnorm(&hidden, &self.model.final_norm);
+            let logits = matmul(&normed, &self.model.head);
+            let targets = &self.batch[mb][offset + 1..offset + ts + 1];
+            let ce = cross_entropy(&logits, targets);
+            self.loss_sum += ce.loss_sum / (total_tokens * n_batch) as f64;
+            let mut dlogits = ce.dlogits;
+            dlogits.scale(1.0 / (total_tokens * n_batch) as f32);
+            self.grads.head.add_assign(&matmul_wgrad(&normed, &dlogits));
+            let d_normed = matmul_dgrad(&dlogits, &self.model.head);
+            let (dh, dfn) = rmsnorm_backward(&d_normed, &self.model.final_norm, &norm_saved);
+            self.grads.final_norm.add_assign(&dfn);
+            dh
+        } else {
+            self.recv_tagged(false, mb, slice, g)
+        };
+
+        let (lo, hi) = self.layers_of_chunk(chunk);
+        let (x_in, saves) = self.saves.remove(&(mb, slice, chunk)).expect("saved acts present");
+        for li in (lo..hi).rev() {
+            let kv = self.kvs.get(&(mb, chunk, li - lo)).expect("kv cache present");
+            let dkv = self.dkvs.entry((mb, chunk, li - lo)).or_default();
+            let was_empty = dkv.is_empty();
+            let out = backward_input_slice(
+                &self.model.layers[li],
+                &saves[li - lo],
+                kv,
+                dkv,
+                &dy,
+            );
+            if was_empty {
+                let bytes = dkv.bytes();
+                self.charge(bytes);
+            }
+            self.grads.layers[li].norm1.add_assign(&out.dnorm1);
+            self.grads.layers[li].norm2.add_assign(&out.dnorm2);
+            match self.mode {
+                WgradMode::Immediate => apply_wgrads(&mut self.grads.layers[li], &out.wgrads),
+                WgradMode::AtWeightOp | WgradMode::DrainOnWait => {
+                    for gm in out.wgrads {
+                        self.charge(gm.bytes());
+                        self.pending_w.push((mb, slice, chunk, li, gm));
+                    }
+                }
+            }
+            self.mem.free(saves[li - lo].bytes());
+            dy = out.dx;
+        }
+        self.mem.free(x_in.bytes());
+        drop(x_in);
+
+        // After the first slice's backward, the (mb, chunk) caches die.
+        if slice == 0 {
+            for li in lo..hi {
+                if let Some(kv) = self.kvs.remove(&(mb, chunk, li - lo)) {
+                    self.mem.free(kv.bytes());
+                }
+                if let Some(dkv) = self.dkvs.remove(&(mb, chunk, li - lo)) {
+                    self.mem.free(dkv.bytes());
+                }
+            }
+        }
+
+        if g == 0 {
+            let toks = &self.batch[mb][offset..offset + ts];
+            self.grads
+                .embedding
+                .add_assign(&embedding_backward(&dy, toks, self.model.cfg.vocab));
+        } else {
+            let (pw, _pc) = self.meta.stage_chunk_of(g - 1);
+            self.senders[pw]
+                .send(Msg::Bwd { mb, slice, g: g - 1, dy })
+                .expect("send backward");
+        }
+    }
+
+    fn weight_op(&mut self, mb: usize, slice: usize, chunk: usize) {
+        if self.mode != WgradMode::AtWeightOp {
+            // Immediate mode never stashes; DrainOnWait ignores the static
+            // W positions entirely (GEMMs drain during waits, leftovers at
+            // the end) — the fully dynamic Section 5 behaviour.
+            return;
+        }
+        let mut remaining = Vec::new();
+        for entry in self.pending_w.drain(..) {
+            if entry.0 == mb && entry.1 == slice && entry.2 == chunk {
+                let (_, _, _, li, gemm) = entry;
+                self.mem.free(gemm.bytes());
+                apply_wgrads(&mut self.grads.layers[li], &[gemm]);
+            } else {
+                remaining.push(entry);
+            }
+        }
+        self.pending_w = remaining;
+    }
+
+    fn finish(mut self) -> WorkerOut {
+        // Any weight work never reached (e.g. drained list ended early).
+        for (_, _, _, li, gemm) in self.pending_w.drain(..) {
+            self.mem.free(gemm.bytes());
+            apply_wgrads(&mut self.grads.layers[li], &[gemm]);
+        }
+        WorkerOut {
+            loss_sum: self.loss_sum,
+            grads: self.grads,
+            peak_bytes: self.mem.peak(),
+            drained: self.drained,
+            oom: self.oom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+    use mepipe_model::config::TransformerConfig;
+    use mepipe_schedule::baselines::generate_dapple;
+    use mepipe_tensor::init::synthetic_tokens;
+
+    use crate::reference::batch_forward_backward;
+
+    fn tiny_cfg() -> TransformerConfig {
+        TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) }
+    }
+
+    fn make_batch(cfg: &TransformerConfig, n: usize, seed: u64) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, seed + i as u64))
+            .collect()
+    }
+
+    fn svpp_schedule(p: usize, v: usize, s: usize, n: usize, split: bool) -> Schedule {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        };
+        if split {
+            generate_svpp_split(&cfg).unwrap()
+        } else {
+            generate_svpp(&cfg).unwrap()
+        }
+    }
+
+    #[test]
+    fn svpp_pipeline_matches_reference_gradients() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 42);
+        let batch = make_batch(&cfg, 4, 7);
+        let reference = batch_forward_backward(&model, &batch);
+
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let sch = svpp_schedule(2, 1, 4, 4, false);
+        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+
+        assert!(
+            (stats.loss - reference.loss).abs() < 1e-4,
+            "loss {} vs reference {}",
+            stats.loss,
+            reference.loss
+        );
+        let diff = stats.grads.max_abs_diff(&reference.grads);
+        assert!(diff < 1e-3, "gradient diff {diff}");
+    }
+
+    #[test]
+    fn virtual_chunks_match_reference_too() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 43);
+        let batch = make_batch(&cfg, 2, 9);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 2);
+        let sch = svpp_schedule(2, 2, 2, 2, false);
+        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn split_and_drained_wgrads_match_immediate() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 44);
+        let batch = make_batch(&cfg, 2, 11);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let fused = rt.run_iteration(&svpp_schedule(2, 1, 2, 2, false), &batch, WgradMode::Immediate, None);
+        let split_sch = svpp_schedule(2, 1, 2, 2, true);
+        let at_w = rt.run_iteration(&split_sch, &batch, WgradMode::AtWeightOp, None);
+        let drained = rt.run_iteration(&split_sch, &batch, WgradMode::DrainOnWait, None);
+        assert!(fused.grads.max_abs_diff(&at_w.grads) < 1e-4);
+        assert!(fused.grads.max_abs_diff(&drained.grads) < 1e-4);
+        assert!((fused.loss - drained.loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_between_svpp_and_dapple_separates_them() {
+        // The paper's whole premise, on live tensors: pick a cap between
+        // SVPP's peak and DAPPLE's peak — DAPPLE OOMs, SVPP fits.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 49);
+        let batch = make_batch(&cfg, 8, 23);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let dapple = generate_dapple(2, 8).unwrap();
+        let sv = svpp_schedule(2, 1, 4, 8, false);
+        let free_d = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
+        let free_s = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
+        let cap = (free_s.peak_bytes[0] + free_d.peak_bytes[0]) / 2;
+        let capped_d = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, Some(cap));
+        let capped_s = rt.run_iteration(&sv, &batch, WgradMode::Immediate, Some(cap));
+        assert!(capped_d.oom.is_some(), "DAPPLE should exceed the cap");
+        assert!(capped_s.oom.is_none(), "SVPP should fit the cap");
+    }
+
+    #[test]
+    fn svpp_peak_memory_below_dapple() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 45);
+        let batch = make_batch(&cfg, 8, 13);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let dapple = generate_dapple(2, 8).unwrap();
+        let rd = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
+        let sv = svpp_schedule(2, 1, 4, 8, false);
+        let rs = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
+        assert!(
+            rs.peak_bytes[0] < rd.peak_bytes[0],
+            "svpp {} !< dapple {}",
+            rs.peak_bytes[0],
+            rd.peak_bytes[0]
+        );
+        // Loss identical across schedules (same math).
+        assert!((rs.loss - rd.loss).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zbv_schedule_runs_on_the_runtime() {
+        // The V-shaped placement routes chunk 1 back through the stages in
+        // reverse — the loss lands on stage 0. The runtime resolves all of
+        // that from the schedule meta, so ZBV trains out of the box and
+        // matches the single-device reference.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 50);
+        let batch = make_batch(&cfg, 4, 29);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 2);
+        let sch = mepipe_schedule::baselines::generate_zbv(2, 4).unwrap();
+        let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn hanayo_schedule_runs_on_the_runtime() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 51);
+        let batch = make_batch(&cfg, 4, 31);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 2);
+        let sch = mepipe_schedule::baselines::generate_hanayo(2, 2, 4).unwrap();
+        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn training_reduces_loss_like_reference() {
+        let cfg = tiny_cfg();
+        let mut rt = PipelineRuntime::new(ModelParams::init(cfg, 46), 2, 1);
+        let mut ref_model = ModelParams::init(cfg, 46);
+        let sch = svpp_schedule(2, 1, 2, 2, false);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..6 {
+            let batch = make_batch(&cfg, 2, 100 + step);
+            let stats = rt.train_step(&sch, &batch, WgradMode::Immediate, 0.1);
+            let r = batch_forward_backward(&ref_model, &batch);
+            Sgd { lr: 0.1 }.step_model(&mut ref_model, &r.grads);
+            assert!(
+                (stats.loss - r.loss).abs() < 1e-3,
+                "step {step}: pipeline {} vs reference {}",
+                stats.loss,
+                r.loss
+            );
+            if first.is_none() {
+                first = Some(stats.loss);
+            }
+            last = stats.loss;
+        }
+        assert!(last < first.unwrap(), "loss did not decrease: {first:?} -> {last}");
+    }
+
+    #[test]
+    fn data_parallel_matches_reference_batch() {
+        // DP over 2 replicas on a 4-sample batch must equal the reference
+        // batch gradient (each replica averages its shard of 2; DP halves
+        // the replica sum — identical to the 1/4-scaled whole batch).
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 48);
+        let batch = make_batch(&cfg, 4, 21);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        // The schedule covers one replica's shard of 2 micro-batches.
+        let sch = svpp_schedule(2, 1, 2, 2, false);
+        let stats = rt.run_data_parallel(&sch, &batch, 2, WgradMode::Immediate);
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn drain_on_wait_actually_drains() {
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 47);
+        let batch = make_batch(&cfg, 4, 17);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let sch = svpp_schedule(2, 1, 2, 4, true);
+        let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+        let total: usize = stats.drained_wgrads.iter().sum();
+        assert!(total > 0, "expected some drained weight GEMMs");
+    }
+}

@@ -1,0 +1,159 @@
+//! Single-device reference execution — the ground truth the pipeline
+//! runtime is checked against.
+
+use mepipe_tensor::{
+    ops::{cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad,
+        rmsnorm, rmsnorm_backward},
+    Tensor,
+};
+
+use crate::{
+    layer::{apply_wgrads, backward_input_slice, forward_slice, Kv},
+    optim::ModelGrads,
+    params::ModelParams,
+};
+
+/// Loss and gradients of one full forward/backward over one sample.
+pub struct ReferenceOut {
+    /// Mean next-token cross-entropy over the sample.
+    pub loss: f64,
+    /// Full-model gradients.
+    pub grads: ModelGrads,
+}
+
+/// Runs one sample (`tokens[..n]` predicting `tokens[1..=n]`) through the
+/// whole model on one device, full sequence, and returns loss + grads.
+///
+/// # Panics
+///
+/// Panics if `tokens.len() < 2`.
+pub fn forward_backward(model: &ModelParams, tokens: &[usize]) -> ReferenceOut {
+    assert!(tokens.len() >= 2, "need at least two tokens");
+    let t = tokens.len() - 1;
+    let inputs = &tokens[..t];
+    let targets = &tokens[1..];
+    let heads = model.cfg.heads;
+
+    let mut grads = ModelGrads::zeros(model);
+
+    // Forward.
+    let x0 = embedding(&model.embedding, inputs, 0);
+    let mut x = x0;
+    let mut kvs: Vec<Kv> = (0..model.layers.len()).map(|_| Kv::default()).collect();
+    let mut saves = Vec::with_capacity(model.layers.len());
+    for (li, lp) in model.layers.iter().enumerate() {
+        let (y, sv) = forward_slice(lp, &x, &mut kvs[li], 0, heads);
+        saves.push(sv);
+        x = y;
+    }
+    let (normed, norm_saved) = rmsnorm(&x, &model.final_norm);
+    let logits = matmul(&normed, &model.head);
+    let ce = cross_entropy(&logits, targets);
+    let loss = ce.loss_sum / t as f64;
+
+    // Backward. Loss gradient is already d(loss_sum); scale to mean.
+    let mut dlogits = ce.dlogits;
+    dlogits.scale(1.0 / t as f32);
+    grads.head.add_assign(&matmul_wgrad(&normed, &dlogits));
+    let d_normed = matmul_dgrad(&dlogits, &model.head);
+    let (mut dy, d_final_norm) = rmsnorm_backward(&d_normed, &model.final_norm, &norm_saved);
+    grads.final_norm.add_assign(&d_final_norm);
+
+    for li in (0..model.layers.len()).rev() {
+        let mut dkv = Kv::default();
+        let out = backward_input_slice(&model.layers[li], &saves[li], &kvs[li], &mut dkv, &dy);
+        apply_wgrads(&mut grads.layers[li], &out.wgrads);
+        grads.layers[li].norm1.add_assign(&out.dnorm1);
+        grads.layers[li].norm2.add_assign(&out.dnorm2);
+        dy = out.dx;
+    }
+    grads
+        .embedding
+        .add_assign(&embedding_backward(&dy, inputs, model.cfg.vocab));
+
+    ReferenceOut { loss, grads }
+}
+
+/// Runs a batch of samples, averaging losses and accumulating gradients
+/// scaled by `1/batch` (the convention the pipeline runtime follows).
+pub fn batch_forward_backward(model: &ModelParams, batch: &[Vec<usize>]) -> ReferenceOut {
+    assert!(!batch.is_empty(), "empty batch");
+    let mut total = ModelGrads::zeros(model);
+    let mut loss = 0.0;
+    for sample in batch {
+        let out = forward_backward(model, sample);
+        loss += out.loss;
+        add_grads(&mut total, &out.grads, 1.0 / batch.len() as f32);
+    }
+    ReferenceOut { loss: loss / batch.len() as f64, grads: total }
+}
+
+/// `acc += scale * g` over a full gradient set.
+pub fn add_grads(acc: &mut ModelGrads, g: &ModelGrads, scale: f32) {
+    let scaled_add = |a: &mut Tensor, b: &Tensor| {
+        for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+            *x += scale * y;
+        }
+    };
+    scaled_add(&mut acc.embedding, &g.embedding);
+    for (al, gl) in acc.layers.iter_mut().zip(&g.layers) {
+        scaled_add(&mut al.wq, &gl.wq);
+        scaled_add(&mut al.wk, &gl.wk);
+        scaled_add(&mut al.wv, &gl.wv);
+        scaled_add(&mut al.wo, &gl.wo);
+        scaled_add(&mut al.wg, &gl.wg);
+        scaled_add(&mut al.wu, &gl.wu);
+        scaled_add(&mut al.wd, &gl.wd);
+        scaled_add(&mut al.norm1, &gl.norm1);
+        scaled_add(&mut al.norm2, &gl.norm2);
+    }
+    scaled_add(&mut acc.final_norm, &g.final_norm);
+    scaled_add(&mut acc.head, &g.head);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mepipe_model::config::TransformerConfig;
+    use mepipe_tensor::init::synthetic_tokens;
+
+    #[test]
+    fn loss_starts_near_log_vocab() {
+        let cfg = TransformerConfig::tiny(2);
+        let model = ModelParams::init(cfg, 3);
+        let toks = synthetic_tokens(17, cfg.vocab, 5);
+        let out = forward_backward(&model, &toks);
+        let lv = (cfg.vocab as f64).ln();
+        assert!(
+            (out.loss - lv).abs() < 1.0,
+            "initial loss {} far from ln(vocab) = {lv}",
+            out.loss
+        );
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let cfg = TransformerConfig::tiny(2);
+        let mut model = ModelParams::init(cfg, 3);
+        let toks = synthetic_tokens(17, cfg.vocab, 5);
+        let before = forward_backward(&model, &toks);
+        crate::optim::Sgd { lr: 0.2 }.step_model(&mut model, &before.grads);
+        let after = forward_backward(&model, &toks);
+        assert!(after.loss < before.loss, "{} !< {}", after.loss, before.loss);
+    }
+
+    #[test]
+    fn batch_grads_average_samples() {
+        let cfg = TransformerConfig::tiny(1);
+        let model = ModelParams::init(cfg, 3);
+        let a = synthetic_tokens(9, cfg.vocab, 1);
+        let b = synthetic_tokens(9, cfg.vocab, 2);
+        let ga = forward_backward(&model, &a);
+        let gb = forward_backward(&model, &b);
+        let batch = batch_forward_backward(&model, &[a, b]);
+        let mut manual = ModelGrads::zeros(&model);
+        add_grads(&mut manual, &ga.grads, 0.5);
+        add_grads(&mut manual, &gb.grads, 0.5);
+        assert!(batch.grads.max_abs_diff(&manual) < 1e-5);
+    }
+}

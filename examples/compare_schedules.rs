@@ -1,0 +1,77 @@
+//! Render every scheduling method side by side on the same small problem
+//! (the paper's Figures 2–4 in one view) and compare bubble ratios and
+//! peak in-flight activations.
+//!
+//! ```sh
+//! cargo run --release --example compare_schedules
+//! ```
+
+use mepipe::core::svpp::{generate_svpp, SvppConfig};
+use mepipe::schedule::{
+    baselines,
+    exec::{execute, UnitCost},
+    render::render,
+    validate::{peak_in_flight, validate},
+    Schedule,
+};
+
+fn show(name: &str, schedule: &Schedule, cost: &UnitCost, unit_fraction: usize) {
+    validate(schedule).expect("schedule must validate");
+    let t = execute(schedule, cost).expect("schedule must execute");
+    println!("=== {name} ===");
+    println!("{}", render(schedule, cost).expect("renderable"));
+    let peaks = peak_in_flight(schedule);
+    println!(
+        "bubble {:.1}%  makespan {}  stage-0 peak {} units of A/{unit_fraction} = {:.3}A\n",
+        t.bubble_ratio() * 100.0,
+        t.makespan,
+        peaks[0],
+        peaks[0] as f64 / unit_fraction as f64,
+    );
+}
+
+fn main() {
+    let (p, n, s) = (4usize, 4usize, 2usize);
+
+    // Whole-micro-batch methods: one unit = A/p of activations; a forward
+    // over a whole micro-batch takes `s` ticks of slice work.
+    let coarse = UnitCost { fwd: s as f64, bwd: 2.0 * s as f64, wgrad: 0.0 };
+    show("GPipe", &baselines::generate_gpipe(p, n).unwrap(), &coarse, p);
+    show("DAPPLE (1F1B)", &baselines::generate_dapple(p, n).unwrap(), &coarse, p);
+
+    // Slice-level methods: one unit = A/(p·s).
+    let fine = UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 };
+    show(
+        "TeraPipe",
+        &baselines::generate_terapipe(p, n, s).unwrap(),
+        &fine,
+        p * s,
+    );
+    show(
+        "SVPP (MEPipe), v=1",
+        &generate_svpp(&SvppConfig {
+            stages: p,
+            virtual_chunks: 1,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        })
+        .unwrap(),
+        &fine,
+        p * s,
+    );
+    show(
+        "SVPP (MEPipe), v=2",
+        &generate_svpp(&SvppConfig {
+            stages: p,
+            virtual_chunks: 2,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        })
+        .unwrap(),
+        &fine,
+        p * s * 2,
+    );
+    println!("Tokens: F=forward B=backward; letter = micro-batch (capitals = 2nd chunk); digit = slice.");
+}

@@ -1,0 +1,72 @@
+//! Pick the SVPP variant for a memory budget (Section 4.5's memory model)
+//! and show the memory/bubble trade-off curve of Section 4.2.
+//!
+//! ```sh
+//! cargo run --release --example memory_budget
+//! ```
+
+use mepipe::core::svpp::SvppConfig;
+use mepipe::core::variants::{enumerate_variants, select_variant_for_budget};
+use mepipe::hw::accelerator::AcceleratorSpec;
+use mepipe::model::{
+    config::TransformerConfig,
+    memory,
+    partition::{PartitionSpec, SequenceSplit},
+};
+
+fn main() {
+    let model = TransformerConfig::llama2_13b();
+    let spec = PartitionSpec {
+        pp: 8,
+        vp: 1,
+        dp: 8,
+        seq: SequenceSplit::SlicePipeline { slices: 4 },
+        recompute: false,
+        micro_batch_size: 1,
+        global_batch: 128,
+    };
+    let cfg = SvppConfig {
+        stages: 8,
+        virtual_chunks: 1,
+        slices: 4,
+        micro_batches: spec.micro_batches(),
+        warmup_cap: None,
+    };
+    let gib = 1024f64.powi(3);
+
+    println!("Llama-13B on one RTX 4090, MEPipe (PP 8, SPP 4, DP 8):");
+    println!(
+        "  static memory : {:.2} GiB (fp16 params+grads {:.2} + sharded Adam)",
+        memory::static_bytes_per_worker(&model, &spec) / gib,
+        4.0 * model.num_params() as f64 / spec.pp as f64 / gib,
+    );
+    let accel = AcceleratorSpec::rtx4090();
+    println!(
+        "  activation budget: {:.2} GiB -> at most {} in-flight slice units",
+        memory::activation_budget_bytes(&model, &spec, accel.usable_memory_bytes()) / gib,
+        memory::max_in_flight_units(&model, &spec, accel.usable_memory_bytes())
+    );
+    println!();
+
+    println!("variant family (Section 4.2): f = forwards admitted before the first backward");
+    println!("{:>4} {:>14} {:>16}", "f", "peak act (GiB)", "bubble estimate");
+    for v in enumerate_variants(&cfg, &model, &spec) {
+        println!(
+            "{:>4} {:>14.2} {:>15.1}%",
+            v.warmup,
+            v.peak_activation_bytes / gib,
+            v.bubble_estimate * 100.0
+        );
+    }
+    println!();
+
+    match select_variant_for_budget(cfg, &model, &spec, &accel) {
+        Some(picked) => println!(
+            "selected variant for the 24 GB card: f = {} (of the {}..={} family)",
+            picked.warmup_cap.unwrap(),
+            cfg.min_warmup(),
+            cfg.max_warmup()
+        ),
+        None => println!("even the f = v*s floor does not fit — pick more slices or stages"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Grid-search the optimal parallel strategy for every system on a
+//! cluster you describe — the Section 7.1 methodology as a library call.
+//!
+//! ```sh
+//! cargo run --release --example strategy_search [7b|13b|34b] [gbs]
+//! ```
+
+use mepipe::hw::topology::ClusterSpec;
+use mepipe::model::config::TransformerConfig;
+use mepipe::strategy::{search_all, Method};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = match args.first().map(String::as_str) {
+        Some("7b") => TransformerConfig::llama2_7b(),
+        Some("34b") => TransformerConfig::llama2_34b(),
+        _ => TransformerConfig::llama2_13b(),
+    };
+    let gbs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+    let cluster = ClusterSpec::rtx4090_cluster();
+
+    println!(
+        "Searching strategies: hidden {}, {} layers, GBS {gbs}, {} GPUs ({})",
+        model.hidden,
+        model.layers,
+        cluster.num_devices(),
+        cluster.accelerator.name
+    );
+    println!();
+    println!("{:<8} {:>12} {:>28} {:>9} {:>7}", "system", "iteration", "config (PP, CP/SPP, VP, rc)", "bubble", "MFU");
+
+    let mut best_baseline = f64::INFINITY;
+    let mut mepipe = None;
+    for (method, result) in search_all(&model, &cluster, gbs) {
+        match result {
+            Some(e) => {
+                println!(
+                    "{:<8} {:>9.0} ms {:>28} {:>8.1}% {:>6.1}%",
+                    method.name(),
+                    e.iteration_time * 1e3,
+                    e.candidate.label(),
+                    e.bubble_ratio * 100.0,
+                    e.mfu * 100.0
+                );
+                if method == Method::Mepipe {
+                    mepipe = Some(e.iteration_time);
+                } else {
+                    best_baseline = best_baseline.min(e.iteration_time);
+                }
+            }
+            None => println!("{:<8} {:>12} {:>28}", method.name(), "infeasible", "-"),
+        }
+    }
+    if let Some(t) = mepipe {
+        if best_baseline.is_finite() {
+            println!("\nMEPipe speedup over the best baseline: {:.2}x", best_baseline / t);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Train a mini-Llama end-to-end on the *real* threaded pipeline runtime
+//! under an SVPP schedule, and verify against single-device execution.
+//!
+//! This exercises the whole MEPipe dataflow on live tensors: slice-wise
+//! causal attention with KV handoff, reverse-slice dKV accumulation,
+//! fine-grained weight-gradient draining while blocked on the
+//! interconnect, and per-stage activation-memory tracking.
+//!
+//! ```sh
+//! cargo run --release --example train_mini_llama
+//! ```
+
+use mepipe::core::svpp::{generate_svpp_split, SvppConfig};
+use mepipe::model::config::TransformerConfig;
+use mepipe::tensor::init::synthetic_tokens;
+use mepipe::train::{
+    optim::Sgd,
+    params::ModelParams,
+    pipeline::{PipelineRuntime, WgradMode},
+    reference::batch_forward_backward,
+};
+
+fn main() {
+    let cfg = TransformerConfig { seq_len: 64, ..TransformerConfig::tiny(4) };
+    let (stages, slices, micro_batches) = (2usize, 4usize, 4usize);
+
+    let schedule = generate_svpp_split(&SvppConfig {
+        stages,
+        virtual_chunks: 1,
+        slices,
+        micro_batches,
+        warmup_cap: None,
+    })
+    .expect("valid SVPP config");
+
+    let mut runtime = PipelineRuntime::new(ModelParams::init(cfg, 42), stages, 1);
+    let mut reference = ModelParams::init(cfg, 42);
+    let lr = 0.15;
+
+    println!("step | pipeline loss | reference loss | drained W GEMMs | peak act bytes/stage");
+    for step in 0..10u64 {
+        let batch: Vec<Vec<usize>> = (0..micro_batches)
+            .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 1000 + step * 16 + i as u64))
+            .collect();
+
+        let stats = runtime.train_step(&schedule, &batch, WgradMode::DrainOnWait, lr);
+        let r = batch_forward_backward(&reference, &batch);
+        Sgd { lr }.step_model(&mut reference, &r.grads);
+
+        println!(
+            "{step:>4} | {:>13.5} | {:>14.5} | {:>15} | {:?}",
+            stats.loss,
+            r.loss,
+            stats.drained_wgrads.iter().sum::<usize>(),
+            stats.peak_bytes
+        );
+        assert!(
+            (stats.loss - r.loss).abs() < 1e-3,
+            "pipeline diverged from the single-device reference"
+        );
+    }
+    println!("\npipelined SVPP training matches single-device training step for step ✓");
+}

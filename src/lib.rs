@@ -1,0 +1,38 @@
+//! MEPipe — memory-efficient slice-level pipeline scheduling for LLM
+//! training, a Rust reproduction of the EuroSys '25 paper.
+//!
+//! This facade crate re-exports every subsystem under one roof:
+//!
+//! * [`hw`] — accelerators, links, cluster topology, pricing.
+//! * [`model`] — transformer configurations and the FLOP/memory cost model.
+//! * [`schedule`] — the schedule IR plus baseline schedules (GPipe, DAPPLE,
+//!   VPP, Hanayo, TeraPipe, zero-bubble).
+//! * [`core`] — the paper's contribution: SVPP schedule generation, its
+//!   memory-limited variants, backward rescheduling, fine-grained
+//!   weight-gradient computation and the closed-form analysis of Table 3.
+//! * [`sim`] — discrete-event cluster simulator that executes schedules.
+//! * [`tensor`] — from-scratch CPU tensor library with explicit backward.
+//! * [`train`] — real threaded pipeline training runtime on a mini-Llama.
+//! * [`strategy`] — parallel-strategy grid search (Tables 5–8).
+//!
+//! # Examples
+//!
+//! ```
+//! use mepipe::core::svpp::{SvppConfig, generate_svpp};
+//!
+//! // The Figure 4(a) schedule: 4 stages, 2 slices, 4 micro-batches.
+//! let cfg = SvppConfig { stages: 4, virtual_chunks: 1, slices: 2, micro_batches: 4, warmup_cap: None };
+//! let schedule = generate_svpp(&cfg).unwrap();
+//! assert_eq!(schedule.num_workers(), 4);
+//! ```
+#![warn(missing_docs)]
+
+
+pub use mepipe_core as core;
+pub use mepipe_hw as hw;
+pub use mepipe_model as model;
+pub use mepipe_schedule as schedule;
+pub use mepipe_sim as sim;
+pub use mepipe_strategy as strategy;
+pub use mepipe_tensor as tensor;
+pub use mepipe_train as train;

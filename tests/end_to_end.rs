@@ -1,0 +1,193 @@
+//! End-to-end integration: schedule generation → validation → simulation
+//! → metrics for every scheduling method, plus the real threaded runtime
+//! against the simulator's assumptions.
+
+use mepipe::core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+use mepipe::hw::topology::ClusterSpec;
+use mepipe::model::{
+    config::TransformerConfig,
+    cost::ExecutionCost,
+    partition::{PartitionSpec, SequenceSplit},
+};
+use mepipe::schedule::{baselines, validate::validate, Schedule};
+use mepipe::sim::{
+    engine::{simulate, SimConfig},
+    metrics, ModelCost,
+};
+use mepipe::strategy::{search_all, Method};
+use mepipe::tensor::init::synthetic_tokens;
+use mepipe::train::{
+    params::ModelParams,
+    pipeline::{PipelineRuntime, WgradMode},
+};
+
+fn every_method_schedule(p: usize, n: usize, s: usize) -> Vec<Schedule> {
+    vec![
+        baselines::generate_gpipe(p, n).unwrap(),
+        baselines::generate_dapple(p, n).unwrap(),
+        baselines::generate_vpp(p, 2, n).unwrap(),
+        baselines::generate_terapipe(p, n, s).unwrap(),
+        baselines::generate_zb(p, n).unwrap(),
+        baselines::generate_zbv(p, n).unwrap(),
+        generate_svpp(&SvppConfig {
+            stages: p,
+            virtual_chunks: 1,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        })
+        .unwrap(),
+        generate_svpp_split(&SvppConfig {
+            stages: p,
+            virtual_chunks: 2,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        })
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn every_method_validates_and_simulates() {
+    for sch in every_method_schedule(4, 8, 2) {
+        validate(&sch).unwrap_or_else(|e| panic!("{}: {e}", sch.meta.name));
+        let cost = mepipe::sim::UniformSimCost::default();
+        let r = simulate(&sch, &cost, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", sch.meta.name));
+        assert!(r.makespan > 0.0, "{}", sch.meta.name);
+        assert!(r.bubble_ratio() >= 0.0 && r.bubble_ratio() < 1.0, "{}", sch.meta.name);
+    }
+}
+
+#[test]
+fn mepipe_13b_full_stack() {
+    // The paper's headline configuration, end to end through the real
+    // cost model: Llama-13B, 64 GPUs, (PP 8, SPP 4, DP 8), GBS 128.
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let spec = PartitionSpec {
+        pp: 8,
+        vp: 1,
+        dp: 8,
+        seq: SequenceSplit::SlicePipeline { slices: 4 },
+        recompute: false,
+        micro_batch_size: 1,
+        global_batch: 128,
+    };
+    let schedule = generate_svpp_split(&SvppConfig {
+        stages: 8,
+        virtual_chunks: 1,
+        slices: 4,
+        micro_batches: spec.micro_batches(),
+        warmup_cap: None,
+    })
+    .unwrap();
+    validate(&schedule).unwrap();
+    let cost = ModelCost::new(ExecutionCost::new(model, spec, &cluster).unwrap());
+    let budget = mepipe::model::memory::activation_budget_bytes(
+        &model,
+        &spec,
+        cluster.accelerator.usable_memory_bytes(),
+    );
+    let r = simulate(
+        &schedule,
+        &cost,
+        &SimConfig {
+            dynamic_wgrad: true,
+            memory_limit_bytes: Some(budget),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(r.oom.is_none(), "13B optimal config must fit: {:?}", r.oom);
+    // Paper: 5852 ms iteration, 35% MFU, 116 TFLOPS.
+    assert!((3.0..9.0).contains(&r.iteration_time), "iteration {}", r.iteration_time);
+    let mfu = metrics::mfu(&r, cost.execution_cost());
+    assert!((0.25..0.45).contains(&mfu), "MFU {mfu}");
+    // Peak activation fits in the 24 GB card next to ~8 GiB static.
+    let peak = r.peak_activation_bytes.iter().copied().fold(0.0, f64::max);
+    assert!(peak < 15.0 * 1024f64.powi(3), "peak {peak}");
+}
+
+#[test]
+fn threaded_runtime_agrees_with_every_wgrad_mode_and_schedule() {
+    let cfg = TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) };
+    let rt = PipelineRuntime::new(ModelParams::init(cfg, 7), 2, 2);
+    let batch: Vec<Vec<usize>> =
+        (0..4).map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 40 + i)).collect();
+    let fused = generate_svpp(&SvppConfig {
+        stages: 2,
+        virtual_chunks: 2,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    let split = generate_svpp_split(&SvppConfig {
+        stages: 2,
+        virtual_chunks: 2,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    let a = rt.run_iteration(&fused, &batch, WgradMode::Immediate, None);
+    let b = rt.run_iteration(&split, &batch, WgradMode::AtWeightOp, None);
+    let c = rt.run_iteration(&split, &batch, WgradMode::DrainOnWait, None);
+    assert!((a.loss - b.loss).abs() < 1e-9);
+    assert!((a.loss - c.loss).abs() < 1e-9);
+    assert!(a.grads.max_abs_diff(&b.grads) < 1e-4);
+    assert!(a.grads.max_abs_diff(&c.grads) < 1e-4);
+}
+
+#[test]
+fn search_reproduces_paper_winner_on_both_clusters() {
+    let model = TransformerConfig::llama2_13b();
+    for cluster in [ClusterSpec::rtx4090_cluster(), ClusterSpec::a100_cluster()] {
+        let results = search_all(&model, &cluster, 128);
+        let mepipe = results
+            .iter()
+            .find(|(m, _)| *m == Method::Mepipe)
+            .and_then(|(_, e)| e.as_ref())
+            .unwrap_or_else(|| panic!("MEPipe feasible on {}", cluster.accelerator.name));
+        for (m, e) in &results {
+            if let Some(e) = e {
+                assert!(
+                    mepipe.iteration_time <= e.iteration_time + 1e-9,
+                    "{}: {} beat MEPipe on {}",
+                    cluster.accelerator.name,
+                    m.name(),
+                    cluster.accelerator.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oom_configs_are_rejected_consistently() {
+    // The memory model and the simulator must agree on the famous
+    // failure: DAPPLE without CP on 13B (peak = A > 24 GB).
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let cand = mepipe::strategy::Candidate {
+        method: Method::Dapple,
+        spec: PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 8,
+            seq: SequenceSplit::None,
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        },
+    };
+    assert!(mepipe::strategy::evaluate(&cand, &model, &cluster).is_err());
+    // With recomputation it fits (the paper's escape hatch).
+    let recomp = mepipe::strategy::Candidate {
+        spec: PartitionSpec { recompute: true, ..cand.spec },
+        ..cand
+    };
+    assert!(mepipe::strategy::evaluate(&recomp, &model, &cluster).is_ok());
+}

@@ -1,0 +1,77 @@
+//! Golden snapshot tests: the exact timelines of the paper's figure
+//! schedules, pinned so that any change to the generators or the executor
+//! is a *visible* diff, never a silent one.
+//!
+//! Generation is deterministic (property-tested), so these snapshots are
+//! stable. To refresh after an intentional change, run
+//! `cargo run --release -p mepipe-bench --bin experiments fig2 fig4`
+//! and paste the new timelines.
+
+use mepipe::core::svpp::{generate_svpp, SvppConfig};
+use mepipe::schedule::{
+    baselines::generate_dapple,
+    exec::UnitCost,
+    render::render,
+};
+
+#[test]
+fn figure2_dapple_golden() {
+    let sch = generate_dapple(4, 4).unwrap();
+    let got = render(&sch, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+    let want = "\
+stage 0: Fa0 Fb0 Fc0 Fd0 ... ... ... ... ... ... Ba0 Ba0 ... Bb0 Bb0 ... Bc0 Bc0 ... Bd0 Bd0
+stage 1: ... Fa0 Fb0 Fc0 ... ... ... ... Ba0 Ba0 Fd0 Bb0 Bb0 ... Bc0 Bc0 ... Bd0 Bd0 ... ...
+stage 2: ... ... Fa0 Fb0 ... ... Ba0 Ba0 Fc0 Bb0 Bb0 Fd0 Bc0 Bc0 ... Bd0 Bd0 ... ... ... ...
+stage 3: ... ... ... Fa0 Ba0 Ba0 Fb0 Bb0 Bb0 Fc0 Bc0 Bc0 Fd0 Bd0 Bd0 ... ... ... ... ... ...
+";
+    assert_eq!(got, want, "DAPPLE timeline drifted:\n{got}");
+}
+
+#[test]
+fn figure4a_svpp_golden() {
+    let sch = generate_svpp(&SvppConfig {
+        stages: 4,
+        virtual_chunks: 1,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    let got = render(&sch, &UnitCost::ones()).unwrap();
+    let want = "\
+stage 0: Fa0 Fa1 Fb0 Fb1 Fc0 ... ... ... Ba1 Fc1 Ba0 Fd0 Bb1 Fd1 Bb0 ... Bc1 ... Bc0 ... Bd1 Bd0
+stage 1: ... Fa0 Fa1 Fb0 Fb1 ... ... Ba1 Fc0 Ba0 Fc1 Bb1 Fd0 Bb0 Fd1 Bc1 ... Bc0 ... Bd1 Bd0 ...
+stage 2: ... ... Fa0 Fa1 Fb0 ... Ba1 Fb1 Ba0 Fc0 Bb1 Fc1 Bb0 Fd0 Bc1 Fd1 Bc0 ... Bd1 Bd0 ... ...
+stage 3: ... ... ... Fa0 Fa1 Ba1 Fb0 Ba0 Fb1 Bb1 Fc0 Bb0 Fc1 Bc1 Fd0 Bc0 Fd1 Bd1 Bd0 ... ... ...
+";
+    assert_eq!(got, want, "SVPP v=1 timeline drifted:\n{got}");
+}
+
+#[test]
+fn figure4a_structure_invariants() {
+    // Independent of the exact snapshot: the last stage runs pure
+    // slice-level 1F1B after its two-slice warmup, and every stage's
+    // backwards run slices in reverse order per micro-batch.
+    let sch = generate_svpp(&SvppConfig {
+        stages: 4,
+        virtual_chunks: 1,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    use mepipe::schedule::ir::OpKind;
+    for ops in &sch.workers {
+        for mb in 0..4 {
+            let b1 = ops
+                .iter()
+                .position(|o| o.kind == OpKind::Backward && o.micro_batch == mb && o.slice == 1)
+                .unwrap();
+            let b0 = ops
+                .iter()
+                .position(|o| o.kind == OpKind::Backward && o.micro_batch == mb && o.slice == 0)
+                .unwrap();
+            assert!(b1 < b0, "mb {mb}: slice-1 backward must precede slice-0");
+        }
+    }
+}

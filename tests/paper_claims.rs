@@ -1,0 +1,154 @@
+//! Integration tests pinning the paper's quantitative claims, section by
+//! section. Each test cites the claim it checks.
+
+use mepipe::core::analytic::{self, AnalysisParams};
+use mepipe::core::svpp::{generate_svpp, SvppConfig};
+use mepipe::hw::pricing::{compare_cost_effectiveness, ServerPricing};
+use mepipe::hw::topology::ClusterSpec;
+use mepipe::model::{config::TransformerConfig, memory};
+use mepipe::schedule::validate::peak_in_flight;
+use mepipe::strategy::{search, search_all, Method};
+
+/// Abstract: "when partitioning each sample into 4 and 8 slices, the
+/// reduction in peak memory consumption of activations exceeds 70% and
+/// 80%" (vs the whole-micro-batch baselines at p=8, v=2).
+#[test]
+fn abstract_memory_reduction() {
+    for (s, floor) in [(4usize, 0.70), (8, 0.80)] {
+        let frac = analytic::svpp_memory_fraction(AnalysisParams { p: 8, v: 2, s, n: 8 });
+        assert!(1.0 - frac > floor, "s={s}: fraction {frac}");
+    }
+}
+
+/// Section 4.1: the worked peak-memory examples of Figure 4, measured on
+/// actually generated schedules.
+#[test]
+fn section41_worked_examples() {
+    let a = generate_svpp(&SvppConfig {
+        stages: 4,
+        virtual_chunks: 1,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    assert_eq!(peak_in_flight(&a)[0], 5); // 5/8 · A.
+    let b = generate_svpp(&SvppConfig {
+        stages: 4,
+        virtual_chunks: 2,
+        slices: 2,
+        micro_batches: 4,
+        warmup_cap: None,
+    })
+    .unwrap();
+    assert!(peak_in_flight(&b)[0] <= 9); // 9/16 · A bound.
+}
+
+/// Section 4.2: "the scheduling method in Figure 5(c) reduces the memory
+/// consumption by 50% while increasing the bubble ratio" — the floor
+/// variant holds v·s units versus the default's v·max(p,s)+min(p,s)−1.
+#[test]
+fn section42_variant_floor() {
+    let cfg = SvppConfig {
+        stages: 4,
+        virtual_chunks: 2,
+        slices: 2,
+        micro_batches: 2,
+        warmup_cap: None,
+    };
+    let floor = generate_svpp(&SvppConfig { warmup_cap: Some(cfg.min_warmup()), ..cfg }).unwrap();
+    let full = generate_svpp(&cfg).unwrap();
+    let pf = peak_in_flight(&floor)[0] as f64;
+    let pm = peak_in_flight(&full)[0] as f64;
+    assert!(pf <= 0.55 * pm.max(8.0), "floor {pf} vs full {pm}");
+}
+
+/// Section 7.2 headline: MEPipe speeds up Llama-13B over the best
+/// baseline at every global batch size, more at smaller batches
+/// (paper: 1.36x / 1.49x / 1.86x at GBS 128 / 64 / 32).
+#[test]
+fn section72_speedups() {
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let mut speedups = Vec::new();
+    for gbs in [128usize, 64, 32] {
+        let results = search_all(&model, &cluster, gbs);
+        let mepipe = results
+            .iter()
+            .find(|(m, _)| *m == Method::Mepipe)
+            .and_then(|(_, e)| e.as_ref())
+            .expect("MEPipe feasible")
+            .iteration_time;
+        let best = results
+            .iter()
+            .filter(|(m, _)| *m != Method::Mepipe)
+            .filter_map(|(_, e)| e.as_ref().map(|e| e.iteration_time))
+            .fold(f64::INFINITY, f64::min);
+        speedups.push(best / mepipe);
+    }
+    for (gbs, s) in [(128, speedups[0]), (64, speedups[1]), (32, speedups[2])] {
+        assert!(s > 1.0, "GBS {gbs}: no speedup ({s})");
+        assert!(s < 2.5, "GBS {gbs}: implausible speedup ({s})");
+    }
+}
+
+/// Section 7.4: Llama-34B fits MEPipe at PP 16 *without* recomputation
+/// while VPP and the zero-bubble variants cannot run it at all.
+#[test]
+fn section74_34b_feasibility() {
+    let model = TransformerConfig::llama2_34b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    assert!(search(Method::Vpp, &model, &cluster, 128).is_none(), "VPP must be infeasible");
+    assert!(search(Method::Zbv, &model, &cluster, 128).is_none(), "ZBV must be infeasible");
+    let mepipe = search(Method::Mepipe, &model, &cluster, 128).expect("MEPipe feasible");
+    assert!(!mepipe.candidate.spec.recompute, "MEPipe needs no recomputation");
+    assert!(mepipe.candidate.spec.pp >= 16, "MEPipe runs 34B at deep pipelines");
+    let dapple = search(Method::Dapple, &model, &cluster, 128).expect("DAPPLE feasible");
+    assert!(dapple.candidate.spec.recompute, "DAPPLE needs recomputation on 34B");
+    assert!(mepipe.iteration_time < dapple.iteration_time);
+}
+
+/// Section 7.6 / Table 9: 64x RTX 4090 is within 2x of 32x A100 on
+/// iteration time and ~2.5x more cost-effective.
+#[test]
+fn section76_cost_effectiveness() {
+    let model = TransformerConfig::llama2_13b();
+    let t4090 = search_all(&model, &ClusterSpec::rtx4090_cluster(), 128)
+        .into_iter()
+        .filter_map(|(_, e)| e)
+        .map(|e| e.iteration_time)
+        .fold(f64::INFINITY, f64::min);
+    let ta100 = search_all(&model, &ClusterSpec::a100_cluster(), 128)
+        .into_iter()
+        .filter_map(|(_, e)| e)
+        .map(|e| e.iteration_time)
+        .fold(f64::INFINITY, f64::min);
+    let rel = t4090 / ta100;
+    assert!((0.5..2.0).contains(&rel), "time ratio {rel}");
+    let report = compare_cost_effectiveness(
+        ServerPricing::rtx4090(),
+        64,
+        t4090,
+        ServerPricing::a100(),
+        32,
+        ta100,
+    );
+    assert!(
+        (1.5..4.0).contains(&report.cost_effectiveness_ratio),
+        "cost-effectiveness {}",
+        report.cost_effectiveness_ratio
+    );
+}
+
+/// Section 7.2's premise (Figure 1): on a 24 GB card, whole-micro-batch
+/// 1F1B cannot hold Llama-13B activations without CP, while SVPP's peak
+/// fits with room to spare.
+#[test]
+fn figure1_premise() {
+    let model = TransformerConfig::llama2_13b();
+    let a = memory::sample_activation_bytes(&model);
+    let usable = ClusterSpec::rtx4090_cluster().accelerator.usable_memory_bytes() as f64;
+    assert!(a > usable, "A = {a} must exceed usable {usable}");
+    let svpp_frac = analytic::svpp_memory_fraction(AnalysisParams { p: 8, v: 2, s: 8, n: 8 });
+    assert!(svpp_frac * a < 0.25 * usable);
+}

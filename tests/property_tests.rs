@@ -1,0 +1,181 @@
+//! Property-based integration tests (proptest) over the schedule
+//! machinery and the numerical substrate.
+
+use proptest::prelude::*;
+
+use mepipe::core::reschedule::reschedule_backwards;
+use mepipe::core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+use mepipe::schedule::{
+    baselines,
+    exec::{execute, UnitCost},
+    validate::{peak_in_flight, validate},
+};
+use mepipe::sim::{
+    engine::{simulate, SimConfig},
+    UniformSimCost,
+};
+use mepipe::tensor::{
+    init::{rng, uniform},
+    ops::{causal_attention, causal_attention_backward},
+    Tensor,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every SVPP configuration in a broad random range generates a
+    /// dependency-valid schedule whose stage-0 peak respects the warmup
+    /// budget.
+    #[test]
+    fn svpp_always_valid_and_capped(
+        p in 1usize..=8,
+        v in 1usize..=3,
+        s in 1usize..=6,
+        n in 1usize..=10,
+        f_extra in 0usize..=6,
+    ) {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: Some(v * s + f_extra),
+        };
+        let sch = generate_svpp(&cfg).unwrap();
+        validate(&sch).unwrap();
+        let peak = peak_in_flight(&sch)[0];
+        prop_assert!(peak <= cfg.effective_warmup(), "peak {} > f {}", peak, cfg.effective_warmup());
+        prop_assert!(peak >= (v * s).min(n * v * s), "peak {} below feasibility floor", peak);
+    }
+
+    /// Split-backward SVPP stays valid and executable too.
+    #[test]
+    fn svpp_split_always_valid(p in 1usize..=6, s in 1usize..=4, n in 1usize..=6) {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: 1,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        };
+        let sch = generate_svpp_split(&cfg).unwrap();
+        validate(&sch).unwrap();
+        execute(&sch, &UnitCost::ones()).unwrap();
+    }
+
+    /// Every baseline generator produces valid schedules across its whole
+    /// parameter range.
+    #[test]
+    fn baselines_always_valid(p in 1usize..=8, n in 1usize..=12, s in 1usize..=4) {
+        validate(&baselines::generate_gpipe(p, n).unwrap()).unwrap();
+        validate(&baselines::generate_dapple(p, n).unwrap()).unwrap();
+        validate(&baselines::generate_terapipe(p, n, s).unwrap()).unwrap();
+        validate(&baselines::generate_zb(p, n).unwrap()).unwrap();
+        validate(&baselines::generate_zbv(p, n).unwrap()).unwrap();
+        if n % p == 0 {
+            validate(&baselines::generate_vpp(p, 2, n).unwrap()).unwrap();
+        }
+    }
+
+    /// The static executor and the simulator agree whenever the simulator
+    /// runs without dynamic behaviours.
+    #[test]
+    fn simulator_matches_executor(p in 1usize..=6, n in 1usize..=8) {
+        let sch = baselines::generate_dapple(p, n).unwrap();
+        let t = execute(&sch, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+        let r = simulate(&sch, &UniformSimCost::default(), &SimConfig::default()).unwrap();
+        prop_assert!((t.makespan - r.makespan).abs() < 1e-9);
+    }
+
+    /// Rescheduling backwards never increases the unit-cost makespan and
+    /// never worsens the peak memory.
+    #[test]
+    fn reschedule_never_hurts(p in 2usize..=6, v in 1usize..=2, s in 1usize..=3, n in 1usize..=5) {
+        let cfg = SvppConfig {
+            stages: p,
+            virtual_chunks: v,
+            slices: s,
+            micro_batches: n,
+            warmup_cap: None,
+        };
+        let sch = generate_svpp(&cfg).unwrap();
+        let opt = reschedule_backwards(&sch).unwrap();
+        validate(&opt).unwrap();
+        let tb = execute(&sch, &UnitCost::ones()).unwrap();
+        let ta = execute(&opt, &UnitCost::ones()).unwrap();
+        prop_assert!(ta.makespan <= tb.makespan + 1e-9);
+        prop_assert!(peak_in_flight(&opt)[0] <= peak_in_flight(&sch)[0]);
+    }
+
+    /// Dynamic weight-gradient draining never loses work: busy time equals
+    /// the static run's busy time (the same total compute, re-packed).
+    #[test]
+    fn dynamic_drain_conserves_work(p in 2usize..=5, n in 1usize..=6) {
+        let sch = baselines::generate_zb(p, n).unwrap();
+        let cost = UniformSimCost { comm: 0.25, wgrad_units: 4, ..Default::default() };
+        let stat = simulate(&sch, &cost, &SimConfig { dynamic_wgrad: false, ..Default::default() }).unwrap();
+        let dynr = simulate(&sch, &cost, &SimConfig { dynamic_wgrad: true, ..Default::default() }).unwrap();
+        let bs: f64 = stat.busy.iter().sum();
+        let bd: f64 = dynr.busy.iter().sum();
+        prop_assert!((bs - bd).abs() < 1e-6, "static {} vs dynamic {}", bs, bd);
+    }
+
+    /// Slice-wise causal attention equals full-sequence attention for
+    /// arbitrary shapes and seeds (forward and all three gradients).
+    #[test]
+    fn attention_slicing_equivalence(
+        seed in 0u64..1000,
+        t_per in 1usize..=4,
+        s in 1usize..=4,
+        d in 1usize..=6,
+    ) {
+        let t = t_per * s;
+        let mut r = rng(seed);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(t, d, 1.0, &mut r);
+        let v = uniform(t, d, 1.0, &mut r);
+        let dout = uniform(t, d, 1.0, &mut r);
+
+        let (full, saved) = causal_attention(&q, &k, &v, 0);
+        let (dq_f, dk_f, dv_f) = causal_attention_backward(&dout, &q, &k, &v, &saved);
+
+        let mut outs = Vec::new();
+        let mut dqs = Vec::new();
+        let mut dk_acc = Tensor::zeros(t, d);
+        let mut dv_acc = Tensor::zeros(t, d);
+        for i in 0..s {
+            let off = i * t_per;
+            let qs = q.slice_rows(off, t_per);
+            let kp = k.slice_rows(0, off + t_per);
+            let vp = v.slice_rows(0, off + t_per);
+            let (o, sv) = causal_attention(&qs, &kp, &vp, off);
+            outs.push(o);
+            let (dq, dk, dv) =
+                causal_attention_backward(&dout.slice_rows(off, t_per), &qs, &kp, &vp, &sv);
+            dqs.push(dq);
+            for rr in 0..off + t_per {
+                for cc in 0..d {
+                    dk_acc.set(rr, cc, dk_acc.at(rr, cc) + dk.at(rr, cc));
+                    dv_acc.set(rr, cc, dv_acc.at(rr, cc) + dv.at(rr, cc));
+                }
+            }
+        }
+        prop_assert!(full.max_abs_diff(&Tensor::vstack(&outs)) < 1e-4);
+        prop_assert!(dq_f.max_abs_diff(&Tensor::vstack(&dqs)) < 1e-4);
+        prop_assert!(dk_f.max_abs_diff(&dk_acc) < 1e-4);
+        prop_assert!(dv_f.max_abs_diff(&dv_acc) < 1e-4);
+    }
+
+    /// Peak in-flight units from the list structure equal the simulator's
+    /// byte peak (divided by the unit size) for fused-backward schedules.
+    #[test]
+    fn memory_accounting_consistent(p in 1usize..=6, n in 1usize..=8) {
+        let sch = baselines::generate_dapple(p, n).unwrap();
+        let cost = UniformSimCost { act_bytes: 3.0, ..Default::default() };
+        let r = simulate(&sch, &cost, &SimConfig::default()).unwrap();
+        let peaks = peak_in_flight(&sch);
+        for (units, bytes) in peaks.iter().zip(&r.peak_activation_bytes) {
+            prop_assert!((bytes - *units as f64 * 3.0).abs() < 1e-9);
+        }
+    }
+}
