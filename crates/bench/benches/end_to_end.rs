@@ -2,10 +2,10 @@
 //! the mini-Llama under different schedules, and a full grid search.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mepipe_core::svpp::{generate_svpp, SvppConfig};
+use mepipe_core::svpp::Svpp;
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::config::TransformerConfig;
-use mepipe_schedule::baselines::generate_dapple;
+use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
 use mepipe_strategy::{search, Method};
 use mepipe_tensor::init::synthetic_tokens;
 use mepipe_train::{
@@ -14,19 +14,16 @@ use mepipe_train::{
 };
 
 fn bench_threaded_pipeline(c: &mut Criterion) {
-    let cfg = TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) };
+    let cfg = TransformerConfig {
+        seq_len: 32,
+        ..TransformerConfig::tiny(4)
+    };
     let rt = PipelineRuntime::new(ModelParams::init(cfg, 1), 2, 1);
-    let batch: Vec<Vec<usize>> =
-        (0..4).map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i)).collect();
-    let svpp = generate_svpp(&SvppConfig {
-        stages: 2,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
-    let dapple = generate_dapple(2, 4).unwrap();
+    let batch: Vec<Vec<usize>> = (0..4)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i))
+        .collect();
+    let svpp = Svpp::new().generate(&Dims::new(2, 4).slices(4)).unwrap();
+    let dapple = Dapple.generate(&Dims::new(2, 4)).unwrap();
     let mut g = c.benchmark_group("threaded_iteration");
     g.sample_size(10);
     g.bench_function("svpp_s4", |b| {

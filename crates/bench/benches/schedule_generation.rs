@@ -2,24 +2,20 @@
 //! baseline generator at realistic sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
-use mepipe_schedule::baselines;
+use mepipe_core::svpp::{Mepipe, Svpp};
+use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator, TeraPipe, Vpp, Zbv};
 
 fn bench_svpp(c: &mut Criterion) {
     let mut g = c.benchmark_group("svpp_generation");
-    for (p, v, s, n) in [(8usize, 1usize, 4usize, 16usize), (8, 2, 4, 16), (16, 1, 16, 32)] {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("p{p}v{v}s{s}n{n}")),
-            &cfg,
-            |b, cfg| b.iter(|| generate_svpp(cfg).unwrap()),
-        );
+    for (p, v, s, n) in [
+        (8usize, 1usize, 4usize, 16usize),
+        (8, 2, 4, 16),
+        (16, 1, 16, 32),
+    ] {
+        let dims = Dims::new(p, n).virtual_chunks(v).slices(s);
+        g.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, dims| {
+            b.iter(|| Svpp::new().generate(dims).unwrap())
+        });
     }
     g.finish();
 }
@@ -27,28 +23,24 @@ fn bench_svpp(c: &mut Criterion) {
 fn bench_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("baseline_generation");
     g.bench_function("dapple_p8_n16", |b| {
-        b.iter(|| baselines::generate_dapple(8, 16).unwrap())
+        b.iter(|| Dapple.generate(&Dims::new(8, 16)).unwrap())
     });
     g.bench_function("vpp_p8_v2_n16", |b| {
-        b.iter(|| baselines::generate_vpp(8, 2, 16).unwrap())
+        b.iter(|| Vpp.generate(&Dims::new(8, 16).virtual_chunks(2)).unwrap())
     });
     g.bench_function("terapipe_p8_n16_s4", |b| {
-        b.iter(|| baselines::generate_terapipe(8, 16, 4).unwrap())
+        b.iter(|| TeraPipe.generate(&Dims::new(8, 16).slices(4)).unwrap())
     });
-    g.bench_function("zbv_p8_n16", |b| b.iter(|| baselines::generate_zbv(8, 16).unwrap()));
+    g.bench_function("zbv_p8_n16", |b| {
+        b.iter(|| Zbv.generate(&Dims::new(8, 16).virtual_chunks(2)).unwrap())
+    });
     g.finish();
 }
 
 fn bench_split(c: &mut Criterion) {
-    let cfg = SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: 16,
-        warmup_cap: None,
-    };
+    let dims = Dims::new(8, 16).slices(4);
     c.bench_function("mepipe_split_p8_s4_n16", |b| {
-        b.iter(|| generate_svpp_split(&cfg).unwrap())
+        b.iter(|| Mepipe::new().generate(&dims).unwrap())
     });
 }
 

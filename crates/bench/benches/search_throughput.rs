@@ -1,0 +1,47 @@
+//! Search-engine throughput: the Figure 8 GBS-64 grid (all five
+//! methods, Llama-13B, 64x RTX 4090) through three code paths:
+//!
+//! * `serial_exhaustive` — the reference: every candidate generated and
+//!   simulated, no pruning, no caching;
+//! * `engine_cold` — a fresh [`SearchEngine`] per iteration: analytic
+//!   pre-pass + branch-and-bound pruning, empty caches;
+//! * `engine_warm` — one engine across iterations, the experiment-grid
+//!   regime where memoization answers everything.
+//!
+//! The acceptance target for this PR is `engine_cold` ≥ 3x faster than
+//! `serial_exhaustive` on this grid.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_strategy::{search_serial, Method, SearchEngine};
+
+fn bench_search(c: &mut Criterion) {
+    let model = TransformerConfig::llama2_13b();
+    let cluster = ClusterSpec::rtx4090_cluster();
+    let gbs = 64;
+
+    let mut group = c.benchmark_group("search_fig8_gbs64");
+    group.sample_size(10);
+    group.bench_function("serial_exhaustive", |b| {
+        b.iter(|| {
+            for m in Method::all() {
+                black_box(search_serial(m, &model, &cluster, black_box(gbs)));
+            }
+        })
+    });
+    group.bench_function("engine_cold", |b| {
+        b.iter(|| {
+            let engine = SearchEngine::new();
+            black_box(engine.search_all(&model, &cluster, black_box(gbs)))
+        })
+    });
+    let warm = SearchEngine::new();
+    group.bench_function("engine_warm", |b| {
+        b.iter(|| black_box(warm.search_all(&model, &cluster, black_box(gbs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -2,13 +2,14 @@
 //! primitives.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mepipe_core::svpp::{generate_svpp_split, SvppConfig};
+use mepipe_core::svpp::Mepipe;
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{
     config::TransformerConfig,
     cost::ExecutionCost,
     partition::{PartitionSpec, SequenceSplit},
 };
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_sim::{
     engine::{simulate, SimConfig},
     ModelCost,
@@ -26,17 +27,9 @@ fn mepipe_13b_setup() -> (mepipe_schedule::ir::Schedule, ModelCost) {
         micro_batch_size: 1,
         global_batch: 128,
     };
-    let cost = ModelCost::new(
-        ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap(),
-    );
-    let sch = generate_svpp_split(&SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: 16,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let cost =
+        ModelCost::new(ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap());
+    let sch = Mepipe::new().generate(&Dims::new(8, 16).slices(4)).unwrap();
     (sch, cost)
 }
 
@@ -47,8 +40,15 @@ fn bench_simulate(c: &mut Criterion) {
     });
     c.bench_function("simulate_mepipe_13b_dynamic_w", |b| {
         b.iter(|| {
-            simulate(&sch, &cost, &SimConfig { dynamic_wgrad: true, ..Default::default() })
-                .unwrap()
+            simulate(
+                &sch,
+                &cost,
+                &SimConfig {
+                    dynamic_wgrad: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         })
     });
 }

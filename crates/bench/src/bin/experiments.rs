@@ -23,7 +23,10 @@ fn main() {
     let selected: Vec<&mepipe_bench::experiments::Experiment> = if args.is_empty() {
         all.iter().collect()
     } else {
-        let sel: Vec<_> = all.iter().filter(|(id, _)| args.iter().any(|a| a == id)).collect();
+        let sel: Vec<_> = all
+            .iter()
+            .filter(|(id, _)| args.iter().any(|a| a == id))
+            .collect();
         if sel.is_empty() {
             eprintln!("no experiment matches {args:?}; try --list");
             std::process::exit(2);
@@ -35,7 +38,11 @@ fn main() {
         let report = run();
         println!("{}", report.render());
         if let Some(path) = write_report(&report) {
-            println!("[{id} done in {:.1?}; written to {}]\n", t0.elapsed(), path.display());
+            println!(
+                "[{id} done in {:.1?}; written to {}]\n",
+                t0.elapsed(),
+                path.display()
+            );
         } else {
             println!("[{id} done in {:.1?}]\n", t0.elapsed());
         }

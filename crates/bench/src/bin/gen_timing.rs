@@ -1,18 +1,21 @@
 //! Quick timing probe for schedule generation at large shapes.
+use mepipe_core::svpp::Mepipe;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+
 fn main() {
     use std::time::Instant;
-    for (p, v, s, n) in
-        [(8usize, 1usize, 4usize, 16usize), (16, 1, 16, 32), (16, 1, 16, 64)]
-    {
-        let cfg = mepipe_core::svpp::SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
+    for (p, v, s, n) in [
+        (8usize, 1usize, 4usize, 16usize),
+        (16, 1, 16, 32),
+        (16, 1, 16, 64),
+    ] {
+        let dims = Dims::new(p, n).virtual_chunks(v).slices(s);
         let t0 = Instant::now();
-        let sch = mepipe_core::svpp::generate_svpp_split(&cfg).unwrap();
-        println!("p{p} v{v} s{s} n{n}: {} ops in {:?}", sch.num_ops(), t0.elapsed());
+        let sch = Mepipe::new().generate(&dims).unwrap();
+        println!(
+            "p{p} v{v} s{s} n{n}: {} ops in {:?}",
+            sch.num_ops(),
+            t0.elapsed()
+        );
     }
 }

@@ -2,13 +2,14 @@
 //! figures, but each one grounded in a claim the paper makes in prose).
 
 use mepipe_core::nonuniform::{balance_slices, Slicing};
-use mepipe_core::svpp::{generate_svpp_split, SvppConfig};
+use mepipe_core::svpp::{Mepipe, SvppConfig};
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{
     config::TransformerConfig,
     cost::ExecutionCost,
     partition::{PartitionSpec, SequenceSplit},
 };
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::ir::Op;
 use mepipe_sim::{
     engine::{simulate, SimConfig},
@@ -72,16 +73,13 @@ fn mepipe_sim(slices: usize, gbs: usize, wgrad_units: usize) -> f64 {
     let budget = mepipe_model::memory::activation_budget_bytes(
         &model,
         &spec,
-        ClusterSpec::rtx4090_cluster().accelerator.usable_memory_bytes(),
+        ClusterSpec::rtx4090_cluster()
+            .accelerator
+            .usable_memory_bytes(),
     );
-    let sch = generate_svpp_split(&SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    })
-    .unwrap();
+    let sch = Mepipe::new()
+        .generate(&Dims::new(8, spec.micro_batches()).slices(slices))
+        .unwrap();
     simulate(
         &sch,
         &cost,
@@ -150,24 +148,20 @@ pub fn abl_variants() -> ExperimentReport {
     );
     let model = TransformerConfig::llama2_13b();
     let spec = spec_13b(4, 128);
-    let cost = ModelCost::new(
-        ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap(),
-    );
-    let base = SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    };
+    let cost =
+        ModelCost::new(ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap());
+    let base = SvppConfig::new(8, 4, spec.micro_batches());
+    let dims = Dims::new(8, spec.micro_batches()).slices(4);
     let budget = mepipe_model::memory::activation_budget_bytes(
         &model,
         &spec,
-        ClusterSpec::rtx4090_cluster().accelerator.usable_memory_bytes(),
+        ClusterSpec::rtx4090_cluster()
+            .accelerator
+            .usable_memory_bytes(),
     );
     let mut rows = Vec::new();
     for f in base.min_warmup()..=base.max_warmup() {
-        let sch = generate_svpp_split(&SvppConfig { warmup_cap: Some(f), ..base }).unwrap();
+        let sch = Mepipe::new().warmup_cap(f).generate(&dims).unwrap();
         let r = simulate(
             &sch,
             &cost,
@@ -178,19 +172,21 @@ pub fn abl_variants() -> ExperimentReport {
             },
         )
         .unwrap();
-        let peak =
-            r.peak_activation_bytes.iter().copied().fold(0.0, f64::max) / 1024f64.powi(3);
+        let peak = r.peak_activation_bytes.iter().copied().fold(0.0, f64::max) / 1024f64.powi(3);
         rows.push(vec![
             f.to_string(),
             format!("{:.0} ms", r.iteration_time * 1e3),
             format!("{peak:.2} GiB"),
         ]);
-        rep.row(&format!("f{f}"), &[
-            ("iter_ms", r.iteration_time * 1e3),
-            ("peak_gib", peak),
-        ]);
+        rep.row(
+            &format!("f{f}"),
+            &[("iter_ms", r.iteration_time * 1e3), ("peak_gib", peak)],
+        );
     }
-    rep.line(format_table(&["f", "iteration time", "peak activation"], &rows));
+    rep.line(format_table(
+        &["f", "iteration time", "peak activation"],
+        &rows,
+    ));
     rep.line("Lower f → less memory, more bubbles; pick the largest f that fits (Section 4.5).");
     rep
 }
@@ -200,7 +196,6 @@ pub fn abl_variants() -> ExperimentReport {
 /// the fabric's per-message latency — one of the reasons the useful SPP
 /// size saturates.
 pub fn abl_messages() -> ExperimentReport {
-    use mepipe_core::svpp::{generate_svpp_split as gen, SvppConfig};
     use mepipe_hw::link::LinkSpec;
     use mepipe_schedule::stats::message_stats;
 
@@ -211,14 +206,7 @@ pub fn abl_messages() -> ExperimentReport {
     let link = LinkSpec::ib_100g();
     let mut rows = Vec::new();
     for s in [1usize, 2, 4, 8, 16] {
-        let sch = gen(&SvppConfig {
-            stages: 8,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: 16,
-            warmup_cap: None,
-        })
-        .unwrap();
+        let sch = Mepipe::new().generate(&Dims::new(8, 16).slices(s)).unwrap();
         let m = message_stats(&sch);
         // Total latency paid across one pipeline's boundaries, if not
         // hidden by compute.
@@ -228,16 +216,25 @@ pub fn abl_messages() -> ExperimentReport {
             m.total().to_string(),
             format!("{:.1} ms", latency_total * 1e3),
         ]);
-        rep.row(&format!("s{s}"), &[
-            ("messages", m.total() as f64),
-            ("latency_ms", latency_total * 1e3),
-        ]);
+        rep.row(
+            &format!("s{s}"),
+            &[
+                ("messages", m.total() as f64),
+                ("latency_ms", latency_total * 1e3),
+            ],
+        );
     }
     rep.line(format_table(
-        &["SPP slices", "boundary messages/iter", "total per-message latency"],
+        &[
+            "SPP slices",
+            "boundary messages/iter",
+            "total per-message latency",
+        ],
         &rows,
     ));
-    rep.line("Volume is constant (Table 2); the message count — and its latency bill — scales with s.");
+    rep.line(
+        "Volume is constant (Table 2); the message count — and its latency bill — scales with s.",
+    );
     rep
 }
 
@@ -251,7 +248,10 @@ pub fn abl_nonuniform() -> ExperimentReport {
     let peak = 165e12;
     let mut rows = Vec::new();
     for (label, seq, grid) in [("4k", 4096usize, 64usize), ("128k", 131_072, 1024)] {
-        let cfg = TransformerConfig { seq_len: seq, ..TransformerConfig::llama2_13b() };
+        let cfg = TransformerConfig {
+            seq_len: seq,
+            ..TransformerConfig::llama2_13b()
+        };
         let uniform = Slicing::uniform(seq, 8);
         let balanced = balance_slices(&cfg, 8, grid, peak);
         let ub = uniform.bottleneck_time(&cfg, peak) * 1e3;
@@ -265,7 +265,12 @@ pub fn abl_nonuniform() -> ExperimentReport {
         rep.row(label, &[("uniform_ms", ub), ("balanced_ms", bb)]);
     }
     rep.line(format_table(
-        &["context", "uniform bottleneck", "balanced bottleneck", "DP gain"],
+        &[
+            "context",
+            "uniform bottleneck",
+            "balanced bottleneck",
+            "DP gain",
+        ],
         &rows,
     ));
     rep.line("At 4k, tile-aligned uniform slices are already optimal; at 128k the causal imbalance dominates and the DP wins — exactly Section 5's crossover.");
@@ -278,7 +283,11 @@ mod tests {
     fn finer_wgrad_is_never_worse() {
         let rep = super::abl_wgrad();
         let t = |l: &str| {
-            rep.rows.iter().find(|(ll, _)| ll == l).map(|(_, v)| v[0].1).unwrap()
+            rep.rows
+                .iter()
+                .find(|(ll, _)| ll == l)
+                .map(|(_, v)| v[0].1)
+                .unwrap()
         };
         assert!(t("units35") <= t("units1") + 1e-9);
     }
@@ -333,6 +342,9 @@ mod tests {
             let b = v.iter().find(|(k, _)| k == "balanced_ms").unwrap().1;
             (u - b) / u
         };
-        assert!(gain("128k") > gain("4k") + 0.05, "long-context DP gain must dominate");
+        assert!(
+            gain("128k") > gain("4k") + 0.05,
+            "long-context DP gain must dominate"
+        );
     }
 }

@@ -2,10 +2,7 @@
 //! thousand-GPU 4090 cluster and the electricity break-even horizon
 //! against A100 clusters.
 
-use mepipe_hw::{
-    accelerator::AcceleratorSpec,
-    pricing::operating_cost_break_even_years,
-};
+use mepipe_hw::{accelerator::AcceleratorSpec, pricing::operating_cost_break_even_years};
 use mepipe_train::checkpoint::{failure_overhead, optimal_interval};
 
 use crate::report::{format_table, ExperimentReport};
@@ -31,10 +28,18 @@ pub fn run() -> ExperimentReport {
             format!("{:.1} min", interval / 60.0),
             format!("{:.2}%", overhead * 100.0),
         ]);
-        rep.row(&format!("ckpt{ckpt_cost}_rec{recovery}"), &[("overhead", overhead)]);
+        rep.row(
+            &format!("ckpt{ckpt_cost}_rec{recovery}"),
+            &[("overhead", overhead)],
+        );
     }
     rep.line(format_table(
-        &["checkpoint cost", "recovery", "optimal interval", "lost time"],
+        &[
+            "checkpoint cost",
+            "recovery",
+            "optimal interval",
+            "lost time",
+        ],
         &rows,
     ));
     rep.line("Paper: \"we estimate the cost of hardware failures is less than 5%\". ✓");

@@ -20,12 +20,60 @@ pub fn run() -> ExperimentReport {
     // (label, params, row extractor). DAPPLE and TeraPipe have no virtual
     // chunks; VPP/Hanayo/SVPP use v=2 per the figure's caption.
     let entries: Vec<(&str, analytic::AnalysisRow)> = vec![
-        ("DAPPLE", analytic::dapple(AnalysisParams { p: 8, v: 1, s: 1, n: 8 })),
-        ("VPP", analytic::vpp(AnalysisParams { p: 8, v: 2, s: 1, n: 8 })),
-        ("Hanayo", analytic::hanayo(AnalysisParams { p: 8, v: 2, s: 1, n: 8 })),
-        ("TeraPipe (s=4)", analytic::terapipe(AnalysisParams { p: 8, v: 1, s: 4, n: 8 })),
-        ("SVPP (s=4)", analytic::svpp(AnalysisParams { p: 8, v: 2, s: 4, n: 8 })),
-        ("SVPP (s=8)", analytic::svpp(AnalysisParams { p: 8, v: 2, s: 8, n: 8 })),
+        (
+            "DAPPLE",
+            analytic::dapple(AnalysisParams {
+                p: 8,
+                v: 1,
+                s: 1,
+                n: 8,
+            }),
+        ),
+        (
+            "VPP",
+            analytic::vpp(AnalysisParams {
+                p: 8,
+                v: 2,
+                s: 1,
+                n: 8,
+            }),
+        ),
+        (
+            "Hanayo",
+            analytic::hanayo(AnalysisParams {
+                p: 8,
+                v: 2,
+                s: 1,
+                n: 8,
+            }),
+        ),
+        (
+            "TeraPipe (s=4)",
+            analytic::terapipe(AnalysisParams {
+                p: 8,
+                v: 1,
+                s: 4,
+                n: 8,
+            }),
+        ),
+        (
+            "SVPP (s=4)",
+            analytic::svpp(AnalysisParams {
+                p: 8,
+                v: 2,
+                s: 4,
+                n: 8,
+            }),
+        ),
+        (
+            "SVPP (s=8)",
+            analytic::svpp(AnalysisParams {
+                p: 8,
+                v: 2,
+                s: 8,
+                n: 8,
+            }),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -37,7 +85,10 @@ pub fn run() -> ExperimentReport {
             format!("{:.1}%", bubble * 100.0),
             format!("{mem_gib:.2}"),
         ]);
-        rep.row(label, &[("bubble_ratio", bubble), ("peak_act_gib", mem_gib)]);
+        rep.row(
+            label,
+            &[("bubble_ratio", bubble), ("peak_act_gib", mem_gib)],
+        );
     }
     rep.line(format_table(
         &["method", "bubble ratio", "peak activation (GiB/worker)"],

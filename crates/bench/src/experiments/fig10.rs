@@ -33,10 +33,10 @@ pub fn run() -> ExperimentReport {
                         e.candidate.label(),
                         format!("{:.1}%", e.mfu * 100.0),
                     ]);
-                    rep.row(&format!("{name}/{}", m.name()), &[
-                        ("iter_ms", e.iteration_time * 1e3),
-                        ("mfu", e.mfu),
-                    ]);
+                    rep.row(
+                        &format!("{name}/{}", m.name()),
+                        &[("iter_ms", e.iteration_time * 1e3), ("mfu", e.mfu)],
+                    );
                     if *m == Method::Mepipe {
                         mepipe_time = e.iteration_time;
                     } else {
@@ -44,18 +44,34 @@ pub fn run() -> ExperimentReport {
                     }
                 }
                 None => {
-                    rows.push(vec![m.name().into(), "-".into(), "infeasible".into(), "-".into()]);
+                    rows.push(vec![
+                        m.name().into(),
+                        "-".into(),
+                        "infeasible".into(),
+                        "-".into(),
+                    ]);
                     rep.row(&format!("{name}/{}", m.name()), &[("infeasible", 1.0)]);
                 }
             }
         }
         rep.line(format_table(
-            &["system", "iteration", "config (PP, CP/SPP, VP, recomp)", "MFU"],
+            &[
+                "system",
+                "iteration",
+                "config (PP, CP/SPP, VP, recomp)",
+                "MFU",
+            ],
             &rows,
         ));
         if best_baseline.is_finite() && mepipe_time.is_finite() {
-            rep.row(&format!("{name}/speedup"), &[("speedup", best_baseline / mepipe_time)]);
-            rep.line(format!("MEPipe speedup: {:.2}x", best_baseline / mepipe_time));
+            rep.row(
+                &format!("{name}/speedup"),
+                &[("speedup", best_baseline / mepipe_time)],
+            );
+            rep.line(format!(
+                "MEPipe speedup: {:.2}x",
+                best_baseline / mepipe_time
+            ));
         }
     }
     rep.line("Paper: VPP and ZB/ZBV cannot hold Llama-34B (static memory); DAPPLE needs recompute; MEPipe runs it at (16, 16, 1, ✗).");
@@ -73,7 +89,9 @@ mod tests {
                 .iter()
                 .find(|(l, _)| l == &format!("{size}/speedup"))
                 .map(|(_, v)| v[0].1);
-            let sp = sp.unwrap_or_else(|| panic!("{size}: no speedup row (MEPipe or all baselines infeasible)"));
+            let sp = sp.unwrap_or_else(|| {
+                panic!("{size}: no speedup row (MEPipe or all baselines infeasible)")
+            });
             assert!(sp > 1.0, "{size}: speedup {sp}");
         }
     }

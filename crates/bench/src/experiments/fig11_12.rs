@@ -4,13 +4,14 @@
 //! Figures 11/12 are measured per-stage timelines for Llama-13B at GBS 64
 //! without and with the technique. The paper reports a 9.4% improvement.
 
-use mepipe_core::svpp::{generate_svpp_split, SvppConfig};
+use mepipe_core::svpp::Mepipe;
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{
     config::TransformerConfig,
     cost::ExecutionCost,
     partition::{PartitionSpec, SequenceSplit},
 };
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_sim::{
     engine::{simulate, SimConfig},
     timeline::{render_strips, stage_activity},
@@ -53,24 +54,26 @@ pub fn fig7() -> ExperimentReport {
             0.5
         }
     }
-    let cfg = SvppConfig {
-        stages: 4,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    };
-    let sch = generate_svpp_split(&cfg).unwrap();
-    for (tag, dynamic) in [("(a) W immediately after B", false), ("(b) W drained into waits", true)] {
+    let sch = Mepipe::new().generate(&Dims::new(4, 4).slices(2)).unwrap();
+    for (tag, dynamic) in [
+        ("(a) W immediately after B", false),
+        ("(b) W drained into waits", true),
+    ] {
         let r = simulate(
             &sch,
             &Imbalanced,
-            &SimConfig { dynamic_wgrad: dynamic, ..Default::default() },
+            &SimConfig {
+                dynamic_wgrad: dynamic,
+                ..Default::default()
+            },
         )
         .unwrap();
         rep.line(format!("--- {tag}: makespan {:.2} ---", r.makespan));
         rep.line(render_strips(&r.segments, r.makespan, 96));
-        rep.row(tag, &[("makespan", r.makespan), ("bubble", r.bubble_ratio())]);
+        rep.row(
+            tag,
+            &[("makespan", r.makespan), ("bubble", r.bubble_ratio())],
+        );
     }
     rep
 }
@@ -92,25 +95,26 @@ pub fn run() -> ExperimentReport {
         micro_batch_size: 1,
         global_batch: 64,
     };
-    let cost = ModelCost::new(
-        ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap(),
-    );
-    let sch = generate_svpp_split(&SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    })
-    .unwrap();
+    let cost =
+        ModelCost::new(ExecutionCost::new(model, spec, &ClusterSpec::rtx4090_cluster()).unwrap());
+    let sch = Mepipe::new()
+        .generate(&Dims::new(8, spec.micro_batches()).slices(4))
+        .unwrap();
 
     let mut times = Vec::new();
     for (fig, tag, dynamic) in [
         ("Figure 11", "w/o fine-grained W", false),
         ("Figure 12", "w/ fine-grained W", true),
     ] {
-        let r = simulate(&sch, &cost, &SimConfig { dynamic_wgrad: dynamic, ..Default::default() })
-            .unwrap();
+        let r = simulate(
+            &sch,
+            &cost,
+            &SimConfig {
+                dynamic_wgrad: dynamic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         rep.line(format!(
             "--- {fig} ({tag}): iteration {:.0} ms, bubble {:.1}% ---",
             r.iteration_time * 1e3,
@@ -127,7 +131,13 @@ pub fn run() -> ExperimentReport {
                 100.0 * a.idle / a.span
             ));
         }
-        rep.row(tag, &[("iter_ms", r.iteration_time * 1e3), ("bubble", r.bubble_ratio())]);
+        rep.row(
+            tag,
+            &[
+                ("iter_ms", r.iteration_time * 1e3),
+                ("bubble", r.bubble_ratio()),
+            ],
+        );
         times.push(r.iteration_time);
     }
     let improvement = (times[0] - times[1]) / times[0] * 100.0;
@@ -165,7 +175,11 @@ mod tests {
                 .map(|(_, v)| v[0].1)
                 .unwrap()
         };
-        assert!(m("(b)") <= m("(a)"), "dynamic {} vs static {}", m("(b)"), m("(a)"));
+        assert!(
+            m("(b)") <= m("(a)"),
+            "dynamic {} vs static {}",
+            m("(b)"),
+            m("(a)")
+        );
     }
-
 }

@@ -4,7 +4,7 @@
 
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::config::TransformerConfig;
-use mepipe_strategy::{search_all, Method};
+use mepipe_strategy::{Method, SearchEngine};
 
 use crate::report::{format_table, ExperimentReport};
 
@@ -16,9 +16,12 @@ pub fn run() -> ExperimentReport {
     );
     let model = TransformerConfig::llama2_13b();
     let cluster = ClusterSpec::rtx4090_cluster();
+    // One engine across the whole grid: schedules and evaluations are
+    // shared between batch sizes where the shapes coincide.
+    let engine = SearchEngine::new();
     for gbs in [32usize, 64, 128] {
         rep.line(format!("--- global batch size {gbs} ---"));
-        let results = search_all(&model, &cluster, gbs);
+        let results = engine.search_all(&model, &cluster, gbs);
         let mut rows = Vec::new();
         let mut best_baseline = f64::INFINITY;
         let mut mepipe_time = f64::NAN;
@@ -32,22 +35,37 @@ pub fn run() -> ExperimentReport {
                         format!("{:.1}%", e.bubble_ratio * 100.0),
                         format!("{:.1}%", e.mfu * 100.0),
                     ]);
-                    rep.row(&format!("gbs{gbs}/{}", m.name()), &[
-                        ("iter_ms", e.iteration_time * 1e3),
-                        ("bubble", e.bubble_ratio),
-                        ("mfu", e.mfu),
-                    ]);
+                    rep.row(
+                        &format!("gbs{gbs}/{}", m.name()),
+                        &[
+                            ("iter_ms", e.iteration_time * 1e3),
+                            ("bubble", e.bubble_ratio),
+                            ("mfu", e.mfu),
+                        ],
+                    );
                     if *m == Method::Mepipe {
                         mepipe_time = e.iteration_time;
                     } else {
                         best_baseline = best_baseline.min(e.iteration_time);
                     }
                 }
-                None => rows.push(vec![m.name().into(), "OOM".into(), "-".into(), "-".into(), "-".into()]),
+                None => rows.push(vec![
+                    m.name().into(),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
             }
         }
         rep.line(format_table(
-            &["system", "iteration", "config (PP, CP/SPP, VP, recomp)", "bubble", "MFU"],
+            &[
+                "system",
+                "iteration",
+                "config (PP, CP/SPP, VP, recomp)",
+                "bubble",
+                "MFU",
+            ],
             &rows,
         ));
         if best_baseline.is_finite() && mepipe_time.is_finite() {
@@ -57,6 +75,11 @@ pub fn run() -> ExperimentReport {
         }
     }
     rep.line("Paper: 1.36x (GBS 128), 1.49x (64), 1.86x (32) over the respective best baselines.");
+    let st = engine.stats();
+    rep.line(format!(
+        "search engine: {} pre-discarded, {} bound-pruned, {} evaluated ({} memo hits)",
+        st.pre_discarded, st.bound_pruned, st.evaluated, st.eval_hits
+    ));
     rep
 }
 

@@ -30,7 +30,8 @@ fn spp_relative(cfg: &TransformerConfig, k: usize) -> f64 {
     for i in 0..k {
         let ctx = flops::causal_context(i * t, t);
         let f = 3.0 * layer_flops_forward(cfg, t, ctx);
-        time += eff.gemm_time(f, t, PEAK, 27) + 3.0 * VEC_BYTES * t as f64 * cfg.hidden as f64 / MEM_BW;
+        time +=
+            eff.gemm_time(f, t, PEAK, 27) + 3.0 * VEC_BYTES * t as f64 * cfg.hidden as f64 / MEM_BW;
     }
     let base = base_time(cfg);
     base / time
@@ -47,8 +48,8 @@ fn cp_relative(cfg: &TransformerConfig, k: usize) -> f64 {
     // Megatron's symmetric two-slice assignment balances the causal
     // context, so every worker carries 1/k of the attention-score work.
     let ctx = flops::causal_context(0, seq);
-    let per_worker = 3.0
-        * (flops::dense_forward_flops(cfg, t) + 4.0 * t as f64 * ctx * cfg.hidden as f64);
+    let per_worker =
+        3.0 * (flops::dense_forward_flops(cfg, t) + 4.0 * t as f64 * ctx * cfg.hidden as f64);
     let mut time = eff.gemm_time(per_worker, t, PEAK, 27)
         + 3.0 * VEC_BYTES * t as f64 * cfg.hidden as f64 / MEM_BW;
     if k > 1 {
@@ -88,7 +89,10 @@ pub fn run() -> ExperimentReport {
         ]);
         rep.row(&format!("size{k}"), &[("spp_rel", spp), ("cp_rel", cp)]);
     }
-    rep.line(format_table(&["CP/SPP size", "SPP relative perf", "CP relative perf"], &rows));
+    rep.line(format_table(
+        &["CP/SPP size", "SPP relative perf", "CP relative perf"],
+        &rows,
+    ));
     rep.line("Paper: SPP 8 loses ~12.6% per layer; CP loses much more (comm).");
     rep
 }

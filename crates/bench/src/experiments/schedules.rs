@@ -2,40 +2,61 @@
 
 use mepipe_core::{
     reschedule::reschedule_backwards,
-    svpp::{generate_svpp, SvppConfig},
+    svpp::{Svpp, SvppConfig},
 };
 use mepipe_schedule::{
-    baselines::{generate_dapple, generate_terapipe},
     exec::{execute, UnitCost},
+    generator::{Dapple, Dims, ScheduleGenerator, TeraPipe},
     render::render,
     validate::peak_in_flight,
 };
 
 use crate::report::ExperimentReport;
 
-fn svpp(p: usize, v: usize, s: usize, n: usize, f: Option<usize>) -> SvppConfig {
-    SvppConfig { stages: p, virtual_chunks: v, slices: s, micro_batches: n, warmup_cap: f }
+fn svpp(p: usize, v: usize, s: usize, n: usize, f: Option<usize>) -> mepipe_schedule::ir::Schedule {
+    let gen = match f {
+        Some(f) => Svpp::new().warmup_cap(f),
+        None => Svpp::new(),
+    };
+    gen.generate(&Dims::new(p, n).virtual_chunks(v).slices(s))
+        .unwrap()
 }
 
 /// Figure 2: DAPPLE 1F1B scheduling.
 pub fn fig2() -> ExperimentReport {
     let mut rep = ExperimentReport::new("fig2", "1F1B pipeline scheduling in DAPPLE");
-    let sch = generate_dapple(4, 4).unwrap();
-    rep.line(render(&sch, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap());
+    let sch = Dapple.generate(&Dims::new(4, 4)).unwrap();
+    rep.line(
+        render(
+            &sch,
+            &UnitCost {
+                fwd: 1.0,
+                bwd: 2.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap(),
+    );
     let t = execute(&sch, &UnitCost::ones()).unwrap();
     rep.line(format!(
         "bubble ratio {:.1}% — first stage holds {} micro-batches of activations",
         t.bubble_ratio() * 100.0,
         peak_in_flight(&sch)[0]
     ));
-    rep.row("dapple", &[("bubble", t.bubble_ratio()), ("peak_units", peak_in_flight(&sch)[0] as f64)]);
+    rep.row(
+        "dapple",
+        &[
+            ("bubble", t.bubble_ratio()),
+            ("peak_units", peak_in_flight(&sch)[0] as f64),
+        ],
+    );
     rep
 }
 
 /// Figure 3: TeraPipe slice-level GPipe scheduling.
 pub fn fig3() -> ExperimentReport {
     let mut rep = ExperimentReport::new("fig3", "Pipeline scheduling of TeraPipe");
-    let sch = generate_terapipe(4, 2, 4).unwrap();
+    let sch = TeraPipe.generate(&Dims::new(4, 2).slices(4)).unwrap();
     rep.line(render(&sch, &UnitCost::ones()).unwrap());
     let peaks = peak_in_flight(&sch);
     rep.line(format!(
@@ -50,7 +71,7 @@ pub fn fig3() -> ExperimentReport {
 pub fn fig4() -> ExperimentReport {
     let mut rep = ExperimentReport::new("fig4", "SVPP scheduling, p=4, s=2, v in {1, 2}");
     for (tag, v, frac) in [("(a) v=1", 1usize, "5/8"), ("(b) v=2", 2, "9/16")] {
-        let sch = generate_svpp(&svpp(4, v, 2, 4, None)).unwrap();
+        let sch = svpp(4, v, 2, 4, None);
         rep.line(format!("--- {tag}: paper peak {frac}·A ---"));
         rep.line(render(&sch, &UnitCost::ones()).unwrap());
         let peak = peak_in_flight(&sch)[0];
@@ -66,11 +87,13 @@ pub fn fig4() -> ExperimentReport {
 
 /// Figure 5: memory-limited SVPP variants (warmup budget sweep).
 pub fn fig5() -> ExperimentReport {
-    let mut rep =
-        ExperimentReport::new("fig5", "SVPP variants: trading bubbles for memory (p=4, v=2, s=2)");
-    let base = svpp(4, 2, 2, 2, None);
+    let mut rep = ExperimentReport::new(
+        "fig5",
+        "SVPP variants: trading bubbles for memory (p=4, v=2, s=2)",
+    );
+    let base = SvppConfig::new(4, 2, 2).virtual_chunks(2);
     for f in (base.min_warmup()..=base.max_warmup()).rev() {
-        let sch = generate_svpp(&svpp(4, 2, 2, 2, Some(f))).unwrap();
+        let sch = svpp(4, 2, 2, 2, Some(f));
         let t = execute(&sch, &UnitCost::ones()).unwrap();
         let peak = peak_in_flight(&sch)[0];
         if f == base.max_warmup() || f == base.min_warmup() {
@@ -83,11 +106,14 @@ pub fn fig5() -> ExperimentReport {
             t.bubble_ratio() * 100.0,
             t.makespan
         ));
-        rep.row(&format!("f={f}"), &[
-            ("peak_units", peak as f64),
-            ("bubble", t.bubble_ratio()),
-            ("makespan", t.makespan),
-        ]);
+        rep.row(
+            &format!("f={f}"),
+            &[
+                ("peak_units", peak as f64),
+                ("bubble", t.bubble_ratio()),
+                ("makespan", t.makespan),
+            ],
+        );
     }
     rep.line("Lower f → less memory, more bubbles (Section 4.2's 50%/50% trade at the floor).");
     rep
@@ -99,7 +125,7 @@ pub fn fig6() -> ExperimentReport {
         "fig6",
         "Backward rescheduling (Section 4.3) on the Figure 5(a) schedule",
     );
-    let sch = generate_svpp(&svpp(4, 2, 2, 2, None)).unwrap();
+    let sch = svpp(4, 2, 2, 2, None);
     let opt = reschedule_backwards(&sch).unwrap();
     let tb = execute(&sch, &UnitCost::ones()).unwrap();
     let ta = execute(&opt, &UnitCost::ones()).unwrap();
@@ -114,12 +140,15 @@ pub fn fig6() -> ExperimentReport {
         peak_in_flight(&sch)[0],
         peak_in_flight(&opt)[0]
     ));
-    rep.row("reschedule", &[
-        ("makespan_before", tb.makespan),
-        ("makespan_after", ta.makespan),
-        ("peak_before", peak_in_flight(&sch)[0] as f64),
-        ("peak_after", peak_in_flight(&opt)[0] as f64),
-    ]);
+    rep.row(
+        "reschedule",
+        &[
+            ("makespan_before", tb.makespan),
+            ("makespan_after", ta.makespan),
+            ("peak_before", peak_in_flight(&sch)[0] as f64),
+            ("peak_after", peak_in_flight(&opt)[0] as f64),
+        ],
+    );
     rep
 }
 
@@ -155,9 +184,7 @@ mod tests {
     #[test]
     fn fig6_reschedule_never_hurts() {
         let rep = fig6();
-        let get = |k: &str| {
-            rep.rows[0].1.iter().find(|(kk, _)| kk == k).unwrap().1
-        };
+        let get = |k: &str| rep.rows[0].1.iter().find(|(kk, _)| kk == k).unwrap().1;
         assert!(get("makespan_after") <= get("makespan_before"));
         assert!(get("peak_after") <= get("peak_before"));
     }

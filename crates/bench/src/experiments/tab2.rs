@@ -27,7 +27,13 @@ pub fn run() -> ExperimentReport {
         rep.row(r.name, &[("gib_per_iter", r.bytes_per_iteration / gib)]);
     }
     rep.line(format_table(
-        &["strategy", "GB sent/iter", "param part.", "act part.", "opt part."],
+        &[
+            "strategy",
+            "GB sent/iter",
+            "param part.",
+            "act part.",
+            "opt part.",
+        ],
         &rows,
     ));
     rep.line("Ordering matches the paper's +'s: TP >>> CP > DP > PP = SPP.");

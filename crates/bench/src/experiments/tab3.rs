@@ -4,11 +4,11 @@
 
 use mepipe_core::{
     analytic::{table3, AnalysisParams},
-    svpp::{generate_svpp, SvppConfig},
+    svpp::Svpp,
 };
 use mepipe_schedule::{
-    baselines::{generate_dapple, generate_terapipe, generate_vpp},
     exec::{execute, UnitCost},
+    generator::{Dapple, Dims, ScheduleGenerator, TeraPipe, Vpp},
 };
 
 use crate::report::{format_table, ExperimentReport};
@@ -24,8 +24,24 @@ pub fn run() -> ExperimentReport {
         "Bubble ratio and activation memory (fraction of A) — closed forms + simulation cross-check",
     );
     for (regime, a) in [
-        ("small cluster (n ≥ p): p=8, v=2, s=4, n=16", AnalysisParams { p: 8, v: 2, s: 4, n: 16 }),
-        ("large cluster (n < p): p=16, v=2, s=4, n=4", AnalysisParams { p: 16, v: 2, s: 4, n: 4 }),
+        (
+            "small cluster (n ≥ p): p=8, v=2, s=4, n=16",
+            AnalysisParams {
+                p: 8,
+                v: 2,
+                s: 4,
+                n: 16,
+            },
+        ),
+        (
+            "large cluster (n < p): p=16, v=2, s=4, n=4",
+            AnalysisParams {
+                p: 16,
+                v: 2,
+                s: 4,
+                n: 4,
+            },
+        ),
     ] {
         rep.line(format!("--- {regime} ---"));
         let mut rows = Vec::new();
@@ -43,43 +59,59 @@ pub fn run() -> ExperimentReport {
                 ],
             );
         }
-        rep.line(format_table(&["method", "bubble ratio", "memory (·A)"], &rows));
+        rep.line(format_table(
+            &["method", "bubble ratio", "memory (·A)"],
+            &rows,
+        ));
     }
 
     // Cross-check the small-regime formulas against executed schedules
     // under uniform costs.
     rep.line("--- cross-check: formula vs executed schedule (uniform costs) ---");
-    let a = AnalysisParams { p: 4, v: 1, s: 4, n: 8 };
+    let a = AnalysisParams {
+        p: 4,
+        v: 1,
+        s: 4,
+        n: 8,
+    };
     let checks: Vec<(&str, f64, f64)> = vec![
         (
             "DAPPLE",
             mepipe_core::analytic::dapple(a).bubble_ratio.unwrap(),
-            execute(&generate_dapple(4, 8).unwrap(), &UnitCost::ones()).unwrap().bubble_ratio(),
+            execute(
+                &Dapple.generate(&Dims::new(4, 8)).unwrap(),
+                &UnitCost::ones(),
+            )
+            .unwrap()
+            .bubble_ratio(),
         ),
         (
             "VPP (v=2)",
-            mepipe_core::analytic::vpp(AnalysisParams { v: 2, ..a }).bubble_ratio.unwrap(),
-            execute(&generate_vpp(4, 2, 8).unwrap(), &UnitCost::ones()).unwrap().bubble_ratio(),
+            mepipe_core::analytic::vpp(AnalysisParams { v: 2, ..a })
+                .bubble_ratio
+                .unwrap(),
+            execute(
+                &Vpp.generate(&Dims::new(4, 8).virtual_chunks(2)).unwrap(),
+                &UnitCost::ones(),
+            )
+            .unwrap()
+            .bubble_ratio(),
         ),
         (
             "TeraPipe",
             mepipe_core::analytic::terapipe(a).bubble_ratio.unwrap(),
-            execute(&generate_terapipe(4, 8, 4).unwrap(), &UnitCost::ones())
-                .unwrap()
-                .bubble_ratio(),
+            execute(
+                &TeraPipe.generate(&Dims::new(4, 8).slices(4)).unwrap(),
+                &UnitCost::ones(),
+            )
+            .unwrap()
+            .bubble_ratio(),
         ),
         (
             "SVPP",
             mepipe_core::analytic::svpp(a).bubble_ratio.unwrap(),
             execute(
-                &generate_svpp(&SvppConfig {
-                    stages: 4,
-                    virtual_chunks: 1,
-                    slices: 4,
-                    micro_batches: 8,
-                    warmup_cap: None,
-                })
-                .unwrap(),
+                &Svpp::new().generate(&Dims::new(4, 8).slices(4)).unwrap(),
                 &UnitCost::ones(),
             )
             .unwrap()
@@ -94,9 +126,15 @@ pub fn run() -> ExperimentReport {
             format!("{measured:.4}"),
             format!("{:+.4}", measured - formula),
         ]);
-        rep.row(&format!("check/{name}"), &[("formula", *formula), ("measured", *measured)]);
+        rep.row(
+            &format!("check/{name}"),
+            &[("formula", *formula), ("measured", *measured)],
+        );
     }
-    rep.line(format_table(&["method", "formula", "measured", "delta"], &rows));
+    rep.line(format_table(
+        &["method", "formula", "measured", "delta"],
+        &rows,
+    ));
     rep
 }
 

@@ -35,14 +35,28 @@ pub fn run() -> ExperimentReport {
         let (t49, mfu49) = match best_time(&model, &g4090, 128) {
             Some(x) => x,
             None => {
-                rows.push(vec![name.into(), "infeasible".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+                rows.push(vec![
+                    name.into(),
+                    "infeasible".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };
         let (ta, mfua) = match best_time(&model, &a100, 128) {
             Some(x) => x,
             None => {
-                rows.push(vec![name.into(), "-".into(), "-".into(), "infeasible".into(), "-".into(), "-".into()]);
+                rows.push(vec![
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "infeasible".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
         };
@@ -64,16 +78,26 @@ pub fn run() -> ExperimentReport {
             format!("{tflopsa:.0} TF"),
             format!("{:.2}x", cost.cost_effectiveness_ratio),
         ]);
-        rep.row(name, &[
-            ("iter_4090_ms", t49 * 1e3),
-            ("iter_a100_ms", ta * 1e3),
-            ("tflops_4090", tflops49),
-            ("tflops_a100", tflopsa),
-            ("cost_effectiveness", cost.cost_effectiveness_ratio),
-        ]);
+        rep.row(
+            name,
+            &[
+                ("iter_4090_ms", t49 * 1e3),
+                ("iter_a100_ms", ta * 1e3),
+                ("tflops_4090", tflops49),
+                ("tflops_a100", tflopsa),
+                ("cost_effectiveness", cost.cost_effectiveness_ratio),
+            ],
+        );
     }
     rep.line(format_table(
-        &["model", "4090 iter", "4090 TFLOPS/GPU", "A100 iter", "A100 TFLOPS/GPU", "4090 cost-effectiveness"],
+        &[
+            "model",
+            "4090 iter",
+            "4090 TFLOPS/GPU",
+            "A100 iter",
+            "A100 TFLOPS/GPU",
+            "4090 cost-effectiveness",
+        ],
         &rows,
     ));
     rep.line("Paper: 4090 iteration times comparable to 32x A100 (e.g. 5852 vs 6131 ms on 13B) at ~2.5x better cost-effectiveness.");
@@ -96,7 +120,10 @@ mod tests {
             let t49 = get("iter_4090_ms").unwrap();
             let ta = get("iter_a100_ms").unwrap();
             let rel = t49 / ta;
-            assert!((0.5..2.0).contains(&rel), "{label}: 4090/A100 time ratio {rel}");
+            assert!(
+                (0.5..2.0).contains(&rel),
+                "{label}: 4090/A100 time ratio {rel}"
+            );
         }
         assert!(!rep.rows.is_empty());
     }

@@ -6,7 +6,6 @@
 //! result — who wins, by roughly what factor, where the crossovers fall.
 #![warn(missing_docs)]
 
-
 pub mod experiments;
 pub mod report;
 

@@ -3,10 +3,8 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// One regenerated table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment id, e.g. `"fig8"`.
     pub id: String,
@@ -21,7 +19,12 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Creates an empty report.
     pub fn new(id: &str, title: &str) -> Self {
-        Self { id: id.into(), title: title.into(), body: String::new(), rows: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            body: String::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a text line to the body.
@@ -41,6 +44,60 @@ impl ExperimentReport {
     /// Full printable form.
     pub fn render(&self) -> String {
         format!("== {} — {} ==\n{}", self.id, self.title, self.body)
+    }
+
+    /// Machine-readable JSON form (hand-rolled: the offline build has no
+    /// serde). Shape matches the former `#[derive(Serialize)]` output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str(&format!("  \"body\": {},\n", json_string(&self.body)));
+        out.push_str("  \"rows\": [\n");
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            out.push_str(&format!("    [{}, [", json_string(label)));
+            for (j, (k, v)) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", json_string(k), json_number(*v)));
+            }
+            out.push_str(if i + 1 < self.rows.len() {
+                "]],\n"
+            } else {
+                "]]\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞: mapped to null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -63,9 +120,7 @@ pub fn write_report(report: &ExperimentReport) -> Option<PathBuf> {
         eprintln!("warning: cannot write {}: {e}", txt.display());
         return None;
     }
-    if let Ok(json) = serde_json::to_string_pretty(&report) {
-        let _ = fs::write(dir.join(format!("{}.json", report.id)), json);
-    }
+    let _ = fs::write(dir.join(format!("{}.json", report.id)), report.to_json());
     Some(txt)
 }
 
@@ -83,7 +138,11 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let fmt_row = |cells: &[String], widths: &[usize]| {
         let mut line = String::new();
         for (i, c) in cells.iter().enumerate() {
-            let pad = widths.get(i).copied().unwrap_or(0).saturating_sub(c.chars().count());
+            let pad = widths
+                .get(i)
+                .copied()
+                .unwrap_or(0)
+                .saturating_sub(c.chars().count());
             line.push_str(c);
             line.push_str(&" ".repeat(pad + 2));
         }
@@ -130,5 +189,20 @@ mod tests {
         assert!(r.render().contains("figX"));
         assert!(r.render().contains("hello"));
         assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = ExperimentReport::new("t1", "quote \" and\nnewline");
+        r.line("body");
+        r.row("a", &[("x", 1.5), ("inf", f64::INFINITY)]);
+        r.row("b", &[("y", -2.0)]);
+        let j = r.to_json();
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("[\"x\", 1.5]"));
+        // Non-finite values cannot appear in JSON.
+        assert!(j.contains("[\"inf\", null]"));
+        assert!(j.contains("[\"b\", [[\"y\", -2]]]"));
     }
 }

@@ -6,7 +6,11 @@ use mepipe_bench::{experiments, write_report};
 #[test]
 fn every_experiment_runs_and_writes() {
     let all = experiments::all();
-    assert!(all.len() >= 20, "expected the full experiment roster, got {}", all.len());
+    assert!(
+        all.len() >= 20,
+        "expected the full experiment roster, got {}",
+        all.len()
+    );
     for (id, run) in all {
         let rep = run();
         assert_eq!(rep.id, id, "report id mismatch");

@@ -54,7 +54,11 @@ pub struct AnalysisRow {
 pub fn dapple(a: AnalysisParams) -> AnalysisRow {
     let bubble = (a.pf() - 1.0) / (a.pf() - 1.0 + a.nf());
     let mem = if a.n >= a.p { 1.0 } else { a.nf() / a.pf() };
-    AnalysisRow { method: "DAPPLE", bubble_ratio: Some(bubble), memory_fraction: Some(mem) }
+    AnalysisRow {
+        method: "DAPPLE",
+        bubble_ratio: Some(bubble),
+        memory_fraction: Some(mem),
+    }
 }
 
 /// Megatron VPP: bubble `(p−1)/(p−1+n·v)`; memory
@@ -64,11 +68,19 @@ pub fn dapple(a: AnalysisParams) -> AnalysisRow {
 /// `n < p` case unsupported.
 pub fn vpp(a: AnalysisParams) -> AnalysisRow {
     if a.n < a.p {
-        return AnalysisRow { method: "VPP", bubble_ratio: None, memory_fraction: None };
+        return AnalysisRow {
+            method: "VPP",
+            bubble_ratio: None,
+            memory_fraction: None,
+        };
     }
     let bubble = (a.pf() - 1.0) / (a.pf() - 1.0 + a.nf() * a.vf());
     let mem = (1.0 + (a.pf() - 1.0) / (a.pf() * a.vf())).min(a.nf() / a.pf());
-    AnalysisRow { method: "VPP", bubble_ratio: Some(bubble), memory_fraction: Some(mem) }
+    AnalysisRow {
+        method: "VPP",
+        bubble_ratio: Some(bubble),
+        memory_fraction: Some(mem),
+    }
 }
 
 /// Hanayo: bubble `(p−1)/(p−1+n·v)` and memory `A` for `n ≥ p`;
@@ -76,10 +88,14 @@ pub fn vpp(a: AnalysisParams) -> AnalysisRow {
 pub fn hanayo(a: AnalysisParams) -> AnalysisRow {
     if a.n >= a.p {
         let bubble = (a.pf() - 1.0) / (a.pf() - 1.0 + a.nf() * a.vf());
-        AnalysisRow { method: "Hanayo", bubble_ratio: Some(bubble), memory_fraction: Some(1.0) }
+        AnalysisRow {
+            method: "Hanayo",
+            bubble_ratio: Some(bubble),
+            memory_fraction: Some(1.0),
+        }
     } else {
-        let bubble = (a.vf() * a.pf() + a.nf() - 1.0 - a.nf() * a.vf())
-            / (a.vf() * a.pf() + a.nf() - 1.0);
+        let bubble =
+            (a.vf() * a.pf() + a.nf() - 1.0 - a.nf() * a.vf()) / (a.vf() * a.pf() + a.nf() - 1.0);
         AnalysisRow {
             method: "Hanayo",
             bubble_ratio: Some(bubble),
@@ -112,17 +128,84 @@ pub fn svpp(a: AnalysisParams) -> AnalysisRow {
     let mem_small = svpp_memory_fraction(a);
     if a.n >= a.p {
         let bubble = (a.pf() - 1.0) / (a.nf() * a.sf() * a.vf() + a.pf() - 1.0);
-        AnalysisRow { method: "SVPP", bubble_ratio: Some(bubble), memory_fraction: Some(mem_small) }
+        AnalysisRow {
+            method: "SVPP",
+            bubble_ratio: Some(bubble),
+            memory_fraction: Some(mem_small),
+        }
     } else {
         let extra = (a.vf() - 1.0) * (a.pf() - a.sf() * a.nf()).max(0.0);
-        let bubble =
-            (a.pf() - 1.0 + extra) / (a.pf() - 1.0 + extra + a.nf() * a.vf() * a.sf());
+        let bubble = (a.pf() - 1.0 + extra) / (a.pf() - 1.0 + extra + a.nf() * a.vf() * a.sf());
         AnalysisRow {
             method: "SVPP",
             bubble_ratio: Some(bubble),
             memory_fraction: Some(mem_small.min(a.nf() / a.pf())),
         }
     }
+}
+
+/// Per-slice pricing of one schedulable unit, the inputs to
+/// [`compute_floor_seconds`].
+#[derive(Debug, Clone, Copy)]
+pub struct FloorInputs<'a> {
+    /// Forward time per slice (length `s`).
+    pub forward: &'a [f64],
+    /// Input-gradient backward time per slice (length `s`).
+    pub backward_input: &'a [f64],
+    /// Weight-gradient time per unit (slice-independent).
+    pub wgrad: f64,
+    /// Per-iteration terms appended after the last compute (data-parallel
+    /// sync and the optimizer step).
+    pub overhead: f64,
+}
+
+/// A sound lower bound, in seconds, on the simulated iteration time of
+/// *any* pipeline schedule with these shape parameters.
+///
+/// The floor is the larger of two dependency arguments, each of which no
+/// schedule in the 1F1B family can beat:
+///
+/// * **ramp + busy** — the last stage's first op consumes a tensor that
+///   already crossed `p−1` stages (≥ `(p−1)·min f`), and after that the
+///   stage still executes the forward, input-gradient *and*
+///   weight-gradient work of all `n·v` units of every slice serially;
+/// * **ramp + chain** — the last stage cannot emit its final activation
+///   gradient before finishing all of its forward and input-gradient
+///   work, and that gradient then traverses a dependency chain of at
+///   least `p−1` further backward ops (≥ `(p−1)·min b`).
+///
+/// Bubbles, communication stalls and memory-induced drains only push the
+/// simulated time *above* this floor, so branch-and-bound pruning with
+/// it never discards the optimum.
+pub fn compute_floor_seconds(a: AnalysisParams, inputs: FloorInputs<'_>) -> f64 {
+    let units = (a.n * a.v) as f64;
+    let hops = (a.p - 1) as f64;
+    let fwd_sum: f64 = inputs.forward.iter().sum();
+    let bwd_sum: f64 = inputs.backward_input.iter().sum();
+    let f_min = inputs.forward.iter().copied().fold(f64::INFINITY, f64::min);
+    let b_min = inputs
+        .backward_input
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let ramp = hops * f_min;
+    let slices = inputs.forward.len() as f64;
+    let busy = units * (fwd_sum + bwd_sum + slices * inputs.wgrad) + ramp;
+    let chain = ramp + units * (fwd_sum + bwd_sum) + hops * b_min;
+    busy.max(chain) + inputs.overhead
+}
+
+/// A sound lower bound on the peak in-flight units of the 1F1B schedule
+/// family (DAPPLE, zero bubble, and the interleaved variants).
+///
+/// Stage 0 cannot retire its first unit before that unit has traversed
+/// the whole pipeline and come back, by which time it has issued at
+/// least `min(p, n·v)` forwards. Schedules that defer weight gradients
+/// or interleave chunks only hold *more*. Used by the search pre-pass to
+/// discard candidates whose peak cannot fit the activation budget
+/// without generating the schedule at all.
+pub fn warmup_units_floor(a: AnalysisParams) -> usize {
+    a.p.min(a.n * a.v)
 }
 
 /// The limiting row `s → +∞`: zero bubbles, `A/p` of memory.
@@ -148,7 +231,14 @@ pub fn svpp_limit(a: AnalysisParams) -> AnalysisRow {
 /// assert!(svpp.memory_fraction < dapple.memory_fraction);
 /// ```
 pub fn table3(a: AnalysisParams) -> Vec<AnalysisRow> {
-    vec![dapple(a), vpp(a), hanayo(a), terapipe(a), svpp(a), svpp_limit(a)]
+    vec![
+        dapple(a),
+        vpp(a),
+        hanayo(a),
+        terapipe(a),
+        svpp(a),
+        svpp_limit(a),
+    ]
 }
 
 #[cfg(test)]
@@ -156,7 +246,12 @@ mod tests {
     use super::*;
 
     fn small() -> AnalysisParams {
-        AnalysisParams { p: 8, v: 2, s: 4, n: 16 }
+        AnalysisParams {
+            p: 8,
+            v: 2,
+            s: 4,
+            n: 16,
+        }
     }
 
     #[test]
@@ -182,22 +277,40 @@ mod tests {
             assert!(svpp_m < r.memory_fraction.unwrap(), "{}", r.method);
         }
         // And it approaches A/p as s grows.
-        let big_s = AnalysisParams { s: 1 << 20, ..small() };
+        let big_s = AnalysisParams {
+            s: 1 << 20,
+            ..small()
+        };
         assert!((svpp_memory_fraction(big_s) - 1.0 / 8.0).abs() < 1e-3);
     }
 
     #[test]
     fn figure4_worked_examples() {
         // Section 4.1: 5/8·A at p=4, s=2, v=1 and 9/16·A at v=2.
-        let a1 = AnalysisParams { p: 4, v: 1, s: 2, n: 4 };
+        let a1 = AnalysisParams {
+            p: 4,
+            v: 1,
+            s: 2,
+            n: 4,
+        };
         assert!((svpp_memory_fraction(a1) - 5.0 / 8.0).abs() < 1e-12);
-        let a2 = AnalysisParams { p: 4, v: 2, s: 2, n: 4 };
+        let a2 = AnalysisParams {
+            p: 4,
+            v: 2,
+            s: 2,
+            n: 4,
+        };
         assert!((svpp_memory_fraction(a2) - 9.0 / 16.0).abs() < 1e-12);
     }
 
     #[test]
     fn vpp_unsupported_below_p() {
-        let a = AnalysisParams { p: 8, v: 2, s: 1, n: 4 };
+        let a = AnalysisParams {
+            p: 8,
+            v: 2,
+            s: 1,
+            n: 4,
+        };
         assert_eq!(vpp(a).bubble_ratio, None);
         // Hanayo and SVPP still defined.
         assert!(hanayo(a).bubble_ratio.is_some());
@@ -206,7 +319,12 @@ mod tests {
 
     #[test]
     fn large_cluster_regime_memory_caps_at_n_over_p() {
-        let a = AnalysisParams { p: 16, v: 1, s: 2, n: 4 };
+        let a = AnalysisParams {
+            p: 16,
+            v: 1,
+            s: 2,
+            n: 4,
+        };
         let r = svpp(a);
         assert!(r.memory_fraction.unwrap() <= 4.0 / 16.0 + 1e-12);
     }
@@ -217,7 +335,12 @@ mod tests {
         // memory by >70% and >80% versus DAPPLE's A (p=8, v=2 config of
         // Figure 1).
         for (s, floor) in [(4usize, 0.70f64), (8, 0.80)] {
-            let a = AnalysisParams { p: 8, v: 2, s, n: 8 };
+            let a = AnalysisParams {
+                p: 8,
+                v: 2,
+                s,
+                n: 8,
+            };
             let reduction = 1.0 - svpp_memory_fraction(a) / 1.0;
             assert!(
                 reduction > floor,
@@ -230,34 +353,90 @@ mod tests {
     fn dapple_matches_measured_bubble() {
         // Cross-check the formula against the executed schedule (the
         // schedule-crate test does the same from the other side).
-        let a = AnalysisParams { p: 4, v: 1, s: 1, n: 8 };
-        let sch = mepipe_schedule::baselines::generate_dapple(4, 8).unwrap();
-        let t = mepipe_schedule::exec::execute(
-            &sch,
-            &mepipe_schedule::exec::UnitCost::ones(),
-        )
-        .unwrap();
+        let a = AnalysisParams {
+            p: 4,
+            v: 1,
+            s: 1,
+            n: 8,
+        };
+        let sch = {
+            use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
+            Dapple.generate(&Dims::new(4, 8)).unwrap()
+        };
+        let t =
+            mepipe_schedule::exec::execute(&sch, &mepipe_schedule::exec::UnitCost::ones()).unwrap();
         assert!((t.bubble_ratio() - dapple(a).bubble_ratio.unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_floor_covers_both_dependency_arguments() {
+        let a = AnalysisParams {
+            p: 4,
+            v: 2,
+            s: 2,
+            n: 8,
+        };
+        let inputs = FloorInputs {
+            forward: &[1.0, 2.0],
+            backward_input: &[2.0, 3.0],
+            wgrad: 1.5,
+            overhead: 0.5,
+        };
+        // busy  = 16·(3 + 5 + 2·1.5) + 3·1 = 179; chain = 3 + 16·8 + 3·2 = 137.
+        let floor = compute_floor_seconds(a, inputs);
+        assert!((floor - (179.0 + 0.5)).abs() < 1e-12, "floor {floor}");
+        // With negligible weight work, the backward chain dominates.
+        let light = FloorInputs {
+            wgrad: 0.0,
+            ..inputs
+        };
+        let floor = compute_floor_seconds(a, light);
+        assert!((floor - (137.0 + 0.5)).abs() < 1e-12, "floor {floor}");
+    }
+
+    #[test]
+    fn warmup_floor_never_exceeds_generated_peaks() {
+        // The floor must under-approximate the peak in-flight units of
+        // every 1F1B-family generator it gates, on every shape the search
+        // enumerates, else the pre-pass would discard feasible candidates.
+        use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator, Vpp, Zb, Zbv};
+        use mepipe_schedule::validate::peak_in_flight;
+        for p in [2usize, 4, 8] {
+            for n in [2usize, 4, 8, 16] {
+                let cases: Vec<(usize, Result<_, _>)> = vec![
+                    (1, Dapple.generate(&Dims::new(p, n))),
+                    (1, Zb.generate(&Dims::new(p, n))),
+                    (2, Vpp.generate(&Dims::new(p, n).virtual_chunks(2))),
+                    (2, Zbv.generate(&Dims::new(p, n).virtual_chunks(2))),
+                ];
+                for (v, sch) in cases {
+                    let Ok(sch) = sch else { continue };
+                    let peak = peak_in_flight(&sch).into_iter().max().unwrap();
+                    let floor = warmup_units_floor(AnalysisParams { p, v, s: 1, n });
+                    assert!(
+                        floor <= peak,
+                        "{}: floor {floor} > peak {peak} at p={p} v={v} n={n}",
+                        sch.meta.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]
     fn svpp_formula_close_to_generated_schedule() {
         // The greedy construction should land near the closed form in the
         // small-cluster regime.
-        let a = AnalysisParams { p: 4, v: 1, s: 4, n: 8 };
-        let cfg = crate::svpp::SvppConfig {
-            stages: 4,
-            virtual_chunks: 1,
-            slices: 4,
-            micro_batches: 8,
-            warmup_cap: None,
+        let a = AnalysisParams {
+            p: 4,
+            v: 1,
+            s: 4,
+            n: 8,
         };
-        let sch = crate::svpp::generate_svpp(&cfg).unwrap();
-        let t = mepipe_schedule::exec::execute(
-            &sch,
-            &mepipe_schedule::exec::UnitCost::ones(),
-        )
-        .unwrap();
+        let cfg = crate::svpp::SvppConfig::new(4, 4, 8);
+        let sch = crate::svpp::fused(&cfg).unwrap();
+        let t =
+            mepipe_schedule::exec::execute(&sch, &mepipe_schedule::exec::UnitCost::ones()).unwrap();
         let formula = svpp(a).bubble_ratio.unwrap();
         assert!(
             (t.bubble_ratio() - formula).abs() < 0.05,

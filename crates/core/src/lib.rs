@@ -15,7 +15,6 @@
 //!   the uniform-vs-non-uniform crossover analysis of Section 5.
 #![warn(missing_docs)]
 
-
 pub mod analytic;
 pub mod nonuniform;
 pub mod reschedule;
@@ -23,6 +22,9 @@ pub mod svpp;
 pub mod variants;
 pub mod wgrad;
 
-pub use svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+pub use svpp::{Mepipe, Svpp, SvppConfig};
+// Deprecated free-function entry points, kept for one release.
+#[allow(deprecated)]
+pub use svpp::{generate_svpp, generate_svpp_split};
 pub use variants::{select_variant_for_budget, variant_peak_units, SvppVariant};
 pub use wgrad::{WgradEntry, WgradQueue};

@@ -12,25 +12,15 @@
 //! strategy would be more efficient" — this module implements both sides
 //! so the crossover can be measured.
 
-use mepipe_model::{
-    config::TransformerConfig,
-    flops,
-    gemm::GemmEfficiency,
-};
+use mepipe_model::{config::TransformerConfig, flops, gemm::GemmEfficiency};
 
 /// Cost in seconds of a slice `[start, start + tokens)` of one decoder
 /// layer's forward pass, honouring the efficiency curve (including tile
 /// alignment) on an accelerator with peak `peak_flops`.
-pub fn slice_time(
-    cfg: &TransformerConfig,
-    start: usize,
-    tokens: usize,
-    peak_flops: f64,
-) -> f64 {
+pub fn slice_time(cfg: &TransformerConfig, start: usize, tokens: usize, peak_flops: f64) -> f64 {
     let eff = GemmEfficiency::default();
     let ctx = flops::causal_context(start, tokens);
-    let f = flops::dense_forward_flops(cfg, tokens)
-        + 4.0 * tokens as f64 * ctx * cfg.hidden as f64;
+    let f = flops::dense_forward_flops(cfg, tokens) + 4.0 * tokens as f64 * ctx * cfg.hidden as f64;
     eff.gemm_time(f, tokens, peak_flops, 9)
 }
 
@@ -117,7 +107,10 @@ pub fn balance_slices(
     peak_flops: f64,
 ) -> Slicing {
     let seq = cfg.seq_len;
-    assert!(grid > 0 && seq.is_multiple_of(grid), "grid must divide the sequence");
+    assert!(
+        grid > 0 && seq.is_multiple_of(grid),
+        "grid must divide the sequence"
+    );
     let cells = seq / grid;
     assert!(cells >= slices, "need at least one grid cell per slice");
 
@@ -216,7 +209,10 @@ mod tests {
 
         // At 128k context the attention imbalance dominates alignment and
         // the DP shortens later slices.
-        let long = TransformerConfig { seq_len: 131_072, ..cfg };
+        let long = TransformerConfig {
+            seq_len: 131_072,
+            ..cfg
+        };
         let b = balance_slices(&long, 4, 1024, PEAK);
         let first = b.slice(0).1;
         let last = b.slice(3).1;
@@ -241,7 +237,10 @@ mod tests {
         assert!((ub_s - bb_s) / ub_s < 0.25);
         assert!(bt_s >= ut_s * 0.98);
 
-        let long = TransformerConfig { seq_len: 131_072, ..short };
+        let long = TransformerConfig {
+            seq_len: 131_072,
+            ..short
+        };
         let (ub_l, bb_l, _, _) = compare_slicings(&long, 8, 1024, PEAK);
         let gain_long = (ub_l - bb_l) / ub_l;
         let gain_short = (ub_s - bb_s) / ub_s;
@@ -249,7 +248,10 @@ mod tests {
             gain_long > gain_short,
             "long-context bottleneck gain {gain_long} should exceed short-context {gain_short}"
         );
-        assert!(gain_long > 0.2, "at 128k the DP should win big, got {gain_long}");
+        assert!(
+            gain_long > 0.2,
+            "at 128k the DP should win big, got {gain_long}"
+        );
     }
 
     #[test]

@@ -34,13 +34,23 @@ pub fn reschedule_backwards(schedule: &Schedule) -> Result<Schedule, String> {
     let fwd_order: Vec<Vec<Op>> = schedule
         .workers
         .iter()
-        .map(|ops| ops.iter().copied().filter(|o| o.kind == OpKind::Forward).collect())
+        .map(|ops| {
+            ops.iter()
+                .copied()
+                .filter(|o| o.kind == OpKind::Forward)
+                .collect()
+        })
         .collect();
     // Pending backwards per worker.
     let mut bwd_pending: Vec<Vec<Op>> = schedule
         .workers
         .iter()
-        .map(|ops| ops.iter().copied().filter(|o| o.kind.is_backward_pass()).collect())
+        .map(|ops| {
+            ops.iter()
+                .copied()
+                .filter(|o| o.kind.is_backward_pass())
+                .collect()
+        })
         .collect();
 
     let mut fwd_next = vec![0usize; p];
@@ -56,8 +66,8 @@ pub fn reschedule_backwards(schedule: &Schedule) -> Result<Schedule, String> {
     let mut in_flight = vec![0usize; p];
     let mut finish: HashMap<(usize, Op), usize> = HashMap::new();
     let mut lists: Vec<Vec<Op>> = vec![Vec::new(); p];
-    let total: usize =
-        fwd_order.iter().map(Vec::len).sum::<usize>() + bwd_pending.iter().map(Vec::len).sum::<usize>();
+    let total: usize = fwd_order.iter().map(Vec::len).sum::<usize>()
+        + bwd_pending.iter().map(Vec::len).sum::<usize>();
     let mut placed = 0usize;
     let mut tick = 0usize;
     let limit = 6 * total + 64;
@@ -80,9 +90,7 @@ pub fn reschedule_backwards(schedule: &Schedule) -> Result<Schedule, String> {
                 let better = match best {
                     None => true,
                     Some((bi, bp)) => {
-                        prio > bp
-                            || (prio == bp
-                                && op.micro_batch < bwd_pending[w][bi].micro_batch)
+                        prio > bp || (prio == bp && op.micro_batch < bwd_pending[w][bi].micro_batch)
                     }
                 };
                 if better {
@@ -127,7 +135,10 @@ pub fn reschedule_backwards(schedule: &Schedule) -> Result<Schedule, String> {
 
     // Weight ops were already interleaved above for split schedules;
     // fused schedules carry none.
-    let rescheduled = Schedule { meta, workers: lists };
+    let rescheduled = Schedule {
+        meta,
+        workers: lists,
+    };
 
     // The optimisation targets the tail bubbles of v > 1 schedules; on
     // shapes where the descendant-priority order does not help, keep the
@@ -145,23 +156,17 @@ pub fn reschedule_backwards(schedule: &Schedule) -> Result<Schedule, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::svpp::{generate_svpp, SvppConfig};
+    use crate::svpp::{fused, SvppConfig};
     use mepipe_schedule::exec::{execute, UnitCost};
     use mepipe_schedule::validate::{peak_in_flight, validate};
 
     fn figure5a_config() -> SvppConfig {
-        SvppConfig {
-            stages: 4,
-            virtual_chunks: 2,
-            slices: 2,
-            micro_batches: 2,
-            warmup_cap: None,
-        }
+        SvppConfig::new(4, 2, 2).virtual_chunks(2)
     }
 
     #[test]
     fn rescheduled_schedule_is_valid() {
-        let s = generate_svpp(&figure5a_config()).unwrap();
+        let s = fused(&figure5a_config()).unwrap();
         let r = reschedule_backwards(&s).unwrap();
         validate(&r).unwrap();
         assert_eq!(r.num_ops(), s.num_ops());
@@ -169,15 +174,14 @@ mod tests {
 
     #[test]
     fn rescheduling_does_not_hurt_makespan() {
-        for (p, v, s, n) in [(4usize, 2usize, 2usize, 2usize), (4, 2, 2, 4), (4, 1, 4, 8), (8, 2, 2, 8)] {
-            let cfg = SvppConfig {
-                stages: p,
-                virtual_chunks: v,
-                slices: s,
-                micro_batches: n,
-                warmup_cap: None,
-            };
-            let before = generate_svpp(&cfg).unwrap();
+        for (p, v, s, n) in [
+            (4usize, 2usize, 2usize, 2usize),
+            (4, 2, 2, 4),
+            (4, 1, 4, 8),
+            (8, 2, 2, 8),
+        ] {
+            let cfg = SvppConfig::new(p, s, n).virtual_chunks(v);
+            let before = fused(&cfg).unwrap();
             let after = reschedule_backwards(&before).unwrap();
             let tb = execute(&before, &UnitCost::ones()).unwrap();
             let ta = execute(&after, &UnitCost::ones()).unwrap();
@@ -195,7 +199,7 @@ mod tests {
         // Section 4.3: substitutions before the last forward keep the same
         // peak memory; the figure-6 result keeps peak at 1/2 A (8 units of
         // A/16 at p=4, v=2, s=2).
-        let s = generate_svpp(&figure5a_config()).unwrap();
+        let s = fused(&figure5a_config()).unwrap();
         let r = reschedule_backwards(&s).unwrap();
         assert!(peak_in_flight(&r)[0] <= peak_in_flight(&s)[0]);
     }
@@ -203,7 +207,7 @@ mod tests {
     #[test]
     fn works_on_split_schedules() {
         let cfg = figure5a_config();
-        let s = crate::svpp::generate_svpp_split(&cfg).unwrap();
+        let s = crate::svpp::split(&cfg).unwrap();
         let r = reschedule_backwards(&s).unwrap();
         validate(&r).unwrap();
     }

@@ -15,11 +15,23 @@
 
 use mepipe_schedule::{
     generate::{default_caps, greedy_generate},
+    generator::{Dims, ScheduleError, ScheduleGenerator},
     ir::{ChunkPlacement, Schedule, ScheduleMeta},
 };
 
 /// Parameters of one SVPP schedule.
+///
+/// Construct with [`SvppConfig::new`] and the builder methods; the
+/// struct is `#[non_exhaustive]` so future knobs (e.g. non-uniform
+/// slicing) can land without breaking callers.
+///
+/// ```
+/// use mepipe_core::svpp::SvppConfig;
+/// let cfg = SvppConfig::new(4, 2, 8).virtual_chunks(2).warmup_cap(6);
+/// assert_eq!(cfg.effective_warmup(), 6);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub struct SvppConfig {
     /// Pipeline stages `p`.
     pub stages: usize,
@@ -35,6 +47,35 @@ pub struct SvppConfig {
 }
 
 impl SvppConfig {
+    /// A config for `p` stages, `s` slices, `n` micro-batches, with no
+    /// virtual chunking and the lowest-bubble warmup budget.
+    pub fn new(stages: usize, slices: usize, micro_batches: usize) -> Self {
+        SvppConfig {
+            stages,
+            virtual_chunks: 1,
+            slices,
+            micro_batches,
+            warmup_cap: None,
+        }
+    }
+
+    /// Sets the virtual-chunk count `v`.
+    pub fn virtual_chunks(mut self, v: usize) -> Self {
+        self.virtual_chunks = v;
+        self
+    }
+
+    /// Caps the warmup budget `f` (the Section 4.2 memory knob).
+    pub fn warmup_cap(mut self, f: usize) -> Self {
+        self.warmup_cap = Some(f);
+        self
+    }
+
+    /// The config for unified-API [`Dims`].
+    pub fn from_dims(dims: &Dims) -> Self {
+        SvppConfig::new(dims.p, dims.s, dims.n).virtual_chunks(dims.v)
+    }
+
     /// The feasibility floor for the warmup budget: the first backward
     /// needs the whole first micro-batch in flight (Section 4.2).
     pub fn min_warmup(&self) -> usize {
@@ -59,7 +100,11 @@ impl SvppConfig {
 
     fn meta(&self, split_backward: bool) -> ScheduleMeta {
         ScheduleMeta {
-            name: if split_backward { "MEPipe".into() } else { "SVPP".into() },
+            name: if split_backward {
+                "MEPipe".into()
+            } else {
+                "SVPP".into()
+            },
             stages: self.stages,
             virtual_chunks: self.virtual_chunks,
             slices: self.slices,
@@ -84,27 +129,113 @@ impl SvppConfig {
     }
 }
 
-/// Generates an SVPP schedule with fused backward passes (the Section 4
-/// analysis setting).
-pub fn generate_svpp(cfg: &SvppConfig) -> Result<Schedule, String> {
+/// Fused-backward SVPP generation (the Section 4 analysis setting).
+pub(crate) fn fused(cfg: &SvppConfig) -> Result<Schedule, String> {
     cfg.check()?;
     let meta = cfg.meta(false);
     greedy_generate(&meta, &default_caps(&meta, cfg.effective_warmup()))
 }
 
-/// Generates the full MEPipe schedule: SVPP with split backward passes so
-/// the simulator/runtime can drain weight-gradient GEMMs into bubbles
+/// Split-backward SVPP generation — the full MEPipe schedule, whose
+/// weight-gradient GEMMs the simulator/runtime drains into bubbles
 /// (Section 5).
-pub fn generate_svpp_split(cfg: &SvppConfig) -> Result<Schedule, String> {
+pub(crate) fn split(cfg: &SvppConfig) -> Result<Schedule, String> {
     cfg.check()?;
     let meta = cfg.meta(true);
     greedy_generate(&meta, &default_caps(&meta, cfg.effective_warmup()))
+}
+
+/// SVPP with fused backward passes as a [`ScheduleGenerator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Svpp {
+    /// Warmup budget `f`; `None` selects the lowest-bubble `f_max`.
+    pub warmup: Option<usize>,
+}
+
+impl Svpp {
+    /// Generator with the lowest-bubble warmup budget.
+    pub fn new() -> Self {
+        Svpp { warmup: None }
+    }
+
+    /// Caps the warmup budget `f` (the Section 4.2 memory knob).
+    pub fn warmup_cap(mut self, f: usize) -> Self {
+        self.warmup = Some(f);
+        self
+    }
+}
+
+impl ScheduleGenerator for Svpp {
+    fn name(&self) -> &'static str {
+        "SVPP"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        let mut cfg = SvppConfig::from_dims(dims);
+        cfg.warmup_cap = self.warmup;
+        Ok(fused(&cfg)?)
+    }
+}
+
+/// The full MEPipe schedule (SVPP with split backward passes) as a
+/// [`ScheduleGenerator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mepipe {
+    /// Warmup budget `f`; `None` selects the lowest-bubble `f_max`.
+    pub warmup: Option<usize>,
+}
+
+impl Mepipe {
+    /// Generator with the lowest-bubble warmup budget.
+    pub fn new() -> Self {
+        Mepipe { warmup: None }
+    }
+
+    /// Caps the warmup budget `f` (the Section 4.2 memory knob).
+    pub fn warmup_cap(mut self, f: usize) -> Self {
+        self.warmup = Some(f);
+        self
+    }
+}
+
+impl ScheduleGenerator for Mepipe {
+    fn name(&self) -> &'static str {
+        "MEPipe"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        let mut cfg = SvppConfig::from_dims(dims);
+        cfg.warmup_cap = self.warmup;
+        Ok(split(&cfg)?)
+    }
+}
+
+/// Generates an SVPP schedule with fused backward passes.
+///
+/// Deprecated entry point kept for one release; use [`Svpp`] through
+/// [`ScheduleGenerator`] instead.
+#[deprecated(since = "0.2.0", note = "use `Svpp` via the `ScheduleGenerator` trait")]
+pub fn generate_svpp(cfg: &SvppConfig) -> Result<Schedule, String> {
+    fused(cfg)
+}
+
+/// Generates the full MEPipe schedule (SVPP with split backward passes).
+///
+/// Deprecated entry point kept for one release; use [`Mepipe`] through
+/// [`ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Mepipe` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_svpp_split(cfg: &SvppConfig) -> Result<Schedule, String> {
+    split(cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use mepipe_schedule::exec::{execute, UnitCost};
+    use mepipe_schedule::generator::{Dapple, Dims, TeraPipe};
     use mepipe_schedule::validate::{peak_in_flight, validate};
 
     fn cfg(p: usize, v: usize, s: usize, n: usize) -> SvppConfig {
@@ -120,7 +251,7 @@ mod tests {
     #[test]
     fn figure4a_peak_is_five_eighths_of_a() {
         // p=4, s=2, v=1: each unit is A/8 and the peak is 5 units.
-        let s = generate_svpp(&cfg(4, 1, 2, 4)).unwrap();
+        let s = fused(&cfg(4, 1, 2, 4)).unwrap();
         validate(&s).unwrap();
         assert_eq!(peak_in_flight(&s)[0], 5);
     }
@@ -138,8 +269,11 @@ mod tests {
     fn all_variants_are_valid() {
         let base = cfg(4, 2, 2, 4);
         for f in base.min_warmup()..=base.max_warmup() {
-            let c = SvppConfig { warmup_cap: Some(f), ..base };
-            let s = generate_svpp(&c).unwrap();
+            let c = SvppConfig {
+                warmup_cap: Some(f),
+                ..base
+            };
+            let s = fused(&c).unwrap();
             validate(&s).unwrap_or_else(|_| panic!("f={f}"));
             let peak = peak_in_flight(&s)[0];
             assert!(peak <= f, "f={f}: peak {peak}");
@@ -153,8 +287,11 @@ mod tests {
         let base = cfg(4, 2, 2, 8);
         let mut last_bubble = -1.0f64;
         for f in [base.max_warmup(), 6, base.min_warmup()] {
-            let c = SvppConfig { warmup_cap: Some(f), ..base };
-            let s = generate_svpp(&c).unwrap();
+            let c = SvppConfig {
+                warmup_cap: Some(f),
+                ..base
+            };
+            let s = fused(&c).unwrap();
             let t = execute(&s, &UnitCost::ones()).unwrap();
             assert!(
                 t.bubble_ratio() >= last_bubble - 1e-9,
@@ -168,10 +305,26 @@ mod tests {
     #[test]
     fn svpp_beats_dapple_bubbles_at_equal_work() {
         // p=4, n=8 micro-batches; SVPP with s=4 slices, same total work.
-        let sv = generate_svpp(&cfg(4, 1, 4, 8)).unwrap();
-        let da = mepipe_schedule::baselines::generate_dapple(4, 8).unwrap();
-        let ts = execute(&sv, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
-        let td = execute(&da, &UnitCost { fwd: 4.0, bwd: 8.0, wgrad: 0.0 }).unwrap();
+        let sv = fused(&cfg(4, 1, 4, 8)).unwrap();
+        let da = Dapple.generate(&Dims::new(4, 8)).unwrap();
+        let ts = execute(
+            &sv,
+            &UnitCost {
+                fwd: 1.0,
+                bwd: 2.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap();
+        let td = execute(
+            &da,
+            &UnitCost {
+                fwd: 4.0,
+                bwd: 8.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap();
         assert!(
             ts.bubble_ratio() < td.bubble_ratio(),
             "svpp {} vs dapple {}",
@@ -186,9 +339,9 @@ mod tests {
         // The Figure 1 story, in units of A: DAPPLE holds p·(A/p) = A,
         // TeraPipe n·s·(A/(ps)), SVPP ~(s+p-1)·(A/(ps)).
         let (p, n, s) = (4usize, 8usize, 4usize);
-        let sv = generate_svpp(&cfg(p, 1, s, n)).unwrap();
-        let da = mepipe_schedule::baselines::generate_dapple(p, n).unwrap();
-        let tp = mepipe_schedule::baselines::generate_terapipe(p, n, s).unwrap();
+        let sv = fused(&cfg(p, 1, s, n)).unwrap();
+        let da = Dapple.generate(&Dims::new(p, n)).unwrap();
+        let tp = TeraPipe.generate(&Dims::new(p, n).slices(s)).unwrap();
         // Normalise to fractions of A.
         let frac_sv = peak_in_flight(&sv)[0] as f64 / (p * s) as f64;
         let frac_da = peak_in_flight(&da)[0] as f64 / p as f64;
@@ -200,22 +353,25 @@ mod tests {
 
     #[test]
     fn split_variant_carries_weight_ops() {
-        let s = generate_svpp_split(&cfg(4, 1, 2, 4)).unwrap();
+        let s = split(&cfg(4, 1, 2, 4)).unwrap();
         validate(&s).unwrap();
         assert_eq!(s.workers[0].len(), 3 * 2 * 4);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(generate_svpp(&cfg(0, 1, 2, 4)).is_err());
-        let bad = SvppConfig { warmup_cap: Some(1), ..cfg(4, 2, 2, 4) };
-        assert!(generate_svpp(&bad).is_err());
+        assert!(fused(&cfg(0, 1, 2, 4)).is_err());
+        let bad = SvppConfig {
+            warmup_cap: Some(1),
+            ..cfg(4, 2, 2, 4)
+        };
+        assert!(fused(&bad).is_err());
     }
 
     #[test]
     fn svpp_with_s1_v1_is_dapple_shaped() {
-        let s = generate_svpp(&cfg(4, 1, 1, 8)).unwrap();
-        let da = mepipe_schedule::baselines::generate_dapple(4, 8).unwrap();
+        let s = fused(&cfg(4, 1, 1, 8)).unwrap();
+        let da = Dapple.generate(&Dims::new(4, 8)).unwrap();
         assert_eq!(peak_in_flight(&s), peak_in_flight(&da));
         let ts = execute(&s, &UnitCost::ones()).unwrap();
         let td = execute(&da, &UnitCost::ones()).unwrap();

@@ -92,7 +92,10 @@ impl WgradQueue {
 
     /// Total time to drain everything.
     pub fn pending_time(&self) -> f64 {
-        self.entries.iter().map(|e| e.units_left as f64 * e.unit_time).sum()
+        self.entries
+            .iter()
+            .map(|e| e.units_left as f64 * e.unit_time)
+            .sum()
     }
 
     /// Bytes retained by deferred entries right now.

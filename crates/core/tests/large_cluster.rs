@@ -2,22 +2,21 @@
 //! for thousand-accelerator deployments.
 
 use mepipe_core::analytic::{self, AnalysisParams};
-use mepipe_core::svpp::{generate_svpp, SvppConfig};
+use mepipe_core::svpp::Svpp;
 use mepipe_schedule::exec::{execute, UnitCost};
+use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
 use mepipe_schedule::validate::{peak_in_flight, validate};
 
 #[test]
 fn svpp_formula_tracks_generated_schedule_below_p() {
     // n < p: p=8, s=2, v=1, n=4 — sn=8 >= p so no extra term.
-    let a = AnalysisParams { p: 8, v: 1, s: 2, n: 4 };
-    let cfg = SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
+    let a = AnalysisParams {
+        p: 8,
+        v: 1,
+        s: 2,
+        n: 4,
     };
-    let sch = generate_svpp(&cfg).unwrap();
+    let sch = Svpp::new().generate(&Dims::new(8, 4).slices(2)).unwrap();
     validate(&sch).unwrap();
     let t = execute(&sch, &UnitCost::ones()).unwrap();
     let formula = analytic::svpp(a).bubble_ratio.unwrap();
@@ -32,17 +31,26 @@ fn svpp_formula_tracks_generated_schedule_below_p() {
 fn svpp_still_beats_dapple_below_p() {
     // The regime of Fig 8's GBS-32 column: few micro-batches per pipeline.
     let (p, n, s) = (8usize, 4usize, 4usize);
-    let sv = generate_svpp(&SvppConfig {
-        stages: p,
-        virtual_chunks: 1,
-        slices: s,
-        micro_batches: n,
-        warmup_cap: None,
-    })
+    let sv = Svpp::new().generate(&Dims::new(p, n).slices(s)).unwrap();
+    let da = Dapple.generate(&Dims::new(p, n)).unwrap();
+    let ts = execute(
+        &sv,
+        &UnitCost {
+            fwd: 1.0,
+            bwd: 2.0,
+            wgrad: 0.0,
+        },
+    )
     .unwrap();
-    let da = mepipe_schedule::baselines::generate_dapple(p, n).unwrap();
-    let ts = execute(&sv, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
-    let td = execute(&da, &UnitCost { fwd: s as f64, bwd: 2.0 * s as f64, wgrad: 0.0 }).unwrap();
+    let td = execute(
+        &da,
+        &UnitCost {
+            fwd: s as f64,
+            bwd: 2.0 * s as f64,
+            wgrad: 0.0,
+        },
+    )
+    .unwrap();
     assert!(ts.makespan < td.makespan);
     // Memory: SVPP holds slice units, DAPPLE whole micro-batches.
     let frac_sv = peak_in_flight(&sv)[0] as f64 / (p * s) as f64;
@@ -54,17 +62,15 @@ fn svpp_still_beats_dapple_below_p() {
 fn memory_caps_at_batch_size_below_p() {
     // With n·s units total in flight at most, the large-cluster memory
     // column caps at n/p·A.
-    let a = AnalysisParams { p: 16, v: 1, s: 2, n: 2 };
+    let a = AnalysisParams {
+        p: 16,
+        v: 1,
+        s: 2,
+        n: 2,
+    };
     let mem = analytic::svpp(a).memory_fraction.unwrap();
     assert!(mem <= 2.0 / 16.0 + 1e-12);
-    let sch = generate_svpp(&SvppConfig {
-        stages: 16,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 2,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let sch = Svpp::new().generate(&Dims::new(16, 2).slices(2)).unwrap();
     // Peak units / (p·s) must not exceed the analytic fraction.
     let frac = peak_in_flight(&sch)[0] as f64 / 32.0;
     assert!(frac <= mem + 1e-12, "generated {frac} vs analytic {mem}");

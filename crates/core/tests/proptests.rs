@@ -69,13 +69,7 @@ proptest! {
     /// fewer estimated bubbles.
     #[test]
     fn variant_family_ordered(p in 2usize..=8, v in 1usize..=3, s in 1usize..=6, n in 1usize..=8) {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
+        let cfg = SvppConfig::new(p, s, n).virtual_chunks(v);
         prop_assert!(cfg.min_warmup() <= cfg.max_warmup());
         let mut prev_mem = 0usize;
         let mut prev_bubble = f64::INFINITY;

@@ -13,7 +13,6 @@
 //! cost-effectiveness analysis (Table 9).
 #![warn(missing_docs)]
 
-
 pub mod accelerator;
 pub mod link;
 pub mod mapping;

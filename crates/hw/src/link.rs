@@ -21,27 +21,47 @@ impl LinkSpec {
     /// 32 GB/s per direction; effective p2p through host memory on dual-root
     /// consumer boards is substantially lower.
     pub fn pcie4() -> Self {
-        Self { name: "PCIe 4.0 x16", bandwidth: 22e9, latency: 12e-6 }
+        Self {
+            name: "PCIe 4.0 x16",
+            bandwidth: 22e9,
+            latency: 12e-6,
+        }
     }
 
     /// NVLink 3 (A100): 600 GB/s bidirectional, ~250 GB/s effective p2p.
     pub fn nvlink3() -> Self {
-        Self { name: "NVLink 3", bandwidth: 250e9, latency: 4e-6 }
+        Self {
+            name: "NVLink 3",
+            bandwidth: 250e9,
+            latency: 4e-6,
+        }
     }
 
     /// 100 Gb/s InfiniBand HDR100 (the 4090 cluster's inter-node fabric).
     pub fn ib_100g() -> Self {
-        Self { name: "InfiniBand 100G", bandwidth: 11e9, latency: 18e-6 }
+        Self {
+            name: "InfiniBand 100G",
+            bandwidth: 11e9,
+            latency: 18e-6,
+        }
     }
 
     /// 800 Gb/s InfiniBand (the A100 cluster's inter-node fabric).
     pub fn ib_800g() -> Self {
-        Self { name: "InfiniBand 800G", bandwidth: 90e9, latency: 14e-6 }
+        Self {
+            name: "InfiniBand 800G",
+            bandwidth: 90e9,
+            latency: 14e-6,
+        }
     }
 
     /// Zero-cost loopback for single-device groups.
     pub fn loopback() -> Self {
-        Self { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 }
+        Self {
+            name: "loopback",
+            bandwidth: f64::INFINITY,
+            latency: 0.0,
+        }
     }
 
     /// Time in seconds to move `bytes` over this link point-to-point.

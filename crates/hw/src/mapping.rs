@@ -84,17 +84,23 @@ impl RankMapping {
 
     /// Ranks of one context-parallel group (fixed stage and DP index).
     pub fn cp_group(&self, stage: usize, dp_idx: usize) -> Vec<usize> {
-        (0..self.layout.cp).map(|c| self.rank(stage, dp_idx, c)).collect()
+        (0..self.layout.cp)
+            .map(|c| self.rank(stage, dp_idx, c))
+            .collect()
     }
 
     /// Ranks of one data-parallel group (fixed stage and CP index).
     pub fn dp_group(&self, stage: usize, cp_idx: usize) -> Vec<usize> {
-        (0..self.layout.dp).map(|d| self.rank(stage, d, cp_idx)).collect()
+        (0..self.layout.dp)
+            .map(|d| self.rank(stage, d, cp_idx))
+            .collect()
     }
 
     /// Ranks of one pipeline (fixed DP and CP index), first stage first.
     pub fn pp_group(&self, dp_idx: usize, cp_idx: usize) -> Vec<usize> {
-        (0..self.layout.pp).map(|s| self.rank(s, dp_idx, cp_idx)).collect()
+        (0..self.layout.pp)
+            .map(|s| self.rank(s, dp_idx, cp_idx))
+            .collect()
     }
 
     /// The link used for the stage → stage+1 point-to-point transfer on
@@ -117,10 +123,7 @@ impl RankMapping {
     /// The slowest stage-boundary link across the whole pipeline for DP/CP
     /// index (0, 0); schedules are bottlenecked by this hop.
     pub fn worst_pp_link<'c>(&self, cluster: &'c ClusterSpec) -> &'c crate::link::LinkSpec {
-        let mut worst = cluster.link_between_ranks(
-            self.rank(0, 0, 0),
-            self.rank(0, 0, 0),
-        );
+        let mut worst = cluster.link_between_ranks(self.rank(0, 0, 0), self.rank(0, 0, 0));
         for s in 0..self.layout.pp.saturating_sub(1) {
             let l = self.pp_link(cluster, s, 0, 0).expect("boundary exists");
             worst = worst.bottleneck(l);
@@ -188,7 +191,10 @@ mod tests {
         let m = RankMapping::new(l, &cluster()).unwrap();
         // dp*cp = 8 = gpus_per_node, so each stage owns one node and every
         // stage boundary is inter-node.
-        assert_eq!(m.pp_link(&cluster(), 0, 0, 0).unwrap().name, "InfiniBand 100G");
+        assert_eq!(
+            m.pp_link(&cluster(), 0, 0, 0).unwrap().name,
+            "InfiniBand 100G"
+        );
         assert_eq!(m.worst_pp_link(&cluster()).name, "InfiniBand 100G");
         assert!(m.pp_link(&cluster(), 7, 0, 0).is_none());
     }

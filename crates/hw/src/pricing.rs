@@ -21,12 +21,18 @@ pub struct ServerPricing {
 impl ServerPricing {
     /// The paper's A100 server price: $150,000.
     pub fn a100() -> Self {
-        Self { server_price_usd: 150_000.0, gpus_per_server: 8 }
+        Self {
+            server_price_usd: 150_000.0,
+            gpus_per_server: 8,
+        }
     }
 
     /// The paper's RTX 4090 server price: $30,000.
     pub fn rtx4090() -> Self {
-        Self { server_price_usd: 30_000.0, gpus_per_server: 8 }
+        Self {
+            server_price_usd: 30_000.0,
+            gpus_per_server: 8,
+        }
     }
 
     /// Capital cost per accelerator.

@@ -1,9 +1,6 @@
 //! Cluster topology: nodes, devices and the links between them.
 
-use crate::{
-    accelerator::AcceleratorSpec,
-    link::LinkSpec,
-};
+use crate::{accelerator::AcceleratorSpec, link::LinkSpec};
 
 /// Physical position of one device in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,15 +64,21 @@ impl ClusterSpec {
     /// Panics if `rank >= num_devices()`.
     pub fn device_of_rank(&self, rank: usize) -> DeviceId {
         assert!(rank < self.num_devices(), "rank {rank} out of range");
-        DeviceId { node: rank / self.gpus_per_node, local: rank % self.gpus_per_node }
+        DeviceId {
+            node: rank / self.gpus_per_node,
+            local: rank % self.gpus_per_node,
+        }
     }
 
     /// The link class connecting two devices.
     pub fn link_between(&self, a: DeviceId, b: DeviceId) -> &LinkSpec {
         if a == b {
             // Same device: schedule-internal handoff, no transfer.
-            const LOOPBACK: LinkSpec =
-                LinkSpec { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 };
+            const LOOPBACK: LinkSpec = LinkSpec {
+                name: "loopback",
+                bandwidth: f64::INFINITY,
+                latency: 0.0,
+            };
             // A `const` local keeps the zero-cost case allocation-free.
             static LOOPBACK_STATIC: LinkSpec = LOOPBACK;
             &LOOPBACK_STATIC
@@ -96,8 +99,11 @@ impl ClusterSpec {
     /// link if it spans multiple devices of one node, loopback otherwise.
     pub fn group_link(&self, ranks: &[usize]) -> &LinkSpec {
         if ranks.len() <= 1 {
-            static LOOPBACK_STATIC: LinkSpec =
-                LinkSpec { name: "loopback", bandwidth: f64::INFINITY, latency: 0.0 };
+            static LOOPBACK_STATIC: LinkSpec = LinkSpec {
+                name: "loopback",
+                bandwidth: f64::INFINITY,
+                latency: 0.0,
+            };
             return &LOOPBACK_STATIC;
         }
         let first = self.device_of_rank(ranks[0]).node;

@@ -98,27 +98,47 @@ pub fn table2(cfg: &TransformerConfig, group: usize, samples: usize) -> Vec<Stra
         StrategyComm {
             name: "TP",
             bytes_per_iteration: tp_bytes_per_iteration(cfg, group, samples),
-            profile: PartitionProfile { parameters: true, activations: true, optimizer: true },
+            profile: PartitionProfile {
+                parameters: true,
+                activations: true,
+                optimizer: true,
+            },
         },
         StrategyComm {
             name: "CP (ZeRO)",
             bytes_per_iteration: cp_bytes_per_iteration(cfg, group, samples),
-            profile: PartitionProfile { parameters: false, activations: true, optimizer: true },
+            profile: PartitionProfile {
+                parameters: false,
+                activations: true,
+                optimizer: true,
+            },
         },
         StrategyComm {
             name: "DP (ZeRO)",
             bytes_per_iteration: dp_bytes_per_iteration(cfg, group, 1),
-            profile: PartitionProfile { parameters: false, activations: false, optimizer: true },
+            profile: PartitionProfile {
+                parameters: false,
+                activations: false,
+                optimizer: true,
+            },
         },
         StrategyComm {
             name: "PP",
             bytes_per_iteration: pp_bytes_per_iteration(cfg, samples),
-            profile: PartitionProfile { parameters: true, activations: false, optimizer: true },
+            profile: PartitionProfile {
+                parameters: true,
+                activations: false,
+                optimizer: true,
+            },
         },
         StrategyComm {
             name: "SPP",
             bytes_per_iteration: spp_bytes_per_iteration(cfg, samples, 4),
-            profile: PartitionProfile { parameters: true, activations: true, optimizer: true },
+            profile: PartitionProfile {
+                parameters: true,
+                activations: true,
+                optimizer: true,
+            },
         },
     ]
 }
@@ -136,7 +156,10 @@ mod tests {
         // TP >>> CP > DP > PP = SPP at equal group sizes.
         let rows = table2(&cfg(), 4, 16);
         let by_name = |n: &str| {
-            rows.iter().find(|r| r.name == n).map(|r| r.bytes_per_iteration).unwrap()
+            rows.iter()
+                .find(|r| r.name == n)
+                .map(|r| r.bytes_per_iteration)
+                .unwrap()
         };
         assert!(by_name("TP") > by_name("CP (ZeRO)"));
         assert!(by_name("CP (ZeRO)") > by_name("DP (ZeRO)"));

@@ -137,7 +137,7 @@ impl ExecutionCost {
         let t = self.tokens_per_unit();
         match self.spec.seq {
             SequenceSplit::SlicePipeline { .. } => flops::causal_context(slice_idx * t, t),
-            _ => flops::causal_context(0, self.cfg.seq_len) , // Sample average.
+            _ => flops::causal_context(0, self.cfg.seq_len), // Sample average.
         }
     }
 
@@ -147,8 +147,8 @@ impl ExecutionCost {
         let t = self.tokens_per_unit();
         let slots = self.slots_per_chunk;
         let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
-        let attn = 4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64
-            * slots as f64;
+        let attn =
+            4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64 * slots as f64;
         let gemm = self.eff.gemm_time(
             dense + attn,
             t,
@@ -164,8 +164,8 @@ impl ExecutionCost {
         let t = self.tokens_per_unit();
         let slots = self.slots_per_chunk;
         let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
-        let attn = 4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64
-            * slots as f64;
+        let attn =
+            4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64 * slots as f64;
         // dX GEMMs cost one forward-equivalent of dense work; attention
         // backward costs ~2 forward-equivalents (dQ, dK, dV).
         let flops_bi = dense + 2.0 * attn;
@@ -175,7 +175,11 @@ impl ExecutionCost {
             self.accel.effective_matmul_flops,
             KERNELS_PER_LAYER_FWD * slots,
         );
-        let recompute = if self.spec.recompute { self.forward_time(slice_idx) } else { 0.0 };
+        let recompute = if self.spec.recompute {
+            self.forward_time(slice_idx)
+        } else {
+            0.0
+        };
         gemm + self.vector_time(slots, t) + self.cp_time_per_layer() * slots as f64 + recompute
     }
 
@@ -385,8 +389,7 @@ mod tests {
             micro_batch_size: 1,
             global_batch: 128,
         };
-        let spp =
-            ExecutionCost::new(cfg, spp_spec, &ClusterSpec::rtx4090_cluster()).unwrap();
+        let spp = ExecutionCost::new(cfg, spp_spec, &ClusterSpec::rtx4090_cluster()).unwrap();
         // Same tokens per unit, but CP pays ring collectives every layer.
         assert_eq!(cp.tokens_per_unit(), spp.tokens_per_unit());
         assert!(cp.forward_time(0) > spp.forward_time(0));

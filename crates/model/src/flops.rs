@@ -144,7 +144,11 @@ mod tests {
         let c = TransformerConfig::llama2_7b();
         let dense = dense_forward_flops(&c, 4096);
         let attn = 4.0 * 4096.0 * causal_context(0, 4096) * c.hidden as f64;
-        assert!(attn / (attn + dense) < 0.10, "share = {}", attn / (attn + dense));
+        assert!(
+            attn / (attn + dense) < 0.10,
+            "share = {}",
+            attn / (attn + dense)
+        );
     }
 
     #[test]

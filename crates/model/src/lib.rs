@@ -17,7 +17,6 @@
 //!   sizes for a concrete accelerator.
 #![warn(missing_docs)]
 
-
 pub mod comm;
 pub mod config;
 pub mod cost;

@@ -32,7 +32,10 @@ pub const RECOMPUTE_BYTES_PER_TOKEN_HIDDEN: f64 = 2.0;
 /// Activation memory of one *whole sample* across the *whole model* — the
 /// quantity the paper calls `A` (Table 1).
 pub fn sample_activation_bytes(cfg: &TransformerConfig) -> f64 {
-    cfg.pipeline_slots() as f64 * cfg.seq_len as f64 * cfg.hidden as f64 * ACT_BYTES_PER_TOKEN_HIDDEN
+    cfg.pipeline_slots() as f64
+        * cfg.seq_len as f64
+        * cfg.hidden as f64
+        * ACT_BYTES_PER_TOKEN_HIDDEN
 }
 
 /// Activation bytes one worker must hold for a single in-flight forward

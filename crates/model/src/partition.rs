@@ -110,7 +110,10 @@ impl PartitionSpec {
                 self.num_workers()
             ));
         }
-        if !self.global_batch.is_multiple_of(self.dp * self.micro_batch_size) {
+        if !self
+            .global_batch
+            .is_multiple_of(self.dp * self.micro_batch_size)
+        {
             return Err(format!(
                 "global batch {} not divisible by dp*mbs = {}",
                 self.global_batch,
@@ -128,7 +131,10 @@ impl PartitionSpec {
         match self.seq {
             SequenceSplit::Context { size } => {
                 if size == 0 || !cfg.seq_len.is_multiple_of(size) {
-                    return Err(format!("seq_len {} not divisible by cp {size}", cfg.seq_len));
+                    return Err(format!(
+                        "seq_len {} not divisible by cp {size}",
+                        cfg.seq_len
+                    ));
                 }
             }
             SequenceSplit::SlicePipeline { slices } => {
@@ -176,7 +182,10 @@ mod tests {
     #[test]
     fn cp_occupies_workers_but_spp_does_not() {
         let spp = base();
-        let cp = PartitionSpec { seq: SequenceSplit::Context { size: 4 }, ..base() };
+        let cp = PartitionSpec {
+            seq: SequenceSplit::Context { size: 4 },
+            ..base()
+        };
         assert_eq!(spp.num_workers(), 16);
         assert_eq!(cp.num_workers(), 64);
     }
@@ -184,14 +193,24 @@ mod tests {
     #[test]
     fn uneven_chunks_are_rejected() {
         // 40 slots cannot split into 16 x 1 chunks? 40 / 16 is uneven.
-        let spec = PartitionSpec { pp: 16, dp: 4, seq: SequenceSplit::None, ..base() };
+        let spec = PartitionSpec {
+            pp: 16,
+            dp: 4,
+            seq: SequenceSplit::None,
+            ..base()
+        };
         let cfg = TransformerConfig::llama2_13b();
         assert!(spec.validate(&cfg, 64).is_err());
     }
 
     #[test]
     fn uneven_batch_is_rejected() {
-        let spec = PartitionSpec { global_batch: 30, dp: 4, pp: 16, ..base() };
+        let spec = PartitionSpec {
+            global_batch: 30,
+            dp: 4,
+            pp: 16,
+            ..base()
+        };
         let cfg = TransformerConfig::llama2_13b();
         assert!(spec.validate(&cfg, 64).is_err());
     }

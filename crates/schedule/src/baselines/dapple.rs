@@ -8,7 +8,7 @@
 use crate::ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};
 
 /// Generates a DAPPLE (1F1B) schedule.
-pub fn generate_dapple(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
     let meta = ScheduleMeta {
         name: "DAPPLE".into(),
         stages,
@@ -59,6 +59,19 @@ pub(crate) fn one_f_one_b_order(
     ops
 }
 
+/// Generates a DAPPLE (1F1B) schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::Dapple`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::Dapple` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_dapple(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+    build(stages, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,7 +81,7 @@ mod tests {
     #[test]
     fn dapple_is_valid() {
         for (p, n) in [(2usize, 2usize), (4, 8), (8, 16), (4, 2)] {
-            let s = generate_dapple(p, n).unwrap();
+            let s = build(p, n).unwrap();
             validate(&s).expect("valid");
         }
     }
@@ -77,7 +90,7 @@ mod tests {
     fn first_stage_holds_p_microbatches() {
         // Section 2.1: "the first stage still needs to save activations
         // for p forward passes".
-        let s = generate_dapple(4, 8).unwrap();
+        let s = build(4, 8).unwrap();
         let peaks = peak_in_flight(&s);
         assert_eq!(peaks[0], 4);
         assert_eq!(peaks[3], 1);
@@ -90,7 +103,7 @@ mod tests {
         // Table 3: bubble ratio (p-1)/(p-1+n) with balanced F/B; with
         // fwd = bwd = 1 the makespan is 2n + 2(p-1).
         for (p, n) in [(4usize, 8usize), (8, 16), (4, 4)] {
-            let s = generate_dapple(p, n).unwrap();
+            let s = build(p, n).unwrap();
             let t = execute(&s, &UnitCost::ones()).unwrap();
             let expected = (p as f64 - 1.0) / (p as f64 - 1.0 + n as f64);
             assert!(
@@ -103,7 +116,7 @@ mod tests {
 
     #[test]
     fn fewer_microbatches_than_stages_still_valid() {
-        let s = generate_dapple(8, 3).unwrap();
+        let s = build(8, 3).unwrap();
         validate(&s).unwrap();
         assert_eq!(peak_in_flight(&s)[0], 3);
     }

@@ -9,7 +9,7 @@ use crate::ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};
 
 /// Generates a GPipe schedule for `stages` stages and `micro_batches`
 /// micro-batches.
-pub fn generate_gpipe(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
     let meta = ScheduleMeta {
         name: "GPipe".into(),
         stages,
@@ -35,6 +35,19 @@ pub fn generate_gpipe(stages: usize, micro_batches: usize) -> Result<Schedule, S
     Ok(Schedule { meta, workers })
 }
 
+/// Generates a GPipe schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::GPipe`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::GPipe` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_gpipe(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+    build(stages, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,7 +56,7 @@ mod tests {
 
     #[test]
     fn gpipe_is_valid_and_memory_hungry() {
-        let s = generate_gpipe(4, 8).unwrap();
+        let s = build(4, 8).unwrap();
         validate(&s).unwrap();
         // Every worker holds all n micro-batches at the forward/backward
         // boundary.
@@ -55,7 +68,7 @@ mod tests {
         // With fwd = bwd = 1, GPipe's bubble fraction is
         // 2(p-1) / (2n + 2(p-1)).
         let (p, n) = (4usize, 8usize);
-        let s = generate_gpipe(p, n).unwrap();
+        let s = build(p, n).unwrap();
         let t = execute(&s, &UnitCost::ones()).unwrap();
         let expected = 2.0 * (p as f64 - 1.0) / (2.0 * n as f64 + 2.0 * (p as f64 - 1.0));
         assert!(
@@ -67,7 +80,7 @@ mod tests {
 
     #[test]
     fn zero_stage_is_rejected() {
-        assert!(generate_gpipe(0, 4).is_err());
-        assert!(generate_gpipe(4, 0).is_err());
+        assert!(build(0, 4).is_err());
+        assert!(build(4, 0).is_err());
     }
 }

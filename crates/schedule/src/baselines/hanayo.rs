@@ -18,11 +18,7 @@ use crate::{
 
 /// Generates a Hanayo wave schedule: `stages` stages, `waves` chunks per
 /// stage laid out as a zigzag, `micro_batches` micro-batches.
-pub fn generate_hanayo(
-    stages: usize,
-    waves: usize,
-    micro_batches: usize,
-) -> Result<Schedule, String> {
+pub(crate) fn build(stages: usize, waves: usize, micro_batches: usize) -> Result<Schedule, String> {
     let meta = ScheduleMeta {
         name: "Hanayo".into(),
         stages,
@@ -40,6 +36,23 @@ pub fn generate_hanayo(
     greedy_generate(&meta, &caps)
 }
 
+/// Generates a Hanayo wave schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::Hanayo`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::Hanayo` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_hanayo(
+    stages: usize,
+    waves: usize,
+    micro_batches: usize,
+) -> Result<Schedule, String> {
+    build(stages, waves, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,7 +62,7 @@ mod tests {
     #[test]
     fn hanayo_is_valid() {
         for (p, v, n) in [(2usize, 2usize, 4usize), (4, 2, 8), (4, 3, 6), (4, 4, 8)] {
-            let s = generate_hanayo(p, v, n).unwrap();
+            let s = build(p, v, n).unwrap();
             validate(&s).unwrap_or_else(|_| panic!("p={p} v={v} n={n}"));
         }
     }
@@ -82,7 +95,7 @@ mod tests {
     fn bubble_near_table3_formula() {
         // Table 3: (p−1)/(p−1+n·v). Waves shorten fill/drain like VPP.
         let (p, v, n) = (4usize, 2usize, 8usize);
-        let s = generate_hanayo(p, v, n).unwrap();
+        let s = build(p, v, n).unwrap();
         let t = execute(&s, &UnitCost::ones()).unwrap();
         let expected = (p as f64 - 1.0) / (p as f64 - 1.0 + (n * v) as f64);
         assert!(
@@ -95,10 +108,18 @@ mod tests {
     #[test]
     fn waves_beat_plain_1f1b() {
         let (p, n) = (4usize, 8usize);
-        let h = generate_hanayo(p, 2, n).unwrap();
-        let d = crate::baselines::generate_dapple(p, n).unwrap();
+        let h = build(p, 2, n).unwrap();
+        let d = crate::baselines::dapple::build(p, n).unwrap();
         let th = execute(&h, &UnitCost::ones()).unwrap();
-        let td = execute(&d, &UnitCost { fwd: 2.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+        let td = execute(
+            &d,
+            &UnitCost {
+                fwd: 2.0,
+                bwd: 2.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap();
         assert!(
             th.bubble_ratio() < td.bubble_ratio(),
             "hanayo {} vs dapple {}",
@@ -112,7 +133,7 @@ mod tests {
         // Table 3 charges Hanayo a full A; our greedy realisation drains
         // backwards eagerly and lands below that bound, but each stage
         // still retains several wave units at its peak.
-        let s = generate_hanayo(4, 2, 16).unwrap();
+        let s = build(4, 2, 16).unwrap();
         let peaks = peak_in_flight(&s);
         assert!(peaks[0] >= 3, "peaks = {peaks:?}");
         assert!(peaks.iter().all(|&x| x <= 4 * 2 + 2), "peaks = {peaks:?}");

@@ -12,7 +12,7 @@ use crate::ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};
 
 /// Generates a TeraPipe schedule: `stages` stages, `micro_batches`
 /// samples, `slices` slices per sample.
-pub fn generate_terapipe(
+pub(crate) fn build(
     stages: usize,
     micro_batches: usize,
     slices: usize,
@@ -48,6 +48,23 @@ pub fn generate_terapipe(
     Ok(Schedule { meta, workers })
 }
 
+/// Generates a TeraPipe schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::TeraPipe`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::TeraPipe` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_terapipe(
+    stages: usize,
+    micro_batches: usize,
+    slices: usize,
+) -> Result<Schedule, String> {
+    build(stages, micro_batches, slices)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,7 +74,7 @@ mod tests {
     #[test]
     fn terapipe_is_valid() {
         for (p, n, s) in [(4usize, 4usize, 2usize), (4, 8, 4), (8, 4, 8), (2, 1, 4)] {
-            let sch = generate_terapipe(p, n, s).unwrap();
+            let sch = build(p, n, s).unwrap();
             validate(&sch).expect("valid");
         }
     }
@@ -66,7 +83,7 @@ mod tests {
     fn all_activations_retained() {
         // Section 2.1: "workers need to preserve the activations of all
         // samples before processing the first backward passes".
-        let sch = generate_terapipe(4, 8, 4).unwrap();
+        let sch = build(4, 8, 4).unwrap();
         assert_eq!(peak_in_flight(&sch), vec![32; 4]);
     }
 
@@ -75,10 +92,9 @@ mod tests {
         // Table 3: (p-1)/(ns+p-1). With unit costs the forward phase spans
         // ns + p - 1 and the backward phase the same, both with p-1 idle.
         for (p, n, s) in [(4usize, 8usize, 2usize), (4, 4, 4), (8, 8, 2)] {
-            let sch = generate_terapipe(p, n, s).unwrap();
+            let sch = build(p, n, s).unwrap();
             let t = execute(&sch, &UnitCost::ones()).unwrap();
-            let expected =
-                (p as f64 - 1.0) / (n as f64 * s as f64 + p as f64 - 1.0);
+            let expected = (p as f64 - 1.0) / (n as f64 * s as f64 + p as f64 - 1.0);
             assert!(
                 (t.bubble_ratio() - expected).abs() < 1e-9,
                 "p={p} n={n} s={s}: got {}, want {expected}",
@@ -89,8 +105,8 @@ mod tests {
 
     #[test]
     fn finer_slices_shrink_bubbles() {
-        let coarse = generate_terapipe(4, 4, 1).unwrap();
-        let fine = generate_terapipe(4, 4, 8).unwrap();
+        let coarse = build(4, 4, 1).unwrap();
+        let fine = build(4, 4, 8).unwrap();
         let bc = execute(&coarse, &UnitCost::ones()).unwrap().bubble_ratio();
         let bf = execute(&fine, &UnitCost::ones()).unwrap().bubble_ratio();
         assert!(bf < bc);

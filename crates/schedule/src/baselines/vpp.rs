@@ -14,7 +14,7 @@ use crate::ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};
 ///
 /// Requires `micro_batches % stages == 0` (Megatron's own constraint for
 /// the interleaved scheduler).
-pub fn generate_vpp(
+pub(crate) fn build(
     stages: usize,
     virtual_chunks: usize,
     micro_batches: usize,
@@ -82,6 +82,23 @@ pub fn generate_vpp(
     Ok(Schedule { meta, workers })
 }
 
+/// Generates a Megatron interleaved (VPP) schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::Vpp`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::Vpp` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_vpp(
+    stages: usize,
+    virtual_chunks: usize,
+    micro_batches: usize,
+) -> Result<Schedule, String> {
+    build(stages, virtual_chunks, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,19 +108,19 @@ mod tests {
     #[test]
     fn vpp_is_valid() {
         for (p, v, n) in [(2usize, 2usize, 4usize), (4, 2, 8), (4, 4, 8), (4, 2, 4)] {
-            let s = generate_vpp(p, v, n).unwrap();
+            let s = build(p, v, n).unwrap();
             validate(&s).unwrap_or_else(|_| panic!("p={p} v={v} n={n}"));
         }
     }
 
     #[test]
     fn indivisible_microbatches_rejected() {
-        assert!(generate_vpp(4, 2, 6).is_err());
+        assert!(build(4, 2, 6).is_err());
     }
 
     #[test]
     fn v1_reduces_to_dapple_memory() {
-        let s = generate_vpp(4, 1, 8).unwrap();
+        let s = build(4, 1, 8).unwrap();
         validate(&s).unwrap();
         assert_eq!(peak_in_flight(&s)[0], 4);
     }
@@ -113,7 +130,7 @@ mod tests {
         // Table 3 VPP memory: (1 + (p-1)/(p·v))·A = (v·p + p − 1) units of
         // A/(p·v) on stage 0.
         let (p, v, n) = (4usize, 2usize, 16usize);
-        let s = generate_vpp(p, v, n).unwrap();
+        let s = build(p, v, n).unwrap();
         let peak = peak_in_flight(&s)[0];
         assert_eq!(peak, v * p + p - 1);
     }
@@ -124,9 +141,13 @@ mod tests {
         let b: Vec<f64> = [1usize, 2, 4]
             .iter()
             .map(|&v| {
-                let s = generate_vpp(p, v, n).unwrap();
+                let s = build(p, v, n).unwrap();
                 // Chunk passes take 1/v the time of a full-stage pass.
-                let cost = UnitCost { fwd: 1.0, bwd: 1.0, wgrad: 0.0 };
+                let cost = UnitCost {
+                    fwd: 1.0,
+                    bwd: 1.0,
+                    wgrad: 0.0,
+                };
                 let t = execute(&s, &cost).unwrap();
                 // Normalise: busy work per worker is 2·n·v ticks regardless
                 // of v only because chunk ticks shrink; compare ratios.
@@ -142,7 +163,7 @@ mod tests {
         // Table 3: (p-1)/(p-1+n·v). The interleaved schedule has a few
         // extra transition bubbles, so allow a modest tolerance.
         let (p, v, n) = (4usize, 2usize, 16usize);
-        let s = generate_vpp(p, v, n).unwrap();
+        let s = build(p, v, n).unwrap();
         let t = execute(&s, &UnitCost::ones()).unwrap();
         let expected = (p as f64 - 1.0) / (p as f64 - 1.0 + (n * v) as f64);
         assert!(

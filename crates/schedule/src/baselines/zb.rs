@@ -14,7 +14,7 @@ use crate::{
 };
 
 /// Generates a ZB-1P schedule (split-backward 1F1B).
-pub fn generate_zb(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
     let meta = ScheduleMeta {
         name: "ZB".into(),
         stages,
@@ -31,6 +31,19 @@ pub fn generate_zb(stages: usize, micro_batches: usize) -> Result<Schedule, Stri
     Ok(Schedule { meta, workers })
 }
 
+/// Generates a ZB-1P schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::Zb`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::Zb` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_zb(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+    build(stages, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,14 +54,14 @@ mod tests {
     #[test]
     fn zb_is_valid() {
         for (p, n) in [(2usize, 4usize), (4, 8), (8, 16)] {
-            let s = generate_zb(p, n).unwrap();
+            let s = build(p, n).unwrap();
             validate(&s).expect("valid");
         }
     }
 
     #[test]
     fn zb_has_three_ops_per_unit() {
-        let s = generate_zb(4, 8).unwrap();
+        let s = build(4, 8).unwrap();
         assert_eq!(s.workers[0].len(), 3 * 8);
         let weights = s.workers[0]
             .iter()
@@ -59,8 +72,8 @@ mod tests {
 
     #[test]
     fn same_peak_activations_as_dapple() {
-        let zb = generate_zb(4, 8).unwrap();
-        let dapple = crate::baselines::generate_dapple(4, 8).unwrap();
+        let zb = build(4, 8).unwrap();
+        let dapple = crate::baselines::dapple::build(4, 8).unwrap();
         assert_eq!(peak_in_flight(&zb), peak_in_flight(&dapple));
     }
 
@@ -70,10 +83,26 @@ mod tests {
         // the split schedule can finish no later even in the static layout,
         // and the downstream stage unblocks earlier.
         let (p, n) = (4usize, 8usize);
-        let zb = generate_zb(p, n).unwrap();
-        let da = crate::baselines::generate_dapple(p, n).unwrap();
-        let tz = execute(&zb, &UnitCost { fwd: 1.0, bwd: 1.0, wgrad: 1.0 }).unwrap();
-        let td = execute(&da, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+        let zb = build(p, n).unwrap();
+        let da = crate::baselines::dapple::build(p, n).unwrap();
+        let tz = execute(
+            &zb,
+            &UnitCost {
+                fwd: 1.0,
+                bwd: 1.0,
+                wgrad: 1.0,
+            },
+        )
+        .unwrap();
+        let td = execute(
+            &da,
+            &UnitCost {
+                fwd: 1.0,
+                bwd: 2.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap();
         assert!(tz.makespan <= td.makespan);
     }
 }

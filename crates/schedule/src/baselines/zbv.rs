@@ -19,7 +19,7 @@ use crate::{
 };
 
 /// Generates a ZBV schedule: `stages` stages, two V-placed chunks each.
-pub fn generate_zbv(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
     let meta = ScheduleMeta {
         name: "ZBV".into(),
         stages,
@@ -37,6 +37,19 @@ pub fn generate_zbv(stages: usize, micro_batches: usize) -> Result<Schedule, Str
     greedy_generate(&meta, &caps)
 }
 
+/// Generates a ZBV schedule.
+///
+/// Deprecated entry point kept for one release; use
+/// [`crate::generator::Zbv`] through
+/// [`crate::generator::ScheduleGenerator`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `generator::Zbv` via the `ScheduleGenerator` trait"
+)]
+pub fn generate_zbv(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
+    build(stages, micro_batches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,14 +59,14 @@ mod tests {
     #[test]
     fn zbv_is_valid() {
         for (p, n) in [(2usize, 4usize), (4, 8), (4, 4), (8, 8)] {
-            let s = generate_zbv(p, n).unwrap();
+            let s = build(p, n).unwrap();
             validate(&s).unwrap_or_else(|_| panic!("p={p} n={n}"));
         }
     }
 
     #[test]
     fn stage0_peak_is_about_2p() {
-        let s = generate_zbv(4, 8).unwrap();
+        let s = build(4, 8).unwrap();
         let peaks = peak_in_flight(&s);
         assert!(peaks[0] <= 8, "peaks = {peaks:?}");
         assert!(peaks[0] >= 4, "peaks = {peaks:?}");
@@ -62,12 +75,28 @@ mod tests {
     #[test]
     fn zbv_beats_dapple_bubbles_at_equal_work() {
         let (p, n) = (4usize, 8usize);
-        let zbv = generate_zbv(p, n).unwrap();
-        let da = crate::baselines::generate_dapple(p, n).unwrap();
+        let zbv = build(p, n).unwrap();
+        let da = crate::baselines::dapple::build(p, n).unwrap();
         // ZBV chunk ops are half-size: F/B/W = 1 tick each per half-chunk
         // vs DAPPLE's 2-tick forward / 4-tick fused backward.
-        let tz = execute(&zbv, &UnitCost { fwd: 1.0, bwd: 1.0, wgrad: 1.0 }).unwrap();
-        let td = execute(&da, &UnitCost { fwd: 2.0, bwd: 4.0, wgrad: 0.0 }).unwrap();
+        let tz = execute(
+            &zbv,
+            &UnitCost {
+                fwd: 1.0,
+                bwd: 1.0,
+                wgrad: 1.0,
+            },
+        )
+        .unwrap();
+        let td = execute(
+            &da,
+            &UnitCost {
+                fwd: 2.0,
+                bwd: 4.0,
+                wgrad: 0.0,
+            },
+        )
+        .unwrap();
         assert!(
             tz.bubble_ratio() < td.bubble_ratio(),
             "zbv {} vs dapple {}",

@@ -33,11 +33,17 @@ pub struct Dep {
 /// Panics if the op's coordinates are outside the meta's shape, or if a
 /// weight-gradient op appears in a non-split schedule.
 pub fn dependencies(meta: &ScheduleMeta, stage: usize, op: Op) -> Vec<Dep> {
-    assert!(op.micro_batch < meta.micro_batches, "micro-batch out of range: {op}");
+    assert!(
+        op.micro_batch < meta.micro_batches,
+        "micro-batch out of range: {op}"
+    );
     assert!(op.slice < meta.slices, "slice out of range: {op}");
     assert!(op.chunk < meta.virtual_chunks, "chunk out of range: {op}");
-    let backward_kind =
-        if meta.split_backward { OpKind::BackwardInput } else { OpKind::Backward };
+    let backward_kind = if meta.split_backward {
+        OpKind::BackwardInput
+    } else {
+        OpKind::Backward
+    };
     let g = meta.global_pos(stage, op.chunk);
     let mut deps = Vec::with_capacity(3);
     match op.kind {
@@ -172,7 +178,9 @@ mod tests {
         // Backward of slice 0 on the last stage (g = last).
         let d = dependencies(&m, 3, Op::new(OpKind::Backward, 0, 0, 0));
         assert_eq!(d.len(), 2);
-        assert!(d.iter().any(|x| x.op.kind == OpKind::Forward && x.op.slice == 0));
+        assert!(d
+            .iter()
+            .any(|x| x.op.kind == OpKind::Forward && x.op.slice == 0));
         assert!(d
             .iter()
             .any(|x| x.op.kind == OpKind::Backward && x.op.slice == 1 && !x.cross_stage));
@@ -211,7 +219,10 @@ mod tests {
         let op = Op::new(OpKind::Backward, 0, 1, 1);
         assert_eq!(backward_descendants(&m, 3, op), 3);
         // (Slice 0, Chunk 0) is a leaf.
-        assert_eq!(backward_descendants(&m, 3, Op::new(OpKind::Backward, 0, 0, 0)), 0);
+        assert_eq!(
+            backward_descendants(&m, 3, Op::new(OpKind::Backward, 0, 0, 0)),
+            0
+        );
     }
 
     #[test]

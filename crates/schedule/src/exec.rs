@@ -39,12 +39,20 @@ pub struct UnitCost {
 impl UnitCost {
     /// Forward = 1, backward = 1, weight = 1 — pure slot counting.
     pub fn ones() -> Self {
-        Self { fwd: 1.0, bwd: 1.0, wgrad: 1.0 }
+        Self {
+            fwd: 1.0,
+            bwd: 1.0,
+            wgrad: 1.0,
+        }
     }
 
     /// The conventional 1F/2B weighting: backwards take twice as long.
     pub fn one_two() -> Self {
-        Self { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }
+        Self {
+            fwd: 1.0,
+            bwd: 2.0,
+            wgrad: 0.0,
+        }
     }
 }
 
@@ -169,14 +177,23 @@ pub fn execute(schedule: &Schedule, cost: &dyn CostFn) -> Result<ExecTrace, Stri
         let dur = cost.duration(w, op);
         let end = start + dur;
         finished.insert((w, op), end);
-        placed.push(Placed { stage: w, op, start, end });
+        placed.push(Placed {
+            stage: w,
+            op,
+            start,
+            end,
+        });
         free_at[w] = end;
         busy[w] += dur;
         next[w] += 1;
     }
 
     let makespan = free_at.iter().copied().fold(0.0, f64::max);
-    Ok(ExecTrace { placed, makespan, busy })
+    Ok(ExecTrace {
+        placed,
+        makespan,
+        busy,
+    })
 }
 
 #[cfg(test)]
@@ -198,10 +215,7 @@ mod tests {
         let b = |mb| Op::new(OpKind::Backward, mb, 0, 0);
         Schedule {
             meta,
-            workers: vec![
-                vec![f(0), f(1), b(0), b(1)],
-                vec![f(0), b(0), f(1), b(1)],
-            ],
+            workers: vec![vec![f(0), f(1), b(0), b(1)], vec![f(0), b(0), f(1), b(1)]],
         }
     }
 
@@ -213,7 +227,10 @@ mod tests {
         let s = two_stage_two_mb();
         let t = execute(&s, &UnitCost::ones()).unwrap();
         assert_eq!(t.makespan, 6.0);
-        assert_eq!(t.time_of(0, Op::new(OpKind::Backward, 1, 0, 0)), Some((5.0, 6.0)));
+        assert_eq!(
+            t.time_of(0, Op::new(OpKind::Backward, 1, 0, 0)),
+            Some((5.0, 6.0))
+        );
         assert_eq!(t.busy, vec![4.0, 4.0]);
         assert!((t.bubble_ratio() - (1.0 - 4.0 / 6.0)).abs() < 1e-12);
     }

@@ -45,15 +45,19 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
         ));
     }
 
-    let backward_kind =
-        if meta.split_backward { OpKind::BackwardInput } else { OpKind::Backward };
+    let backward_kind = if meta.split_backward {
+        OpKind::BackwardInput
+    } else {
+        OpKind::Backward
+    };
 
     // Incremental readiness tracking: instead of re-scanning every pending
     // op per tick, ops enter per-worker ready sets the moment their last
     // producer finishes (dependents are enumerated by inverting the
     // dependency derivation). Ready sets stay small, so a tick costs
     // O(ready) instead of O(pending).
-    let mut finished: HashSet<(usize, Op)> = HashSet::with_capacity(2 * meta.units_per_worker() * p);
+    let mut finished: HashSet<(usize, Op)> =
+        HashSet::with_capacity(2 * meta.units_per_worker() * p);
     let mut ready_fwd: Vec<Vec<Op>> = vec![Vec::new(); p];
     let mut ready_bwd: Vec<Vec<Op>> = vec![Vec::new(); p];
     // Guard against double-enqueueing when two producers of the same
@@ -161,9 +165,7 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
                     None => true,
                     Some((bi, bg)) => {
                         let b = ready_fwd[w][bi];
-                        g > bg
-                            || (g == bg
-                                && (op.micro_batch, op.slice) < (b.micro_batch, b.slice))
+                        g > bg || (g == bg && (op.micro_batch, op.slice) < (b.micro_batch, b.slice))
                     }
                 };
                 if better {
@@ -224,7 +226,10 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
         tick += 1;
     }
 
-    Ok(Schedule { meta: meta.clone(), workers: lists })
+    Ok(Schedule {
+        meta: meta.clone(),
+        workers: lists,
+    })
 }
 
 /// Consumers an op can unlock — the inverse of
@@ -245,11 +250,17 @@ fn dependents(
                 out.push((nw, Op::new(OpKind::Forward, op.micro_batch, op.slice, nc)));
             }
             if op.slice + 1 < meta.slices {
-                out.push((stage, Op::new(OpKind::Forward, op.micro_batch, op.slice + 1, op.chunk)));
+                out.push((
+                    stage,
+                    Op::new(OpKind::Forward, op.micro_batch, op.slice + 1, op.chunk),
+                ));
             }
             // Its own backward becomes a candidate once the rest of its
             // producers complete.
-            out.push((stage, Op::new(backward_kind, op.micro_batch, op.slice, op.chunk)));
+            out.push((
+                stage,
+                Op::new(backward_kind, op.micro_batch, op.slice, op.chunk),
+            ));
         }
         OpKind::Backward | OpKind::BackwardInput => {
             if g > 0 {
@@ -257,7 +268,10 @@ fn dependents(
                 out.push((pw, Op::new(backward_kind, op.micro_batch, op.slice, pc)));
             }
             if op.slice > 0 {
-                out.push((stage, Op::new(backward_kind, op.micro_batch, op.slice - 1, op.chunk)));
+                out.push((
+                    stage,
+                    Op::new(backward_kind, op.micro_batch, op.slice - 1, op.chunk),
+                ));
             }
         }
         OpKind::BackwardWeight => {}
@@ -270,7 +284,9 @@ fn dependents(
 /// never need the full budget (Section 4.1's analysis focuses on stage 0).
 pub fn default_caps(meta: &ScheduleMeta, f: usize) -> Vec<usize> {
     let floor = meta.virtual_chunks * meta.slices;
-    (0..meta.stages).map(|w| f.saturating_sub(w).max(floor)).collect()
+    (0..meta.stages)
+        .map(|w| f.saturating_sub(w).max(floor))
+        .collect()
 }
 
 #[cfg(test)]
@@ -343,7 +359,10 @@ mod tests {
 
     #[test]
     fn split_backward_appends_weight_ops() {
-        let m = ScheduleMeta { split_backward: true, ..meta(4, 1, 2, 4) };
+        let m = ScheduleMeta {
+            split_backward: true,
+            ..meta(4, 1, 2, 4)
+        };
         let s = greedy_generate(&m, &default_caps(&m, 5)).unwrap();
         validate(&s).unwrap();
         // Every Bi is immediately followed by its W in the static layout.

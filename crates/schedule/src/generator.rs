@@ -1,0 +1,334 @@
+//! The unified generation API: one [`Dims`] config, one
+//! [`ScheduleGenerator`] trait, one error type.
+//!
+//! Every scheduling method in the workspace — the seven literature
+//! baselines here plus SVPP/MEPipe in `mepipe-core` — generates from the
+//! same four pipeline dimensions. Callers pick a generator value, build
+//! a [`Dims`], and call [`ScheduleGenerator::generate`]; methods that do
+//! not use a dimension (e.g. DAPPLE has no virtual chunks) reject
+//! non-default values with [`ScheduleError::Unsupported`] rather than
+//! silently ignoring them.
+
+use std::fmt;
+
+use crate::baselines;
+use crate::ir::Schedule;
+
+/// Pipeline dimensions shared by every scheduling method.
+///
+/// Construct with [`Dims::new`] and the builder methods; the struct is
+/// `#[non_exhaustive]` so later dimensions (e.g. non-uniform slicing)
+/// can be added without breaking callers.
+///
+/// ```
+/// use mepipe_schedule::generator::Dims;
+/// let dims = Dims::new(4, 16).virtual_chunks(2).slices(4);
+/// assert_eq!((dims.p, dims.v, dims.s, dims.n), (4, 2, 4, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub struct Dims {
+    /// Pipeline stages `p`.
+    pub p: usize,
+    /// Virtual model chunks per stage `v` (1 = no interleaving).
+    pub v: usize,
+    /// Sequence slices per micro-batch `s` (1 = whole sequences).
+    pub s: usize,
+    /// Micro-batches per iteration `n`.
+    pub n: usize,
+}
+
+impl Dims {
+    /// Dimensions for `p` stages over `n` micro-batches, with no
+    /// virtual chunking (`v = 1`) and whole sequences (`s = 1`).
+    pub fn new(p: usize, n: usize) -> Self {
+        Dims { p, v: 1, s: 1, n }
+    }
+
+    /// Sets the virtual-chunk count `v`.
+    pub fn virtual_chunks(mut self, v: usize) -> Self {
+        self.v = v;
+        self
+    }
+
+    /// Sets the sequence-slice count `s`.
+    pub fn slices(mut self, s: usize) -> Self {
+        self.s = s;
+        self
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}v{}s{}n{}", self.p, self.v, self.s, self.n)
+    }
+}
+
+/// Why a generator rejected its dimensions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The dimensions are outside the method's family (e.g. ZBV is
+    /// defined only for `v = 2`).
+    Unsupported {
+        /// The rejecting method's display name.
+        method: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The shape itself is invalid (zero dimensions, inconsistent
+    /// op counts, …) — the generation-layer failures shared by all
+    /// methods.
+    InvalidShape(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unsupported { method, reason } => {
+                write!(f, "{method} does not support these dimensions: {reason}")
+            }
+            ScheduleError::InvalidShape(reason) => write!(f, "invalid shape: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<String> for ScheduleError {
+    fn from(reason: String) -> Self {
+        ScheduleError::InvalidShape(reason)
+    }
+}
+
+impl From<ScheduleError> for String {
+    fn from(e: ScheduleError) -> String {
+        e.to_string()
+    }
+}
+
+/// A scheduling method that can build a [`Schedule`] from [`Dims`].
+pub trait ScheduleGenerator {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Builds the method's schedule for `dims`.
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError>;
+}
+
+/// Rejects dimensions a method has no notion of.
+fn require(
+    method: &'static str,
+    cond: bool,
+    reason: impl FnOnce() -> String,
+) -> Result<(), ScheduleError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(ScheduleError::Unsupported {
+            method,
+            reason: reason(),
+        })
+    }
+}
+
+/// GPipe: all forwards, then all backwards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GPipe;
+
+impl ScheduleGenerator for GPipe {
+    fn name(&self) -> &'static str {
+        "GPipe"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.v == 1, || {
+            format!("no virtual chunks (v = {})", dims.v)
+        })?;
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::gpipe::build(dims.p, dims.n)?)
+    }
+}
+
+/// DAPPLE / PipeDream-flush 1F1B.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dapple;
+
+impl ScheduleGenerator for Dapple {
+    fn name(&self) -> &'static str {
+        "DAPPLE"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.v == 1, || {
+            format!("no virtual chunks (v = {})", dims.v)
+        })?;
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::dapple::build(dims.p, dims.n)?)
+    }
+}
+
+/// Megatron-LM interleaved virtual-pipeline 1F1B.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Vpp;
+
+impl ScheduleGenerator for Vpp {
+    fn name(&self) -> &'static str {
+        "VPP"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::vpp::build(dims.p, dims.v, dims.n)?)
+    }
+}
+
+/// Hanayo wave scheduling over a zigzag chunk placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hanayo;
+
+impl ScheduleGenerator for Hanayo {
+    fn name(&self) -> &'static str {
+        "Hanayo"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::hanayo::build(dims.p, dims.v, dims.n)?)
+    }
+}
+
+/// TeraPipe: GPipe-style slice-level sequence pipelining.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TeraPipe;
+
+impl ScheduleGenerator for TeraPipe {
+    fn name(&self) -> &'static str {
+        "TeraPipe"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.v == 1, || {
+            format!("no virtual chunks (v = {})", dims.v)
+        })?;
+        Ok(baselines::terapipe::build(dims.p, dims.n, dims.s)?)
+    }
+}
+
+/// ZB-1P: 1F1B with split backward (zero bubble).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Zb;
+
+impl ScheduleGenerator for Zb {
+    fn name(&self) -> &'static str {
+        "ZB"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.v == 1, || {
+            format!("no virtual chunks (v = {})", dims.v)
+        })?;
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::zb::build(dims.p, dims.n)?)
+    }
+}
+
+/// ZBV: V-shaped two-chunk placement with split backward.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Zbv;
+
+impl ScheduleGenerator for Zbv {
+    fn name(&self) -> &'static str {
+        "ZBV"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        require(self.name(), dims.v == 2, || {
+            format!("defined only for v = 2 chunks (v = {})", dims.v)
+        })?;
+        require(self.name(), dims.s == 1, || {
+            format!("no sequence slices (s = {})", dims.s)
+        })?;
+        Ok(baselines::zbv::build(dims.p, dims.n)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn dims_builder_defaults() {
+        let d = Dims::new(8, 16);
+        assert_eq!((d.p, d.v, d.s, d.n), (8, 1, 1, 16));
+        assert_eq!(d.to_string(), "p8v1s1n16");
+    }
+
+    #[test]
+    fn every_baseline_generates_valid_schedules() {
+        let gens: [(&dyn ScheduleGenerator, Dims); 7] = [
+            (&GPipe, Dims::new(4, 8)),
+            (&Dapple, Dims::new(4, 8)),
+            (&Vpp, Dims::new(4, 8).virtual_chunks(2)),
+            (&Hanayo, Dims::new(4, 8).virtual_chunks(2)),
+            (&TeraPipe, Dims::new(4, 8).slices(4)),
+            (&Zb, Dims::new(4, 8)),
+            (&Zbv, Dims::new(4, 8).virtual_chunks(2)),
+        ];
+        for (g, dims) in gens {
+            let sch = g
+                .generate(&dims)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            validate(&sch).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+            assert_eq!(sch.meta.stages, dims.p, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn unused_dims_are_rejected_not_ignored() {
+        let e = Dapple
+            .generate(&Dims::new(4, 8).virtual_chunks(2))
+            .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                ScheduleError::Unsupported {
+                    method: "DAPPLE",
+                    ..
+                }
+            ),
+            "{e}"
+        );
+        let e = Zbv.generate(&Dims::new(4, 8)).unwrap_err();
+        assert!(
+            matches!(e, ScheduleError::Unsupported { method: "ZBV", .. }),
+            "{e}"
+        );
+        let e = TeraPipe
+            .generate(&Dims::new(4, 8).virtual_chunks(3))
+            .unwrap_err();
+        assert!(e.to_string().contains("virtual chunks"), "{e}");
+    }
+
+    #[test]
+    fn shape_errors_pass_through() {
+        let e = Dapple.generate(&Dims::new(0, 8)).unwrap_err();
+        assert!(matches!(e, ScheduleError::InvalidShape(_)), "{e}");
+        // The String interop both ways (old callers expect String errors).
+        let s = String::from(e.clone());
+        assert_eq!(
+            ScheduleError::from(s.clone()).to_string(),
+            format!("invalid shape: {s}")
+        );
+    }
+}

@@ -54,7 +54,12 @@ pub struct Op {
 impl Op {
     /// Constructs an op.
     pub fn new(kind: OpKind, micro_batch: usize, slice: usize, chunk: usize) -> Self {
-        Self { kind, micro_batch, slice, chunk }
+        Self {
+            kind,
+            micro_batch,
+            slice,
+            chunk,
+        }
     }
 
     /// The same coordinates with a different kind.

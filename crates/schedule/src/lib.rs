@@ -20,14 +20,15 @@
 //!   backward.
 #![warn(missing_docs)]
 
-
 pub mod baselines;
 pub mod deps;
 pub mod exec;
 pub mod generate;
+pub mod generator;
 pub mod ir;
 pub mod render;
 pub mod stats;
 pub mod validate;
 
+pub use generator::{Dims, ScheduleError, ScheduleGenerator};
 pub use ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};

@@ -24,9 +24,10 @@ use crate::{
 /// # Examples
 ///
 /// ```
-/// use mepipe_schedule::{baselines::generate_dapple, exec::UnitCost, render::render};
+/// use mepipe_schedule::{exec::UnitCost, render::render};
+/// use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
 ///
-/// let out = render(&generate_dapple(2, 2).unwrap(), &UnitCost::ones()).unwrap();
+/// let out = render(&Dapple.generate(&Dims::new(2, 2)).unwrap(), &UnitCost::ones()).unwrap();
 /// assert!(out.starts_with("stage 0: Fa0"));
 /// ```
 pub fn render(schedule: &Schedule, cost: &dyn CostFn) -> Result<String, String> {
@@ -38,7 +39,10 @@ pub fn render(schedule: &Schedule, cost: &dyn CostFn) -> Result<String, String> 
 pub fn render_trace(schedule: &Schedule, trace: &ExecTrace) -> Result<String, String> {
     let ticks = trace.makespan.round() as usize;
     if (trace.makespan - ticks as f64).abs() > 1e-6 {
-        return Err(format!("non-integral makespan {} cannot be rendered", trace.makespan));
+        return Err(format!(
+            "non-integral makespan {} cannot be rendered",
+            trace.makespan
+        ));
     }
     let nw = schedule.num_workers();
     let mut grid = vec![vec!["...".to_string(); ticks]; nw];
@@ -111,8 +115,14 @@ mod tests {
         Schedule {
             meta,
             workers: vec![
-                vec![Op::new(OpKind::Forward, 0, 0, 0), Op::new(OpKind::Backward, 0, 0, 0)],
-                vec![Op::new(OpKind::Forward, 0, 0, 0), Op::new(OpKind::Backward, 0, 0, 0)],
+                vec![
+                    Op::new(OpKind::Forward, 0, 0, 0),
+                    Op::new(OpKind::Backward, 0, 0, 0),
+                ],
+                vec![
+                    Op::new(OpKind::Forward, 0, 0, 0),
+                    Op::new(OpKind::Backward, 0, 0, 0),
+                ],
             ],
         }
     }
@@ -128,7 +138,11 @@ mod tests {
 
     #[test]
     fn non_integral_durations_are_rejected() {
-        let cost = UnitCost { fwd: 0.5, bwd: 1.0, wgrad: 0.0 };
+        let cost = UnitCost {
+            fwd: 0.5,
+            bwd: 1.0,
+            wgrad: 0.0,
+        };
         assert!(render(&tiny(), &cost).is_err());
     }
 

@@ -63,7 +63,10 @@ pub fn phase_lengths(schedule: &Schedule) -> Vec<PhaseLengths> {
         .workers
         .iter()
         .map(|ops| {
-            let first_b = ops.iter().position(|o| o.kind.is_backward_pass()).unwrap_or(ops.len());
+            let first_b = ops
+                .iter()
+                .position(|o| o.kind.is_backward_pass())
+                .unwrap_or(ops.len());
             let last_f = ops
                 .iter()
                 .rposition(|o| o.kind == OpKind::Forward)
@@ -81,14 +84,14 @@ pub fn phase_lengths(schedule: &Schedule) -> Vec<PhaseLengths> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baselines::{generate_dapple, generate_terapipe};
+    use crate::baselines::{dapple, terapipe};
 
     #[test]
     fn dapple_message_count() {
         // p stages, n micro-batches: (p-1) boundaries crossed by n
         // forwards and n backwards each.
         let (p, n) = (4usize, 8usize);
-        let s = generate_dapple(p, n).unwrap();
+        let s = dapple::build(p, n).unwrap();
         let m = message_stats(&s);
         assert_eq!(m.forward_messages, (p - 1) * n);
         assert_eq!(m.backward_messages, (p - 1) * n);
@@ -98,14 +101,14 @@ mod tests {
     fn slicing_multiplies_messages() {
         // Same p, n: s slices mean s-fold the transfers at 1/s the size.
         let (p, n, slices) = (4usize, 8usize, 4usize);
-        let plain = message_stats(&generate_dapple(p, n).unwrap());
-        let sliced = message_stats(&generate_terapipe(p, n, slices).unwrap());
+        let plain = message_stats(&dapple::build(p, n).unwrap());
+        let sliced = message_stats(&terapipe::build(p, n, slices).unwrap());
         assert_eq!(sliced.total(), plain.total() * slices);
     }
 
     #[test]
     fn phases_partition_the_list() {
-        let s = generate_dapple(4, 8).unwrap();
+        let s = dapple::build(4, 8).unwrap();
         for (w, ph) in phase_lengths(&s).iter().enumerate() {
             assert_eq!(
                 ph.warmup + ph.steady + ph.drain,

@@ -33,8 +33,11 @@ fn check_completeness(schedule: &Schedule) -> Result<(), String> {
             meta.stages
         ));
     }
-    let backward_kind =
-        if meta.split_backward { OpKind::BackwardInput } else { OpKind::Backward };
+    let backward_kind = if meta.split_backward {
+        OpKind::BackwardInput
+    } else {
+        OpKind::Backward
+    };
     for (w, ops) in schedule.workers.iter().enumerate() {
         if ops.len() != schedule.expected_ops_per_worker() {
             return Err(format!(

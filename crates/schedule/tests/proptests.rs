@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 
 use mepipe_schedule::{
-    baselines,
     exec::{execute, UnitCost},
     generate::{default_caps, greedy_generate},
+    generator::{Dapple, Dims, GPipe, ScheduleGenerator, TeraPipe},
     ir::{ChunkPlacement, ScheduleMeta},
     validate::{peak_in_flight, validate},
 };
@@ -86,7 +86,7 @@ proptest! {
         fwd in 0.5f64..3.0,
         bwd in 0.5f64..3.0,
     ) {
-        let sch = baselines::generate_dapple(p, n).unwrap();
+        let sch = Dapple.generate(&Dims::new(p, n)).unwrap();
         let cost = UnitCost { fwd, bwd, wgrad: 0.0 };
         let t = execute(&sch, &cost).unwrap();
         let expected = (fwd + bwd) * n as f64;
@@ -100,7 +100,7 @@ proptest! {
     /// for 1F1B-family schedules — the memory skew the paper discusses.
     #[test]
     fn dapple_memory_skew(p in 2usize..=8, n in 2usize..=12) {
-        let sch = baselines::generate_dapple(p, n).unwrap();
+        let sch = Dapple.generate(&Dims::new(p, n)).unwrap();
         let peaks = peak_in_flight(&sch);
         prop_assert!(peaks.windows(2).all(|w| w[0] >= w[1]), "{:?}", peaks);
     }
@@ -108,7 +108,7 @@ proptest! {
     /// GPipe's makespan formula holds exactly under unit costs.
     #[test]
     fn gpipe_makespan_formula(p in 1usize..=8, n in 1usize..=12) {
-        let sch = baselines::generate_gpipe(p, n).unwrap();
+        let sch = GPipe.generate(&Dims::new(p, n)).unwrap();
         let t = execute(&sch, &UnitCost::ones()).unwrap();
         prop_assert!((t.makespan - (2 * n + 2 * (p - 1)) as f64).abs() < 1e-9);
     }
@@ -116,7 +116,7 @@ proptest! {
     /// TeraPipe's bubble formula holds exactly under unit costs.
     #[test]
     fn terapipe_bubble_formula(p in 1usize..=6, n in 1usize..=8, s in 1usize..=4) {
-        let sch = baselines::generate_terapipe(p, n, s).unwrap();
+        let sch = TeraPipe.generate(&Dims::new(p, n).slices(s)).unwrap();
         let t = execute(&sch, &UnitCost::ones()).unwrap();
         let expected = (p as f64 - 1.0) / ((n * s) as f64 + p as f64 - 1.0);
         prop_assert!((t.bubble_ratio() - expected).abs() < 1e-9);

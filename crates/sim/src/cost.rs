@@ -54,7 +54,14 @@ pub struct UniformSimCost {
 
 impl Default for UniformSimCost {
     fn default() -> Self {
-        Self { fwd: 1.0, bwd: 1.0, wgrad: 1.0, comm: 0.0, wgrad_units: 1, act_bytes: 1.0 }
+        Self {
+            fwd: 1.0,
+            bwd: 1.0,
+            wgrad: 1.0,
+            comm: 0.0,
+            wgrad_units: 1,
+            act_bytes: 1.0,
+        }
     }
 }
 
@@ -101,18 +108,62 @@ impl ModelCost {
     /// Wraps an execution-cost model with MEPipe's per-GEMM weight
     /// granularity.
     pub fn new(inner: ExecutionCost) -> Self {
-        Self { inner, coarse_wgrad: false }
+        Self {
+            inner,
+            coarse_wgrad: false,
+        }
     }
 
     /// Wraps with zero-bubble's whole-op weight granularity (the paper's
     /// ZB/ZBV baselines defer W per backward pass, not per GEMM).
     pub fn new_coarse(inner: ExecutionCost) -> Self {
-        Self { inner, coarse_wgrad: true }
+        Self {
+            inner,
+            coarse_wgrad: true,
+        }
     }
 
     /// Access to the wrapped model.
     pub fn execution_cost(&self) -> &ExecutionCost {
         &self.inner
+    }
+
+    /// Content fingerprint of every price the simulator can observe.
+    ///
+    /// Two `ModelCost`s with equal fingerprints drive the engine to
+    /// bit-identical results on the same schedule: the hash folds in the
+    /// exact bit patterns of all per-slice forward/backward durations,
+    /// weight-gradient pricing and granularity, transfer, sync and
+    /// optimizer times, and the per-unit memory charges. The search
+    /// engine keys its memoized evaluations on this value, so distinct
+    /// (model, partition, cluster) triples that price identically share
+    /// one simulation.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the raw bit patterns; stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        let s = self.inner.partition().seq.spp_slices();
+        fold(s as u64);
+        for i in 0..s {
+            fold(self.inner.forward_time(i).to_bits());
+            fold(self.inner.backward_input_time(i).to_bits());
+        }
+        fold(self.inner.wgrad_time().to_bits());
+        fold(self.wgrad_units() as u64);
+        fold(self.inner.pp_transfer_time().to_bits());
+        fold(self.inner.dp_sync_time().to_bits());
+        fold(self.inner.optimizer_time().to_bits());
+        fold(self.activation_bytes().to_bits());
+        fold(self.deferred_bytes().to_bits());
+        fold(self.inner.worker_model_flops_per_iteration().to_bits());
+        fold(self.inner.marketing_flops().to_bits());
+        fold(self.coarse_wgrad as u64);
+        h
     }
 }
 
@@ -192,8 +243,60 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_separates_pricing_changes() {
+        let cfg = TransformerConfig::llama2_13b();
+        let spec = PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 8,
+            seq: SequenceSplit::SlicePipeline { slices: 4 },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        };
+        let cluster = ClusterSpec::rtx4090_cluster();
+        let base = ModelCost::new(ExecutionCost::new(cfg, spec, &cluster).unwrap());
+        // Identical inputs → identical fingerprints.
+        let again = ModelCost::new(ExecutionCost::new(cfg, spec, &cluster).unwrap());
+        assert_eq!(base.fingerprint(), again.fingerprint());
+        // Weight-gradient granularity is priced in.
+        let coarse = ModelCost::new_coarse(ExecutionCost::new(cfg, spec, &cluster).unwrap());
+        assert_ne!(base.fingerprint(), coarse.fingerprint());
+        // Any pricing change (here: recomputation, a different cluster,
+        // a different batch) must move the fingerprint.
+        for other in [
+            PartitionSpec {
+                recompute: true,
+                ..spec
+            },
+            PartitionSpec {
+                global_batch: 64,
+                ..spec
+            },
+            PartitionSpec {
+                dp: 16,
+                pp: 4,
+                ..spec
+            },
+        ] {
+            let m = ModelCost::new(ExecutionCost::new(cfg, other, &cluster).unwrap());
+            assert_ne!(base.fingerprint(), m.fingerprint(), "{other:?}");
+        }
+        // The accelerator's pricing is folded in too (A100 cluster has 32
+        // devices, so its 8-stage partition runs dp 4).
+        let half = PartitionSpec { dp: 4, ..spec };
+        let a100 =
+            ModelCost::new(ExecutionCost::new(cfg, half, &ClusterSpec::a100_cluster()).unwrap());
+        assert_ne!(base.fingerprint(), a100.fingerprint());
+    }
+
+    #[test]
     fn uniform_cost_fused_backward_includes_weight() {
-        let c = UniformSimCost { bwd: 2.0, wgrad: 1.5, ..Default::default() };
+        let c = UniformSimCost {
+            bwd: 2.0,
+            wgrad: 1.5,
+            ..Default::default()
+        };
         let fused = Op::new(OpKind::Backward, 0, 0, 0);
         assert_eq!(c.duration(0, fused), 3.5);
     }

@@ -74,8 +74,7 @@ impl SimResult {
         if self.makespan <= 0.0 || self.busy.is_empty() {
             return 0.0;
         }
-        let sum: f64 =
-            self.busy.iter().map(|b| 1.0 - b / self.makespan).sum();
+        let sum: f64 = self.busy.iter().map(|b| 1.0 - b / self.makespan).sum();
         (sum / self.busy.len() as f64).max(0.0)
     }
 
@@ -86,6 +85,40 @@ impl SimResult {
         }
         1.0 - self.busy[stage] / self.makespan
     }
+
+    /// Compresses the result to the scalar summary the grid search keeps:
+    /// timings, the mean bubble ratio, the worst worker's activation peak
+    /// and the OOM verdict — everything except the per-worker timelines.
+    pub fn summary(&self) -> SimSummary {
+        SimSummary {
+            iteration_time: self.iteration_time,
+            makespan: self.makespan,
+            bubble_ratio: self.bubble_ratio(),
+            peak_activation_bytes: self
+                .peak_activation_bytes
+                .iter()
+                .copied()
+                .fold(0.0, f64::max),
+            oom: self.oom,
+        }
+    }
+}
+
+/// Scalar summary of a [`SimResult`] — what search memoization retains
+/// per evaluated candidate, a few dozen bytes instead of the full
+/// per-worker segment timelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSummary {
+    /// Full iteration time (makespan + enabled overheads).
+    pub iteration_time: f64,
+    /// Completion time of the last compute on any worker.
+    pub makespan: f64,
+    /// Mean idle fraction across workers.
+    pub bubble_ratio: f64,
+    /// Peak activation bytes on the most loaded worker.
+    pub peak_activation_bytes: f64,
+    /// OOM verdict: first worker over the cap and the bytes it needed.
+    pub oom: Option<(usize, f64)>,
 }
 
 struct WorkerState {
@@ -116,10 +149,10 @@ impl WorkerState {
 /// # Examples
 ///
 /// ```
-/// use mepipe_schedule::baselines::generate_dapple;
+/// use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
 /// use mepipe_sim::{engine::{simulate, SimConfig}, UniformSimCost};
 ///
-/// let schedule = generate_dapple(4, 8).unwrap();
+/// let schedule = Dapple.generate(&Dims::new(4, 8)).unwrap();
 /// let result = simulate(&schedule, &UniformSimCost::default(), &SimConfig::default()).unwrap();
 /// // 1F1B at p=4, n=8 with balanced unit costs: bubble (p-1)/(p-1+n).
 /// assert!((result.bubble_ratio() - 3.0 / 11.0).abs() < 1e-9);
@@ -151,8 +184,7 @@ pub fn simulate(
     let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
 
     // Skip-set for dynamically deferred weight ops.
-    let is_deferred_w =
-        |op: &Op| config.dynamic_wgrad && op.kind == OpKind::BackwardWeight;
+    let is_deferred_w = |op: &Op| config.dynamic_wgrad && op.kind == OpKind::BackwardWeight;
 
     let total_listed: usize = schedule
         .workers
@@ -181,8 +213,7 @@ pub fn simulate(
                 match finished.get(&(d.stage, d.op)) {
                     Some(&t) => {
                         let arrival = if d.cross_stage {
-                            let busy_until =
-                                link_free.get(&(d.stage, w)).copied().unwrap_or(0.0);
+                            let busy_until = link_free.get(&(d.stage, w)).copied().unwrap_or(0.0);
                             t.max(busy_until) + cost.transfer_time(d.stage, w)
                         } else {
                             t
@@ -273,8 +304,10 @@ pub fn simulate(
             if d.cross_stage {
                 let t = finished[&(d.stage, d.op)];
                 let busy_until = link_free.get(&(d.stage, w)).copied().unwrap_or(0.0);
-                link_free
-                    .insert((d.stage, w), t.max(busy_until) + cost.transfer_time(d.stage, w));
+                link_free.insert(
+                    (d.stage, w),
+                    t.max(busy_until) + cost.transfer_time(d.stage, w),
+                );
             }
         }
 
@@ -381,27 +414,25 @@ fn deadlock_message(schedule: &Schedule, workers: &[WorkerState]) -> String {
 mod tests {
     use super::*;
     use crate::cost::UniformSimCost;
-    use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
-    use mepipe_schedule::baselines::{generate_dapple, generate_gpipe, generate_zb};
+    use mepipe_core::svpp::{Mepipe, Svpp};
+    use mepipe_schedule::generator::{Dapple, Dims, GPipe, ScheduleGenerator, Zb};
 
-    fn svpp_cfg(p: usize, s: usize, n: usize) -> SvppConfig {
-        SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        }
+    fn svpp_dims(p: usize, s: usize, n: usize) -> Dims {
+        Dims::new(p, n).slices(s)
     }
 
     #[test]
     fn matches_static_executor_without_dynamics() {
-        let sch = generate_dapple(4, 8).unwrap();
+        let sch = Dapple.generate(&Dims::new(4, 8)).unwrap();
         let cost = UniformSimCost::default();
         let r = simulate(&sch, &cost, &SimConfig::default()).unwrap();
         let t = mepipe_schedule::exec::execute(
             &sch,
-            &mepipe_schedule::exec::UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 },
+            &mepipe_schedule::exec::UnitCost {
+                fwd: 1.0,
+                bwd: 2.0,
+                wgrad: 0.0,
+            },
         )
         .unwrap();
         assert!((r.makespan - t.makespan).abs() < 1e-9);
@@ -410,7 +441,7 @@ mod tests {
 
     #[test]
     fn peak_memory_counts_in_flight_units() {
-        let sch = generate_gpipe(4, 8).unwrap();
+        let sch = GPipe.generate(&Dims::new(4, 8)).unwrap();
         let cost = UniformSimCost::default();
         let r = simulate(&sch, &cost, &SimConfig::default()).unwrap();
         // GPipe stage 0 holds all 8 micro-batches.
@@ -424,14 +455,30 @@ mod tests {
         // GEMM granularity (units = 8) the gaps are actually fillable;
         // whole-op deferral (units = 1) can even lose to the static layout
         // because a 0.4-long gap cannot hold a 1.0-long W op.
-        let sch = generate_zb(4, 8).unwrap();
-        let cost = UniformSimCost { comm: 0.4, wgrad_units: 8, ..Default::default() };
-        let stat =
-            simulate(&sch, &cost, &SimConfig { dynamic_wgrad: false, ..Default::default() })
-                .unwrap();
-        let dynr =
-            simulate(&sch, &cost, &SimConfig { dynamic_wgrad: true, ..Default::default() })
-                .unwrap();
+        let sch = Zb.generate(&Dims::new(4, 8)).unwrap();
+        let cost = UniformSimCost {
+            comm: 0.4,
+            wgrad_units: 8,
+            ..Default::default()
+        };
+        let stat = simulate(
+            &sch,
+            &cost,
+            &SimConfig {
+                dynamic_wgrad: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let dynr = simulate(
+            &sch,
+            &cost,
+            &SimConfig {
+                dynamic_wgrad: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             dynr.makespan < stat.makespan + 1e-9,
             "dynamic {} vs static {}",
@@ -442,11 +489,21 @@ mod tests {
 
     #[test]
     fn finer_wgrad_units_fill_gaps_better() {
-        let cfg = svpp_cfg(4, 2, 8);
-        let sch = generate_svpp_split(&cfg).unwrap();
-        let coarse = UniformSimCost { comm: 0.3, wgrad_units: 1, ..Default::default() };
-        let fine = UniformSimCost { comm: 0.3, wgrad_units: 8, ..Default::default() };
-        let conf = SimConfig { dynamic_wgrad: true, ..Default::default() };
+        let sch = Mepipe::new().generate(&svpp_dims(4, 2, 8)).unwrap();
+        let coarse = UniformSimCost {
+            comm: 0.3,
+            wgrad_units: 1,
+            ..Default::default()
+        };
+        let fine = UniformSimCost {
+            comm: 0.3,
+            wgrad_units: 8,
+            ..Default::default()
+        };
+        let conf = SimConfig {
+            dynamic_wgrad: true,
+            ..Default::default()
+        };
         let rc = simulate(&sch, &coarse, &conf).unwrap();
         let rf = simulate(&sch, &fine, &conf).unwrap();
         assert!(
@@ -459,9 +516,12 @@ mod tests {
 
     #[test]
     fn memory_limit_triggers_forced_drain_or_oom() {
-        let sch = generate_gpipe(4, 8).unwrap();
+        let sch = GPipe.generate(&Dims::new(4, 8)).unwrap();
         let cost = UniformSimCost::default();
-        let conf = SimConfig { memory_limit_bytes: Some(4.0), ..Default::default() };
+        let conf = SimConfig {
+            memory_limit_bytes: Some(4.0),
+            ..Default::default()
+        };
         let r = simulate(&sch, &cost, &conf).unwrap();
         // GPipe cannot shed activations; it must OOM at the cap.
         let (worker, bytes) = r.oom.expect("gpipe at cap 4 must OOM");
@@ -475,16 +535,27 @@ mod tests {
         let n = 8;
         // Budget of 6 slice units at s=4: DAPPLE needs p whole units = 16.
         let limit = 6.0;
-        let da = generate_dapple(p, n).unwrap();
-        let da_cost = UniformSimCost { act_bytes: 4.0, ..Default::default() };
-        let conf = SimConfig { memory_limit_bytes: Some(limit), ..Default::default() };
+        let da = Dapple.generate(&Dims::new(p, n)).unwrap();
+        let da_cost = UniformSimCost {
+            act_bytes: 4.0,
+            ..Default::default()
+        };
+        let conf = SimConfig {
+            memory_limit_bytes: Some(limit),
+            ..Default::default()
+        };
         let rd = simulate(&da, &da_cost, &conf).unwrap();
         assert!(rd.oom.is_some());
         // The SVPP variant with warmup budget f = 6 fits the 6-unit cap
         // (Section 4.2's memory-for-bubbles trade).
-        let sv = generate_svpp(&SvppConfig { warmup_cap: Some(6), ..svpp_cfg(p, 4, n) })
+        let sv = Svpp::new()
+            .warmup_cap(6)
+            .generate(&svpp_dims(p, 4, n))
             .unwrap();
-        let sv_cost = UniformSimCost { act_bytes: 1.0, ..Default::default() };
+        let sv_cost = UniformSimCost {
+            act_bytes: 1.0,
+            ..Default::default()
+        };
         let rs = simulate(&sv, &sv_cost, &conf).unwrap();
         assert!(rs.oom.is_none(), "peaks: {:?}", rs.peak_activation_bytes);
     }
@@ -494,8 +565,11 @@ mod tests {
         // Two micro-batches on a 2-stage pipeline with transfers slower
         // than compute: the second forward's tensor must queue behind the
         // first on the boundary link.
-        let sch = generate_dapple(2, 2).unwrap();
-        let slow = UniformSimCost { comm: 3.0, ..Default::default() };
+        let sch = Dapple.generate(&Dims::new(2, 2)).unwrap();
+        let slow = UniformSimCost {
+            comm: 3.0,
+            ..Default::default()
+        };
         let r = simulate(&sch, &slow, &SimConfig::default()).unwrap();
         // Stage 0: F0@0-1, F1@1-2. Transfer of F0 occupies [1,4]; F1's
         // transfer queues [4,7], so stage 1 starts F1 no earlier than 7.
@@ -504,7 +578,10 @@ mod tests {
             .find(|s| s.op.map(|o| o.micro_batch) == Some(1) && s.kind == SegmentKind::Forward)
             .map(|s| s.start)
             .expect("F1 on stage 1");
-        assert!(f1_start >= 7.0 - 1e-9, "F1 started at {f1_start}, link not serialised");
+        assert!(
+            f1_start >= 7.0 - 1e-9,
+            "F1 started at {f1_start}, link not serialised"
+        );
     }
 
     #[test]
@@ -536,13 +613,17 @@ mod tests {
                 1.5
             }
         }
-        let sch = generate_dapple(2, 2).unwrap();
+        let sch = Dapple.generate(&Dims::new(2, 2)).unwrap();
         let cost = Synced(UniformSimCost::default());
         let with = simulate(&sch, &cost, &SimConfig::default()).unwrap();
         let without = simulate(
             &sch,
             &cost,
-            &SimConfig { include_dp_sync: false, include_optimizer: false, ..Default::default() },
+            &SimConfig {
+                include_dp_sync: false,
+                include_optimizer: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((with.iteration_time - without.iteration_time - 4.0).abs() < 1e-9);

@@ -17,7 +17,6 @@
 //! * **inter-stage transfer pricing** from the cluster's links.
 #![warn(missing_docs)]
 
-
 pub mod cost;
 pub mod engine;
 pub mod metrics;
@@ -25,6 +24,6 @@ pub mod timeline;
 pub mod trace;
 
 pub use cost::{ModelCost, SimCost, UniformSimCost};
-pub use engine::{simulate, SimConfig, SimResult};
+pub use engine::{simulate, SimConfig, SimResult, SimSummary};
 pub use timeline::{Segment, SegmentKind};
 pub use trace::to_chrome_trace;

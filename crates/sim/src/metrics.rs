@@ -35,12 +35,13 @@ mod tests {
         cost::ModelCost,
         engine::{simulate, SimConfig},
     };
-    use mepipe_core::svpp::{generate_svpp_split, SvppConfig};
+    use mepipe_core::svpp::Mepipe;
     use mepipe_hw::topology::ClusterSpec;
     use mepipe_model::{
         config::TransformerConfig,
         partition::{PartitionSpec, SequenceSplit},
     };
+    use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 
     #[test]
     fn mepipe_13b_lands_near_paper_mfu() {
@@ -57,25 +58,17 @@ mod tests {
             micro_batch_size: 1,
             global_batch: 128,
         };
-        let ec = mepipe_model::cost::ExecutionCost::new(
-            cfg,
-            spec,
-            &ClusterSpec::rtx4090_cluster(),
-        )
-        .unwrap();
-        let sch = generate_svpp_split(&SvppConfig {
-            stages: 8,
-            virtual_chunks: 1,
-            slices: 4,
-            micro_batches: 16,
-            warmup_cap: None,
-        })
-        .unwrap();
+        let ec = mepipe_model::cost::ExecutionCost::new(cfg, spec, &ClusterSpec::rtx4090_cluster())
+            .unwrap();
+        let sch = Mepipe::new().generate(&Dims::new(8, 16).slices(4)).unwrap();
         let mc = ModelCost::new(ec);
         let r = simulate(
             &sch,
             &mc,
-            &SimConfig { dynamic_wgrad: true, ..Default::default() },
+            &SimConfig {
+                dynamic_wgrad: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let m = mfu(&r, mc.execution_cost());
@@ -103,20 +96,9 @@ mod tests {
             micro_batch_size: 1,
             global_batch: 128,
         };
-        let ec = mepipe_model::cost::ExecutionCost::new(
-            cfg,
-            spec,
-            &ClusterSpec::rtx4090_cluster(),
-        )
-        .unwrap();
-        let sch = generate_svpp_split(&SvppConfig {
-            stages: 8,
-            virtual_chunks: 1,
-            slices: 4,
-            micro_batches: 16,
-            warmup_cap: None,
-        })
-        .unwrap();
+        let ec = mepipe_model::cost::ExecutionCost::new(cfg, spec, &ClusterSpec::rtx4090_cluster())
+            .unwrap();
+        let sch = Mepipe::new().generate(&Dims::new(8, 16).slices(4)).unwrap();
         let mc = ModelCost::new(ec);
         let r = simulate(&sch, &mc, &SimConfig::default()).unwrap();
         let tps = tokens_per_second(&r, mc.execution_cost());

@@ -79,7 +79,10 @@ pub struct StageActivity {
 
 /// Summarises one worker's segments over `[0, span]`.
 pub fn stage_activity(segments: &[Segment], span: f64) -> StageActivity {
-    let mut a = StageActivity { span, ..Default::default() };
+    let mut a = StageActivity {
+        span,
+        ..Default::default()
+    };
     for s in segments {
         match s.kind {
             SegmentKind::Forward => a.forward += s.duration(),
@@ -117,7 +120,12 @@ mod tests {
     use super::*;
 
     fn seg(kind: SegmentKind, start: f64, end: f64) -> Segment {
-        Segment { kind, op: None, start, end }
+        Segment {
+            kind,
+            op: None,
+            start,
+            end,
+        }
     }
 
     #[test]

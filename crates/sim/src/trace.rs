@@ -57,11 +57,11 @@ mod tests {
         cost::UniformSimCost,
         engine::{simulate, SimConfig},
     };
-    use mepipe_schedule::baselines::generate_dapple;
+    use mepipe_schedule::generator::{Dapple, Dims, ScheduleGenerator};
 
     #[test]
     fn trace_is_valid_json_with_one_event_per_segment() {
-        let sch = generate_dapple(2, 2).unwrap();
+        let sch = Dapple.generate(&Dims::new(2, 2)).unwrap();
         let r = simulate(&sch, &UniformSimCost::default(), &SimConfig::default()).unwrap();
         let json = to_chrome_trace(&r.segments);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");

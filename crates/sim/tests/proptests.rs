@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
-use mepipe_schedule::baselines;
+use mepipe_core::svpp::{Mepipe, Svpp, SvppConfig};
+use mepipe_schedule::generator::{Dapple, Dims, GPipe, ScheduleGenerator};
 use mepipe_sim::{
     engine::{simulate, SimConfig},
     UniformSimCost,
@@ -17,7 +17,7 @@ proptest! {
     /// or forced drains that change the outcome.
     #[test]
     fn exact_limit_is_feasible(p in 1usize..=6, n in 1usize..=8) {
-        let sch = baselines::generate_dapple(p, n).unwrap();
+        let sch = Dapple.generate(&Dims::new(p, n)).unwrap();
         let cost = UniformSimCost { act_bytes: 2.0, ..Default::default() };
         let free = simulate(&sch, &cost, &SimConfig::default()).unwrap();
         let peak = free.peak_activation_bytes.iter().copied().fold(0.0, f64::max);
@@ -35,7 +35,7 @@ proptest! {
     /// schedule.
     #[test]
     fn impossible_limit_always_ooms(p in 1usize..=5, n in 1usize..=6) {
-        let sch = baselines::generate_gpipe(p, n).unwrap();
+        let sch = GPipe.generate(&Dims::new(p, n)).unwrap();
         let cost = UniformSimCost { act_bytes: 2.0, ..Default::default() };
         let r = simulate(
             &sch,
@@ -50,14 +50,8 @@ proptest! {
     /// exceeds cap + one unit (the admission that triggered the check).
     #[test]
     fn capped_peak_is_bounded(p in 2usize..=5, s in 1usize..=3, n in 2usize..=6) {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
-        let sch = generate_svpp_split(&cfg).unwrap();
+        let cfg = SvppConfig::new(p, s, n);
+        let sch = Mepipe::new().generate(&Dims::new(p, n).slices(s)).unwrap();
         let cost = UniformSimCost { act_bytes: 1.0, wgrad_units: 4, ..Default::default() };
         let cap = (cfg.max_warmup() as f64) * 1.6; // Room for some retention.
         let r = simulate(
@@ -83,7 +77,7 @@ proptest! {
         let n = p + n_extra;
         let s = 4usize;
         // DAPPLE's stage-0 floor is p whole-micro-batch units of size s.
-        let dapple = baselines::generate_dapple(p, n).unwrap();
+        let dapple = Dapple.generate(&Dims::new(p, n)).unwrap();
         let d_cost = UniformSimCost { act_bytes: s as f64, ..Default::default() };
         // A cap of (s + p - 1) slice units: below DAPPLE's p*s.
         let cap = (s + p - 1) as f64;
@@ -94,14 +88,10 @@ proptest! {
         )
         .unwrap();
         prop_assert!(rd.oom.is_some(), "DAPPLE should exceed {} units", cap);
-        let svpp = generate_svpp(&SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: Some(s + p - 1),
-        })
-        .unwrap();
+        let svpp = Svpp::new()
+            .warmup_cap(s + p - 1)
+            .generate(&Dims::new(p, n).slices(s))
+            .unwrap();
         let s_cost = UniformSimCost { act_bytes: 1.0, ..Default::default() };
         let rs = simulate(
             &svpp,

@@ -1,15 +1,21 @@
 //! Evaluation of one strategy candidate on the simulator.
 
-use mepipe_core::svpp::SvppConfig;
+use std::sync::Arc;
+
+use mepipe_core::svpp::{self, SvppConfig};
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{config::TransformerConfig, cost::ExecutionCost, memory};
-use mepipe_schedule::{baselines, ir::Schedule, validate};
+use mepipe_schedule::{
+    generator::{ScheduleError, ScheduleGenerator},
+    ir::Schedule,
+    validate,
+};
 use mepipe_sim::{
     engine::{simulate, SimConfig},
-    metrics,
-    ModelCost,
+    metrics, ModelCost,
 };
 
+use crate::engine::{ScheduleCache, ScheduleKey};
 use crate::space::{Candidate, Method};
 
 /// Outcome of evaluating one candidate.
@@ -31,10 +37,27 @@ pub struct Evaluated {
 
 /// Evaluates a candidate; `Err` carries the infeasibility reason (OOM,
 /// shape constraint, etc.) — the paper's "OOM" table cells.
+///
+/// This is the uncached entry point; [`crate::engine::SearchEngine`]
+/// wraps it with schedule and result memoization and returns
+/// bit-identical outcomes.
 pub fn evaluate(
     candidate: &Candidate,
     model: &TransformerConfig,
     cluster: &ClusterSpec,
+) -> Result<Evaluated, String> {
+    evaluate_with(candidate, model, cluster, None)
+}
+
+/// [`evaluate`] with an optional shared schedule cache: generation goes
+/// through `schedules` when present, so candidates that differ only in
+/// pricing (DP size, CP degree, recomputation) share one generated
+/// schedule across the grid.
+pub(crate) fn evaluate_with(
+    candidate: &Candidate,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    schedules: Option<&ScheduleCache>,
 ) -> Result<Evaluated, String> {
     let spec = candidate.spec;
     let cost = ExecutionCost::new(*model, spec, cluster)?;
@@ -47,21 +70,27 @@ pub fn evaluate(
         ));
     }
     let max_units = memory::max_in_flight_units(model, &spec, usable);
-    let n = spec.micro_batches();
 
-    let (schedule, warmup): (Schedule, Option<usize>) = match candidate.method {
-        Method::Dapple => (baselines::generate_dapple(spec.pp, n)?, None),
-        Method::Vpp => (baselines::generate_vpp(spec.pp, spec.vp, n)?, None),
-        Method::Zb => (baselines::generate_zb(spec.pp, n)?, None),
-        Method::Zbv => (baselines::generate_zbv(spec.pp, n)?, None),
+    let dims = candidate.dims();
+    let build = |warmup: Option<usize>,
+                 gen: &dyn Fn() -> Result<Schedule, ScheduleError>|
+     -> Result<Arc<Schedule>, ScheduleError> {
+        let key = ScheduleKey {
+            method: candidate.method,
+            p: dims.p,
+            v: dims.v,
+            s: dims.s,
+            n: dims.n,
+            warmup,
+        };
+        match schedules {
+            Some(cache) => cache.get_or_build(key, gen),
+            None => Ok(Arc::new(gen()?)),
+        }
+    };
+    let (schedule, warmup): (Arc<Schedule>, Option<usize>) = match candidate.method {
         Method::Mepipe => {
-            let base = SvppConfig {
-                stages: spec.pp,
-                virtual_chunks: spec.vp,
-                slices: spec.seq.spp_slices(),
-                micro_batches: n,
-                warmup_cap: None,
-            };
+            let base = SvppConfig::from_dims(&dims);
             if max_units < base.min_warmup() {
                 return Err(format!(
                     "even the f = v*s = {} floor needs more than the {} units that fit",
@@ -70,14 +99,22 @@ pub fn evaluate(
                 ));
             }
             let f = max_units.min(base.max_warmup());
-            let cfg = SvppConfig { warmup_cap: Some(f), ..base };
-            (mepipe_core::svpp::generate_svpp_split(&cfg)?, Some(f))
+            (
+                build(Some(f), &|| {
+                    svpp::Mepipe::new().warmup_cap(f).generate(&dims)
+                })?,
+                Some(f),
+            )
         }
+        _ => (build(None, &|| candidate.method.generate(&dims))?, None),
     };
 
     // Static memory feasibility: the schedule's peak in-flight units must
     // fit the activation budget.
-    let peak_units = validate::peak_in_flight(&schedule).into_iter().max().unwrap_or(0);
+    let peak_units = validate::peak_in_flight(&schedule)
+        .into_iter()
+        .max()
+        .unwrap_or(0);
     if peak_units > max_units {
         return Err(format!(
             "OOM: schedule holds {peak_units} in-flight units, only {max_units} fit"
@@ -98,18 +135,18 @@ pub fn evaluate(
             ..Default::default()
         },
     )?;
-    if let Some((worker, bytes)) = result.oom {
+    let summary = result.summary();
+    if let Some((worker, bytes)) = summary.oom {
         return Err(format!(
             "OOM in simulation: worker {worker} needed {:.1} GiB",
             bytes / 1024f64.powi(3)
         ));
     }
-    let peak = result.peak_activation_bytes.iter().copied().fold(0.0, f64::max);
     Ok(Evaluated {
         candidate: candidate.clone(),
-        iteration_time: result.iteration_time,
-        bubble_ratio: result.bubble_ratio(),
-        peak_activation_bytes: peak,
+        iteration_time: summary.iteration_time,
+        bubble_ratio: summary.bubble_ratio,
+        peak_activation_bytes: summary.peak_activation_bytes,
         mfu: metrics::mfu(&result, sim_cost.execution_cost()),
         warmup,
     })

@@ -8,11 +8,12 @@
 //! feeding Figures 8 and 10 and Tables 5–8.
 #![warn(missing_docs)]
 
-
+pub mod engine;
 pub mod evaluate;
 pub mod search;
 pub mod space;
 
+pub use engine::{EngineStats, ScheduleCache, ScheduleKey, SearchEngine};
 pub use evaluate::{evaluate, Evaluated};
-pub use search::{search, search_all, search_verbose};
+pub use search::{search, search_all, search_serial, search_verbose};
 pub use space::{enumerate_candidates, Candidate, Method};

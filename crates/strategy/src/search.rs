@@ -1,16 +1,44 @@
 //! Grid search: best feasible strategy per method (Tables 5 and 8).
+//!
+//! These free functions are the stable façade over the parallel,
+//! bound-pruned, memoized [`SearchEngine`]. One process-wide engine
+//! backs them, so repeated searches (experiment grids, the test suite,
+//! the CLI) share generated schedules and memoized evaluations. For an
+//! isolated cache or custom thread count, construct a
+//! [`SearchEngine`] directly.
+
+use std::sync::OnceLock;
 
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::config::TransformerConfig;
 
 use crate::{
+    engine::SearchEngine,
     evaluate::{evaluate, Evaluated},
     space::{enumerate_candidates, Method},
 };
 
+/// The process-wide engine behind the free functions.
+fn shared_engine() -> &'static SearchEngine {
+    static ENGINE: OnceLock<SearchEngine> = OnceLock::new();
+    ENGINE.get_or_init(SearchEngine::new)
+}
+
 /// Finds the fastest feasible configuration of `method`; `None` when
 /// nothing fits (the paper's "-" cells, e.g. VPP/ZBV on Llama-34B).
 pub fn search(
+    method: Method,
+    model: &TransformerConfig,
+    cluster: &ClusterSpec,
+    global_batch: usize,
+) -> Option<Evaluated> {
+    shared_engine().search(method, model, cluster, global_batch)
+}
+
+/// The serial exhaustive reference: evaluates every candidate with no
+/// pruning, no caching and no threads. [`search`] is bit-identical to
+/// this — the parity tests and benches compare against it.
+pub fn search_serial(
     method: Method,
     model: &TransformerConfig,
     cluster: &ClusterSpec,
@@ -32,13 +60,7 @@ pub fn search_verbose(
     cluster: &ClusterSpec,
     global_batch: usize,
 ) -> Vec<(crate::space::Candidate, Result<Evaluated, String>)> {
-    enumerate_candidates(method, model, cluster, global_batch)
-        .into_iter()
-        .map(|c| {
-            let e = evaluate(&c, model, cluster);
-            (c, e)
-        })
-        .collect()
+    shared_engine().search_verbose(method, model, cluster, global_batch)
 }
 
 /// Runs the search for every method — one Figure 8 / Figure 10 group.
@@ -47,10 +69,7 @@ pub fn search_all(
     cluster: &ClusterSpec,
     global_batch: usize,
 ) -> Vec<(Method, Option<Evaluated>)> {
-    Method::all()
-        .into_iter()
-        .map(|m| (m, search(m, model, cluster, global_batch)))
-        .collect()
+    shared_engine().search_all(model, cluster, global_batch)
 }
 
 #[cfg(test)]

@@ -1,9 +1,14 @@
 //! The strategy search space, per scheduling method.
 
+use mepipe_core::svpp;
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{
     config::TransformerConfig,
     partition::{PartitionSpec, SequenceSplit},
+};
+use mepipe_schedule::{
+    generator::{self, Dims, ScheduleError, ScheduleGenerator},
+    ir::Schedule,
 };
 
 /// The five systems compared in Section 7.
@@ -24,7 +29,13 @@ pub enum Method {
 impl Method {
     /// All methods in the paper's plotting order.
     pub fn all() -> [Method; 5] {
-        [Method::Dapple, Method::Vpp, Method::Zb, Method::Zbv, Method::Mepipe]
+        [
+            Method::Dapple,
+            Method::Vpp,
+            Method::Zb,
+            Method::Zbv,
+            Method::Mepipe,
+        ]
     }
 
     /// Display name matching the paper's figures.
@@ -44,6 +55,24 @@ impl Method {
     pub fn supports_recompute(self) -> bool {
         matches!(self, Method::Dapple | Method::Vpp)
     }
+
+    /// This method's [`ScheduleGenerator`] with default knobs (MEPipe's
+    /// lowest-bubble warmup; `evaluate` tightens it to the memory budget).
+    pub fn generator(self) -> Box<dyn ScheduleGenerator> {
+        match self {
+            Method::Dapple => Box::new(generator::Dapple),
+            Method::Vpp => Box::new(generator::Vpp),
+            Method::Zb => Box::new(generator::Zb),
+            Method::Zbv => Box::new(generator::Zbv),
+            Method::Mepipe => Box::new(svpp::Mepipe::new()),
+        }
+    }
+
+    /// Builds this method's schedule for `dims` — the single generation
+    /// entry point of the unified API.
+    pub fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        self.generator().generate(dims)
+    }
 }
 
 /// One point of the search space.
@@ -56,6 +85,15 @@ pub struct Candidate {
 }
 
 impl Candidate {
+    /// The schedule dimensions of this candidate. Context parallelism
+    /// affects only the cost model, not the schedule shape, so `s` comes
+    /// from slice pipelining alone.
+    pub fn dims(&self) -> Dims {
+        Dims::new(self.spec.pp, self.spec.micro_batches())
+            .virtual_chunks(self.spec.vp)
+            .slices(self.spec.seq.spp_slices())
+    }
+
     /// Compact label like `(8, 4, 1, ✗)` — (PP, CP/SPP, VP, recompute), the
     /// notation of Tables 5 and 8.
     pub fn label(&self) -> String {
@@ -97,8 +135,11 @@ pub fn enumerate_candidates(
         Method::Mepipe => &[1, 2, 4, 8, 16],
         _ => &[1, 2, 4, 8],
     };
-    let recomputes: &[bool] =
-        if method.supports_recompute() { &[false, true] } else { &[false] };
+    let recomputes: &[bool] = if method.supports_recompute() {
+        &[false, true]
+    } else {
+        &[false]
+    };
 
     for &pp in &pps {
         for &vp in vps {
@@ -176,8 +217,11 @@ mod tests {
         let model = TransformerConfig::llama2_13b();
         let cluster = ClusterSpec::rtx4090_cluster();
         let c = enumerate_candidates(Method::Mepipe, &model, &cluster, 128);
-        assert!(c.iter().any(|x| x.label() == "(8, 4, 1, ✗)"), "labels: {:?}",
-            c.iter().map(Candidate::label).collect::<Vec<_>>());
+        assert!(
+            c.iter().any(|x| x.label() == "(8, 4, 1, ✗)"),
+            "labels: {:?}",
+            c.iter().map(Candidate::label).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Property: the parallel, bound-pruned, memoized search engine selects
+//! the identical argmin — with bit-identical `Evaluated` metrics — as
+//! the serial exhaustive reference, on randomized grids.
+
+use proptest::prelude::*;
+
+use mepipe_hw::topology::ClusterSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_strategy::{search_serial, Evaluated, Method, SearchEngine};
+
+fn metric_bits(e: &Evaluated) -> [u64; 4] {
+    [
+        e.iteration_time.to_bits(),
+        e.bubble_ratio.to_bits(),
+        e.peak_activation_bytes.to_bits(),
+        e.mfu.to_bits(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized (method, model, cluster, batch, threads): pruning and
+    /// parallelism never change the winner or any of its metrics.
+    #[test]
+    fn pruned_parallel_search_matches_serial(
+        method_idx in 0usize..5,
+        model_idx in 0usize..2,
+        on_a100 in proptest::bool::ANY,
+        gbs_shift in 0usize..4,
+        threads in 1usize..4,
+    ) {
+        let method = Method::all()[method_idx];
+        let model = [TransformerConfig::llama2_7b(), TransformerConfig::llama2_13b()]
+            [model_idx];
+        let cluster =
+            if on_a100 { ClusterSpec::a100_cluster() } else { ClusterSpec::rtx4090_cluster() };
+        let gbs = 32usize << gbs_shift; // 32, 64, 128, 256.
+        let engine = SearchEngine::new().with_threads(threads);
+        let fast = engine.search(method, &model, &cluster, gbs);
+        let slow = search_serial(method, &model, &cluster, gbs);
+        match (&fast, &slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(&f.candidate, &s.candidate);
+                prop_assert_eq!(metric_bits(f), metric_bits(s));
+                prop_assert_eq!(f.warmup, s.warmup);
+            }
+            _ => prop_assert!(
+                false,
+                "feasibility disagreement: engine {:?} vs serial {:?}",
+                fast.as_ref().map(|e| e.candidate.label()),
+                slow.as_ref().map(|e| e.candidate.label())
+            ),
+        }
+    }
+}

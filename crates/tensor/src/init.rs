@@ -6,7 +6,9 @@ use crate::tensor::Tensor;
 
 /// Uniform initialisation in `[-scale, scale]` from a seeded generator.
 pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Tensor {
-    let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-scale..=scale))
+        .collect();
     Tensor::from_vec(rows, cols, data)
 }
 

@@ -17,7 +17,6 @@
 //! No unsafe code, no hidden parallelism, f32 throughout.
 #![warn(missing_docs)]
 
-
 pub mod init;
 pub mod ops;
 pub mod tensor;

@@ -154,8 +154,7 @@ mod tests {
         let v = uniform(t, d, 1.0, &mut r);
         let dout = uniform(t, d, 1.0, &mut r);
         let (_, saved) = causal_attention(&q, &k, &v, 0);
-        let (dq_full, dk_full, dv_full) =
-            causal_attention_backward(&dout, &q, &k, &v, &saved);
+        let (dq_full, dk_full, dv_full) = causal_attention_backward(&dout, &q, &k, &v, &saved);
 
         let step = t / s;
         let mut dq_parts = Vec::new();
@@ -167,13 +166,8 @@ mod tests {
             let kp = k.slice_rows(0, off + step);
             let vp = v.slice_rows(0, off + step);
             let (_, sv) = causal_attention(&qs, &kp, &vp, off);
-            let (dq, dk, dv) = causal_attention_backward(
-                &dout.slice_rows(off, step),
-                &qs,
-                &kp,
-                &vp,
-                &sv,
-            );
+            let (dq, dk, dv) =
+                causal_attention_backward(&dout.slice_rows(off, step), &qs, &kp, &vp, &sv);
             dq_parts.push(dq);
             // Accumulate prefix contributions into the full-length buffers.
             for rr in 0..dk.rows() {

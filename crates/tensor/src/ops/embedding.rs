@@ -21,7 +21,11 @@ pub fn embedding(table: &Tensor, tokens: &[usize], offset: usize) -> Tensor {
         for (c, v) in row.iter_mut().enumerate() {
             // Alternating sin/cos positional signal (fixed, not learned).
             let freq = 1.0 / 10_000f32.powf((2 * (c / 2)) as f32 / h as f32);
-            *v += if c % 2 == 0 { (pos * freq).sin() } else { (pos * freq).cos() } * 0.1;
+            *v += if c % 2 == 0 {
+                (pos * freq).sin()
+            } else {
+                (pos * freq).cos()
+            } * 0.1;
         }
     }
     out

@@ -35,7 +35,13 @@ pub fn rmsnorm(x: &Tensor, w: &Tensor) -> (Tensor, RmsNormSaved) {
             out[c] = xv * inv * wv;
         }
     }
-    (y, RmsNormSaved { x: x.clone(), inv_rms })
+    (
+        y,
+        RmsNormSaved {
+            x: x.clone(),
+            inv_rms,
+        },
+    )
 }
 
 /// Backward of [`rmsnorm`]: returns `(dx, dw)`.
@@ -111,7 +117,11 @@ mod tests {
             let mut wm = w.clone();
             wm.set(0, c, w.at(0, c) - eps);
             let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
-            assert!((num - dw.at(0, c)).abs() < 2e-2, "dw({c}): {num} vs {}", dw.at(0, c));
+            assert!(
+                (num - dw.at(0, c)).abs() < 2e-2,
+                "dw({c}): {num} vs {}",
+                dw.at(0, c)
+            );
         }
     }
 }

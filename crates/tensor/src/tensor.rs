@@ -24,7 +24,11 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// An all-zeros tensor.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a tensor from row-major data.
@@ -99,7 +103,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -140,7 +148,8 @@ impl Tensor {
         assert!(start + len <= self.cols, "column slice out of range");
         let mut out = Tensor::zeros(self.rows, len);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + len]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + len]);
         }
         out
     }
@@ -198,7 +207,11 @@ impl Tensor {
     ///
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)

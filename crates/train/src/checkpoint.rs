@@ -49,7 +49,9 @@ pub fn save(model: &ModelParams) -> Vec<u8> {
     };
     push_tensor(&mut out, &model.embedding);
     for l in &model.layers {
-        for t in [&l.wq, &l.wk, &l.wv, &l.wo, &l.wg, &l.wu, &l.wd, &l.norm1, &l.norm2] {
+        for t in [
+            &l.wq, &l.wk, &l.wv, &l.wo, &l.wg, &l.wu, &l.wd, &l.norm1, &l.norm2,
+        ] {
             push_tensor(&mut out, t);
         }
     }
@@ -80,21 +82,41 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
     let kv_heads = read_u64(bytes)?;
     let vocab = read_u64(bytes)?;
     let seq_len = read_u64(bytes)?;
-    let cfg = TransformerConfig { hidden, layers, ffn_hidden, heads, kv_heads, vocab, seq_len };
+    let cfg = TransformerConfig {
+        hidden,
+        layers,
+        ffn_hidden,
+        heads,
+        kv_heads,
+        vocab,
+        seq_len,
+    };
 
     let read_tensor = |bytes: &[u8], pos: &mut usize| -> Result<Tensor, String> {
         let rows = u64::from_le_bytes(
-            bytes.get(*pos..*pos + 8).ok_or("truncated tensor header")?.try_into().unwrap(),
+            bytes
+                .get(*pos..*pos + 8)
+                .ok_or("truncated tensor header")?
+                .try_into()
+                .unwrap(),
         ) as usize;
         *pos += 8;
         let cols = u64::from_le_bytes(
-            bytes.get(*pos..*pos + 8).ok_or("truncated tensor header")?.try_into().unwrap(),
+            bytes
+                .get(*pos..*pos + 8)
+                .ok_or("truncated tensor header")?
+                .try_into()
+                .unwrap(),
         ) as usize;
         *pos += 8;
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
             let v = f32::from_le_bytes(
-                bytes.get(*pos..*pos + 4).ok_or("truncated tensor data")?.try_into().unwrap(),
+                bytes
+                    .get(*pos..*pos + 4)
+                    .ok_or("truncated tensor data")?
+                    .try_into()
+                    .unwrap(),
             );
             *pos += 4;
             data.push(v);
@@ -114,14 +136,33 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
         let wd = read_tensor(bytes, &mut pos)?;
         let norm1 = read_tensor(bytes, &mut pos)?;
         let norm2 = read_tensor(bytes, &mut pos)?;
-        layer_params.push(LayerParams { wq, wk, wv, wo, wg, wu, wd, norm1, norm2 });
+        layer_params.push(LayerParams {
+            wq,
+            wk,
+            wv,
+            wo,
+            wg,
+            wu,
+            wd,
+            norm1,
+            norm2,
+        });
     }
     let final_norm = read_tensor(bytes, &mut pos)?;
     let head = read_tensor(bytes, &mut pos)?;
     if pos != bytes.len() {
-        return Err(format!("{} trailing bytes in checkpoint", bytes.len() - pos));
+        return Err(format!(
+            "{} trailing bytes in checkpoint",
+            bytes.len() - pos
+        ));
     }
-    Ok(ModelParams { cfg, embedding, layers: layer_params, final_norm, head })
+    Ok(ModelParams {
+        cfg,
+        embedding,
+        layers: layer_params,
+        final_norm,
+        head,
+    })
 }
 
 /// Expected fraction of cluster time lost to failures under periodic
@@ -130,7 +171,12 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
 /// * checkpoint overhead: `checkpoint_cost / interval`;
 /// * per failure, half an interval of lost work plus the recovery time,
 ///   at a failure rate of `1 / mtbf`.
-pub fn failure_overhead(mtbf_secs: f64, checkpoint_cost_secs: f64, recovery_secs: f64, interval_secs: f64) -> f64 {
+pub fn failure_overhead(
+    mtbf_secs: f64,
+    checkpoint_cost_secs: f64,
+    recovery_secs: f64,
+    interval_secs: f64,
+) -> f64 {
     checkpoint_cost_secs / interval_secs + (interval_secs / 2.0 + recovery_secs) / mtbf_secs
 }
 

@@ -36,12 +36,7 @@ pub fn symmetric_slices(worker: usize, workers: usize) -> (usize, usize) {
 /// # Panics
 ///
 /// Panics unless the token count divides by `2 × workers`.
-pub fn cp_attention_forward(
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    workers: usize,
-) -> Tensor {
+pub fn cp_attention_forward(q: &Tensor, k: &Tensor, v: &Tensor, workers: usize) -> Tensor {
     let t = q.rows();
     assert_eq!(t % (2 * workers), 0, "tokens must divide into 2R slices");
     let step = t / (2 * workers);
@@ -86,13 +81,8 @@ pub fn cp_attention_backward(
             let kp = k.slice_rows(0, off + step);
             let vp = v.slice_rows(0, off + step);
             let (_, saved) = causal_attention(&qs, &kp, &vp, off);
-            let (dqs, dks, dvs) = causal_attention_backward(
-                &dout.slice_rows(off, step),
-                &qs,
-                &kp,
-                &vp,
-                &saved,
-            );
+            let (dqs, dks, dvs) =
+                causal_attention_backward(&dout.slice_rows(off, step), &qs, &kp, &vp, &saved);
             for i in 0..step {
                 dq.row_mut(off + i).copy_from_slice(dqs.row(i));
             }
@@ -169,8 +159,9 @@ mod tests {
         // balances the computation workload across different workers".
         for workers in [2usize, 4, 8] {
             let tokens = 64 * workers;
-            let costs: Vec<usize> =
-                (0..workers).map(|r| worker_attention_cost(r, workers, tokens)).collect();
+            let costs: Vec<usize> = (0..workers)
+                .map(|r| worker_attention_cost(r, workers, tokens))
+                .collect();
             assert!(
                 costs.iter().all(|&c| c == costs[0]),
                 "workers = {workers}: {costs:?}"

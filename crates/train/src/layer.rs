@@ -15,8 +15,8 @@
 
 use mepipe_tensor::{
     ops::{
-        causal_attention, causal_attention_backward, matmul, matmul_dgrad, matmul_wgrad,
-        rmsnorm, rmsnorm_backward, silu, silu_backward, AttentionSaved, RmsNormSaved,
+        causal_attention, causal_attention_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
+        rmsnorm_backward, silu, silu_backward, AttentionSaved, RmsNormSaved,
     },
     Tensor,
 };
@@ -124,7 +124,11 @@ impl LayerFwdSaved {
             + self.norm1_saved.x.bytes()
             + self.normed1.bytes()
             + self.q.bytes()
-            + self.attn_saved.iter().map(|a| a.probs.bytes()).sum::<usize>()
+            + self
+                .attn_saved
+                .iter()
+                .map(|a| a.probs.bytes())
+                .sum::<usize>()
             + self.attn_concat.bytes()
             + self.resid1.bytes()
             + self.norm2_saved.x.bytes()
@@ -252,7 +256,11 @@ pub fn backward_input_slice(
     for (a, b) in mlp_act.data_mut().iter_mut().zip(saved.up.data()) {
         *a *= b;
     }
-    wgrads.push(WgradGemm { weight: WeightId::Wd, input: mlp_act, out_grad: dy.clone() });
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wd,
+        input: mlp_act,
+        out_grad: dy.clone(),
+    });
     let mut d_silu = d_mlp_act.clone();
     for (a, b) in d_silu.data_mut().iter_mut().zip(saved.up.data()) {
         *a *= b;
@@ -269,7 +277,11 @@ pub fn backward_input_slice(
         input: saved.normed2.clone(),
         out_grad: d_gate_pre,
     });
-    wgrads.push(WgradGemm { weight: WeightId::Wu, input: saved.normed2.clone(), out_grad: d_up });
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wu,
+        input: saved.normed2.clone(),
+        out_grad: d_up,
+    });
     let (d_resid1_norm, dnorm2) = rmsnorm_backward(&d_normed2, &p.norm2, &saved.norm2_saved);
     let mut d_resid1 = dy.clone();
     d_resid1.add_assign(&d_resid1_norm);
@@ -315,7 +327,11 @@ pub fn backward_input_slice(
     let mut d_normed1 = matmul_dgrad(&dq, &p.wq);
     d_normed1.add_assign(&matmul_dgrad(&dk_own, &p.wk));
     d_normed1.add_assign(&matmul_dgrad(&dv_own, &p.wv));
-    wgrads.push(WgradGemm { weight: WeightId::Wq, input: saved.normed1.clone(), out_grad: dq });
+    wgrads.push(WgradGemm {
+        weight: WeightId::Wq,
+        input: saved.normed1.clone(),
+        out_grad: dq,
+    });
     wgrads.push(WgradGemm {
         weight: WeightId::Wk,
         input: saved.normed1.clone(),
@@ -331,7 +347,12 @@ pub fn backward_input_slice(
     let mut dx = d_resid1;
     dx.add_assign(&d_x_norm);
 
-    BackwardOut { dx, wgrads, dnorm1, dnorm2 }
+    BackwardOut {
+        dx,
+        wgrads,
+        dnorm1,
+        dnorm2,
+    }
 }
 
 /// Executes deferred weight-gradient GEMMs, accumulating into `grads`.
@@ -413,13 +434,7 @@ mod tests {
         let mut grads_s = p.zero_grads();
         let mut dx_parts = vec![Tensor::zeros(0, 0); 4];
         for i in (0..4).rev() {
-            let out = backward_input_slice(
-                &p,
-                &saves[i],
-                &kv,
-                &mut dkv,
-                &dy.slice_rows(i * 4, 4),
-            );
+            let out = backward_input_slice(&p, &saves[i], &kv, &mut dkv, &dy.slice_rows(i * 4, 4));
             apply_wgrads(&mut grads_s, &out.wgrads);
             grads_s.norm1.add_assign(&out.dnorm1);
             grads_s.norm2.add_assign(&out.dnorm2);
@@ -448,8 +463,7 @@ mod tests {
         let mut kv = Kv::default();
         let (_, saved) = forward_slice(&p, &x, &mut kv, 0, 4);
         let mut dkv = Kv::default();
-        let out =
-            backward_input_slice(&p, &saved, &kv, &mut dkv, &Tensor::zeros(16, x.cols()));
+        let out = backward_input_slice(&p, &saved, &kv, &mut dkv, &Tensor::zeros(16, x.cols()));
         assert_eq!(out.wgrads.len(), 7);
     }
 

@@ -22,7 +22,6 @@
 //! simulator — the paper's profiler → scheduler → engine pipeline).
 #![warn(missing_docs)]
 
-
 pub mod checkpoint;
 pub mod cp;
 pub mod layer;

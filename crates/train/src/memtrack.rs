@@ -18,7 +18,11 @@ pub struct MemTracker {
 impl MemTracker {
     /// A tracker with an optional capacity in bytes.
     pub fn new(cap: Option<usize>) -> Self {
-        Self { current: 0, peak: 0, cap }
+        Self {
+            current: 0,
+            peak: 0,
+            cap,
+        }
     }
 
     /// Charges `bytes`; returns `Err` if a cap would be exceeded (the

@@ -91,8 +91,11 @@ impl Adam {
         }
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for ((wv, gv), (mv, vv)) in
-            w.data_mut().iter_mut().zip(g.data()).zip(m.iter_mut().zip(v.iter_mut()))
+        for ((wv, gv), (mv, vv)) in w
+            .data_mut()
+            .iter_mut()
+            .zip(g.data())
+            .zip(m.iter_mut().zip(v.iter_mut()))
         {
             *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
             *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;

@@ -110,7 +110,9 @@ impl ModelParams {
     /// Deterministically initialised model.
     pub fn init(cfg: TransformerConfig, seed: u64) -> Self {
         let mut rng = init::rng(seed);
-        let layers = (0..cfg.layers).map(|_| LayerParams::init(&cfg, &mut rng)).collect();
+        let layers = (0..cfg.layers)
+            .map(|_| LayerParams::init(&cfg, &mut rng))
+            .collect();
         Self {
             embedding: init::uniform(cfg.vocab, cfg.hidden, 0.05, &mut rng),
             layers,

@@ -24,8 +24,10 @@ use std::sync::Arc;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mepipe_schedule::ir::{OpKind, Schedule};
 use mepipe_tensor::{
-    ops::{cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad,
-        rmsnorm, rmsnorm_backward},
+    ops::{
+        cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
+        rmsnorm_backward,
+    },
     Tensor,
 };
 
@@ -65,8 +67,18 @@ pub struct RunStats {
 }
 
 enum Msg {
-    Fwd { mb: usize, slice: usize, g: usize, x: Tensor },
-    Bwd { mb: usize, slice: usize, g: usize, dy: Tensor },
+    Fwd {
+        mb: usize,
+        slice: usize,
+        g: usize,
+        x: Tensor,
+    },
+    Bwd {
+        mb: usize,
+        slice: usize,
+        g: usize,
+        dy: Tensor,
+    },
 }
 
 /// A model plus the pipeline shape needed to run schedules against it.
@@ -89,7 +101,11 @@ impl PipelineRuntime {
             0,
             "layers must divide evenly into chunks"
         );
-        Self { model, stages, virtual_chunks }
+        Self {
+            model,
+            stages,
+            virtual_chunks,
+        }
     }
 
     /// Runs one training iteration under `schedule` and returns loss,
@@ -132,7 +148,8 @@ impl PipelineRuntime {
                 let ops = schedule.workers[w].clone();
                 let meta = meta.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = WorkerCtx::new(model, &meta, w, rx, senders, batch, mode, mem_cap);
+                    let mut ctx =
+                        WorkerCtx::new(model, &meta, w, rx, senders, batch, mode, mem_cap);
                     for op in &ops {
                         ctx.execute(op);
                     }
@@ -160,7 +177,13 @@ impl PipelineRuntime {
             }
             add_grads(&mut grads, &out.grads, 1.0);
         }
-        RunStats { loss, grads, peak_bytes: peaks, drained_wgrads: drained, oom }
+        RunStats {
+            loss,
+            grads,
+            peak_bytes: peaks,
+            drained_wgrads: drained,
+            oom,
+        }
     }
 
     /// Runs one iteration under data parallelism: the batch is split
@@ -180,7 +203,11 @@ impl PipelineRuntime {
         mode: WgradMode,
     ) -> RunStats {
         assert!(replicas > 0, "need at least one replica");
-        assert_eq!(batch.len() % replicas, 0, "batch must split evenly across replicas");
+        assert_eq!(
+            batch.len() % replicas,
+            0,
+            "batch must split evenly across replicas"
+        );
         let shard = batch.len() / replicas;
         let mut merged: Option<RunStats> = None;
         for r in 0..replicas {
@@ -397,7 +424,13 @@ impl<'m> WorkerCtx<'m> {
         for li in lo..hi {
             let kv = self.kvs.entry((mb, chunk, li - lo)).or_default();
             let before = kv.bytes();
-            let (y, sv) = forward_slice(&self.model.layers[li], &cur, kv, offset, self.model.cfg.heads);
+            let (y, sv) = forward_slice(
+                &self.model.layers[li],
+                &cur,
+                kv,
+                offset,
+                self.model.cfg.heads,
+            );
             let kv_delta = kv.bytes() - before;
             self.charge(sv.bytes() + kv_delta);
             saves.push(sv);
@@ -411,7 +444,12 @@ impl<'m> WorkerCtx<'m> {
         } else {
             let (nw, _nc) = self.meta.stage_chunk_of(g + 1);
             self.senders[nw]
-                .send(Msg::Fwd { mb, slice, g: g + 1, x: cur })
+                .send(Msg::Fwd {
+                    mb,
+                    slice,
+                    g: g + 1,
+                    x: cur,
+                })
                 .expect("send forward");
         }
     }
@@ -425,7 +463,10 @@ impl<'m> WorkerCtx<'m> {
 
         let mut dy = if g == self.meta.last_global_pos() {
             // Loss path: final norm + head + cross-entropy on this slice.
-            let hidden = self.finals.remove(&(mb, slice)).expect("final hidden saved");
+            let hidden = self
+                .finals
+                .remove(&(mb, slice))
+                .expect("final hidden saved");
             self.mem.free(hidden.bytes());
             let (normed, norm_saved) = rmsnorm(&hidden, &self.model.final_norm);
             let logits = matmul(&normed, &self.model.head);
@@ -444,18 +485,18 @@ impl<'m> WorkerCtx<'m> {
         };
 
         let (lo, hi) = self.layers_of_chunk(chunk);
-        let (x_in, saves) = self.saves.remove(&(mb, slice, chunk)).expect("saved acts present");
+        let (x_in, saves) = self
+            .saves
+            .remove(&(mb, slice, chunk))
+            .expect("saved acts present");
         for li in (lo..hi).rev() {
-            let kv = self.kvs.get(&(mb, chunk, li - lo)).expect("kv cache present");
+            let kv = self
+                .kvs
+                .get(&(mb, chunk, li - lo))
+                .expect("kv cache present");
             let dkv = self.dkvs.entry((mb, chunk, li - lo)).or_default();
             let was_empty = dkv.is_empty();
-            let out = backward_input_slice(
-                &self.model.layers[li],
-                &saves[li - lo],
-                kv,
-                dkv,
-                &dy,
-            );
+            let out = backward_input_slice(&self.model.layers[li], &saves[li - lo], kv, dkv, &dy);
             if was_empty {
                 let bytes = dkv.bytes();
                 self.charge(bytes);
@@ -497,7 +538,12 @@ impl<'m> WorkerCtx<'m> {
         } else {
             let (pw, _pc) = self.meta.stage_chunk_of(g - 1);
             self.senders[pw]
-                .send(Msg::Bwd { mb, slice, g: g - 1, dy })
+                .send(Msg::Bwd {
+                    mb,
+                    slice,
+                    g: g - 1,
+                    dy,
+                })
                 .expect("send backward");
         }
     }
@@ -541,15 +587,18 @@ impl<'m> WorkerCtx<'m> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mepipe_core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+    use mepipe_core::svpp::{Mepipe, Svpp};
     use mepipe_model::config::TransformerConfig;
-    use mepipe_schedule::baselines::generate_dapple;
+    use mepipe_schedule::generator::{Dapple, Dims, Hanayo, ScheduleGenerator, Zbv};
     use mepipe_tensor::init::synthetic_tokens;
 
     use crate::reference::batch_forward_backward;
 
     fn tiny_cfg() -> TransformerConfig {
-        TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) }
+        TransformerConfig {
+            seq_len: 32,
+            ..TransformerConfig::tiny(4)
+        }
     }
 
     fn make_batch(cfg: &TransformerConfig, n: usize, seed: u64) -> Vec<Vec<usize>> {
@@ -559,17 +608,11 @@ mod tests {
     }
 
     fn svpp_schedule(p: usize, v: usize, s: usize, n: usize, split: bool) -> Schedule {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
+        let dims = Dims::new(p, n).virtual_chunks(v).slices(s);
         if split {
-            generate_svpp_split(&cfg).unwrap()
+            Mepipe::new().generate(&dims).unwrap()
         } else {
-            generate_svpp(&cfg).unwrap()
+            Svpp::new().generate(&dims).unwrap()
         }
     }
 
@@ -613,7 +656,12 @@ mod tests {
         let model = ModelParams::init(cfg, 44);
         let batch = make_batch(&cfg, 2, 11);
         let rt = PipelineRuntime::new(model, 2, 1);
-        let fused = rt.run_iteration(&svpp_schedule(2, 1, 2, 2, false), &batch, WgradMode::Immediate, None);
+        let fused = rt.run_iteration(
+            &svpp_schedule(2, 1, 2, 2, false),
+            &batch,
+            WgradMode::Immediate,
+            None,
+        );
         let split_sch = svpp_schedule(2, 1, 2, 2, true);
         let at_w = rt.run_iteration(&split_sch, &batch, WgradMode::AtWeightOp, None);
         let drained = rt.run_iteration(&split_sch, &batch, WgradMode::DrainOnWait, None);
@@ -630,7 +678,7 @@ mod tests {
         let model = ModelParams::init(cfg, 49);
         let batch = make_batch(&cfg, 8, 23);
         let rt = PipelineRuntime::new(model, 2, 1);
-        let dapple = generate_dapple(2, 8).unwrap();
+        let dapple = Dapple.generate(&Dims::new(2, 8)).unwrap();
         let sv = svpp_schedule(2, 1, 4, 8, false);
         let free_d = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
         let free_s = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
@@ -647,7 +695,7 @@ mod tests {
         let model = ModelParams::init(cfg, 45);
         let batch = make_batch(&cfg, 8, 13);
         let rt = PipelineRuntime::new(model, 2, 1);
-        let dapple = generate_dapple(2, 8).unwrap();
+        let dapple = Dapple.generate(&Dims::new(2, 8)).unwrap();
         let rd = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
         let sv = svpp_schedule(2, 1, 4, 8, false);
         let rs = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
@@ -672,7 +720,7 @@ mod tests {
         let batch = make_batch(&cfg, 4, 29);
         let reference = batch_forward_backward(&model, &batch);
         let rt = PipelineRuntime::new(model, 2, 2);
-        let sch = mepipe_schedule::baselines::generate_zbv(2, 4).unwrap();
+        let sch = Zbv.generate(&Dims::new(2, 4).virtual_chunks(2)).unwrap();
         let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
@@ -685,7 +733,7 @@ mod tests {
         let batch = make_batch(&cfg, 4, 31);
         let reference = batch_forward_backward(&model, &batch);
         let rt = PipelineRuntime::new(model, 2, 2);
-        let sch = mepipe_schedule::baselines::generate_hanayo(2, 2, 4).unwrap();
+        let sch = Hanayo.generate(&Dims::new(2, 4).virtual_chunks(2)).unwrap();
         let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
@@ -715,7 +763,10 @@ mod tests {
             }
             last = stats.loss;
         }
-        assert!(last < first.unwrap(), "loss did not decrease: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "loss did not decrease: {first:?} -> {last}"
+        );
     }
 
     #[test]

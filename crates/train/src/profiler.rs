@@ -57,7 +57,10 @@ pub fn profile_chunk(
     trials: usize,
 ) -> ProfiledCosts {
     let cfg = &model.cfg;
-    assert!(layers_per_chunk <= model.cfg.layers, "chunk larger than model");
+    assert!(
+        layers_per_chunk <= model.cfg.layers,
+        "chunk larger than model"
+    );
     assert_eq!(cfg.seq_len % slices, 0, "slices must divide the sequence");
     assert!(trials > 0, "need at least one trial");
     let ts = cfg.seq_len / slices;
@@ -110,8 +113,10 @@ pub fn profile_chunk(
             }
             backward_input[sl] = backward_input[sl].min(t0.elapsed().as_secs_f64());
             let t1 = Instant::now();
-            let mut grads: Vec<_> =
-                model.layers[..layers_per_chunk].iter().map(|l| l.zero_grads()).collect();
+            let mut grads: Vec<_> = model.layers[..layers_per_chunk]
+                .iter()
+                .map(|l| l.zero_grads())
+                .collect();
             for (li, g) in &gemms {
                 apply_wgrads(&mut grads[*li], g);
             }
@@ -166,12 +171,16 @@ impl SimCost for ProfiledCosts {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mepipe_core::svpp::{generate_svpp_split, SvppConfig};
+    use mepipe_core::svpp::Mepipe;
     use mepipe_model::config::TransformerConfig;
+    use mepipe_schedule::generator::{Dims, ScheduleGenerator};
     use mepipe_sim::engine::{simulate, SimConfig};
 
     fn profiled() -> ProfiledCosts {
-        let cfg = TransformerConfig { seq_len: 256, ..TransformerConfig::tiny(2) };
+        let cfg = TransformerConfig {
+            seq_len: 256,
+            ..TransformerConfig::tiny(2)
+        };
         let model = ModelParams::init(cfg, 5);
         profile_chunk(&model, 2, 4, 3)
     }
@@ -203,16 +212,16 @@ mod tests {
     #[test]
     fn profiled_costs_drive_the_simulator() {
         let p = profiled();
-        let sch = generate_svpp_split(&SvppConfig {
-            stages: 2,
-            virtual_chunks: 1,
-            slices: 4,
-            micro_batches: 4,
-            warmup_cap: None,
-        })
+        let sch = Mepipe::new().generate(&Dims::new(2, 4).slices(4)).unwrap();
+        let r = simulate(
+            &sch,
+            &p,
+            &SimConfig {
+                dynamic_wgrad: true,
+                ..Default::default()
+            },
+        )
         .unwrap();
-        let r = simulate(&sch, &p, &SimConfig { dynamic_wgrad: true, ..Default::default() })
-            .unwrap();
         assert!(r.makespan > 0.0);
         assert!(r.bubble_ratio() < 0.9);
         assert!(r.peak_activation_bytes[0] > 0.0);
@@ -221,7 +230,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "slices must divide")]
     fn bad_slice_count_panics() {
-        let cfg = TransformerConfig { seq_len: 250, ..TransformerConfig::tiny(2) };
+        let cfg = TransformerConfig {
+            seq_len: 250,
+            ..TransformerConfig::tiny(2)
+        };
         let model = ModelParams::init(cfg, 5);
         profile_chunk(&model, 2, 4, 1);
     }

@@ -2,8 +2,10 @@
 //! runtime is checked against.
 
 use mepipe_tensor::{
-    ops::{cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad,
-        rmsnorm, rmsnorm_backward},
+    ops::{
+        cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
+        rmsnorm_backward,
+    },
     Tensor,
 };
 
@@ -85,7 +87,10 @@ pub fn batch_forward_backward(model: &ModelParams, batch: &[Vec<usize>]) -> Refe
         loss += out.loss;
         add_grads(&mut total, &out.grads, 1.0 / batch.len() as f32);
     }
-    ReferenceOut { loss: loss / batch.len() as f64, grads: total }
+    ReferenceOut {
+        loss: loss / batch.len() as f64,
+        grads: total,
+    }
 }
 
 /// `acc += scale * g` over a full gradient set.
@@ -139,7 +144,12 @@ mod tests {
         let before = forward_backward(&model, &toks);
         crate::optim::Sgd { lr: 0.2 }.step_model(&mut model, &before.grads);
         let after = forward_backward(&model, &toks);
-        assert!(after.loss < before.loss, "{} !< {}", after.loss, before.loss);
+        assert!(
+            after.loss < before.loss,
+            "{} !< {}",
+            after.loss,
+            before.loss
+        );
     }
 
     #[test]

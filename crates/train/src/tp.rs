@@ -105,7 +105,11 @@ mod tests {
         let b = uniform(16, 8, 1.0, &mut r);
         let dense = matmul(&silu(&matmul(&x, &a)), &b);
         let tp = column_row_parallel(&x, &a, &b, 4, silu);
-        assert!(dense.max_abs_diff(&tp) < 1e-4, "diff {}", dense.max_abs_diff(&tp));
+        assert!(
+            dense.max_abs_diff(&tp) < 1e-4,
+            "diff {}",
+            dense.max_abs_diff(&tp)
+        );
     }
 
     #[test]

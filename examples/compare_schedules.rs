@@ -6,14 +6,14 @@
 //! cargo run --release --example compare_schedules
 //! ```
 
-use mepipe::core::svpp::{generate_svpp, SvppConfig};
 use mepipe::schedule::{
-    baselines,
     exec::{execute, UnitCost},
+    generator::{Dapple, GPipe, TeraPipe},
     render::render,
     validate::{peak_in_flight, validate},
     Schedule,
 };
+use mepipe::{Dims, ScheduleGenerator, Svpp};
 
 fn show(name: &str, schedule: &Schedule, cost: &UnitCost, unit_fraction: usize) {
     validate(schedule).expect("schedule must validate");
@@ -35,43 +35,51 @@ fn main() {
 
     // Whole-micro-batch methods: one unit = A/p of activations; a forward
     // over a whole micro-batch takes `s` ticks of slice work.
-    let coarse = UnitCost { fwd: s as f64, bwd: 2.0 * s as f64, wgrad: 0.0 };
-    show("GPipe", &baselines::generate_gpipe(p, n).unwrap(), &coarse, p);
-    show("DAPPLE (1F1B)", &baselines::generate_dapple(p, n).unwrap(), &coarse, p);
+    let coarse = UnitCost {
+        fwd: s as f64,
+        bwd: 2.0 * s as f64,
+        wgrad: 0.0,
+    };
+    show(
+        "GPipe",
+        &GPipe.generate(&Dims::new(p, n)).unwrap(),
+        &coarse,
+        p,
+    );
+    show(
+        "DAPPLE (1F1B)",
+        &Dapple.generate(&Dims::new(p, n)).unwrap(),
+        &coarse,
+        p,
+    );
 
     // Slice-level methods: one unit = A/(p·s).
-    let fine = UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 };
+    let fine = UnitCost {
+        fwd: 1.0,
+        bwd: 2.0,
+        wgrad: 0.0,
+    };
     show(
         "TeraPipe",
-        &baselines::generate_terapipe(p, n, s).unwrap(),
+        &TeraPipe.generate(&Dims::new(p, n).slices(s)).unwrap(),
         &fine,
         p * s,
     );
     show(
         "SVPP (MEPipe), v=1",
-        &generate_svpp(&SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        })
-        .unwrap(),
+        &Svpp::new().generate(&Dims::new(p, n).slices(s)).unwrap(),
         &fine,
         p * s,
     );
     show(
         "SVPP (MEPipe), v=2",
-        &generate_svpp(&SvppConfig {
-            stages: p,
-            virtual_chunks: 2,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        })
-        .unwrap(),
+        &Svpp::new()
+            .generate(&Dims::new(p, n).virtual_chunks(2).slices(s))
+            .unwrap(),
         &fine,
         p * s * 2,
     );
-    println!("Tokens: F=forward B=backward; letter = micro-batch (capitals = 2nd chunk); digit = slice.");
+    println!(
+        "Tokens: F=forward B=backward; letter = micro-batch (capitals = 2nd chunk); digit = slice."
+    );
 }

@@ -25,13 +25,7 @@ fn main() {
         micro_batch_size: 1,
         global_batch: 128,
     };
-    let cfg = SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    };
+    let cfg = SvppConfig::new(8, 4, spec.micro_batches());
     let gib = 1024f64.powi(3);
 
     println!("Llama-13B on one RTX 4090, MEPipe (PP 8, SPP 4, DP 8):");
@@ -49,7 +43,10 @@ fn main() {
     println!();
 
     println!("variant family (Section 4.2): f = forwards admitted before the first backward");
-    println!("{:>4} {:>14} {:>16}", "f", "peak act (GiB)", "bubble estimate");
+    println!(
+        "{:>4} {:>14} {:>16}",
+        "f", "peak act (GiB)", "bubble estimate"
+    );
     for v in enumerate_variants(&cfg, &model, &spec) {
         println!(
             "{:>4} {:>14.2} {:>15.1}%",

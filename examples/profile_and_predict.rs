@@ -9,7 +9,6 @@
 
 use std::time::Instant;
 
-use mepipe::core::svpp::{generate_svpp_split, SvppConfig};
 use mepipe::model::config::TransformerConfig;
 use mepipe::sim::engine::{simulate, SimConfig};
 use mepipe::tensor::init::synthetic_tokens;
@@ -18,31 +17,36 @@ use mepipe::train::{
     pipeline::{PipelineRuntime, WgradMode},
     profiler::profile_chunk,
 };
+use mepipe::{Dims, Mepipe, ScheduleGenerator};
 
 fn main() {
-    let cfg = TransformerConfig { seq_len: 256, ..TransformerConfig::tiny(4) };
+    let cfg = TransformerConfig {
+        seq_len: 256,
+        ..TransformerConfig::tiny(4)
+    };
     let (stages, slices, micro_batches) = (2usize, 4usize, 4usize);
     let model = ModelParams::init(cfg, 99);
 
     // 1. Profile: measure F / Bi / W per slice on one chunk, for real.
     let layers_per_chunk = cfg.layers / stages;
     let profiled = profile_chunk(&model, layers_per_chunk, slices, 3);
-    println!("profiled per-slice forward times (ms): {:?}",
-        profiled.forward.iter().map(|t| (t * 1e3 * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "profiled per-slice forward times (ms): {:?}",
+        profiled
+            .forward
+            .iter()
+            .map(|t| (t * 1e3 * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     println!(
         "slice imbalance (last/first): {:.2}x — the Section 5 imbalance, measured",
         profiled.forward[slices - 1] / profiled.forward[0]
     );
 
     // 2. Schedule + simulate with the profiled costs.
-    let schedule = generate_svpp_split(&SvppConfig {
-        stages,
-        virtual_chunks: 1,
-        slices,
-        micro_batches,
-        warmup_cap: None,
-    })
-    .expect("valid config");
+    let schedule = Mepipe::new()
+        .generate(&Dims::new(stages, micro_batches).slices(slices))
+        .expect("valid config");
     let prediction = simulate(
         &schedule,
         &profiled,
@@ -62,8 +66,9 @@ fn main() {
 
     // 3. Execute the same schedule on the threaded runtime and time it.
     let rt = PipelineRuntime::new(model, stages, 1);
-    let batch: Vec<Vec<usize>> =
-        (0..micro_batches).map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i as u64)).collect();
+    let batch: Vec<Vec<usize>> = (0..micro_batches)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i as u64))
+        .collect();
     // Warm up allocators/caches once.
     let _ = rt.run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None);
     let t0 = Instant::now();

@@ -5,7 +5,6 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use mepipe::core::svpp::{generate_svpp_split, SvppConfig};
 use mepipe::hw::topology::ClusterSpec;
 use mepipe::model::{
     config::TransformerConfig,
@@ -17,6 +16,7 @@ use mepipe::sim::{
     engine::{simulate, SimConfig},
     metrics, ModelCost,
 };
+use mepipe::{Dims, Mepipe, ScheduleGenerator, SvppConfig};
 
 fn main() -> Result<(), String> {
     // Llama-13B on 64x RTX 4090 with the paper's optimal MEPipe strategy:
@@ -34,14 +34,11 @@ fn main() -> Result<(), String> {
     };
 
     // 1. Generate the SVPP schedule (split backward for fine-grained W).
-    let cfg = SvppConfig {
-        stages: spec.pp,
-        virtual_chunks: spec.vp,
-        slices: 4,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    };
-    let schedule = generate_svpp_split(&cfg)?;
+    let dims = Dims::new(spec.pp, spec.micro_batches())
+        .virtual_chunks(spec.vp)
+        .slices(4);
+    let cfg = SvppConfig::from_dims(&dims);
+    let schedule = Mepipe::new().generate(&dims)?;
     validate(&schedule)?;
     println!(
         "SVPP schedule: {} stages x {} ops, warmup budget f = {}",
@@ -69,14 +66,22 @@ fn main() -> Result<(), String> {
         },
     )?;
     if let Some((worker, bytes)) = result.oom {
-        return Err(format!("OOM on worker {worker}: {:.1} GiB", bytes / 1024f64.powi(3)));
+        return Err(format!(
+            "OOM on worker {worker}: {:.1} GiB",
+            bytes / 1024f64.powi(3)
+        ));
     }
 
     println!("iteration time : {:.0} ms", result.iteration_time * 1e3);
     println!("bubble ratio   : {:.1}%", result.bubble_ratio() * 100.0);
     println!(
         "peak activation: {:.2} GiB on the most loaded worker",
-        result.peak_activation_bytes.iter().copied().fold(0.0, f64::max) / 1024f64.powi(3)
+        result
+            .peak_activation_bytes
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+            / 1024f64.powi(3)
     );
     println!(
         "MFU            : {:.1}%  (paper reports 35% / 5852 ms for this setup)",

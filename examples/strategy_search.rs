@@ -27,7 +27,10 @@ fn main() {
         cluster.accelerator.name
     );
     println!();
-    println!("{:<8} {:>12} {:>28} {:>9} {:>7}", "system", "iteration", "config (PP, CP/SPP, VP, rc)", "bubble", "MFU");
+    println!(
+        "{:<8} {:>12} {:>28} {:>9} {:>7}",
+        "system", "iteration", "config (PP, CP/SPP, VP, rc)", "bubble", "MFU"
+    );
 
     let mut best_baseline = f64::INFINITY;
     let mut mepipe = None;
@@ -53,7 +56,10 @@ fn main() {
     }
     if let Some(t) = mepipe {
         if best_baseline.is_finite() {
-            println!("\nMEPipe speedup over the best baseline: {:.2}x", best_baseline / t);
+            println!(
+                "\nMEPipe speedup over the best baseline: {:.2}x",
+                best_baseline / t
+            );
         }
     }
 }

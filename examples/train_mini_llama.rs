@@ -10,7 +10,6 @@
 //! cargo run --release --example train_mini_llama
 //! ```
 
-use mepipe::core::svpp::{generate_svpp_split, SvppConfig};
 use mepipe::model::config::TransformerConfig;
 use mepipe::tensor::init::synthetic_tokens;
 use mepipe::train::{
@@ -19,19 +18,18 @@ use mepipe::train::{
     pipeline::{PipelineRuntime, WgradMode},
     reference::batch_forward_backward,
 };
+use mepipe::{Dims, Mepipe, ScheduleGenerator};
 
 fn main() {
-    let cfg = TransformerConfig { seq_len: 64, ..TransformerConfig::tiny(4) };
+    let cfg = TransformerConfig {
+        seq_len: 64,
+        ..TransformerConfig::tiny(4)
+    };
     let (stages, slices, micro_batches) = (2usize, 4usize, 4usize);
 
-    let schedule = generate_svpp_split(&SvppConfig {
-        stages,
-        virtual_chunks: 1,
-        slices,
-        micro_batches,
-        warmup_cap: None,
-    })
-    .expect("valid SVPP config");
+    let schedule = Mepipe::new()
+        .generate(&Dims::new(stages, micro_batches).slices(slices))
+        .expect("valid SVPP config");
 
     let mut runtime = PipelineRuntime::new(ModelParams::init(cfg, 42), stages, 1);
     let mut reference = ModelParams::init(cfg, 42);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full offline quality gate: formatting, lints, build and tests.
+#
+# Everything runs against the vendored shim crates (see .cargo/config.toml
+# and shims/), so no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q --workspace (tier-1 + workspace suites)"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -1,0 +1,36 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel`'s unbounded MPSC
+//! channels; `std::sync::mpsc` provides the identical surface
+//! (`Sender` is `Clone + Send`, `try_recv` distinguishes `Empty` from
+//! `Disconnected`), so this shim re-exports it under crossbeam's paths.
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's names, backed by `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+
+    #[test]
+    fn round_trip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

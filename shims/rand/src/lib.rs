@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates-io, so the workspace
+//! vendors the tiny slice of `rand`'s API it actually uses: a seedable
+//! deterministic generator (`rngs::StdRng`), `Rng::gen` for standard
+//! floats, and `Rng::gen_range` over numeric ranges. The generator is a
+//! splitmix64 stream — statistically fine for parameter initialisation
+//! and synthetic data, and fully reproducible from the seed, which is
+//! all the workspace requires (tests only assert determinism, never
+//! specific values).
+
+/// Core source of 64-bit randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution for `T`
+    /// (uniform in `[0, 1)` for floats, uniform over all values for ints).
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<R: distributions::SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    /// Deterministic splitmix64 generator — the offline stand-in for
+    /// `rand::rngs::StdRng`. Same seed ⇒ same stream, different seeds ⇒
+    /// different streams (splitmix64 is a bijection of the counter).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Sampling traits used by [`Rng::gen`](crate::Rng::gen) and
+    //! [`Rng::gen_range`](crate::Rng::gen_range).
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable from the standard distribution.
+    pub trait Standard {
+        /// Draws one value from `rng`.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 high bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Standard for usize {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Ranges samplable by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub trait SampleRange {
+        /// The element type produced.
+        type Output;
+        /// Draws one value uniformly from the range.
+        fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! float_range {
+        ($t:ty) => {
+            impl SampleRange for Range<$t> {
+                type Output = $t;
+                fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u = <$t as Standard>::sample_standard(rng);
+                    self.start + u * (self.end - self.start)
+                }
+            }
+            impl SampleRange for RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let u = <$t as Standard>::sample_standard(rng);
+                    lo + u * (hi - lo)
+                }
+            }
+        };
+    }
+    float_range!(f32);
+    float_range!(f64);
+
+    macro_rules! int_range {
+        ($t:ty) => {
+            impl SampleRange for Range<$t> {
+                type Output = $t;
+                fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl SampleRange for RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        };
+    }
+    int_range!(usize);
+    int_range!(u64);
+    int_range!(u32);
+    int_range!(i64);
+    int_range!(i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f32 = r.gen_range(-2.0f32..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let u: f64 = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+            let i = r.gen_range(3usize..10);
+            assert!((3..10).contains(&i));
+        }
+    }
+}

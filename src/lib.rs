@@ -17,16 +17,17 @@
 //!
 //! # Examples
 //!
+//! Every scheduling method generates through the unified
+//! [`ScheduleGenerator`] API from the same [`Dims`]:
+//!
 //! ```
-//! use mepipe::core::svpp::{SvppConfig, generate_svpp};
+//! use mepipe::{Dims, ScheduleGenerator, Svpp};
 //!
 //! // The Figure 4(a) schedule: 4 stages, 2 slices, 4 micro-batches.
-//! let cfg = SvppConfig { stages: 4, virtual_chunks: 1, slices: 2, micro_batches: 4, warmup_cap: None };
-//! let schedule = generate_svpp(&cfg).unwrap();
+//! let schedule = Svpp::new().generate(&Dims::new(4, 4).slices(2)).unwrap();
 //! assert_eq!(schedule.num_workers(), 4);
 //! ```
 #![warn(missing_docs)]
-
 
 pub use mepipe_core as core;
 pub use mepipe_hw as hw;
@@ -36,3 +37,6 @@ pub use mepipe_sim as sim;
 pub use mepipe_strategy as strategy;
 pub use mepipe_tensor as tensor;
 pub use mepipe_train as train;
+
+pub use mepipe_core::svpp::{Mepipe, Svpp, SvppConfig};
+pub use mepipe_schedule::generator::{Dims, ScheduleError, ScheduleGenerator};

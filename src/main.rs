@@ -11,7 +11,6 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use mepipe::core::analytic::{table3, AnalysisParams};
-use mepipe::core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
 use mepipe::hw::topology::ClusterSpec;
 use mepipe::model::{
     config::TransformerConfig,
@@ -20,8 +19,8 @@ use mepipe::model::{
     partition::{PartitionSpec, SequenceSplit},
 };
 use mepipe::schedule::{
-    baselines,
     exec::{execute, UnitCost},
+    generator::{self, ScheduleGenerator},
     render::render,
     stats::message_stats,
     validate::{peak_in_flight, validate},
@@ -32,6 +31,7 @@ use mepipe::sim::{
     metrics, to_chrome_trace, ModelCost,
 };
 use mepipe::strategy::{search_all, search_verbose, Method};
+use mepipe::{Dims, Mepipe, Svpp};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,9 +96,15 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     out
 }
 
-fn usize_flag(flags: &HashMap<String, String>, key: &str, default: Option<usize>) -> Result<usize, String> {
+fn usize_flag(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Option<usize>,
+) -> Result<usize, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got `{v}`")),
         None => default.ok_or_else(|| format!("missing required flag --{key}")),
     }
 }
@@ -127,30 +133,38 @@ fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
     let n = usize_flag(flags, "n", None)?;
     let split = flags.contains_key("split");
     let method = flags.get("method").map(String::as_str).unwrap_or("svpp");
-    let schedule: Schedule = match method {
+    let dims = Dims::new(p, n).virtual_chunks(v).slices(s);
+    let warmup: Option<usize> = flags
+        .get("f")
+        .map(|x| x.parse().map_err(|_| "bad --f"))
+        .transpose()?;
+    let generator: Box<dyn ScheduleGenerator> = match method {
         "svpp" | "mepipe" => {
-            let cfg = SvppConfig {
-                stages: p,
-                virtual_chunks: v,
-                slices: s,
-                micro_batches: n,
-                warmup_cap: flags.get("f").map(|x| x.parse().map_err(|_| "bad --f")).transpose()?,
+            let (sv, me) = match warmup {
+                Some(f) => (Svpp::new().warmup_cap(f), Mepipe::new().warmup_cap(f)),
+                None => (Svpp::new(), Mepipe::new()),
             };
             if split {
-                generate_svpp_split(&cfg)?
+                Box::new(me)
             } else {
-                generate_svpp(&cfg)?
+                Box::new(sv)
             }
         }
-        "dapple" => baselines::generate_dapple(p, n)?,
-        "gpipe" => baselines::generate_gpipe(p, n)?,
-        "terapipe" => baselines::generate_terapipe(p, n, s)?,
-        "vpp" => baselines::generate_vpp(p, v.max(2), n)?,
-        "zb" => baselines::generate_zb(p, n)?,
-        "zbv" => baselines::generate_zbv(p, n)?,
-        "hanayo" => baselines::generate_hanayo(p, v.max(2), n)?,
+        "dapple" => Box::new(generator::Dapple),
+        "gpipe" => Box::new(generator::GPipe),
+        "terapipe" => Box::new(generator::TeraPipe),
+        "vpp" => Box::new(generator::Vpp),
+        "zb" => Box::new(generator::Zb),
+        "zbv" => Box::new(generator::Zbv),
+        "hanayo" => Box::new(generator::Hanayo),
         other => return Err(format!("unknown method `{other}`")),
     };
+    let dims = match method {
+        "vpp" | "hanayo" => dims.virtual_chunks(v.max(2)),
+        "zbv" => dims.virtual_chunks(2),
+        _ => dims,
+    };
+    let schedule: Schedule = generator.generate(&dims)?;
     validate(&schedule)?;
     let t = execute(&schedule, &UnitCost::ones())?;
     let peaks = peak_in_flight(&schedule);
@@ -170,7 +184,10 @@ fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn spec_from_flags(flags: &HashMap<String, String>, devices: usize) -> Result<PartitionSpec, String> {
+fn spec_from_flags(
+    flags: &HashMap<String, String>,
+    devices: usize,
+) -> Result<PartitionSpec, String> {
     let pp = usize_flag(flags, "pp", None)?;
     let dp = usize_flag(flags, "dp", None)?;
     let vp = usize_flag(flags, "vp", Some(1))?;
@@ -180,7 +197,9 @@ fn spec_from_flags(flags: &HashMap<String, String>, devices: usize) -> Result<Pa
         (Some(s), None) => SequenceSplit::SlicePipeline {
             slices: s.parse().map_err(|_| "bad --spp")?,
         },
-        (None, Some(c)) => SequenceSplit::Context { size: c.parse().map_err(|_| "bad --cp")? },
+        (None, Some(c)) => SequenceSplit::Context {
+            size: c.parse().map_err(|_| "bad --cp")?,
+        },
         (None, None) => SequenceSplit::None,
     };
     let spec = PartitionSpec {
@@ -201,17 +220,13 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     let cluster = cluster_flag(flags)?;
     let spec = spec_from_flags(flags, cluster.num_devices())?;
     spec.validate(&model, cluster.num_devices())?;
-    let n = spec.micro_batches();
-    let slices = spec.seq.spp_slices();
-    let schedule = generate_svpp_split(&SvppConfig {
-        stages: spec.pp,
-        virtual_chunks: spec.vp,
-        slices,
-        micro_batches: n,
-        warmup_cap: None,
-    })?;
+    let dims = Dims::new(spec.pp, spec.micro_batches())
+        .virtual_chunks(spec.vp)
+        .slices(spec.seq.spp_slices());
+    let schedule = Mepipe::new().generate(&dims)?;
     let cost = ModelCost::new(ExecutionCost::new(model, spec, &cluster)?);
-    let budget = memory::activation_budget_bytes(&model, &spec, cluster.accelerator.usable_memory_bytes());
+    let budget =
+        memory::activation_budget_bytes(&model, &spec, cluster.accelerator.usable_memory_bytes());
     let r = simulate(
         &schedule,
         &cost,
@@ -234,7 +249,10 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         "peak activation: {:.2} GiB",
         r.peak_activation_bytes.iter().copied().fold(0.0, f64::max) / 1024f64.powi(3)
     );
-    println!("MFU            : {:.1}%", metrics::mfu(&r, cost.execution_cost()) * 100.0);
+    println!(
+        "MFU            : {:.1}%",
+        metrics::mfu(&r, cost.execution_cost()) * 100.0
+    );
     if let Some(path) = flags.get("trace") {
         std::fs::write(path, to_chrome_trace(&r.segments))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -288,11 +306,19 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         s: usize_flag(flags, "s", Some(1))?,
         n: usize_flag(flags, "n", None)?,
     };
-    println!("Table 3 closed forms at p={}, v={}, s={}, n={}:", a.p, a.v, a.s, a.n);
+    println!(
+        "Table 3 closed forms at p={}, v={}, s={}, n={}:",
+        a.p, a.v, a.s, a.n
+    );
     println!("{:<12} {:>12} {:>12}", "method", "bubble", "memory (A)");
     for row in table3(a) {
         let fmt = |x: Option<f64>| x.map_or("-".into(), |v| format!("{v:.3}"));
-        println!("{:<12} {:>12} {:>12}", row.method, fmt(row.bubble_ratio), fmt(row.memory_fraction));
+        println!(
+            "{:<12} {:>12} {:>12}",
+            row.method,
+            fmt(row.bubble_ratio),
+            fmt(row.memory_fraction)
+        );
     }
     Ok(())
 }

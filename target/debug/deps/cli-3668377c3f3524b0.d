@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-3668377c3f3524b0.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-3668377c3f3524b0.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mepipe=placeholder:mepipe
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-3dad3292c972947d.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3dad3292c972947d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mepipe=/root/repo/target/debug/mepipe

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-46ce2e99fbf8a855.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-46ce2e99fbf8a855: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a966d0bb07c0d6da.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a966d0bb07c0d6da: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parity-929e0921203323fe.d: crates/strategy/tests/engine_parity.rs
+
+/root/repo/target/debug/deps/engine_parity-929e0921203323fe: crates/strategy/tests/engine_parity.rs
+
+crates/strategy/tests/engine_parity.rs:

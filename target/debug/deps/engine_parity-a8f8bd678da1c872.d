@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_parity-a8f8bd678da1c872.d: crates/strategy/tests/engine_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_parity-a8f8bd678da1c872.rmeta: crates/strategy/tests/engine_parity.rs Cargo.toml
+
+crates/strategy/tests/engine_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

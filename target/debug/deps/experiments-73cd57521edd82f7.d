@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-73cd57521edd82f7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-73cd57521edd82f7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

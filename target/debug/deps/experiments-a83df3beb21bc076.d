@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a83df3beb21bc076.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a83df3beb21bc076: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

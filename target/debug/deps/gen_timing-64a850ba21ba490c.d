@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_timing-64a850ba21ba490c.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/debug/deps/gen_timing-64a850ba21ba490c: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_timing-dc3b1525a812d5cb.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/debug/deps/gen_timing-dc3b1525a812d5cb: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

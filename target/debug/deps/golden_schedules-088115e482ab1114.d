@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_schedules-088115e482ab1114.d: tests/golden_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_schedules-088115e482ab1114.rmeta: tests/golden_schedules.rs Cargo.toml
+
+tests/golden_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

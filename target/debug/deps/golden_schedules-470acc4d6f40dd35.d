@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_schedules-470acc4d6f40dd35.d: tests/golden_schedules.rs
+
+/root/repo/target/debug/deps/golden_schedules-470acc4d6f40dd35: tests/golden_schedules.rs
+
+tests/golden_schedules.rs:

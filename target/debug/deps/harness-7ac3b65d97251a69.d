@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-7ac3b65d97251a69.d: crates/bench/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-7ac3b65d97251a69.rmeta: crates/bench/tests/harness.rs Cargo.toml
+
+crates/bench/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-82b9e4a0a922a6bc.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-82b9e4a0a922a6bc: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

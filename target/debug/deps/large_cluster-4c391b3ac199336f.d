@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/large_cluster-4c391b3ac199336f.d: crates/core/tests/large_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblarge_cluster-4c391b3ac199336f.rmeta: crates/core/tests/large_cluster.rs Cargo.toml
+
+crates/core/tests/large_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_cluster-f885efebad51335a.d: crates/core/tests/large_cluster.rs
+
+/root/repo/target/debug/deps/large_cluster-f885efebad51335a: crates/core/tests/large_cluster.rs
+
+crates/core/tests/large_cluster.rs:

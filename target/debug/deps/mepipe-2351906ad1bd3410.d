@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe-2351906ad1bd3410.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe-2351906ad1bd3410.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mepipe-4f141f9c8ed257ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmepipe-4f141f9c8ed257ec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmepipe-4f141f9c8ed257ec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-b7514d32baefb808.d: src/lib.rs
+
+/root/repo/target/debug/deps/mepipe-b7514d32baefb808: src/lib.rs
+
+src/lib.rs:

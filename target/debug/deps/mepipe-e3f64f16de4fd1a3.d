@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-e3f64f16de4fd1a3.d: src/main.rs
+
+/root/repo/target/debug/deps/mepipe-e3f64f16de4fd1a3: src/main.rs
+
+src/main.rs:

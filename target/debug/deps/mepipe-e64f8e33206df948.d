@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-e64f8e33206df948.d: src/main.rs
+
+/root/repo/target/debug/deps/mepipe-e64f8e33206df948: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mepipe_hw-e47c43718ad2ae03.d: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libmepipe_hw-e47c43718ad2ae03.rlib: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libmepipe_hw-e47c43718ad2ae03.rmeta: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accelerator.rs:
+crates/hw/src/link.rs:
+crates/hw/src/mapping.rs:
+crates/hw/src/pricing.rs:
+crates/hw/src/topology.rs:

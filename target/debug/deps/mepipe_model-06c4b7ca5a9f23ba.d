@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mepipe_model-06c4b7ca5a9f23ba.d: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/debug/deps/libmepipe_model-06c4b7ca5a9f23ba.rlib: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/debug/deps/libmepipe_model-06c4b7ca5a9f23ba.rmeta: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+crates/model/src/lib.rs:
+crates/model/src/comm.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/flops.rs:
+crates/model/src/gemm.rs:
+crates/model/src/memory.rs:
+crates/model/src/partition.rs:

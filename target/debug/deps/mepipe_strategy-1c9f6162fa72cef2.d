@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe_strategy-1c9f6162fa72cef2.d: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/debug/deps/mepipe_strategy-1c9f6162fa72cef2: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+crates/strategy/src/lib.rs:
+crates/strategy/src/engine.rs:
+crates/strategy/src/evaluate.rs:
+crates/strategy/src/search.rs:
+crates/strategy/src/space.rs:

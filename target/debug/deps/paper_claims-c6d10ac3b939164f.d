@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c6d10ac3b939164f.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c6d10ac3b939164f: tests/paper_claims.rs
+
+tests/paper_claims.rs:

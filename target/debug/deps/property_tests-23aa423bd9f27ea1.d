@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-23aa423bd9f27ea1.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-23aa423bd9f27ea1: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1c6e7aa58910eb9d.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1c6e7aa58910eb9d: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-237f2874e97ca1eb.d: crates/schedule/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-237f2874e97ca1eb: crates/schedule/tests/proptests.rs
+
+crates/schedule/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-37be0c1cd28465ba.d: crates/schedule/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-37be0c1cd28465ba.rmeta: crates/schedule/tests/proptests.rs Cargo.toml
+
+crates/schedule/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-485beadd4a858f2c.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-485beadd4a858f2c: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-76a776d69433fbb0.d: crates/model/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-76a776d69433fbb0.rmeta: crates/model/tests/proptests.rs Cargo.toml
+
+crates/model/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

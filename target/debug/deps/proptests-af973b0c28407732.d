@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-af973b0c28407732.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-af973b0c28407732: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bb466e8b99e7f371.d: crates/hw/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bb466e8b99e7f371: crates/hw/tests/proptests.rs
+
+crates/hw/tests/proptests.rs:

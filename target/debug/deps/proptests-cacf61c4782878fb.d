@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cacf61c4782878fb.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cacf61c4782878fb: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

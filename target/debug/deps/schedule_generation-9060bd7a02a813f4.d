@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_generation-9060bd7a02a813f4.d: crates/bench/benches/schedule_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_generation-9060bd7a02a813f4.rmeta: crates/bench/benches/schedule_generation.rs Cargo.toml
+
+crates/bench/benches/schedule_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_generation-c1de4235e888b81d.d: crates/bench/benches/schedule_generation.rs
+
+/root/repo/target/debug/deps/schedule_generation-c1de4235e888b81d: crates/bench/benches/schedule_generation.rs
+
+crates/bench/benches/schedule_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_throughput-e47b01baeb41a4d6.d: crates/bench/benches/search_throughput.rs
+
+/root/repo/target/debug/deps/search_throughput-e47b01baeb41a4d6: crates/bench/benches/search_throughput.rs
+
+crates/bench/benches/search_throughput.rs:

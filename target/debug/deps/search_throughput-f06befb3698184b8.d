@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_throughput-f06befb3698184b8.d: crates/bench/benches/search_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_throughput-f06befb3698184b8.rmeta: crates/bench/benches/search_throughput.rs Cargo.toml
+
+crates/bench/benches/search_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

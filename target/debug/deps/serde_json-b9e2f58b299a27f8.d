@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b9e2f58b299a27f8.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-b9e2f58b299a27f8: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-d2f27025c388df9e.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d2f27025c388df9e.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-d2f27025c388df9e.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-32654554e07a958f.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-32654554e07a958f: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

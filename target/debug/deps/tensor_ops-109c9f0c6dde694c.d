@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tensor_ops-109c9f0c6dde694c.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/debug/deps/tensor_ops-109c9f0c6dde694c: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_schedules-a4fac69768d02efd.d: examples/compare_schedules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_schedules-a4fac69768d02efd.rmeta: examples/compare_schedules.rs Cargo.toml
+
+examples/compare_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

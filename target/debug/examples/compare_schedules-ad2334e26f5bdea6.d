@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_schedules-ad2334e26f5bdea6.d: examples/compare_schedules.rs
+
+/root/repo/target/debug/examples/compare_schedules-ad2334e26f5bdea6: examples/compare_schedules.rs
+
+examples/compare_schedules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_budget-4b1a42c9b2b6a98b.d: examples/memory_budget.rs
+
+/root/repo/target/debug/examples/memory_budget-4b1a42c9b2b6a98b: examples/memory_budget.rs
+
+examples/memory_budget.rs:

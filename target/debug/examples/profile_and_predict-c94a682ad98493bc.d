@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_and_predict-c94a682ad98493bc.d: examples/profile_and_predict.rs
+
+/root/repo/target/debug/examples/profile_and_predict-c94a682ad98493bc: examples/profile_and_predict.rs
+
+examples/profile_and_predict.rs:

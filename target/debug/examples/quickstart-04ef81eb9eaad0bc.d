@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-04ef81eb9eaad0bc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-04ef81eb9eaad0bc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_search-0ae0998977bcdd4f.d: examples/strategy_search.rs
+
+/root/repo/target/debug/examples/strategy_search-0ae0998977bcdd4f: examples/strategy_search.rs
+
+examples/strategy_search.rs:

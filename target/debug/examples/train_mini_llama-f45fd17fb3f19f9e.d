@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mini_llama-f45fd17fb3f19f9e.d: examples/train_mini_llama.rs
+
+/root/repo/target/debug/examples/train_mini_llama-f45fd17fb3f19f9e: examples/train_mini_llama.rs
+
+examples/train_mini_llama.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e4e520b77541c2a3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e4e520b77541c2a3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_timing-945124b345c4f991.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/release/deps/gen_timing-945124b345c4f991: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

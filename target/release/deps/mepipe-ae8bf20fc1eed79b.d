@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mepipe-ae8bf20fc1eed79b.d: src/main.rs
+
+/root/repo/target/release/deps/mepipe-ae8bf20fc1eed79b: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mepipe-ccd22a0052addb16.d: src/lib.rs
+
+/root/repo/target/release/deps/libmepipe-ccd22a0052addb16.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmepipe-ccd22a0052addb16.rmeta: src/lib.rs
+
+src/lib.rs:

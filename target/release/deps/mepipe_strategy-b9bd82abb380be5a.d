@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mepipe_strategy-b9bd82abb380be5a.d: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/release/deps/libmepipe_strategy-b9bd82abb380be5a.rlib: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/release/deps/libmepipe_strategy-b9bd82abb380be5a.rmeta: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+crates/strategy/src/lib.rs:
+crates/strategy/src/engine.rs:
+crates/strategy/src/evaluate.rs:
+crates/strategy/src/search.rs:
+crates/strategy/src/space.rs:

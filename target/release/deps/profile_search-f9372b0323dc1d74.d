@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_search-f9372b0323dc1d74.d: crates/bench/src/bin/profile_search.rs
+
+/root/repo/target/release/deps/profile_search-f9372b0323dc1d74: crates/bench/src/bin/profile_search.rs
+
+crates/bench/src/bin/profile_search.rs:

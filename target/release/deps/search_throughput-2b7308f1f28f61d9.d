@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_throughput-2b7308f1f28f61d9.d: crates/bench/benches/search_throughput.rs
+
+/root/repo/target/release/deps/search_throughput-2b7308f1f28f61d9: crates/bench/benches/search_throughput.rs
+
+crates/bench/benches/search_throughput.rs:

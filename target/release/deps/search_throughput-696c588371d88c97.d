@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_throughput-696c588371d88c97.d: crates/bench/benches/search_throughput.rs
+
+/root/repo/target/release/deps/search_throughput-696c588371d88c97: crates/bench/benches/search_throughput.rs
+
+crates/bench/benches/search_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-3ccfa464abbdbe76.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3ccfa464abbdbe76.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-3ccfa464abbdbe76.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_schedules-62a809806cce4c98.d: examples/compare_schedules.rs
+
+/root/repo/target/release/examples/compare_schedules-62a809806cce4c98: examples/compare_schedules.rs
+
+examples/compare_schedules.rs:

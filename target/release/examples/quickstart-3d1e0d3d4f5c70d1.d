@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3d1e0d3d4f5c70d1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3d1e0d3d4f5c70d1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/strategy_search-582c6552a3a6a072.d: examples/strategy_search.rs
+
+/root/repo/target/release/examples/strategy_search-582c6552a3a6a072: examples/strategy_search.rs
+
+examples/strategy_search.rs:

@@ -2,14 +2,17 @@
 //! → metrics for every scheduling method, plus the real threaded runtime
 //! against the simulator's assumptions.
 
-use mepipe::core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
 use mepipe::hw::topology::ClusterSpec;
 use mepipe::model::{
     config::TransformerConfig,
     cost::ExecutionCost,
     partition::{PartitionSpec, SequenceSplit},
 };
-use mepipe::schedule::{baselines, validate::validate, Schedule};
+use mepipe::schedule::{
+    generator::{Dapple, GPipe, TeraPipe, Vpp, Zb, Zbv},
+    validate::validate,
+    Schedule,
+};
 use mepipe::sim::{
     engine::{simulate, SimConfig},
     metrics, ModelCost,
@@ -20,31 +23,21 @@ use mepipe::train::{
     params::ModelParams,
     pipeline::{PipelineRuntime, WgradMode},
 };
+use mepipe::{Dims, Mepipe, ScheduleGenerator, Svpp};
 
 fn every_method_schedule(p: usize, n: usize, s: usize) -> Vec<Schedule> {
+    let base = Dims::new(p, n);
     vec![
-        baselines::generate_gpipe(p, n).unwrap(),
-        baselines::generate_dapple(p, n).unwrap(),
-        baselines::generate_vpp(p, 2, n).unwrap(),
-        baselines::generate_terapipe(p, n, s).unwrap(),
-        baselines::generate_zb(p, n).unwrap(),
-        baselines::generate_zbv(p, n).unwrap(),
-        generate_svpp(&SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        })
-        .unwrap(),
-        generate_svpp_split(&SvppConfig {
-            stages: p,
-            virtual_chunks: 2,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        })
-        .unwrap(),
+        GPipe.generate(&base).unwrap(),
+        Dapple.generate(&base).unwrap(),
+        Vpp.generate(&base.virtual_chunks(2)).unwrap(),
+        TeraPipe.generate(&base.slices(s)).unwrap(),
+        Zb.generate(&base).unwrap(),
+        Zbv.generate(&base.virtual_chunks(2)).unwrap(),
+        Svpp::new().generate(&base.slices(s)).unwrap(),
+        Mepipe::new()
+            .generate(&base.virtual_chunks(2).slices(s))
+            .unwrap(),
     ]
 }
 
@@ -56,7 +49,11 @@ fn every_method_validates_and_simulates() {
         let r = simulate(&sch, &cost, &SimConfig::default())
             .unwrap_or_else(|e| panic!("{}: {e}", sch.meta.name));
         assert!(r.makespan > 0.0, "{}", sch.meta.name);
-        assert!(r.bubble_ratio() >= 0.0 && r.bubble_ratio() < 1.0, "{}", sch.meta.name);
+        assert!(
+            r.bubble_ratio() >= 0.0 && r.bubble_ratio() < 1.0,
+            "{}",
+            sch.meta.name
+        );
     }
 }
 
@@ -75,14 +72,9 @@ fn mepipe_13b_full_stack() {
         micro_batch_size: 1,
         global_batch: 128,
     };
-    let schedule = generate_svpp_split(&SvppConfig {
-        stages: 8,
-        virtual_chunks: 1,
-        slices: 4,
-        micro_batches: spec.micro_batches(),
-        warmup_cap: None,
-    })
-    .unwrap();
+    let schedule = Mepipe::new()
+        .generate(&Dims::new(8, spec.micro_batches()).slices(4))
+        .unwrap();
     validate(&schedule).unwrap();
     let cost = ModelCost::new(ExecutionCost::new(model, spec, &cluster).unwrap());
     let budget = mepipe::model::memory::activation_budget_bytes(
@@ -102,7 +94,11 @@ fn mepipe_13b_full_stack() {
     .unwrap();
     assert!(r.oom.is_none(), "13B optimal config must fit: {:?}", r.oom);
     // Paper: 5852 ms iteration, 35% MFU, 116 TFLOPS.
-    assert!((3.0..9.0).contains(&r.iteration_time), "iteration {}", r.iteration_time);
+    assert!(
+        (3.0..9.0).contains(&r.iteration_time),
+        "iteration {}",
+        r.iteration_time
+    );
     let mfu = metrics::mfu(&r, cost.execution_cost());
     assert!((0.25..0.45).contains(&mfu), "MFU {mfu}");
     // Peak activation fits in the 24 GB card next to ~8 GiB static.
@@ -112,26 +108,17 @@ fn mepipe_13b_full_stack() {
 
 #[test]
 fn threaded_runtime_agrees_with_every_wgrad_mode_and_schedule() {
-    let cfg = TransformerConfig { seq_len: 32, ..TransformerConfig::tiny(4) };
+    let cfg = TransformerConfig {
+        seq_len: 32,
+        ..TransformerConfig::tiny(4)
+    };
     let rt = PipelineRuntime::new(ModelParams::init(cfg, 7), 2, 2);
-    let batch: Vec<Vec<usize>> =
-        (0..4).map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 40 + i)).collect();
-    let fused = generate_svpp(&SvppConfig {
-        stages: 2,
-        virtual_chunks: 2,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
-    let split = generate_svpp_split(&SvppConfig {
-        stages: 2,
-        virtual_chunks: 2,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let batch: Vec<Vec<usize>> = (0..4)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 40 + i))
+        .collect();
+    let dims = Dims::new(2, 4).virtual_chunks(2).slices(2);
+    let fused = Svpp::new().generate(&dims).unwrap();
+    let split = Mepipe::new().generate(&dims).unwrap();
     let a = rt.run_iteration(&fused, &batch, WgradMode::Immediate, None);
     let b = rt.run_iteration(&split, &batch, WgradMode::AtWeightOp, None);
     let c = rt.run_iteration(&split, &batch, WgradMode::DrainOnWait, None);
@@ -186,7 +173,10 @@ fn oom_configs_are_rejected_consistently() {
     assert!(mepipe::strategy::evaluate(&cand, &model, &cluster).is_err());
     // With recomputation it fits (the paper's escape hatch).
     let recomp = mepipe::strategy::Candidate {
-        spec: PartitionSpec { recompute: true, ..cand.spec },
+        spec: PartitionSpec {
+            recompute: true,
+            ..cand.spec
+        },
         ..cand
     };
     assert!(mepipe::strategy::evaluate(&recomp, &model, &cluster).is_ok());

@@ -7,17 +7,23 @@
 //! `cargo run --release -p mepipe-bench --bin experiments fig2 fig4`
 //! and paste the new timelines.
 
-use mepipe::core::svpp::{generate_svpp, SvppConfig};
-use mepipe::schedule::{
-    baselines::generate_dapple,
-    exec::UnitCost,
-    render::render,
-};
+use mepipe::schedule::{exec::UnitCost, render::render};
+use mepipe::{Dims, ScheduleGenerator, Svpp};
 
 #[test]
 fn figure2_dapple_golden() {
-    let sch = generate_dapple(4, 4).unwrap();
-    let got = render(&sch, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
+    let sch = mepipe::schedule::generator::Dapple
+        .generate(&Dims::new(4, 4))
+        .unwrap();
+    let got = render(
+        &sch,
+        &UnitCost {
+            fwd: 1.0,
+            bwd: 2.0,
+            wgrad: 0.0,
+        },
+    )
+    .unwrap();
     let want = "\
 stage 0: Fa0 Fb0 Fc0 Fd0 ... ... ... ... ... ... Ba0 Ba0 ... Bb0 Bb0 ... Bc0 Bc0 ... Bd0 Bd0
 stage 1: ... Fa0 Fb0 Fc0 ... ... ... ... Ba0 Ba0 Fd0 Bb0 Bb0 ... Bc0 Bc0 ... Bd0 Bd0 ... ...
@@ -29,14 +35,7 @@ stage 3: ... ... ... Fa0 Ba0 Ba0 Fb0 Bb0 Bb0 Fc0 Bc0 Bc0 Fd0 Bd0 Bd0 ... ... ...
 
 #[test]
 fn figure4a_svpp_golden() {
-    let sch = generate_svpp(&SvppConfig {
-        stages: 4,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let sch = Svpp::new().generate(&Dims::new(4, 4).slices(2)).unwrap();
     let got = render(&sch, &UnitCost::ones()).unwrap();
     let want = "\
 stage 0: Fa0 Fa1 Fb0 Fb1 Fc0 ... ... ... Ba1 Fc1 Ba0 Fd0 Bb1 Fd1 Bb0 ... Bc1 ... Bc0 ... Bd1 Bd0
@@ -52,14 +51,7 @@ fn figure4a_structure_invariants() {
     // Independent of the exact snapshot: the last stage runs pure
     // slice-level 1F1B after its two-slice warmup, and every stage's
     // backwards run slices in reverse order per micro-batch.
-    let sch = generate_svpp(&SvppConfig {
-        stages: 4,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let sch = Svpp::new().generate(&Dims::new(4, 4).slices(2)).unwrap();
     use mepipe::schedule::ir::OpKind;
     for ops in &sch.workers {
         for mb in 0..4 {

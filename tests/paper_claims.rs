@@ -2,12 +2,13 @@
 //! section. Each test cites the claim it checks.
 
 use mepipe::core::analytic::{self, AnalysisParams};
-use mepipe::core::svpp::{generate_svpp, SvppConfig};
+use mepipe::core::svpp::SvppConfig;
 use mepipe::hw::pricing::{compare_cost_effectiveness, ServerPricing};
 use mepipe::hw::topology::ClusterSpec;
 use mepipe::model::{config::TransformerConfig, memory};
 use mepipe::schedule::validate::peak_in_flight;
 use mepipe::strategy::{search, search_all, Method};
+use mepipe::{Dims, ScheduleGenerator, Svpp};
 
 /// Abstract: "when partitioning each sample into 4 and 8 slices, the
 /// reduction in peak memory consumption of activations exceeds 70% and
@@ -15,7 +16,12 @@ use mepipe::strategy::{search, search_all, Method};
 #[test]
 fn abstract_memory_reduction() {
     for (s, floor) in [(4usize, 0.70), (8, 0.80)] {
-        let frac = analytic::svpp_memory_fraction(AnalysisParams { p: 8, v: 2, s, n: 8 });
+        let frac = analytic::svpp_memory_fraction(AnalysisParams {
+            p: 8,
+            v: 2,
+            s,
+            n: 8,
+        });
         assert!(1.0 - frac > floor, "s={s}: fraction {frac}");
     }
 }
@@ -24,23 +30,11 @@ fn abstract_memory_reduction() {
 /// actually generated schedules.
 #[test]
 fn section41_worked_examples() {
-    let a = generate_svpp(&SvppConfig {
-        stages: 4,
-        virtual_chunks: 1,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let a = Svpp::new().generate(&Dims::new(4, 4).slices(2)).unwrap();
     assert_eq!(peak_in_flight(&a)[0], 5); // 5/8 · A.
-    let b = generate_svpp(&SvppConfig {
-        stages: 4,
-        virtual_chunks: 2,
-        slices: 2,
-        micro_batches: 4,
-        warmup_cap: None,
-    })
-    .unwrap();
+    let b = Svpp::new()
+        .generate(&Dims::new(4, 4).virtual_chunks(2).slices(2))
+        .unwrap();
     assert!(peak_in_flight(&b)[0] <= 9); // 9/16 · A bound.
 }
 
@@ -49,15 +43,13 @@ fn section41_worked_examples() {
 /// variant holds v·s units versus the default's v·max(p,s)+min(p,s)−1.
 #[test]
 fn section42_variant_floor() {
-    let cfg = SvppConfig {
-        stages: 4,
-        virtual_chunks: 2,
-        slices: 2,
-        micro_batches: 2,
-        warmup_cap: None,
-    };
-    let floor = generate_svpp(&SvppConfig { warmup_cap: Some(cfg.min_warmup()), ..cfg }).unwrap();
-    let full = generate_svpp(&cfg).unwrap();
+    let cfg = SvppConfig::new(4, 2, 2).virtual_chunks(2);
+    let dims = Dims::new(4, 2).virtual_chunks(2).slices(2);
+    let floor = Svpp::new()
+        .warmup_cap(cfg.min_warmup())
+        .generate(&dims)
+        .unwrap();
+    let full = Svpp::new().generate(&dims).unwrap();
     let pf = peak_in_flight(&floor)[0] as f64;
     let pm = peak_in_flight(&full)[0] as f64;
     assert!(pf <= 0.55 * pm.max(8.0), "floor {pf} vs full {pm}");
@@ -98,13 +90,28 @@ fn section72_speedups() {
 fn section74_34b_feasibility() {
     let model = TransformerConfig::llama2_34b();
     let cluster = ClusterSpec::rtx4090_cluster();
-    assert!(search(Method::Vpp, &model, &cluster, 128).is_none(), "VPP must be infeasible");
-    assert!(search(Method::Zbv, &model, &cluster, 128).is_none(), "ZBV must be infeasible");
+    assert!(
+        search(Method::Vpp, &model, &cluster, 128).is_none(),
+        "VPP must be infeasible"
+    );
+    assert!(
+        search(Method::Zbv, &model, &cluster, 128).is_none(),
+        "ZBV must be infeasible"
+    );
     let mepipe = search(Method::Mepipe, &model, &cluster, 128).expect("MEPipe feasible");
-    assert!(!mepipe.candidate.spec.recompute, "MEPipe needs no recomputation");
-    assert!(mepipe.candidate.spec.pp >= 16, "MEPipe runs 34B at deep pipelines");
+    assert!(
+        !mepipe.candidate.spec.recompute,
+        "MEPipe needs no recomputation"
+    );
+    assert!(
+        mepipe.candidate.spec.pp >= 16,
+        "MEPipe runs 34B at deep pipelines"
+    );
     let dapple = search(Method::Dapple, &model, &cluster, 128).expect("DAPPLE feasible");
-    assert!(dapple.candidate.spec.recompute, "DAPPLE needs recomputation on 34B");
+    assert!(
+        dapple.candidate.spec.recompute,
+        "DAPPLE needs recomputation on 34B"
+    );
     assert!(mepipe.iteration_time < dapple.iteration_time);
 }
 
@@ -147,8 +154,15 @@ fn section76_cost_effectiveness() {
 fn figure1_premise() {
     let model = TransformerConfig::llama2_13b();
     let a = memory::sample_activation_bytes(&model);
-    let usable = ClusterSpec::rtx4090_cluster().accelerator.usable_memory_bytes() as f64;
+    let usable = ClusterSpec::rtx4090_cluster()
+        .accelerator
+        .usable_memory_bytes() as f64;
     assert!(a > usable, "A = {a} must exceed usable {usable}");
-    let svpp_frac = analytic::svpp_memory_fraction(AnalysisParams { p: 8, v: 2, s: 8, n: 8 });
+    let svpp_frac = analytic::svpp_memory_fraction(AnalysisParams {
+        p: 8,
+        v: 2,
+        s: 8,
+        n: 8,
+    });
     assert!(svpp_frac * a < 0.25 * usable);
 }

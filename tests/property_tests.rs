@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 
 use mepipe::core::reschedule::reschedule_backwards;
-use mepipe::core::svpp::{generate_svpp, generate_svpp_split, SvppConfig};
+use mepipe::core::svpp::SvppConfig;
 use mepipe::schedule::{
-    baselines,
     exec::{execute, UnitCost},
+    generator::{Dapple, GPipe, TeraPipe, Vpp, Zb, Zbv},
     validate::{peak_in_flight, validate},
 };
 use mepipe::sim::{
@@ -19,6 +19,7 @@ use mepipe::tensor::{
     ops::{causal_attention, causal_attention_backward},
     Tensor,
 };
+use mepipe::{Dims, Mepipe, ScheduleGenerator, Svpp};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -34,14 +35,11 @@ proptest! {
         n in 1usize..=10,
         f_extra in 0usize..=6,
     ) {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: Some(v * s + f_extra),
-        };
-        let sch = generate_svpp(&cfg).unwrap();
+        let cfg = SvppConfig::new(p, s, n).virtual_chunks(v).warmup_cap(v * s + f_extra);
+        let sch = Svpp::new()
+            .warmup_cap(v * s + f_extra)
+            .generate(&Dims::new(p, n).virtual_chunks(v).slices(s))
+            .unwrap();
         validate(&sch).unwrap();
         let peak = peak_in_flight(&sch)[0];
         prop_assert!(peak <= cfg.effective_warmup(), "peak {} > f {}", peak, cfg.effective_warmup());
@@ -51,14 +49,7 @@ proptest! {
     /// Split-backward SVPP stays valid and executable too.
     #[test]
     fn svpp_split_always_valid(p in 1usize..=6, s in 1usize..=4, n in 1usize..=6) {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: 1,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
-        let sch = generate_svpp_split(&cfg).unwrap();
+        let sch = Mepipe::new().generate(&Dims::new(p, n).slices(s)).unwrap();
         validate(&sch).unwrap();
         execute(&sch, &UnitCost::ones()).unwrap();
     }
@@ -67,13 +58,14 @@ proptest! {
     /// parameter range.
     #[test]
     fn baselines_always_valid(p in 1usize..=8, n in 1usize..=12, s in 1usize..=4) {
-        validate(&baselines::generate_gpipe(p, n).unwrap()).unwrap();
-        validate(&baselines::generate_dapple(p, n).unwrap()).unwrap();
-        validate(&baselines::generate_terapipe(p, n, s).unwrap()).unwrap();
-        validate(&baselines::generate_zb(p, n).unwrap()).unwrap();
-        validate(&baselines::generate_zbv(p, n).unwrap()).unwrap();
-        if n % p == 0 {
-            validate(&baselines::generate_vpp(p, 2, n).unwrap()).unwrap();
+        let base = Dims::new(p, n);
+        validate(&GPipe.generate(&base).unwrap()).unwrap();
+        validate(&Dapple.generate(&base).unwrap()).unwrap();
+        validate(&TeraPipe.generate(&base.slices(s)).unwrap()).unwrap();
+        validate(&Zb.generate(&base).unwrap()).unwrap();
+        validate(&Zbv.generate(&base.virtual_chunks(2)).unwrap()).unwrap();
+        if n.is_multiple_of(p) {
+            validate(&Vpp.generate(&base.virtual_chunks(2)).unwrap()).unwrap();
         }
     }
 
@@ -81,7 +73,7 @@ proptest! {
     /// runs without dynamic behaviours.
     #[test]
     fn simulator_matches_executor(p in 1usize..=6, n in 1usize..=8) {
-        let sch = baselines::generate_dapple(p, n).unwrap();
+        let sch = Dapple.generate(&Dims::new(p, n)).unwrap();
         let t = execute(&sch, &UnitCost { fwd: 1.0, bwd: 2.0, wgrad: 0.0 }).unwrap();
         let r = simulate(&sch, &UniformSimCost::default(), &SimConfig::default()).unwrap();
         prop_assert!((t.makespan - r.makespan).abs() < 1e-9);
@@ -91,14 +83,9 @@ proptest! {
     /// never worsens the peak memory.
     #[test]
     fn reschedule_never_hurts(p in 2usize..=6, v in 1usize..=2, s in 1usize..=3, n in 1usize..=5) {
-        let cfg = SvppConfig {
-            stages: p,
-            virtual_chunks: v,
-            slices: s,
-            micro_batches: n,
-            warmup_cap: None,
-        };
-        let sch = generate_svpp(&cfg).unwrap();
+        let sch = Svpp::new()
+            .generate(&Dims::new(p, n).virtual_chunks(v).slices(s))
+            .unwrap();
         let opt = reschedule_backwards(&sch).unwrap();
         validate(&opt).unwrap();
         let tb = execute(&sch, &UnitCost::ones()).unwrap();
@@ -111,7 +98,7 @@ proptest! {
     /// the static run's busy time (the same total compute, re-packed).
     #[test]
     fn dynamic_drain_conserves_work(p in 2usize..=5, n in 1usize..=6) {
-        let sch = baselines::generate_zb(p, n).unwrap();
+        let sch = Zb.generate(&Dims::new(p, n)).unwrap();
         let cost = UniformSimCost { comm: 0.25, wgrad_units: 4, ..Default::default() };
         let stat = simulate(&sch, &cost, &SimConfig { dynamic_wgrad: false, ..Default::default() }).unwrap();
         let dynr = simulate(&sch, &cost, &SimConfig { dynamic_wgrad: true, ..Default::default() }).unwrap();
@@ -170,7 +157,7 @@ proptest! {
     /// byte peak (divided by the unit size) for fused-backward schedules.
     #[test]
     fn memory_accounting_consistent(p in 1usize..=6, n in 1usize..=8) {
-        let sch = baselines::generate_dapple(p, n).unwrap();
+        let sch = Dapple.generate(&Dims::new(p, n)).unwrap();
         let cost = UniformSimCost { act_bytes: 3.0, ..Default::default() };
         let r = simulate(&sch, &cost, &SimConfig::default()).unwrap();
         let peaks = peak_in_flight(&sch);
