@@ -23,8 +23,5 @@ pub mod variants;
 pub mod wgrad;
 
 pub use svpp::{Mepipe, Svpp, SvppConfig};
-// Deprecated free-function entry points, kept for one release.
-#[allow(deprecated)]
-pub use svpp::{generate_svpp, generate_svpp_split};
 pub use variants::{select_variant_for_budget, variant_peak_units, SvppVariant};
 pub use wgrad::{WgradEntry, WgradQueue};

@@ -210,27 +210,6 @@ impl ScheduleGenerator for Mepipe {
     }
 }
 
-/// Generates an SVPP schedule with fused backward passes.
-///
-/// Deprecated entry point kept for one release; use [`Svpp`] through
-/// [`ScheduleGenerator`] instead.
-#[deprecated(since = "0.2.0", note = "use `Svpp` via the `ScheduleGenerator` trait")]
-pub fn generate_svpp(cfg: &SvppConfig) -> Result<Schedule, String> {
-    fused(cfg)
-}
-
-/// Generates the full MEPipe schedule (SVPP with split backward passes).
-///
-/// Deprecated entry point kept for one release; use [`Mepipe`] through
-/// [`ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Mepipe` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_svpp_split(cfg: &SvppConfig) -> Result<Schedule, String> {
-    split(cfg)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

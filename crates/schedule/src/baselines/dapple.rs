@@ -61,17 +61,6 @@ pub(crate) fn one_f_one_b_order(
 
 /// Generates a DAPPLE (1F1B) schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::Dapple`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::Dapple` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_dapple(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
-    build(stages, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,17 +37,6 @@ pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, Str
 
 /// Generates a GPipe schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::GPipe`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::GPipe` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_gpipe(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
-    build(stages, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

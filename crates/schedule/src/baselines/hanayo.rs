@@ -38,21 +38,6 @@ pub(crate) fn build(stages: usize, waves: usize, micro_batches: usize) -> Result
 
 /// Generates a Hanayo wave schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::Hanayo`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::Hanayo` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_hanayo(
-    stages: usize,
-    waves: usize,
-    micro_batches: usize,
-) -> Result<Schedule, String> {
-    build(stages, waves, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,20 +10,3 @@ pub mod terapipe;
 pub mod vpp;
 pub mod zb;
 pub mod zbv;
-
-// Deprecated free-function entry points, kept for one release. New code
-// goes through `crate::generator::{ScheduleGenerator, Dims}`.
-#[allow(deprecated)]
-pub use dapple::generate_dapple;
-#[allow(deprecated)]
-pub use gpipe::generate_gpipe;
-#[allow(deprecated)]
-pub use hanayo::generate_hanayo;
-#[allow(deprecated)]
-pub use terapipe::generate_terapipe;
-#[allow(deprecated)]
-pub use vpp::generate_vpp;
-#[allow(deprecated)]
-pub use zb::generate_zb;
-#[allow(deprecated)]
-pub use zbv::generate_zbv;

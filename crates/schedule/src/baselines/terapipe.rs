@@ -50,21 +50,6 @@ pub(crate) fn build(
 
 /// Generates a TeraPipe schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::TeraPipe`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::TeraPipe` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_terapipe(
-    stages: usize,
-    micro_batches: usize,
-    slices: usize,
-) -> Result<Schedule, String> {
-    build(stages, micro_batches, slices)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,21 +84,6 @@ pub(crate) fn build(
 
 /// Generates a Megatron interleaved (VPP) schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::Vpp`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::Vpp` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_vpp(
-    stages: usize,
-    virtual_chunks: usize,
-    micro_batches: usize,
-) -> Result<Schedule, String> {
-    build(stages, virtual_chunks, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,17 +33,6 @@ pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, Str
 
 /// Generates a ZB-1P schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::Zb`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::Zb` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_zb(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
-    build(stages, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,17 +39,6 @@ pub(crate) fn build(stages: usize, micro_batches: usize) -> Result<Schedule, Str
 
 /// Generates a ZBV schedule.
 ///
-/// Deprecated entry point kept for one release; use
-/// [`crate::generator::Zbv`] through
-/// [`crate::generator::ScheduleGenerator`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `generator::Zbv` via the `ScheduleGenerator` trait"
-)]
-pub fn generate_zbv(stages: usize, micro_batches: usize) -> Result<Schedule, String> {
-    build(stages, micro_batches)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,12 +13,24 @@
 //! 3. **Slice-aware attention** — causal attention takes a query slice
 //!    plus the key/value prefix of all preceding slices and produces
 //!    gradients for the whole prefix, mirroring TeraPipe/MEPipe dataflow.
+//! 4. **Explicit parallelism** — hot kernels run on a [`pool::KernelPool`]
+//!    handle the caller plumbs in; the pool-less entry points stay
+//!    single-threaded. Work is chunked by fixed grains and reduced in
+//!    chunk order, so outputs are bit-identical across worker counts and
+//!    determinism survives kernel-level parallelism.
 //!
-//! No unsafe code, no hidden parallelism, f32 throughout.
+//! The hot ops (matmul and its gradient halves, attention, RMSNorm,
+//! cross-entropy) are cache-blocked, panel-packed and written for the
+//! autovectorizer; the original scalar loops live on in
+//! [`ops::naive`] purely as the parity/bench reference.
+//!
+//! No unsafe code, f32 throughout.
 #![warn(missing_docs)]
 
 pub mod init;
 pub mod ops;
+pub mod pool;
 pub mod tensor;
 
+pub use pool::KernelPool;
 pub use tensor::Tensor;

@@ -11,11 +11,27 @@
 //!   prefix `c = offset + t`; causal masking inside the slice;
 //! * backward: returns `dq: [t, d]` plus `dk, dv: [c, d]` over the whole
 //!   prefix.
+//!
+//! Both passes are fused kernels on the worker pool. The forward computes
+//! scores, the stable softmax and the `P·V` contraction row by row in one
+//! sweep (query rows fan out over the pool). The backward computes
+//! `dP = dOut · Vᵀ` and the softmax Jacobian product as fused row dot
+//! products — no `v.transpose()` or `k`-transpose temporary is ever
+//! materialised — and routes the remaining contractions through the
+//! transpose-free [`matmul_dgrad_in`]-style packed GEMM forms.
 
 use crate::{
-    ops::matmul::{matmul, matmul_wgrad},
+    ops::{
+        matmul::{matmul_in, matmul_wgrad_in},
+        vecops::{axpy, dot},
+    },
+    pool::{row_blocks, KernelPool},
     tensor::Tensor,
 };
+
+/// Query rows per parallel work item. Fixed (never derived from the
+/// worker count) so results are bit-identical across pools.
+const ROW_GRAIN: usize = 4;
 
 /// Forward-pass state kept for the backward pass.
 #[derive(Debug, Clone)]
@@ -26,13 +42,30 @@ pub struct AttentionSaved {
     pub offset: usize,
 }
 
-/// Causal attention forward for one head.
+/// Causal attention forward for one head (single-threaded).
 ///
 /// # Panics
 ///
 /// Panics unless `k`/`v` cover exactly `offset + q.rows()` positions and
 /// all head dimensions agree.
 pub fn causal_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    offset: usize,
+) -> (Tensor, AttentionSaved) {
+    causal_attention_in(KernelPool::shared_serial(), q, k, v, offset)
+}
+
+/// Causal attention forward for one head on a worker pool: fused
+/// scores → stable softmax → `P·V` per query row.
+///
+/// # Panics
+///
+/// Panics unless `k`/`v` cover exactly `offset + q.rows()` positions and
+/// all head dimensions agree.
+pub fn causal_attention_in(
+    pool: &KernelPool,
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
@@ -48,35 +81,66 @@ pub fn causal_attention(
     let scale = 1.0 / (d as f32).sqrt();
 
     let mut probs = Tensor::zeros(t, c);
-    for i in 0..t {
-        let limit = offset + i + 1; // Causal: keys [0, limit).
-        let qi = q.row(i);
-        // Scores with running max for a stable softmax.
-        let mut max = f32::NEG_INFINITY;
-        let mut scores = vec![0.0f32; limit];
-        for (j, s) in scores.iter_mut().enumerate() {
-            let kj = k.row(j);
-            let dot: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum();
-            *s = dot * scale;
-            max = max.max(*s);
+    let mut out = Tensor::zeros(t, d);
+    // Joint row blocks of the probability matrix and the output: each
+    // query row is fully processed — scores, softmax, value contraction —
+    // in one cache-warm sweep.
+    let mut items: Vec<(usize, &mut [f32], &mut [f32])> =
+        row_blocks(probs.data_mut(), c, ROW_GRAIN)
+            .into_iter()
+            .zip(row_blocks(out.data_mut(), d, ROW_GRAIN))
+            .map(|((r0, pc), (_, oc))| (r0, pc, oc))
+            .collect();
+    pool.for_each(&mut items, |_, (r0, pchunk, ochunk)| {
+        let rows = pchunk.len() / c;
+        for i in 0..rows {
+            let gi = *r0 + i;
+            let limit = offset + gi + 1; // Causal: keys [0, limit).
+            let qi = q.row(gi);
+            let prow = &mut pchunk[i * c..i * c + limit];
+            // Scores with running max for a stable softmax.
+            let mut max = f32::NEG_INFINITY;
+            for (j, s) in prow.iter_mut().enumerate() {
+                *s = dot(qi, k.row(j)) * scale;
+                max = max.max(*s);
+            }
+            let mut denom = 0.0;
+            for s in prow.iter_mut() {
+                *s = (*s - max).exp();
+                denom += *s;
+            }
+            let inv = 1.0 / denom;
+            for s in prow.iter_mut() {
+                *s *= inv;
+            }
+            // Fused value contraction: out_row = Σ_j P[j] · v_j.
+            let orow = &mut ochunk[i * d..(i + 1) * d];
+            for (j, &p) in prow.iter().enumerate() {
+                axpy(orow, p, v.row(j));
+            }
         }
-        let mut denom = 0.0;
-        for s in &mut scores {
-            *s = (*s - max).exp();
-            denom += *s;
-        }
-        let prow = probs.row_mut(i);
-        for (j, s) in scores.iter().enumerate() {
-            prow[j] = s / denom;
-        }
-    }
-    let out = matmul(&probs, v);
+    });
     (out, AttentionSaved { probs, offset })
 }
 
-/// Backward of [`causal_attention`]: `(dq, dk, dv)` with `dk`/`dv`
-/// spanning the whole prefix.
+/// Backward of [`causal_attention`] (single-threaded): `(dq, dk, dv)`
+/// with `dk`/`dv` spanning the whole prefix.
 pub fn causal_attention_backward(
+    dout: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    saved: &AttentionSaved,
+) -> (Tensor, Tensor, Tensor) {
+    causal_attention_backward_in(KernelPool::shared_serial(), dout, q, k, v, saved)
+}
+
+/// Backward of [`causal_attention_in`] on a worker pool: `(dq, dk, dv)`
+/// with `dk`/`dv` spanning the whole prefix. `dP` and the softmax
+/// Jacobian product are fused row kernels; `dV`, `dQ` and `dK` go through
+/// the packed GEMM forms, so no transposed temporary is allocated.
+pub fn causal_attention_backward_in(
+    pool: &KernelPool,
     dout: &Tensor,
     q: &Tensor,
     k: &Tensor,
@@ -91,26 +155,37 @@ pub fn causal_attention_backward(
     assert_eq!(dout.rows(), t);
     assert_eq!(dout.cols(), d);
     let scale = 1.0 / (d as f32).sqrt();
+    let offset = saved.offset;
 
-    // dV = Pᵀ · dOut.
-    let dv = matmul_wgrad(&saved.probs, dout);
-    // dP = dOut · Vᵀ.
-    let dp = matmul(dout, &v.transpose());
-    // Softmax backward per row: dS = P ⊙ (dP − rowsum(P ⊙ dP)).
+    // dV = Pᵀ · dOut (wgrad form — the transpose is absorbed by packing).
+    let dv = matmul_wgrad_in(pool, &saved.probs, dout);
+    // Fused per row: dP_j = dOut_i · v_j (the dgrad form of dP = dOut·Vᵀ,
+    // computed as row dots instead of materialising Vᵀ), then the softmax
+    // backward dS = P ⊙ (dP − rowsum(P ⊙ dP)) in place. Rows past the
+    // causal limit have P = 0, so dS stays 0 there.
     let mut ds = Tensor::zeros(t, c);
-    for i in 0..t {
-        let prow = saved.probs.row(i);
-        let dprow = dp.row(i);
-        let dot: f32 = prow.iter().zip(dprow).map(|(p, g)| p * g).sum();
-        let dsrow = ds.row_mut(i);
-        for j in 0..c {
-            dsrow[j] = prow[j] * (dprow[j] - dot);
+    let mut items = row_blocks(ds.data_mut(), c, ROW_GRAIN);
+    pool.for_each(&mut items, |_, (r0, chunk)| {
+        let rows = chunk.len() / c;
+        for i in 0..rows {
+            let gi = *r0 + i;
+            let limit = offset + gi + 1;
+            let prow = &saved.probs.row(gi)[..limit];
+            let dorow = dout.row(gi);
+            let dsrow = &mut chunk[i * c..i * c + limit];
+            for (j, s) in dsrow.iter_mut().enumerate() {
+                *s = dot(dorow, v.row(j));
+            }
+            let ip = dot(prow, dsrow);
+            for (s, &p) in dsrow.iter_mut().zip(prow) {
+                *s = p * (*s - ip);
+            }
         }
-    }
-    // dQ = dS · K · scale; dK = dSᵀ · Q · scale.
-    let mut dq = matmul(&ds, k);
+    });
+    // dQ = dS · K · scale; dK = dSᵀ · Q · scale (wgrad form).
+    let mut dq = matmul_in(pool, &ds, k);
     dq.scale(scale);
-    let mut dk = matmul_wgrad(&ds, q);
+    let mut dk = matmul_wgrad_in(pool, &ds, q);
     dk.scale(scale);
     (dq, dk, dv)
 }
@@ -119,6 +194,7 @@ pub fn causal_attention_backward(
 mod tests {
     use super::*;
     use crate::init::{rng, uniform};
+    use crate::ops::naive;
 
     /// Full-sequence attention must equal the concatenation of per-slice
     /// attention with KV prefixes — the core SPP correctness property.
@@ -189,13 +265,31 @@ mod tests {
         let q = uniform(t, d, 1.0, &mut r);
         let k = uniform(t, d, 1.0, &mut r);
         let v = uniform(t, d, 1.0, &mut r);
+        check_against_finite_differences(&q, &k, &v, 0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_at_odd_shapes_with_prefix() {
+        // Non-square slice (t=5, d=3) at a nonzero offset: the KV prefix
+        // spans 7 positions, exercising the partial-prefix gradient path
+        // at shapes that straddle the kernel lane width.
+        let mut r = rng(35);
+        let (t, d, offset) = (5usize, 3usize, 2usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(offset + t, d, 1.0, &mut r);
+        let v = uniform(offset + t, d, 1.0, &mut r);
+        check_against_finite_differences(&q, &k, &v, offset);
+    }
+
+    fn check_against_finite_differences(q: &Tensor, k: &Tensor, v: &Tensor, offset: usize) {
+        let (t, d) = (q.rows(), q.cols());
         let loss = |q: &Tensor, k: &Tensor, v: &Tensor| {
-            let (o, _) = causal_attention(q, k, v, 0);
+            let (o, _) = causal_attention(q, k, v, offset);
             o.data().iter().sum::<f32>()
         };
         let dout = Tensor::from_vec(t, d, vec![1.0; t * d]);
-        let (_, saved) = causal_attention(&q, &k, &v, 0);
-        let (dq, dk, dv) = causal_attention_backward(&dout, &q, &k, &v, &saved);
+        let (_, saved) = causal_attention(q, k, v, offset);
+        let (dq, dk, dv) = causal_attention_backward(&dout, q, k, v, &saved);
         let eps = 1e-3;
         let check = |name: &str, x: &Tensor, g: &Tensor, which: usize| {
             for rr in 0..x.rows() {
@@ -205,9 +299,9 @@ mod tests {
                     let mut xm = x.clone();
                     xm.set(rr, cc, x.at(rr, cc) - eps);
                     let (lp, lm) = match which {
-                        0 => (loss(&xp, &k, &v), loss(&xm, &k, &v)),
-                        1 => (loss(&q, &xp, &v), loss(&q, &xm, &v)),
-                        _ => (loss(&q, &k, &xp), loss(&q, &k, &xm)),
+                        0 => (loss(&xp, k, v), loss(&xm, k, v)),
+                        1 => (loss(q, &xp, v), loss(q, &xm, v)),
+                        _ => (loss(q, k, &xp), loss(q, k, &xm)),
                     };
                     let num = (lp - lm) / (2.0 * eps);
                     assert!(
@@ -218,9 +312,9 @@ mod tests {
                 }
             }
         };
-        check("dq", &q, &dq, 0);
-        check("dk", &k, &dk, 1);
-        check("dv", &v, &dv, 2);
+        check("dq", q, &dq, 0);
+        check("dk", k, &dk, 1);
+        check("dv", v, &dv, 2);
     }
 
     #[test]
@@ -237,5 +331,46 @@ mod tests {
         let (o2, _) = causal_attention(&q, &k, &v2, 0);
         assert_eq!(o1.row(0), o2.row(0));
         assert_ne!(o1.row(1), o2.row(1));
+    }
+
+    #[test]
+    fn fused_kernels_match_naive_reference() {
+        let mut r = rng(36);
+        let (t, d, offset) = (9usize, 5usize, 3usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(offset + t, d, 1.0, &mut r);
+        let v = uniform(offset + t, d, 1.0, &mut r);
+        let dout = uniform(t, d, 1.0, &mut r);
+        let (o_ref, probs_ref) = naive::causal_attention(&q, &k, &v, offset);
+        let (o, saved) = causal_attention(&q, &k, &v, offset);
+        assert!(o.max_abs_diff(&o_ref) < 1e-5);
+        assert!(saved.probs.max_abs_diff(&probs_ref) < 1e-5);
+        let (dq_r, dk_r, dv_r) = naive::causal_attention_backward(&dout, &q, &k, &v, &probs_ref);
+        let (dq, dk, dv) = causal_attention_backward(&dout, &q, &k, &v, &saved);
+        assert!(dq.max_abs_diff(&dq_r) < 1e-5);
+        assert!(dk.max_abs_diff(&dk_r) < 1e-5);
+        assert!(dv.max_abs_diff(&dv_r) < 1e-5);
+    }
+
+    #[test]
+    fn multi_worker_attention_is_bit_identical() {
+        let mut r = rng(37);
+        let (t, d, offset) = (13usize, 6usize, 4usize);
+        let q = uniform(t, d, 1.0, &mut r);
+        let k = uniform(offset + t, d, 1.0, &mut r);
+        let v = uniform(offset + t, d, 1.0, &mut r);
+        let dout = uniform(t, d, 1.0, &mut r);
+        let (o1, s1) = causal_attention(&q, &k, &v, offset);
+        let (dq1, dk1, dv1) = causal_attention_backward(&dout, &q, &k, &v, &s1);
+        for workers in [2, 4] {
+            let pool = KernelPool::new(workers);
+            let (o, s) = causal_attention_in(&pool, &q, &k, &v, offset);
+            let (dq, dk, dv) = causal_attention_backward_in(&pool, &dout, &q, &k, &v, &s);
+            assert_eq!(o1.data(), o.data());
+            assert_eq!(s1.probs.data(), s.probs.data());
+            assert_eq!(dq1.data(), dq.data());
+            assert_eq!(dk1.data(), dk.data());
+            assert_eq!(dv1.data(), dv.data());
+        }
     }
 }

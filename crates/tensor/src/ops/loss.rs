@@ -1,6 +1,14 @@
-//! Token-level cross-entropy over logits, with gradient.
+//! Token-level cross-entropy over logits, with gradient, as a
+//! row-parallel fused kernel on the worker pool.
 
-use crate::tensor::Tensor;
+use crate::{
+    pool::{row_blocks, KernelPool},
+    tensor::Tensor,
+};
+
+/// Rows per parallel work item — fixed so the chunk-ordered f64 loss
+/// reduction is bit-identical across worker counts.
+const ROW_GRAIN: usize = 4;
 
 /// Output of the loss computation.
 #[derive(Debug, Clone)]
@@ -13,32 +21,50 @@ pub struct CrossEntropyOut {
 }
 
 /// Cross-entropy of `logits: [t, vocab]` against `targets` (one id per
-/// row), computed with a stable log-softmax.
+/// row), computed with a stable log-softmax (single-threaded).
 ///
 /// # Panics
 ///
 /// Panics if row counts disagree or a target is out of range.
 pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> CrossEntropyOut {
+    cross_entropy_in(KernelPool::shared_serial(), logits, targets)
+}
+
+/// Cross-entropy with the loss and gradient rows fanned out over a
+/// worker pool. Per-chunk f64 loss partials are summed in chunk order,
+/// so the result is bit-identical across worker counts.
+///
+/// # Panics
+///
+/// Panics if row counts disagree or a target is out of range.
+pub fn cross_entropy_in(pool: &KernelPool, logits: &Tensor, targets: &[usize]) -> CrossEntropyOut {
     assert_eq!(logits.rows(), targets.len(), "target count mismatch");
     let v = logits.cols();
     let mut dlogits = Tensor::zeros(logits.rows(), v);
-    let mut loss_sum = 0.0f64;
-    for (i, &tgt) in targets.iter().enumerate() {
-        assert!(tgt < v, "target {tgt} out of vocab");
-        let row = logits.row(i);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0f64;
-        for &x in row {
-            denom += ((x - max) as f64).exp();
+    let mut items = row_blocks(dlogits.data_mut(), v, ROW_GRAIN);
+    let partials: Vec<f64> = pool.for_each(&mut items, |_, (r0, chunk)| {
+        let rows = chunk.len() / v;
+        let mut loss_part = 0.0f64;
+        for i in 0..rows {
+            let r = *r0 + i;
+            let tgt = targets[r];
+            assert!(tgt < v, "target {tgt} out of vocab");
+            let row = logits.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f64;
+            for &x in row {
+                denom += ((x - max) as f64).exp();
+            }
+            loss_part += denom.ln() - (row[tgt] - max) as f64;
+            let drow = &mut chunk[i * v..(i + 1) * v];
+            for (c, (&x, d)) in row.iter().zip(drow.iter_mut()).enumerate() {
+                let p = (((x - max) as f64).exp() / denom) as f32;
+                *d = p - if c == tgt { 1.0 } else { 0.0 };
+            }
         }
-        let log_denom = denom.ln();
-        loss_sum += log_denom - (row[tgt] - max) as f64;
-        let drow = dlogits.row_mut(i);
-        for (c, &x) in row.iter().enumerate() {
-            let p = (((x - max) as f64).exp() / denom) as f32;
-            drow[c] = p - if c == tgt { 1.0 } else { 0.0 };
-        }
-    }
+        loss_part
+    });
+    let loss_sum = partials.into_iter().sum();
     CrossEntropyOut { loss_sum, dlogits }
 }
 
@@ -88,5 +114,21 @@ mod tests {
         let a = cross_entropy(&logits.slice_rows(0, 3), &targets[..3]);
         let b = cross_entropy(&logits.slice_rows(3, 3), &targets[3..]);
         assert!((full.loss_sum - (a.loss_sum + b.loss_sum)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_worker_is_bit_identical_to_serial() {
+        let mut r = rng(53);
+        // More rows than one grain so the pool actually splits.
+        let rows = 3 * ROW_GRAIN + 2;
+        let logits = uniform(rows, 13, 1.0, &mut r);
+        let targets: Vec<usize> = (0..rows).map(|i| i % 13).collect();
+        let serial = cross_entropy(&logits, &targets);
+        for workers in [2, 4] {
+            let pool = KernelPool::new(workers);
+            let out = cross_entropy_in(&pool, &logits, &targets);
+            assert_eq!(serial.loss_sum.to_bits(), out.loss_sum.to_bits());
+            assert_eq!(serial.dlogits.data(), out.dlogits.data());
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! Matrix multiplication and its two gradient halves.
+//! Matrix multiplication and its two gradient halves, on the blocked,
+//! panel-packed kernel engine.
 //!
 //! For `C = A · B` with `A: [m,k]` (activations) and `B: [k,n]` (weights):
 //!
@@ -7,8 +8,274 @@
 //! * the *weight gradient* `dB = Aᵀ · dC` has no consumers until the
 //!   optimizer step and can float — this is the GEMM MEPipe queues and
 //!   drains opportunistically (Section 5).
+//!
+//! All three share one engine ([`gemm`]): the right-hand operand is
+//! packed once into `NR`-wide column strips, each `MC`-row block of the
+//! output packs its left-hand panel into `MR`-tall micro-panels, and a
+//! register-tiled `MR×NR` micro-kernel accumulates along the inner
+//! dimension with no per-element branches — written so the
+//! autovectorizer emits SIMD for the `NR`-wide inner loop and keeps the
+//! accumulator tile in registers. The transposed operands of the two
+//! gradient halves are absorbed by the packing routines ([`View`]), so
+//! no transposed temporary is ever materialised. Row blocks are
+//! distributed over a [`KernelPool`]; because every output element is
+//! written by exactly one block and the accumulation order along the
+//! inner dimension is fixed, results are bit-identical across worker
+//! counts.
+//!
+//! The original scalar triple loops survive in [`crate::ops::naive`] as
+//! the reference the parity proptests and the `kernels` bench run
+//! against.
 
+use crate::pool::{row_blocks, KernelPool};
 use crate::tensor::Tensor;
+
+/// Rows of one register tile (micro-panel height of the packed A).
+const MR: usize = 6;
+/// Columns of one register tile (strip width of the packed B); a
+/// multiple of the widest SSE/AVX f32 lane count the autovectorizer
+/// targets, and wide enough that the `MR × (NR/lanes)` accumulator
+/// vectors form more independent FMA chains than the FMA unit's
+/// latency×throughput product — with too few chains the micro-kernel is
+/// latency-bound, not throughput-bound.
+const NR: usize = 32;
+/// Rows per cache block of C — also the parallel grain handed to the
+/// pool, fixed so chunking (and thus accumulation grouping) never
+/// depends on the worker count.
+const MC: usize = 48;
+/// Inner-dimension block: one `MC×KC` A panel (~48 KiB) plus one `KC×NR`
+/// B strip (~8 KiB) stay cache-resident under the accumulator tile.
+const KC: usize = 256;
+
+/// A logical `[rows, cols]` operand over row-major storage, optionally
+/// transposed. Packing reads through this view, which is how the dgrad
+/// (`· Bᵀ`) and wgrad (`Aᵀ ·`) forms reuse the one engine without
+/// materialising a transpose.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    stride: usize,
+    trans: bool,
+}
+
+impl<'a> View<'a> {
+    fn normal(t: &'a Tensor) -> Self {
+        View {
+            data: t.data(),
+            stride: t.cols(),
+            trans: false,
+        }
+    }
+
+    fn transposed(t: &'a Tensor) -> Self {
+        View {
+            data: t.data(),
+            stride: t.cols(),
+            trans: true,
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, r: usize, c: usize) -> f32 {
+        if self.trans {
+            self.data[c * self.stride + r]
+        } else {
+            self.data[r * self.stride + c]
+        }
+    }
+}
+
+/// Packs the whole right-hand operand into `NR`-wide strips: strip `s`
+/// holds, for each inner index `p`, the `NR` values `b[p, s*NR..]`
+/// contiguously (zero-padded past `n`), so the micro-kernel streams it
+/// linearly. Returns the backing buffer and the element offset of the
+/// first strip: the strips are placed on a 64-byte boundary so every
+/// vector load in the micro-kernel stays within one cache line —
+/// `Vec<f32>` alone only guarantees 4-byte alignment, and a misaligned
+/// base makes every B load a line-splitting access.
+fn pack_b(b: View, k: usize, n: usize) -> (Vec<f32>, usize) {
+    const ALIGN_PAD: usize = 16; // 64 bytes / size_of::<f32>()
+    let strips = n.div_ceil(NR);
+    let mut buf = vec![0.0f32; strips * k * NR + ALIGN_PAD];
+    let off = buf.as_ptr().align_offset(64).min(ALIGN_PAD);
+    for s in 0..strips {
+        let col0 = s * NR;
+        let cols = NR.min(n - col0);
+        let base = off + s * k * NR;
+        if b.trans {
+            for p in 0..k {
+                let dst = &mut buf[base + p * NR..][..cols];
+                for (jj, d) in dst.iter_mut().enumerate() {
+                    *d = b.data[(col0 + jj) * b.stride + p];
+                }
+            }
+        } else {
+            for p in 0..k {
+                let src = &b.data[p * b.stride + col0..][..cols];
+                buf[base + p * NR..][..cols].copy_from_slice(src);
+            }
+        }
+    }
+    (buf, off)
+}
+
+/// Packs rows `i0..i0+mc`, inner indices `pk..pk+kc` of the left-hand
+/// operand into `MR`-tall micro-panels: panel `q` holds, for each `p`,
+/// the `MR` values `a[i0+q*MR.., pk+p]` contiguously (zero-padded past
+/// `mc`).
+fn pack_a(a: View, i0: usize, mc: usize, pk: usize, kc: usize, buf: &mut Vec<f32>) {
+    let panels = mc.div_ceil(MR);
+    buf.clear();
+    buf.resize(panels * kc * MR, 0.0);
+    for q in 0..panels {
+        let r0 = i0 + q * MR;
+        let rows = MR.min(i0 + mc - r0);
+        let base = q * kc * MR;
+        for p in 0..kc {
+            let dst = &mut buf[base + p * MR..][..rows];
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = a.get(r0 + ii, pk + p);
+            }
+        }
+    }
+}
+
+/// Fused multiply-add when the target has an FMA unit (one rounding,
+/// `vfmadd` under AVX2/AVX-512), plain multiply-add otherwise. rustc
+/// never contracts `a * b + c` on its own, so the fusion — which roughly
+/// doubles micro-kernel throughput — has to be asked for explicitly.
+/// Either form is deterministic for a given build.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        c + a * b
+    }
+}
+
+/// The register-tiled inner loop: returns `init + Σ_p a_panel ⊗ b_strip`
+/// over `kc` inner indices. Constant trip counts let the `NR`-wide loop
+/// vectorize, and there are no data-dependent branches. The accumulator
+/// is taken and returned *by value*: mutating it through a `&mut`
+/// reference makes LLVM keep the in-memory copy coherent — one stack
+/// store per FMA — where a local array lives purely in registers.
+#[inline]
+fn micro_kernel(ap: &[f32], bp: &[f32], init: [[f32; NR]; MR]) -> [[f32; NR]; MR] {
+    let mut acc = init;
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (accr, &av) in acc.iter_mut().zip(a) {
+            for (c, &bv) in accr.iter_mut().zip(b) {
+                *c = fmadd(av, bv, *c);
+            }
+        }
+    }
+    acc
+}
+
+/// [`micro_kernel`] reading the left operand straight from `MR` source
+/// rows instead of a packed panel. A row-major (non-transposed) left
+/// operand already has each tile row contiguous over the inner indices,
+/// so packing it would only copy data the broadcast loads can read in
+/// place — skipping the copy removes the whole pack-A pass from the
+/// `matmul`/`dgrad` hot path. Accumulation order is identical to the
+/// packed kernel, so both paths produce bit-identical results. Each
+/// `a_rows[r]` must hold exactly `bp.len() / NR` values.
+#[inline]
+fn micro_kernel_rows(a_rows: &[&[f32]; MR], bp: &[f32], init: [[f32; NR]; MR]) -> [[f32; NR]; MR] {
+    let mut acc = init;
+    for (p, b) in bp.chunks_exact(NR).enumerate() {
+        for (accr, ar) in acc.iter_mut().zip(a_rows) {
+            let av = ar[p];
+            for (c, &bv) in accr.iter_mut().zip(b) {
+                *c = fmadd(av, bv, *c);
+            }
+        }
+    }
+    acc
+}
+
+/// One `MC`-row block of the output, sweeping the shared packed B and
+/// accumulating through the micro-kernel. A transposed left operand is
+/// packed into `MR`-tall micro-panels per `KC` block; a row-major one is
+/// read in place by [`micro_kernel_rows`] (rows past the edge borrow a
+/// zero row, matching the packed path's zero padding exactly).
+fn gemm_row_block(i0: usize, c_rows: &mut [f32], n: usize, k: usize, a: View, b_pack: &[f32]) {
+    let mc = c_rows.len() / n;
+    let panels = mc.div_ceil(MR);
+    let mut a_buf = Vec::new();
+    let zero_row = [0.0f32; KC];
+    let mut pk = 0;
+    while pk < k {
+        let kc = KC.min(k - pk);
+        if a.trans {
+            pack_a(a, i0, mc, pk, kc, &mut a_buf);
+        }
+        for (s, j0) in (0..n).step_by(NR).enumerate() {
+            let cols = NR.min(n - j0);
+            let bs = &b_pack[s * k * NR + pk * NR..][..kc * NR];
+            for q in 0..panels {
+                let r0 = q * MR;
+                let rows = MR.min(mc - r0);
+                let full = rows == MR && cols == NR;
+                let mut acc = [[0.0f32; NR]; MR];
+                // On the first KC pass C is still all zeros — skip the read.
+                if pk > 0 {
+                    if full {
+                        // Constant-length copies let the accumulator move
+                        // between registers and C without a stack bounce.
+                        for (i, accr) in acc.iter_mut().enumerate() {
+                            accr.copy_from_slice(&c_rows[(r0 + i) * n + j0..][..NR]);
+                        }
+                    } else {
+                        for (i, accr) in acc.iter_mut().enumerate().take(rows) {
+                            accr[..cols].copy_from_slice(&c_rows[(r0 + i) * n + j0..][..cols]);
+                        }
+                    }
+                }
+                let acc = if a.trans {
+                    let ap = &a_buf[q * kc * MR..][..kc * MR];
+                    micro_kernel(ap, bs, acc)
+                } else {
+                    let mut a_rows: [&[f32]; MR] = [&zero_row[..kc]; MR];
+                    for (ii, ar) in a_rows.iter_mut().enumerate().take(rows) {
+                        *ar = &a.data[(i0 + r0 + ii) * a.stride + pk..][..kc];
+                    }
+                    micro_kernel_rows(&a_rows, bs, acc)
+                };
+                if full {
+                    for (i, accr) in acc.iter().enumerate() {
+                        c_rows[(r0 + i) * n + j0..][..NR].copy_from_slice(accr);
+                    }
+                } else {
+                    for (i, accr) in acc.iter().enumerate().take(rows) {
+                        c_rows[(r0 + i) * n + j0..][..cols].copy_from_slice(&accr[..cols]);
+                    }
+                }
+            }
+        }
+        pk += kc;
+    }
+}
+
+/// Shared engine: logical `C[m,n] = A[m,k] · B[k,n]` with either operand
+/// possibly a transposed view. Row blocks of C fan out over the pool.
+fn gemm(pool: &KernelPool, m: usize, n: usize, k: usize, a: View, b: View) -> Tensor {
+    let mut out = Tensor::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    let (b_buf, b_off) = pack_b(b, k, n);
+    let b_pack = &b_buf[b_off..];
+    let mut blocks = row_blocks(out.data_mut(), n, MC);
+    pool.for_each(&mut blocks, |_, (i0, c_rows)| {
+        gemm_row_block(*i0, c_rows, n, k, a, b_pack);
+    });
+    out
+}
 
 /// `C = A · B`.
 ///
@@ -16,70 +283,85 @@ use crate::tensor::Tensor;
 ///
 /// Panics if inner dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_in(KernelPool::shared_serial(), a, b)
+}
+
+/// `C = A · B` on a worker pool.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn matmul_in(pool: &KernelPool, a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Tensor::zeros(m, n);
-    // i-k-j loop order keeps the inner loop contiguous over both B and C.
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a.at(i, p);
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            let crow = out.row_mut(i);
-            for j in 0..n {
-                crow[j] += aip * brow[j];
-            }
-        }
-    }
-    out
+    gemm(
+        pool,
+        a.rows(),
+        b.cols(),
+        a.cols(),
+        View::normal(a),
+        View::normal(b),
+    )
 }
 
 /// Input gradient of a matmul: `dA = dC · Bᵀ`.
+///
+/// # Panics
+///
+/// Panics if column counts disagree.
 pub fn matmul_dgrad(dc: &Tensor, b: &Tensor) -> Tensor {
+    matmul_dgrad_in(KernelPool::shared_serial(), dc, b)
+}
+
+/// Input gradient of a matmul on a worker pool: `dA = dC · Bᵀ`, with the
+/// transpose absorbed by packing (no `Bᵀ` temporary).
+///
+/// # Panics
+///
+/// Panics if column counts disagree.
+pub fn matmul_dgrad_in(pool: &KernelPool, dc: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(dc.cols(), b.cols(), "dgrad dimension mismatch");
-    let (m, n, k) = (dc.rows(), dc.cols(), b.rows());
-    let mut da = Tensor::zeros(m, k);
-    for i in 0..m {
-        for p in 0..k {
-            let brow = b.row(p);
-            let dcrow = dc.row(i);
-            let mut acc = 0.0;
-            for j in 0..n {
-                acc += dcrow[j] * brow[j];
-            }
-            da.set(i, p, acc);
-        }
-    }
-    da
+    gemm(
+        pool,
+        dc.rows(),
+        b.rows(),
+        dc.cols(),
+        View::normal(dc),
+        View::transposed(b),
+    )
 }
 
 /// Weight gradient of a matmul: `dB = Aᵀ · dC`.
+///
+/// # Panics
+///
+/// Panics if row counts disagree.
 pub fn matmul_wgrad(a: &Tensor, dc: &Tensor) -> Tensor {
+    matmul_wgrad_in(KernelPool::shared_serial(), a, dc)
+}
+
+/// Weight gradient of a matmul on a worker pool: `dB = Aᵀ · dC`, with the
+/// transpose absorbed by packing (no `Aᵀ` temporary).
+///
+/// # Panics
+///
+/// Panics if row counts disagree.
+pub fn matmul_wgrad_in(pool: &KernelPool, a: &Tensor, dc: &Tensor) -> Tensor {
     assert_eq!(a.rows(), dc.rows(), "wgrad dimension mismatch");
-    let (m, k, n) = (a.rows(), a.cols(), dc.cols());
-    let mut db = Tensor::zeros(k, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let dcrow = dc.row(i);
-        for (p, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let dbrow = db.row_mut(p);
-            for j in 0..n {
-                dbrow[j] += aip * dcrow[j];
-            }
-        }
-    }
-    db
+    gemm(
+        pool,
+        a.cols(),
+        dc.cols(),
+        a.rows(),
+        View::transposed(a),
+        View::normal(dc),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::init::{rng, uniform};
+    use crate::ops::naive;
 
     fn finite_diff_check(
         f: &dyn Fn(&Tensor) -> f32,
@@ -110,6 +392,56 @@ mod tests {
         let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
         let c = matmul(&a, &b);
         assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn kernel_matches_naive_at_awkward_shapes() {
+        // Shapes straddling every blocking boundary: below MR/NR, exact
+        // multiples, one past MC and KC.
+        let shapes = [
+            (1, 1, 1),
+            (5, 7, 3),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, KC + 1),
+            (MC, 2 * NR, KC),
+            (MC + 1, NR - 1, 2 * KC + 3),
+            (2 * MC + 5, 3 * NR + 2, 17),
+        ];
+        for (m, k, n) in shapes {
+            let mut r = rng((m * 31 + k * 7 + n) as u64);
+            let a = uniform(m, k, 1.0, &mut r);
+            let b = uniform(k, n, 1.0, &mut r);
+            let dc = uniform(m, n, 1.0, &mut r);
+            assert!(
+                matmul(&a, &b).max_abs_diff(&naive::matmul(&a, &b)) < 1e-5,
+                "fwd mismatch at {m}x{k}x{n}"
+            );
+            assert!(
+                matmul_dgrad(&dc, &b).max_abs_diff(&naive::matmul_dgrad(&dc, &b)) < 1e-5,
+                "dgrad mismatch at {m}x{k}x{n}"
+            );
+            assert!(
+                matmul_wgrad(&a, &dc).max_abs_diff(&naive::matmul_wgrad(&a, &dc)) < 1e-5,
+                "wgrad mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_worker_is_bit_identical_to_serial() {
+        let mut r = rng(99);
+        let a = uniform(3 * MC + 7, 100, 1.0, &mut r);
+        let b = uniform(100, 37, 1.0, &mut r);
+        let serial = matmul(&a, &b);
+        for workers in [2, 3, 4] {
+            let pool = KernelPool::new(workers);
+            let par = matmul_in(&pool, &a, &b);
+            assert_eq!(
+                serial.data(),
+                par.data(),
+                "worker count {workers} changed bits"
+            );
+        }
     }
 
     #[test]
@@ -146,6 +478,14 @@ mod tests {
         let mut parts = matmul_wgrad(&a.slice_rows(0, 3), &dc.slice_rows(0, 3));
         parts.add_assign(&matmul_wgrad(&a.slice_rows(3, 5), &dc.slice_rows(3, 5)));
         assert!(whole.max_abs_diff(&parts) < 1e-5);
+    }
+
+    #[test]
+    fn empty_inner_dimension_gives_zeros() {
+        let c = matmul(&Tensor::zeros(3, 0), &Tensor::zeros(0, 4));
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 4);
+        assert!(c.data().iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -9,11 +9,16 @@ pub mod attention;
 pub mod embedding;
 pub mod loss;
 pub mod matmul;
+pub mod naive;
 pub mod norm;
+mod vecops;
 
 pub use activation::{silu, silu_backward};
-pub use attention::{causal_attention, causal_attention_backward, AttentionSaved};
+pub use attention::{
+    causal_attention, causal_attention_backward, causal_attention_backward_in, causal_attention_in,
+    AttentionSaved,
+};
 pub use embedding::{embedding, embedding_backward};
-pub use loss::{cross_entropy, CrossEntropyOut};
-pub use matmul::{matmul, matmul_dgrad, matmul_wgrad};
-pub use norm::{rmsnorm, rmsnorm_backward, RmsNormSaved};
+pub use loss::{cross_entropy, cross_entropy_in, CrossEntropyOut};
+pub use matmul::{matmul, matmul_dgrad, matmul_dgrad_in, matmul_in, matmul_wgrad, matmul_wgrad_in};
+pub use norm::{rmsnorm, rmsnorm_backward, rmsnorm_backward_in, rmsnorm_in, RmsNormSaved};

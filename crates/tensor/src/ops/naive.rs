@@ -1,0 +1,156 @@
+//! Naive scalar reference kernels.
+//!
+//! These are the original triple-loop implementations the blocked kernel
+//! engine replaced. They are kept **only** as ground truth: the parity
+//! proptests assert the packed kernels match them within bit-level
+//! tolerance across random shapes and worker counts, and the `kernels`
+//! bench measures speedup against them. Production code must not call
+//! them.
+#![doc(hidden)]
+
+use crate::tensor::Tensor;
+
+/// Reference `C = A · B` (scalar i-k-j triple loop).
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Tensor::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a.at(i, p);
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = out.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// Reference input gradient: `dA = dC · Bᵀ`.
+///
+/// # Panics
+///
+/// Panics if column counts disagree.
+pub fn matmul_dgrad(dc: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(dc.cols(), b.cols(), "dgrad dimension mismatch");
+    let (m, n, k) = (dc.rows(), dc.cols(), b.rows());
+    let mut da = Tensor::zeros(m, k);
+    for i in 0..m {
+        for p in 0..k {
+            let brow = b.row(p);
+            let dcrow = dc.row(i);
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += dcrow[j] * brow[j];
+            }
+            da.set(i, p, acc);
+        }
+    }
+    da
+}
+
+/// Reference weight gradient: `dB = Aᵀ · dC`.
+///
+/// # Panics
+///
+/// Panics if row counts disagree.
+pub fn matmul_wgrad(a: &Tensor, dc: &Tensor) -> Tensor {
+    assert_eq!(a.rows(), dc.rows(), "wgrad dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), dc.cols());
+    let mut db = Tensor::zeros(k, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let dcrow = dc.row(i);
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let dbrow = db.row_mut(p);
+            for j in 0..n {
+                dbrow[j] += aip * dcrow[j];
+            }
+        }
+    }
+    db
+}
+
+/// Reference causal attention forward (materialises the probability
+/// matrix and multiplies via [`matmul`]).
+///
+/// # Panics
+///
+/// Panics unless `k`/`v` cover exactly `offset + q.rows()` positions.
+pub fn causal_attention(q: &Tensor, k: &Tensor, v: &Tensor, offset: usize) -> (Tensor, Tensor) {
+    let t = q.rows();
+    let d = q.cols();
+    let c = offset + t;
+    assert_eq!(k.rows(), c, "key prefix must cover offset + slice");
+    assert_eq!(v.rows(), c, "value prefix must cover offset + slice");
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut probs = Tensor::zeros(t, c);
+    for i in 0..t {
+        let limit = offset + i + 1;
+        let qi = q.row(i);
+        let mut max = f32::NEG_INFINITY;
+        let mut scores = vec![0.0f32; limit];
+        for (j, s) in scores.iter_mut().enumerate() {
+            let kj = k.row(j);
+            let dot: f32 = qi.iter().zip(kj).map(|(a, b)| a * b).sum();
+            *s = dot * scale;
+            max = max.max(*s);
+        }
+        let mut denom = 0.0;
+        for s in &mut scores {
+            *s = (*s - max).exp();
+            denom += *s;
+        }
+        let prow = probs.row_mut(i);
+        for (j, s) in scores.iter().enumerate() {
+            prow[j] = s / denom;
+        }
+    }
+    let out = matmul(&probs, v);
+    (out, probs)
+}
+
+/// Reference causal attention backward over materialised transposes:
+/// `dP = dOut · Vᵀ` via an explicit `v.transpose()` (the temporary the
+/// fused kernel eliminates). Returns `(dq, dk, dv)`.
+pub fn causal_attention_backward(
+    dout: &Tensor,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    probs: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let t = q.rows();
+    let d = q.cols();
+    let c = k.rows();
+    let scale = 1.0 / (d as f32).sqrt();
+    let dv = matmul_wgrad(probs, dout);
+    let dp = matmul(dout, &v.transpose());
+    let mut ds = Tensor::zeros(t, c);
+    for i in 0..t {
+        let prow = probs.row(i);
+        let dprow = dp.row(i);
+        let dot: f32 = prow.iter().zip(dprow).map(|(p, g)| p * g).sum();
+        let dsrow = ds.row_mut(i);
+        for j in 0..c {
+            dsrow[j] = prow[j] * (dprow[j] - dot);
+        }
+    }
+    let mut dq = matmul(&ds, k);
+    dq.scale(scale);
+    let mut dk = matmul_wgrad(&ds, q);
+    dk.scale(scale);
+    (dq, dk, dv)
+}

@@ -1,9 +1,18 @@
-//! RMSNorm (the normalisation Llama uses) with explicit backward.
+//! RMSNorm (the normalisation Llama uses) with explicit backward, as
+//! row-parallel fused kernels on the worker pool.
 
-use crate::tensor::Tensor;
+use crate::{
+    ops::vecops::dot,
+    pool::{row_blocks, KernelPool},
+    tensor::Tensor,
+};
 
 /// Numerical floor inside the root-mean-square.
 const EPS: f32 = 1e-5;
+
+/// Rows per parallel work item — fixed so results are bit-identical
+/// across worker counts.
+const ROW_GRAIN: usize = 32;
 
 /// Values saved by the forward pass for the backward pass.
 #[derive(Debug, Clone)]
@@ -14,27 +23,44 @@ pub struct RmsNormSaved {
     pub inv_rms: Vec<f32>,
 }
 
-/// `y[r] = x[r] / rms(x[r]) * w`, row-wise.
+/// `y[r] = x[r] / rms(x[r]) * w`, row-wise (single-threaded).
 ///
 /// # Panics
 ///
 /// Panics if `w` is not a `[1, cols]` vector matching `x`.
 pub fn rmsnorm(x: &Tensor, w: &Tensor) -> (Tensor, RmsNormSaved) {
+    rmsnorm_in(KernelPool::shared_serial(), x, w)
+}
+
+/// `y[r] = x[r] / rms(x[r]) * w`, rows fanned out over a worker pool.
+///
+/// # Panics
+///
+/// Panics if `w` is not a `[1, cols]` vector matching `x`.
+pub fn rmsnorm_in(pool: &KernelPool, x: &Tensor, w: &Tensor) -> (Tensor, RmsNormSaved) {
     assert_eq!(w.rows(), 1, "weight must be a row vector");
     assert_eq!(w.cols(), x.cols(), "weight length mismatch");
-    let n = x.cols() as f32;
-    let mut y = Tensor::zeros(x.rows(), x.cols());
-    let mut inv_rms = Vec::with_capacity(x.rows());
-    for r in 0..x.rows() {
-        let row = x.row(r);
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / n;
-        let inv = 1.0 / (ms + EPS).sqrt();
-        inv_rms.push(inv);
-        let out = y.row_mut(r);
-        for (c, (&xv, &wv)) in row.iter().zip(w.row(0)).enumerate() {
-            out[c] = xv * inv * wv;
+    let cols = x.cols();
+    let n = cols as f32;
+    let mut y = Tensor::zeros(x.rows(), cols);
+    let mut items = row_blocks(y.data_mut(), cols, ROW_GRAIN);
+    let partials: Vec<Vec<f32>> = pool.for_each(&mut items, |_, (r0, chunk)| {
+        let rows = chunk.len() / cols;
+        let mut invs = Vec::with_capacity(rows);
+        let wr = w.row(0);
+        for i in 0..rows {
+            let row = x.row(*r0 + i);
+            let ms = dot(row, row) / n;
+            let inv = 1.0 / (ms + EPS).sqrt();
+            invs.push(inv);
+            let out = &mut chunk[i * cols..(i + 1) * cols];
+            for ((o, &xv), &wv) in out.iter_mut().zip(row).zip(wr) {
+                *o = xv * inv * wv;
+            }
         }
-    }
+        invs
+    });
+    let inv_rms = partials.into_iter().flatten().collect();
     (
         y,
         RmsNormSaved {
@@ -44,26 +70,54 @@ pub fn rmsnorm(x: &Tensor, w: &Tensor) -> (Tensor, RmsNormSaved) {
     )
 }
 
-/// Backward of [`rmsnorm`]: returns `(dx, dw)`.
+/// Backward of [`rmsnorm`] (single-threaded): returns `(dx, dw)`.
 pub fn rmsnorm_backward(dy: &Tensor, w: &Tensor, saved: &RmsNormSaved) -> (Tensor, Tensor) {
+    rmsnorm_backward_in(KernelPool::shared_serial(), dy, w, saved)
+}
+
+/// Backward of [`rmsnorm_in`] on a worker pool: returns `(dx, dw)`.
+/// Per-chunk `dw` partials are reduced in chunk order, so the result is
+/// bit-identical across worker counts.
+pub fn rmsnorm_backward_in(
+    pool: &KernelPool,
+    dy: &Tensor,
+    w: &Tensor,
+    saved: &RmsNormSaved,
+) -> (Tensor, Tensor) {
     let x = &saved.x;
-    let n = x.cols() as f32;
-    let mut dx = Tensor::zeros(x.rows(), x.cols());
-    let mut dw = Tensor::zeros(1, x.cols());
-    for r in 0..x.rows() {
-        let inv = saved.inv_rms[r];
-        let xr = x.row(r);
-        let dyr = dy.row(r);
-        // dL/dw_c += dy_c * x_c * inv.
-        for c in 0..x.cols() {
-            dw.row_mut(0)[c] += dyr[c] * xr[c] * inv;
+    let cols = x.cols();
+    let n = cols as f32;
+    let mut dx = Tensor::zeros(x.rows(), cols);
+    let mut items = row_blocks(dx.data_mut(), cols, ROW_GRAIN);
+    let partials: Vec<Vec<f32>> = pool.for_each(&mut items, |_, (r0, chunk)| {
+        let rows = chunk.len() / cols;
+        let mut dwp = vec![0.0f32; cols];
+        let wr = w.row(0);
+        for i in 0..rows {
+            let r = *r0 + i;
+            let inv = saved.inv_rms[r];
+            let xr = x.row(r);
+            let dyr = dy.row(r);
+            // dL/dw_c += dy_c * x_c * inv, and the row's Σ(w*dy*x) in the
+            // same fused sweep.
+            let mut sum = 0.0f32;
+            for ((d, &xv), (&dyv, &wv)) in dwp.iter_mut().zip(xr).zip(dyr.iter().zip(wr)) {
+                *d += dyv * xv * inv;
+                sum += wv * dyv * xv;
+            }
+            // dx = inv * (w*dy) − inv^3/n * x * Σ(w*dy*x).
+            let k = inv * inv * inv / n * sum;
+            let dxr = &mut chunk[i * cols..(i + 1) * cols];
+            for ((o, &xv), (&dyv, &wv)) in dxr.iter_mut().zip(xr).zip(dyr.iter().zip(wr)) {
+                *o = inv * wv * dyv - k * xv;
+            }
         }
-        // dx = inv * (w*dy) − inv^3/n * x * Σ(w*dy*x).
-        let dot: f32 = (0..x.cols()).map(|c| w.at(0, c) * dyr[c] * xr[c]).sum();
-        let k = inv * inv * inv / n * dot;
-        let dxr = dx.row_mut(r);
-        for c in 0..x.cols() {
-            dxr[c] = inv * w.at(0, c) * dyr[c] - k * xr[c];
+        dwp
+    });
+    let mut dw = Tensor::zeros(1, cols);
+    for p in partials {
+        for (a, b) in dw.row_mut(0).iter_mut().zip(p) {
+            *a += b;
         }
     }
     (dx, dw)
@@ -84,21 +138,20 @@ mod tests {
         }
     }
 
-    #[test]
-    fn backward_matches_finite_differences() {
-        let mut r = rng(11);
-        let x = uniform(3, 5, 1.0, &mut r);
-        let w = uniform(1, 5, 1.0, &mut r);
+    fn fd_check(rows: usize, cols: usize, seed: u64) {
+        let mut r = rng(seed);
+        let x = uniform(rows, cols, 1.0, &mut r);
+        let w = uniform(1, cols, 1.0, &mut r);
         let loss = |x: &Tensor, w: &Tensor| {
             let (y, _) = rmsnorm(x, w);
             y.data().iter().sum::<f32>()
         };
-        let dy = Tensor::from_vec(3, 5, vec![1.0; 15]);
+        let dy = Tensor::from_vec(rows, cols, vec![1.0; rows * cols]);
         let (_, saved) = rmsnorm(&x, &w);
         let (dx, dw) = rmsnorm_backward(&dy, &w, &saved);
         let eps = 1e-3;
-        for rr in 0..3 {
-            for c in 0..5 {
+        for rr in 0..rows {
+            for c in 0..cols {
                 let mut xp = x.clone();
                 xp.set(rr, c, x.at(rr, c) + eps);
                 let mut xm = x.clone();
@@ -111,7 +164,7 @@ mod tests {
                 );
             }
         }
-        for c in 0..5 {
+        for c in 0..cols {
             let mut wp = w.clone();
             wp.set(0, c, w.at(0, c) + eps);
             let mut wm = w.clone();
@@ -122,6 +175,40 @@ mod tests {
                 "dw({c}): {num} vs {}",
                 dw.at(0, c)
             );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        fd_check(3, 5, 11);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_at_odd_shapes() {
+        // Non-square and odd widths straddling the dot-product lane
+        // width (8): a 7-wide and a 9-wide row, plus a single tall row.
+        fd_check(2, 7, 12);
+        fd_check(5, 9, 13);
+        fd_check(1, 11, 14);
+    }
+
+    #[test]
+    fn multi_worker_is_bit_identical_to_serial() {
+        let mut r = rng(15);
+        // More rows than one grain so the pool actually splits.
+        let x = uniform(3 * ROW_GRAIN + 5, 10, 1.0, &mut r);
+        let w = uniform(1, 10, 1.0, &mut r);
+        let dy = uniform(x.rows(), 10, 1.0, &mut r);
+        let (y1, s1) = rmsnorm(&x, &w);
+        let (dx1, dw1) = rmsnorm_backward(&dy, &w, &s1);
+        for workers in [2, 4] {
+            let pool = KernelPool::new(workers);
+            let (y, s) = rmsnorm_in(&pool, &x, &w);
+            let (dx, dw) = rmsnorm_backward_in(&pool, &dy, &w, &s);
+            assert_eq!(y1.data(), y.data());
+            assert_eq!(s1.inv_rms, s.inv_rms);
+            assert_eq!(dx1.data(), dx.data());
+            assert_eq!(dw1.data(), dw.data());
         }
     }
 }

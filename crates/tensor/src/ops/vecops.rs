@@ -1,0 +1,59 @@
+//! Vectorizable slice primitives shared by the fused kernels.
+//!
+//! Written so the autovectorizer emits SIMD: fixed-width lane
+//! accumulators for reductions, branch-free fused loops for updates.
+//! The lane-parallel reduction order is part of each kernel's numerical
+//! contract — it never changes with the worker count.
+
+/// Lane width of the blocked dot-product reduction.
+const LANES: usize = 8;
+
+/// `Σ a[i]·b[i]` with eight parallel partial sums (SIMD-friendly).
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for (acc, (&xv, &yv)) in lanes.iter_mut().zip(x.iter().zip(y)) {
+            *acc += xv * yv;
+        }
+    }
+    let mut s: f32 = lanes.iter().sum();
+    for (&xv, &yv) in ca.remainder().iter().zip(cb.remainder()) {
+        s += xv * yv;
+    }
+    s
+}
+
+/// `acc[i] += s · x[i]` (branch-free, contiguous — vectorizes).
+#[inline]
+pub(crate) fn axpy(acc: &mut [f32], s: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += s * v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in [0usize, 1, 7, 8, 9, 17, 64] {
+            let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let b = vec![2.0f32; n];
+            let expect: f32 = (0..n).map(|i| 2.0 * i as f32).sum();
+            assert!((dot(&a, &b) - expect).abs() < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut acc = vec![1.0f32; 5];
+        axpy(&mut acc, 0.5, &[2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(acc, vec![2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+}

@@ -15,10 +15,11 @@
 
 use mepipe_tensor::{
     ops::{
-        causal_attention, causal_attention_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
-        rmsnorm_backward, silu, silu_backward, AttentionSaved, RmsNormSaved,
+        causal_attention_backward_in, causal_attention_in, matmul_dgrad_in, matmul_in,
+        matmul_wgrad_in, rmsnorm_backward_in, rmsnorm_in, silu, silu_backward, AttentionSaved,
+        RmsNormSaved,
     },
-    Tensor,
+    KernelPool, Tensor,
 };
 
 use crate::params::LayerParams;
@@ -139,7 +140,9 @@ impl LayerFwdSaved {
     }
 }
 
-/// Forward of one token slice through one decoder layer.
+/// Forward of one token slice through one decoder layer. All hot kernels
+/// run on `pool` — pass [`KernelPool::shared_serial`] for single-threaded
+/// execution.
 ///
 /// `offset` is the slice's first absolute token position; the layer's KV
 /// cache must contain exactly `offset` tokens on entry.
@@ -148,6 +151,7 @@ impl LayerFwdSaved {
 ///
 /// Panics if the KV cache length disagrees with `offset`.
 pub fn forward_slice(
+    pool: &KernelPool,
     p: &LayerParams,
     x: &Tensor,
     kv: &mut Kv,
@@ -158,10 +162,10 @@ pub fn forward_slice(
     let h = x.cols();
     let hd = h / heads;
 
-    let (normed1, norm1_saved) = rmsnorm(x, &p.norm1);
-    let q = matmul(&normed1, &p.wq);
-    let k_new = matmul(&normed1, &p.wk);
-    let v_new = matmul(&normed1, &p.wv);
+    let (normed1, norm1_saved) = rmsnorm_in(pool, x, &p.norm1);
+    let q = matmul_in(pool, &normed1, &p.wq);
+    let k_new = matmul_in(pool, &normed1, &p.wk);
+    let v_new = matmul_in(pool, &normed1, &p.wv);
     kv.append(k_new, v_new);
     let k_all = kv.k.as_ref().expect("cache nonempty after append");
     let v_all = kv.v.as_ref().expect("cache nonempty after append");
@@ -172,22 +176,22 @@ pub fn forward_slice(
         let qh = q.slice_cols(head * hd, hd);
         let kh = k_all.slice_cols(head * hd, hd);
         let vh = v_all.slice_cols(head * hd, hd);
-        let (oh, sv) = causal_attention(&qh, &kh, &vh, offset);
+        let (oh, sv) = causal_attention_in(pool, &qh, &kh, &vh, offset);
         attn_concat.add_cols(head * hd, &oh);
         attn_saved.push(sv);
     }
-    let attn_out = matmul(&attn_concat, &p.wo);
+    let attn_out = matmul_in(pool, &attn_concat, &p.wo);
     let resid1 = x.add(&attn_out);
 
-    let (normed2, norm2_saved) = rmsnorm(&resid1, &p.norm2);
-    let gate_pre = matmul(&normed2, &p.wg);
-    let up = matmul(&normed2, &p.wu);
+    let (normed2, norm2_saved) = rmsnorm_in(pool, &resid1, &p.norm2);
+    let gate_pre = matmul_in(pool, &normed2, &p.wg);
+    let up = matmul_in(pool, &normed2, &p.wu);
     let gate_act = silu(&gate_pre);
     let mut mlp_act = gate_act.clone();
     for (a, b) in mlp_act.data_mut().iter_mut().zip(up.data()) {
         *a *= b;
     }
-    let mlp_out = matmul(&mlp_act, &p.wd);
+    let mlp_out = matmul_in(pool, &mlp_act, &p.wd);
     let y = resid1.add(&mlp_out);
 
     let saved = LayerFwdSaved {
@@ -221,12 +225,13 @@ pub struct BackwardOut {
     pub dnorm2: Tensor,
 }
 
-/// Input-gradient backward of one slice.
+/// Input-gradient backward of one slice, on `pool`.
 ///
 /// `dkv` holds per-layer dK/dV accumulators over the *whole* sample; it
 /// must already contain the contributions of every later slice (slices
 /// run in reverse order). This slice's own rows are consumed here.
 pub fn backward_input_slice(
+    pool: &KernelPool,
     p: &LayerParams,
     saved: &LayerFwdSaved,
     kv: &Kv,
@@ -251,7 +256,7 @@ pub fn backward_input_slice(
     let mut wgrads = Vec::with_capacity(7);
 
     // MLP backward.
-    let d_mlp_act = matmul_dgrad(dy, &p.wd);
+    let d_mlp_act = matmul_dgrad_in(pool, dy, &p.wd);
     let mut mlp_act = saved.gate_act.clone();
     for (a, b) in mlp_act.data_mut().iter_mut().zip(saved.up.data()) {
         *a *= b;
@@ -270,8 +275,8 @@ pub fn backward_input_slice(
     for (a, b) in d_up.data_mut().iter_mut().zip(saved.gate_act.data()) {
         *a *= b;
     }
-    let mut d_normed2 = matmul_dgrad(&d_gate_pre, &p.wg);
-    d_normed2.add_assign(&matmul_dgrad(&d_up, &p.wu));
+    let mut d_normed2 = matmul_dgrad_in(pool, &d_gate_pre, &p.wg);
+    d_normed2.add_assign(&matmul_dgrad_in(pool, &d_up, &p.wu));
     wgrads.push(WgradGemm {
         weight: WeightId::Wg,
         input: saved.normed2.clone(),
@@ -282,12 +287,13 @@ pub fn backward_input_slice(
         input: saved.normed2.clone(),
         out_grad: d_up,
     });
-    let (d_resid1_norm, dnorm2) = rmsnorm_backward(&d_normed2, &p.norm2, &saved.norm2_saved);
+    let (d_resid1_norm, dnorm2) =
+        rmsnorm_backward_in(pool, &d_normed2, &p.norm2, &saved.norm2_saved);
     let mut d_resid1 = dy.clone();
     d_resid1.add_assign(&d_resid1_norm);
 
     // Attention output projection.
-    let d_attn_concat = matmul_dgrad(&d_resid1, &p.wo);
+    let d_attn_concat = matmul_dgrad_in(pool, &d_resid1, &p.wo);
     wgrads.push(WgradGemm {
         weight: WeightId::Wo,
         input: saved.attn_concat.clone(),
@@ -305,7 +311,7 @@ pub fn backward_input_slice(
             let vh = v_all.slice_rows(0, prefix).slice_cols(head * hd, hd);
             let doh = d_attn_concat.slice_cols(head * hd, hd);
             let (dqh, dkh, dvh) =
-                causal_attention_backward(&doh, &qh, &kh, &vh, &saved.attn_saved[head]);
+                causal_attention_backward_in(pool, &doh, &qh, &kh, &vh, &saved.attn_saved[head]);
             dq.add_cols(head * hd, &dqh);
             for r in 0..prefix {
                 let dst_k = &mut dk_acc.row_mut(r)[head * hd..(head + 1) * hd];
@@ -324,9 +330,9 @@ pub fn backward_input_slice(
     let dk_own = dkv.k.as_ref().expect("allocated").slice_rows(offset, t);
     let dv_own = dkv.v.as_ref().expect("allocated").slice_rows(offset, t);
 
-    let mut d_normed1 = matmul_dgrad(&dq, &p.wq);
-    d_normed1.add_assign(&matmul_dgrad(&dk_own, &p.wk));
-    d_normed1.add_assign(&matmul_dgrad(&dv_own, &p.wv));
+    let mut d_normed1 = matmul_dgrad_in(pool, &dq, &p.wq);
+    d_normed1.add_assign(&matmul_dgrad_in(pool, &dk_own, &p.wk));
+    d_normed1.add_assign(&matmul_dgrad_in(pool, &dv_own, &p.wv));
     wgrads.push(WgradGemm {
         weight: WeightId::Wq,
         input: saved.normed1.clone(),
@@ -343,7 +349,7 @@ pub fn backward_input_slice(
         out_grad: dv_own,
     });
 
-    let (d_x_norm, dnorm1) = rmsnorm_backward(&d_normed1, &p.norm1, &saved.norm1_saved);
+    let (d_x_norm, dnorm1) = rmsnorm_backward_in(pool, &d_normed1, &p.norm1, &saved.norm1_saved);
     let mut dx = d_resid1;
     dx.add_assign(&d_x_norm);
 
@@ -355,10 +361,11 @@ pub fn backward_input_slice(
     }
 }
 
-/// Executes deferred weight-gradient GEMMs, accumulating into `grads`.
-pub fn apply_wgrads(grads: &mut LayerParams, gemms: &[WgradGemm]) {
+/// Executes deferred weight-gradient GEMMs on `pool`, accumulating into
+/// `grads`.
+pub fn apply_wgrads(pool: &KernelPool, grads: &mut LayerParams, gemms: &[WgradGemm]) {
     for g in gemms {
-        let dw = matmul_wgrad(&g.input, &g.out_grad);
+        let dw = matmul_wgrad_in(pool, &g.input, &g.out_grad);
         let target = match g.weight {
             WeightId::Wq => &mut grads.wq,
             WeightId::Wk => &mut grads.wk,
@@ -391,13 +398,14 @@ mod tests {
     #[test]
     fn sliced_forward_equals_full_forward() {
         let (p, x) = setup();
+        let pool = KernelPool::serial();
         let mut kv_full = Kv::default();
-        let (y_full, _) = forward_slice(&p, &x, &mut kv_full, 0, 4);
+        let (y_full, _) = forward_slice(&pool, &p, &x, &mut kv_full, 0, 4);
         let mut kv = Kv::default();
         let mut parts = Vec::new();
         for i in 0..4 {
             let xs = x.slice_rows(i * 4, 4);
-            let (y, _) = forward_slice(&p, &xs, &mut kv, i * 4, 4);
+            let (y, _) = forward_slice(&pool, &p, &xs, &mut kv, i * 4, 4);
             parts.push(y);
         }
         let y_sliced = Tensor::vstack(&parts);
@@ -411,31 +419,39 @@ mod tests {
     #[test]
     fn sliced_backward_equals_full_backward() {
         let (p, x) = setup();
+        let pool = KernelPool::serial();
         let mut r = rng(72);
         let dy = uniform(16, x.cols(), 1.0, &mut r);
 
         // Full-sequence reference.
         let mut kv_f = Kv::default();
-        let (_, saved_f) = forward_slice(&p, &x, &mut kv_f, 0, 4);
+        let (_, saved_f) = forward_slice(&pool, &p, &x, &mut kv_f, 0, 4);
         let mut dkv_f = Kv::default();
-        let out_f = backward_input_slice(&p, &saved_f, &kv_f, &mut dkv_f, &dy);
+        let out_f = backward_input_slice(&pool, &p, &saved_f, &kv_f, &mut dkv_f, &dy);
         let mut grads_f = p.zero_grads();
-        apply_wgrads(&mut grads_f, &out_f.wgrads);
+        apply_wgrads(&pool, &mut grads_f, &out_f.wgrads);
 
         // Sliced execution: forwards 0..4, backwards 3..0.
         let mut kv = Kv::default();
         let mut saves = Vec::new();
         for i in 0..4 {
             let xs = x.slice_rows(i * 4, 4);
-            let (_, sv) = forward_slice(&p, &xs, &mut kv, i * 4, 4);
+            let (_, sv) = forward_slice(&pool, &p, &xs, &mut kv, i * 4, 4);
             saves.push(sv);
         }
         let mut dkv = Kv::default();
         let mut grads_s = p.zero_grads();
         let mut dx_parts = vec![Tensor::zeros(0, 0); 4];
         for i in (0..4).rev() {
-            let out = backward_input_slice(&p, &saves[i], &kv, &mut dkv, &dy.slice_rows(i * 4, 4));
-            apply_wgrads(&mut grads_s, &out.wgrads);
+            let out = backward_input_slice(
+                &pool,
+                &p,
+                &saves[i],
+                &kv,
+                &mut dkv,
+                &dy.slice_rows(i * 4, 4),
+            );
+            apply_wgrads(&pool, &mut grads_s, &out.wgrads);
             grads_s.norm1.add_assign(&out.dnorm1);
             grads_s.norm2.add_assign(&out.dnorm2);
             dx_parts[i] = out.dx;
@@ -460,11 +476,45 @@ mod tests {
     #[test]
     fn backward_produces_seven_deferred_gemms() {
         let (p, x) = setup();
+        let pool = KernelPool::serial();
         let mut kv = Kv::default();
-        let (_, saved) = forward_slice(&p, &x, &mut kv, 0, 4);
+        let (_, saved) = forward_slice(&pool, &p, &x, &mut kv, 0, 4);
         let mut dkv = Kv::default();
-        let out = backward_input_slice(&p, &saved, &kv, &mut dkv, &Tensor::zeros(16, x.cols()));
+        let out = backward_input_slice(
+            &pool,
+            &p,
+            &saved,
+            &kv,
+            &mut dkv,
+            &Tensor::zeros(16, x.cols()),
+        );
         assert_eq!(out.wgrads.len(), 7);
+    }
+
+    #[test]
+    fn pooled_layer_matches_serial_layer_bitwise() {
+        // Kernel-level parallelism must not perturb the layer math at all:
+        // forward outputs and every gradient are bit-identical.
+        let (p, x) = setup();
+        let serial = KernelPool::serial();
+        let pooled = KernelPool::new(3);
+        let mut r = rng(73);
+        let dy = uniform(16, x.cols(), 1.0, &mut r);
+
+        let run = |pool: &KernelPool| {
+            let mut kv = Kv::default();
+            let (y, saved) = forward_slice(pool, &p, &x, &mut kv, 0, 4);
+            let mut dkv = Kv::default();
+            let out = backward_input_slice(pool, &p, &saved, &kv, &mut dkv, &dy);
+            let mut grads = p.zero_grads();
+            apply_wgrads(pool, &mut grads, &out.wgrads);
+            (y, out.dx, grads)
+        };
+        let (y_s, dx_s, g_s) = run(&serial);
+        let (y_p, dx_p, g_p) = run(&pooled);
+        assert_eq!(y_s.data(), y_p.data());
+        assert_eq!(dx_s.data(), dx_p.data());
+        assert!(g_s.max_abs_diff(&g_p) == 0.0);
     }
 
     #[test]
@@ -472,6 +522,6 @@ mod tests {
     fn wrong_offset_panics() {
         let (p, x) = setup();
         let mut kv = Kv::default();
-        forward_slice(&p, &x, &mut kv, 3, 4);
+        forward_slice(&KernelPool::serial(), &p, &x, &mut kv, 3, 4);
     }
 }

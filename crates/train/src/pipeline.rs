@@ -25,10 +25,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mepipe_schedule::ir::{OpKind, Schedule};
 use mepipe_tensor::{
     ops::{
-        cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
-        rmsnorm_backward,
+        cross_entropy_in, embedding, embedding_backward, matmul_dgrad_in, matmul_in,
+        matmul_wgrad_in, rmsnorm_backward_in, rmsnorm_in,
     },
-    Tensor,
+    KernelPool, Tensor,
 };
 
 use crate::{
@@ -87,10 +87,16 @@ pub struct PipelineRuntime {
     pub model: ModelParams,
     stages: usize,
     virtual_chunks: usize,
+    kernel_workers: usize,
 }
 
 impl PipelineRuntime {
     /// Creates a runtime for `stages × virtual_chunks` interleaved chunks.
+    ///
+    /// Each stage thread gets its own [`KernelPool`] sized
+    /// `available_parallelism / stages` (at least 1), so kernel-level and
+    /// stage-level parallelism compose without oversubscribing the
+    /// machine. Override with [`Self::with_kernel_workers`].
     ///
     /// # Panics
     ///
@@ -101,11 +107,27 @@ impl PipelineRuntime {
             0,
             "layers must divide evenly into chunks"
         );
+        let kernel_workers = KernelPool::auto(stages).workers();
         Self {
             model,
             stages,
             virtual_chunks,
+            kernel_workers,
         }
+    }
+
+    /// Overrides the per-stage kernel worker count (clamped to at least
+    /// 1). The kernels are deterministic across worker counts, so this
+    /// only changes speed, never results.
+    #[must_use]
+    pub fn with_kernel_workers(mut self, workers: usize) -> Self {
+        self.kernel_workers = workers.max(1);
+        self
+    }
+
+    /// Kernel workers each stage thread fans out over.
+    pub fn kernel_workers(&self) -> usize {
+        self.kernel_workers
     }
 
     /// Runs one training iteration under `schedule` and returns loss,
@@ -139,6 +161,7 @@ impl PipelineRuntime {
         let batch = Arc::new(batch.to_vec());
         let model = &self.model;
 
+        let kernel_workers = self.kernel_workers;
         let mut results: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -148,8 +171,17 @@ impl PipelineRuntime {
                 let ops = schedule.workers[w].clone();
                 let meta = meta.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx =
-                        WorkerCtx::new(model, &meta, w, rx, senders, batch, mode, mem_cap);
+                    let mut ctx = WorkerCtx::new(
+                        model,
+                        &meta,
+                        w,
+                        rx,
+                        senders,
+                        batch,
+                        mode,
+                        mem_cap,
+                        kernel_workers,
+                    );
                     for op in &ops {
                         ctx.execute(op);
                     }
@@ -306,6 +338,9 @@ struct WorkerCtx<'m> {
     loss_sum: f64,
     drained: usize,
     tokens_per_slice: usize,
+    // This stage's kernel pool — kernel-level parallelism nested inside
+    // the stage thread.
+    pool: KernelPool,
 }
 
 impl<'m> WorkerCtx<'m> {
@@ -319,6 +354,7 @@ impl<'m> WorkerCtx<'m> {
         batch: Arc<Vec<Vec<usize>>>,
         mode: WgradMode,
         mem_cap: Option<usize>,
+        kernel_workers: usize,
     ) -> Self {
         Self {
             model,
@@ -340,6 +376,7 @@ impl<'m> WorkerCtx<'m> {
             loss_sum: 0.0,
             drained: 0,
             tokens_per_slice: model.cfg.seq_len / meta.slices,
+            pool: KernelPool::new(kernel_workers),
         }
     }
 
@@ -361,7 +398,11 @@ impl<'m> WorkerCtx<'m> {
                     Err(TryRecvError::Empty) => {
                         if let Some((_, _, _, li, gemm)) = self.pending_w.pop() {
                             // Drain exactly one GEMM, then re-check.
-                            apply_wgrads(&mut self.grads.layers[li], std::slice::from_ref(&gemm));
+                            apply_wgrads(
+                                &self.pool,
+                                &mut self.grads.layers[li],
+                                std::slice::from_ref(&gemm),
+                            );
                             self.mem.free(gemm.bytes());
                             self.drained += 1;
                         } else {
@@ -425,6 +466,7 @@ impl<'m> WorkerCtx<'m> {
             let kv = self.kvs.entry((mb, chunk, li - lo)).or_default();
             let before = kv.bytes();
             let (y, sv) = forward_slice(
+                &self.pool,
                 &self.model.layers[li],
                 &cur,
                 kv,
@@ -468,16 +510,19 @@ impl<'m> WorkerCtx<'m> {
                 .remove(&(mb, slice))
                 .expect("final hidden saved");
             self.mem.free(hidden.bytes());
-            let (normed, norm_saved) = rmsnorm(&hidden, &self.model.final_norm);
-            let logits = matmul(&normed, &self.model.head);
+            let (normed, norm_saved) = rmsnorm_in(&self.pool, &hidden, &self.model.final_norm);
+            let logits = matmul_in(&self.pool, &normed, &self.model.head);
             let targets = &self.batch[mb][offset + 1..offset + ts + 1];
-            let ce = cross_entropy(&logits, targets);
+            let ce = cross_entropy_in(&self.pool, &logits, targets);
             self.loss_sum += ce.loss_sum / (total_tokens * n_batch) as f64;
             let mut dlogits = ce.dlogits;
             dlogits.scale(1.0 / (total_tokens * n_batch) as f32);
-            self.grads.head.add_assign(&matmul_wgrad(&normed, &dlogits));
-            let d_normed = matmul_dgrad(&dlogits, &self.model.head);
-            let (dh, dfn) = rmsnorm_backward(&d_normed, &self.model.final_norm, &norm_saved);
+            self.grads
+                .head
+                .add_assign(&matmul_wgrad_in(&self.pool, &normed, &dlogits));
+            let d_normed = matmul_dgrad_in(&self.pool, &dlogits, &self.model.head);
+            let (dh, dfn) =
+                rmsnorm_backward_in(&self.pool, &d_normed, &self.model.final_norm, &norm_saved);
             self.grads.final_norm.add_assign(&dfn);
             dh
         } else {
@@ -496,7 +541,14 @@ impl<'m> WorkerCtx<'m> {
                 .expect("kv cache present");
             let dkv = self.dkvs.entry((mb, chunk, li - lo)).or_default();
             let was_empty = dkv.is_empty();
-            let out = backward_input_slice(&self.model.layers[li], &saves[li - lo], kv, dkv, &dy);
+            let out = backward_input_slice(
+                &self.pool,
+                &self.model.layers[li],
+                &saves[li - lo],
+                kv,
+                dkv,
+                &dy,
+            );
             if was_empty {
                 let bytes = dkv.bytes();
                 self.charge(bytes);
@@ -504,7 +556,9 @@ impl<'m> WorkerCtx<'m> {
             self.grads.layers[li].norm1.add_assign(&out.dnorm1);
             self.grads.layers[li].norm2.add_assign(&out.dnorm2);
             match self.mode {
-                WgradMode::Immediate => apply_wgrads(&mut self.grads.layers[li], &out.wgrads),
+                WgradMode::Immediate => {
+                    apply_wgrads(&self.pool, &mut self.grads.layers[li], &out.wgrads)
+                }
                 WgradMode::AtWeightOp | WgradMode::DrainOnWait => {
                     for gm in out.wgrads {
                         self.charge(gm.bytes());
@@ -560,7 +614,7 @@ impl<'m> WorkerCtx<'m> {
             if entry.0 == mb && entry.1 == slice && entry.2 == chunk {
                 let (_, _, _, li, gemm) = entry;
                 self.mem.free(gemm.bytes());
-                apply_wgrads(&mut self.grads.layers[li], &[gemm]);
+                apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
             } else {
                 remaining.push(entry);
             }
@@ -570,9 +624,10 @@ impl<'m> WorkerCtx<'m> {
 
     fn finish(mut self) -> WorkerOut {
         // Any weight work never reached (e.g. drained list ended early).
-        for (_, _, _, li, gemm) in self.pending_w.drain(..) {
+        let pending: Vec<_> = self.pending_w.drain(..).collect();
+        for (_, _, _, li, gemm) in pending {
             self.mem.free(gemm.bytes());
-            apply_wgrads(&mut self.grads.layers[li], &[gemm]);
+            apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
         }
         WorkerOut {
             loss_sum: self.loss_sum,
@@ -767,6 +822,48 @@ mod tests {
             last < first.unwrap(),
             "loss did not decrease: {first:?} -> {last}"
         );
+    }
+
+    #[test]
+    fn four_stage_svpp_with_kernel_pool_tracks_reference_loss() {
+        // Stage-level threads (4) each nest a 2-worker kernel pool — the
+        // composed parallelism must still reproduce the single-device
+        // loss trajectory step for step.
+        let cfg = tiny_cfg();
+        let mut rt = PipelineRuntime::new(ModelParams::init(cfg, 52), 4, 1).with_kernel_workers(2);
+        assert_eq!(rt.kernel_workers(), 2);
+        let mut ref_model = ModelParams::init(cfg, 52);
+        let sch = svpp_schedule(4, 1, 4, 4, true);
+        for step in 0..3 {
+            let batch = make_batch(&cfg, 4, 200 + step);
+            let stats = rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.1);
+            let r = batch_forward_backward(&ref_model, &batch);
+            Sgd { lr: 0.1 }.step_model(&mut ref_model, &r.grads);
+            assert!(
+                (stats.loss - r.loss).abs() < 1e-3,
+                "step {step}: pipeline {} vs reference {}",
+                stats.loss,
+                r.loss
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_worker_count_does_not_change_results() {
+        // The determinism contract end to end: the same iteration with 1
+        // and 3 kernel workers per stage produces bitwise-equal gradients.
+        let cfg = tiny_cfg();
+        let batch = make_batch(&cfg, 2, 19);
+        let sch = svpp_schedule(2, 1, 2, 2, false);
+        let run = |workers: usize| {
+            let rt =
+                PipelineRuntime::new(ModelParams::init(cfg, 53), 2, 1).with_kernel_workers(workers);
+            rt.run_iteration(&sch, &batch, WgradMode::Immediate, None)
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert!(a.grads.max_abs_diff(&b.grads) == 0.0);
     }
 
     #[test]

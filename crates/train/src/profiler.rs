@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use mepipe_schedule::ir::{Op, OpKind};
 use mepipe_sim::SimCost;
-use mepipe_tensor::{init, Tensor};
+use mepipe_tensor::{init, KernelPool, Tensor};
 
 use crate::{
     layer::{apply_wgrads, backward_input_slice, forward_slice, Kv},
@@ -44,13 +44,38 @@ pub struct ProfiledCosts {
     pub transfer_time: f64,
 }
 
-/// Profiles one chunk of `layers_per_chunk` layers at slice granularity.
+/// Profiles one chunk of `layers_per_chunk` layers at slice granularity
+/// with single-threaded kernels.
 ///
 /// # Panics
 ///
 /// Panics if the model has fewer layers than `layers_per_chunk` or the
 /// sequence does not divide into `slices`.
 pub fn profile_chunk(
+    model: &ModelParams,
+    layers_per_chunk: usize,
+    slices: usize,
+    trials: usize,
+) -> ProfiledCosts {
+    profile_chunk_in(
+        KernelPool::shared_serial(),
+        model,
+        layers_per_chunk,
+        slices,
+        trials,
+    )
+}
+
+/// [`profile_chunk`] with the kernels on `pool` — profile with the same
+/// pool the runtime will execute with, so the simulator's cost model
+/// reflects kernel-level parallelism.
+///
+/// # Panics
+///
+/// Panics if the model has fewer layers than `layers_per_chunk` or the
+/// sequence does not divide into `slices`.
+pub fn profile_chunk_in(
+    pool: &KernelPool,
     model: &ModelParams,
     layers_per_chunk: usize,
     slices: usize,
@@ -83,7 +108,7 @@ pub fn profile_chunk(
             let mut cur = x.clone();
             let mut per_layer = Vec::with_capacity(layers_per_chunk);
             for (li, kv) in kvs.iter_mut().enumerate() {
-                let (y, sv) = forward_slice(&model.layers[li], &cur, kv, sl * ts, cfg.heads);
+                let (y, sv) = forward_slice(pool, &model.layers[li], &cur, kv, sl * ts, cfg.heads);
                 per_layer.push(sv);
                 cur = y;
             }
@@ -102,6 +127,7 @@ pub fn profile_chunk(
             let mut cur = dy;
             for li in (0..layers_per_chunk).rev() {
                 let out = backward_input_slice(
+                    pool,
                     &model.layers[li],
                     &saves[sl][li],
                     &kvs[li],
@@ -118,7 +144,7 @@ pub fn profile_chunk(
                 .map(|l| l.zero_grads())
                 .collect();
             for (li, g) in &gemms {
-                apply_wgrads(&mut grads[*li], g);
+                apply_wgrads(pool, &mut grads[*li], g);
             }
             wgrad = wgrad.min(t1.elapsed().as_secs_f64());
         }

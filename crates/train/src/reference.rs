@@ -3,10 +3,10 @@
 
 use mepipe_tensor::{
     ops::{
-        cross_entropy, embedding, embedding_backward, matmul, matmul_dgrad, matmul_wgrad, rmsnorm,
-        rmsnorm_backward,
+        cross_entropy_in, embedding, embedding_backward, matmul_dgrad_in, matmul_in,
+        matmul_wgrad_in, rmsnorm_backward_in, rmsnorm_in,
     },
-    Tensor,
+    KernelPool, Tensor,
 };
 
 use crate::{
@@ -24,12 +24,28 @@ pub struct ReferenceOut {
 }
 
 /// Runs one sample (`tokens[..n]` predicting `tokens[1..=n]`) through the
-/// whole model on one device, full sequence, and returns loss + grads.
+/// whole model on one device, full sequence, and returns loss + grads
+/// (single-threaded kernels).
 ///
 /// # Panics
 ///
 /// Panics if `tokens.len() < 2`.
 pub fn forward_backward(model: &ModelParams, tokens: &[usize]) -> ReferenceOut {
+    forward_backward_in(KernelPool::shared_serial(), model, tokens)
+}
+
+/// [`forward_backward`] with the tensor kernels on `pool`. The pool only
+/// parallelises inside kernels — results are bit-identical to the serial
+/// run.
+///
+/// # Panics
+///
+/// Panics if `tokens.len() < 2`.
+pub fn forward_backward_in(
+    pool: &KernelPool,
+    model: &ModelParams,
+    tokens: &[usize],
+) -> ReferenceOut {
     assert!(tokens.len() >= 2, "need at least two tokens");
     let t = tokens.len() - 1;
     let inputs = &tokens[..t];
@@ -44,27 +60,31 @@ pub fn forward_backward(model: &ModelParams, tokens: &[usize]) -> ReferenceOut {
     let mut kvs: Vec<Kv> = (0..model.layers.len()).map(|_| Kv::default()).collect();
     let mut saves = Vec::with_capacity(model.layers.len());
     for (li, lp) in model.layers.iter().enumerate() {
-        let (y, sv) = forward_slice(lp, &x, &mut kvs[li], 0, heads);
+        let (y, sv) = forward_slice(pool, lp, &x, &mut kvs[li], 0, heads);
         saves.push(sv);
         x = y;
     }
-    let (normed, norm_saved) = rmsnorm(&x, &model.final_norm);
-    let logits = matmul(&normed, &model.head);
-    let ce = cross_entropy(&logits, targets);
+    let (normed, norm_saved) = rmsnorm_in(pool, &x, &model.final_norm);
+    let logits = matmul_in(pool, &normed, &model.head);
+    let ce = cross_entropy_in(pool, &logits, targets);
     let loss = ce.loss_sum / t as f64;
 
     // Backward. Loss gradient is already d(loss_sum); scale to mean.
     let mut dlogits = ce.dlogits;
     dlogits.scale(1.0 / t as f32);
-    grads.head.add_assign(&matmul_wgrad(&normed, &dlogits));
-    let d_normed = matmul_dgrad(&dlogits, &model.head);
-    let (mut dy, d_final_norm) = rmsnorm_backward(&d_normed, &model.final_norm, &norm_saved);
+    grads
+        .head
+        .add_assign(&matmul_wgrad_in(pool, &normed, &dlogits));
+    let d_normed = matmul_dgrad_in(pool, &dlogits, &model.head);
+    let (mut dy, d_final_norm) =
+        rmsnorm_backward_in(pool, &d_normed, &model.final_norm, &norm_saved);
     grads.final_norm.add_assign(&d_final_norm);
 
     for li in (0..model.layers.len()).rev() {
         let mut dkv = Kv::default();
-        let out = backward_input_slice(&model.layers[li], &saves[li], &kvs[li], &mut dkv, &dy);
-        apply_wgrads(&mut grads.layers[li], &out.wgrads);
+        let out =
+            backward_input_slice(pool, &model.layers[li], &saves[li], &kvs[li], &mut dkv, &dy);
+        apply_wgrads(pool, &mut grads.layers[li], &out.wgrads);
         grads.layers[li].norm1.add_assign(&out.dnorm1);
         grads.layers[li].norm2.add_assign(&out.dnorm2);
         dy = out.dx;
@@ -79,11 +99,20 @@ pub fn forward_backward(model: &ModelParams, tokens: &[usize]) -> ReferenceOut {
 /// Runs a batch of samples, averaging losses and accumulating gradients
 /// scaled by `1/batch` (the convention the pipeline runtime follows).
 pub fn batch_forward_backward(model: &ModelParams, batch: &[Vec<usize>]) -> ReferenceOut {
+    batch_forward_backward_in(KernelPool::shared_serial(), model, batch)
+}
+
+/// [`batch_forward_backward`] with the tensor kernels on `pool`.
+pub fn batch_forward_backward_in(
+    pool: &KernelPool,
+    model: &ModelParams,
+    batch: &[Vec<usize>],
+) -> ReferenceOut {
     assert!(!batch.is_empty(), "empty batch");
     let mut total = ModelGrads::zeros(model);
     let mut loss = 0.0;
     for sample in batch {
-        let out = forward_backward(model, sample);
+        let out = forward_backward_in(pool, model, sample);
         loss += out.loss;
         add_grads(&mut total, &out.grads, 1.0 / batch.len() as f32);
     }
@@ -150,6 +179,17 @@ mod tests {
             after.loss,
             before.loss
         );
+    }
+
+    #[test]
+    fn pooled_reference_is_bit_identical_to_serial() {
+        let cfg = TransformerConfig::tiny(2);
+        let model = ModelParams::init(cfg, 3);
+        let toks = synthetic_tokens(17, cfg.vocab, 5);
+        let serial = forward_backward(&model, &toks);
+        let pooled = forward_backward_in(&KernelPool::new(3), &model, &toks);
+        assert_eq!(serial.loss.to_bits(), pooled.loss.to_bits());
+        assert!(serial.grads.max_abs_diff(&pooled.grads) == 0.0);
     }
 
     #[test]

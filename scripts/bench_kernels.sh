@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the kernel-engine benchmark and refreshes BENCH_kernels.json at
+# the repo root. The bench compares the blocked/packed kernels against
+# the naive scalar references (single thread) and records worker-pool
+# scaling; see crates/bench/benches/kernels.rs for what is measured.
+#
+# Numbers are machine-dependent — re-run this after touching anything
+# under crates/tensor/src/ops/ or crates/tensor/src/pool.rs so the
+# checked-in JSON matches the code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p mepipe-bench --bench kernels

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release (tier-1)"
 cargo build --release
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> cargo test -q --workspace (tier-1 + workspace suites)"
 cargo test -q --workspace
 

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-19580a6c2a3460d5.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-19580a6c2a3460d5.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mepipe=placeholder:mepipe
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-e376c82412e84736.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-e376c82412e84736: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mepipe=/root/repo/target/debug/mepipe

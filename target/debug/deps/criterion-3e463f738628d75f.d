@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3e463f738628d75f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-3e463f738628d75f: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

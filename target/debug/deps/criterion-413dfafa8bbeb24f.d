@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-413dfafa8bbeb24f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-413dfafa8bbeb24f.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-413dfafa8bbeb24f.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-0c4167c94944f78c.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0c4167c94944f78c.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-0c4167c94944f78c.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

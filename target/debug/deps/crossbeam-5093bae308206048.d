@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-5093bae308206048.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-5093bae308206048: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

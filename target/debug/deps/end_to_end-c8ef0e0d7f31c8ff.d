@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c8ef0e0d7f31c8ff.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c8ef0e0d7f31c8ff: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parity-0903355c79c190be.d: crates/strategy/tests/engine_parity.rs
+
+/root/repo/target/debug/deps/engine_parity-0903355c79c190be: crates/strategy/tests/engine_parity.rs
+
+crates/strategy/tests/engine_parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_parity-e5031d9f80d89f8f.d: crates/strategy/tests/engine_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_parity-e5031d9f80d89f8f.rmeta: crates/strategy/tests/engine_parity.rs Cargo.toml
+
+crates/strategy/tests/engine_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-46caa71df033ad28.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-46caa71df033ad28: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_timing-45856b09e7ab0a3a.d: crates/bench/src/bin/gen_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_timing-45856b09e7ab0a3a.rmeta: crates/bench/src/bin/gen_timing.rs Cargo.toml
+
+crates/bench/src/bin/gen_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_timing-a87ec8f2d4331f74.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/debug/deps/gen_timing-a87ec8f2d4331f74: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_timing-c8ccc0355f565b8f.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/debug/deps/gen_timing-c8ccc0355f565b8f: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

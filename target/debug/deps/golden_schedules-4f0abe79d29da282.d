@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_schedules-4f0abe79d29da282.d: tests/golden_schedules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_schedules-4f0abe79d29da282.rmeta: tests/golden_schedules.rs Cargo.toml
+
+tests/golden_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_schedules-adde8520e4d169ff.d: tests/golden_schedules.rs
+
+/root/repo/target/debug/deps/golden_schedules-adde8520e4d169ff: tests/golden_schedules.rs
+
+tests/golden_schedules.rs:

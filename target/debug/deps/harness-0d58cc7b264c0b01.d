@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-0d58cc7b264c0b01.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-0d58cc7b264c0b01: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-48433c4bcd8ba1e6.d: crates/bench/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-48433c4bcd8ba1e6.rmeta: crates/bench/tests/harness.rs Cargo.toml
+
+crates/bench/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

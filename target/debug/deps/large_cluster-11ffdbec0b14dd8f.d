@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/large_cluster-11ffdbec0b14dd8f.d: crates/core/tests/large_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblarge_cluster-11ffdbec0b14dd8f.rmeta: crates/core/tests/large_cluster.rs Cargo.toml
+
+crates/core/tests/large_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_cluster-225959c6222dfbab.d: crates/core/tests/large_cluster.rs
+
+/root/repo/target/debug/deps/large_cluster-225959c6222dfbab: crates/core/tests/large_cluster.rs
+
+crates/core/tests/large_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-0c77e749686ca360.d: src/main.rs
+
+/root/repo/target/debug/deps/mepipe-0c77e749686ca360: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mepipe-4fef694eb53e3b50.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmepipe-4fef694eb53e3b50.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmepipe-4fef694eb53e3b50.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe-8d9bb1018e2a9b4f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe-8d9bb1018e2a9b4f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-9404abcc7ec2b7ec.d: src/main.rs
+
+/root/repo/target/debug/deps/mepipe-9404abcc7ec2b7ec: src/main.rs
+
+src/main.rs:

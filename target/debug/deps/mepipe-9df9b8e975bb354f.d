@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mepipe-9df9b8e975bb354f.d: src/lib.rs
+
+/root/repo/target/debug/deps/mepipe-9df9b8e975bb354f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe-c5e28e1f3ad88613.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe-c5e28e1f3ad88613.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe-d37c920e8c6e38fa.d: src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe-d37c920e8c6e38fa.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/mepipe_bench-5ae320d35a4a9bdd.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/disc9.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11_12.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/schedules.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab67.rs crates/bench/src/experiments/tab9.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_bench-5ae320d35a4a9bdd.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/disc9.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11_12.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/schedules.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab67.rs crates/bench/src/experiments/tab9.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/disc9.rs:
+crates/bench/src/experiments/fig1.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11_12.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/schedules.rs:
+crates/bench/src/experiments/tab2.rs:
+crates/bench/src/experiments/tab3.rs:
+crates/bench/src/experiments/tab67.rs:
+crates/bench/src/experiments/tab9.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mepipe_core-6b583de4d4181012.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_core-6b583de4d4181012.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/nonuniform.rs:
+crates/core/src/reschedule.rs:
+crates/core/src/svpp.rs:
+crates/core/src/variants.rs:
+crates/core/src/wgrad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

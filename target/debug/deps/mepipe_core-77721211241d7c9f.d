@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mepipe_core-77721211241d7c9f.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+/root/repo/target/debug/deps/mepipe_core-77721211241d7c9f: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/nonuniform.rs:
+crates/core/src/reschedule.rs:
+crates/core/src/svpp.rs:
+crates/core/src/variants.rs:
+crates/core/src/wgrad.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mepipe_core-abc9701aec580435.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+/root/repo/target/debug/deps/libmepipe_core-abc9701aec580435.rlib: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+/root/repo/target/debug/deps/libmepipe_core-abc9701aec580435.rmeta: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/nonuniform.rs:
+crates/core/src/reschedule.rs:
+crates/core/src/svpp.rs:
+crates/core/src/variants.rs:
+crates/core/src/wgrad.rs:

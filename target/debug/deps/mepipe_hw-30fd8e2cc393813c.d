@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mepipe_hw-30fd8e2cc393813c.d: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libmepipe_hw-30fd8e2cc393813c.rlib: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/debug/deps/libmepipe_hw-30fd8e2cc393813c.rmeta: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accelerator.rs:
+crates/hw/src/link.rs:
+crates/hw/src/mapping.rs:
+crates/hw/src/pricing.rs:
+crates/hw/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mepipe_hw-b59ed8583b4f0995.d: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_hw-b59ed8583b4f0995.rmeta: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/accelerator.rs:
+crates/hw/src/link.rs:
+crates/hw/src/mapping.rs:
+crates/hw/src/pricing.rs:
+crates/hw/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mepipe_model-9a358d07f13aa6a1.d: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/debug/deps/libmepipe_model-9a358d07f13aa6a1.rlib: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/debug/deps/libmepipe_model-9a358d07f13aa6a1.rmeta: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+crates/model/src/lib.rs:
+crates/model/src/comm.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/flops.rs:
+crates/model/src/gemm.rs:
+crates/model/src/memory.rs:
+crates/model/src/partition.rs:

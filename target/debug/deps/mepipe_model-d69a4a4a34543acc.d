@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mepipe_model-d69a4a4a34543acc.d: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_model-d69a4a4a34543acc.rmeta: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/comm.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/flops.rs:
+crates/model/src/gemm.rs:
+crates/model/src/memory.rs:
+crates/model/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

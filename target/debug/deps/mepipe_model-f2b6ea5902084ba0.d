@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mepipe_model-f2b6ea5902084ba0.d: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/debug/deps/mepipe_model-f2b6ea5902084ba0: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+crates/model/src/lib.rs:
+crates/model/src/comm.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/flops.rs:
+crates/model/src/gemm.rs:
+crates/model/src/memory.rs:
+crates/model/src/partition.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/mepipe_schedule-09cb24e3fe310150.d: crates/schedule/src/lib.rs crates/schedule/src/baselines/mod.rs crates/schedule/src/baselines/dapple.rs crates/schedule/src/baselines/gpipe.rs crates/schedule/src/baselines/hanayo.rs crates/schedule/src/baselines/terapipe.rs crates/schedule/src/baselines/vpp.rs crates/schedule/src/baselines/zb.rs crates/schedule/src/baselines/zbv.rs crates/schedule/src/deps.rs crates/schedule/src/exec.rs crates/schedule/src/generate.rs crates/schedule/src/generator.rs crates/schedule/src/ir.rs crates/schedule/src/render.rs crates/schedule/src/stats.rs crates/schedule/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_schedule-09cb24e3fe310150.rmeta: crates/schedule/src/lib.rs crates/schedule/src/baselines/mod.rs crates/schedule/src/baselines/dapple.rs crates/schedule/src/baselines/gpipe.rs crates/schedule/src/baselines/hanayo.rs crates/schedule/src/baselines/terapipe.rs crates/schedule/src/baselines/vpp.rs crates/schedule/src/baselines/zb.rs crates/schedule/src/baselines/zbv.rs crates/schedule/src/deps.rs crates/schedule/src/exec.rs crates/schedule/src/generate.rs crates/schedule/src/generator.rs crates/schedule/src/ir.rs crates/schedule/src/render.rs crates/schedule/src/stats.rs crates/schedule/src/validate.rs Cargo.toml
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/baselines/mod.rs:
+crates/schedule/src/baselines/dapple.rs:
+crates/schedule/src/baselines/gpipe.rs:
+crates/schedule/src/baselines/hanayo.rs:
+crates/schedule/src/baselines/terapipe.rs:
+crates/schedule/src/baselines/vpp.rs:
+crates/schedule/src/baselines/zb.rs:
+crates/schedule/src/baselines/zbv.rs:
+crates/schedule/src/deps.rs:
+crates/schedule/src/exec.rs:
+crates/schedule/src/generate.rs:
+crates/schedule/src/generator.rs:
+crates/schedule/src/ir.rs:
+crates/schedule/src/render.rs:
+crates/schedule/src/stats.rs:
+crates/schedule/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mepipe_sim-4fce67084cdbeedc.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmepipe_sim-4fce67084cdbeedc.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libmepipe_sim-4fce67084cdbeedc.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mepipe_sim-e804883f0385d7bb.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/mepipe_sim-e804883f0385d7bb: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

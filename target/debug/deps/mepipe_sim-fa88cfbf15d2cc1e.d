@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mepipe_sim-fa88cfbf15d2cc1e.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_sim-fa88cfbf15d2cc1e.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mepipe_strategy-0c975a86128dbfca.d: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/debug/deps/mepipe_strategy-0c975a86128dbfca: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+crates/strategy/src/lib.rs:
+crates/strategy/src/engine.rs:
+crates/strategy/src/evaluate.rs:
+crates/strategy/src/search.rs:
+crates/strategy/src/space.rs:

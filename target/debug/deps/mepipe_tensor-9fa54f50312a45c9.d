@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mepipe_tensor-9fa54f50312a45c9.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/mepipe_tensor-9fa54f50312a45c9: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/embedding.rs:
+crates/tensor/src/ops/loss.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/naive.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/vecops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/tensor.rs:

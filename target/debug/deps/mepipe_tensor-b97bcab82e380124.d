@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mepipe_tensor-b97bcab82e380124.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_tensor-b97bcab82e380124.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/embedding.rs:
+crates/tensor/src/ops/loss.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/naive.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/vecops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

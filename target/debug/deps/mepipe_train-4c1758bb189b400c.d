@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mepipe_train-4c1758bb189b400c.d: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmepipe_train-4c1758bb189b400c.rmeta: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs Cargo.toml
+
+crates/train/src/lib.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cp.rs:
+crates/train/src/layer.rs:
+crates/train/src/memtrack.rs:
+crates/train/src/optim.rs:
+crates/train/src/params.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/profiler.rs:
+crates/train/src/reference.rs:
+crates/train/src/tp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

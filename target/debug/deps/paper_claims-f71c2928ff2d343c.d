@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-f71c2928ff2d343c.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-f71c2928ff2d343c: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_tests-ef5376a290d0e539.d: tests/property_tests.rs
+
+/root/repo/target/debug/deps/property_tests-ef5376a290d0e539: tests/property_tests.rs
+
+tests/property_tests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-55eab861136d9d84.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-55eab861136d9d84.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-55eab861136d9d84.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

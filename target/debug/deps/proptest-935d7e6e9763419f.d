@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-935d7e6e9763419f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-935d7e6e9763419f: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

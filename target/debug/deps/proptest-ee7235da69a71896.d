@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ee7235da69a71896.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ee7235da69a71896.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ee7235da69a71896.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

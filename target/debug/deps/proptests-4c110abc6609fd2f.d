@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4c110abc6609fd2f.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4c110abc6609fd2f: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

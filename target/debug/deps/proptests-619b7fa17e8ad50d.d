@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-619b7fa17e8ad50d.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-619b7fa17e8ad50d: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

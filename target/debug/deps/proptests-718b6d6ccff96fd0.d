@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-718b6d6ccff96fd0.d: crates/tensor/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-718b6d6ccff96fd0.rmeta: crates/tensor/tests/proptests.rs Cargo.toml
+
+crates/tensor/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0243497d0b4db8f.d: crates/schedule/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a0243497d0b4db8f: crates/schedule/tests/proptests.rs
+
+crates/schedule/tests/proptests.rs:

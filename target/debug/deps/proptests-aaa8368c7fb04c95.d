@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-aaa8368c7fb04c95.d: crates/schedule/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-aaa8368c7fb04c95.rmeta: crates/schedule/tests/proptests.rs Cargo.toml
+
+crates/schedule/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

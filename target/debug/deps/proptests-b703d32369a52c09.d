@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b703d32369a52c09.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b703d32369a52c09: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

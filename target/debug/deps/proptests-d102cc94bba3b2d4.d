@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d102cc94bba3b2d4.d: crates/hw/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d102cc94bba3b2d4.rmeta: crates/hw/tests/proptests.rs Cargo.toml
+
+crates/hw/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d424abac4a7fec1f.d: crates/model/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d424abac4a7fec1f.rmeta: crates/model/tests/proptests.rs Cargo.toml
+
+crates/model/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

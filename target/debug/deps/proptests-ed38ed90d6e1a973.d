@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ed38ed90d6e1a973.d: crates/model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ed38ed90d6e1a973: crates/model/tests/proptests.rs
+
+crates/model/tests/proptests.rs:

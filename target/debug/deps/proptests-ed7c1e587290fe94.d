@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ed7c1e587290fe94.d: crates/hw/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ed7c1e587290fe94: crates/hw/tests/proptests.rs
+
+crates/hw/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f89703ba1a38b76e.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f89703ba1a38b76e: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-60609812603670e2.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-60609812603670e2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-60609812603670e2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b32340ebb6ad4d5c.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b32340ebb6ad4d5c.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b32340ebb6ad4d5c.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

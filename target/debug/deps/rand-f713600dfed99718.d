@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f713600dfed99718.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f713600dfed99718: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_generation-e660fe3aa72b8651.d: crates/bench/benches/schedule_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_generation-e660fe3aa72b8651.rmeta: crates/bench/benches/schedule_generation.rs Cargo.toml
+
+crates/bench/benches/schedule_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

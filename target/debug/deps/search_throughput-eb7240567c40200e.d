@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_throughput-eb7240567c40200e.d: crates/bench/benches/search_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_throughput-eb7240567c40200e.rmeta: crates/bench/benches/search_throughput.rs Cargo.toml
+
+crates/bench/benches/search_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-5883f148f45e8db3.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5883f148f45e8db3.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5883f148f45e8db3.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

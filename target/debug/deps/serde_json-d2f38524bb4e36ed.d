@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-d2f38524bb4e36ed.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-d2f38524bb4e36ed: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tensor_ops-d39b3a2798dc3cd4.d: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtensor_ops-d39b3a2798dc3cd4.rmeta: crates/bench/benches/tensor_ops.rs Cargo.toml
+
+crates/bench/benches/tensor_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

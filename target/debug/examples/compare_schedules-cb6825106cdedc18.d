@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_schedules-cb6825106cdedc18.d: examples/compare_schedules.rs
+
+/root/repo/target/debug/examples/compare_schedules-cb6825106cdedc18: examples/compare_schedules.rs
+
+examples/compare_schedules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compare_schedules-d86dd8d970bdc6d7.d: examples/compare_schedules.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompare_schedules-d86dd8d970bdc6d7.rmeta: examples/compare_schedules.rs Cargo.toml
+
+examples/compare_schedules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/memory_budget-c439ccec78345608.d: examples/memory_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmemory_budget-c439ccec78345608.rmeta: examples/memory_budget.rs Cargo.toml
+
+examples/memory_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/memory_budget-dbd3e9aa351d4c9d.d: examples/memory_budget.rs
+
+/root/repo/target/debug/examples/memory_budget-dbd3e9aa351d4c9d: examples/memory_budget.rs
+
+examples/memory_budget.rs:

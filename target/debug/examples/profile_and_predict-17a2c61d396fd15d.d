@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_and_predict-17a2c61d396fd15d.d: examples/profile_and_predict.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_and_predict-17a2c61d396fd15d.rmeta: examples/profile_and_predict.rs Cargo.toml
+
+examples/profile_and_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_and_predict-54049a28505c61f0.d: examples/profile_and_predict.rs
+
+/root/repo/target/debug/examples/profile_and_predict-54049a28505c61f0: examples/profile_and_predict.rs
+
+examples/profile_and_predict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-afe91bc4292cfa74.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-afe91bc4292cfa74: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_search-754510237fd074c6.d: examples/strategy_search.rs
+
+/root/repo/target/debug/examples/strategy_search-754510237fd074c6: examples/strategy_search.rs
+
+examples/strategy_search.rs:

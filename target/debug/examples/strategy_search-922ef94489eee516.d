@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_search-922ef94489eee516.d: examples/strategy_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_search-922ef94489eee516.rmeta: examples/strategy_search.rs Cargo.toml
+
+examples/strategy_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mini_llama-485730f183890d61.d: examples/train_mini_llama.rs
+
+/root/repo/target/debug/examples/train_mini_llama-485730f183890d61: examples/train_mini_llama.rs
+
+examples/train_mini_llama.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_mini_llama-9396c688c4bb17bd.d: examples/train_mini_llama.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_mini_llama-9396c688c4bb17bd.rmeta: examples/train_mini_llama.rs Cargo.toml
+
+examples/train_mini_llama.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-3da5683a3b7d8640.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-3da5683a3b7d8640: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8ee0e6c5709f9ba4.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8ee0e6c5709f9ba4.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8ee0e6c5709f9ba4.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-9cd954b240cfc686.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9cd954b240cfc686.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-9cd954b240cfc686.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-b7e08bcf06e9bb22.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7e08bcf06e9bb22.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-b7e08bcf06e9bb22.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

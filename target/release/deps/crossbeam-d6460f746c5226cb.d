@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-d6460f746c5226cb.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-d6460f746c5226cb: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

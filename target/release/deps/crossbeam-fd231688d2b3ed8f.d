@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-fd231688d2b3ed8f.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fd231688d2b3ed8f.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fd231688d2b3ed8f.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-ce9ab9204553506a.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-ce9ab9204553506a: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

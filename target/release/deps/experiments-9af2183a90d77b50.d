@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-9af2183a90d77b50.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-9af2183a90d77b50: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ded2b18202961f3d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ded2b18202961f3d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

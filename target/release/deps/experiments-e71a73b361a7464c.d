@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e71a73b361a7464c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e71a73b361a7464c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_timing-1c7995d79856edae.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/release/deps/gen_timing-1c7995d79856edae: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_timing-9dade54c551bc095.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/release/deps/gen_timing-9dade54c551bc095: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gen_timing-e41913b10b0e56c4.d: crates/bench/src/bin/gen_timing.rs
+
+/root/repo/target/release/deps/gen_timing-e41913b10b0e56c4: crates/bench/src/bin/gen_timing.rs
+
+crates/bench/src/bin/gen_timing.rs:

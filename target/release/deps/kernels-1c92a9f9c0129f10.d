@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-1c92a9f9c0129f10.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-1c92a9f9c0129f10: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-401b43f9b838f6aa.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-401b43f9b838f6aa: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

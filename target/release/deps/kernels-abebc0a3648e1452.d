@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-abebc0a3648e1452.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-abebc0a3648e1452: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mepipe-1cda06f47df68f5f.d: src/main.rs
+
+/root/repo/target/release/deps/mepipe-1cda06f47df68f5f: src/main.rs
+
+src/main.rs:

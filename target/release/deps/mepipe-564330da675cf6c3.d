@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mepipe-564330da675cf6c3.d: src/main.rs
+
+/root/repo/target/release/deps/mepipe-564330da675cf6c3: src/main.rs
+
+src/main.rs:

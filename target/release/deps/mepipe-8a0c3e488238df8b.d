@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mepipe-8a0c3e488238df8b.d: src/lib.rs
+
+/root/repo/target/release/deps/libmepipe-8a0c3e488238df8b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmepipe-8a0c3e488238df8b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mepipe-9edcdf0db2ce1116.d: src/lib.rs
+
+/root/repo/target/release/deps/mepipe-9edcdf0db2ce1116: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mepipe_bench-3f6aa8ade5da8477.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/disc9.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11_12.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/schedules.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab67.rs crates/bench/src/experiments/tab9.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/mepipe_bench-3f6aa8ade5da8477: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/disc9.rs crates/bench/src/experiments/fig1.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11_12.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/schedules.rs crates/bench/src/experiments/tab2.rs crates/bench/src/experiments/tab3.rs crates/bench/src/experiments/tab67.rs crates/bench/src/experiments/tab9.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/disc9.rs:
+crates/bench/src/experiments/fig1.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11_12.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/schedules.rs:
+crates/bench/src/experiments/tab2.rs:
+crates/bench/src/experiments/tab3.rs:
+crates/bench/src/experiments/tab67.rs:
+crates/bench/src/experiments/tab9.rs:
+crates/bench/src/report.rs:

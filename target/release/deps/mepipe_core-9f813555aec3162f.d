@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mepipe_core-9f813555aec3162f.d: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+/root/repo/target/release/deps/mepipe_core-9f813555aec3162f: crates/core/src/lib.rs crates/core/src/analytic.rs crates/core/src/nonuniform.rs crates/core/src/reschedule.rs crates/core/src/svpp.rs crates/core/src/variants.rs crates/core/src/wgrad.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analytic.rs:
+crates/core/src/nonuniform.rs:
+crates/core/src/reschedule.rs:
+crates/core/src/svpp.rs:
+crates/core/src/variants.rs:
+crates/core/src/wgrad.rs:

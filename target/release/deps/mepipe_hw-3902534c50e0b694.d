@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mepipe_hw-3902534c50e0b694.d: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/mepipe_hw-3902534c50e0b694: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accelerator.rs:
+crates/hw/src/link.rs:
+crates/hw/src/mapping.rs:
+crates/hw/src/pricing.rs:
+crates/hw/src/topology.rs:

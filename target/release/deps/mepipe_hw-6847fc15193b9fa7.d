@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mepipe_hw-6847fc15193b9fa7.d: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libmepipe_hw-6847fc15193b9fa7.rlib: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+/root/repo/target/release/deps/libmepipe_hw-6847fc15193b9fa7.rmeta: crates/hw/src/lib.rs crates/hw/src/accelerator.rs crates/hw/src/link.rs crates/hw/src/mapping.rs crates/hw/src/pricing.rs crates/hw/src/topology.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/accelerator.rs:
+crates/hw/src/link.rs:
+crates/hw/src/mapping.rs:
+crates/hw/src/pricing.rs:
+crates/hw/src/topology.rs:

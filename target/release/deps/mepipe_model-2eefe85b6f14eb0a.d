@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mepipe_model-2eefe85b6f14eb0a.d: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/release/deps/libmepipe_model-2eefe85b6f14eb0a.rlib: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+/root/repo/target/release/deps/libmepipe_model-2eefe85b6f14eb0a.rmeta: crates/model/src/lib.rs crates/model/src/comm.rs crates/model/src/config.rs crates/model/src/cost.rs crates/model/src/flops.rs crates/model/src/gemm.rs crates/model/src/memory.rs crates/model/src/partition.rs
+
+crates/model/src/lib.rs:
+crates/model/src/comm.rs:
+crates/model/src/config.rs:
+crates/model/src/cost.rs:
+crates/model/src/flops.rs:
+crates/model/src/gemm.rs:
+crates/model/src/memory.rs:
+crates/model/src/partition.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/mepipe_schedule-1c7ebd9d9213ba21.d: crates/schedule/src/lib.rs crates/schedule/src/baselines/mod.rs crates/schedule/src/baselines/dapple.rs crates/schedule/src/baselines/gpipe.rs crates/schedule/src/baselines/hanayo.rs crates/schedule/src/baselines/terapipe.rs crates/schedule/src/baselines/vpp.rs crates/schedule/src/baselines/zb.rs crates/schedule/src/baselines/zbv.rs crates/schedule/src/deps.rs crates/schedule/src/exec.rs crates/schedule/src/generate.rs crates/schedule/src/generator.rs crates/schedule/src/ir.rs crates/schedule/src/render.rs crates/schedule/src/stats.rs crates/schedule/src/validate.rs
+
+/root/repo/target/release/deps/mepipe_schedule-1c7ebd9d9213ba21: crates/schedule/src/lib.rs crates/schedule/src/baselines/mod.rs crates/schedule/src/baselines/dapple.rs crates/schedule/src/baselines/gpipe.rs crates/schedule/src/baselines/hanayo.rs crates/schedule/src/baselines/terapipe.rs crates/schedule/src/baselines/vpp.rs crates/schedule/src/baselines/zb.rs crates/schedule/src/baselines/zbv.rs crates/schedule/src/deps.rs crates/schedule/src/exec.rs crates/schedule/src/generate.rs crates/schedule/src/generator.rs crates/schedule/src/ir.rs crates/schedule/src/render.rs crates/schedule/src/stats.rs crates/schedule/src/validate.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/baselines/mod.rs:
+crates/schedule/src/baselines/dapple.rs:
+crates/schedule/src/baselines/gpipe.rs:
+crates/schedule/src/baselines/hanayo.rs:
+crates/schedule/src/baselines/terapipe.rs:
+crates/schedule/src/baselines/vpp.rs:
+crates/schedule/src/baselines/zb.rs:
+crates/schedule/src/baselines/zbv.rs:
+crates/schedule/src/deps.rs:
+crates/schedule/src/exec.rs:
+crates/schedule/src/generate.rs:
+crates/schedule/src/generator.rs:
+crates/schedule/src/ir.rs:
+crates/schedule/src/render.rs:
+crates/schedule/src/stats.rs:
+crates/schedule/src/validate.rs:

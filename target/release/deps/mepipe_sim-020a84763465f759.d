@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mepipe_sim-020a84763465f759.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmepipe_sim-020a84763465f759.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libmepipe_sim-020a84763465f759.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

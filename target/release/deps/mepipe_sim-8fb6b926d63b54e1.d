@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mepipe_sim-8fb6b926d63b54e1.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/mepipe_sim-8fb6b926d63b54e1: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

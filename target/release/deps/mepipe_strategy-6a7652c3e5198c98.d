@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mepipe_strategy-6a7652c3e5198c98.d: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/release/deps/libmepipe_strategy-6a7652c3e5198c98.rlib: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/release/deps/libmepipe_strategy-6a7652c3e5198c98.rmeta: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+crates/strategy/src/lib.rs:
+crates/strategy/src/engine.rs:
+crates/strategy/src/evaluate.rs:
+crates/strategy/src/search.rs:
+crates/strategy/src/space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mepipe_strategy-96a19736dcd0a92f.d: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+/root/repo/target/release/deps/mepipe_strategy-96a19736dcd0a92f: crates/strategy/src/lib.rs crates/strategy/src/engine.rs crates/strategy/src/evaluate.rs crates/strategy/src/search.rs crates/strategy/src/space.rs
+
+crates/strategy/src/lib.rs:
+crates/strategy/src/engine.rs:
+crates/strategy/src/evaluate.rs:
+crates/strategy/src/search.rs:
+crates/strategy/src/space.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/mepipe_tensor-05dac41698e9cd6d.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/tensor.rs
+/root/repo/target/release/deps/mepipe_tensor-05dac41698e9cd6d.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
 
-/root/repo/target/release/deps/libmepipe_tensor-05dac41698e9cd6d.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/tensor.rs
+/root/repo/target/release/deps/libmepipe_tensor-05dac41698e9cd6d.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
 
-/root/repo/target/release/deps/libmepipe_tensor-05dac41698e9cd6d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/norm.rs crates/tensor/src/tensor.rs
+/root/repo/target/release/deps/libmepipe_tensor-05dac41698e9cd6d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/init.rs:
@@ -12,5 +12,8 @@ crates/tensor/src/ops/attention.rs:
 crates/tensor/src/ops/embedding.rs:
 crates/tensor/src/ops/loss.rs:
 crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/naive.rs:
 crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/vecops.rs:
+crates/tensor/src/pool.rs:
 crates/tensor/src/tensor.rs:

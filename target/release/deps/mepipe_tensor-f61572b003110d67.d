@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/mepipe_tensor-f61572b003110d67.d: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmepipe_tensor-f61572b003110d67.rlib: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libmepipe_tensor-f61572b003110d67.rmeta: crates/tensor/src/lib.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/activation.rs crates/tensor/src/ops/attention.rs crates/tensor/src/ops/embedding.rs crates/tensor/src/ops/loss.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/naive.rs crates/tensor/src/ops/norm.rs crates/tensor/src/ops/vecops.rs crates/tensor/src/pool.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/activation.rs:
+crates/tensor/src/ops/attention.rs:
+crates/tensor/src/ops/embedding.rs:
+crates/tensor/src/ops/loss.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/naive.rs:
+crates/tensor/src/ops/norm.rs:
+crates/tensor/src/ops/vecops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/tensor.rs:

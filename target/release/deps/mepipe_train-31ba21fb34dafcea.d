@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mepipe_train-31ba21fb34dafcea.d: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs
+
+/root/repo/target/release/deps/libmepipe_train-31ba21fb34dafcea.rlib: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs
+
+/root/repo/target/release/deps/libmepipe_train-31ba21fb34dafcea.rmeta: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs
+
+crates/train/src/lib.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cp.rs:
+crates/train/src/layer.rs:
+crates/train/src/memtrack.rs:
+crates/train/src/optim.rs:
+crates/train/src/params.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/profiler.rs:
+crates/train/src/reference.rs:
+crates/train/src/tp.rs:

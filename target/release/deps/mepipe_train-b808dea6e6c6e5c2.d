@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mepipe_train-b808dea6e6c6e5c2.d: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs
+
+/root/repo/target/release/deps/mepipe_train-b808dea6e6c6e5c2: crates/train/src/lib.rs crates/train/src/checkpoint.rs crates/train/src/cp.rs crates/train/src/layer.rs crates/train/src/memtrack.rs crates/train/src/optim.rs crates/train/src/params.rs crates/train/src/pipeline.rs crates/train/src/profiler.rs crates/train/src/reference.rs crates/train/src/tp.rs
+
+crates/train/src/lib.rs:
+crates/train/src/checkpoint.rs:
+crates/train/src/cp.rs:
+crates/train/src/layer.rs:
+crates/train/src/memtrack.rs:
+crates/train/src/optim.rs:
+crates/train/src/params.rs:
+crates/train/src/pipeline.rs:
+crates/train/src/profiler.rs:
+crates/train/src/reference.rs:
+crates/train/src/tp.rs:

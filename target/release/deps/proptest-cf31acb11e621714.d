@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cf31acb11e621714.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cf31acb11e621714.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cf31acb11e621714.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-f8e9e9e73d2ec803.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-f8e9e9e73d2ec803: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-935e0075a2e1c9b2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-935e0075a2e1c9b2.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-935e0075a2e1c9b2.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

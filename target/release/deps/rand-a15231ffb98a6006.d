@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a15231ffb98a6006.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a15231ffb98a6006.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a15231ffb98a6006.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

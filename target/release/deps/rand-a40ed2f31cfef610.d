@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-a40ed2f31cfef610.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-a40ed2f31cfef610: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

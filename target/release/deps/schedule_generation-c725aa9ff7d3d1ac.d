@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedule_generation-c725aa9ff7d3d1ac.d: crates/bench/benches/schedule_generation.rs
+
+/root/repo/target/release/deps/schedule_generation-c725aa9ff7d3d1ac: crates/bench/benches/schedule_generation.rs
+
+crates/bench/benches/schedule_generation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_throughput-93eb758a82c41f0f.d: crates/bench/benches/search_throughput.rs
+
+/root/repo/target/release/deps/search_throughput-93eb758a82c41f0f: crates/bench/benches/search_throughput.rs
+
+crates/bench/benches/search_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-4594ab34c5233470.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4594ab34c5233470.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-4594ab34c5233470.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-f82477507a282aa5.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-f82477507a282aa5: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-39cc63685a36c72e.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-39cc63685a36c72e: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_ops-c36712df90ec7969.d: crates/bench/benches/tensor_ops.rs
+
+/root/repo/target/release/deps/tensor_ops-c36712df90ec7969: crates/bench/benches/tensor_ops.rs
+
+crates/bench/benches/tensor_ops.rs:

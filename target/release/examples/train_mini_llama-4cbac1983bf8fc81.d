@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_mini_llama-4cbac1983bf8fc81.d: examples/train_mini_llama.rs
+
+/root/repo/target/release/examples/train_mini_llama-4cbac1983bf8fc81: examples/train_mini_llama.rs
+
+examples/train_mini_llama.rs:
