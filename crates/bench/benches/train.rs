@@ -1,0 +1,151 @@
+//! End-to-end training-iteration benchmark: the threaded pipeline
+//! runtime on a mini-Llama, measured as whole `train_step` iterations.
+//! Results are printed and written to `BENCH_train.json` at the repo
+//! root (`scripts/bench_train.sh`), alongside the pre-arena baseline
+//! that was measured on the same config before the tensor arena landed,
+//! so the recorded speedup is a real before/after.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use mepipe_core::svpp::Mepipe;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{params::ModelParams, pipeline::WgradMode, PipelineRuntime};
+
+/// Seconds per iteration: the *minimum* over several samples — the
+/// noise-robust estimator on a shared machine (interference only ever
+/// adds time), matching `kernels.rs`.
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    let warm = Instant::now();
+    f();
+    let once = warm.elapsed().as_secs_f64();
+    // ~0.5 s per sample, 5 samples (bounded for slow iterations).
+    let per_sample = if once <= 0.0 {
+        4
+    } else {
+        ((0.5 / once) as usize).clamp(1, 8)
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / per_sample as f64);
+    }
+    best
+}
+
+/// The benchmark model/pipeline shape. Fixed — the recorded baseline in
+/// `BENCH_train.json` was measured on exactly this config, so any change
+/// here invalidates the before/after comparison.
+const STAGES: usize = 2;
+const SLICES: usize = 8;
+const MICRO_BATCHES: usize = 4;
+const REPLICAS: usize = 2;
+
+/// Pre-arena baseline, measured on this exact config at commit
+/// `bbe7e18` (before the tensor arena and copy-elimination work) with
+/// the same min-of-5-runs protocol: seconds per iteration.
+const BASELINE_STEP_S: f64 = 0.046215; // 46.2 ms, 21.638 iters/s
+const BASELINE_DP_S: f64 = 0.047852; // 47.9 ms, 20.898 iters/s
+
+fn bench_cfg() -> TransformerConfig {
+    TransformerConfig {
+        seq_len: 128,
+        ..TransformerConfig::tiny(4)
+    }
+}
+
+fn make_batch(cfg: &TransformerConfig, n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 1000 + i as u64))
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = bench_cfg();
+    let batch = make_batch(&cfg, MICRO_BATCHES);
+
+    // --- Scenario 1: multi-stage train_step (MEPipe schedule, drained
+    // weight gradients — the paper's Section 5 execution mode). ---
+    let sch = Mepipe::new()
+        .generate(&Dims::new(STAGES, MICRO_BATCHES).slices(SLICES))
+        .unwrap();
+    let mut rt = PipelineRuntime::new(ModelParams::init(cfg, 7), STAGES, 1);
+
+    if smoke {
+        // One iteration, no timing, no JSON — the check.sh smoke path.
+        let stats = rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05);
+        assert!(stats.loss.is_finite(), "smoke iteration produced NaN loss");
+        println!("smoke: train_step ok, loss {:.4}", stats.loss);
+        return;
+    }
+
+    let t_step = time(|| {
+        black_box(rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05));
+    });
+    // One extra measured iteration for the steady-state stats: peak
+    // bytes per stage and the arena hit rate with warm free lists.
+    let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+    let arena = stats
+        .arena
+        .iter()
+        .fold(mepipe_tensor::ArenaStats::default(), |a, s| a.merged(s));
+    let iters_per_sec = 1.0 / t_step;
+    println!(
+        "== train_step p={STAGES} slices={SLICES} n={MICRO_BATCHES} seq={} ==",
+        cfg.seq_len
+    );
+    println!(
+        "  {:.1} ms/iter ({iters_per_sec:.3} iters/s), peak bytes {:?}",
+        t_step * 1e3,
+        stats.peak_bytes
+    );
+    println!(
+        "  arena: {:.1}% hit rate ({} hits / {} misses), baseline {:.1} ms/iter -> {:.2}x",
+        arena.hit_rate() * 100.0,
+        arena.hits,
+        arena.misses,
+        BASELINE_STEP_S * 1e3,
+        BASELINE_STEP_S / t_step
+    );
+
+    // --- Scenario 2: data parallelism over pipeline replicas. ---
+    let dp_sch = Mepipe::new()
+        .generate(&Dims::new(STAGES, MICRO_BATCHES / REPLICAS).slices(SLICES))
+        .unwrap();
+    let t_dp = time(|| {
+        black_box(rt.run_data_parallel(&dp_sch, &batch, REPLICAS, WgradMode::DrainOnWait));
+    });
+    println!("== data parallel replicas={REPLICAS} ==");
+    println!(
+        "  {:.1} ms/iter ({:.3} iters/s), baseline {:.1} ms/iter -> {:.2}x",
+        t_dp * 1e3,
+        1.0 / t_dp,
+        BASELINE_DP_S * 1e3,
+        BASELINE_DP_S / t_dp
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4}\n  }}\n}}\n",
+        cfg.seq_len,
+        cfg.layers,
+        cfg.hidden,
+        1.0 / BASELINE_STEP_S,
+        1.0 / BASELINE_DP_S,
+        BASELINE_STEP_S / t_step,
+        stats.peak_bytes,
+        arena.hit_rate(),
+        arena.hits,
+        arena.misses,
+        1.0 / t_dp,
+        BASELINE_DP_S / t_dp,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(out, &json).expect("write BENCH_train.json");
+    println!("wrote {out}");
+}

@@ -27,10 +27,13 @@
 //! No unsafe code, f32 throughout.
 #![warn(missing_docs)]
 
+pub mod arena;
+mod hash;
 pub mod init;
 pub mod ops;
 pub mod pool;
 pub mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use pool::KernelPool;
 pub use tensor::Tensor;

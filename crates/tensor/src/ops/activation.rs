@@ -1,32 +1,31 @@
 //! SiLU (swish) activation — the gate nonlinearity of Llama's SwiGLU MLP.
 
-use crate::tensor::Tensor;
+use crate::{ops::vecops::fast_exp, tensor::Tensor};
 
 #[inline]
 fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+    1.0 / (1.0 + fast_exp(-x))
 }
 
 /// Element-wise `silu(x) = x * sigmoid(x)`.
 pub fn silu(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| v * sigmoid(v)).collect();
-    Tensor::from_vec(x.rows(), x.cols(), data)
+    let mut out = Tensor::uninit(x.rows(), x.cols());
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = v * sigmoid(v);
+    }
+    out
 }
 
 /// Backward of [`silu`] given upstream `dy` and the saved input `x`.
 pub fn silu_backward(dy: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(x.rows(), dy.rows());
     assert_eq!(x.cols(), dy.cols());
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&v, &g)| {
-            let s = sigmoid(v);
-            g * (s + v * s * (1.0 - s))
-        })
-        .collect();
-    Tensor::from_vec(x.rows(), x.cols(), data)
+    let mut out = Tensor::uninit(x.rows(), x.cols());
+    for ((o, &v), &g) in out.data_mut().iter_mut().zip(x.data()).zip(dy.data()) {
+        let s = sigmoid(v);
+        *o = g * (s + v * s * (1.0 - s));
+    }
+    out
 }
 
 #[cfg(test)]

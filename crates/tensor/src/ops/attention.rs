@@ -12,18 +12,21 @@
 //! * backward: returns `dq: [t, d]` plus `dk, dv: [c, d]` over the whole
 //!   prefix.
 //!
-//! Both passes are fused kernels on the worker pool. The forward computes
-//! scores, the stable softmax and the `P·V` contraction row by row in one
-//! sweep (query rows fan out over the pool). The backward computes
-//! `dP = dOut · Vᵀ` and the softmax Jacobian product as fused row dot
-//! products — no `v.transpose()` or `k`-transpose temporary is ever
-//! materialised — and routes the remaining contractions through the
-//! transpose-free [`matmul_dgrad_in`]-style packed GEMM forms.
+//! Both passes route every contraction — scores `Q·Kᵀ`, the value
+//! contraction `P·V`, and the gradient products `dOut·Vᵀ`, `dS·K`,
+//! `dSᵀ·Q`, `Pᵀ·dOut` — through the packed GEMM engine, with transposes
+//! absorbed by packing (no `Kᵀ`/`Vᵀ` temporary is ever materialised).
+//! The engine computes full-width score rows, including the non-causal
+//! upper triangle; the softmax / Jacobian row sweeps then mask that
+//! tail to zero. For the short, fat shapes attention produces
+//! (`t ≤ 16`, `c ≤ seq_len`), the blocked GEMM runs several times
+//! faster than per-row dot/axpy loops even counting the ~50 % masked
+//! waste, which is why the mask-after-GEMM layout wins.
 
 use crate::{
     ops::{
-        matmul::{matmul_in, matmul_wgrad_in},
-        vecops::{axpy, dot},
+        matmul::{matmul_dgrad_uncached_in, matmul_uncached_in, matmul_wgrad_in},
+        vecops::{dot, fast_exp},
     },
     pool::{row_blocks, KernelPool},
     tensor::Tensor,
@@ -80,46 +83,43 @@ pub fn causal_attention_in(
     assert_eq!(v.cols(), d, "value head dim mismatch");
     let scale = 1.0 / (d as f32).sqrt();
 
-    let mut probs = Tensor::zeros(t, c);
-    let mut out = Tensor::zeros(t, d);
-    // Joint row blocks of the probability matrix and the output: each
-    // query row is fully processed — scores, softmax, value contraction —
-    // in one cache-warm sweep.
-    let mut items: Vec<(usize, &mut [f32], &mut [f32])> =
-        row_blocks(probs.data_mut(), c, ROW_GRAIN)
-            .into_iter()
-            .zip(row_blocks(out.data_mut(), d, ROW_GRAIN))
-            .map(|((r0, pc), (_, oc))| (r0, pc, oc))
-            .collect();
-    pool.for_each(&mut items, |_, (r0, pchunk, ochunk)| {
-        let rows = pchunk.len() / c;
+    // Scores through the GEMM engine: pre-scale a copy of q so the
+    // 1/√d factor is absorbed into the product (the backward still
+    // differentiates w.r.t. the original q, so its chain-rule scale is
+    // unchanged). The engine fills the full `[t, c]` matrix, including
+    // the non-causal upper triangle; the softmax sweep masks it below.
+    let mut qs = q.clone();
+    qs.scale(scale);
+    let mut probs = matmul_dgrad_uncached_in(pool, &qs, k);
+    let mut items = row_blocks(probs.data_mut(), c, ROW_GRAIN);
+    pool.for_each(&mut items, |_, (r0, chunk)| {
+        let rows = chunk.len() / c;
         for i in 0..rows {
             let gi = *r0 + i;
             let limit = offset + gi + 1; // Causal: keys [0, limit).
-            let qi = q.row(gi);
-            let prow = &mut pchunk[i * c..i * c + limit];
-            // Scores with running max for a stable softmax.
+            let (prow, tail) = chunk[i * c..(i + 1) * c].split_at_mut(limit);
             let mut max = f32::NEG_INFINITY;
-            for (j, s) in prow.iter_mut().enumerate() {
-                *s = dot(qi, k.row(j)) * scale;
-                max = max.max(*s);
+            for &s in prow.iter() {
+                max = max.max(s);
             }
             let mut denom = 0.0;
             for s in prow.iter_mut() {
-                *s = (*s - max).exp();
+                *s = fast_exp(*s - max);
                 denom += *s;
             }
             let inv = 1.0 / denom;
             for s in prow.iter_mut() {
                 *s *= inv;
             }
-            // Fused value contraction: out_row = Σ_j P[j] · v_j.
-            let orow = &mut ochunk[i * d..(i + 1) * d];
-            for (j, &p) in prow.iter().enumerate() {
-                axpy(orow, p, v.row(j));
+            // Causal mask: zero the future scores the GEMM filled in,
+            // so the P·V contraction and the backward's Pᵀ·dOut see
+            // exact zeros there.
+            for s in tail.iter_mut() {
+                *s = 0.0;
             }
         }
     });
+    let out = matmul_uncached_in(pool, &probs, v);
     (out, AttentionSaved { probs, offset })
 }
 
@@ -159,11 +159,12 @@ pub fn causal_attention_backward_in(
 
     // dV = Pᵀ · dOut (wgrad form — the transpose is absorbed by packing).
     let dv = matmul_wgrad_in(pool, &saved.probs, dout);
-    // Fused per row: dP_j = dOut_i · v_j (the dgrad form of dP = dOut·Vᵀ,
-    // computed as row dots instead of materialising Vᵀ), then the softmax
-    // backward dS = P ⊙ (dP − rowsum(P ⊙ dP)) in place. Rows past the
-    // causal limit have P = 0, so dS stays 0 there.
-    let mut ds = Tensor::zeros(t, c);
+    // dP = dOut · Vᵀ through the engine (full width — the non-causal
+    // tail comes out as arbitrary finite values), then the softmax
+    // backward dS = P ⊙ (dP − rowsum(P ⊙ dP)) in place per row. The
+    // rowsum only runs over the causal prefix, and the tail is zeroed
+    // explicitly so the dQ/dK contractions see exact zeros there.
+    let mut ds = matmul_dgrad_uncached_in(pool, dout, v);
     let mut items = row_blocks(ds.data_mut(), c, ROW_GRAIN);
     pool.for_each(&mut items, |_, (r0, chunk)| {
         let rows = chunk.len() / c;
@@ -171,19 +172,18 @@ pub fn causal_attention_backward_in(
             let gi = *r0 + i;
             let limit = offset + gi + 1;
             let prow = &saved.probs.row(gi)[..limit];
-            let dorow = dout.row(gi);
-            let dsrow = &mut chunk[i * c..i * c + limit];
-            for (j, s) in dsrow.iter_mut().enumerate() {
-                *s = dot(dorow, v.row(j));
-            }
+            let (dsrow, tail) = chunk[i * c..(i + 1) * c].split_at_mut(limit);
             let ip = dot(prow, dsrow);
             for (s, &p) in dsrow.iter_mut().zip(prow) {
                 *s = p * (*s - ip);
             }
+            for s in tail.iter_mut() {
+                *s = 0.0;
+            }
         }
     });
     // dQ = dS · K · scale; dK = dSᵀ · Q · scale (wgrad form).
-    let mut dq = matmul_in(pool, &ds, k);
+    let mut dq = matmul_uncached_in(pool, &ds, k);
     dq.scale(scale);
     let mut dk = matmul_wgrad_in(pool, &ds, q);
     dk.scale(scale);

@@ -2,6 +2,7 @@
 //! row-parallel fused kernel on the worker pool.
 
 use crate::{
+    ops::vecops::fast_exp,
     pool::{row_blocks, KernelPool},
     tensor::Tensor,
 };
@@ -51,14 +52,20 @@ pub fn cross_entropy_in(pool: &KernelPool, logits: &Tensor, targets: &[usize]) -
             assert!(tgt < v, "target {tgt} out of vocab");
             let row = logits.row(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f64;
-            for &x in row {
-                denom += ((x - max) as f64).exp();
-            }
-            loss_part += denom.ln() - (row[tgt] - max) as f64;
+            // Stage the f32 exponentials in the gradient row (one exp per
+            // logit instead of two), accumulating the denominator in f64
+            // so the log-sum-exp keeps its precision.
             let drow = &mut chunk[i * v..(i + 1) * v];
-            for (c, (&x, d)) in row.iter().zip(drow.iter_mut()).enumerate() {
-                let p = (((x - max) as f64).exp() / denom) as f32;
+            let mut denom = 0.0f64;
+            for (&x, d) in row.iter().zip(drow.iter_mut()) {
+                let e = fast_exp(x - max);
+                denom += f64::from(e);
+                *d = e;
+            }
+            loss_part += denom.ln() - f64::from(row[tgt] - max);
+            let inv = 1.0 / denom;
+            for (c, d) in drow.iter_mut().enumerate() {
+                let p = (f64::from(*d) * inv) as f32;
                 *d = p - if c == tgt { 1.0 } else { 0.0 };
             }
         }

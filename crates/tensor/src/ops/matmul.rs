@@ -27,6 +27,11 @@
 //! the reference the parity proptests and the `kernels` bench run
 //! against.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::arena;
+use crate::hash::FastBuild;
 use crate::pool::{row_blocks, KernelPool};
 use crate::tensor::Tensor;
 
@@ -92,12 +97,12 @@ impl<'a> View<'a> {
 /// first strip: the strips are placed on a 64-byte boundary so every
 /// vector load in the micro-kernel stays within one cache line —
 /// `Vec<f32>` alone only guarantees 4-byte alignment, and a misaligned
-/// base makes every B load a line-splitting access.
+/// base makes every B load a line-splitting access. The buffer comes
+/// from the installed tensor arena when there is one (zeroed, so the
+/// padding past `n` is zero either way); [`gemm`] returns it there.
 fn pack_b(b: View, k: usize, n: usize) -> (Vec<f32>, usize) {
-    const ALIGN_PAD: usize = 16; // 64 bytes / size_of::<f32>()
     let strips = n.div_ceil(NR);
-    let mut buf = vec![0.0f32; strips * k * NR + ALIGN_PAD];
-    let off = buf.as_ptr().align_offset(64).min(ALIGN_PAD);
+    let (mut buf, off) = arena::acquire_scratch(strips * k * NR);
     for s in 0..strips {
         let col0 = s * NR;
         let cols = NR.min(n - col0);
@@ -206,7 +211,14 @@ fn micro_kernel_rows(a_rows: &[&[f32]; MR], bp: &[f32], init: [[f32; NR]; MR]) -
 fn gemm_row_block(i0: usize, c_rows: &mut [f32], n: usize, k: usize, a: View, b_pack: &[f32]) {
     let mc = c_rows.len() / n;
     let panels = mc.div_ceil(MR);
-    let mut a_buf = Vec::new();
+    // Upper bound over every KC block, so the one scratch buffer serves
+    // the whole sweep (pack_a only ever resizes downward within it).
+    let a_scratch = if a.trans { panels * KC.min(k) * MR } else { 0 };
+    let mut a_buf = if a.trans {
+        arena::acquire_scratch(a_scratch).0
+    } else {
+        Vec::new()
+    };
     let zero_row = [0.0f32; KC];
     let mut pk = 0;
     while pk < k {
@@ -259,21 +271,87 @@ fn gemm_row_block(i0: usize, c_rows: &mut [f32], n: usize, k: usize, a: View, b_
         }
         pk += kc;
     }
+    if a.trans {
+        arena::release_scratch(a_scratch, a_buf);
+    }
+}
+
+/// Retained packed-B images, keyed by the B tensor's snapshot stamp
+/// (see [`Tensor::stamp`]) plus the transpose flag. A weight matrix is
+/// the B operand of one forward and one input-gradient GEMM *per slice
+/// per micro-batch*, so under slice-level scheduling the same bytes
+/// would otherwise be repacked dozens of times per iteration — and the
+/// dgrad form packs through a column-strided transposed view, the
+/// slowest access pattern in the engine. Stamps are never reused and
+/// are re-issued on any mutable access, so a hit is guaranteed to
+/// serve bytes identical to what `pack_b` would produce; results are
+/// bitwise unchanged. The cache is thread-local (stage threads each
+/// pack once) and size-capped: exceeding [`PACK_CACHE_CAP`] clears it,
+/// bounding memory at ~8 MiB per thread even when one-shot operands
+/// churn through.
+struct PackCache {
+    map: HashMap<(u64, bool), (Vec<f32>, usize), FastBuild>,
+    elems: usize,
+}
+
+/// Total retained f32 elements per thread before the cache is cleared.
+const PACK_CACHE_CAP: usize = 2 << 20;
+
+thread_local! {
+    static PACK_CACHE: RefCell<PackCache> = RefCell::new(PackCache {
+        map: HashMap::default(),
+        elems: 0,
+    });
 }
 
 /// Shared engine: logical `C[m,n] = A[m,k] · B[k,n]` with either operand
 /// possibly a transposed view. Row blocks of C fan out over the pool.
-fn gemm(pool: &KernelPool, m: usize, n: usize, k: usize, a: View, b: View) -> Tensor {
-    let mut out = Tensor::zeros(m, n);
+/// `b_stamp` opts the packed B image into the thread-local [`PackCache`]
+/// — pass it when B is long-lived and reused (weights), `None` when it
+/// is a one-shot operand (the wgrad form's dC).
+fn gemm(
+    pool: &KernelPool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: View,
+    b: View,
+    b_stamp: Option<u64>,
+) -> Tensor {
     if m == 0 || n == 0 || k == 0 {
-        return out;
+        return Tensor::zeros(m, n);
     }
-    let (b_buf, b_off) = pack_b(b, k, n);
-    let b_pack = &b_buf[b_off..];
-    let mut blocks = row_blocks(out.data_mut(), n, MC);
-    pool.for_each(&mut blocks, |_, (i0, c_rows)| {
-        gemm_row_block(*i0, c_rows, n, k, a, b_pack);
-    });
+    // Every output element is stored on the first KC pass (the kernel
+    // skips the C read when `pk == 0`), so the zero-fill would be dead.
+    let mut out = Tensor::uninit(m, n);
+    let run = |out: &mut Tensor, b_pack: &[f32]| {
+        let mut blocks = row_blocks(out.data_mut(), n, MC);
+        pool.for_each(&mut blocks, |_, (i0, c_rows)| {
+            gemm_row_block(*i0, c_rows, n, k, a, b_pack);
+        });
+    };
+    match b_stamp {
+        Some(stamp) => PACK_CACHE.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            let key = (stamp, b.trans);
+            if !cache.map.contains_key(&key) {
+                let (buf, off) = pack_b(b, k, n);
+                if cache.elems + buf.len() > PACK_CACHE_CAP {
+                    cache.map.clear();
+                    cache.elems = 0;
+                }
+                cache.elems += buf.len();
+                cache.map.insert(key, (buf, off));
+            }
+            let (buf, off) = &cache.map[&key];
+            run(&mut out, &buf[*off..]);
+        }),
+        None => {
+            let (b_buf, b_off) = pack_b(b, k, n);
+            run(&mut out, &b_buf[b_off..]);
+            arena::release_scratch(n.div_ceil(NR) * k * NR, b_buf);
+        }
+    }
     out
 }
 
@@ -300,6 +378,7 @@ pub fn matmul_in(pool: &KernelPool, a: &Tensor, b: &Tensor) -> Tensor {
         a.cols(),
         View::normal(a),
         View::normal(b),
+        Some(b.stamp()),
     )
 }
 
@@ -327,6 +406,7 @@ pub fn matmul_dgrad_in(pool: &KernelPool, dc: &Tensor, b: &Tensor) -> Tensor {
         dc.cols(),
         View::normal(dc),
         View::transposed(b),
+        Some(b.stamp()),
     )
 }
 
@@ -354,6 +434,39 @@ pub fn matmul_wgrad_in(pool: &KernelPool, a: &Tensor, dc: &Tensor) -> Tensor {
         a.rows(),
         View::transposed(a),
         View::normal(dc),
+        None,
+    )
+}
+
+/// [`matmul_in`] with the pack cache bypassed: for `B` operands that are
+/// activations (fresh stamp every call), where caching the pack would
+/// only grow the cache until its overflow clear evicts the weight packs
+/// that *are* reused.
+pub(crate) fn matmul_uncached_in(pool: &KernelPool, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    gemm(
+        pool,
+        a.rows(),
+        b.cols(),
+        a.cols(),
+        View::normal(a),
+        View::normal(b),
+        None,
+    )
+}
+
+/// [`matmul_dgrad_in`] (`dC · Bᵀ`) with the pack cache bypassed — same
+/// rationale as [`matmul_uncached_in`].
+pub(crate) fn matmul_dgrad_uncached_in(pool: &KernelPool, dc: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(dc.cols(), b.cols(), "dgrad dimension mismatch");
+    gemm(
+        pool,
+        dc.rows(),
+        b.rows(),
+        dc.cols(),
+        View::normal(dc),
+        View::transposed(b),
+        None,
     )
 }
 

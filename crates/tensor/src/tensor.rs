@@ -4,14 +4,39 @@
 //! (tokens × features, or features × features for weights), so the tensor
 //! type is deliberately 2-D; vectors are `[1, n]` or `[n, 1]` as
 //! convenient.
+//!
+//! Storage is a `Vec<f32>` plus a start offset: when a tensor is served
+//! by an installed [`crate::arena::TensorArena`], the buffer is slightly
+//! over-allocated and `off` places the payload on a 64-byte boundary.
+//! Dropping a tensor hands the buffer back to the arena (if one is
+//! installed on the dropping thread); otherwise it frees normally. All
+//! public accessors see only the `[off, off + rows * cols)` payload, so
+//! pooling is invisible to callers and to results.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::arena;
+
+/// Source of snapshot stamps. Never reused, so a stamp identifies one
+/// immutable state of one tensor's payload for the life of the process.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense row-major matrix of `f32`.
-#[derive(Clone, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
+    /// Start of the payload inside `data` (0 for plain allocations,
+    /// an alignment offset for arena-served buffers).
+    off: usize,
+    /// Snapshot id: re-issued on every mutable access, so equal stamps
+    /// imply identical payloads. Keys derived caches (packed GEMM
+    /// operands) that must go stale the moment a weight is updated.
+    stamp: u64,
     data: Vec<f32>,
 }
 
@@ -21,13 +46,94 @@ impl fmt::Debug for Tensor {
     }
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let n = self.rows * self.cols;
+        if n > 0 {
+            if let Some((mut data, off)) = arena::acquire_raw(self.rows, self.cols, false) {
+                data[off..off + n].copy_from_slice(self.data());
+                return Self {
+                    rows: self.rows,
+                    cols: self.cols,
+                    off,
+                    stamp: fresh_stamp(),
+                    data,
+                };
+            }
+        }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            off: 0,
+            stamp: fresh_stamp(),
+            data: self.data().to_vec(),
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data() == other.data()
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        if self.data.is_empty() {
+            return;
+        }
+        let buf = std::mem::take(&mut self.data);
+        // Recycles into the installed arena, or frees `buf` normally.
+        arena::give_back(self.rows, self.cols, buf);
+    }
+}
+
 impl Tensor {
-    /// An all-zeros tensor.
+    /// An all-zeros tensor (served from the installed arena, if any).
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        if n > 0 {
+            if let Some((data, off)) = arena::acquire_raw(rows, cols, true) {
+                return Self {
+                    rows,
+                    cols,
+                    off,
+                    stamp: fresh_stamp(),
+                    data,
+                };
+            }
+        }
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            off: 0,
+            stamp: fresh_stamp(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Like [`zeros`](Self::zeros) but without the zero-fill — for
+    /// internal use where every payload element is written before the
+    /// tensor escapes.
+    pub(crate) fn uninit(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        if n > 0 {
+            if let Some((data, off)) = arena::acquire_raw(rows, cols, false) {
+                return Self {
+                    rows,
+                    cols,
+                    off,
+                    stamp: fresh_stamp(),
+                    data,
+                };
+            }
+        }
+        Self {
+            rows,
+            cols,
+            off: 0,
+            stamp: fresh_stamp(),
+            data: vec![0.0; n],
         }
     }
 
@@ -38,7 +144,35 @@ impl Tensor {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape/data mismatch");
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            off: 0,
+            stamp: fresh_stamp(),
+            data,
+        }
+    }
+
+    /// Arena-internal constructor for a pooled buffer with an alignment
+    /// offset.
+    pub(crate) fn from_pooled(rows: usize, cols: usize, off: usize, data: Vec<f32>) -> Self {
+        debug_assert!(off + rows * cols <= data.len());
+        Self {
+            rows,
+            cols,
+            off,
+            stamp: fresh_stamp(),
+            data,
+        }
+    }
+
+    /// Arena-internal teardown: takes the raw buffer out without running
+    /// the pooling `Drop`.
+    pub(crate) fn into_storage(mut self) -> (usize, usize, Vec<f32>) {
+        let buf = std::mem::take(&mut self.data);
+        let (rows, cols) = (self.rows, self.cols);
+        std::mem::forget(self);
+        (rows, cols, buf)
     }
 
     /// Number of rows.
@@ -53,48 +187,60 @@ impl Tensor {
 
     /// Total element count.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Whether the tensor has no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Borrow of the underlying row-major data.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        &self.data[self.off..self.off + self.rows * self.cols]
     }
 
     /// Mutable borrow of the underlying row-major data.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.stamp = fresh_stamp();
+        let n = self.rows * self.cols;
+        &mut self.data[self.off..self.off + n]
+    }
+
+    /// The payload's snapshot id — changes on every mutable access, so
+    /// two reads returning the same stamp saw the same bytes.
+    pub(crate) fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// One element.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        self.data[self.off + r * self.cols + c]
     }
 
     /// Sets one element.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        self.stamp = fresh_stamp();
+        self.data[self.off + r * self.cols + c] = v;
     }
 
     /// Borrow of one row.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        let start = self.off + r * self.cols;
+        &self.data[start..start + self.cols]
     }
 
     /// Mutable borrow of one row.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        self.stamp = fresh_stamp();
+        let start = self.off + r * self.cols;
+        &mut self.data[start..start + self.cols]
     }
 
     /// Element-wise in-place addition.
@@ -108,7 +254,7 @@ impl Tensor {
             (other.rows, other.cols),
             "shape mismatch"
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += b;
         }
     }
@@ -122,18 +268,36 @@ impl Tensor {
 
     /// In-place scaling.
     pub fn scale(&mut self, s: f32) {
-        for a in &mut self.data {
+        for a in self.data_mut() {
             *a *= s;
         }
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor {
-        let mut out = Tensor::zeros(self.cols, self.rows);
+        let mut out = Tensor::uninit(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.set(c, r, self.at(r, c));
             }
+        }
+        out
+    }
+
+    /// Copy of the rectangular block `[r0, r0 + rows) × [c0, c0 + cols)`
+    /// — the one-copy form of `slice_rows(..).slice_cols(..)`, used to
+    /// cut a head's key/value prefix out of a KV cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the tensor bounds.
+    pub fn slice_block(&self, r0: usize, rows: usize, c0: usize, cols: usize) -> Tensor {
+        assert!(r0 + rows <= self.rows, "row slice out of range");
+        assert!(c0 + cols <= self.cols, "column slice out of range");
+        let mut out = Tensor::uninit(rows, cols);
+        for r in 0..rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r0 + r)[c0..c0 + cols]);
         }
         out
     }
@@ -145,13 +309,7 @@ impl Tensor {
     ///
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&self, start: usize, len: usize) -> Tensor {
-        assert!(start + len <= self.cols, "column slice out of range");
-        let mut out = Tensor::zeros(self.rows, len);
-        for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..start + len]);
-        }
-        out
+        self.slice_block(0, self.rows, start, len)
     }
 
     /// Adds `src` into columns `[start, start + len)` of `self`.
@@ -177,11 +335,26 @@ impl Tensor {
     /// Panics if the range exceeds the row count.
     pub fn slice_rows(&self, start: usize, len: usize) -> Tensor {
         assert!(start + len <= self.rows, "row slice out of range");
-        Tensor::from_vec(
-            len,
-            self.cols,
-            self.data[start * self.cols..(start + len) * self.cols].to_vec(),
-        )
+        let mut out = Tensor::uninit(len, self.cols);
+        out.data_mut()
+            .copy_from_slice(&self.data()[start * self.cols..(start + len) * self.cols]);
+        out
+    }
+
+    /// Appends the rows of `other` in place — the amortised-O(1) form of
+    /// `vstack(&[self, other])`, used to grow KV caches slice by slice
+    /// without recopying the whole prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn append_rows(&mut self, other: &Tensor) {
+        assert_eq!(self.cols, other.cols, "column mismatch in append_rows");
+        self.stamp = fresh_stamp();
+        let n = self.rows * self.cols;
+        self.data.truncate(self.off + n);
+        self.data.extend_from_slice(other.data());
+        self.rows += other.rows;
     }
 
     /// Stacks tensors vertically (concatenating rows).
@@ -193,12 +366,15 @@ impl Tensor {
         assert!(!parts.is_empty(), "vstack of nothing");
         let cols = parts[0].cols;
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = Tensor::uninit(rows, cols);
+        let mut at = 0;
         for p in parts {
             assert_eq!(p.cols, cols, "column mismatch in vstack");
-            data.extend_from_slice(&p.data);
+            let n = p.rows * cols;
+            out.data_mut()[at..at + n].copy_from_slice(p.data());
+            at += n;
         }
-        Tensor::from_vec(rows, cols, data)
+        out
     }
 
     /// Maximum absolute difference to another tensor.
@@ -212,21 +388,21 @@ impl Tensor {
             (other.rows, other.cols),
             "shape mismatch"
         );
-        self.data
+        self.data()
             .iter()
-            .zip(&other.data)
+            .zip(other.data())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
 
     /// Squared Frobenius norm.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        self.data().iter().map(|x| x * x).sum()
     }
 
     /// Memory footprint in bytes (f32 payload only).
     pub fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>()
+        self.rows * self.cols * std::mem::size_of::<f32>()
     }
 }
 
@@ -267,6 +443,24 @@ mod tests {
         let a = t.slice_rows(0, 2);
         let b = t.slice_rows(2, 2);
         assert_eq!(Tensor::vstack(&[a, b]), t);
+    }
+
+    #[test]
+    fn block_slicing_matches_row_then_col() {
+        let t = Tensor::from_vec(4, 6, (0..24).map(|x| x as f32).collect());
+        let fused = t.slice_block(1, 2, 2, 3);
+        let two_step = t.slice_rows(1, 2).slice_cols(2, 3);
+        assert_eq!(fused, two_step);
+    }
+
+    #[test]
+    fn append_rows_matches_vstack() {
+        let a = Tensor::from_vec(2, 3, (0..6).map(|x| x as f32).collect());
+        let b = Tensor::from_vec(1, 3, vec![9.0, 8.0, 7.0]);
+        let stacked = Tensor::vstack(&[a.clone(), b.clone()]);
+        let mut grown = a;
+        grown.append_rows(&b);
+        assert_eq!(grown, stacked);
     }
 
     #[test]

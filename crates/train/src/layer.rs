@@ -34,16 +34,18 @@ pub struct Kv {
 }
 
 impl Kv {
-    /// Appends one slice's keys/values.
+    /// Appends one slice's keys/values. In-place row append, so growing
+    /// the cache slice by slice costs O(slice) per call instead of
+    /// recopying the whole prefix.
     pub fn append(&mut self, k_new: Tensor, v_new: Tensor) {
-        self.k = Some(match self.k.take() {
-            Some(k) => Tensor::vstack(&[k, k_new]),
-            None => k_new,
-        });
-        self.v = Some(match self.v.take() {
-            Some(v) => Tensor::vstack(&[v, v_new]),
-            None => v_new,
-        });
+        match &mut self.k {
+            Some(k) => k.append_rows(&k_new),
+            None => self.k = Some(k_new),
+        }
+        match &mut self.v {
+            Some(v) => v.append_rows(&v_new),
+            None => self.v = Some(v_new),
+        }
     }
 
     /// Cached token count.
@@ -307,8 +309,8 @@ pub fn backward_input_slice(
         let dv_acc = dkv.v.as_mut().expect("allocated above");
         for head in 0..heads {
             let qh = saved.q.slice_cols(head * hd, hd);
-            let kh = k_all.slice_rows(0, prefix).slice_cols(head * hd, hd);
-            let vh = v_all.slice_rows(0, prefix).slice_cols(head * hd, hd);
+            let kh = k_all.slice_block(0, prefix, head * hd, hd);
+            let vh = v_all.slice_block(0, prefix, head * hd, hd);
             let doh = d_attn_concat.slice_cols(head * hd, hd);
             let (dqh, dkh, dvh) =
                 causal_attention_backward_in(pool, &doh, &qh, &kh, &vh, &saved.attn_saved[head]);

@@ -33,4 +33,4 @@ pub mod profiler;
 pub mod reference;
 pub mod tp;
 
-pub use pipeline::{PipelineRuntime, RunStats};
+pub use pipeline::{PipelineRuntime, RunStats, WgradMode};

@@ -130,6 +130,17 @@ impl ModelGrads {
         }
     }
 
+    /// Scales every gradient in place — e.g. the `1/replicas` averaging
+    /// step of data parallelism.
+    pub fn scale(&mut self, s: f32) {
+        self.embedding.scale(s);
+        for l in &mut self.layers {
+            l.for_each(|t| t.scale(s));
+        }
+        self.final_norm.scale(s);
+        self.head.scale(s);
+    }
+
     /// Maximum absolute difference to another gradient set.
     pub fn max_abs_diff(&self, other: &ModelGrads) -> f32 {
         let mut d = self.embedding.max_abs_diff(&other.embedding);

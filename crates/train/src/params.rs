@@ -60,6 +60,19 @@ impl LayerParams {
         }
     }
 
+    /// Applies `f` to every weight tensor.
+    pub fn for_each(&mut self, mut f: impl FnMut(&mut Tensor)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+        f(&mut self.wg);
+        f(&mut self.wu);
+        f(&mut self.wd);
+        f(&mut self.norm1);
+        f(&mut self.norm2);
+    }
+
     /// Applies `f` to every (weight, gradient) pair.
     pub fn for_each_with(&mut self, grads: &LayerParams, mut f: impl FnMut(&mut Tensor, &Tensor)) {
         f(&mut self.wq, &grads.wq);

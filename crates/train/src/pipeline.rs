@@ -17,9 +17,18 @@
 //! Every byte of saved activation, KV cache, dKV buffer and retained
 //! weight-gradient operand is charged to a per-stage [`MemTracker`], so
 //! peak-memory claims are measured on live tensors.
+//!
+//! Each stage thread additionally installs a per-stage
+//! [`TensorArena`] for the duration of the run: every activation, saved
+//! state and scratch buffer a stage allocates is recycled on a
+//! shape-keyed free list, and the warmed arenas persist in the runtime
+//! between iterations, so steady-state iterations perform (near-)zero
+//! heap allocation. Recycled buffers are re-zeroed on reuse, so pooled
+//! runs are bit-identical to fresh-allocation runs
+//! ([`PipelineRuntime::with_arena`] turns pooling off for comparison).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use mepipe_schedule::ir::{OpKind, Schedule};
@@ -28,7 +37,7 @@ use mepipe_tensor::{
         cross_entropy_in, embedding, embedding_backward, matmul_dgrad_in, matmul_in,
         matmul_wgrad_in, rmsnorm_backward_in, rmsnorm_in,
     },
-    KernelPool, Tensor,
+    ArenaStats, KernelPool, Tensor, TensorArena,
 };
 
 use crate::{
@@ -64,6 +73,11 @@ pub struct RunStats {
     pub drained_wgrads: Vec<usize>,
     /// First stage that exceeded the memory cap, with the bytes it held.
     pub oom: Option<(usize, usize)>,
+    /// Per-stage tensor-arena counters for this run (all zero when
+    /// pooling is disabled). On the second and later iterations of a
+    /// runtime the hit rate approaches 1: the steady state allocates
+    /// (near-)nothing.
+    pub arena: Vec<ArenaStats>,
 }
 
 enum Msg {
@@ -88,6 +102,14 @@ pub struct PipelineRuntime {
     stages: usize,
     virtual_chunks: usize,
     kernel_workers: usize,
+    pooled: bool,
+    /// Warmed per-stage arena sets, handed out at iteration start and
+    /// returned at the end. Stage threads die with each `run_iteration`
+    /// (scoped spawn), so the free lists must live here to survive into
+    /// the next iteration; the lock is touched twice per iteration, never
+    /// on the per-tensor hot path. Holds one set per concurrently running
+    /// replica under data parallelism.
+    arena_bank: Mutex<Vec<Vec<TensorArena>>>,
 }
 
 impl PipelineRuntime {
@@ -113,6 +135,8 @@ impl PipelineRuntime {
             stages,
             virtual_chunks,
             kernel_workers,
+            pooled: true,
+            arena_bank: Mutex::new(Vec::new()),
         }
     }
 
@@ -123,6 +147,20 @@ impl PipelineRuntime {
     pub fn with_kernel_workers(mut self, workers: usize) -> Self {
         self.kernel_workers = workers.max(1);
         self
+    }
+
+    /// Enables or disables per-stage tensor-arena pooling (on by
+    /// default). Pooled buffers are re-zeroed on reuse, so this only
+    /// changes allocation behaviour, never results.
+    #[must_use]
+    pub fn with_arena(mut self, pooled: bool) -> Self {
+        self.pooled = pooled;
+        self
+    }
+
+    /// Whether stage threads pool tensor buffers in per-stage arenas.
+    pub fn pooled(&self) -> bool {
+        self.pooled
     }
 
     /// Kernel workers each stage thread fans out over.
@@ -162,36 +200,75 @@ impl PipelineRuntime {
         let model = &self.model;
 
         let kernel_workers = self.kernel_workers;
+        // Check a warmed arena set out of the bank (or start cold). Under
+        // concurrent DP replicas each run pops its own set; the bank
+        // grows to one set per concurrently running replica.
+        let arenas: Vec<Option<TensorArena>> = if self.pooled {
+            let popped = self.arena_bank.lock().expect("arena bank poisoned").pop();
+            match popped {
+                Some(set) => set.into_iter().map(Some).collect(),
+                None => (0..p).map(|_| Some(TensorArena::new())).collect(),
+            }
+        } else {
+            (0..p).map(|_| None).collect()
+        };
         let mut results: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
+        let mut arena_stats = vec![ArenaStats::default(); p];
+        let mut warm: Vec<TensorArena> = Vec::with_capacity(p);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (w, rx) in receivers.into_iter().enumerate() {
+            for ((w, rx), mut arena) in receivers.into_iter().enumerate().zip(arenas) {
                 let senders = senders.clone();
                 let batch = Arc::clone(&batch);
                 let ops = schedule.workers[w].clone();
                 let meta = meta.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = WorkerCtx::new(
-                        model,
-                        &meta,
-                        w,
-                        rx,
-                        senders,
-                        batch,
-                        mode,
-                        mem_cap,
-                        kernel_workers,
-                    );
-                    for op in &ops {
-                        ctx.execute(op);
-                    }
-                    ctx.finish()
+                    let before = arena
+                        .as_ref()
+                        .map_or_else(ArenaStats::default, |a| a.stats());
+                    let out = {
+                        // Installed for the whole run of this stage: every
+                        // tensor the ops below create or drop on this
+                        // thread goes through the stage's free lists.
+                        let _arena_scope = arena.as_mut().map(|a| a.install());
+                        let mut ctx = WorkerCtx::new(
+                            model,
+                            &meta,
+                            w,
+                            rx,
+                            senders,
+                            batch,
+                            mode,
+                            mem_cap,
+                            kernel_workers,
+                        );
+                        for op in &ops {
+                            ctx.execute(op);
+                        }
+                        ctx.finish()
+                    };
+                    let stats = arena
+                        .as_ref()
+                        .map_or_else(ArenaStats::default, |a| a.stats())
+                        .since(&before);
+                    (out, arena, stats)
                 }));
             }
             for (w, h) in handles.into_iter().enumerate() {
-                results[w] = Some(h.join().expect("stage thread panicked"));
+                let (out, arena, stats) = h.join().expect("stage thread panicked");
+                results[w] = Some(out);
+                arena_stats[w] = stats;
+                if let Some(a) = arena {
+                    warm.push(a);
+                }
             }
         });
+        if self.pooled {
+            self.arena_bank
+                .lock()
+                .expect("arena bank poisoned")
+                .push(warm);
+        }
 
         // Merge per-worker results.
         let mut grads = ModelGrads::zeros(model);
@@ -215,6 +292,7 @@ impl PipelineRuntime {
             peak_bytes: peaks,
             drained_wgrads: drained,
             oom,
+            arena: arena_stats,
         }
     }
 
@@ -223,6 +301,11 @@ impl PipelineRuntime {
     /// schedule on its shard) and gradients are averaged — the all-reduce
     /// of Section 2.2's DP, realised over replica runs. The schedule's
     /// micro-batch count must equal the per-replica shard size.
+    ///
+    /// Replicas execute concurrently on scoped threads (each owns its
+    /// channels, stage threads and arena set), and their results are
+    /// merged in replica index order — the same addition order as a
+    /// serial replica loop, so the output is bit-identical to one.
     ///
     /// # Panics
     ///
@@ -241,10 +324,21 @@ impl PipelineRuntime {
             "batch must split evenly across replicas"
         );
         let shard = batch.len() / replicas;
+        let mut results: Vec<Option<RunStats>> = (0..replicas).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..replicas)
+                .map(|r| {
+                    let shard_batch = &batch[r * shard..(r + 1) * shard];
+                    scope.spawn(move || self.run_iteration(schedule, shard_batch, mode, None))
+                })
+                .collect();
+            for (slot, h) in results.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("replica thread panicked"));
+            }
+        });
         let mut merged: Option<RunStats> = None;
-        for r in 0..replicas {
-            let stats =
-                self.run_iteration(schedule, &batch[r * shard..(r + 1) * shard], mode, None);
+        for stats in results {
+            let stats = stats.expect("replica result present");
             merged = Some(match merged {
                 None => stats,
                 Some(mut acc) => {
@@ -256,6 +350,9 @@ impl PipelineRuntime {
                     for (a, b) in acc.drained_wgrads.iter_mut().zip(&stats.drained_wgrads) {
                         *a += b;
                     }
+                    for (a, b) in acc.arena.iter_mut().zip(&stats.arena) {
+                        *a = a.merged(b);
+                    }
                     acc.oom = acc.oom.or(stats.oom);
                     acc
                 }
@@ -266,7 +363,7 @@ impl PipelineRuntime {
         // divides by the replica count (gradients) and the replica count
         // (losses).
         out.loss /= replicas as f64;
-        scale_grads(&mut out.grads, 1.0 / replicas as f32);
+        out.grads.scale(1.0 / replicas as f32);
         out
     }
 
@@ -282,28 +379,6 @@ impl PipelineRuntime {
         Sgd { lr }.step_model(&mut self.model, &stats.grads);
         stats
     }
-}
-
-fn scale_grads(g: &mut ModelGrads, s: f32) {
-    let zero = |t: &mut mepipe_tensor::Tensor| {
-        for x in t.data_mut() {
-            *x *= s;
-        }
-    };
-    zero(&mut g.embedding);
-    for l in &mut g.layers {
-        zero(&mut l.wq);
-        zero(&mut l.wk);
-        zero(&mut l.wv);
-        zero(&mut l.wo);
-        zero(&mut l.wg);
-        zero(&mut l.wu);
-        zero(&mut l.wd);
-        zero(&mut l.norm1);
-        zero(&mut l.norm2);
-    }
-    zero(&mut g.final_norm);
-    zero(&mut g.head);
 }
 
 struct WorkerOut {

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use mepipe_schedule::ir::{Op, OpKind};
 use mepipe_sim::SimCost;
-use mepipe_tensor::{init, KernelPool, Tensor};
+use mepipe_tensor::{init, KernelPool, Tensor, TensorArena};
 
 use crate::{
     layer::{apply_wgrads, backward_input_slice, forward_slice, Kv},
@@ -90,6 +90,11 @@ pub fn profile_chunk_in(
     assert!(trials > 0, "need at least one trial");
     let ts = cfg.seq_len / slices;
     let mut rng = init::rng(0xC0FFEE);
+    // Trials reuse the same shapes, so a local arena makes every trial
+    // after the first allocation-free — matching how the runtime itself
+    // executes, which is what the profiled times should reflect.
+    let mut arena = TensorArena::new();
+    let _arena_scope = arena.install();
 
     let mut forward = vec![f64::INFINITY; slices];
     let mut backward_input = vec![f64::INFINITY; slices];

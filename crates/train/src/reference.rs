@@ -6,7 +6,7 @@ use mepipe_tensor::{
         cross_entropy_in, embedding, embedding_backward, matmul_dgrad_in, matmul_in,
         matmul_wgrad_in, rmsnorm_backward_in, rmsnorm_in,
     },
-    KernelPool, Tensor,
+    KernelPool, Tensor, TensorArena,
 };
 
 use crate::{
@@ -109,6 +109,11 @@ pub fn batch_forward_backward_in(
     batch: &[Vec<usize>],
 ) -> ReferenceOut {
     assert!(!batch.is_empty(), "empty batch");
+    // Per-sample activations have identical shapes across the batch, so a
+    // local arena recycles every buffer from the second sample on. The
+    // returned gradients are plain owned tensors — they outlive the scope.
+    let mut arena = TensorArena::new();
+    let _arena_scope = arena.install();
     let mut total = ModelGrads::zeros(model);
     let mut loss = 0.0;
     for sample in batch {

@@ -1,0 +1,181 @@
+//! Property tests for the pipeline runtime: arena pooling and parallel
+//! data parallelism must be *bitwise* invisible — same loss bits, same
+//! gradient bits — across random model shapes, kernel-worker counts and
+//! weight-gradient modes.
+
+use proptest::prelude::*;
+
+use mepipe_core::svpp::Mepipe;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_schedule::ir::Schedule;
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{
+    optim::ModelGrads, params::ModelParams, reference::add_grads, PipelineRuntime, RunStats,
+    WgradMode,
+};
+
+fn make_batch(cfg: &TransformerConfig, n: usize, seed: u64) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, seed + i as u64))
+        .collect()
+}
+
+fn mode_of(idx: usize) -> WgradMode {
+    match idx {
+        0 => WgradMode::Immediate,
+        1 => WgradMode::AtWeightOp,
+        _ => WgradMode::DrainOnWait,
+    }
+}
+
+/// The serial replica loop `run_data_parallel` replaced — kept here as
+/// the executable spec its parallel version must match bit for bit.
+fn serial_data_parallel(
+    rt: &PipelineRuntime,
+    schedule: &Schedule,
+    batch: &[Vec<usize>],
+    replicas: usize,
+    mode: WgradMode,
+) -> (f64, ModelGrads) {
+    let shard = batch.len() / replicas;
+    let mut loss = 0.0f64;
+    let mut grads: Option<ModelGrads> = None;
+    for r in 0..replicas {
+        let stats = rt.run_iteration(schedule, &batch[r * shard..(r + 1) * shard], mode, None);
+        loss += stats.loss;
+        match &mut grads {
+            None => grads = Some(stats.grads),
+            Some(g) => add_grads(g, &stats.grads, 1.0),
+        }
+    }
+    let mut g = grads.expect("at least one replica");
+    g.scale(1.0 / replicas as f32);
+    (loss / replicas as f64, g)
+}
+
+/// Merged arena counters over every stage of a run.
+fn merged_arena(stats: &RunStats) -> mepipe_tensor::ArenaStats {
+    stats
+        .arena
+        .iter()
+        .fold(mepipe_tensor::ArenaStats::default(), |acc, s| acc.merged(s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arena-pooled runs are bit-identical to fresh-allocation runs:
+    /// same loss bits, `max_abs_diff == 0`, across random shapes ×
+    /// kernel-worker counts × weight-gradient modes — including the
+    /// second iteration, which runs entirely out of recycled buffers.
+    #[test]
+    fn pooled_runs_are_bit_identical_to_fresh(
+        layers_half in 1usize..3,   // 2 or 4 layers over 2 stages
+        ts in prop::sample::select(vec![4usize, 8]),
+        slices in prop::sample::select(vec![1usize, 2, 4]),
+        micro_batches in 1usize..3,
+        workers in 1usize..4,
+        mode_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let layers = 2 * layers_half;
+        let cfg = TransformerConfig {
+            seq_len: ts * slices,
+            ..TransformerConfig::tiny(layers)
+        };
+        let mode = mode_of(mode_idx);
+        let sch = Mepipe::new()
+            .generate(&Dims::new(2, micro_batches).slices(slices))
+            .unwrap();
+        let batch = make_batch(&cfg, micro_batches, seed);
+
+        let run = |pooled: bool| {
+            let mut rt = PipelineRuntime::new(ModelParams::init(cfg, seed), 2, 1)
+                .with_kernel_workers(workers)
+                .with_arena(pooled);
+            // Two steps: the second exercises warm free lists (pooled)
+            // against plain allocation (fresh), with the SGD-updated
+            // model making the iterations distinct.
+            let first = rt.train_step(&sch, &batch, mode, 0.05);
+            let second = rt.train_step(&sch, &batch, mode, 0.05);
+            (first, second)
+        };
+        let (p1, p2) = run(true);
+        let (f1, f2) = run(false);
+        prop_assert_eq!(p1.loss.to_bits(), f1.loss.to_bits());
+        prop_assert_eq!(p2.loss.to_bits(), f2.loss.to_bits());
+        prop_assert_eq!(p1.grads.max_abs_diff(&f1.grads), 0.0);
+        prop_assert_eq!(p2.grads.max_abs_diff(&f2.grads), 0.0);
+        // The pooled second step actually pooled something...
+        let warm = merged_arena(&p2);
+        prop_assert!(warm.hits > 0, "warm run never hit the arena");
+        // ...and the unpooled runtime reports idle counters.
+        let fresh = merged_arena(&f2);
+        prop_assert_eq!(fresh.hits + fresh.misses, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The concurrent `run_data_parallel` equals the serial replica loop
+    /// exactly: bit-equal loss, bit-equal gradients.
+    #[test]
+    fn parallel_dp_matches_serial_loop_bitwise(
+        replicas in 1usize..4,
+        shard in 1usize..3,
+        workers in 1usize..3,
+        mode_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let cfg = TransformerConfig {
+            seq_len: 16,
+            ..TransformerConfig::tiny(2)
+        };
+        let mode = mode_of(mode_idx);
+        let sch = Mepipe::new().generate(&Dims::new(2, shard).slices(2)).unwrap();
+        let batch = make_batch(&cfg, replicas * shard, seed);
+        let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), 2, 1)
+            .with_kernel_workers(workers);
+
+        let par = rt.run_data_parallel(&sch, &batch, replicas, mode);
+        let (serial_loss, serial_grads) = serial_data_parallel(&rt, &sch, &batch, replicas, mode);
+        prop_assert_eq!(par.loss.to_bits(), serial_loss.to_bits());
+        prop_assert_eq!(par.grads.max_abs_diff(&serial_grads), 0.0);
+    }
+}
+
+/// The acceptance bar for the arena itself: once warmed up, at least 90%
+/// of all buffer acquisitions across every stage are served from the
+/// free lists (in practice it is well above that — the residual misses
+/// are the per-iteration gradient accumulators, which leave their stage
+/// thread inside the merged result).
+#[test]
+fn arena_steady_state_hit_rate_is_at_least_90_percent() {
+    let cfg = TransformerConfig {
+        seq_len: 32,
+        ..TransformerConfig::tiny(4)
+    };
+    let sch = Mepipe::new().generate(&Dims::new(2, 2).slices(4)).unwrap();
+    let batch = make_batch(&cfg, 2, 77);
+    let rt = PipelineRuntime::new(ModelParams::init(cfg, 77), 2, 1).with_kernel_workers(1);
+    assert!(rt.pooled(), "arenas must be on by default");
+
+    let cold = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+    let warm = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+    let cold_stats = merged_arena(&cold);
+    let warm_stats = merged_arena(&warm);
+    // The cold run mostly misses; the warm run runs out of the pool.
+    assert!(cold_stats.misses > 0);
+    assert!(
+        warm_stats.hit_rate() >= 0.90,
+        "steady-state hit rate {:.3} below 0.90 ({} hits / {} misses)",
+        warm_stats.hit_rate(),
+        warm_stats.hits,
+        warm_stats.misses
+    );
+    // Per-stage counters are populated for every stage.
+    assert_eq!(warm.arena.len(), 2);
+    assert!(warm.arena.iter().all(|s| s.hits > 0));
+}

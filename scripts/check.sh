@@ -18,6 +18,9 @@ cargo build --release
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
+echo "==> train bench smoke (one untimed pipeline iteration)"
+cargo bench -p mepipe-bench --bench train -- --smoke
+
 echo "==> cargo test -q --workspace (tier-1 + workspace suites)"
 cargo test -q --workspace
 
