@@ -1,0 +1,169 @@
+//! Transport-layer benchmark: the same training iteration on every
+//! backend of `mepipe-comm`, so the cost of crossing a real process
+//! boundary (serialization + sockets) and of emulated interconnects is
+//! measured against the zero-copy in-process baseline. Results are
+//! printed and written to `BENCH_comm.json` at the repo root
+//! (`scripts/bench_comm.sh`).
+//!
+//! The emulated rows also report the measured/modeled wire-time ratio
+//! from `mepipe_sim::commcheck` — the loop that validates the emulator
+//! against the simulator's alpha-beta link model on live traffic.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use mepipe_comm::{Backend, TransportConfig};
+use mepipe_core::svpp::Mepipe;
+use mepipe_hw::LinkSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_sim::commcheck::CommCheckReport;
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{params::ModelParams, pipeline::WgradMode, PipelineRuntime, RunStats};
+
+/// Seconds per iteration: minimum over several samples (same estimator
+/// as `train.rs` — interference only ever adds time).
+fn time<F: FnMut()>(mut f: F) -> f64 {
+    let warm = Instant::now();
+    f();
+    let once = warm.elapsed().as_secs_f64();
+    let per_sample = if once <= 0.0 {
+        4
+    } else {
+        ((0.5 / once) as usize).clamp(1, 8)
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / per_sample as f64);
+    }
+    best
+}
+
+const STAGES: usize = 2;
+const SLICES: usize = 4;
+const MICRO_BATCHES: usize = 4;
+
+struct Row {
+    name: &'static str,
+    secs: f64,
+    stats: RunStats,
+    ratio: Option<f64>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = TransformerConfig {
+        seq_len: 64,
+        ..TransformerConfig::tiny(4)
+    };
+    let sch = Mepipe::new()
+        .generate(&Dims::new(STAGES, MICRO_BATCHES).slices(SLICES))
+        .unwrap();
+    let batch: Vec<Vec<usize>> = (0..MICRO_BATCHES)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 1000 + i as u64))
+        .collect();
+
+    let uds_dir = std::env::temp_dir().join(format!("mepipe-bench-comm-{}", std::process::id()));
+    let scenarios: Vec<(&'static str, TransportConfig, Option<LinkSpec>)> = vec![
+        ("inproc", TransportConfig::in_proc(), None),
+        (
+            "socket_uds",
+            TransportConfig {
+                backend: Backend::Uds(uds_dir.clone()),
+                ..TransportConfig::default()
+            },
+            None,
+        ),
+        (
+            "emulated_pcie4",
+            TransportConfig::in_proc().with_link(LinkSpec::pcie4()),
+            Some(LinkSpec::pcie4()),
+        ),
+        (
+            "emulated_ib100g",
+            TransportConfig::in_proc().with_link(LinkSpec::ib_100g()),
+            Some(LinkSpec::ib_100g()),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config, link) in scenarios {
+        let rt = PipelineRuntime::new(ModelParams::init(cfg, 7), STAGES, 1).with_transport(config);
+        let run = || {
+            rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+                .expect("iteration")
+        };
+        if smoke {
+            let stats = run();
+            assert!(stats.loss.is_finite(), "{name}: NaN loss");
+            println!("smoke: {name} ok, loss {:.4}", stats.loss);
+            continue;
+        }
+        let secs = time(|| {
+            black_box(run());
+        });
+        let stats = run();
+        let ratio = link.map(|l| CommCheckReport::from_run(&stats.comm, &l).ratio());
+        rows.push(Row {
+            name,
+            secs,
+            stats,
+            ratio,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&uds_dir);
+    if smoke {
+        return;
+    }
+
+    let base = rows[0].secs;
+    println!(
+        "== transport backends: p={STAGES} slices={SLICES} n={MICRO_BATCHES} seq={} ==",
+        cfg.seq_len
+    );
+    let mut entries = Vec::new();
+    for r in &rows {
+        let total = r
+            .stats
+            .comm
+            .iter()
+            .map(|c| c.total())
+            .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+        let ratio_txt = r
+            .ratio
+            .map(|x| format!(", wire measured/modeled {x:.2}x"))
+            .unwrap_or_default();
+        println!(
+            "  {:>16}: {:7.1} ms/iter ({:.2}x inproc), {} msgs, {} KiB{}",
+            r.name,
+            r.secs * 1e3,
+            r.secs / base,
+            total.tx_messages,
+            total.tx_bytes / 1024,
+            ratio_txt
+        );
+        entries.push(format!(
+            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"wire_measured_over_modeled\": {}}}",
+            r.name,
+            r.secs,
+            r.secs / base,
+            total.tx_messages,
+            total.tx_bytes,
+            total.retries,
+            r.ratio.map(|x| format!("{x:.4}")).unwrap_or_else(|| "null".into()),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"backends\": {{\n{}\n  }}\n}}\n",
+        cfg.seq_len,
+        cfg.layers,
+        entries.join(",\n"),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");
+    std::fs::write(out, &json).expect("write BENCH_comm.json");
+    println!("wrote {out}");
+}

@@ -27,10 +27,16 @@ fn bench_threaded_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("threaded_iteration");
     g.sample_size(10);
     g.bench_function("svpp_s4", |b| {
-        b.iter(|| rt.run_iteration(&svpp, &batch, WgradMode::Immediate, None))
+        b.iter(|| {
+            rt.run_iteration(&svpp, &batch, WgradMode::Immediate, None)
+                .unwrap()
+        })
     });
     g.bench_function("dapple", |b| {
-        b.iter(|| rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None))
+        b.iter(|| {
+            rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None)
+                .unwrap()
+        })
     });
     g.finish();
 }

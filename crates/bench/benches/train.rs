@@ -79,18 +79,22 @@ fn main() {
 
     if smoke {
         // One iteration, no timing, no JSON — the check.sh smoke path.
-        let stats = rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05);
+        let stats = rt
+            .train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05)
+            .expect("smoke iteration");
         assert!(stats.loss.is_finite(), "smoke iteration produced NaN loss");
         println!("smoke: train_step ok, loss {:.4}", stats.loss);
         return;
     }
 
     let t_step = time(|| {
-        black_box(rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05));
+        black_box(rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05)).expect("train_step");
     });
     // One extra measured iteration for the steady-state stats: peak
     // bytes per stage and the arena hit rate with warm free lists.
-    let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+    let stats = rt
+        .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+        .expect("measured iteration");
     let arena = stats
         .arena
         .iter()
@@ -119,7 +123,8 @@ fn main() {
         .generate(&Dims::new(STAGES, MICRO_BATCHES / REPLICAS).slices(SLICES))
         .unwrap();
     let t_dp = time(|| {
-        black_box(rt.run_data_parallel(&dp_sch, &batch, REPLICAS, WgradMode::DrainOnWait));
+        black_box(rt.run_data_parallel(&dp_sch, &batch, REPLICAS, WgradMode::DrainOnWait))
+            .expect("data-parallel iteration");
     });
     println!("== data parallel replicas={REPLICAS} ==");
     println!(

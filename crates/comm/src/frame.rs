@@ -1,0 +1,294 @@
+//! The length-delimited wire frame: header, checksum, tensor payload.
+//!
+//! Layout (all little-endian, 40-byte header):
+//!
+//! ```text
+//! offset  field        type  meaning
+//!      0  magic        u32   0x4D455043 ("MEPC")
+//!      4  version      u8    format version, currently 1
+//!      5  kind         u8    0 = fwd data, 1 = bwd data, 2 = ack, 3 = bye
+//!      6  from         u8    sending stage
+//!      7  flags        u8    reserved, 0
+//!      8  seq          u64   per-link data sequence number (1-based)
+//!     16  mb           u32   micro-batch tag
+//!     20  slice        u32   slice tag
+//!     24  g            u32   destination global position tag
+//!     28  payload_len  u32   tensor payload bytes after the header
+//!     32  checksum     u64   FNV-1a over the payload bytes
+//!     40  payload      ...   [`Tensor`] wire encoding (acks: empty)
+//! ```
+//!
+//! The checksum covers the payload only: the emulated fault injector
+//! corrupts payload bytes, and a receiver that sees a checksum mismatch
+//! silently refuses to ack, which is what drives the sender's
+//! retransmit. Structural header damage is caught by the magic/version/
+//! length validation instead. On stream transports the frame is preceded
+//! by a `u32` length prefix (see [`crate::socket`]).
+
+use mepipe_tensor::Tensor;
+
+use crate::error::CommError;
+use crate::msg::{MsgKind, StageMsg};
+
+/// Frame magic, "MEPC".
+pub const MAGIC: u32 = 0x4D45_5043;
+/// Current frame format version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_BYTES: usize = 40;
+/// `kind` byte of an ack frame (data frames use [`MsgKind::to_wire`]).
+const KIND_ACK: u8 = 2;
+/// `kind` byte of a goodbye frame (clean shutdown announcement).
+const KIND_BYE: u8 = 3;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A boundary tensor moving in `MsgKind`'s direction.
+    Data(MsgKind),
+    /// A link-level cumulative acknowledgement.
+    Ack,
+    /// A clean-shutdown goodbye: the sender finished its schedule.
+    Bye,
+}
+
+/// FNV-1a 64-bit over a byte slice — the payload checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A decoded frame header (payload still raw).
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// Sending stage.
+    pub from: usize,
+    /// Per-link sequence number.
+    pub seq: u64,
+    /// Micro-batch tag (data frames).
+    pub mb: u32,
+    /// Slice tag (data frames).
+    pub slice: u32,
+    /// Global-position tag (data frames).
+    pub g: u32,
+    /// Payload byte count.
+    pub payload_len: usize,
+    /// Stored payload checksum.
+    pub checksum: u64,
+}
+
+/// Encodes a data frame carrying `msg` from stage `from` with link
+/// sequence number `seq`.
+pub fn encode_data(from: usize, seq: u64, msg: &StageMsg) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(msg.tensor.encoded_len());
+    msg.tensor.encode_into(&mut payload);
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    push_header(
+        &mut out,
+        msg.kind.to_wire(),
+        from,
+        seq,
+        msg.mb,
+        msg.slice,
+        msg.g,
+        &payload,
+    );
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Encodes an ack frame for link sequence `seq` from stage `from`.
+pub fn encode_ack(from: usize, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES);
+    push_header(&mut out, KIND_ACK, from, seq, 0, 0, 0, &[]);
+    out
+}
+
+/// Encodes a goodbye frame from stage `from` (clean shutdown).
+pub fn encode_bye(from: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES);
+    push_header(&mut out, KIND_BYE, from, 0, 0, 0, 0, &[]);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_header(
+    out: &mut Vec<u8>,
+    kind: u8,
+    from: usize,
+    seq: u64,
+    mb: u32,
+    slice: u32,
+    g: u32,
+    payload: &[u8],
+) {
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(kind);
+    out.push(u8::try_from(from).expect("stage fits in u8"));
+    out.push(0);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&mb.to_le_bytes());
+    out.extend_from_slice(&slice.to_le_bytes());
+    out.extend_from_slice(&g.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
+/// Validates the structural header of `bytes` (magic, version, length).
+///
+/// # Errors
+///
+/// Returns [`CommError::Protocol`] on any structural mismatch. Checksum
+/// validation is separate ([`payload_intact`]) because a bad checksum is
+/// a *recoverable* condition (refuse to ack, wait for retransmit) while
+/// a bad header is not.
+pub fn decode_header(bytes: &[u8]) -> Result<Header, CommError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(CommError::Protocol(format!(
+            "frame shorter than header: {} bytes",
+            bytes.len()
+        )));
+    }
+    if le_u32(&bytes[0..4]) != MAGIC {
+        return Err(CommError::Protocol("bad frame magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(CommError::Protocol(format!(
+            "unknown frame version {}",
+            bytes[4]
+        )));
+    }
+    let kind = match bytes[5] {
+        KIND_ACK => FrameKind::Ack,
+        KIND_BYE => FrameKind::Bye,
+        k => FrameKind::Data(
+            MsgKind::from_wire(k)
+                .ok_or_else(|| CommError::Protocol(format!("unknown frame kind {k}")))?,
+        ),
+    };
+    let payload_len = le_u32(&bytes[28..32]) as usize;
+    if bytes.len() != HEADER_BYTES + payload_len {
+        return Err(CommError::Protocol(format!(
+            "frame length {} disagrees with payload_len {payload_len}",
+            bytes.len()
+        )));
+    }
+    Ok(Header {
+        kind,
+        from: bytes[6] as usize,
+        seq: le_u64(&bytes[8..16]),
+        mb: le_u32(&bytes[16..20]),
+        slice: le_u32(&bytes[20..24]),
+        g: le_u32(&bytes[24..28]),
+        payload_len,
+        checksum: le_u64(&bytes[32..40]),
+    })
+}
+
+/// Whether the payload bytes match the header's stored checksum.
+pub fn payload_intact(header: &Header, bytes: &[u8]) -> bool {
+    checksum(&bytes[HEADER_BYTES..]) == header.checksum
+}
+
+/// Decodes the tensor payload of a validated data frame into a
+/// [`StageMsg`]. Call on the receiving *stage* thread so the tensor is
+/// served by its arena.
+///
+/// # Errors
+///
+/// Returns [`CommError::Protocol`] if the payload is not a well-formed
+/// tensor encoding or the frame is an ack.
+pub fn decode_payload(header: &Header, bytes: &[u8]) -> Result<StageMsg, CommError> {
+    let FrameKind::Data(kind) = header.kind else {
+        return Err(CommError::Protocol("control frame has no payload".into()));
+    };
+    let (tensor, used) = Tensor::decode(&bytes[HEADER_BYTES..])?;
+    if used != header.payload_len {
+        return Err(CommError::Protocol(format!(
+            "payload has {} trailing bytes",
+            header.payload_len - used
+        )));
+    }
+    Ok(StageMsg {
+        kind,
+        mb: header.mb,
+        slice: header.slice,
+        g: header.g,
+        tensor,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> StageMsg {
+        StageMsg {
+            kind: MsgKind::Fwd,
+            mb: 3,
+            slice: 1,
+            g: 2,
+            tensor: Tensor::from_vec(2, 2, vec![1.0, -2.0, f32::NAN, 0.5]),
+        }
+    }
+
+    #[test]
+    fn data_frame_round_trips() {
+        let bytes = encode_data(1, 7, &msg());
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!((h.from, h.seq, h.mb, h.slice, h.g), (1, 7, 3, 1, 2));
+        assert!(payload_intact(&h, &bytes));
+        let back = decode_payload(&h, &bytes).unwrap();
+        assert_eq!(back.kind, MsgKind::Fwd);
+        assert_eq!(back.tensor.data()[0], 1.0);
+        assert!(back.tensor.data()[2].is_nan());
+    }
+
+    #[test]
+    fn ack_and_bye_frames_round_trip() {
+        let bytes = encode_ack(2, 41);
+        let h = decode_header(&bytes).unwrap();
+        assert_eq!(h.kind, FrameKind::Ack);
+        assert_eq!((h.from, h.seq), (2, 41));
+        assert!(payload_intact(&h, &bytes));
+        let bye = decode_header(&encode_bye(3)).unwrap();
+        assert_eq!(bye.kind, FrameKind::Bye);
+        assert_eq!(bye.from, 3);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum_not_header() {
+        let mut bytes = encode_data(0, 1, &msg());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let h = decode_header(&bytes).unwrap();
+        assert!(!payload_intact(&h, &bytes));
+    }
+
+    #[test]
+    fn structural_damage_is_a_protocol_error() {
+        let bytes = encode_data(0, 1, &msg());
+        assert!(decode_header(&bytes[..HEADER_BYTES - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 1;
+        assert!(decode_header(&bad_magic).is_err());
+        let mut bad_len = bytes;
+        bad_len.pop();
+        assert!(decode_header(&bad_len).is_err());
+    }
+}

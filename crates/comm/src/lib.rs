@@ -1,0 +1,260 @@
+//! `mepipe-comm`: pluggable stage-to-stage messaging for the pipeline
+//! runtime.
+//!
+//! The training runtime routes boundary tensors between pipeline stages
+//! through an abstract [`Endpoint`], obtained from a [`Transport`]. Three
+//! backends implement the pair:
+//!
+//! * [`inproc::InProcTransport`] — bounded, credit-flow-controlled queues
+//!   between threads of one process. Tensors move by value; this is the
+//!   fast path and is bit-identical to the original channel runtime.
+//! * [`socket::SocketTransport`] — length-prefixed frames over Unix-domain
+//!   sockets or localhost TCP, so each stage can run as a separate OS
+//!   process (see the `mepipe-worker` binary in `mepipe-train`).
+//! * [`emulated::EmulatedTransport`] — wraps either of the above with
+//!   alpha–beta link timing from a [`LinkSpec`], deterministic seeded
+//!   fault injection, and stop-and-wait reliable delivery (retransmit on
+//!   drop or checksum rejection).
+//!
+//! The layering works because endpoints expose two levels: the typed
+//! [`Endpoint::send`]/[`Endpoint::recv`] used by the runtime, and the
+//! packet-level [`Endpoint::send_packet`]/[`Endpoint::recv_packet`] that
+//! wrappers use to move raw frames through the inner backend.
+//!
+//! Every backend reports uniform per-link counters ([`CommStats`]):
+//! bytes, messages, serialize/deserialize time, send stalls, queue wait,
+//! emulated wire occupancy, and fault/retry counts.
+//!
+//! Failure semantics replace the old `expect("channel closed")` panics:
+//! a cleanly closed peer ends blocked receives with
+//! [`CommError::Closed`] once all peers are done, and a peer that dies
+//! *without* closing (process crash, dirty drop) fails every blocked
+//! operation in the transport promptly instead of hanging.
+
+pub mod emulated;
+pub mod error;
+pub mod frame;
+pub mod inproc;
+pub mod msg;
+pub mod socket;
+pub mod stats;
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use emulated::{EmulatedTransport, FaultSpec};
+pub use error::CommError;
+pub use inproc::InProcTransport;
+pub use msg::{MsgKind, Packet, StageMsg};
+pub use socket::{SocketMode, SocketTransport};
+pub use stats::{CommStats, LinkStats};
+
+use mepipe_hw::LinkSpec;
+
+/// A factory of per-stage [`Endpoint`]s over one communication fabric.
+///
+/// A transport is created once for a `stages`-wide pipeline; each stage
+/// then claims its endpoint (from its own thread or process) and all
+/// further traffic goes through that endpoint.
+pub trait Transport: Send + Sync {
+    /// Number of stages this transport connects.
+    fn stages(&self) -> usize;
+
+    /// Claims the endpoint for `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `stage` is out of range, already claimed (in-process),
+    /// or the fabric cannot be established (socket rendezvous).
+    fn endpoint(&self, stage: usize) -> Result<Box<dyn Endpoint>, CommError>;
+}
+
+/// One stage's handle for exchanging boundary tensors with its peers.
+///
+/// Endpoints are owned by their stage's thread and are deliberately
+/// `&mut self`: all waiting, retransmission, and tensor decoding happens
+/// on the stage thread, where the stage's `TensorArena` is installed.
+pub trait Endpoint: Send {
+    /// The stage this endpoint belongs to.
+    fn stage(&self) -> usize;
+
+    /// Total stages on the fabric.
+    fn stages(&self) -> usize;
+
+    /// Sends `msg` to stage `to`, blocking on flow control (and, for
+    /// reliable backends, on acknowledgement).
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Closed`] if the fabric is shut down,
+    /// [`CommError::Backpressure`] if flow control stalls past its
+    /// deadline, [`CommError::Timeout`] if a reliable layer exhausts its
+    /// retransmission budget, [`CommError::Io`] on socket failures.
+    fn send(&mut self, to: usize, msg: StageMsg) -> Result<(), CommError>;
+
+    /// Receives the next message from any peer, blocking until one
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Closed`] once every peer has cleanly closed (normal
+    /// end of run) or a peer died dirty; [`CommError::Corrupt`] if an
+    /// unreliable backend received a frame failing its checksum.
+    fn recv(&mut self) -> Result<StageMsg, CommError>;
+
+    /// Like [`Endpoint::recv`] but returns `Ok(None)` immediately when no
+    /// message is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Endpoint::recv`].
+    fn try_recv(&mut self) -> Result<Option<StageMsg>, CommError>;
+
+    /// Packet-level send, used by wrapping backends to move raw frames
+    /// and control traffic through this backend.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Endpoint::send`].
+    fn send_packet(&mut self, to: usize, pkt: Packet) -> Result<(), CommError>;
+
+    /// Packet-level receive with an optional timeout (`None` blocks).
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`CommError::Closed`] when the fabric is finished or a peer died.
+    fn recv_packet(&mut self, timeout: Option<Duration>) -> Result<Option<Packet>, CommError>;
+
+    /// Snapshot of this endpoint's counters.
+    fn stats(&self) -> CommStats;
+
+    /// Cleanly closes this endpoint: announces completion to peers so
+    /// their blocked receives can finish, then releases resources.
+    /// Idempotent. Dropping an endpoint *without* closing signals a
+    /// dirty death to peers instead.
+    fn close(&mut self);
+}
+
+/// Which backend a [`TransportConfig`] builds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Backend {
+    /// Threads in one process, bounded queues, no serialization.
+    #[default]
+    InProc,
+    /// Unix-domain sockets under the given directory (multi-process).
+    Uds(PathBuf),
+    /// Localhost TCP from the given base port (multi-process).
+    Tcp(u16),
+}
+
+/// Declarative transport selection, consumed by `build_transport`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransportConfig {
+    /// Which fabric to build.
+    pub backend: Backend,
+    /// Per-link data credits for the in-process backend (0 = a
+    /// runtime-chosen default from the schedule's peak in-flight count).
+    pub capacity: usize,
+    /// When set, wrap the fabric in link emulation with this spec.
+    pub link: Option<LinkSpec>,
+    /// Fault-injection plan (only meaningful with emulation; a default
+    /// spec injects nothing).
+    pub faults: FaultSpec,
+}
+
+impl TransportConfig {
+    /// In-process transport with runtime-chosen capacity, no emulation —
+    /// the drop-in equivalent of the original channel runtime.
+    pub fn in_proc() -> Self {
+        Self::default()
+    }
+
+    /// Emulates every link as `link` (wrapping whatever backend is set).
+    #[must_use]
+    pub fn with_link(mut self, link: LinkSpec) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Sets the fault plan and ensures emulation is on (faults need the
+    /// reliable layer; defaults to a zero-cost loopback link).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        if self.link.is_none() {
+            self.link = Some(LinkSpec::loopback());
+        }
+        self
+    }
+
+    /// Whether this config needs the reliable emulated layer.
+    pub fn emulated(&self) -> bool {
+        self.link.is_some() || self.faults.is_active()
+    }
+}
+
+/// Builds the transport described by `config` for a `stages`-wide
+/// pipeline. `default_capacity` is used when `config.capacity` is 0
+/// (callers derive it from the schedule's peak in-flight message count).
+///
+/// # Errors
+///
+/// Currently infallible in practice (socket rendezvous errors surface at
+/// [`Transport::endpoint`] time), but returns `Result` so future
+/// backends can fail fast.
+pub fn build_transport(
+    config: &TransportConfig,
+    stages: usize,
+    default_capacity: usize,
+) -> Result<Box<dyn Transport>, CommError> {
+    let capacity = if config.capacity == 0 {
+        default_capacity.max(1)
+    } else {
+        config.capacity
+    };
+    let base: Box<dyn Transport> = match &config.backend {
+        Backend::InProc => Box::new(InProcTransport::new(stages, capacity)),
+        Backend::Uds(dir) => Box::new(SocketTransport::new(SocketMode::Uds(dir.clone()), stages)),
+        Backend::Tcp(port) => Box::new(SocketTransport::new(SocketMode::Tcp(*port), stages)),
+    };
+    if config.emulated() {
+        let link = config.link.clone().unwrap_or_else(LinkSpec::loopback);
+        Ok(Box::new(
+            EmulatedTransport::new(base, link).with_faults(config.faults),
+        ))
+    } else {
+        Ok(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builds_each_backend() {
+        let t = build_transport(&TransportConfig::in_proc(), 3, 4).unwrap();
+        assert_eq!(t.stages(), 3);
+        let cfg = TransportConfig::in_proc().with_link(LinkSpec::pcie4());
+        assert!(cfg.emulated());
+        let t = build_transport(&cfg, 2, 4).unwrap();
+        assert_eq!(t.stages(), 2);
+        let cfg = TransportConfig {
+            backend: Backend::Uds(std::env::temp_dir().join("mepipe-cfg-test")),
+            ..TransportConfig::default()
+        };
+        assert!(!cfg.emulated());
+        assert_eq!(build_transport(&cfg, 4, 1).unwrap().stages(), 4);
+    }
+
+    #[test]
+    fn faults_imply_emulation() {
+        let cfg = TransportConfig::in_proc().with_faults(FaultSpec {
+            drop_first_n: 1,
+            ..FaultSpec::default()
+        });
+        assert!(cfg.emulated());
+        assert!(cfg.link.is_some());
+    }
+}

@@ -1,0 +1,615 @@
+//! The socket backend: length-prefixed frames over Unix-domain sockets
+//! or localhost TCP, one duplex stream per stage pair.
+//!
+//! This is the backend that lets each pipeline stage run as a separate
+//! OS process (`mepipe-worker`): all state crossing a stage boundary is
+//! explicit bytes. The mesh is rendezvoused deterministically — stage
+//! `i` binds its listener first, then *connects* to every stage `j < i`
+//! (with retry, since peers race to bind) and *accepts* from every
+//! `j > i`; a one-byte hello identifies the connecting stage.
+//!
+//! Each peer stream gets a reader thread that does blocking reads and
+//! pushes complete frames into the endpoint's inbox. Reader threads
+//! never decode tensor payloads: decoding happens on the *stage* thread
+//! inside `recv`, where the stage's `TensorArena` is installed, so
+//! receive buffers are pooled like every other tensor (see
+//! `mepipe_tensor::wire`).
+//!
+//! Shutdown: a clean close writes a goodbye frame to every peer before
+//! closing the stream. A reader hitting EOF *without* having seen the
+//! goodbye reports the peer as dead ([`Packet::Fault`]), which fails the
+//! local stage fast instead of leaving it blocked on a message that will
+//! never arrive.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::CommError;
+use crate::frame::{self, FrameKind};
+use crate::msg::{Packet, StageMsg};
+use crate::stats::CommStats;
+use crate::{Endpoint, Transport};
+
+/// Re-check period while blocked on an empty inbox.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Where the mesh lives.
+#[derive(Debug, Clone)]
+pub enum SocketMode {
+    /// Unix-domain sockets `<dir>/mepipe-stage-<i>.sock`.
+    Uds(PathBuf),
+    /// Localhost TCP, stage `i` listening on `127.0.0.1:(base + i)`.
+    Tcp(u16),
+}
+
+/// The socket transport: stage processes (or threads) rendezvous into a
+/// full mesh of framed streams.
+#[derive(Debug, Clone)]
+pub struct SocketTransport {
+    mode: SocketMode,
+    stages: usize,
+    connect_timeout: Duration,
+}
+
+impl SocketTransport {
+    /// Creates a transport description (no sockets opened yet; each
+    /// [`SocketTransport::endpoint`] call performs its stage's side of
+    /// the rendezvous).
+    pub fn new(mode: SocketMode, stages: usize) -> Self {
+        Self {
+            mode,
+            stages,
+            connect_timeout: Duration::from_secs(20),
+        }
+    }
+
+    /// Overrides how long a stage waits for its peers to appear.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = t;
+        self
+    }
+
+    fn uds_path(dir: &std::path::Path, stage: usize) -> PathBuf {
+        dir.join(format!("mepipe-stage-{stage}.sock"))
+    }
+}
+
+/// One duplex byte stream of either flavour.
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+struct SharedQueue {
+    q: Mutex<VecDeque<(Instant, Packet)>>,
+    cv: Condvar,
+}
+
+impl SharedQueue {
+    fn push(&self, pkt: Packet) {
+        self.q
+            .lock()
+            .expect("inbox lock")
+            .push_back((Instant::now(), pkt));
+        self.cv.notify_all();
+    }
+}
+
+impl Transport for SocketTransport {
+    fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn endpoint(&self, stage: usize) -> Result<Box<dyn Endpoint>, CommError> {
+        if stage >= self.stages {
+            return Err(CommError::Protocol(format!(
+                "stage {stage} out of range for {} stages",
+                self.stages
+            )));
+        }
+        let p = self.stages;
+        // 1. Bind my listener before connecting anywhere, so peers can
+        // reach me no matter the startup order.
+        let (listener, uds_path) = match &self.mode {
+            SocketMode::Uds(dir) => {
+                let path = Self::uds_path(dir, stage);
+                let _ = std::fs::remove_file(&path);
+                std::fs::create_dir_all(dir)?;
+                (Listener::Unix(UnixListener::bind(&path)?), Some(path))
+            }
+            SocketMode::Tcp(base) => (
+                Listener::Tcp(TcpListener::bind((
+                    "127.0.0.1",
+                    base + u16::try_from(stage).expect("stage fits in u16"),
+                ))?),
+                None,
+            ),
+        };
+
+        let mut streams: Vec<Option<Stream>> = (0..p).map(|_| None).collect();
+        // 2. Connect to every lower stage, retrying until it has bound.
+        for (peer, slot) in streams.iter_mut().enumerate().take(stage) {
+            let deadline = Instant::now() + self.connect_timeout;
+            let mut s = loop {
+                let attempt = match &self.mode {
+                    SocketMode::Uds(dir) => {
+                        UnixStream::connect(Self::uds_path(dir, peer)).map(Stream::Unix)
+                    }
+                    SocketMode::Tcp(base) => TcpStream::connect((
+                        "127.0.0.1",
+                        base + u16::try_from(peer).expect("stage fits in u16"),
+                    ))
+                    .map(Stream::Tcp),
+                };
+                match attempt {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() > deadline {
+                            return Err(CommError::Io(format!(
+                                "stage {stage} could not reach stage {peer}: {e}"
+                            )));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            };
+            if let Stream::Tcp(t) = &s {
+                let _ = t.set_nodelay(true);
+            }
+            s.write_all(&[u8::try_from(stage).expect("stage fits in u8")])?;
+            *slot = Some(s);
+        }
+        // 3. Accept one connection from every higher stage.
+        for _ in stage + 1..p {
+            let mut s = listener.accept()?;
+            if let Stream::Tcp(t) = &s {
+                let _ = t.set_nodelay(true);
+            }
+            let mut hello = [0u8; 1];
+            s.read_exact(&mut hello)?;
+            let peer = hello[0] as usize;
+            if peer <= stage || peer >= p || streams[peer].is_some() {
+                return Err(CommError::Protocol(format!(
+                    "unexpected hello from stage {peer}"
+                )));
+            }
+            streams[peer] = Some(s);
+        }
+
+        // 4. Split each stream: writer stays here, reader thread feeds
+        // the inbox.
+        let queue = Arc::new(SharedQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        });
+        let mut writers: Vec<Option<Stream>> = (0..p).map(|_| None).collect();
+        for (peer, slot) in streams.into_iter().enumerate() {
+            let Some(s) = slot else { continue };
+            let reader = s.try_clone()?;
+            writers[peer] = Some(s);
+            let q = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("mepipe-comm-rx-{stage}-{peer}"))
+                .spawn(move || read_loop(reader, peer, &q))
+                .expect("spawn reader thread");
+        }
+        Ok(Box::new(SocketEndpoint {
+            stage,
+            stages: p,
+            writers,
+            queue,
+            peer_closed: vec![false; p],
+            next_seq: vec![0; p],
+            stats: CommStats::new(stage, p),
+            closed: false,
+            uds_path,
+        }))
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+        })
+    }
+}
+
+/// Blocking per-peer reader: length-prefixed frames into the inbox.
+fn read_loop(mut stream: Stream, peer: usize, queue: &SharedQueue) {
+    let mut clean = false;
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut bytes = vec![0u8; len];
+        if stream.read_exact(&mut bytes).is_err() {
+            break;
+        }
+        match frame::decode_header(&bytes) {
+            Ok(h) if h.kind == FrameKind::Bye => {
+                clean = true;
+                break;
+            }
+            Ok(h) if h.kind == FrameKind::Ack => {
+                queue.push(Packet::Ack {
+                    from: peer,
+                    seq: h.seq,
+                });
+            }
+            Ok(_) => queue.push(Packet::Frame { from: peer, bytes }),
+            Err(_) => break, // structurally broken stream: treat as death
+        }
+    }
+    queue.push(if clean {
+        Packet::Closed { from: peer }
+    } else {
+        Packet::Fault { from: peer }
+    });
+}
+
+/// One stage's endpoint on the socket mesh.
+pub struct SocketEndpoint {
+    stage: usize,
+    stages: usize,
+    writers: Vec<Option<Stream>>,
+    queue: Arc<SharedQueue>,
+    peer_closed: Vec<bool>,
+    next_seq: Vec<u64>,
+    stats: CommStats,
+    closed: bool,
+    uds_path: Option<PathBuf>,
+}
+
+impl SocketEndpoint {
+    fn write_frame(&mut self, to: usize, bytes: &[u8]) -> Result<(), CommError> {
+        let w = self.writers[to]
+            .as_mut()
+            .ok_or(CommError::Closed { stage: to })?;
+        let t0 = Instant::now();
+        let mut buf = Vec::with_capacity(4 + bytes.len());
+        buf.extend_from_slice(&(u32::try_from(bytes.len()).expect("frame fits u32")).to_le_bytes());
+        buf.extend_from_slice(bytes);
+        w.write_all(&buf)
+            .map_err(|e| CommError::Io(e.to_string()))?;
+        // Byte counting stays with the caller (typed `send`, or a
+        // wrapping emulated layer) so retransmissions and layering
+        // don't double count.
+        self.stats.links[to].send_stall_ns += t0.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    fn all_peers_closed(&self) -> bool {
+        self.peer_closed
+            .iter()
+            .enumerate()
+            .all(|(s, &c)| s == self.stage || c)
+    }
+
+    /// Handles a data frame on the stage thread: checksum + decode.
+    fn open_frame(&mut self, from: usize, bytes: Vec<u8>) -> Result<StageMsg, CommError> {
+        let h = frame::decode_header(&bytes)?;
+        if !frame::payload_intact(&h, &bytes) {
+            // The bare socket backend has no retransmit protocol to
+            // recover through (wrap it in Emulated for that).
+            self.stats.links[from].rejected_checksums += 1;
+            return Err(CommError::Corrupt { peer: from });
+        }
+        let t0 = Instant::now();
+        let msg = frame::decode_payload(&h, &bytes)?;
+        let link = &mut self.stats.links[from];
+        link.deserialize_ns += t0.elapsed().as_nanos() as u64;
+        link.rx_messages += 1;
+        link.rx_bytes += bytes.len() as u64;
+        Ok(msg)
+    }
+}
+
+impl Endpoint for SocketEndpoint {
+    fn stage(&self) -> usize {
+        self.stage
+    }
+
+    fn stages(&self) -> usize {
+        self.stages
+    }
+
+    fn send(&mut self, to: usize, msg: StageMsg) -> Result<(), CommError> {
+        let t0 = Instant::now();
+        self.next_seq[to] += 1;
+        let bytes = frame::encode_data(self.stage, self.next_seq[to], &msg);
+        self.stats.links[to].serialize_ns += t0.elapsed().as_nanos() as u64;
+        let n = bytes.len() as u64;
+        self.write_frame(to, &bytes)?;
+        let link = &mut self.stats.links[to];
+        link.tx_messages += 1;
+        link.tx_bytes += n;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<StageMsg, CommError> {
+        let t0 = Instant::now();
+        loop {
+            match self.recv_packet(None)? {
+                Some(Packet::Frame { from, bytes }) => {
+                    self.stats.recv_wait_ns += t0.elapsed().as_nanos() as u64;
+                    return self.open_frame(from, bytes);
+                }
+                Some(_) => {} // acks/closures: state updated in recv_packet
+                None => unreachable!("blocking recv_packet returned None"),
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<StageMsg>, CommError> {
+        loop {
+            match self.recv_packet(Some(Duration::ZERO))? {
+                Some(Packet::Frame { from, bytes }) => {
+                    return self.open_frame(from, bytes).map(Some);
+                }
+                Some(_) => {}
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn send_packet(&mut self, to: usize, pkt: Packet) -> Result<(), CommError> {
+        match pkt {
+            Packet::Frame { bytes, .. } => self.write_frame(to, &bytes),
+            Packet::Ack { from, seq } => {
+                let bytes = frame::encode_ack(from, seq);
+                self.write_frame(to, &bytes)
+            }
+            Packet::Msg { msg, .. } => self.send(to, msg),
+            Packet::Closed { .. } | Packet::Fault { .. } => Err(CommError::Protocol(
+                "closure packets are not sendable".into(),
+            )),
+        }
+    }
+
+    fn recv_packet(&mut self, timeout: Option<Duration>) -> Result<Option<Packet>, CommError> {
+        let start = Instant::now();
+        let queue = Arc::clone(&self.queue);
+        let mut q = queue.q.lock().expect("inbox lock");
+        loop {
+            if let Some((enqueued, pkt)) = q.pop_front() {
+                drop(q);
+                let from = pkt.from();
+                self.stats.links[from].queue_wait_ns += enqueued.elapsed().as_nanos() as u64;
+                match &pkt {
+                    Packet::Closed { from } => self.peer_closed[*from] = true,
+                    Packet::Fault { from } => {
+                        // A peer died dirty: fail fast.
+                        self.peer_closed[*from] = true;
+                        return Err(CommError::Closed { stage: *from });
+                    }
+                    _ => {}
+                }
+                return Ok(Some(pkt));
+            }
+            if self.all_peers_closed() {
+                return Err(CommError::Closed { stage: self.stage });
+            }
+            let wait = match timeout {
+                Some(t) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= t {
+                        return Ok(None);
+                    }
+                    POLL.min(t - elapsed)
+                }
+                None => POLL,
+            };
+            if wait.is_zero() {
+                return Ok(None);
+            }
+            q = queue.cv.wait_timeout(q, wait).expect("inbox lock").0;
+        }
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.clone()
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let bye = frame::encode_bye(self.stage);
+        for to in 0..self.stages {
+            if self.writers[to].is_some() {
+                let _ = self.write_frame(to, &bye);
+            }
+        }
+        for w in self.writers.iter().flatten() {
+            w.shutdown();
+        }
+        if let Some(p) = &self.uds_path {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for SocketEndpoint {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Dirty death: shut the streams without a goodbye so peers
+            // see a fault and fail fast.
+            for w in self.writers.iter().flatten() {
+                w.shutdown();
+            }
+            if let Some(p) = &self.uds_path {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgKind;
+    use mepipe_tensor::Tensor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mepipe-comm-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir
+    }
+
+    fn msg(v: f32, g: u32) -> StageMsg {
+        StageMsg {
+            kind: MsgKind::Fwd,
+            mb: 0,
+            slice: 0,
+            g,
+            tensor: Tensor::from_vec(1, 2, vec![v, -v]),
+        }
+    }
+
+    #[test]
+    fn uds_mesh_round_trips_in_threads() {
+        let dir = tmp_dir("rt");
+        let t = SocketTransport::new(SocketMode::Uds(dir.clone()), 3);
+        std::thread::scope(|s| {
+            let t0 = &t;
+            s.spawn(move || {
+                let mut e = t0.endpoint(0).unwrap();
+                e.send(1, msg(1.5, 1)).unwrap();
+                e.send(2, msg(2.5, 2)).unwrap();
+                e.close();
+            });
+            s.spawn(move || {
+                let mut e = t0.endpoint(1).unwrap();
+                let m = e.recv().unwrap();
+                assert_eq!(m.tensor.data(), &[1.5, -1.5]);
+                e.send(2, msg(9.0, 2)).unwrap();
+                e.close();
+            });
+            let mut e = t0.endpoint(2).unwrap();
+            let mut seen = Vec::new();
+            for _ in 0..2 {
+                seen.push(e.recv().unwrap().tensor.data()[0]);
+            }
+            seen.sort_by(f32::total_cmp);
+            assert_eq!(seen, vec![2.5, 9.0]);
+            assert!(e.stats().total().rx_messages == 2);
+            e.close();
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tcp_mode_round_trips() {
+        let t = SocketTransport::new(SocketMode::Tcp(38731), 2);
+        std::thread::scope(|s| {
+            let t0 = &t;
+            s.spawn(move || {
+                let mut e = t0.endpoint(1).unwrap();
+                let m = e.recv().unwrap();
+                assert_eq!(m.tensor.data()[0], 3.0);
+                e.close();
+            });
+            let mut e = t0.endpoint(0).unwrap();
+            e.send(1, msg(3.0, 1)).unwrap();
+            e.close();
+        });
+    }
+
+    #[test]
+    fn dirty_peer_death_is_a_fault() {
+        let dir = tmp_dir("fault");
+        let t = SocketTransport::new(SocketMode::Uds(dir.clone()), 2);
+        std::thread::scope(|s| {
+            let t0 = &t;
+            s.spawn(move || {
+                let e = t0.endpoint(0).unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+                drop(e); // no close, no goodbye
+            });
+            let mut e = t0.endpoint(1).unwrap();
+            let err = e.recv().unwrap_err();
+            assert!(matches!(err, CommError::Closed { .. }));
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clean_close_ends_idle_recv() {
+        let dir = tmp_dir("clean");
+        let t = SocketTransport::new(SocketMode::Uds(dir.clone()), 2);
+        std::thread::scope(|s| {
+            let t0 = &t;
+            s.spawn(move || {
+                let mut e = t0.endpoint(0).unwrap();
+                e.close();
+            });
+            let mut e = t0.endpoint(1).unwrap();
+            let err = e.recv().unwrap_err();
+            assert!(matches!(err, CommError::Closed { .. }));
+            e.close();
+        });
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -17,12 +17,14 @@
 //! * **inter-stage transfer pricing** from the cluster's links.
 #![warn(missing_docs)]
 
+pub mod commcheck;
 pub mod cost;
 pub mod engine;
 pub mod metrics;
 pub mod timeline;
 pub mod trace;
 
+pub use commcheck::{CommCheckReport, LinkCheck};
 pub use cost::{ModelCost, SimCost, UniformSimCost};
 pub use engine::{simulate, SimConfig, SimResult, SimSummary};
 pub use timeline::{Segment, SegmentKind};

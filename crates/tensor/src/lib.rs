@@ -33,7 +33,9 @@ pub mod init;
 pub mod ops;
 pub mod pool;
 pub mod tensor;
+pub mod wire;
 
 pub use arena::{ArenaStats, TensorArena};
 pub use pool::KernelPool;
 pub use tensor::Tensor;
+pub use wire::WireError;

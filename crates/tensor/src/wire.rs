@@ -1,0 +1,199 @@
+//! Wire serialization for [`Tensor`]: the byte format boundary tensors
+//! travel in between pipeline-stage processes.
+//!
+//! The encoding is deliberately trivial — `rows: u32 LE`, `cols: u32 LE`,
+//! then `rows * cols` little-endian `f32` bit patterns — because the
+//! transport layer above it (frame headers, checksums, sequence numbers)
+//! owns integrity and ordering. Two properties matter here:
+//!
+//! 1. **Bit-exactness.** Payloads round-trip through raw bit patterns
+//!    (`f32::to_bits`/`from_bits`), so NaN payloads, infinities and
+//!    signed zeros survive unchanged and a tensor decoded on another
+//!    process is bit-identical to the one encoded. This is what lets the
+//!    multi-process runtime reproduce the in-process loss exactly.
+//! 2. **Arena-backed decode.** [`Tensor::decode`] allocates its output
+//!    through [`Tensor::uninit`], so when the decoding thread has a
+//!    [`crate::TensorArena`] installed the receive buffer is served from
+//!    (and recycled into) the stage's shape-keyed free lists — receiving
+//!    a tensor in the steady state allocates nothing. The transport
+//!    decodes on the *stage* thread, not its socket-reader threads, for
+//!    exactly this reason.
+//!
+//! Decoding is defensive: short buffers, truncated payloads and
+//! implausible shapes are rejected with a typed [`WireError`] instead of
+//! panicking, since frame bytes may cross a process boundary.
+
+use std::fmt;
+
+use crate::tensor::Tensor;
+
+/// Upper bound on decoded elements (1 Gi elements = 4 GiB payload):
+/// rejects absurd shape headers before they turn into giant allocations.
+const MAX_ELEMS: u64 = 1 << 30;
+
+/// Size of the shape header in bytes (`rows: u32` + `cols: u32`).
+pub const WIRE_HEADER_BYTES: usize = 8;
+
+/// Decoding failure of a wire-encoded tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the shape header is complete.
+    TruncatedHeader,
+    /// The buffer ends before `rows * cols` payload elements.
+    TruncatedPayload {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The shape header describes an implausibly large tensor.
+    ImplausibleShape {
+        /// Decoded row count.
+        rows: u64,
+        /// Decoded column count.
+        cols: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::TruncatedHeader => write!(f, "tensor frame truncated inside shape header"),
+            WireError::TruncatedPayload { expected, got } => {
+                write!(
+                    f,
+                    "tensor frame truncated: payload needs {expected} bytes, got {got}"
+                )
+            }
+            WireError::ImplausibleShape { rows, cols } => {
+                write!(f, "tensor frame shape {rows}x{cols} exceeds the wire limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Tensor {
+    /// Number of bytes [`Tensor::encode_into`] appends for this tensor.
+    pub fn encoded_len(&self) -> usize {
+        WIRE_HEADER_BYTES + self.len() * 4
+    }
+
+    /// Appends the wire encoding (`rows u32 LE, cols u32 LE, payload f32
+    /// LE bit patterns`) to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u32::MAX` (no real tensor here is
+    /// within orders of magnitude of that).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let rows = u32::try_from(self.rows()).expect("rows fit in u32");
+        let cols = u32::try_from(self.cols()).expect("cols fit in u32");
+        out.reserve(self.encoded_len());
+        out.extend_from_slice(&rows.to_le_bytes());
+        out.extend_from_slice(&cols.to_le_bytes());
+        for &v in self.data() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Decodes one tensor from the front of `bytes`, returning it plus
+    /// the number of bytes consumed. The payload is copied bit-exactly;
+    /// the output buffer is served by the installed arena, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the buffer is truncated or the shape
+    /// header is implausible; `bytes` is never panicked over.
+    pub fn decode(bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        if bytes.len() < WIRE_HEADER_BYTES {
+            return Err(WireError::TruncatedHeader);
+        }
+        let rows = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+        let cols = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as u64;
+        if rows.saturating_mul(cols) > MAX_ELEMS {
+            return Err(WireError::ImplausibleShape { rows, cols });
+        }
+        let n = (rows * cols) as usize;
+        let need = n * 4;
+        let payload = &bytes[WIRE_HEADER_BYTES..];
+        if payload.len() < need {
+            return Err(WireError::TruncatedPayload {
+                expected: need,
+                got: payload.len(),
+            });
+        }
+        let mut t = Tensor::uninit(rows as usize, cols as usize);
+        for (dst, src) in t.data_mut().iter_mut().zip(payload.chunks_exact(4)) {
+            *dst = f32::from_bits(u32::from_le_bytes(src.try_into().unwrap()));
+        }
+        Ok((t, WIRE_HEADER_BYTES + need))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let t = Tensor::from_vec(
+            2,
+            3,
+            vec![1.5, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 3e-39],
+        );
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        assert_eq!(buf.len(), t.encoded_len());
+        let (back, used) = Tensor::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!((back.rows(), back.cols()), (2, 3));
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_sized_tensors_round_trip() {
+        let t = Tensor::zeros(0, 5);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let (back, used) = Tensor::decode(&buf).unwrap();
+        assert_eq!(used, WIRE_HEADER_BYTES);
+        assert_eq!((back.rows(), back.cols()), (0, 5));
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let t = Tensor::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Tensor::decode(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn implausible_shape_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Tensor::decode(&buf),
+            Err(WireError::ImplausibleShape { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_with_trailing_data() {
+        let t = Tensor::from_vec(1, 2, vec![7.0, 8.0]);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let frame_len = buf.len();
+        buf.extend_from_slice(&[0xAB; 9]);
+        let (back, used) = Tensor::decode(&buf).unwrap();
+        assert_eq!(used, frame_len);
+        assert_eq!(back.data(), &[7.0, 8.0]);
+    }
+}

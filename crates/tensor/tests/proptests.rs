@@ -195,3 +195,79 @@ proptest! {
         prop_assert!(dv.max_abs_diff(&dv_n) < 1e-5);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wire round trip is bit-exact for arbitrary shapes and payloads,
+    /// including NaN/inf bit patterns injected at arbitrary positions.
+    #[test]
+    fn wire_round_trip_is_bit_exact(
+        rows in 0usize..17,
+        cols in 0usize..23,
+        seed in 0u64..1000,
+        special in 0u32..6,
+    ) {
+        let mut r = rng(seed);
+        let mut t = uniform(rows.max(1), cols.max(1), 1e3, &mut r);
+        // Overwrite a few positions with non-finite / denormal payloads.
+        let n = t.len();
+        let specials = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::from_bits(0x7fc0_dead), // NaN with payload bits
+            1e-40,                       // subnormal
+        ];
+        for (i, s) in specials.iter().take(special as usize).enumerate() {
+            let idx = (seed as usize + i * 7) % n;
+            t.data_mut()[idx] = *s;
+        }
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let (back, used) = Tensor::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!((back.rows(), back.cols()), (t.rows(), t.cols()));
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Every strict prefix of a frame is rejected as truncated — no
+    /// partial frame ever decodes into a tensor.
+    #[test]
+    fn wire_truncation_always_rejected(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        cut_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let mut r = rng(seed);
+        let t = uniform(rows, cols, 1.0, &mut r);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let cut = ((buf.len() as f64) * cut_frac) as usize; // strictly < len
+        prop_assert!(Tensor::decode(&buf[..cut.min(buf.len() - 1)]).is_err());
+    }
+
+    /// Decoding with trailing garbage consumes exactly one frame and
+    /// still round-trips bitwise.
+    #[test]
+    fn wire_decode_consumes_one_frame(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        trailer in 0usize..32,
+        seed in 0u64..1000,
+    ) {
+        let mut r = rng(seed);
+        let t = uniform(rows, cols, 1.0, &mut r);
+        let mut buf = Vec::new();
+        t.encode_into(&mut buf);
+        let frame_len = buf.len();
+        buf.extend(std::iter::repeat_n(0x5Au8, trailer));
+        let (back, used) = Tensor::decode(&buf).unwrap();
+        prop_assert_eq!(used, frame_len);
+        prop_assert!(back.max_abs_diff(&t) == 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! `mepipe-worker`: run pipeline stages as separate OS processes.
+//!
+//! Each worker process initialises the same model and batch from shared
+//! seeds, claims its stage's endpoint on a Unix-domain-socket mesh, and
+//! executes exactly its rows of the schedule; boundary tensors cross
+//! process boundaries as checksummed wire frames. Because every byte a
+//! stage consumes is identical to what the in-process runtime would have
+//! handed it, the final loss is bit-identical to a single-process run —
+//! which `launch` verifies, and `scripts/check.sh` smokes.
+//!
+//! Modes:
+//!
+//! * `worker --stage I --stages P --dir D [opts]` — run one stage,
+//!   print its loss share as f64 bits.
+//! * `launch --stages P [opts]` — spawn P workers over a fresh UDS
+//!   mesh, combine their loss shares in stage order, and compare
+//!   bit-for-bit against an in-process run of the same iteration.
+//! * `selftest-faults [opts]` — run one iteration on the emulated
+//!   transport with seeded fault injection (first frame of every
+//!   endpoint dropped, plus random delays) and verify the loss is
+//!   bit-identical to the clean run, with retransmissions actually
+//!   observed and no panic anywhere.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use mepipe_comm::{FaultSpec, SocketMode, SocketTransport, Transport, TransportConfig};
+use mepipe_core::svpp::Mepipe;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_schedule::ir::Schedule;
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{params::ModelParams, PipelineRuntime, WgradMode};
+
+/// The deterministic scenario every process reconstructs from flags.
+#[derive(Debug, Clone)]
+struct Scenario {
+    stages: usize,
+    micro_batches: usize,
+    slices: usize,
+    seq_len: usize,
+    layers: usize,
+    seed: u64,
+    mode: WgradMode,
+}
+
+impl Scenario {
+    fn schedule(&self) -> Schedule {
+        Mepipe::new()
+            .generate(&Dims::new(self.stages, self.micro_batches).slices(self.slices))
+            .expect("schedule generation")
+    }
+
+    fn runtime(&self) -> PipelineRuntime {
+        let cfg = TransformerConfig {
+            seq_len: self.seq_len,
+            ..TransformerConfig::tiny(self.layers)
+        };
+        PipelineRuntime::new(ModelParams::init(cfg, self.seed), self.stages, 1)
+    }
+
+    fn batch(&self) -> Vec<Vec<usize>> {
+        let cfg = TransformerConfig {
+            seq_len: self.seq_len,
+            ..TransformerConfig::tiny(self.layers)
+        };
+        (0..self.micro_batches)
+            .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, self.seed + 1000 + i as u64))
+            .collect()
+    }
+
+    fn as_args(&self) -> Vec<String> {
+        vec![
+            "--stages".into(),
+            self.stages.to_string(),
+            "--micro-batches".into(),
+            self.micro_batches.to_string(),
+            "--slices".into(),
+            self.slices.to_string(),
+            "--seq-len".into(),
+            self.seq_len.to_string(),
+            "--layers".into(),
+            self.layers.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--mode".into(),
+            match self.mode {
+                WgradMode::Immediate => "immediate".into(),
+                WgradMode::AtWeightOp => "at-weight-op".into(),
+                WgradMode::DrainOnWait => "drain".into(),
+            },
+        ]
+    }
+}
+
+struct Args {
+    scenario: Scenario,
+    stage: Option<usize>,
+    dir: PathBuf,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut scenario = Scenario {
+        stages: 4,
+        micro_batches: 4,
+        slices: 4,
+        seq_len: 32,
+        layers: 4,
+        seed: 7,
+        mode: WgradMode::DrainOnWait,
+    };
+    let mut stage = None;
+    let mut dir = std::env::temp_dir().join(format!("mepipe-mesh-{}", std::process::id()));
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--stage" => stage = Some(value().parse().expect("--stage")),
+            "--stages" => scenario.stages = value().parse().expect("--stages"),
+            "--micro-batches" => scenario.micro_batches = value().parse().expect("--micro-batches"),
+            "--slices" => scenario.slices = value().parse().expect("--slices"),
+            "--seq-len" => scenario.seq_len = value().parse().expect("--seq-len"),
+            "--layers" => scenario.layers = value().parse().expect("--layers"),
+            "--seed" => scenario.seed = value().parse().expect("--seed"),
+            "--dir" => dir = PathBuf::from(value()),
+            "--mode" => {
+                scenario.mode = match value().as_str() {
+                    "immediate" => WgradMode::Immediate,
+                    "at-weight-op" => WgradMode::AtWeightOp,
+                    "drain" => WgradMode::DrainOnWait,
+                    m => panic!("unknown --mode {m}"),
+                }
+            }
+            f => panic!("unknown flag {f}"),
+        }
+    }
+    Args {
+        scenario,
+        stage,
+        dir,
+    }
+}
+
+/// `worker`: one stage of the pipeline as this whole process.
+fn run_worker(args: &Args) {
+    let stage = args.stage.expect("worker needs --stage");
+    let sc = &args.scenario;
+    let rt = sc.runtime();
+    let schedule = sc.schedule();
+    let batch = sc.batch();
+    let transport = SocketTransport::new(SocketMode::Uds(args.dir.clone()), sc.stages);
+    let ep = transport.endpoint(stage).expect("claim stage endpoint");
+    let out = rt
+        .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
+        .expect("stage run");
+    let t = out.comm.total();
+    // The launcher parses this line; keep it stable.
+    println!(
+        "RESULT stage={stage} loss_bits={} drained={} tx_msgs={} rx_msgs={} tx_bytes={}",
+        out.loss_sum.to_bits(),
+        out.drained,
+        t.tx_messages,
+        t.rx_messages,
+        t.tx_bytes,
+    );
+}
+
+/// `launch`: the multi-process mesh, verified against in-process.
+fn run_launch(args: &Args) {
+    let sc = &args.scenario;
+    let exe = std::env::current_exe().expect("current exe");
+    std::fs::create_dir_all(&args.dir).expect("mesh dir");
+    let children: Vec<_> = (0..sc.stages)
+        .map(|stage| {
+            let mut cmd = Command::new(&exe);
+            cmd.arg("worker")
+                .arg("--stage")
+                .arg(stage.to_string())
+                .arg("--dir")
+                .arg(&args.dir)
+                .args(sc.as_args())
+                .stdout(Stdio::piped());
+            (stage, cmd.spawn().expect("spawn worker"))
+        })
+        .collect();
+
+    // Workers' loss shares, combined in stage order — the same addition
+    // order as the in-process merge, so f64 bits match exactly.
+    let mut loss = 0.0f64;
+    for (stage, child) in children {
+        let out = child.wait_with_output().expect("worker exit");
+        assert!(
+            out.status.success(),
+            "worker {stage} failed with {}",
+            out.status
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let bits_field = stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("RESULT stage={stage} loss_bits=")))
+            .unwrap_or_else(|| panic!("worker {stage} printed no RESULT line: {stdout}"));
+        let bits: u64 = bits_field
+            .split_whitespace()
+            .next()
+            .expect("loss bits field")
+            .parse()
+            .expect("loss bits u64");
+        loss += f64::from_bits(bits);
+    }
+    let _ = std::fs::remove_dir_all(&args.dir);
+
+    let reference = sc
+        .runtime()
+        .run_iteration(&sc.schedule(), &sc.batch(), sc.mode, None)
+        .expect("in-process reference run");
+    println!(
+        "multi-process loss {loss:.6} ({} workers over uds), in-process loss {:.6}",
+        sc.stages, reference.loss
+    );
+    assert_eq!(
+        loss.to_bits(),
+        reference.loss.to_bits(),
+        "multi-process loss is not bit-identical to in-process"
+    );
+    println!("OK: losses bit-identical across process boundaries");
+}
+
+/// `selftest-faults`: fault injection recovers to a bit-identical loss.
+fn run_selftest_faults(args: &Args) {
+    let sc = &args.scenario;
+    let schedule = sc.schedule();
+    let batch = sc.batch();
+
+    let clean = sc
+        .runtime()
+        .run_iteration(&schedule, &batch, sc.mode, None)
+        .expect("clean run");
+
+    let faults = FaultSpec {
+        drop_first_n: 1, // every endpoint's first frame is lost
+        delay_permille: 200,
+        delay_us: 500,
+        corrupt_permille: 50,
+        seed: sc.seed,
+        ..FaultSpec::default()
+    };
+    let rt = sc
+        .runtime()
+        .with_transport(TransportConfig::in_proc().with_faults(faults));
+    let faulted = rt
+        .run_iteration(&schedule, &batch, sc.mode, None)
+        .expect("faulted run completes via retransmission");
+
+    let totals = faulted
+        .comm
+        .iter()
+        .map(|c| c.total())
+        .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+    println!(
+        "faulted run: loss {:.6}, drops {} corrupts {} delays {} retries {} checksum rejects {}",
+        faulted.loss,
+        totals.injected_drops,
+        totals.injected_corrupts,
+        totals.injected_delays,
+        totals.retries,
+        totals.rejected_checksums,
+    );
+    assert!(totals.injected_drops >= 1, "no drop was injected");
+    assert!(totals.retries >= 1, "no retransmission happened");
+    assert_eq!(
+        clean.loss.to_bits(),
+        faulted.loss.to_bits(),
+        "faulted loss is not bit-identical to the clean run"
+    );
+    println!("OK: dropped/corrupted frames recovered, loss bit-identical");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = argv
+        .split_first()
+        .expect("usage: mepipe-worker <worker|launch|selftest-faults> [flags]");
+    let args = parse_args(rest);
+    match mode.as_str() {
+        "worker" => run_worker(&args),
+        "launch" => run_launch(&args),
+        "selftest-faults" => run_selftest_faults(&args),
+        m => panic!("unknown mode {m} (expected worker|launch|selftest-faults)"),
+    }
+}

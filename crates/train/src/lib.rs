@@ -2,7 +2,9 @@
 //!
 //! This crate is the executable counterpart of the simulator: it runs the
 //! *same schedule IR* on real tensors across real OS threads, one thread
-//! per pipeline stage, with channels standing in for the interconnect. It
+//! per pipeline stage, with a pluggable `mepipe-comm` transport standing
+//! in for the interconnect (bounded in-process queues, sockets for
+//! multi-process runs, or an emulated link with fault injection). It
 //! demonstrates that SVPP's dependency structure is correct:
 //!
 //! * slice-wise forward with per-layer KV caches equals full-sequence
@@ -33,4 +35,4 @@ pub mod profiler;
 pub mod reference;
 pub mod tp;
 
-pub use pipeline::{PipelineRuntime, RunStats, WgradMode};
+pub use pipeline::{PipelineRuntime, RunStats, StageRunStats, WgradMode};

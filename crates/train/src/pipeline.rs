@@ -1,5 +1,6 @@
-//! The threaded pipeline runtime: one OS thread per stage, channels as
-//! the interconnect, executing the schedule IR on real tensors.
+//! The threaded pipeline runtime: one OS thread per stage, a pluggable
+//! `mepipe-comm` transport as the interconnect, executing the schedule
+//! IR on real tensors.
 //!
 //! Workers follow their schedule lists exactly as the simulator assumes:
 //! a forward op blocks until its input activation arrives from the
@@ -26,12 +27,29 @@
 //! heap allocation. Recycled buffers are re-zeroed on reuse, so pooled
 //! runs are bit-identical to fresh-allocation runs
 //! ([`PipelineRuntime::with_arena`] turns pooling off for comparison).
+//!
+//! Stage-to-stage messaging goes through `mepipe-comm`'s
+//! [`Endpoint`] abstraction, selected by a [`TransportConfig`]
+//! ([`PipelineRuntime::with_transport`]): bounded in-process queues by
+//! default (credits sized from the schedule's peak in-flight message
+//! count), Unix-domain/TCP sockets so each stage can be its own OS
+//! process (see the `mepipe-worker` binary), and an emulated layer that
+//! adds link timing and seeded fault injection on top of either. All
+//! transport failures — a dead peer, exhausted retransmissions,
+//! backpressure deadlines — surface as a typed [`CommError`] from
+//! [`PipelineRuntime::run_iteration`] instead of the old
+//! `expect("channel closed")` panics, and the delivered bytes are
+//! bit-identical across backends, so the loss and gradients of a run do
+//! not depend on which interconnect carried it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use mepipe_comm::{
+    build_transport, CommError, CommStats, Endpoint, MsgKind, StageMsg, TransportConfig,
+};
 use mepipe_schedule::ir::{OpKind, Schedule};
+use mepipe_schedule::validate::peak_in_flight;
 use mepipe_tensor::{
     ops::{
         cross_entropy_in, embedding, embedding_backward, matmul_dgrad_in, matmul_in,
@@ -78,21 +96,30 @@ pub struct RunStats {
     /// runtime the hit rate approaches 1: the steady state allocates
     /// (near-)nothing.
     pub arena: Vec<ArenaStats>,
+    /// Per-stage transport counters: bytes, messages, serialize time,
+    /// stalls, retries and injected faults (see [`CommStats`]).
+    pub comm: Vec<CommStats>,
 }
 
-enum Msg {
-    Fwd {
-        mb: usize,
-        slice: usize,
-        g: usize,
-        x: Tensor,
-    },
-    Bwd {
-        mb: usize,
-        slice: usize,
-        g: usize,
-        dy: Tensor,
-    },
+/// Result of running a single stage of a schedule (the unit a
+/// multi-process worker contributes; [`PipelineRuntime::run_stage`]).
+#[derive(Debug)]
+pub struct StageRunStats {
+    /// This stage's share of the loss sum (the full loss is the sum of
+    /// every stage's share, added in stage order).
+    pub loss_sum: f64,
+    /// Gradients for the layers this stage owns (zero elsewhere).
+    pub grads: ModelGrads,
+    /// Peak live activation bytes on this stage.
+    pub peak_bytes: usize,
+    /// Weight-gradient GEMMs drained while waiting.
+    pub drained: usize,
+    /// Whether the stage exceeded its memory cap.
+    pub oom: bool,
+    /// Transport counters for this stage's endpoint.
+    pub comm: CommStats,
+    /// Arena counters for this stage (zero when pooling is off).
+    pub arena: ArenaStats,
 }
 
 /// A model plus the pipeline shape needed to run schedules against it.
@@ -103,6 +130,7 @@ pub struct PipelineRuntime {
     virtual_chunks: usize,
     kernel_workers: usize,
     pooled: bool,
+    transport: TransportConfig,
     /// Warmed per-stage arena sets, handed out at iteration start and
     /// returned at the end. Stage threads die with each `run_iteration`
     /// (scoped spawn), so the free lists must live here to survive into
@@ -136,8 +164,24 @@ impl PipelineRuntime {
             virtual_chunks,
             kernel_workers,
             pooled: true,
+            transport: TransportConfig::in_proc(),
             arena_bank: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Selects the stage-to-stage transport (in-process bounded queues by
+    /// default). Delivered content is bit-identical across backends, so
+    /// this changes failure/timing behaviour and observability, never
+    /// results.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The configured transport.
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
     }
 
     /// Overrides the per-stage kernel worker count (clamped to at least
@@ -168,10 +212,37 @@ impl PipelineRuntime {
         self.kernel_workers
     }
 
+    fn check_shapes(&self, schedule: &Schedule, batch: &[Vec<usize>]) {
+        let meta = &schedule.meta;
+        assert_eq!(meta.stages, self.stages, "stage mismatch");
+        assert_eq!(meta.virtual_chunks, self.virtual_chunks, "chunk mismatch");
+        assert_eq!(meta.micro_batches, batch.len(), "batch size mismatch");
+        let seq = self.model.cfg.seq_len;
+        for s in batch {
+            assert_eq!(s.len(), seq + 1, "each sample needs seq_len + 1 tokens");
+        }
+        assert_eq!(seq % meta.slices, 0, "slices must divide the sequence");
+    }
+
+    /// Per-link credit capacity for a schedule: twice the worst stage's
+    /// peak in-flight message count plus slack, so a correct schedule
+    /// never deadlocks on flow control while a runaway sender still
+    /// blocks (and eventually fails with [`CommError::Backpressure`]).
+    fn default_capacity(schedule: &Schedule) -> usize {
+        peak_in_flight(schedule).into_iter().max().unwrap_or(1) * 2 + 2
+    }
+
     /// Runs one training iteration under `schedule` and returns loss,
     /// gradients and memory statistics. `batch[mb]` must hold
     /// `seq_len + 1` token ids. The model is not mutated; apply an
     /// optimizer step with the returned gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns the root-cause [`CommError`] if any stage's transport
+    /// fails (peer death, retransmission timeout, backpressure
+    /// deadline). The remaining stages shut down promptly: an endpoint
+    /// dropped on the error path signals every blocked peer.
     ///
     /// # Panics
     ///
@@ -182,20 +253,10 @@ impl PipelineRuntime {
         batch: &[Vec<usize>],
         mode: WgradMode,
         mem_cap: Option<usize>,
-    ) -> RunStats {
-        let meta = &schedule.meta;
-        assert_eq!(meta.stages, self.stages, "stage mismatch");
-        assert_eq!(meta.virtual_chunks, self.virtual_chunks, "chunk mismatch");
-        assert_eq!(meta.micro_batches, batch.len(), "batch size mismatch");
-        let seq = self.model.cfg.seq_len;
-        for s in batch {
-            assert_eq!(s.len(), seq + 1, "each sample needs seq_len + 1 tokens");
-        }
-        assert_eq!(seq % meta.slices, 0, "slices must divide the sequence");
-
+    ) -> Result<RunStats, CommError> {
+        self.check_shapes(schedule, batch);
         let p = self.stages;
-        let (senders, receivers): (Vec<Sender<Msg>>, Vec<Receiver<Msg>>) =
-            (0..p).map(|_| unbounded()).unzip();
+        let transport = build_transport(&self.transport, p, Self::default_capacity(schedule))?;
         let batch = Arc::new(batch.to_vec());
         let model = &self.model;
 
@@ -212,16 +273,16 @@ impl PipelineRuntime {
         } else {
             (0..p).map(|_| None).collect()
         };
-        let mut results: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
+        let mut results: Vec<Option<Result<WorkerOut, CommError>>> = (0..p).map(|_| None).collect();
         let mut arena_stats = vec![ArenaStats::default(); p];
         let mut warm: Vec<TensorArena> = Vec::with_capacity(p);
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for ((w, rx), mut arena) in receivers.into_iter().enumerate().zip(arenas) {
-                let senders = senders.clone();
+            for (w, mut arena) in arenas.into_iter().enumerate() {
                 let batch = Arc::clone(&batch);
-                let ops = schedule.workers[w].clone();
-                let meta = meta.clone();
+                let ops = &schedule.workers[w];
+                let meta = &schedule.meta;
+                let transport = transport.as_ref();
                 handles.push(scope.spawn(move || {
                     let before = arena
                         .as_ref()
@@ -231,21 +292,27 @@ impl PipelineRuntime {
                         // tensor the ops below create or drop on this
                         // thread goes through the stage's free lists.
                         let _arena_scope = arena.as_mut().map(|a| a.install());
-                        let mut ctx = WorkerCtx::new(
-                            model,
-                            &meta,
-                            w,
-                            rx,
-                            senders,
-                            batch,
-                            mode,
-                            mem_cap,
-                            kernel_workers,
-                        );
-                        for op in &ops {
-                            ctx.execute(op);
-                        }
-                        ctx.finish()
+                        // Claim the endpoint on the stage thread: the
+                        // socket backend's mesh rendezvous needs every
+                        // stage connecting concurrently.
+                        transport.endpoint(w).and_then(|ep| {
+                            let mut ctx = WorkerCtx::new(
+                                model,
+                                meta,
+                                w,
+                                ep,
+                                batch,
+                                mode,
+                                mem_cap,
+                                kernel_workers,
+                            );
+                            for op in ops {
+                                // An error drops ctx (and its endpoint)
+                                // right here, signalling every peer.
+                                ctx.execute(op)?;
+                            }
+                            Ok(ctx.finish())
+                        })
                     };
                     let stats = arena
                         .as_ref()
@@ -270,30 +337,111 @@ impl PipelineRuntime {
                 .push(warm);
         }
 
-        // Merge per-worker results.
+        // Merge per-worker results. On failure, report the root cause: a
+        // stage that timed out or hit backpressure, not the `Closed`
+        // cascade its death triggered on the other stages.
+        let mut first_err: Option<CommError> = None;
+        let mut outs: Vec<Option<WorkerOut>> = (0..p).map(|_| None).collect();
+        for (w, out) in results.into_iter().enumerate() {
+            match out.expect("worker result present") {
+                Ok(o) => outs[w] = Some(o),
+                Err(e) => {
+                    let cascade = matches!(e, CommError::Closed { .. });
+                    match &first_err {
+                        None => first_err = Some(e),
+                        Some(CommError::Closed { .. }) if !cascade => first_err = Some(e),
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
         let mut grads = ModelGrads::zeros(model);
         let mut loss = 0.0f64;
         let mut peaks = vec![0usize; p];
         let mut drained = vec![0usize; p];
+        let mut comm = Vec::with_capacity(p);
         let mut oom = None;
-        for (w, out) in results.into_iter().enumerate() {
+        for (w, out) in outs.into_iter().enumerate() {
             let out = out.expect("worker result present");
             loss += out.loss_sum;
             peaks[w] = out.peak_bytes;
             drained[w] = out.drained;
+            comm.push(out.comm);
             if out.oom && oom.is_none() {
                 oom = Some((w, out.peak_bytes));
             }
             add_grads(&mut grads, &out.grads, 1.0);
         }
-        RunStats {
+        Ok(RunStats {
             loss,
             grads,
             peak_bytes: peaks,
             drained_wgrads: drained,
             oom,
             arena: arena_stats,
-        }
+            comm,
+        })
+    }
+
+    /// Runs a single stage of `schedule` against a caller-provided
+    /// endpoint — the multi-process entry point used by the
+    /// `mepipe-worker` binary, where each stage is its own OS process
+    /// joined to its peers by a socket transport. Every process must
+    /// hold an identically initialised model and batch; the returned
+    /// loss share and gradients cover only the layers this stage owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommError`] if the transport fails mid-run; the
+    /// endpoint is dropped without a clean close so peers fail fast too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule shape disagrees with the runtime or batch.
+    pub fn run_stage(
+        &self,
+        schedule: &Schedule,
+        stage: usize,
+        batch: &[Vec<usize>],
+        mode: WgradMode,
+        mem_cap: Option<usize>,
+        ep: Box<dyn Endpoint>,
+    ) -> Result<StageRunStats, CommError> {
+        self.check_shapes(schedule, batch);
+        assert!(stage < self.stages, "stage out of range");
+        let mut arena = self.pooled.then(TensorArena::new);
+        let out = {
+            let _arena_scope = arena.as_mut().map(|a| a.install());
+            let mut ctx = WorkerCtx::new(
+                &self.model,
+                &schedule.meta,
+                stage,
+                ep,
+                Arc::new(batch.to_vec()),
+                mode,
+                mem_cap,
+                self.kernel_workers,
+            );
+            for op in &schedule.workers[stage] {
+                ctx.execute(op)?;
+            }
+            ctx.finish()
+        };
+        let arena_stats = arena
+            .as_ref()
+            .map_or_else(ArenaStats::default, |a| a.stats());
+        Ok(StageRunStats {
+            loss_sum: out.loss_sum,
+            grads: out.grads,
+            peak_bytes: out.peak_bytes,
+            drained: out.drained,
+            oom: out.oom,
+            comm: out.comm,
+            arena: arena_stats,
+        })
     }
 
     /// Runs one iteration under data parallelism: the batch is split
@@ -303,9 +451,16 @@ impl PipelineRuntime {
     /// micro-batch count must equal the per-replica shard size.
     ///
     /// Replicas execute concurrently on scoped threads (each owns its
-    /// channels, stage threads and arena set), and their results are
+    /// transport, stage threads and arena set), and their results are
     /// merged in replica index order — the same addition order as a
     /// serial replica loop, so the output is bit-identical to one.
+    /// Replicas always use the in-process transport shape of the
+    /// configured backend; socket backends would collide on their
+    /// rendezvous addresses across replicas, so use `InProc` here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replica's [`CommError`] if any replica fails.
     ///
     /// # Panics
     ///
@@ -316,7 +471,7 @@ impl PipelineRuntime {
         batch: &[Vec<usize>],
         replicas: usize,
         mode: WgradMode,
-    ) -> RunStats {
+    ) -> Result<RunStats, CommError> {
         assert!(replicas > 0, "need at least one replica");
         assert_eq!(
             batch.len() % replicas,
@@ -324,7 +479,8 @@ impl PipelineRuntime {
             "batch must split evenly across replicas"
         );
         let shard = batch.len() / replicas;
-        let mut results: Vec<Option<RunStats>> = (0..replicas).map(|_| None).collect();
+        let mut results: Vec<Option<Result<RunStats, CommError>>> =
+            (0..replicas).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..replicas)
                 .map(|r| {
@@ -338,7 +494,7 @@ impl PipelineRuntime {
         });
         let mut merged: Option<RunStats> = None;
         for stats in results {
-            let stats = stats.expect("replica result present");
+            let stats = stats.expect("replica result present")?;
             merged = Some(match merged {
                 None => stats,
                 Some(mut acc) => {
@@ -353,6 +509,9 @@ impl PipelineRuntime {
                     for (a, b) in acc.arena.iter_mut().zip(&stats.arena) {
                         *a = a.merged(b);
                     }
+                    for (a, b) in acc.comm.iter_mut().zip(&stats.comm) {
+                        *a = a.merged(b);
+                    }
                     acc.oom = acc.oom.or(stats.oom);
                     acc
                 }
@@ -364,20 +523,25 @@ impl PipelineRuntime {
         // (losses).
         out.loss /= replicas as f64;
         out.grads.scale(1.0 / replicas as f32);
-        out
+        Ok(out)
     }
 
     /// Convenience: one iteration plus an SGD step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommError`] if the iteration's transport fails; the
+    /// model is left unmodified in that case.
     pub fn train_step(
         &mut self,
         schedule: &Schedule,
         batch: &[Vec<usize>],
         mode: WgradMode,
         lr: f32,
-    ) -> RunStats {
-        let stats = self.run_iteration(schedule, batch, mode, None);
+    ) -> Result<RunStats, CommError> {
+        let stats = self.run_iteration(schedule, batch, mode, None)?;
         Sgd { lr }.step_model(&mut self.model, &stats.grads);
-        stats
+        Ok(stats)
     }
 }
 
@@ -387,14 +551,14 @@ struct WorkerOut {
     peak_bytes: usize,
     drained: usize,
     oom: bool,
+    comm: CommStats,
 }
 
 struct WorkerCtx<'m> {
     model: &'m ModelParams,
     meta: mepipe_schedule::ir::ScheduleMeta,
     w: usize,
-    rx: Receiver<Msg>,
-    senders: Vec<Sender<Msg>>,
+    ep: Box<dyn Endpoint>,
     batch: Arc<Vec<Vec<usize>>>,
     mode: WgradMode,
     grads: ModelGrads,
@@ -406,7 +570,11 @@ struct WorkerCtx<'m> {
     // Final hidden state per (mb, slice) on the loss-owning chunk.
     finals: HashMap<(usize, usize), Tensor>,
     // Deferred weight-gradient GEMMs: (unit key, layer global idx, gemm).
-    pending_w: Vec<(usize, usize, usize, usize, WgradGemm)>,
+    // A FIFO: drains during waits, weight ops, and the final sweep all
+    // consume from the front, so the per-layer accumulation order equals
+    // the (deterministic) insertion order no matter *when* each GEMM is
+    // applied — gradients stay bit-identical across backends and runs.
+    pending_w: VecDeque<(usize, usize, usize, usize, WgradGemm)>,
     inbox: HashMap<(bool, usize, usize, usize), Tensor>,
     mem: MemTracker,
     oom: bool,
@@ -424,8 +592,7 @@ impl<'m> WorkerCtx<'m> {
         model: &'m ModelParams,
         meta: &mepipe_schedule::ir::ScheduleMeta,
         w: usize,
-        rx: Receiver<Msg>,
-        senders: Vec<Sender<Msg>>,
+        ep: Box<dyn Endpoint>,
         batch: Arc<Vec<Vec<usize>>>,
         mode: WgradMode,
         mem_cap: Option<usize>,
@@ -435,8 +602,7 @@ impl<'m> WorkerCtx<'m> {
             model,
             meta: meta.clone(),
             w,
-            rx,
-            senders,
+            ep,
             batch,
             mode,
             grads: ModelGrads::zeros(model),
@@ -444,7 +610,7 @@ impl<'m> WorkerCtx<'m> {
             dkvs: HashMap::new(),
             saves: HashMap::new(),
             finals: HashMap::new(),
-            pending_w: Vec::new(),
+            pending_w: VecDeque::new(),
             inbox: HashMap::new(),
             mem: MemTracker::new(mem_cap),
             oom: false,
@@ -461,17 +627,23 @@ impl<'m> WorkerCtx<'m> {
     }
 
     /// Blocking receive with optional W-drain while waiting.
-    fn recv_tagged(&mut self, is_fwd: bool, mb: usize, slice: usize, g: usize) -> Tensor {
+    fn recv_tagged(
+        &mut self,
+        is_fwd: bool,
+        mb: usize,
+        slice: usize,
+        g: usize,
+    ) -> Result<Tensor, CommError> {
         let key = (is_fwd, mb, slice, g);
         loop {
             if let Some(t) = self.inbox.remove(&key) {
-                return t;
+                return Ok(t);
             }
             if self.mode == WgradMode::DrainOnWait {
-                match self.rx.try_recv() {
-                    Ok(m) => self.stash(m),
-                    Err(TryRecvError::Empty) => {
-                        if let Some((_, _, _, li, gemm)) = self.pending_w.pop() {
+                match self.ep.try_recv()? {
+                    Some(m) => self.stash(m),
+                    None => {
+                        if let Some((_, _, _, li, gemm)) = self.pending_w.pop_front() {
                             // Drain exactly one GEMM, then re-check.
                             apply_wgrads(
                                 &self.pool,
@@ -481,14 +653,13 @@ impl<'m> WorkerCtx<'m> {
                             self.mem.free(gemm.bytes());
                             self.drained += 1;
                         } else {
-                            let m = self.rx.recv().expect("channel closed");
+                            let m = self.ep.recv()?;
                             self.stash(m);
                         }
                     }
-                    Err(TryRecvError::Disconnected) => panic!("channel closed"),
                 }
             } else {
-                let m = self.rx.recv().expect("channel closed");
+                let m = self.ep.recv()?;
                 self.stash(m);
             }
         }
@@ -503,28 +674,52 @@ impl<'m> WorkerCtx<'m> {
         }
     }
 
-    fn stash(&mut self, m: Msg) {
-        match m {
-            Msg::Fwd { mb, slice, g, x } => {
-                self.inbox.insert((true, mb, slice, g), x);
-            }
-            Msg::Bwd { mb, slice, g, dy } => {
-                self.inbox.insert((false, mb, slice, g), dy);
-            }
-        }
+    fn stash(&mut self, m: StageMsg) {
+        let key = (
+            m.kind == MsgKind::Fwd,
+            m.mb as usize,
+            m.slice as usize,
+            m.g as usize,
+        );
+        self.inbox.insert(key, m.tensor);
     }
 
-    fn execute(&mut self, op: &mepipe_schedule::ir::Op) {
+    /// Sends a boundary tensor to the stage owning global position `g`.
+    fn send_boundary(
+        &mut self,
+        kind: MsgKind,
+        mb: usize,
+        slice: usize,
+        g: usize,
+        tensor: Tensor,
+    ) -> Result<(), CommError> {
+        let (to, _chunk) = self.meta.stage_chunk_of(g);
+        self.ep.send(
+            to,
+            StageMsg {
+                kind,
+                mb: mb as u32,
+                slice: slice as u32,
+                g: g as u32,
+                tensor,
+            },
+        )
+    }
+
+    fn execute(&mut self, op: &mepipe_schedule::ir::Op) -> Result<(), CommError> {
         match op.kind {
             OpKind::Forward => self.forward(op.micro_batch, op.slice, op.chunk),
             OpKind::Backward | OpKind::BackwardInput => {
                 self.backward(op.micro_batch, op.slice, op.chunk)
             }
-            OpKind::BackwardWeight => self.weight_op(op.micro_batch, op.slice, op.chunk),
+            OpKind::BackwardWeight => {
+                self.weight_op(op.micro_batch, op.slice, op.chunk);
+                Ok(())
+            }
         }
     }
 
-    fn forward(&mut self, mb: usize, slice: usize, chunk: usize) {
+    fn forward(&mut self, mb: usize, slice: usize, chunk: usize) -> Result<(), CommError> {
         let g = self.meta.global_pos(self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
@@ -532,7 +727,7 @@ impl<'m> WorkerCtx<'m> {
             let toks = &self.batch[mb][offset..offset + ts];
             embedding(&self.model.embedding, toks, offset)
         } else {
-            self.recv_tagged(true, mb, slice, g)
+            self.recv_tagged(true, mb, slice, g)?
         };
         let (lo, hi) = self.layers_of_chunk(chunk);
         let mut cur = x.clone();
@@ -559,19 +754,12 @@ impl<'m> WorkerCtx<'m> {
             self.charge(cur.bytes());
             self.finals.insert((mb, slice), cur);
         } else {
-            let (nw, _nc) = self.meta.stage_chunk_of(g + 1);
-            self.senders[nw]
-                .send(Msg::Fwd {
-                    mb,
-                    slice,
-                    g: g + 1,
-                    x: cur,
-                })
-                .expect("send forward");
+            self.send_boundary(MsgKind::Fwd, mb, slice, g + 1, cur)?;
         }
+        Ok(())
     }
 
-    fn backward(&mut self, mb: usize, slice: usize, chunk: usize) {
+    fn backward(&mut self, mb: usize, slice: usize, chunk: usize) -> Result<(), CommError> {
         let g = self.meta.global_pos(self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
@@ -601,7 +789,7 @@ impl<'m> WorkerCtx<'m> {
             self.grads.final_norm.add_assign(&dfn);
             dh
         } else {
-            self.recv_tagged(false, mb, slice, g)
+            self.recv_tagged(false, mb, slice, g)?
         };
 
         let (lo, hi) = self.layers_of_chunk(chunk);
@@ -637,7 +825,7 @@ impl<'m> WorkerCtx<'m> {
                 WgradMode::AtWeightOp | WgradMode::DrainOnWait => {
                     for gm in out.wgrads {
                         self.charge(gm.bytes());
-                        self.pending_w.push((mb, slice, chunk, li, gm));
+                        self.pending_w.push_back((mb, slice, chunk, li, gm));
                     }
                 }
             }
@@ -665,16 +853,9 @@ impl<'m> WorkerCtx<'m> {
                 .embedding
                 .add_assign(&embedding_backward(&dy, toks, self.model.cfg.vocab));
         } else {
-            let (pw, _pc) = self.meta.stage_chunk_of(g - 1);
-            self.senders[pw]
-                .send(Msg::Bwd {
-                    mb,
-                    slice,
-                    g: g - 1,
-                    dy,
-                })
-                .expect("send backward");
+            self.send_boundary(MsgKind::Bwd, mb, slice, g - 1, dy)?;
         }
+        Ok(())
     }
 
     fn weight_op(&mut self, mb: usize, slice: usize, chunk: usize) {
@@ -684,14 +865,14 @@ impl<'m> WorkerCtx<'m> {
             // the end) — the fully dynamic Section 5 behaviour.
             return;
         }
-        let mut remaining = Vec::new();
+        let mut remaining = VecDeque::new();
         for entry in self.pending_w.drain(..) {
             if entry.0 == mb && entry.1 == slice && entry.2 == chunk {
                 let (_, _, _, li, gemm) = entry;
                 self.mem.free(gemm.bytes());
                 apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
             } else {
-                remaining.push(entry);
+                remaining.push_back(entry);
             }
         }
         self.pending_w = remaining;
@@ -704,12 +885,15 @@ impl<'m> WorkerCtx<'m> {
             self.mem.free(gemm.bytes());
             apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
         }
+        // Clean close: peers blocked in recv finish once everyone's done.
+        self.ep.close();
         WorkerOut {
             loss_sum: self.loss_sum,
             grads: self.grads,
             peak_bytes: self.mem.peak(),
             drained: self.drained,
             oom: self.oom,
+            comm: self.ep.stats(),
         }
     }
 }
@@ -755,7 +939,9 @@ mod tests {
 
         let rt = PipelineRuntime::new(model, 2, 1);
         let sch = svpp_schedule(2, 1, 4, 4, false);
-        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::Immediate, None)
+            .unwrap();
 
         assert!(
             (stats.loss - reference.loss).abs() < 1e-4,
@@ -775,7 +961,9 @@ mod tests {
         let reference = batch_forward_backward(&model, &batch);
         let rt = PipelineRuntime::new(model, 2, 2);
         let sch = svpp_schedule(2, 2, 2, 2, false);
-        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::Immediate, None)
+            .unwrap();
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
     }
@@ -786,15 +974,21 @@ mod tests {
         let model = ModelParams::init(cfg, 44);
         let batch = make_batch(&cfg, 2, 11);
         let rt = PipelineRuntime::new(model, 2, 1);
-        let fused = rt.run_iteration(
-            &svpp_schedule(2, 1, 2, 2, false),
-            &batch,
-            WgradMode::Immediate,
-            None,
-        );
+        let fused = rt
+            .run_iteration(
+                &svpp_schedule(2, 1, 2, 2, false),
+                &batch,
+                WgradMode::Immediate,
+                None,
+            )
+            .unwrap();
         let split_sch = svpp_schedule(2, 1, 2, 2, true);
-        let at_w = rt.run_iteration(&split_sch, &batch, WgradMode::AtWeightOp, None);
-        let drained = rt.run_iteration(&split_sch, &batch, WgradMode::DrainOnWait, None);
+        let at_w = rt
+            .run_iteration(&split_sch, &batch, WgradMode::AtWeightOp, None)
+            .unwrap();
+        let drained = rt
+            .run_iteration(&split_sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
         assert!(fused.grads.max_abs_diff(&at_w.grads) < 1e-4);
         assert!(fused.grads.max_abs_diff(&drained.grads) < 1e-4);
         assert!((fused.loss - drained.loss).abs() < 1e-6);
@@ -810,11 +1004,19 @@ mod tests {
         let rt = PipelineRuntime::new(model, 2, 1);
         let dapple = Dapple.generate(&Dims::new(2, 8)).unwrap();
         let sv = svpp_schedule(2, 1, 4, 8, false);
-        let free_d = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
-        let free_s = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
+        let free_d = rt
+            .run_iteration(&dapple, &batch, WgradMode::Immediate, None)
+            .unwrap();
+        let free_s = rt
+            .run_iteration(&sv, &batch, WgradMode::Immediate, None)
+            .unwrap();
         let cap = (free_s.peak_bytes[0] + free_d.peak_bytes[0]) / 2;
-        let capped_d = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, Some(cap));
-        let capped_s = rt.run_iteration(&sv, &batch, WgradMode::Immediate, Some(cap));
+        let capped_d = rt
+            .run_iteration(&dapple, &batch, WgradMode::Immediate, Some(cap))
+            .unwrap();
+        let capped_s = rt
+            .run_iteration(&sv, &batch, WgradMode::Immediate, Some(cap))
+            .unwrap();
         assert!(capped_d.oom.is_some(), "DAPPLE should exceed the cap");
         assert!(capped_s.oom.is_none(), "SVPP should fit the cap");
     }
@@ -826,9 +1028,13 @@ mod tests {
         let batch = make_batch(&cfg, 8, 13);
         let rt = PipelineRuntime::new(model, 2, 1);
         let dapple = Dapple.generate(&Dims::new(2, 8)).unwrap();
-        let rd = rt.run_iteration(&dapple, &batch, WgradMode::Immediate, None);
+        let rd = rt
+            .run_iteration(&dapple, &batch, WgradMode::Immediate, None)
+            .unwrap();
         let sv = svpp_schedule(2, 1, 4, 8, false);
-        let rs = rt.run_iteration(&sv, &batch, WgradMode::Immediate, None);
+        let rs = rt
+            .run_iteration(&sv, &batch, WgradMode::Immediate, None)
+            .unwrap();
         assert!(
             rs.peak_bytes[0] < rd.peak_bytes[0],
             "svpp {} !< dapple {}",
@@ -851,7 +1057,9 @@ mod tests {
         let reference = batch_forward_backward(&model, &batch);
         let rt = PipelineRuntime::new(model, 2, 2);
         let sch = Zbv.generate(&Dims::new(2, 4).virtual_chunks(2)).unwrap();
-        let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
     }
@@ -864,7 +1072,9 @@ mod tests {
         let reference = batch_forward_backward(&model, &batch);
         let rt = PipelineRuntime::new(model, 2, 2);
         let sch = Hanayo.generate(&Dims::new(2, 4).virtual_chunks(2)).unwrap();
-        let stats = rt.run_iteration(&sch, &batch, WgradMode::Immediate, None);
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::Immediate, None)
+            .unwrap();
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
     }
@@ -879,7 +1089,9 @@ mod tests {
         let mut last = 0.0;
         for step in 0..6 {
             let batch = make_batch(&cfg, 2, 100 + step);
-            let stats = rt.train_step(&sch, &batch, WgradMode::Immediate, 0.1);
+            let stats = rt
+                .train_step(&sch, &batch, WgradMode::Immediate, 0.1)
+                .unwrap();
             let r = batch_forward_backward(&ref_model, &batch);
             Sgd { lr: 0.1 }.step_model(&mut ref_model, &r.grads);
             assert!(
@@ -911,7 +1123,9 @@ mod tests {
         let sch = svpp_schedule(4, 1, 4, 4, true);
         for step in 0..3 {
             let batch = make_batch(&cfg, 4, 200 + step);
-            let stats = rt.train_step(&sch, &batch, WgradMode::DrainOnWait, 0.1);
+            let stats = rt
+                .train_step(&sch, &batch, WgradMode::DrainOnWait, 0.1)
+                .unwrap();
             let r = batch_forward_backward(&ref_model, &batch);
             Sgd { lr: 0.1 }.step_model(&mut ref_model, &r.grads);
             assert!(
@@ -934,6 +1148,7 @@ mod tests {
             let rt =
                 PipelineRuntime::new(ModelParams::init(cfg, 53), 2, 1).with_kernel_workers(workers);
             rt.run_iteration(&sch, &batch, WgradMode::Immediate, None)
+                .unwrap()
         };
         let a = run(1);
         let b = run(3);
@@ -953,7 +1168,9 @@ mod tests {
         let rt = PipelineRuntime::new(model, 2, 1);
         // The schedule covers one replica's shard of 2 micro-batches.
         let sch = svpp_schedule(2, 1, 2, 2, false);
-        let stats = rt.run_data_parallel(&sch, &batch, 2, WgradMode::Immediate);
+        let stats = rt
+            .run_data_parallel(&sch, &batch, 2, WgradMode::Immediate)
+            .unwrap();
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
     }
@@ -965,7 +1182,9 @@ mod tests {
         let batch = make_batch(&cfg, 4, 17);
         let rt = PipelineRuntime::new(model, 2, 1);
         let sch = svpp_schedule(2, 1, 2, 4, true);
-        let stats = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
         let total: usize = stats.drained_wgrads.iter().sum();
         assert!(total > 0, "expected some drained weight GEMMs");
     }

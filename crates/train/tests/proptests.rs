@@ -42,7 +42,9 @@ fn serial_data_parallel(
     let mut loss = 0.0f64;
     let mut grads: Option<ModelGrads> = None;
     for r in 0..replicas {
-        let stats = rt.run_iteration(schedule, &batch[r * shard..(r + 1) * shard], mode, None);
+        let stats = rt
+            .run_iteration(schedule, &batch[r * shard..(r + 1) * shard], mode, None)
+            .expect("serial replica run");
         loss += stats.loss;
         match &mut grads {
             None => grads = Some(stats.grads),
@@ -97,8 +99,8 @@ proptest! {
             // Two steps: the second exercises warm free lists (pooled)
             // against plain allocation (fresh), with the SGD-updated
             // model making the iterations distinct.
-            let first = rt.train_step(&sch, &batch, mode, 0.05);
-            let second = rt.train_step(&sch, &batch, mode, 0.05);
+            let first = rt.train_step(&sch, &batch, mode, 0.05).unwrap();
+            let second = rt.train_step(&sch, &batch, mode, 0.05).unwrap();
             (first, second)
         };
         let (p1, p2) = run(true);
@@ -139,7 +141,7 @@ proptest! {
         let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), 2, 1)
             .with_kernel_workers(workers);
 
-        let par = rt.run_data_parallel(&sch, &batch, replicas, mode);
+        let par = rt.run_data_parallel(&sch, &batch, replicas, mode).unwrap();
         let (serial_loss, serial_grads) = serial_data_parallel(&rt, &sch, &batch, replicas, mode);
         prop_assert_eq!(par.loss.to_bits(), serial_loss.to_bits());
         prop_assert_eq!(par.grads.max_abs_diff(&serial_grads), 0.0);
@@ -162,8 +164,12 @@ fn arena_steady_state_hit_rate_is_at_least_90_percent() {
     let rt = PipelineRuntime::new(ModelParams::init(cfg, 77), 2, 1).with_kernel_workers(1);
     assert!(rt.pooled(), "arenas must be on by default");
 
-    let cold = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
-    let warm = rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None);
+    let cold = rt
+        .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+        .unwrap();
+    let warm = rt
+        .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+        .unwrap();
     let cold_stats = merged_arena(&cold);
     let warm_stats = merged_arena(&warm);
     // The cold run mostly misses; the warm run runs out of the pool.

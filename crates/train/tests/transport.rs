@@ -1,0 +1,153 @@
+//! Backend equivalence: the training runtime must produce bit-identical
+//! results no matter which transport carries the boundary tensors.
+//!
+//! The pipeline's numerics are fully determined by the schedule and the
+//! weights; the transport only moves bytes. So InProc (no serialization),
+//! Socket (framed tensors over UDS between threads), and Emulated over a
+//! zero-latency loopback (reliable stop-and-wait with acks) must all
+//! yield the same loss bits and the same gradient bytes. Any divergence
+//! means a transport corrupted, reordered, or dropped a tensor.
+
+use proptest::prelude::*;
+
+use mepipe_comm::{Backend, FaultSpec, TransportConfig};
+use mepipe_core::svpp::Mepipe;
+use mepipe_hw::LinkSpec;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_train::{params::ModelParams, PipelineRuntime, RunStats, WgradMode};
+
+fn run_with(seed: u64, stages: usize, config: TransportConfig) -> (RunStats, PipelineRuntime) {
+    let cfg = TransformerConfig {
+        seq_len: 16,
+        ..TransformerConfig::tiny(4)
+    };
+    let micro_batches = stages; // minimal full pipeline
+    let schedule = Mepipe::new()
+        .generate(&Dims::new(stages, micro_batches).slices(2))
+        .unwrap();
+    let batch: Vec<Vec<usize>> = (0..micro_batches)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, seed + i as u64))
+        .collect();
+    let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), stages, 1).with_transport(config);
+    let stats = rt
+        .run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None)
+        .expect("iteration");
+    (stats, rt)
+}
+
+fn uds_dir(tag: &str, seed: u64, stages: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mepipe-eq-{tag}-{}-{seed}-{stages}",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// InProc, Socket(UDS), and Emulated(zero-latency loopback) agree
+    /// bit-for-bit on loss and gradients across seeds and stage counts.
+    #[test]
+    fn backends_are_bit_identical(seed in 1u64..1000, stages in prop::sample::select(vec![2usize, 4])) {
+        let (inproc, _) = run_with(seed, stages, TransportConfig::in_proc());
+
+        let dir = uds_dir("uds", seed, stages);
+        let (socket, _) = run_with(seed, stages, TransportConfig {
+            backend: Backend::Uds(dir.clone()),
+            ..TransportConfig::default()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (emulated, _) = run_with(
+            seed,
+            stages,
+            TransportConfig::in_proc().with_link(LinkSpec::loopback()),
+        );
+
+        prop_assert_eq!(inproc.loss.to_bits(), socket.loss.to_bits(), "socket loss differs");
+        prop_assert_eq!(inproc.loss.to_bits(), emulated.loss.to_bits(), "emulated loss differs");
+        prop_assert_eq!(inproc.grads.max_abs_diff(&socket.grads), 0.0, "socket grads differ");
+        prop_assert_eq!(inproc.grads.max_abs_diff(&emulated.grads), 0.0, "emulated grads differ");
+
+        // The socket run really did serialize tensors onto the wire.
+        let socket_bytes: u64 = socket.comm.iter().map(|c| c.total().tx_bytes).sum();
+        prop_assert!(socket_bytes > 0, "socket run moved no bytes");
+    }
+
+    /// Seeded fault injection (drops, corruption, delays) never changes
+    /// the result — the reliable layer retries until delivery — and the
+    /// counters prove faults actually fired.
+    #[test]
+    fn faults_recover_bit_identically(seed in 1u64..1000) {
+        let stages = 2;
+        let (clean, _) = run_with(seed, stages, TransportConfig::in_proc());
+        let faults = FaultSpec {
+            drop_first_n: 1,
+            drop_permille: 100,
+            corrupt_permille: 100,
+            seed,
+            ..FaultSpec::default()
+        };
+        let (faulted, _) = run_with(seed, stages, TransportConfig::in_proc().with_faults(faults));
+
+        let totals = faulted
+            .comm
+            .iter()
+            .map(|c| c.total())
+            .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+        prop_assert!(totals.injected_drops >= 1, "no drops injected");
+        prop_assert!(totals.retries >= totals.injected_drops, "drops were not retried");
+        prop_assert_eq!(clean.loss.to_bits(), faulted.loss.to_bits(), "faulted loss differs");
+        prop_assert_eq!(clean.grads.max_abs_diff(&faulted.grads), 0.0, "faulted grads differ");
+    }
+}
+
+/// Deterministic (non-proptest) spot check that the TCP backend also
+/// agrees, on one fixed scenario — kept out of the proptest loop to
+/// avoid burning localhost ports.
+#[test]
+fn tcp_backend_matches_inproc_once() {
+    let (inproc, _) = run_with(11, 2, TransportConfig::in_proc());
+    let (tcp, _) = run_with(
+        11,
+        2,
+        TransportConfig {
+            backend: Backend::Tcp(47230),
+            ..TransportConfig::default()
+        },
+    );
+    assert_eq!(inproc.loss.to_bits(), tcp.loss.to_bits());
+    assert_eq!(inproc.grads.max_abs_diff(&tcp.grads), 0.0);
+}
+
+/// Repeated runs on the same backend are bit-reproducible. This is what
+/// makes the cross-backend assertions above meaningful: W-drain timing
+/// varies run to run, but the FIFO `pending_w` queue pins the gradient
+/// accumulation order to the insertion order regardless of timing.
+#[test]
+fn repeated_runs_are_deterministic_per_backend() {
+    let (inproc, _) = run_with(518, 4, TransportConfig::in_proc());
+    let (inproc2, _) = run_with(518, 4, TransportConfig::in_proc());
+    assert_eq!(inproc.grads.max_abs_diff(&inproc2.grads), 0.0);
+    let mut socket_runs = Vec::new();
+    for tag in ["det-a", "det-b"] {
+        let dir = uds_dir(tag, 518, 4);
+        let (s, _) = run_with(
+            518,
+            4,
+            TransportConfig {
+                backend: Backend::Uds(dir.clone()),
+                ..TransportConfig::default()
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        socket_runs.push(s);
+    }
+    assert_eq!(
+        socket_runs[0].grads.max_abs_diff(&socket_runs[1].grads),
+        0.0
+    );
+    assert_eq!(inproc.grads.max_abs_diff(&socket_runs[0].grads), 0.0);
+}

@@ -70,9 +70,13 @@ fn main() {
         .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, i as u64))
         .collect();
     // Warm up allocators/caches once.
-    let _ = rt.run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None);
+    let _ = rt
+        .run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None)
+        .expect("warm-up iteration");
     let t0 = Instant::now();
-    let stats = rt.run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None);
+    let stats = rt
+        .run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None)
+        .expect("measured iteration");
     let measured = t0.elapsed().as_secs_f64();
     println!(
         "measured iteration : {:.1} ms (loss {:.4}, {} W GEMMs drained into waits)",

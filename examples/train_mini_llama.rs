@@ -41,7 +41,9 @@ fn main() {
             .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 1000 + step * 16 + i as u64))
             .collect();
 
-        let stats = runtime.train_step(&schedule, &batch, WgradMode::DrainOnWait, lr);
+        let stats = runtime
+            .train_step(&schedule, &batch, WgradMode::DrainOnWait, lr)
+            .expect("train step");
         let r = batch_forward_backward(&reference, &batch);
         Sgd { lr }.step_model(&mut reference, &r.grads);
 

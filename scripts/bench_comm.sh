@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the transport-layer benchmark and refreshes BENCH_comm.json at the
+# repo root: the same MEPipe training iteration (2 stages x 4 slices x 4
+# micro-batches) on every mepipe-comm backend — in-process bounded
+# queues, framed tensors over Unix-domain sockets, and link emulation at
+# PCIe 4.0 and 100G InfiniBand speeds. Emulated rows include the
+# measured/modeled wire-time ratio from mepipe_sim::commcheck; expect it
+# well above 1 on fast links, where per-frame sleeps are dominated by OS
+# timer granularity and ack round trips (see crates/sim/src/commcheck.rs).
+#
+# Numbers are machine-dependent — re-run after touching the transport,
+# the frame codec, or the pipeline runtime so the checked-in JSON matches
+# the code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p mepipe-bench --bench comm

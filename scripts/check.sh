@@ -21,6 +21,15 @@ cargo bench --workspace --no-run
 echo "==> train bench smoke (one untimed pipeline iteration)"
 cargo bench -p mepipe-bench --bench train -- --smoke
 
+echo "==> comm bench smoke (one untimed iteration per transport backend)"
+cargo bench -p mepipe-bench --bench comm -- --smoke
+
+echo "==> multi-process smoke (4 worker processes over Unix sockets)"
+cargo run --release -p mepipe-train --bin mepipe-worker -- launch --stages 4
+
+echo "==> fault-injection smoke (dropped/corrupted frames, retried, same loss)"
+cargo run --release -p mepipe-train --bin mepipe-worker -- selftest-faults
+
 echo "==> cargo test -q --workspace (tier-1 + workspace suites)"
 cargo test -q --workspace
 

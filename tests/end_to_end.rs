@@ -119,9 +119,15 @@ fn threaded_runtime_agrees_with_every_wgrad_mode_and_schedule() {
     let dims = Dims::new(2, 4).virtual_chunks(2).slices(2);
     let fused = Svpp::new().generate(&dims).unwrap();
     let split = Mepipe::new().generate(&dims).unwrap();
-    let a = rt.run_iteration(&fused, &batch, WgradMode::Immediate, None);
-    let b = rt.run_iteration(&split, &batch, WgradMode::AtWeightOp, None);
-    let c = rt.run_iteration(&split, &batch, WgradMode::DrainOnWait, None);
+    let a = rt
+        .run_iteration(&fused, &batch, WgradMode::Immediate, None)
+        .unwrap();
+    let b = rt
+        .run_iteration(&split, &batch, WgradMode::AtWeightOp, None)
+        .unwrap();
+    let c = rt
+        .run_iteration(&split, &batch, WgradMode::DrainOnWait, None)
+        .unwrap();
     assert!((a.loss - b.loss).abs() < 1e-9);
     assert!((a.loss - c.loss).abs() < 1e-9);
     assert!(a.grads.max_abs_diff(&b.grads) < 1e-4);
