@@ -19,7 +19,9 @@ use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_sim::commcheck::CommCheckReport;
 use mepipe_tensor::init::synthetic_tokens;
-use mepipe_train::{params::ModelParams, pipeline::WgradMode, PipelineRuntime, RunStats};
+use mepipe_train::{
+    metrics::run_metrics, params::ModelParams, pipeline::WgradMode, PipelineRuntime, RunStats,
+};
 
 /// Seconds per iteration: minimum over several samples (same estimator
 /// as `train.rs` — interference only ever adds time).
@@ -52,6 +54,7 @@ struct Row {
     secs: f64,
     stats: RunStats,
     ratio: Option<f64>,
+    recv_wait_s: f64,
 }
 
 fn main() {
@@ -108,11 +111,23 @@ fn main() {
         });
         let stats = run();
         let ratio = link.map(|l| CommCheckReport::from_run(&stats.comm, &l).ratio());
+        // Stall time via the unified metrics registry rather than raw
+        // CommStats — the same numbers every exporter sees.
+        let reg = run_metrics(&stats);
+        let recv_wait_s: f64 = (0..STAGES)
+            .filter_map(|s| {
+                reg.get(
+                    "mepipe_comm_recv_wait_seconds_total",
+                    &[("stage", s.to_string())],
+                )
+            })
+            .sum();
         rows.push(Row {
             name,
             secs,
             stats,
             ratio,
+            recv_wait_s,
         });
     }
     let _ = std::fs::remove_dir_all(&uds_dir);
@@ -138,22 +153,24 @@ fn main() {
             .map(|x| format!(", wire measured/modeled {x:.2}x"))
             .unwrap_or_default();
         println!(
-            "  {:>16}: {:7.1} ms/iter ({:.2}x inproc), {} msgs, {} KiB{}",
+            "  {:>16}: {:7.1} ms/iter ({:.2}x inproc), {} msgs, {} KiB, recv-wait {:.1} ms{}",
             r.name,
             r.secs * 1e3,
             r.secs / base,
             total.tx_messages,
             total.tx_bytes / 1024,
+            r.recv_wait_s * 1e3,
             ratio_txt
         );
         entries.push(format!(
-            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"wire_measured_over_modeled\": {}}}",
+            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"recv_wait_s\": {:.6}, \"wire_measured_over_modeled\": {}}}",
             r.name,
             r.secs,
             r.secs / base,
             total.tx_messages,
             total.tx_bytes,
             total.retries,
+            r.recv_wait_s,
             r.ratio.map(|x| format!("{x:.4}")).unwrap_or_else(|| "null".into()),
         ));
     }

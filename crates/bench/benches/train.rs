@@ -65,6 +65,71 @@ fn make_batch(cfg: &TransformerConfig, n: usize) -> Vec<Vec<usize>> {
         .collect()
 }
 
+/// Measures the cost of enabled span tracing: interleaved min-of-5
+/// seconds per untraced and traced `run_iteration` (alternating samples,
+/// so clock drift, frequency scaling and cache warm-up hit both sides
+/// equally), plus the loss bits of each (the tracer must be
+/// bit-invisible). Returns the runtime with tracing off.
+fn measure_tracing(
+    rt: PipelineRuntime,
+    sch: &mepipe_schedule::ir::Schedule,
+    batch: &[Vec<usize>],
+) -> (PipelineRuntime, f64, f64, u64, u64) {
+    let mut rt = rt.with_tracing(false);
+    let plain_bits = rt
+        .run_iteration(sch, batch, WgradMode::DrainOnWait, None)
+        .expect("untraced iteration")
+        .loss
+        .to_bits();
+    rt = rt.with_tracing(true);
+    let traced = rt
+        .run_iteration(sch, batch, WgradMode::DrainOnWait, None)
+        .expect("traced iteration");
+    let traced_bits = traced.loss.to_bits();
+    assert!(
+        traced.trace.as_ref().is_some_and(|t| !t.stages.is_empty()),
+        "traced run recorded no spans"
+    );
+    // Warm-up sized the sample count; one runtime (same warm arena) does
+    // both sides, alternating per round.
+    rt = rt.with_tracing(false);
+    let once = Instant::now();
+    let _ = rt.run_iteration(sch, batch, WgradMode::DrainOnWait, None);
+    let secs_once = once.elapsed().as_secs_f64();
+    let per_sample = if secs_once <= 0.0 {
+        4
+    } else {
+        ((0.5 / secs_once) as usize).clamp(1, 8)
+    };
+    // 8 rounds rather than time()'s 5: the two mins are differenced, so
+    // the estimate needs both sides to have hit their noise floor.
+    let mut t_plain = f64::INFINITY;
+    let mut t_traced = f64::INFINITY;
+    for _ in 0..8 {
+        rt = rt.with_tracing(false);
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(rt.run_iteration(sch, batch, WgradMode::DrainOnWait, None))
+                .expect("untraced iteration");
+        }
+        t_plain = t_plain.min(start.elapsed().as_secs_f64() / per_sample as f64);
+        rt = rt.with_tracing(true);
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(rt.run_iteration(sch, batch, WgradMode::DrainOnWait, None))
+                .expect("traced iteration");
+        }
+        t_traced = t_traced.min(start.elapsed().as_secs_f64() / per_sample as f64);
+    }
+    (
+        rt.with_tracing(false),
+        t_plain,
+        t_traced,
+        plain_bits,
+        traced_bits,
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = bench_cfg();
@@ -78,12 +143,28 @@ fn main() {
     let mut rt = PipelineRuntime::new(ModelParams::init(cfg, 7), STAGES, 1);
 
     if smoke {
-        // One iteration, no timing, no JSON — the check.sh smoke path.
+        // One iteration, no timing JSON — the check.sh smoke path — plus
+        // the tracing-overhead bound: enabled tracing must not change the
+        // loss bits and must cost only a few percent.
         let stats = rt
             .train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05)
             .expect("smoke iteration");
         assert!(stats.loss.is_finite(), "smoke iteration produced NaN loss");
         println!("smoke: train_step ok, loss {:.4}", stats.loss);
+        let (_, t_plain, t_traced, plain_bits, traced_bits) = measure_tracing(rt, &sch, &batch);
+        assert_eq!(plain_bits, traced_bits, "tracing changed the loss bits");
+        let overhead = t_traced / t_plain - 1.0;
+        println!(
+            "smoke: tracing overhead {:.2}% ({:.1} -> {:.1} ms/iter)",
+            overhead * 100.0,
+            t_plain * 1e3,
+            t_traced * 1e3
+        );
+        assert!(
+            overhead < 0.05,
+            "enabled tracing costs {:.1}% (> 5%)",
+            overhead * 100.0
+        );
         return;
     }
 
@@ -118,6 +199,19 @@ fn main() {
         BASELINE_STEP_S / t_step
     );
 
+    // --- Tracing overhead: the same iteration with span recording on.
+    // Recorded in BENCH_train.json so regressions in the tracer's hot
+    // path (two clock reads + one ring write per span) show up here. ---
+    let (rt, t_plain, t_traced, plain_bits, traced_bits) = measure_tracing(rt, &sch, &batch);
+    assert_eq!(plain_bits, traced_bits, "tracing changed the loss bits");
+    let tracing_overhead = t_traced / t_plain - 1.0;
+    println!(
+        "  tracing: {:.1} -> {:.1} ms/iter with spans on ({:+.2}% overhead)",
+        t_plain * 1e3,
+        t_traced * 1e3,
+        tracing_overhead * 100.0
+    );
+
     // --- Scenario 2: data parallelism over pipeline replicas. ---
     let dp_sch = Mepipe::new()
         .generate(&Dims::new(STAGES, MICRO_BATCHES / REPLICAS).slices(SLICES))
@@ -136,7 +230,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4}\n  }}\n}}\n",
         cfg.seq_len,
         cfg.layers,
         cfg.hidden,

@@ -17,6 +17,7 @@
 //! * **inter-stage transfer pricing** from the cluster's links.
 #![warn(missing_docs)]
 
+pub mod bubblecheck;
 pub mod commcheck;
 pub mod cost;
 pub mod engine;
@@ -24,8 +25,9 @@ pub mod metrics;
 pub mod timeline;
 pub mod trace;
 
+pub use bubblecheck::BubbleCheckReport;
 pub use commcheck::{CommCheckReport, LinkCheck};
 pub use cost::{ModelCost, SimCost, UniformSimCost};
 pub use engine::{simulate, SimConfig, SimResult, SimSummary};
 pub use timeline::{Segment, SegmentKind};
-pub use trace::to_chrome_trace;
+pub use trace::{replicas_to_chrome_trace, to_chrome_trace};

@@ -1,40 +1,56 @@
 //! Chrome-tracing export: view any simulated iteration in
 //! `chrome://tracing` / Perfetto.
 //!
-//! Produces the Trace Event Format's JSON array of complete (`"X"`)
-//! events — one per timeline segment, one track (`tid`) per pipeline
-//! stage. Times are exported in microseconds as the format requires.
+//! Serialisation goes through the shared [`ChromeTraceWriter`] so
+//! simulated timelines render identically to the runtime's measured
+//! traces (`mepipe_trace::traces_to_chrome`) and the two can be loaded
+//! side by side. Event names pass through JSON escaping, and each
+//! data-parallel replica gets its own process track (`pid`), with one
+//! thread track (`tid`) per pipeline stage.
 
 use mepipe_schedule::ir::Op;
+use mepipe_trace::ChromeTraceWriter;
 
 use crate::timeline::{Segment, SegmentKind};
 
-/// Serialises per-stage segments as a Chrome Trace Event Format JSON
-/// string (a complete-events array).
+/// Serialises one replica's per-stage segments as a Chrome Trace Event
+/// Format JSON string (all tracks under `pid` 0).
 pub fn to_chrome_trace(segments: &[Vec<Segment>]) -> String {
-    let mut out = String::from("[");
-    let mut first = true;
+    let mut w = ChromeTraceWriter::new();
+    write_replica(&mut w, 0, segments);
+    w.finish()
+}
+
+/// Serialises several data-parallel replicas' timelines, one process
+/// track (`pid`) per replica.
+pub fn replicas_to_chrome_trace(replicas: &[Vec<Vec<Segment>>]) -> String {
+    let mut w = ChromeTraceWriter::new();
+    for (pid, segments) in replicas.iter().enumerate() {
+        write_replica(&mut w, pid as u64, segments);
+    }
+    w.finish()
+}
+
+fn write_replica(w: &mut ChromeTraceWriter, pid: u64, segments: &[Vec<Segment>]) {
+    w.process_name(pid, &format!("replica {pid} (simulated)"));
     for (stage, segs) in segments.iter().enumerate() {
+        w.thread_name(pid, stage as u64, &format!("stage {stage}"));
         for s in segs {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let name = segment_name(s.kind, s.op);
             let cat = match s.kind {
                 SegmentKind::Forward => "forward",
                 SegmentKind::Backward | SegmentKind::BackwardInput => "backward",
                 SegmentKind::BackwardWeight | SegmentKind::WgradDrain => "wgrad",
             };
-            out.push_str(&format!(
-                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":0,\"tid\":{stage},\"ts\":{:.3},\"dur\":{:.3}}}",
+            w.complete(
+                &segment_name(s.kind, s.op),
+                cat,
+                pid,
+                stage as u64,
                 s.start * 1e6,
-                (s.end - s.start) * 1e6
-            ));
+                (s.end - s.start) * 1e6,
+            );
         }
     }
-    out.push(']');
-    out
 }
 
 fn segment_name(kind: SegmentKind, op: Option<Op>) -> String {
@@ -67,17 +83,42 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         let events = parsed.as_array().expect("array");
         let total: usize = r.segments.iter().map(Vec::len).sum();
-        assert_eq!(events.len(), total);
-        // Every event is a complete event with non-negative duration.
-        for e in events {
-            assert_eq!(e["ph"], "X");
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), total);
+        // Every complete event has a non-negative duration on a stage track.
+        for e in xs {
             assert!(e["dur"].as_f64().unwrap() >= 0.0);
             assert!(e["tid"].as_u64().unwrap() < 2);
+            assert_eq!(e["pid"].as_u64().unwrap(), 0);
         }
     }
 
     #[test]
-    fn empty_timeline_is_an_empty_array() {
-        assert_eq!(to_chrome_trace(&[]), "[]");
+    fn replicas_get_distinct_pids() {
+        let sch = Dapple.generate(&Dims::new(2, 2)).unwrap();
+        let r = simulate(&sch, &UniformSimCost::default(), &SimConfig::default()).unwrap();
+        let json = replicas_to_chrome_trace(&[r.segments.clone(), r.segments.clone()]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let pids: std::collections::BTreeSet<u64> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .map(|e| e["pid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_timeline_has_no_events_beyond_metadata() {
+        let parsed: serde_json::Value = serde_json::from_str(&to_chrome_trace(&[])).unwrap();
+        assert!(parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|e| e["ph"].as_str() == Some("M")));
     }
 }

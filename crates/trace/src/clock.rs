@@ -1,0 +1,81 @@
+//! Clock anchoring for cross-process trace alignment.
+//!
+//! Span timestamps are monotonic-clock offsets from a per-process
+//! [`ClockAnchor`]. Monotonic clocks of different processes share no
+//! origin, so each anchor also captures where it sits on the shared
+//! wall clock (`CLOCK_REALTIME`): the merger shifts every process's
+//! spans by its anchor's epoch offset, putting all of them on one time
+//! axis. The epoch sample is taken with a bounded two-sided handshake
+//! against the monotonic clock — sample epoch, sample monotonic, sample
+//! epoch again, and anchor the monotonic instant at the midpoint of the
+//! two epoch reads — so the alignment error is bounded by half the
+//! read-read gap (tens of nanoseconds on one machine, far below the
+//! microsecond resolution of the trace format).
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// A monotonic instant pinned to the wall clock.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockAnchor {
+    /// The monotonic origin all span offsets are measured from.
+    pub instant: Instant,
+    /// Where the origin sits on the UNIX epoch, nanoseconds.
+    pub epoch_ns: u64,
+    /// Half the epoch read-read gap of the anchoring handshake — the
+    /// bound on this anchor's alignment error, nanoseconds.
+    pub uncertainty_ns: u64,
+}
+
+impl ClockAnchor {
+    /// Anchors the current moment: monotonic instant plus its epoch
+    /// position, with the two-sided read bounding the offset error.
+    pub fn now() -> Self {
+        let epoch_before = epoch_ns_now();
+        let instant = Instant::now();
+        let epoch_after = epoch_ns_now();
+        Self {
+            instant,
+            epoch_ns: epoch_before + (epoch_after - epoch_before) / 2,
+            uncertainty_ns: (epoch_after - epoch_before) / 2,
+        }
+    }
+
+    /// Nanoseconds elapsed since the anchor.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.instant.elapsed().as_nanos() as u64
+    }
+}
+
+fn epoch_ns_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before UNIX epoch")
+        .as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_ordered_on_the_epoch_axis() {
+        let a = ClockAnchor::now();
+        let b = ClockAnchor::now();
+        assert!(b.epoch_ns >= a.epoch_ns);
+        // The handshake bound is tight on one machine.
+        assert!(
+            a.uncertainty_ns < 1_000_000,
+            "epoch reads {} ns apart",
+            a.uncertainty_ns * 2
+        );
+    }
+
+    #[test]
+    fn elapsed_advances() {
+        let a = ClockAnchor::now();
+        let t0 = a.elapsed_ns();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(a.elapsed_ns() >= t0);
+    }
+}

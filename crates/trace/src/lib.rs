@@ -1,0 +1,41 @@
+//! `mepipe-trace`: measured-execution tracing for the real runtime.
+//!
+//! The simulator can already render the paper's timeline story (Figures
+//! 11–12); this crate gives the *measured* side the same voice. Each
+//! stage thread or process records [`Span`]s into a preallocated
+//! per-stage ring buffer ([`StageTracer`]): compute spans tagged with op
+//! kind, micro-batch, slice and chunk; send / receive-wait spans; and
+//! opportunistic weight-gradient drains. On top of the raw spans:
+//!
+//! * [`chrome`] — a shared Chrome/Perfetto Trace Event writer with
+//!   correct JSON string escaping, used by both `mepipe-sim`'s predicted
+//!   timelines and the runtime's measured ones, so the two render side by
+//!   side in one viewer. Multi-process traces merge through per-process
+//!   [`ClockAnchor`]s (see [`clock`]).
+//! * [`bubble`] — attribution of each stage's measured idle time into
+//!   warmup / comm-stall / dependency / tail buckets, the runtime-side
+//!   counterpart of `sim::timeline::stage_activity`.
+//! * [`metrics`] — a small counter/gauge/histogram registry with JSON and
+//!   Prometheus text exposition, unifying the runtime's scattered stat
+//!   structs behind one schema.
+//!
+//! Tracing has three states: *statically off* (the `off` cargo feature
+//! removes every record call at compile time), *runtime-disabled* (the
+//! default — one predictable branch per record, no allocation), and
+//! *enabled* (a clock read and a ring-buffer write per span; the `train`
+//! bench measures and bounds the end-to-end overhead).
+#![warn(missing_docs)]
+
+pub mod bubble;
+pub mod chrome;
+pub mod clock;
+pub mod metrics;
+pub mod span;
+
+pub use bubble::{BubbleReport, IdleBuckets, StageBubble};
+pub use chrome::{ChromeTraceWriter, PidKey};
+pub use clock::ClockAnchor;
+pub use metrics::MetricsRegistry;
+pub use span::{
+    IterationTrace, Span, SpanKind, StageTrace, StageTracer, DEFAULT_RING_CAPACITY, NO_TAG,
+};

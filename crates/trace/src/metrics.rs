@@ -1,0 +1,302 @@
+//! A small metrics registry: counters, gauges and histograms with JSON
+//! and Prometheus text exposition.
+//!
+//! The runtime's observability previously lived in three unrelated stat
+//! structs (`RunStats`, `CommStats`, `ArenaStats`), each printed ad hoc
+//! by whichever bench touched it. The registry gives them one schema:
+//! callers register samples under Prometheus naming conventions
+//! (`snake_case`, `_total` for counters, base units in the name) with
+//! label sets, and the registry renders either exposition format. It is
+//! a recording surface, not a server — scrape endpoints can be layered
+//! on later without touching producers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::chrome::push_json_string;
+
+/// Default histogram buckets for op/span durations, seconds.
+pub const DURATION_BUCKETS: [f64; 10] = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0];
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Counter(f64),
+    Gauge(f64),
+    Histogram {
+        buckets: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    help: String,
+    kind: &'static str,
+    // Samples keyed by their rendered label set (sorted, stable).
+    samples: BTreeMap<String, Value>,
+}
+
+/// Label set: name/value pairs rendered in the given order.
+pub type Labels<'a> = &'a [(&'a str, String)];
+
+fn label_key(labels: Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// A registry of metric families.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&mut self, name: &str, help: &str, kind: &'static str) -> &mut Family {
+        self.families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                samples: BTreeMap::new(),
+            })
+    }
+
+    /// Adds `v` to the counter `name{labels}` (creating it at 0).
+    pub fn counter(&mut self, name: &str, help: &str, labels: Labels, v: f64) {
+        let sample = self
+            .family(name, help, "counter")
+            .samples
+            .entry(label_key(labels))
+            .or_insert(Value::Counter(0.0));
+        if let Value::Counter(c) = sample {
+            *c += v;
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `v`.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: Labels, v: f64) {
+        self.family(name, help, "gauge")
+            .samples
+            .insert(label_key(labels), Value::Gauge(v));
+    }
+
+    /// Observes `v` into the histogram `name{labels}` with `buckets`
+    /// upper bounds (a `+Inf` bucket is implicit).
+    pub fn observe(&mut self, name: &str, help: &str, labels: Labels, buckets: &[f64], v: f64) {
+        let sample = self
+            .family(name, help, "histogram")
+            .samples
+            .entry(label_key(labels))
+            .or_insert_with(|| Value::Histogram {
+                buckets: buckets.to_vec(),
+                counts: vec![0; buckets.len()],
+                sum: 0.0,
+                count: 0,
+            });
+        if let Value::Histogram {
+            buckets,
+            counts,
+            sum,
+            count,
+        } = sample
+        {
+            for (b, c) in buckets.iter().zip(counts.iter_mut()) {
+                if v <= *b {
+                    *c += 1;
+                }
+            }
+            *sum += v;
+            *count += 1;
+        }
+    }
+
+    /// Number of metric families registered.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether no family has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// The value of a counter/gauge sample, for tests and reconciliation.
+    pub fn get(&self, name: &str, labels: Labels) -> Option<f64> {
+        match self.families.get(name)?.samples.get(&label_key(labels))? {
+            Value::Counter(v) | Value::Gauge(v) => Some(*v),
+            Value::Histogram { sum, .. } => Some(*sum),
+        }
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, fam) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+            for (labels, value) in &fam.samples {
+                match value {
+                    Value::Counter(v) | Value::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{labels} {v}");
+                    }
+                    Value::Histogram {
+                        buckets,
+                        counts,
+                        sum,
+                        count,
+                    } => {
+                        // Bucket counts are recorded cumulatively (observe
+                        // increments every bucket the value fits), matching
+                        // the exposition format; close with +Inf/_sum/_count.
+                        let inner = labels.trim_start_matches('{').trim_end_matches('}');
+                        let sep = if inner.is_empty() { "" } else { "," };
+                        for (b, c) in buckets.iter().zip(counts) {
+                            let _ = writeln!(out, "{name}_bucket{{{inner}{sep}le=\"{b}\"}} {c}");
+                        }
+                        let _ = writeln!(out, "{name}_bucket{{{inner}{sep}le=\"+Inf\"}} {count}");
+                        let _ = writeln!(out, "{name}_sum{labels} {sum}");
+                        let _ = writeln!(out, "{name}_count{labels} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: an object keyed by family name, each with kind,
+    /// help and a samples array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (fi, (name, fam)) in self.families.iter().enumerate() {
+            if fi > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push_str(":{\"type\":");
+            push_json_string(&mut out, fam.kind);
+            out.push_str(",\"help\":");
+            push_json_string(&mut out, &fam.help);
+            out.push_str(",\"samples\":[");
+            for (si, (labels, value)) in fam.samples.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"labels\":");
+                push_json_string(&mut out, labels);
+                match value {
+                    Value::Counter(v) | Value::Gauge(v) => {
+                        let _ = write!(out, ",\"value\":{v}}}");
+                    }
+                    Value::Histogram {
+                        buckets,
+                        counts,
+                        sum,
+                        count,
+                    } => {
+                        out.push_str(",\"buckets\":[");
+                        for (i, (b, c)) in buckets.iter().zip(counts).enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "[{b},{c}]");
+                        }
+                        let _ = write!(out, "],\"sum\":{sum},\"count\":{count}}}");
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage_label(i: usize) -> [(&'static str, String); 1] {
+        [("stage", i.to_string())]
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter("mepipe_tx_bytes_total", "bytes sent", &stage_label(0), 10.0);
+        r.counter("mepipe_tx_bytes_total", "bytes sent", &stage_label(0), 5.0);
+        r.gauge("mepipe_loss", "loss", &[], 2.0);
+        r.gauge("mepipe_loss", "loss", &[], 1.5);
+        assert_eq!(r.get("mepipe_tx_bytes_total", &stage_label(0)), Some(15.0));
+        assert_eq!(r.get("mepipe_loss", &[]), Some(1.5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_has_help_type_and_samples() {
+        let mut r = MetricsRegistry::new();
+        r.counter("a_total", "help a", &stage_label(1), 3.0);
+        r.gauge("b", "help b", &[], 0.5);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("# HELP a_total help a"));
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{stage=\"1\"} 3"));
+        assert!(text.contains("b 0.5"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_with_inf() {
+        let mut r = MetricsRegistry::new();
+        for v in [0.5, 1.5, 20.0] {
+            r.observe("lat_seconds", "latency", &[], &[1.0, 10.0], v);
+        }
+        let text = r.to_prometheus_text();
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"10\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+        assert!(text.contains("lat_seconds_sum 22"));
+    }
+
+    #[test]
+    fn json_exposition_parses_and_round_trips_values() {
+        let mut r = MetricsRegistry::new();
+        r.counter("c_total", "a \"quoted\" help", &stage_label(0), 7.0);
+        r.observe(
+            "h_seconds",
+            "hist",
+            &stage_label(0),
+            &DURATION_BUCKETS,
+            0.002,
+        );
+        let v: serde_json::Value = serde_json::from_str(&r.to_json()).expect("valid JSON");
+        assert_eq!(v["c_total"]["samples"][0]["value"].as_f64(), Some(7.0));
+        assert_eq!(v["h_seconds"]["samples"][0]["count"].as_f64(), Some(1.0));
+        assert_eq!(v["c_total"]["help"].as_str(), Some("a \"quoted\" help"));
+    }
+
+    #[test]
+    fn histogram_labels_merge_with_le() {
+        let mut r = MetricsRegistry::new();
+        r.observe("d_seconds", "d", &stage_label(2), &[1.0], 0.5);
+        let text = r.to_prometheus_text();
+        assert!(text.contains("d_seconds_bucket{stage=\"2\",le=\"1\"} 1"));
+    }
+}

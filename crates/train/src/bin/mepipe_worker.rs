@@ -11,17 +11,33 @@
 //! Modes:
 //!
 //! * `worker --stage I --stages P --dir D [opts]` — run one stage,
-//!   print its loss share as f64 bits.
+//!   print its loss share as f64 bits. With `--trace-out F` the stage
+//!   records measured spans and dumps them to `F` as a line-oriented
+//!   text file (epoch-stamped, so a launcher can merge processes).
 //! * `launch --stages P [opts]` — spawn P workers over a fresh UDS
 //!   mesh, combine their loss shares in stage order, and compare
-//!   bit-for-bit against an in-process run of the same iteration.
+//!   bit-for-bit against an in-process run of the same iteration. With
+//!   `--trace-out F` every worker traces; the launcher merges the
+//!   per-process dumps onto one time axis (clock-anchor epochs) and
+//!   writes a single Chrome/Perfetto JSON to `F`, validated to hold one
+//!   compute track per stage. `--metrics-out F` writes the reference
+//!   run's metrics registry (`.prom` extension selects Prometheus text,
+//!   anything else JSON).
+//! * `trace-report [opts]` — the full measured-vs-modeled loop in one
+//!   command: run one traced iteration in-process, profile the same
+//!   model, simulate the same schedule, and write measured trace,
+//!   simulated trace, bubble-attribution report, measured-vs-modeled
+//!   bubblecheck, and metrics (JSON + Prometheus) into `--out DIR`.
+//!   Asserts the traced loss is bit-identical to an untraced run and
+//!   that the trace's busy time reconciles with the runtime's busy/idle
+//!   counters.
 //! * `selftest-faults [opts]` — run one iteration on the emulated
 //!   transport with seeded fault injection (first frame of every
 //!   endpoint dropped, plus random delays) and verify the loss is
 //!   bit-identical to the clean run, with retransmissions actually
 //!   observed and no panic anywhere.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
 use mepipe_comm::{FaultSpec, SocketMode, SocketTransport, Transport, TransportConfig};
@@ -29,8 +45,15 @@ use mepipe_core::svpp::Mepipe;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::ir::Schedule;
+use mepipe_sim::engine::{simulate, SimConfig};
+use mepipe_sim::{to_chrome_trace, BubbleCheckReport};
 use mepipe_tensor::init::synthetic_tokens;
-use mepipe_train::{params::ModelParams, PipelineRuntime, WgradMode};
+use mepipe_trace::{
+    bubble, chrome::traces_to_chrome, IterationTrace, PidKey, Span, SpanKind, StageTrace,
+};
+use mepipe_train::{
+    metrics::run_metrics, params::ModelParams, profiler::profile_chunk, PipelineRuntime, WgradMode,
+};
 
 /// The deterministic scenario every process reconstructs from flags.
 #[derive(Debug, Clone)]
@@ -97,6 +120,9 @@ struct Args {
     scenario: Scenario,
     stage: Option<usize>,
     dir: PathBuf,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    out: PathBuf,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -111,6 +137,9 @@ fn parse_args(rest: &[String]) -> Args {
     };
     let mut stage = None;
     let mut dir = std::env::temp_dir().join(format!("mepipe-mesh-{}", std::process::id()));
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut out = PathBuf::from("target/trace-report");
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -127,6 +156,9 @@ fn parse_args(rest: &[String]) -> Args {
             "--layers" => scenario.layers = value().parse().expect("--layers"),
             "--seed" => scenario.seed = value().parse().expect("--seed"),
             "--dir" => dir = PathBuf::from(value()),
+            "--trace-out" => trace_out = Some(PathBuf::from(value())),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(value())),
+            "--out" => out = PathBuf::from(value()),
             "--mode" => {
                 scenario.mode = match value().as_str() {
                     "immediate" => WgradMode::Immediate,
@@ -142,14 +174,131 @@ fn parse_args(rest: &[String]) -> Args {
         scenario,
         stage,
         dir,
+        trace_out,
+        metrics_out,
+        out,
     }
+}
+
+/// One stage's spans as a line-oriented text file another process can
+/// reassemble: header fields, then `span <letter> <mb> <slice> <chunk>
+/// <peer> <start_ns> <end_ns>` lines. Text rather than JSON so the dump
+/// path needs no serializer and the merge path exercises the same
+/// epoch-alignment code the in-process writer uses.
+fn write_stage_trace(path: &Path, st: &StageTrace) {
+    let mut out = format!(
+        "MEPIPE-STAGE-TRACE v1\nstage {}\nreplica {}\nepoch_ns {}\ndropped {}\n",
+        st.stage, st.replica, st.epoch_ns, st.dropped
+    );
+    for s in &st.spans {
+        out.push_str(&format!(
+            "span {} {} {} {} {} {} {}\n",
+            s.kind.letter(),
+            s.mb,
+            s.slice,
+            s.chunk,
+            s.peer,
+            s.start_ns,
+            s.end_ns
+        ));
+    }
+    std::fs::write(path, out).expect("write stage trace dump");
+}
+
+fn read_stage_trace(path: &Path) -> StageTrace {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read stage trace {}: {e}", path.display()));
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("MEPIPE-STAGE-TRACE v1"),
+        "bad trace dump header in {}",
+        path.display()
+    );
+    let mut field = |name: &str| -> u64 {
+        let line = lines.next().unwrap_or_else(|| panic!("missing {name}"));
+        line.strip_prefix(name)
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("bad {name} line: {line}"))
+    };
+    let stage = field("stage") as usize;
+    let replica = field("replica") as usize;
+    let epoch_ns = field("epoch_ns");
+    let dropped = field("dropped");
+    let spans = lines
+        .map(|line| {
+            let mut f = line.split_whitespace();
+            assert_eq!(f.next(), Some("span"), "bad span line: {line}");
+            let letter = f.next().and_then(|s| s.chars().next()).expect("letter");
+            let mut num = || f.next().and_then(|s| s.parse::<u64>().ok()).expect("field");
+            Span {
+                kind: SpanKind::from_letter(letter)
+                    .unwrap_or_else(|| panic!("unknown span letter {letter}")),
+                mb: num() as u32,
+                slice: num() as u32,
+                chunk: num() as u32,
+                peer: num() as u32,
+                start_ns: num(),
+                end_ns: num(),
+            }
+        })
+        .collect();
+    StageTrace {
+        stage,
+        replica,
+        epoch_ns,
+        spans,
+        dropped,
+    }
+}
+
+/// Writes a metrics registry to `path`: Prometheus text exposition when
+/// the extension is `.prom`, JSON otherwise.
+fn write_metrics(path: &Path, reg: &mepipe_trace::MetricsRegistry) {
+    let body = if path.extension().is_some_and(|e| e == "prom") {
+        reg.to_prometheus_text()
+    } else {
+        reg.to_json()
+    };
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(path, body).expect("write metrics");
+}
+
+/// Parses a serialised Chrome trace and asserts it holds exactly one
+/// compute track (pid, tid < 1000) per stage. Returns the complete-event
+/// count.
+fn validate_chrome_trace(json: &str, stages: usize) -> usize {
+    let v: serde_json::Value = serde_json::from_str(json).expect("trace JSON parses");
+    let events = v.as_array().expect("trace is a JSON array");
+    let mut tracks: Vec<(u64, u64)> = Vec::new();
+    let mut complete = 0usize;
+    for e in events {
+        if e["ph"].as_str() != Some("X") {
+            continue;
+        }
+        complete += 1;
+        let pid = e["pid"].as_u64().expect("pid");
+        let tid = e["tid"].as_u64().expect("tid");
+        if tid < 1000 && !tracks.contains(&(pid, tid)) {
+            tracks.push((pid, tid));
+        }
+    }
+    assert!(complete > 0, "trace holds no complete events");
+    assert_eq!(
+        tracks.len(),
+        stages,
+        "expected one compute track per stage, got {tracks:?}"
+    );
+    complete
 }
 
 /// `worker`: one stage of the pipeline as this whole process.
 fn run_worker(args: &Args) {
     let stage = args.stage.expect("worker needs --stage");
     let sc = &args.scenario;
-    let rt = sc.runtime();
+    let rt = sc.runtime().with_tracing(args.trace_out.is_some());
     let schedule = sc.schedule();
     let batch = sc.batch();
     let transport = SocketTransport::new(SocketMode::Uds(args.dir.clone()), sc.stages);
@@ -157,15 +306,20 @@ fn run_worker(args: &Args) {
     let out = rt
         .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
         .expect("stage run");
+    if let (Some(path), Some(trace)) = (&args.trace_out, &out.trace) {
+        write_stage_trace(path, trace);
+    }
     let t = out.comm.total();
-    // The launcher parses this line; keep it stable.
+    // The launcher parses this line; keep it stable (appending fields is
+    // fine, the parse is prefix + first whitespace-separated token).
     println!(
-        "RESULT stage={stage} loss_bits={} drained={} tx_msgs={} rx_msgs={} tx_bytes={}",
+        "RESULT stage={stage} loss_bits={} drained={} tx_msgs={} rx_msgs={} tx_bytes={} busy_ns={}",
         out.loss_sum.to_bits(),
         out.drained,
         t.tx_messages,
         t.rx_messages,
         t.tx_bytes,
+        (out.busy_seconds * 1e9) as u64,
     );
 }
 
@@ -174,6 +328,7 @@ fn run_launch(args: &Args) {
     let sc = &args.scenario;
     let exe = std::env::current_exe().expect("current exe");
     std::fs::create_dir_all(&args.dir).expect("mesh dir");
+    let stage_trace_path = |stage: usize| args.dir.join(format!("trace-stage-{stage}.txt"));
     let children: Vec<_> = (0..sc.stages)
         .map(|stage| {
             let mut cmd = Command::new(&exe);
@@ -184,6 +339,9 @@ fn run_launch(args: &Args) {
                 .arg(&args.dir)
                 .args(sc.as_args())
                 .stdout(Stdio::piped());
+            if args.trace_out.is_some() {
+                cmd.arg("--trace-out").arg(stage_trace_path(stage));
+            }
             (stage, cmd.spawn().expect("spawn worker"))
         })
         .collect();
@@ -211,12 +369,42 @@ fn run_launch(args: &Args) {
             .expect("loss bits u64");
         loss += f64::from_bits(bits);
     }
+
+    // Merge the per-process span dumps onto one time axis. Each worker
+    // recorded offsets from its own clock anchor; `traces_to_chrome`
+    // shifts every trace by its anchor's epoch delta, which is the
+    // cross-process alignment (anchors bound their own epoch-read
+    // uncertainty at construction).
+    if let Some(trace_out) = &args.trace_out {
+        let merged = IterationTrace {
+            stages: (0..sc.stages)
+                .map(|stage| read_stage_trace(&stage_trace_path(stage)))
+                .collect(),
+        };
+        let json = traces_to_chrome(&merged, PidKey::Stage);
+        let complete = validate_chrome_trace(&json, sc.stages);
+        if let Some(parent) = trace_out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(trace_out, &json).expect("write merged trace");
+        println!(
+            "merged {} spans from {} worker processes into {}",
+            complete,
+            sc.stages,
+            trace_out.display()
+        );
+        print!("{}", bubble::attribute(&merged).render());
+    }
     let _ = std::fs::remove_dir_all(&args.dir);
 
     let reference = sc
         .runtime()
         .run_iteration(&sc.schedule(), &sc.batch(), sc.mode, None)
         .expect("in-process reference run");
+    if let Some(metrics_out) = &args.metrics_out {
+        write_metrics(metrics_out, &run_metrics(&reference));
+        println!("wrote reference-run metrics to {}", metrics_out.display());
+    }
     println!(
         "multi-process loss {loss:.6} ({} workers over uds), in-process loss {:.6}",
         sc.stages, reference.loss
@@ -227,6 +415,108 @@ fn run_launch(args: &Args) {
         "multi-process loss is not bit-identical to in-process"
     );
     println!("OK: losses bit-identical across process boundaries");
+}
+
+/// `trace-report`: one traced iteration, profiled + simulated, with
+/// every observability artifact written to `--out`.
+fn run_trace_report(args: &Args) {
+    let sc = &args.scenario;
+    let schedule = sc.schedule();
+    let batch = sc.batch();
+
+    // Traced vs untraced: tracing is an observer, the loss bits agree.
+    let plain = sc
+        .runtime()
+        .run_iteration(&schedule, &batch, sc.mode, None)
+        .expect("untraced run");
+    let traced = sc
+        .runtime()
+        .with_tracing(true)
+        .run_iteration(&schedule, &batch, sc.mode, None)
+        .expect("traced run");
+    assert_eq!(
+        plain.loss.to_bits(),
+        traced.loss.to_bits(),
+        "tracing changed the loss bits"
+    );
+    let trace = traced.trace.as_ref().expect("traced run carries a trace");
+
+    // The spans and the runtime's busy counters come from the same clock
+    // and the same intervals; they must agree per stage.
+    for st in &trace.stages {
+        let span_busy = st.busy_ns() as f64 * 1e-9;
+        let counted = traced.busy_seconds[st.stage];
+        assert!(
+            (span_busy - counted).abs() < 1e-6,
+            "stage {}: trace says {span_busy} s busy, runtime counted {counted} s",
+            st.stage
+        );
+    }
+    let report = bubble::attribute(trace);
+    for b in &report.stages {
+        assert!(
+            (b.busy_s + b.idle.total() - report.makespan_s).abs() < 1e-9,
+            "stage {} busy+idle does not reconcile with the window",
+            b.stage
+        );
+    }
+
+    // Profile this machine, simulate the same schedule, diff the two.
+    let cfg = TransformerConfig {
+        seq_len: sc.seq_len,
+        ..TransformerConfig::tiny(sc.layers)
+    };
+    let profiled = profile_chunk(
+        &ModelParams::init(cfg, sc.seed),
+        sc.layers / sc.stages,
+        sc.slices,
+        2,
+    );
+    let prediction = simulate(
+        &schedule,
+        &profiled,
+        &SimConfig {
+            dynamic_wgrad: true,
+            include_dp_sync: false,
+            include_optimizer: false,
+            ..Default::default()
+        },
+    )
+    .expect("simulation of the measured schedule");
+    let check = BubbleCheckReport::from_run(trace, &prediction);
+
+    let out = &args.out;
+    std::fs::create_dir_all(out).expect("report dir");
+    let measured_json = traces_to_chrome(trace, PidKey::Replica);
+    validate_chrome_trace(&measured_json, sc.stages);
+    let trace_path = args
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| out.join("measured.trace.json"));
+    std::fs::write(&trace_path, &measured_json).expect("write measured trace");
+    std::fs::write(
+        out.join("sim.trace.json"),
+        to_chrome_trace(&prediction.segments),
+    )
+    .expect("write simulated trace");
+    std::fs::write(out.join("bubble.txt"), report.render()).expect("write bubble report");
+    std::fs::write(out.join("bubblecheck.txt"), check.render()).expect("write bubblecheck");
+    let reg = run_metrics(&traced);
+    let metrics_path = args
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| out.join("metrics.json"));
+    write_metrics(&metrics_path, &reg);
+    write_metrics(&out.join("metrics.prom"), &reg);
+
+    print!("{}", report.render());
+    print!("{}", check.render());
+    println!(
+        "wrote measured trace ({}), simulated trace, bubble reports and metrics to {}",
+        trace_path.display(),
+        out.display()
+    );
+    println!("OK: traced loss bit-identical to untraced; busy/idle reconciled per stage");
 }
 
 /// `selftest-faults`: fault injection recovers to a bit-identical loss.
@@ -283,12 +573,13 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (mode, rest) = argv
         .split_first()
-        .expect("usage: mepipe-worker <worker|launch|selftest-faults> [flags]");
+        .expect("usage: mepipe-worker <worker|launch|trace-report|selftest-faults> [flags]");
     let args = parse_args(rest);
     match mode.as_str() {
         "worker" => run_worker(&args),
         "launch" => run_launch(&args),
+        "trace-report" => run_trace_report(&args),
         "selftest-faults" => run_selftest_faults(&args),
-        m => panic!("unknown mode {m} (expected worker|launch|selftest-faults)"),
+        m => panic!("unknown mode {m} (expected worker|launch|trace-report|selftest-faults)"),
     }
 }

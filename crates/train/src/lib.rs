@@ -21,13 +21,16 @@
 //! (single-device baseline), [`pipeline`] (the threaded runtime),
 //! [`optim`] (SGD/Adam), [`memtrack`] (live activation accounting),
 //! [`profiler`] (measures real per-slice op times and feeds them to the
-//! simulator — the paper's profiler → scheduler → engine pipeline).
+//! simulator — the paper's profiler → scheduler → engine pipeline),
+//! [`metrics`] (bridges run statistics into a `mepipe-trace` metrics
+//! registry for JSON / Prometheus exposition).
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod cp;
 pub mod layer;
 pub mod memtrack;
+pub mod metrics;
 pub mod optim;
 pub mod params;
 pub mod pipeline;

@@ -57,6 +57,9 @@ use mepipe_tensor::{
     },
     ArenaStats, KernelPool, Tensor, TensorArena,
 };
+use mepipe_trace::{
+    ClockAnchor, IterationTrace, SpanKind, StageTrace, StageTracer, DEFAULT_RING_CAPACITY, NO_TAG,
+};
 
 use crate::{
     layer::{apply_wgrads, backward_input_slice, forward_slice, Kv, LayerFwdSaved, WgradGemm},
@@ -99,6 +102,18 @@ pub struct RunStats {
     /// Per-stage transport counters: bytes, messages, serialize time,
     /// stalls, retries and injected faults (see [`CommStats`]).
     pub comm: Vec<CommStats>,
+    /// Wall-clock seconds each stage spent computing (F/B/W plus drained
+    /// weight GEMMs), measured from a shared [`ClockAnchor`] whether or
+    /// not span tracing is enabled. Under data parallelism, summed across
+    /// replicas.
+    pub busy_seconds: Vec<f64>,
+    /// Wall-clock seconds each stage spent not computing (receive waits,
+    /// send stalls, scheduling gaps), over the stage's run window. Under
+    /// data parallelism, summed across replicas.
+    pub idle_seconds: Vec<f64>,
+    /// Recorded spans for every stage ([`PipelineRuntime::with_tracing`]);
+    /// `None` when tracing is off.
+    pub trace: Option<IterationTrace>,
 }
 
 /// Result of running a single stage of a schedule (the unit a
@@ -120,6 +135,12 @@ pub struct StageRunStats {
     pub comm: CommStats,
     /// Arena counters for this stage (zero when pooling is off).
     pub arena: ArenaStats,
+    /// Wall-clock seconds this stage spent computing.
+    pub busy_seconds: f64,
+    /// Wall-clock seconds this stage spent not computing.
+    pub idle_seconds: f64,
+    /// This stage's recorded spans; `None` when tracing is off.
+    pub trace: Option<StageTrace>,
 }
 
 /// A model plus the pipeline shape needed to run schedules against it.
@@ -130,6 +151,7 @@ pub struct PipelineRuntime {
     virtual_chunks: usize,
     kernel_workers: usize,
     pooled: bool,
+    tracing: bool,
     transport: TransportConfig,
     /// Warmed per-stage arena sets, handed out at iteration start and
     /// returned at the end. Stage threads die with each `run_iteration`
@@ -164,6 +186,7 @@ impl PipelineRuntime {
             virtual_chunks,
             kernel_workers,
             pooled: true,
+            tracing: false,
             transport: TransportConfig::in_proc(),
             arena_bank: Mutex::new(Vec::new()),
         }
@@ -205,6 +228,22 @@ impl PipelineRuntime {
     /// Whether stage threads pool tensor buffers in per-stage arenas.
     pub fn pooled(&self) -> bool {
         self.pooled
+    }
+
+    /// Enables or disables measured span tracing (off by default). When
+    /// on, each stage records every op, send and receive wait into a
+    /// preallocated ring buffer, returned as `RunStats::trace`. Timing
+    /// calls never touch the math, so traced runs stay bit-identical to
+    /// untraced ones (the `train` bench bounds the time overhead).
+    #[must_use]
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// Whether stages record measured spans.
+    pub fn tracing(&self) -> bool {
+        self.tracing
     }
 
     /// Kernel workers each stage thread fans out over.
@@ -261,6 +300,11 @@ impl PipelineRuntime {
         let model = &self.model;
 
         let kernel_workers = self.kernel_workers;
+        // One anchor for all stage threads of this run: their spans and
+        // busy/idle counters share a time axis (and an epoch position,
+        // for merging with other processes' traces).
+        let anchor = ClockAnchor::now();
+        let tracing = self.tracing;
         // Check a warmed arena set out of the bank (or start cold). Under
         // concurrent DP replicas each run pops its own set; the bank
         // grows to one set per concurrently running replica.
@@ -305,6 +349,8 @@ impl PipelineRuntime {
                                 mode,
                                 mem_cap,
                                 kernel_workers,
+                                anchor,
+                                tracing,
                             );
                             for op in ops {
                                 // An error drops ctx (and its endpoint)
@@ -363,6 +409,9 @@ impl PipelineRuntime {
         let mut peaks = vec![0usize; p];
         let mut drained = vec![0usize; p];
         let mut comm = Vec::with_capacity(p);
+        let mut busy_seconds = vec![0.0f64; p];
+        let mut idle_seconds = vec![0.0f64; p];
+        let mut stage_traces = Vec::new();
         let mut oom = None;
         for (w, out) in outs.into_iter().enumerate() {
             let out = out.expect("worker result present");
@@ -370,6 +419,11 @@ impl PipelineRuntime {
             peaks[w] = out.peak_bytes;
             drained[w] = out.drained;
             comm.push(out.comm);
+            busy_seconds[w] = out.busy_ns as f64 * 1e-9;
+            idle_seconds[w] = out.idle_ns as f64 * 1e-9;
+            if let Some(t) = out.trace {
+                stage_traces.push(t);
+            }
             if out.oom && oom.is_none() {
                 oom = Some((w, out.peak_bytes));
             }
@@ -383,6 +437,11 @@ impl PipelineRuntime {
             oom,
             arena: arena_stats,
             comm,
+            busy_seconds,
+            idle_seconds,
+            trace: tracing.then_some(IterationTrace {
+                stages: stage_traces,
+            }),
         })
     }
 
@@ -415,6 +474,8 @@ impl PipelineRuntime {
         let mut arena = self.pooled.then(TensorArena::new);
         let out = {
             let _arena_scope = arena.as_mut().map(|a| a.install());
+            // Per-process anchor: the epoch position it captures is what
+            // lets a launcher merge this stage's trace with its peers'.
             let mut ctx = WorkerCtx::new(
                 &self.model,
                 &schedule.meta,
@@ -424,6 +485,8 @@ impl PipelineRuntime {
                 mode,
                 mem_cap,
                 self.kernel_workers,
+                ClockAnchor::now(),
+                self.tracing,
             );
             for op in &schedule.workers[stage] {
                 ctx.execute(op)?;
@@ -441,6 +504,9 @@ impl PipelineRuntime {
             oom: out.oom,
             comm: out.comm,
             arena: arena_stats,
+            busy_seconds: out.busy_ns as f64 * 1e-9,
+            idle_seconds: out.idle_ns as f64 * 1e-9,
+            trace: out.trace,
         })
     }
 
@@ -493,8 +559,15 @@ impl PipelineRuntime {
             }
         });
         let mut merged: Option<RunStats> = None;
-        for stats in results {
-            let stats = stats.expect("replica result present")?;
+        for (r, stats) in results.into_iter().enumerate() {
+            let mut stats = stats.expect("replica result present")?;
+            // Tag this replica's spans so merged traces keep one process
+            // track per replica (`PidKey::Replica`).
+            if let Some(trace) = &mut stats.trace {
+                for st in &mut trace.stages {
+                    st.replica = r;
+                }
+            }
             merged = Some(match merged {
                 None => stats,
                 Some(mut acc) => {
@@ -511,6 +584,15 @@ impl PipelineRuntime {
                     }
                     for (a, b) in acc.comm.iter_mut().zip(&stats.comm) {
                         *a = a.merged(b);
+                    }
+                    for (a, b) in acc.busy_seconds.iter_mut().zip(&stats.busy_seconds) {
+                        *a += b;
+                    }
+                    for (a, b) in acc.idle_seconds.iter_mut().zip(&stats.idle_seconds) {
+                        *a += b;
+                    }
+                    if let (Some(at), Some(bt)) = (&mut acc.trace, stats.trace) {
+                        at.stages.extend(bt.stages);
                     }
                     acc.oom = acc.oom.or(stats.oom);
                     acc
@@ -552,6 +634,9 @@ struct WorkerOut {
     drained: usize,
     oom: bool,
     comm: CommStats,
+    busy_ns: u64,
+    idle_ns: u64,
+    trace: Option<StageTrace>,
 }
 
 struct WorkerCtx<'m> {
@@ -584,6 +669,11 @@ struct WorkerCtx<'m> {
     // This stage's kernel pool — kernel-level parallelism nested inside
     // the stage thread.
     pool: KernelPool,
+    // Span recorder (a disabled no-op unless tracing is on) — also the
+    // clock for busy/idle accounting, which stays on in all modes.
+    tracer: StageTracer,
+    busy_ns: u64,
+    start_ns: u64,
 }
 
 impl<'m> WorkerCtx<'m> {
@@ -597,7 +687,15 @@ impl<'m> WorkerCtx<'m> {
         mode: WgradMode,
         mem_cap: Option<usize>,
         kernel_workers: usize,
+        anchor: ClockAnchor,
+        tracing: bool,
     ) -> Self {
+        let tracer = if tracing {
+            StageTracer::enabled(w, anchor, DEFAULT_RING_CAPACITY)
+        } else {
+            StageTracer::disabled(anchor)
+        };
+        let start_ns = tracer.clock_ns();
         Self {
             model,
             meta: meta.clone(),
@@ -618,7 +716,33 @@ impl<'m> WorkerCtx<'m> {
             drained: 0,
             tokens_per_slice: model.cfg.seq_len / meta.slices,
             pool: KernelPool::new(kernel_workers),
+            tracer,
+            busy_ns: 0,
+            start_ns,
         }
+    }
+
+    /// Closes a compute span opened at `start_ns`: counts it as busy and
+    /// (when tracing) records it with its op tag.
+    fn note_compute(
+        &mut self,
+        kind: SpanKind,
+        mb: usize,
+        slice: usize,
+        chunk: usize,
+        start_ns: u64,
+    ) {
+        let end = self.tracer.clock_ns();
+        self.busy_ns += end.saturating_sub(start_ns);
+        self.tracer.record_to(
+            kind,
+            mb as u32,
+            slice as u32,
+            chunk as u32,
+            NO_TAG,
+            start_ns,
+            end,
+        );
     }
 
     fn layers_of_chunk(&self, chunk: usize) -> (usize, usize) {
@@ -643,8 +767,10 @@ impl<'m> WorkerCtx<'m> {
                 match self.ep.try_recv()? {
                     Some(m) => self.stash(m),
                     None => {
-                        if let Some((_, _, _, li, gemm)) = self.pending_w.pop_front() {
+                        if let Some((w_mb, w_slice, w_chunk, li, gemm)) = self.pending_w.pop_front()
+                        {
                             // Drain exactly one GEMM, then re-check.
+                            let t0 = self.tracer.clock_ns();
                             apply_wgrads(
                                 &self.pool,
                                 &mut self.grads.layers[li],
@@ -652,14 +778,19 @@ impl<'m> WorkerCtx<'m> {
                             );
                             self.mem.free(gemm.bytes());
                             self.drained += 1;
+                            self.note_compute(SpanKind::WgradDrain, w_mb, w_slice, w_chunk, t0);
                         } else {
+                            let t0 = self.tracer.clock_ns();
                             let m = self.ep.recv()?;
+                            self.tracer.record_comm(SpanKind::RecvWait, NO_TAG, t0);
                             self.stash(m);
                         }
                     }
                 }
             } else {
+                let t0 = self.tracer.clock_ns();
                 let m = self.ep.recv()?;
+                self.tracer.record_comm(SpanKind::RecvWait, NO_TAG, t0);
                 self.stash(m);
             }
         }
@@ -694,7 +825,8 @@ impl<'m> WorkerCtx<'m> {
         tensor: Tensor,
     ) -> Result<(), CommError> {
         let (to, _chunk) = self.meta.stage_chunk_of(g);
-        self.ep.send(
+        let t0 = self.tracer.clock_ns();
+        let out = self.ep.send(
             to,
             StageMsg {
                 kind,
@@ -703,14 +835,19 @@ impl<'m> WorkerCtx<'m> {
                 g: g as u32,
                 tensor,
             },
-        )
+        );
+        self.tracer.record_comm(SpanKind::Send, to as u32, t0);
+        out
     }
 
     fn execute(&mut self, op: &mepipe_schedule::ir::Op) -> Result<(), CommError> {
         match op.kind {
             OpKind::Forward => self.forward(op.micro_batch, op.slice, op.chunk),
-            OpKind::Backward | OpKind::BackwardInput => {
-                self.backward(op.micro_batch, op.slice, op.chunk)
+            OpKind::Backward => {
+                self.backward(op.micro_batch, op.slice, op.chunk, SpanKind::Backward)
+            }
+            OpKind::BackwardInput => {
+                self.backward(op.micro_batch, op.slice, op.chunk, SpanKind::BackwardInput)
             }
             OpKind::BackwardWeight => {
                 self.weight_op(op.micro_batch, op.slice, op.chunk);
@@ -723,11 +860,16 @@ impl<'m> WorkerCtx<'m> {
         let g = self.meta.global_pos(self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
+        // The compute span opens once the input is in hand: receive waits
+        // (and any drains they hid) are recorded inside recv_tagged.
+        let mut c0 = self.tracer.clock_ns();
         let x = if g == 0 {
             let toks = &self.batch[mb][offset..offset + ts];
             embedding(&self.model.embedding, toks, offset)
         } else {
-            self.recv_tagged(true, mb, slice, g)?
+            let t = self.recv_tagged(true, mb, slice, g)?;
+            c0 = self.tracer.clock_ns();
+            t
         };
         let (lo, hi) = self.layers_of_chunk(chunk);
         let mut cur = x.clone();
@@ -750,6 +892,7 @@ impl<'m> WorkerCtx<'m> {
         }
         self.charge(x.bytes());
         self.saves.insert((mb, slice, chunk), (x, saves));
+        self.note_compute(SpanKind::Forward, mb, slice, chunk, c0);
         if g == self.meta.last_global_pos() {
             self.charge(cur.bytes());
             self.finals.insert((mb, slice), cur);
@@ -759,13 +902,22 @@ impl<'m> WorkerCtx<'m> {
         Ok(())
     }
 
-    fn backward(&mut self, mb: usize, slice: usize, chunk: usize) -> Result<(), CommError> {
+    fn backward(
+        &mut self,
+        mb: usize,
+        slice: usize,
+        chunk: usize,
+        span: SpanKind,
+    ) -> Result<(), CommError> {
         let g = self.meta.global_pos(self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
         let n_batch = self.batch.len();
         let total_tokens = self.model.cfg.seq_len;
 
+        // On the loss-owning stage the whole op is compute; elsewhere the
+        // span opens after the output gradient arrives.
+        let mut c0 = self.tracer.clock_ns();
         let mut dy = if g == self.meta.last_global_pos() {
             // Loss path: final norm + head + cross-entropy on this slice.
             let hidden = self
@@ -789,7 +941,9 @@ impl<'m> WorkerCtx<'m> {
             self.grads.final_norm.add_assign(&dfn);
             dh
         } else {
-            self.recv_tagged(false, mb, slice, g)?
+            let t = self.recv_tagged(false, mb, slice, g)?;
+            c0 = self.tracer.clock_ns();
+            t
         };
 
         let (lo, hi) = self.layers_of_chunk(chunk);
@@ -852,7 +1006,9 @@ impl<'m> WorkerCtx<'m> {
             self.grads
                 .embedding
                 .add_assign(&embedding_backward(&dy, toks, self.model.cfg.vocab));
+            self.note_compute(span, mb, slice, chunk, c0);
         } else {
+            self.note_compute(span, mb, slice, chunk, c0);
             self.send_boundary(MsgKind::Bwd, mb, slice, g - 1, dy)?;
         }
         Ok(())
@@ -865,28 +1021,37 @@ impl<'m> WorkerCtx<'m> {
             // the end) — the fully dynamic Section 5 behaviour.
             return;
         }
+        let t0 = self.tracer.clock_ns();
+        let mut applied = false;
         let mut remaining = VecDeque::new();
         for entry in self.pending_w.drain(..) {
             if entry.0 == mb && entry.1 == slice && entry.2 == chunk {
                 let (_, _, _, li, gemm) = entry;
                 self.mem.free(gemm.bytes());
                 apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
+                applied = true;
             } else {
                 remaining.push_back(entry);
             }
         }
         self.pending_w = remaining;
+        if applied {
+            self.note_compute(SpanKind::BackwardWeight, mb, slice, chunk, t0);
+        }
     }
 
     fn finish(mut self) -> WorkerOut {
         // Any weight work never reached (e.g. drained list ended early).
         let pending: Vec<_> = self.pending_w.drain(..).collect();
-        for (_, _, _, li, gemm) in pending {
+        for (mb, slice, chunk, li, gemm) in pending {
+            let t0 = self.tracer.clock_ns();
             self.mem.free(gemm.bytes());
             apply_wgrads(&self.pool, &mut self.grads.layers[li], &[gemm]);
+            self.note_compute(SpanKind::WgradDrain, mb, slice, chunk, t0);
         }
         // Clean close: peers blocked in recv finish once everyone's done.
         self.ep.close();
+        let wall_ns = self.tracer.clock_ns().saturating_sub(self.start_ns);
         WorkerOut {
             loss_sum: self.loss_sum,
             grads: self.grads,
@@ -894,6 +1059,9 @@ impl<'m> WorkerCtx<'m> {
             drained: self.drained,
             oom: self.oom,
             comm: self.ep.stats(),
+            busy_ns: self.busy_ns,
+            idle_ns: wall_ns.saturating_sub(self.busy_ns),
+            trace: self.tracer.finish(),
         }
     }
 }

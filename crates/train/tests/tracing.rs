@@ -1,0 +1,133 @@
+//! Tracing must be an observer: a traced run produces bit-identical
+//! loss and gradients to an untraced run, on every transport backend.
+//!
+//! The tracer only reads clocks and writes into a preallocated ring —
+//! it never touches tensors or accumulation order — so any divergence
+//! here means a record call leaked into the math. The tests also pin
+//! down what a trace must *contain*: spans for every op class the
+//! schedule ran, and busy/idle numbers that reconcile with the bubble
+//! attribution computed from the same spans.
+
+use proptest::prelude::*;
+
+use mepipe_comm::{Backend, TransportConfig};
+use mepipe_core::svpp::Mepipe;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_tensor::init::synthetic_tokens;
+use mepipe_trace::{bubble, SpanKind};
+use mepipe_train::{params::ModelParams, PipelineRuntime, RunStats, WgradMode};
+
+fn run_with(seed: u64, stages: usize, tracing: bool, config: TransportConfig) -> RunStats {
+    let cfg = TransformerConfig {
+        seq_len: 16,
+        ..TransformerConfig::tiny(4)
+    };
+    let micro_batches = stages;
+    let schedule = Mepipe::new()
+        .generate(&Dims::new(stages, micro_batches).slices(2))
+        .unwrap();
+    let batch: Vec<Vec<usize>> = (0..micro_batches)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, seed + i as u64))
+        .collect();
+    let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), stages, 1)
+        .with_transport(config)
+        .with_tracing(tracing);
+    rt.run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None)
+        .expect("iteration")
+}
+
+fn uds_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mepipe-trace-{tag}-{}-{seed}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Traced and untraced runs agree bit-for-bit on InProc and UDS.
+    #[test]
+    fn tracing_is_bit_invisible(seed in 1u64..1000, stages in prop::sample::select(vec![2usize, 4])) {
+        let plain = run_with(seed, stages, false, TransportConfig::in_proc());
+        let traced = run_with(seed, stages, true, TransportConfig::in_proc());
+        prop_assert_eq!(plain.loss.to_bits(), traced.loss.to_bits(), "inproc loss differs");
+        prop_assert_eq!(plain.grads.max_abs_diff(&traced.grads), 0.0, "inproc grads differ");
+        prop_assert!(plain.trace.is_none());
+        prop_assert!(traced.trace.is_some());
+
+        let dir = uds_dir("plain", seed);
+        let uds_plain = run_with(seed, stages, false, TransportConfig {
+            backend: Backend::Uds(dir.clone()),
+            ..TransportConfig::default()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = uds_dir("traced", seed);
+        let uds_traced = run_with(seed, stages, true, TransportConfig {
+            backend: Backend::Uds(dir.clone()),
+            ..TransportConfig::default()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(uds_plain.loss.to_bits(), uds_traced.loss.to_bits(), "uds loss differs");
+        prop_assert_eq!(uds_plain.grads.max_abs_diff(&uds_traced.grads), 0.0, "uds grads differ");
+        prop_assert_eq!(plain.loss.to_bits(), uds_traced.loss.to_bits(), "cross-backend loss differs");
+    }
+}
+
+/// A trace records every op class the schedule executed, with tags, and
+/// nothing was dropped at the default ring capacity.
+#[test]
+fn trace_contains_every_op_class() {
+    let stats = run_with(7, 2, true, TransportConfig::in_proc());
+    let trace = stats.trace.expect("trace present");
+    assert_eq!(trace.stages.len(), 2);
+    for st in &trace.stages {
+        assert_eq!(st.dropped, 0, "stage {} dropped spans", st.stage);
+        assert!(!st.spans.is_empty());
+        // Forward work appears on every stage; so do sends (stage 0
+        // sends activations up, stage 1 sends gradients down).
+        assert!(st.spans.iter().any(|s| s.kind == SpanKind::Forward));
+        assert!(st.spans.iter().any(|s| s.kind == SpanKind::Send));
+        // Spans come out chronologically ordered.
+        assert!(st.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+    // The MEPipe schedule splits backward, so input-gradient ops and
+    // drained (or swept) weight gradients both show up somewhere.
+    let all: Vec<SpanKind> = trace
+        .stages
+        .iter()
+        .flat_map(|st| st.spans.iter().map(|s| s.kind))
+        .collect();
+    assert!(all.contains(&SpanKind::BackwardInput));
+    assert!(all.contains(&SpanKind::WgradDrain));
+    assert!(all.contains(&SpanKind::RecvWait));
+}
+
+/// The trace's compute time equals the runtime's busy counter (same
+/// clock, same spans), and bubble attribution reconciles: busy + idle
+/// buckets sum to the analysis window for every stage.
+#[test]
+fn busy_counters_and_bubble_report_reconcile() {
+    let stats = run_with(11, 2, true, TransportConfig::in_proc());
+    let trace = stats.trace.as_ref().expect("trace present");
+    for st in &trace.stages {
+        let span_busy = st.busy_ns() as f64 * 1e-9;
+        let counted = stats.busy_seconds[st.stage];
+        assert!(
+            (span_busy - counted).abs() < 1e-6,
+            "stage {}: spans say {span_busy}s busy, counter says {counted}s",
+            st.stage
+        );
+    }
+    let report = bubble::attribute(trace);
+    assert_eq!(report.stages.len(), 2);
+    for s in &report.stages {
+        assert!(
+            (s.busy_s + s.idle.total() - report.makespan_s).abs() < 1e-9,
+            "stage {} does not reconcile with the window",
+            s.stage
+        );
+    }
+    // Busy/idle are measured even when tracing is off.
+    let untraced = run_with(11, 2, false, TransportConfig::in_proc());
+    assert!(untraced.busy_seconds.iter().all(|&b| b > 0.0));
+    assert!(untraced.busy_seconds.len() == 2 && untraced.idle_seconds.len() == 2);
+}

@@ -12,7 +12,9 @@
 
 use mepipe::model::config::TransformerConfig;
 use mepipe::tensor::init::synthetic_tokens;
+use mepipe::trace::bubble;
 use mepipe::train::{
+    metrics::run_metrics,
     optim::Sgd,
     params::ModelParams,
     pipeline::{PipelineRuntime, WgradMode},
@@ -60,4 +62,31 @@ fn main() {
         );
     }
     println!("\npipelined SVPP training matches single-device training step for step ✓");
+
+    // One more iteration with span tracing on: where did the wall-clock
+    // time of a real pipelined step actually go?
+    let runtime = runtime.with_tracing(true);
+    let batch: Vec<Vec<usize>> = (0..micro_batches)
+        .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, 9000 + i as u64))
+        .collect();
+    let traced = runtime
+        .run_iteration(&schedule, &batch, WgradMode::DrainOnWait, None)
+        .expect("traced iteration");
+    println!();
+    print!(
+        "{}",
+        bubble::attribute(traced.trace.as_ref().expect("trace")).render()
+    );
+    let reg = run_metrics(&traced);
+    println!(
+        "\nmetrics registry ({} families), sample of the Prometheus exposition:",
+        reg.len()
+    );
+    for line in reg
+        .to_prometheus_text()
+        .lines()
+        .filter(|l| l.starts_with("mepipe_stage_busy_seconds") || l.starts_with("mepipe_loss"))
+    {
+        println!("  {line}");
+    }
 }

@@ -27,6 +27,25 @@ cargo bench -p mepipe-bench --bench comm -- --smoke
 echo "==> multi-process smoke (4 worker processes over Unix sockets)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- launch --stages 4
 
+echo "==> trace-report smoke (traced 2-stage iteration: measured+sim traces, bubble, metrics)"
+TRACE_DIR="$(mktemp -d)"
+# The binary itself validates the trace JSON parses and holds one
+# compute track per stage, and that tracing is bit-invisible.
+cargo run --release -p mepipe-train --bin mepipe-worker -- trace-report \
+  --stages 2 --micro-batches 2 --slices 4 --seq-len 32 --layers 4 --out "$TRACE_DIR"
+for f in measured.trace.json sim.trace.json bubble.txt bubblecheck.txt metrics.json metrics.prom; do
+  test -s "$TRACE_DIR/$f" || { echo "trace-report did not write $f"; exit 1; }
+done
+rm -rf "$TRACE_DIR"
+
+echo "==> merged-trace smoke (4 worker processes, one epoch-aligned Chrome JSON)"
+MERGE_DIR="$(mktemp -d)"
+cargo run --release -p mepipe-train --bin mepipe-worker -- launch --stages 4 \
+  --trace-out "$MERGE_DIR/merged.trace.json" --metrics-out "$MERGE_DIR/metrics.prom"
+test -s "$MERGE_DIR/merged.trace.json" || { echo "launch did not write a merged trace"; exit 1; }
+test -s "$MERGE_DIR/metrics.prom" || { echo "launch did not write metrics"; exit 1; }
+rm -rf "$MERGE_DIR"
+
 echo "==> fault-injection smoke (dropped/corrupted frames, retried, same loss)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- selftest-faults
 

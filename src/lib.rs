@@ -13,6 +13,8 @@
 //! * [`sim`] — discrete-event cluster simulator that executes schedules.
 //! * [`tensor`] — from-scratch CPU tensor library with explicit backward.
 //! * [`train`] — real threaded pipeline training runtime on a mini-Llama.
+//! * [`trace`] — measured-execution tracing: per-op span rings, the shared
+//!   Chrome/Perfetto writer, bubble attribution and the metrics registry.
 //! * [`strategy`] — parallel-strategy grid search (Tables 5–8).
 //!
 //! # Examples
@@ -36,6 +38,7 @@ pub use mepipe_schedule as schedule;
 pub use mepipe_sim as sim;
 pub use mepipe_strategy as strategy;
 pub use mepipe_tensor as tensor;
+pub use mepipe_trace as trace;
 pub use mepipe_train as train;
 
 pub use mepipe_core::svpp::{Mepipe, Svpp, SvppConfig};
