@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use criterion::black_box;
-use mepipe_comm::{Backend, TransportConfig};
+use mepipe_comm::{Backend, CodecId, TransportConfig};
 use mepipe_core::svpp::Mepipe;
 use mepipe_hw::LinkSpec;
 use mepipe_model::config::TransformerConfig;
@@ -57,8 +57,17 @@ struct Row {
     recv_wait_s: f64,
 }
 
+/// `--gate`: the perf regression gate `scripts/check.sh` runs. Asserts
+/// (a) socket_uds stays within GATE_RATIO of inproc (best ratio over a
+/// few attempts — interference only ever slows a backend down) and
+/// (b) bf16 codec parity: socket and in-process runs under the bf16
+/// codec produce bit-identical losses. Exits nonzero on failure.
+const GATE_RATIO: f64 = 1.10;
+const GATE_ATTEMPTS: usize = 4;
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let gate = std::env::args().any(|a| a == "--gate");
     let cfg = TransformerConfig {
         seq_len: 64,
         ..TransformerConfig::tiny(4)
@@ -71,14 +80,27 @@ fn main() {
         .collect();
 
     let uds_dir = std::env::temp_dir().join(format!("mepipe-bench-comm-{}", std::process::id()));
+    let uds = |codec: CodecId| {
+        TransportConfig {
+            backend: Backend::Uds(uds_dir.clone()),
+            ..TransportConfig::default()
+        }
+        .with_codec(codec)
+    };
+
+    if gate {
+        run_gate(&cfg, &sch, &batch, &uds(CodecId::F32), &uds(CodecId::Bf16));
+        let _ = std::fs::remove_dir_all(&uds_dir);
+        return;
+    }
+
     let scenarios: Vec<(&'static str, TransportConfig, Option<LinkSpec>)> = vec![
         ("inproc", TransportConfig::in_proc(), None),
+        ("socket_uds", uds(CodecId::F32), None),
+        ("socket_uds_bf16", uds(CodecId::Bf16), None),
         (
-            "socket_uds",
-            TransportConfig {
-                backend: Backend::Uds(uds_dir.clone()),
-                ..TransportConfig::default()
-            },
+            "inproc_bf16",
+            TransportConfig::in_proc().with_codec(CodecId::Bf16),
             None,
         ),
         (
@@ -163,7 +185,7 @@ fn main() {
             ratio_txt
         );
         entries.push(format!(
-            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"recv_wait_s\": {:.6}, \"wire_measured_over_modeled\": {}}}",
+            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"recv_wait_s\": {:.6}, \"payload_precodec_bytes\": {}, \"payload_postcodec_bytes\": {}, \"encode_overlap_s\": {:.6}, \"wire_measured_over_modeled\": {}}}",
             r.name,
             r.secs,
             r.secs / base,
@@ -171,6 +193,9 @@ fn main() {
             total.tx_bytes,
             total.retries,
             r.recv_wait_s,
+            total.payload_bytes_precodec,
+            total.payload_bytes_postcodec,
+            total.encode_overlap_ns as f64 * 1e-9,
             r.ratio.map(|x| format!("{x:.4}")).unwrap_or_else(|| "null".into()),
         ));
     }
@@ -183,4 +208,73 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_comm.json");
     std::fs::write(out, &json).expect("write BENCH_comm.json");
     println!("wrote {out}");
+}
+
+fn run_gate(
+    cfg: &TransformerConfig,
+    sch: &mepipe_schedule::ir::Schedule,
+    batch: &[Vec<usize>],
+    uds_f32: &TransportConfig,
+    uds_bf16: &TransportConfig,
+) {
+    let iterate = |config: TransportConfig| {
+        let rt = PipelineRuntime::new(ModelParams::init(*cfg, 7), STAGES, 1).with_transport(config);
+        move || {
+            rt.run_iteration(sch, batch, WgradMode::DrainOnWait, None)
+                .expect("iteration")
+        }
+    };
+
+    // (a) perf: best ratio over a few attempts beats noise on a busy box.
+    let mut best = f64::INFINITY;
+    for attempt in 1..=GATE_ATTEMPTS {
+        let inproc = time(|| {
+            black_box(iterate(TransportConfig::in_proc())());
+        });
+        let socket = time(|| {
+            black_box(iterate(uds_f32.clone())());
+        });
+        let ratio = socket / inproc;
+        best = best.min(ratio);
+        println!(
+            "gate attempt {attempt}: socket_uds {:.1} ms vs inproc {:.1} ms = {ratio:.3}x (best {best:.3}x)",
+            socket * 1e3,
+            inproc * 1e3
+        );
+        if best <= GATE_RATIO {
+            break;
+        }
+    }
+    assert!(
+        best <= GATE_RATIO,
+        "perf gate FAILED: socket_uds is {best:.3}x inproc (limit {GATE_RATIO}x)"
+    );
+
+    // (b) codec parity: bf16 over the socket matches bf16 in process
+    // bit for bit (the in-process backend round-trips lossy codecs).
+    let socket_bf16 = iterate(uds_bf16.clone())();
+    let inproc_bf16 = iterate(TransportConfig::in_proc().with_codec(CodecId::Bf16))();
+    assert_eq!(
+        socket_bf16.loss.to_bits(),
+        inproc_bf16.loss.to_bits(),
+        "codec parity gate FAILED: bf16 loss differs between socket and inproc"
+    );
+    assert_eq!(
+        socket_bf16.grads.max_abs_diff(&inproc_bf16.grads),
+        0.0,
+        "codec parity gate FAILED: bf16 grads differ between socket and inproc"
+    );
+    let total = socket_bf16
+        .comm
+        .iter()
+        .map(|c| c.total())
+        .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+    assert!(
+        total.payload_bytes_postcodec < total.payload_bytes_precodec,
+        "codec parity gate FAILED: bf16 did not shrink the wire payload"
+    );
+    println!(
+        "gate: perf {best:.3}x <= {GATE_RATIO}x, bf16 parity ok ({} -> {} payload bytes)",
+        total.payload_bytes_precodec, total.payload_bytes_postcodec
+    );
 }

@@ -52,6 +52,29 @@ const REPLICAS: usize = 2;
 const BASELINE_STEP_S: f64 = 0.046215; // 46.2 ms, 21.638 iters/s
 const BASELINE_DP_S: f64 = 0.047852; // 47.9 ms, 20.898 iters/s
 
+/// Pre-wire-path baseline for the multi-process `launch` scenario
+/// (see LAUNCH_ARGS: 4 worker processes over UDS, full wall time
+/// including process spawn, mesh rendezvous, the iteration, and the
+/// in-process reference run), measured at commit `a19b707` — before the
+/// zero-copy wire path: buffer lending, direct-read rx with the
+/// multi-peer sweep, inline sends and the lane-parallel checksum — as
+/// the min over 12 interleaved before/after launches on the same box.
+const BASELINE_LAUNCH_S: f64 = 0.128;
+
+/// The launch scenario: 4 stages on 2 cores is the oversubscribed
+/// regime where rx wake-up latency and per-message overhead dominate.
+const LAUNCH_ARGS: [&str; 9] = [
+    "launch",
+    "--stages",
+    "4",
+    "--seq-len",
+    "64",
+    "--slices",
+    "8",
+    "--micro-batches",
+    "8",
+];
+
 fn bench_cfg() -> TransformerConfig {
     TransformerConfig {
         seq_len: 128,
@@ -229,8 +252,43 @@ fn main() {
         BASELINE_DP_S / t_dp
     );
 
+    // --- Scenario 3: multi-process `launch` — real worker processes
+    // over Unix sockets, full wall time per launch (spawn + rendezvous +
+    // iteration + in-process bit-identity reference). The worker binary
+    // is built by `cargo build --release`; when it is missing (bare
+    // `cargo bench` without a prior build) the row records null. ---
+    let worker_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.parent()?.join("mepipe-worker")))
+        .filter(|p| p.exists());
+    let t_launch = worker_bin.map(|bin| {
+        time(|| {
+            let status = std::process::Command::new(&bin)
+                .args(LAUNCH_ARGS)
+                .stdout(std::process::Stdio::null())
+                .status()
+                .expect("run mepipe-worker launch");
+            assert!(status.success(), "mepipe-worker launch failed");
+        })
+    });
+    match t_launch {
+        Some(t) => println!(
+            "== multi-process launch stages=4 ==\n  {:.1} ms/launch, baseline {:.1} ms -> {:.2}x",
+            t * 1e3,
+            BASELINE_LAUNCH_S * 1e3,
+            BASELINE_LAUNCH_S / t
+        ),
+        None => println!("== multi-process launch skipped (mepipe-worker not built) =="),
+    }
+    let launch_s = t_launch
+        .map(|t| format!("{t:.6}"))
+        .unwrap_or_else(|| "null".into());
+    let launch_speedup = t_launch
+        .map(|t| format!("{:.4}", BASELINE_LAUNCH_S / t))
+        .unwrap_or_else(|| "null".into());
+
     let json = format!(
-        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4},\n    \"launch_s\": {launch_s},\n    \"launch_baseline_s\": {BASELINE_LAUNCH_S:.6},\n    \"launch_speedup\": {launch_speedup}\n  }}\n}}\n",
         cfg.seq_len,
         cfg.layers,
         cfg.hidden,

@@ -1,0 +1,254 @@
+//! Pluggable wire codecs for tensor payloads.
+//!
+//! The frame header carries a one-byte codec id (see [`crate::frame`]),
+//! so each link negotiates its payload representation independently: the
+//! sender encodes with its configured codec and stamps the id, the
+//! receiver dispatches on the stamped id. A receiver that does not know
+//! the id rejects the frame with a typed [`CommError::Version`] — the
+//! same treatment as an unknown frame version, because both mean the two
+//! ends disagree about the wire format.
+//!
+//! Three codecs exist:
+//!
+//! * [`CodecId::F32`] — raw little-endian f32 bit patterns, bit-identical
+//!   round trips, the default. Loss under this codec is provably the
+//!   in-process loss (the backend-equivalence proptests assert it).
+//! * [`CodecId::Bf16`] — truncate-with-round-to-nearest-even to bf16,
+//!   halving payload bytes. Relative error per element is bounded by
+//!   [`mepipe_tensor::BF16_MAX_REL_ERR`] (2^-8) for normal values.
+//! * [`CodecId::Lossy`] — an error-bounded lossy stub reserved for value
+//!   compression experiments (top-k, quantization). It currently rides
+//!   the bf16 representation, so its error bound equals bf16's; the id
+//!   is distinct so old receivers reject rather than misdecode frames
+//!   once the representation diverges.
+//!
+//! Codecs are stateless singletons: [`codec`] maps an id to a
+//! `&'static dyn WireCodec`, which is what the endpoints store.
+
+use mepipe_tensor::{Tensor, WireError};
+
+use crate::error::CommError;
+
+/// Wire identifier of a payload codec (the frame header's codec byte).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CodecId {
+    /// Raw f32 bit patterns: lossless, bit-identical round trips.
+    #[default]
+    F32 = 0,
+    /// bf16 truncation with round-to-nearest-even: half the bytes,
+    /// relative error ≤ 2^-8 per normal element.
+    Bf16 = 1,
+    /// Error-bounded lossy compression stub (currently bf16-backed).
+    Lossy = 2,
+}
+
+impl CodecId {
+    /// The header byte for this codec.
+    pub fn to_wire(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`CodecId::to_wire`].
+    pub fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(CodecId::F32),
+            1 => Some(CodecId::Bf16),
+            2 => Some(CodecId::Lossy),
+            _ => None,
+        }
+    }
+
+    /// Parses the names accepted by CLI flags and scripts.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "f32" => Some(CodecId::F32),
+            "bf16" => Some(CodecId::Bf16),
+            "lossy" => Some(CodecId::Lossy),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (inverse of [`CodecId::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::F32 => "f32",
+            CodecId::Bf16 => "bf16",
+            CodecId::Lossy => "lossy",
+        }
+    }
+}
+
+/// A payload representation for boundary tensors on the wire.
+///
+/// Implementations are stateless and shared (`&'static`); all buffers
+/// come from the caller, which is what lets the lend/recycle send path
+/// encode without allocating.
+pub trait WireCodec: Send + Sync {
+    /// The id stamped into frame headers for payloads of this codec.
+    fn id(&self) -> CodecId;
+
+    /// Exact byte length [`WireCodec::encode_into`] appends for `t`.
+    fn encoded_len(&self, t: &Tensor) -> usize;
+
+    /// Appends the payload encoding of `t` to `out`.
+    fn encode_into(&self, t: &Tensor, out: &mut Vec<u8>);
+
+    /// Decodes one tensor from the front of `bytes`, returning it plus
+    /// bytes consumed. Runs on the stage thread so the output is served
+    /// by the installed arena.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncated or implausible payloads.
+    fn decode(&self, bytes: &[u8]) -> Result<(Tensor, usize), WireError>;
+
+    /// Maximum relative round-trip error for normal values (0 for a
+    /// lossless codec). Documented-bound parity tests assert against
+    /// this value.
+    fn max_rel_err(&self) -> f32;
+}
+
+/// Raw f32 bit patterns (lossless).
+pub struct F32Codec;
+
+impl WireCodec for F32Codec {
+    fn id(&self) -> CodecId {
+        CodecId::F32
+    }
+
+    fn encoded_len(&self, t: &Tensor) -> usize {
+        t.encoded_len()
+    }
+
+    fn encode_into(&self, t: &Tensor, out: &mut Vec<u8>) {
+        t.encode_into(out);
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        Tensor::decode(bytes)
+    }
+
+    fn max_rel_err(&self) -> f32 {
+        0.0
+    }
+}
+
+/// bf16 truncation (round-to-nearest-even).
+pub struct Bf16Codec;
+
+impl WireCodec for Bf16Codec {
+    fn id(&self) -> CodecId {
+        CodecId::Bf16
+    }
+
+    fn encoded_len(&self, t: &Tensor) -> usize {
+        t.encoded_len_bf16()
+    }
+
+    fn encode_into(&self, t: &Tensor, out: &mut Vec<u8>) {
+        t.encode_bf16_into(out);
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        Tensor::decode_bf16(bytes)
+    }
+
+    fn max_rel_err(&self) -> f32 {
+        mepipe_tensor::BF16_MAX_REL_ERR
+    }
+}
+
+/// Error-bounded lossy stub: a distinct wire id that currently reuses
+/// the bf16 representation. Kept separate so future value-compression
+/// schemes can evolve the payload without colliding with real bf16
+/// frames — old receivers reject the unknown evolution typed, instead
+/// of misdecoding it.
+pub struct LossyCodec;
+
+impl WireCodec for LossyCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Lossy
+    }
+
+    fn encoded_len(&self, t: &Tensor) -> usize {
+        t.encoded_len_bf16()
+    }
+
+    fn encode_into(&self, t: &Tensor, out: &mut Vec<u8>) {
+        t.encode_bf16_into(out);
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        Tensor::decode_bf16(bytes)
+    }
+
+    fn max_rel_err(&self) -> f32 {
+        mepipe_tensor::BF16_MAX_REL_ERR
+    }
+}
+
+/// The codec singleton for `id`.
+pub fn codec(id: CodecId) -> &'static dyn WireCodec {
+    match id {
+        CodecId::F32 => &F32Codec,
+        CodecId::Bf16 => &Bf16Codec,
+        CodecId::Lossy => &LossyCodec,
+    }
+}
+
+/// Resolves a header codec byte to its codec, rejecting unknown bytes
+/// with the same typed error as a version mismatch.
+///
+/// # Errors
+///
+/// [`CommError::Version`] when `byte` names no known codec.
+pub fn codec_from_wire(byte: u8) -> Result<&'static dyn WireCodec, CommError> {
+    CodecId::from_wire(byte)
+        .map(codec)
+        .ok_or(CommError::Version {
+            got: byte,
+            want: crate::frame::VERSION,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_the_wire_byte() {
+        for id in [CodecId::F32, CodecId::Bf16, CodecId::Lossy] {
+            assert_eq!(CodecId::from_wire(id.to_wire()), Some(id));
+            assert_eq!(CodecId::parse(id.name()), Some(id));
+            assert_eq!(codec(id).id(), id);
+        }
+        assert_eq!(CodecId::from_wire(0xFF), None);
+        assert!(matches!(
+            codec_from_wire(0xFF),
+            Err(CommError::Version { got: 0xFF, .. })
+        ));
+    }
+
+    #[test]
+    fn f32_codec_is_lossless_and_bf16_is_bounded() {
+        let t = Tensor::from_vec(1, 4, vec![3.15, -2.5e-3, 7.0e8, f32::NAN]);
+        for id in [CodecId::F32, CodecId::Bf16, CodecId::Lossy] {
+            let c = codec(id);
+            let mut buf = Vec::new();
+            c.encode_into(&t, &mut buf);
+            assert_eq!(buf.len(), c.encoded_len(&t));
+            let (back, used) = c.decode(&buf).unwrap();
+            assert_eq!(used, buf.len());
+            for (&a, &b) in t.data().iter().zip(back.data()) {
+                if a.is_nan() {
+                    assert!(b.is_nan());
+                } else if c.max_rel_err() == 0.0 {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                } else {
+                    assert!(((a - b) / a).abs() <= c.max_rel_err());
+                }
+            }
+        }
+    }
+}

@@ -28,18 +28,13 @@ use std::time::{Duration, Instant};
 
 use mepipe_hw::LinkSpec;
 
+use crate::codec::{codec, CodecId};
+use crate::config::CommConfig;
 use crate::error::CommError;
 use crate::frame::{self, FrameKind, HEADER_BYTES};
 use crate::msg::{Packet, StageMsg};
 use crate::stats::CommStats;
 use crate::{Endpoint, Transport};
-
-/// Initial retransmission timeout; doubles per retry up to [`RTO_MAX`].
-const RTO_INITIAL: Duration = Duration::from_millis(20);
-/// Backoff ceiling for the retransmission timeout.
-const RTO_MAX: Duration = Duration::from_secs(1);
-/// Default retransmission budget per message.
-const DEFAULT_MAX_RETRIES: u32 = 16;
 
 /// Deterministic fault-injection plan (all off by default).
 ///
@@ -78,32 +73,47 @@ impl FaultSpec {
 pub struct EmulatedTransport {
     inner: Box<dyn Transport>,
     link: LinkSpec,
-    faults: FaultSpec,
-    max_retries: u32,
+    config: CommConfig,
 }
 
 impl EmulatedTransport {
-    /// Wraps `inner`, emulating every stage-to-stage link as `link`.
+    /// Wraps `inner`, emulating every stage-to-stage link as `link`,
+    /// with default knobs.
     pub fn new(inner: Box<dyn Transport>, link: LinkSpec) -> Self {
+        Self::with_config(inner, link, CommConfig::default())
+    }
+
+    /// Like [`EmulatedTransport::new`] with explicit tuning knobs: wire
+    /// codec, fault plan, retransmission timeouts, and retry budget.
+    pub fn with_config(inner: Box<dyn Transport>, link: LinkSpec, config: CommConfig) -> Self {
         Self {
             inner,
             link,
-            faults: FaultSpec::default(),
-            max_retries: DEFAULT_MAX_RETRIES,
+            config,
         }
     }
 
     /// Sets the fault-injection plan.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build with `EmulatedTransport::with_config` and \
+                `CommConfig::with_faults` instead"
+    )]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
-        self.faults = faults;
+        self.config.faults = faults;
         self
     }
 
     /// Overrides the per-message retransmission budget.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build with `EmulatedTransport::with_config` and \
+                `CommConfig::with_max_retries` instead"
+    )]
     #[must_use]
     pub fn with_max_retries(mut self, n: u32) -> Self {
-        self.max_retries = n;
+        self.config.max_retries = n;
         self
     }
 }
@@ -121,14 +131,18 @@ impl Transport for EmulatedTransport {
             stages,
             inner,
             link: self.link.clone(),
-            faults: self.faults,
-            max_retries: self.max_retries,
-            rng: seed_for_stage(self.faults.seed, stage),
+            codec: self.config.codec,
+            faults: self.config.faults,
+            max_retries: self.config.max_retries,
+            rto_initial: self.config.rto_initial,
+            rto_max: self.config.rto_max,
+            rng: seed_for_stage(self.config.faults.seed, stage),
             tx_attempts: 0,
             next_seq: vec![0; stages],
             acked: vec![0; stages],
             delivered: vec![0; stages],
             pending: VecDeque::new(),
+            frame_buf: Vec::new(),
             stats: CommStats::new(stage, stages),
         }))
     }
@@ -150,8 +164,12 @@ pub struct EmulatedEndpoint {
     stages: usize,
     inner: Box<dyn Endpoint>,
     link: LinkSpec,
+    codec: CodecId,
     faults: FaultSpec,
     max_retries: u32,
+    /// Initial retransmission timeout; doubles per retry up to `rto_max`.
+    rto_initial: Duration,
+    rto_max: Duration,
     rng: u64,
     /// Data transmissions so far (drives `drop_first_n`).
     tx_attempts: u64,
@@ -163,6 +181,9 @@ pub struct EmulatedEndpoint {
     delivered: Vec<u64>,
     /// Messages received while waiting for an ack, in arrival order.
     pending: VecDeque<StageMsg>,
+    /// The current message's encoded frame, retained across the send so
+    /// retransmissions reuse it (encode once, transmit many).
+    frame_buf: Vec<u8>,
     stats: CommStats,
 }
 
@@ -231,10 +252,12 @@ impl EmulatedEndpoint {
                 self.delivered[from] = h.seq;
                 let t0 = Instant::now();
                 let msg = frame::decode_payload(&h, &bytes)?;
+                let n = bytes.len() as u64;
+                self.inner.recycle_rx_buf(bytes);
                 let link = &mut self.stats.links[from];
                 link.deserialize_ns += t0.elapsed().as_nanos() as u64;
                 link.rx_messages += 1;
-                link.rx_bytes += bytes.len() as u64;
+                link.rx_bytes += n;
                 self.pending.push_back(msg);
                 Ok(())
             }
@@ -242,9 +265,13 @@ impl EmulatedEndpoint {
                 if h.seq > self.acked[h.from] {
                     self.acked[h.from] = h.seq;
                 }
+                self.inner.recycle_rx_buf(bytes);
                 Ok(())
             }
-            FrameKind::Bye => Ok(()),
+            FrameKind::Bye => {
+                self.inner.recycle_rx_buf(bytes);
+                Ok(())
+            }
         }
     }
 
@@ -272,7 +299,13 @@ impl EmulatedEndpoint {
             self.stats.links[to].injected_delays += 1;
             std::thread::sleep(Duration::from_micros(self.faults.delay_us));
         }
-        let mut wire = bytes.to_vec();
+        // Each attempt copies the retained frame into a buffer lent by
+        // the inner backend (recycled, not freshly allocated): the
+        // original must survive for retransmission, and the injector
+        // may scribble on this copy.
+        let mut wire = self.inner.lend_tx_buf();
+        wire.clear();
+        wire.extend_from_slice(bytes);
         if self.roll(self.faults.corrupt_permille) && wire.len() > HEADER_BYTES {
             self.stats.links[to].injected_corrupts += 1;
             let last = wire.len() - 1;
@@ -305,38 +338,62 @@ impl Endpoint for EmulatedEndpoint {
         let t0 = Instant::now();
         self.next_seq[to] += 1;
         let seq = self.next_seq[to];
-        let bytes = frame::encode_data(self.stage, seq, &msg);
-        self.stats.links[to].serialize_ns += t0.elapsed().as_nanos() as u64;
-        self.stats.links[to].tx_messages += 1;
+        let mut bytes = std::mem::take(&mut self.frame_buf);
+        frame::encode_data_into(&mut bytes, self.stage, seq, &msg, codec(self.codec));
+        {
+            let link = &mut self.stats.links[to];
+            link.serialize_ns += t0.elapsed().as_nanos() as u64;
+            link.tx_messages += 1;
+            link.payload_bytes_precodec += msg.tensor.encoded_len() as u64;
+            link.payload_bytes_postcodec += (bytes.len() - HEADER_BYTES) as u64;
+        }
 
-        let mut rto = RTO_INITIAL;
+        let mut rto = self.rto_initial;
         let mut attempts: u32 = 0;
-        loop {
+        let result = loop {
             attempts += 1;
-            self.transmit(to, &bytes)?;
+            if let Err(e) = self.transmit(to, &bytes) {
+                break Err(e);
+            }
             // Drain inbound traffic until our ack arrives or RTO expires.
             let wait0 = Instant::now();
             let deadline = wait0 + rto;
+            let mut drain_err = None;
             while self.acked[to] < seq {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                match self.inner.recv_packet(Some(deadline - now))? {
-                    Some(pkt) => self.absorb(pkt)?,
-                    None => break,
+                match self.inner.recv_packet(Some(deadline - now)) {
+                    Ok(Some(pkt)) => {
+                        if let Err(e) = self.absorb(pkt) {
+                            drain_err = Some(e);
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        drain_err = Some(e);
+                        break;
+                    }
                 }
             }
             self.stats.links[to].wire_ns += wait0.elapsed().as_nanos() as u64;
+            if let Some(e) = drain_err {
+                break Err(e);
+            }
             if self.acked[to] >= seq {
-                return Ok(());
+                break Ok(());
             }
             if attempts > self.max_retries {
-                return Err(CommError::Timeout { peer: to, attempts });
+                break Err(CommError::Timeout { peer: to, attempts });
             }
             self.stats.links[to].retries += 1;
-            rto = (rto * 2).min(RTO_MAX);
-        }
+            rto = (rto * 2).min(self.rto_max);
+        };
+        // Keep the encode buffer for the next message (even on failure).
+        self.frame_buf = bytes;
+        result
     }
 
     fn recv(&mut self) -> Result<StageMsg, CommError> {
@@ -375,6 +432,14 @@ impl Endpoint for EmulatedEndpoint {
         self.inner.recv_packet(timeout)
     }
 
+    fn lend_tx_buf(&mut self) -> Vec<u8> {
+        self.inner.lend_tx_buf()
+    }
+
+    fn recycle_rx_buf(&mut self, buf: Vec<u8>) {
+        self.inner.recycle_rx_buf(buf);
+    }
+
     fn stats(&self) -> CommStats {
         self.stats.merged(&self.inner.stats())
     }
@@ -392,11 +457,11 @@ mod tests {
     use mepipe_tensor::Tensor;
 
     fn wrap(stages: usize, faults: FaultSpec) -> EmulatedTransport {
-        EmulatedTransport::new(
+        EmulatedTransport::with_config(
             Box::new(InProcTransport::new(stages, 8)),
             LinkSpec::loopback(),
+            CommConfig::new().with_faults(faults),
         )
-        .with_faults(faults)
     }
 
     fn msg(vals: Vec<f32>) -> StageMsg {
@@ -515,14 +580,16 @@ mod tests {
 
     #[test]
     fn permanent_loss_times_out_with_typed_error() {
-        let t = wrap(
-            2,
-            FaultSpec {
-                drop_permille: 1000,
-                ..FaultSpec::default()
-            },
-        )
-        .with_max_retries(2);
+        let t = EmulatedTransport::with_config(
+            Box::new(InProcTransport::new(2, 8)),
+            LinkSpec::loopback(),
+            CommConfig::new()
+                .with_faults(FaultSpec {
+                    drop_permille: 1000,
+                    ..FaultSpec::default()
+                })
+                .with_max_retries(2),
+        );
         std::thread::scope(|s| {
             let t0 = &t;
             s.spawn(move || {
@@ -536,6 +603,54 @@ mod tests {
             assert!(matches!(err, CommError::Closed { .. }));
             e.close();
         });
+    }
+
+    #[test]
+    fn bf16_codec_survives_retransmission() {
+        // A dropped first transmission forces the retained bf16 frame
+        // through the retransmit path; the delivered tensor must match
+        // a plain bf16 round trip exactly.
+        let t = EmulatedTransport::with_config(
+            Box::new(InProcTransport::new(2, 8)),
+            LinkSpec::loopback(),
+            CommConfig::new()
+                .with_codec(CodecId::Bf16)
+                .with_faults(FaultSpec {
+                    drop_first_n: 1,
+                    ..FaultSpec::default()
+                }),
+        );
+        std::thread::scope(|s| {
+            let t0 = &t;
+            s.spawn(move || {
+                let mut e = t0.endpoint(0).unwrap();
+                e.send(1, msg(vec![1.0, 0.1234, -777.5])).unwrap();
+                let st = e.stats().total();
+                assert!(st.retries >= 1, "retransmission happened");
+                assert!(st.payload_bytes_postcodec < st.payload_bytes_precodec);
+                e.close();
+            });
+            let mut e = t.endpoint(1).unwrap();
+            let m = e.recv().unwrap();
+            let want: Vec<f32> = [1.0f32, 0.1234, -777.5]
+                .iter()
+                .map(|&v| mepipe_tensor::bf16_to_f32(mepipe_tensor::f32_to_bf16(v)))
+                .collect();
+            assert_eq!(m.tensor.data(), &want[..]);
+            e.close();
+        });
+    }
+
+    #[test]
+    fn deprecated_builder_shims_still_build() {
+        #[allow(deprecated)]
+        let t = EmulatedTransport::new(Box::new(InProcTransport::new(2, 8)), LinkSpec::loopback())
+            .with_faults(FaultSpec {
+                drop_first_n: 1,
+                ..FaultSpec::default()
+            })
+            .with_max_retries(3);
+        assert_eq!(t.stages(), 2);
     }
 
     #[test]

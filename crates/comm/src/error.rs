@@ -40,6 +40,16 @@ pub enum CommError {
     Io(String),
     /// A malformed frame or a protocol-state violation.
     Protocol(String),
+    /// The peer speaks a different frame format: its version byte (or
+    /// codec id) is not one this build understands. Distinct from
+    /// [`CommError::Protocol`] so mixed-version deployments fail with an
+    /// actionable error instead of a checksum or parse failure.
+    Version {
+        /// The version or codec byte the peer sent.
+        got: u8,
+        /// The frame version this build speaks.
+        want: u8,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -62,6 +72,12 @@ impl fmt::Display for CommError {
             }
             CommError::Io(e) => write!(f, "transport i/o error: {e}"),
             CommError::Protocol(e) => write!(f, "transport protocol error: {e}"),
+            CommError::Version { got, want } => {
+                write!(
+                    f,
+                    "peer wire format {got} is not the supported version {want}"
+                )
+            }
         }
     }
 }

@@ -5,18 +5,33 @@
 //! ```text
 //! offset  field        type  meaning
 //!      0  magic        u32   0x4D455043 ("MEPC")
-//!      4  version      u8    format version, currently 1
+//!      4  version      u8    format version, currently 2
 //!      5  kind         u8    0 = fwd data, 1 = bwd data, 2 = ack, 3 = bye
 //!      6  from         u8    sending stage
-//!      7  flags        u8    reserved, 0
+//!      7  codec        u8    payload codec id (see [`crate::codec`])
 //!      8  seq          u64   per-link data sequence number (1-based)
 //!     16  mb           u32   micro-batch tag
 //!     20  slice        u32   slice tag
 //!     24  g            u32   destination global position tag
 //!     28  payload_len  u32   tensor payload bytes after the header
-//!     32  checksum     u64   FNV-1a over the payload bytes
-//!     40  payload      ...   [`Tensor`] wire encoding (acks: empty)
+//!     32  checksum     u64   lane-parallel word FNV-1a over the payload
+//!     40  payload      ...   codec-encoded tensor (control frames: empty)
 //! ```
+//!
+//! Version 2 repurposed the reserved flags byte (offset 7) as the codec
+//! id, which is why the version bumped: a v1 receiver would silently
+//! misdecode a bf16 payload as f32. Version (or codec) bytes this build
+//! does not speak are rejected with the typed [`CommError::Version`] —
+//! never a checksum failure, so mixed-version deployments fail with an
+//! actionable error.
+//!
+//! Encoding is scatter-gather in place: [`encode_data_into`] writes the
+//! header with a length/checksum placeholder into the caller's buffer,
+//! appends the codec-encoded payload directly behind it, then patches
+//! the two fields — no intermediate payload vector, no concatenation
+//! copy. Callers lend buffers through `Endpoint::lend_tx_buf` and the
+//! endpoint recycles them after the write, so steady-state sends
+//! allocate nothing.
 //!
 //! The checksum covers the payload only: the emulated fault injector
 //! corrupts payload bytes, and a receiver that sees a checksum mismatch
@@ -25,15 +40,14 @@
 //! length validation instead. On stream transports the frame is preceded
 //! by a `u32` length prefix (see [`crate::socket`]).
 
-use mepipe_tensor::Tensor;
-
+use crate::codec::{codec_from_wire, WireCodec};
 use crate::error::CommError;
 use crate::msg::{MsgKind, StageMsg};
 
 /// Frame magic, "MEPC".
 pub const MAGIC: u32 = 0x4D45_5043;
-/// Current frame format version.
-pub const VERSION: u8 = 1;
+/// Current frame format version (2: flags byte became the codec id).
+pub const VERSION: u8 = 2;
 /// Header length in bytes.
 pub const HEADER_BYTES: usize = 40;
 /// `kind` byte of an ack frame (data frames use [`MsgKind::to_wire`]).
@@ -52,14 +66,53 @@ pub enum FrameKind {
     Bye,
 }
 
-/// FNV-1a 64-bit over a byte slice — the payload checksum.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The payload checksum: FNV-1a run over 8-byte words in four
+/// independent lanes, folded together at the end. Byte-serial FNV is a
+/// multiply-latency chain per *byte*; four word lanes cut that to ~1/30
+/// on multi-KiB payloads, and every payload is hashed twice (sender
+/// stamp, receiver verify), putting the hash squarely on the wire hot
+/// path. Any single corrupted word still flips its lane (xor then
+/// multiply by an odd prime is injective mod 2^64) and therefore the
+/// folded sum. The tail word carries a length tag so truncation into
+/// the zero padding is not silent.
 pub fn checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    let mut lanes = [
+        FNV_BASIS,
+        FNV_BASIS ^ 0x9E37_79B9_7F4A_7C15,
+        FNV_BASIS ^ 0xC2B2_AE3D_27D4_EB4F,
+        FNV_BASIS ^ 0x1656_67B1_9E37_79F9,
+    ];
+    let mut blocks = bytes.chunks_exact(32);
+    for block in blocks.by_ref() {
+        for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+            *lane = lane.wrapping_mul(FNV_PRIME);
+        }
     }
-    h
+    let mut h = lanes[0];
+    for &lane in &lanes[1..] {
+        h ^= lane;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    for word in words.by_ref() {
+        h ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut t = [0u8; 8];
+        t[..tail.len()].copy_from_slice(tail);
+        t[7] = tail.len() as u8;
+        h ^= u64::from_le_bytes(t);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche so short payloads spread across all 64 bits.
+    h ^= h >> 32;
+    h.wrapping_mul(FNV_PRIME)
 }
 
 /// A decoded frame header (payload still raw).
@@ -69,6 +122,9 @@ pub struct Header {
     pub kind: FrameKind,
     /// Sending stage.
     pub from: usize,
+    /// Payload codec id byte (resolved lazily by [`decode_payload`] so
+    /// control frames never need a known codec).
+    pub codec: u8,
     /// Per-link sequence number.
     pub seq: u64,
     /// Micro-batch tag (data frames).
@@ -83,62 +139,81 @@ pub struct Header {
     pub checksum: u64,
 }
 
-/// Encodes a data frame carrying `msg` from stage `from` with link
-/// sequence number `seq`.
-pub fn encode_data(from: usize, seq: u64, msg: &StageMsg) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(msg.tensor.encoded_len());
-    msg.tensor.encode_into(&mut payload);
-    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+/// Encodes a data frame carrying `msg` in place: clears `out`, writes
+/// the header, appends the codec-encoded payload directly behind it and
+/// patches the length/checksum fields. `out` ends up holding the
+/// complete frame, ready for a vectored stream write.
+pub fn encode_data_into(
+    out: &mut Vec<u8>,
+    from: usize,
+    seq: u64,
+    msg: &StageMsg,
+    codec: &dyn WireCodec,
+) {
+    out.clear();
+    out.reserve(HEADER_BYTES + codec.encoded_len(&msg.tensor));
     push_header(
-        &mut out,
+        out,
         msg.kind.to_wire(),
         from,
+        codec.id().to_wire(),
         seq,
         msg.mb,
         msg.slice,
         msg.g,
-        &payload,
     );
-    out.extend_from_slice(&payload);
-    out
+    codec.encode_into(&msg.tensor, out);
+    patch_payload_fields(out);
 }
 
-/// Encodes an ack frame for link sequence `seq` from stage `from`.
-pub fn encode_ack(from: usize, seq: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_BYTES);
-    push_header(&mut out, KIND_ACK, from, seq, 0, 0, 0, &[]);
-    out
+/// Encodes an ack frame for link sequence `seq` from stage `from` into
+/// `out` (cleared first).
+pub fn encode_ack_into(out: &mut Vec<u8>, from: usize, seq: u64) {
+    out.clear();
+    push_header(out, KIND_ACK, from, 0, seq, 0, 0, 0);
+    patch_payload_fields(out);
 }
 
-/// Encodes a goodbye frame from stage `from` (clean shutdown).
-pub fn encode_bye(from: usize) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_BYTES);
-    push_header(&mut out, KIND_BYE, from, 0, 0, 0, 0, &[]);
-    out
+/// Encodes a goodbye frame from stage `from` (clean shutdown) into
+/// `out` (cleared first).
+pub fn encode_bye_into(out: &mut Vec<u8>, from: usize) {
+    out.clear();
+    push_header(out, KIND_BYE, from, 0, 0, 0, 0, 0);
+    patch_payload_fields(out);
 }
 
+/// Writes the fixed header with zeroed payload_len/checksum fields;
+/// [`patch_payload_fields`] fills them once the payload is in place.
 #[allow(clippy::too_many_arguments)]
 fn push_header(
     out: &mut Vec<u8>,
     kind: u8,
     from: usize,
+    codec: u8,
     seq: u64,
     mb: u32,
     slice: u32,
     g: u32,
-    payload: &[u8],
 ) {
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.push(VERSION);
     out.push(kind);
     out.push(u8::try_from(from).expect("stage fits in u8"));
-    out.push(0);
+    out.push(codec);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&mb.to_le_bytes());
     out.extend_from_slice(&slice.to_le_bytes());
     out.extend_from_slice(&g.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(&[0u8; 12]); // payload_len + checksum, patched
+}
+
+/// Stamps the payload length and checksum over the placeholder written
+/// by [`push_header`], after the payload has been appended in place.
+fn patch_payload_fields(out: &mut [u8]) {
+    let payload_len = out.len() - HEADER_BYTES;
+    let sum = checksum(&out[HEADER_BYTES..]);
+    out[28..32].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[32..40].copy_from_slice(&sum.to_le_bytes());
 }
 
 fn le_u32(b: &[u8]) -> u32 {
@@ -153,10 +228,12 @@ fn le_u64(b: &[u8]) -> u64 {
 ///
 /// # Errors
 ///
-/// Returns [`CommError::Protocol`] on any structural mismatch. Checksum
-/// validation is separate ([`payload_intact`]) because a bad checksum is
-/// a *recoverable* condition (refuse to ack, wait for retransmit) while
-/// a bad header is not.
+/// Returns [`CommError::Version`] when the version byte is not ours
+/// (e.g. a pre-codec v1 sender), [`CommError::Protocol`] on any other
+/// structural mismatch. Checksum validation is separate
+/// ([`payload_intact`]) because a bad checksum is a *recoverable*
+/// condition (refuse to ack, wait for retransmit) while a bad header is
+/// not.
 pub fn decode_header(bytes: &[u8]) -> Result<Header, CommError> {
     if bytes.len() < HEADER_BYTES {
         return Err(CommError::Protocol(format!(
@@ -168,10 +245,10 @@ pub fn decode_header(bytes: &[u8]) -> Result<Header, CommError> {
         return Err(CommError::Protocol("bad frame magic".into()));
     }
     if bytes[4] != VERSION {
-        return Err(CommError::Protocol(format!(
-            "unknown frame version {}",
-            bytes[4]
-        )));
+        return Err(CommError::Version {
+            got: bytes[4],
+            want: VERSION,
+        });
     }
     let kind = match bytes[5] {
         KIND_ACK => FrameKind::Ack,
@@ -191,6 +268,7 @@ pub fn decode_header(bytes: &[u8]) -> Result<Header, CommError> {
     Ok(Header {
         kind,
         from: bytes[6] as usize,
+        codec: bytes[7],
         seq: le_u64(&bytes[8..16]),
         mb: le_u32(&bytes[16..20]),
         slice: le_u32(&bytes[20..24]),
@@ -206,18 +284,20 @@ pub fn payload_intact(header: &Header, bytes: &[u8]) -> bool {
 }
 
 /// Decodes the tensor payload of a validated data frame into a
-/// [`StageMsg`]. Call on the receiving *stage* thread so the tensor is
-/// served by its arena.
+/// [`StageMsg`], dispatching on the header's codec id. Call on the
+/// receiving *stage* thread so the tensor is served by its arena.
 ///
 /// # Errors
 ///
-/// Returns [`CommError::Protocol`] if the payload is not a well-formed
-/// tensor encoding or the frame is an ack.
+/// Returns [`CommError::Version`] for an unknown codec id,
+/// [`CommError::Protocol`] if the payload is not a well-formed tensor
+/// encoding or the frame is an ack.
 pub fn decode_payload(header: &Header, bytes: &[u8]) -> Result<StageMsg, CommError> {
     let FrameKind::Data(kind) = header.kind else {
         return Err(CommError::Protocol("control frame has no payload".into()));
     };
-    let (tensor, used) = Tensor::decode(&bytes[HEADER_BYTES..])?;
+    let codec = codec_from_wire(header.codec)?;
+    let (tensor, used) = codec.decode(&bytes[HEADER_BYTES..])?;
     if used != header.payload_len {
         return Err(CommError::Protocol(format!(
             "payload has {} trailing bytes",
@@ -236,6 +316,8 @@ pub fn decode_payload(header: &Header, bytes: &[u8]) -> Result<StageMsg, CommErr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{codec, CodecId};
+    use mepipe_tensor::Tensor;
 
     fn msg() -> StageMsg {
         StageMsg {
@@ -247,11 +329,18 @@ mod tests {
         }
     }
 
+    fn data_frame(codec_id: CodecId) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_data_into(&mut out, 1, 7, &msg(), codec(codec_id));
+        out
+    }
+
     #[test]
     fn data_frame_round_trips() {
-        let bytes = encode_data(1, 7, &msg());
+        let bytes = data_frame(CodecId::F32);
         let h = decode_header(&bytes).unwrap();
         assert_eq!((h.from, h.seq, h.mb, h.slice, h.g), (1, 7, 3, 1, 2));
+        assert_eq!(h.codec, CodecId::F32.to_wire());
         assert!(payload_intact(&h, &bytes));
         let back = decode_payload(&h, &bytes).unwrap();
         assert_eq!(back.kind, MsgKind::Fwd);
@@ -260,29 +349,57 @@ mod tests {
     }
 
     #[test]
+    fn bf16_frame_is_smaller_and_decodes_via_header_codec() {
+        let f32_frame = data_frame(CodecId::F32);
+        let bf16_frame = data_frame(CodecId::Bf16);
+        assert!(bf16_frame.len() < f32_frame.len());
+        let h = decode_header(&bf16_frame).unwrap();
+        assert_eq!(h.codec, CodecId::Bf16.to_wire());
+        let back = decode_payload(&h, &bf16_frame).unwrap();
+        assert_eq!(back.tensor.data()[0], 1.0);
+        assert!(back.tensor.data()[2].is_nan());
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_without_reallocating() {
+        let mut buf = Vec::new();
+        encode_data_into(&mut buf, 0, 1, &msg(), codec(CodecId::F32));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_data_into(&mut buf, 0, 2, &msg(), codec(CodecId::F32));
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr, "second encode reused the allocation");
+    }
+
+    #[test]
     fn ack_and_bye_frames_round_trip() {
-        let bytes = encode_ack(2, 41);
+        let mut bytes = Vec::new();
+        encode_ack_into(&mut bytes, 2, 41);
         let h = decode_header(&bytes).unwrap();
         assert_eq!(h.kind, FrameKind::Ack);
         assert_eq!((h.from, h.seq), (2, 41));
         assert!(payload_intact(&h, &bytes));
-        let bye = decode_header(&encode_bye(3)).unwrap();
+        let mut bye_bytes = Vec::new();
+        encode_bye_into(&mut bye_bytes, 3);
+        let bye = decode_header(&bye_bytes).unwrap();
         assert_eq!(bye.kind, FrameKind::Bye);
         assert_eq!(bye.from, 3);
     }
 
     #[test]
     fn corrupt_payload_fails_checksum_not_header() {
-        let mut bytes = encode_data(0, 1, &msg());
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xFF;
-        let h = decode_header(&bytes).unwrap();
-        assert!(!payload_intact(&h, &bytes));
+        for codec_id in [CodecId::F32, CodecId::Bf16] {
+            let mut bytes = data_frame(codec_id);
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xFF;
+            let h = decode_header(&bytes).unwrap();
+            assert!(!payload_intact(&h, &bytes));
+        }
     }
 
     #[test]
     fn structural_damage_is_a_protocol_error() {
-        let bytes = encode_data(0, 1, &msg());
+        let bytes = data_frame(CodecId::F32);
         assert!(decode_header(&bytes[..HEADER_BYTES - 1]).is_err());
         let mut bad_magic = bytes.clone();
         bad_magic[0] ^= 1;
@@ -290,5 +407,29 @@ mod tests {
         let mut bad_len = bytes;
         bad_len.pop();
         assert!(decode_header(&bad_len).is_err());
+    }
+
+    #[test]
+    fn old_version_frames_are_rejected_typed() {
+        let mut bytes = data_frame(CodecId::F32);
+        bytes[4] = 1; // a v1 sender
+        assert!(matches!(
+            decode_header(&bytes),
+            Err(CommError::Version {
+                got: 1,
+                want: VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_codec_is_rejected_typed_at_decode() {
+        let mut bytes = data_frame(CodecId::F32);
+        bytes[7] = 0x7E; // unknown codec id; header still parses
+        let h = decode_header(&bytes).unwrap();
+        assert!(matches!(
+            decode_payload(&h, &bytes),
+            Err(CommError::Version { got: 0x7E, .. })
+        ));
     }
 }

@@ -22,15 +22,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::codec::{codec, CodecId, WireCodec};
+use crate::config::CommConfig;
 use crate::error::CommError;
 use crate::frame::HEADER_BYTES;
 use crate::msg::{Packet, StageMsg};
 use crate::stats::CommStats;
 use crate::{Endpoint, Transport};
 
-/// How long a send may stall on credits before it fails with
-/// [`CommError::Backpressure`] — a liveness backstop, not a tuning knob.
-const SEND_DEADLINE: Duration = Duration::from_secs(60);
 /// Condvar re-check period while blocked (bounds reaction time to the
 /// abort flag and peer closures).
 const POLL: Duration = Duration::from_millis(50);
@@ -55,6 +54,12 @@ struct Shared {
     /// Per-stage clean-close flags (recv gives up when all peers closed).
     closed: Vec<AtomicBool>,
     capacity: usize,
+    /// Recycled frame buffers shared by every endpoint: a wrapping
+    /// emulated layer lends from here (`lend_tx_buf`), the receiving
+    /// side returns consumed frames (`recycle_rx_buf`), so frame bytes
+    /// circulate instead of being reallocated per transmission.
+    buf_pool: Mutex<Vec<Vec<u8>>>,
+    buf_pool_cap: usize,
 }
 
 impl Shared {
@@ -69,13 +74,22 @@ impl Shared {
 /// The in-process transport: one bounded inbox per stage.
 pub struct InProcTransport {
     shared: Arc<Shared>,
+    config: CommConfig,
     taken: Mutex<Vec<bool>>,
 }
 
 impl InProcTransport {
     /// Creates a transport for `stages` endpoints with `capacity` data
-    /// credits per directed link (clamped to at least 1).
+    /// credits per directed link (clamped to at least 1), default knobs.
     pub fn new(stages: usize, capacity: usize) -> Self {
+        Self::with_config(stages, capacity, CommConfig::default())
+    }
+
+    /// Like [`InProcTransport::new`] with explicit tuning knobs: the
+    /// codec (applied as an in-memory round trip so results match the
+    /// serializing backends bit-for-bit under lossy codecs), the send
+    /// deadline, and the recycle-pool size.
+    pub fn with_config(stages: usize, capacity: usize, config: CommConfig) -> Self {
         let inboxes = (0..stages)
             .map(|_| {
                 Arc::new(Inbox {
@@ -95,7 +109,10 @@ impl InProcTransport {
                 abort: AtomicBool::new(false),
                 closed: (0..stages).map(|_| AtomicBool::new(false)).collect(),
                 capacity: capacity.max(1),
+                buf_pool: Mutex::new(Vec::new()),
+                buf_pool_cap: config.rx_pool,
             }),
+            config,
             taken: Mutex::new(vec![false; stages]),
         }
     }
@@ -127,6 +144,9 @@ impl Transport for InProcTransport {
         Ok(Box::new(InProcEndpoint {
             stage,
             shared: Arc::clone(&self.shared),
+            codec: self.config.codec,
+            send_deadline: self.config.send_deadline,
+            scratch: Vec::new(),
             stats: CommStats::new(stage, self.shared.inboxes.len()),
             closed: false,
         }))
@@ -137,6 +157,10 @@ impl Transport for InProcTransport {
 pub struct InProcEndpoint {
     stage: usize,
     shared: Arc<Shared>,
+    codec: CodecId,
+    send_deadline: Duration,
+    /// Reused encode buffer for the lossy-codec round trip.
+    scratch: Vec<u8>,
     stats: CommStats,
     closed: bool,
 }
@@ -150,10 +174,33 @@ impl InProcEndpoint {
         }
     }
 
-    /// Approximate wire size of a typed message, so in-process byte
-    /// counters are comparable with serializing backends.
-    fn msg_wire_bytes(msg: &StageMsg) -> u64 {
-        (HEADER_BYTES + msg.tensor.encoded_len()) as u64
+    fn wire_codec(&self) -> &'static dyn WireCodec {
+        codec(self.codec)
+    }
+
+    /// Approximate wire size of a typed message under this endpoint's
+    /// codec, so in-process byte counters are comparable with the
+    /// serializing backends.
+    fn msg_wire_bytes(&self, msg: &StageMsg) -> u64 {
+        (HEADER_BYTES + self.wire_codec().encoded_len(&msg.tensor)) as u64
+    }
+
+    /// Applies the codec's loss to `msg` in memory (encode + decode) so
+    /// typed in-process delivery matches what a serializing backend
+    /// would hand the receiver bit-for-bit. The f32 codec is lossless,
+    /// so its round trip is skipped entirely.
+    fn apply_codec(&mut self, msg: &mut StageMsg) -> Result<(), CommError> {
+        if self.codec == CodecId::F32 {
+            return Ok(());
+        }
+        let c = self.wire_codec();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        c.encode_into(&msg.tensor, &mut scratch);
+        let (tensor, _) = c.decode(&scratch)?;
+        msg.tensor = tensor;
+        self.scratch = scratch;
+        Ok(())
     }
 }
 
@@ -167,7 +214,12 @@ impl Endpoint for InProcEndpoint {
     }
 
     fn send(&mut self, to: usize, msg: StageMsg) -> Result<(), CommError> {
-        let bytes = Self::msg_wire_bytes(&msg);
+        let mut msg = msg;
+        let precodec = msg.tensor.encoded_len() as u64;
+        let t0 = Instant::now();
+        self.apply_codec(&mut msg)?;
+        let codec_ns = t0.elapsed().as_nanos() as u64;
+        let bytes = self.msg_wire_bytes(&msg);
         self.send_packet(
             to,
             Packet::Msg {
@@ -178,6 +230,9 @@ impl Endpoint for InProcEndpoint {
         let link = &mut self.stats.links[to];
         link.tx_messages += 1;
         link.tx_bytes += bytes;
+        link.serialize_ns += codec_ns;
+        link.payload_bytes_precodec += precodec;
+        link.payload_bytes_postcodec += bytes - HEADER_BYTES as u64;
         Ok(())
     }
 
@@ -186,9 +241,10 @@ impl Endpoint for InProcEndpoint {
         loop {
             match self.recv_packet(None)? {
                 Some(Packet::Msg { from, msg }) => {
+                    let bytes = self.msg_wire_bytes(&msg);
                     let link = &mut self.stats.links[from];
                     link.rx_messages += 1;
-                    link.rx_bytes += Self::msg_wire_bytes(&msg);
+                    link.rx_bytes += bytes;
                     self.stats.recv_wait_ns += t0.elapsed().as_nanos() as u64;
                     return Ok(msg);
                 }
@@ -204,9 +260,10 @@ impl Endpoint for InProcEndpoint {
         loop {
             match self.recv_packet(Some(Duration::ZERO))? {
                 Some(Packet::Msg { from, msg }) => {
+                    let bytes = self.msg_wire_bytes(&msg);
                     let link = &mut self.stats.links[from];
                     link.rx_messages += 1;
-                    link.rx_bytes += Self::msg_wire_bytes(&msg);
+                    link.rx_bytes += bytes;
                     return Ok(Some(msg));
                 }
                 Some(_) => {}
@@ -226,7 +283,7 @@ impl Endpoint for InProcEndpoint {
             && slot.credits_used[self.stage] >= self.shared.capacity
             && !self.shared.abort.load(Ordering::Acquire)
         {
-            if start.elapsed() > SEND_DEADLINE {
+            if start.elapsed() > self.send_deadline {
                 self.stats.links[to].send_stall_ns += start.elapsed().as_nanos() as u64;
                 return Err(CommError::Backpressure { peer: to });
             }
@@ -287,6 +344,23 @@ impl Endpoint for InProcEndpoint {
                 .wait_timeout(slot, wait)
                 .expect("inbox lock")
                 .0;
+        }
+    }
+
+    fn lend_tx_buf(&mut self) -> Vec<u8> {
+        self.shared
+            .buf_pool
+            .lock()
+            .expect("buf pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn recycle_rx_buf(&mut self, mut buf: Vec<u8>) {
+        let mut pool = self.shared.buf_pool.lock().expect("buf pool lock");
+        if pool.len() < self.shared.buf_pool_cap {
+            buf.clear();
+            pool.push(buf);
         }
     }
 

@@ -19,7 +19,17 @@
 //! The layering works because endpoints expose two levels: the typed
 //! [`Endpoint::send`]/[`Endpoint::recv`] used by the runtime, and the
 //! packet-level [`Endpoint::send_packet`]/[`Endpoint::recv_packet`] that
-//! wrappers use to move raw frames through the inner backend.
+//! wrappers use to move raw frames through the inner backend. The wire
+//! path is zero-copy by construction: senders lend a recycled buffer
+//! ([`Endpoint::lend_tx_buf`]), encode the frame in place
+//! ([`frame::encode_data_into`] — header and codec-encoded payload in
+//! one buffer, no concatenation) and hand it back with
+//! [`Endpoint::send_frame`]; receivers recycle consumed frame buffers
+//! through [`Endpoint::recycle_rx_buf`]. Payloads travel in the wire
+//! codec negotiated per link ([`codec`] — raw f32 by default, bf16 to
+//! halve the bytes), and the socket backend double-buffers sends on an
+//! async writer so encoding microbatch *k+1* overlaps the wire time of
+//! *k*. Backend tuning lives in the builder-style [`CommConfig`].
 //!
 //! Every backend reports uniform per-link counters ([`CommStats`]):
 //! bytes, messages, serialize/deserialize time, send stalls, queue wait,
@@ -31,6 +41,8 @@
 //! *without* closing (process crash, dirty drop) fails every blocked
 //! operation in the transport promptly instead of hanging.
 
+pub mod codec;
+pub mod config;
 pub mod emulated;
 pub mod error;
 pub mod frame;
@@ -42,6 +54,8 @@ pub mod stats;
 use std::path::PathBuf;
 use std::time::Duration;
 
+pub use codec::{codec, Bf16Codec, CodecId, F32Codec, LossyCodec, WireCodec};
+pub use config::CommConfig;
 pub use emulated::{EmulatedTransport, FaultSpec};
 pub use error::CommError;
 pub use inproc::InProcTransport;
@@ -126,6 +140,33 @@ pub trait Endpoint: Send {
     /// [`CommError::Closed`] when the fabric is finished or a peer died.
     fn recv_packet(&mut self, timeout: Option<Duration>) -> Result<Option<Packet>, CommError>;
 
+    /// Lends a cleared transmit buffer to encode a frame into. Backends
+    /// with a recycle pool hand back a previously sent buffer (so
+    /// steady-state sends allocate nothing); the default mints a fresh
+    /// one. Pass the filled buffer to [`Endpoint::send_frame`], which
+    /// reclaims it.
+    fn lend_tx_buf(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Sends a complete encoded frame to stage `to`, consuming `frame`
+    /// back into the lend pool once it has been written (or queued on an
+    /// async writer). This is the zero-copy path wrapping layers use:
+    /// `lend_tx_buf` → `frame::encode_*_into` → `send_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Endpoint::send`].
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), CommError> {
+        let from = self.stage();
+        self.send_packet(to, Packet::Frame { from, bytes: frame })
+    }
+
+    /// Returns a consumed receive buffer to the endpoint's recycle pool
+    /// so the reading side can reuse it instead of allocating. No-op by
+    /// default.
+    fn recycle_rx_buf(&mut self, _buf: Vec<u8>) {}
+
     /// Snapshot of this endpoint's counters.
     fn stats(&self) -> CommStats;
 
@@ -161,6 +202,9 @@ pub struct TransportConfig {
     /// Fault-injection plan (only meaningful with emulation; a default
     /// spec injects nothing).
     pub faults: FaultSpec,
+    /// Backend tuning knobs (codec, buffer depths, timeouts). The fault
+    /// plan in `faults` takes precedence over `comm.faults`.
+    pub comm: CommConfig,
 }
 
 impl TransportConfig {
@@ -185,6 +229,20 @@ impl TransportConfig {
         if self.link.is_none() {
             self.link = Some(LinkSpec::loopback());
         }
+        self
+    }
+
+    /// Sets the wire codec for every link of the transport.
+    #[must_use]
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.comm.codec = codec;
+        self
+    }
+
+    /// Replaces the backend tuning knobs wholesale.
+    #[must_use]
+    pub fn with_comm(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
         self
     }
 
@@ -213,16 +271,30 @@ pub fn build_transport(
     } else {
         config.capacity
     };
+    // The dedicated faults field wins over whatever the knob struct
+    // carries, preserving the pre-CommConfig behaviour of
+    // `TransportConfig::with_faults`.
+    let comm = if config.faults.is_active() {
+        config.comm.clone().with_faults(config.faults)
+    } else {
+        config.comm.clone()
+    };
     let base: Box<dyn Transport> = match &config.backend {
-        Backend::InProc => Box::new(InProcTransport::new(stages, capacity)),
-        Backend::Uds(dir) => Box::new(SocketTransport::new(SocketMode::Uds(dir.clone()), stages)),
-        Backend::Tcp(port) => Box::new(SocketTransport::new(SocketMode::Tcp(*port), stages)),
+        Backend::InProc => Box::new(InProcTransport::with_config(stages, capacity, comm.clone())),
+        Backend::Uds(dir) => Box::new(SocketTransport::with_config(
+            SocketMode::Uds(dir.clone()),
+            stages,
+            comm.clone(),
+        )),
+        Backend::Tcp(port) => Box::new(SocketTransport::with_config(
+            SocketMode::Tcp(*port),
+            stages,
+            comm.clone(),
+        )),
     };
     if config.emulated() {
         let link = config.link.clone().unwrap_or_else(LinkSpec::loopback);
-        Ok(Box::new(
-            EmulatedTransport::new(base, link).with_faults(config.faults),
-        ))
+        Ok(Box::new(EmulatedTransport::with_config(base, link, comm)))
     } else {
         Ok(base)
     }

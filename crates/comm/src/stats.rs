@@ -39,6 +39,16 @@ pub struct LinkStats {
     pub injected_delays: u64,
     /// Frames this endpoint refused to ack because the checksum failed.
     pub rejected_checksums: u64,
+    /// Tensor payload bytes before the wire codec ran (raw f32 size).
+    pub payload_bytes_precodec: u64,
+    /// Tensor payload bytes after the wire codec ran (what actually hit
+    /// the wire). Equal to `payload_bytes_precodec` under the f32 codec;
+    /// roughly half under bf16.
+    pub payload_bytes_postcodec: u64,
+    /// Serialization time that overlapped an in-flight wire write
+    /// (double-buffered sends encoding frame k+1 while frame k is on the
+    /// wire), nanoseconds. A subset of `serialize_ns`.
+    pub encode_overlap_ns: u64,
 }
 
 impl LinkStats {
@@ -60,6 +70,9 @@ impl LinkStats {
             injected_corrupts: self.injected_corrupts + o.injected_corrupts,
             injected_delays: self.injected_delays + o.injected_delays,
             rejected_checksums: self.rejected_checksums + o.rejected_checksums,
+            payload_bytes_precodec: self.payload_bytes_precodec + o.payload_bytes_precodec,
+            payload_bytes_postcodec: self.payload_bytes_postcodec + o.payload_bytes_postcodec,
+            encode_overlap_ns: self.encode_overlap_ns + o.encode_overlap_ns,
         }
     }
 }

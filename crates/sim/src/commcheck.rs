@@ -30,6 +30,11 @@ pub struct LinkCheck {
     pub tx_messages: u64,
     /// Bytes transmitted (including retransmissions).
     pub tx_bytes: u64,
+    /// Tensor payload bytes before wire-codec encoding.
+    pub payload_bytes_precodec: u64,
+    /// Tensor payload bytes after wire-codec encoding (what the wire
+    /// actually carried).
+    pub payload_bytes_postcodec: u64,
     /// What the emulator actually spent on the wire, seconds.
     pub measured_s: f64,
     /// What the alpha-beta model predicts for the same traffic, seconds.
@@ -40,6 +45,13 @@ impl LinkCheck {
     /// measured / modeled; `NaN` when the model predicts zero time.
     pub fn ratio(&self) -> f64 {
         self.measured_s / self.modeled_s
+    }
+
+    /// postcodec / precodec payload bytes: 1.0 for the f32 codec, ~0.5
+    /// for bf16. `None` when the link carried no payload.
+    pub fn compression(&self) -> Option<f64> {
+        (self.payload_bytes_precodec > 0)
+            .then(|| self.payload_bytes_postcodec as f64 / self.payload_bytes_precodec as f64)
     }
 }
 
@@ -74,6 +86,8 @@ impl CommCheckReport {
                     peer,
                     tx_messages: ls.tx_messages,
                     tx_bytes: ls.tx_bytes,
+                    payload_bytes_precodec: ls.payload_bytes_precodec,
+                    payload_bytes_postcodec: ls.payload_bytes_postcodec,
                     measured_s: ls.wire_ns as f64 * 1e-9,
                     modeled_s,
                 });
@@ -120,8 +134,12 @@ impl CommCheckReport {
             self.ratio()
         );
         for l in &self.links {
+            let codec_txt = l
+                .compression()
+                .map(|c| format!(", codec {c:.2}x"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "  {} -> {}: {} msgs, {} bytes, measured {:.3} ms, modeled {:.3} ms ({:.2}x)\n",
+                "  {} -> {}: {} msgs, {} bytes{codec_txt}, measured {:.3} ms, modeled {:.3} ms ({:.2}x)\n",
                 l.stage,
                 l.peer,
                 l.tx_messages,
@@ -195,6 +213,9 @@ mod tests {
         // Sanity on the render path.
         assert!(report.render().contains("test-slow"));
         assert!(report.ratio() >= 1.0);
+        // The default f32 codec is 1:1 on the wire.
+        assert_eq!(l.compression(), Some(1.0));
+        assert!(report.render().contains("codec 1.00x"));
     }
 
     #[test]

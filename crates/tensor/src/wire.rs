@@ -74,10 +74,77 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Floats converted per stack-buffered block during bulk encode/decode,
+/// so the hot loops run over fixed-size arrays the compiler can unroll
+/// and vectorize without any `unsafe` transmutes.
+const BLOCK: usize = 256;
+
+/// Converts an `f32` to bf16 bits (round-to-nearest-even).
+///
+/// bf16 keeps f32's sign and 8-bit exponent and truncates the mantissa
+/// to 7 stored bits, so every normal value round-trips within a relative
+/// error of 2^-8 ([`BF16_MAX_REL_ERR`]). NaNs stay NaN (a mantissa bit is
+/// forced so rounding cannot quiet one into an infinity), infinities and
+/// signed zeros are exact, and finite values whose rounding overflows the
+/// largest bf16 normal map to the same-signed infinity.
+pub fn f32_to_bf16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    (bits.wrapping_add(0x7FFF + lsb) >> 16) as u16
+}
+
+/// Inverse of [`f32_to_bf16`]: widens bf16 bits back to `f32` exactly
+/// (every bf16 value is representable in f32, so this direction is
+/// lossless).
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits(u32::from(b) << 16)
+}
+
+/// Relative round-trip error bound of [`f32_to_bf16`] for normal values:
+/// half an ULP of bf16's 8-bit effective mantissa. Subnormal values
+/// (magnitude below ~1.2e-38) can lose all precision and are bounded
+/// only in absolute terms by the smallest bf16 subnormal step.
+pub const BF16_MAX_REL_ERR: f32 = 1.0 / 256.0;
+
+fn decode_shape(bytes: &[u8], elem_bytes: usize) -> Result<(usize, usize, usize), WireError> {
+    if bytes.len() < WIRE_HEADER_BYTES {
+        return Err(WireError::TruncatedHeader);
+    }
+    let rows = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+    let cols = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as u64;
+    if rows.saturating_mul(cols) > MAX_ELEMS {
+        return Err(WireError::ImplausibleShape { rows, cols });
+    }
+    let need = (rows * cols) as usize * elem_bytes;
+    let payload = &bytes[WIRE_HEADER_BYTES..];
+    if payload.len() < need {
+        return Err(WireError::TruncatedPayload {
+            expected: need,
+            got: payload.len(),
+        });
+    }
+    Ok((rows as usize, cols as usize, need))
+}
+
+fn push_shape(out: &mut Vec<u8>, t: &Tensor) {
+    let rows = u32::try_from(t.rows()).expect("rows fit in u32");
+    let cols = u32::try_from(t.cols()).expect("cols fit in u32");
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&cols.to_le_bytes());
+}
+
 impl Tensor {
     /// Number of bytes [`Tensor::encode_into`] appends for this tensor.
     pub fn encoded_len(&self) -> usize {
         WIRE_HEADER_BYTES + self.len() * 4
+    }
+
+    /// Number of bytes [`Tensor::encode_bf16_into`] appends.
+    pub fn encoded_len_bf16(&self) -> usize {
+        WIRE_HEADER_BYTES + self.len() * 2
     }
 
     /// Appends the wire encoding (`rows u32 LE, cols u32 LE, payload f32
@@ -88,13 +155,33 @@ impl Tensor {
     /// Panics if a dimension exceeds `u32::MAX` (no real tensor here is
     /// within orders of magnitude of that).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let rows = u32::try_from(self.rows()).expect("rows fit in u32");
-        let cols = u32::try_from(self.cols()).expect("cols fit in u32");
         out.reserve(self.encoded_len());
-        out.extend_from_slice(&rows.to_le_bytes());
-        out.extend_from_slice(&cols.to_le_bytes());
-        for &v in self.data() {
-            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        push_shape(out, self);
+        let mut block = [0u8; BLOCK * 4];
+        for chunk in self.data().chunks(BLOCK) {
+            for (dst, &v) in block.chunks_exact_mut(4).zip(chunk) {
+                dst.copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+            out.extend_from_slice(&block[..chunk.len() * 4]);
+        }
+    }
+
+    /// Appends the bf16 wire encoding (`rows u32 LE, cols u32 LE, payload
+    /// bf16 LE bit patterns`) to `out` — half the payload bytes of
+    /// [`Tensor::encode_into`], lossy per [`f32_to_bf16`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u32::MAX`.
+    pub fn encode_bf16_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len_bf16());
+        push_shape(out, self);
+        let mut block = [0u8; BLOCK * 2];
+        for chunk in self.data().chunks(BLOCK) {
+            for (dst, &v) in block.chunks_exact_mut(2).zip(chunk) {
+                dst.copy_from_slice(&f32_to_bf16(v).to_le_bytes());
+            }
+            out.extend_from_slice(&block[..chunk.len() * 2]);
         }
     }
 
@@ -107,26 +194,40 @@ impl Tensor {
     /// Returns a [`WireError`] when the buffer is truncated or the shape
     /// header is implausible; `bytes` is never panicked over.
     pub fn decode(bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
-        if bytes.len() < WIRE_HEADER_BYTES {
-            return Err(WireError::TruncatedHeader);
+        let (rows, cols, need) = decode_shape(bytes, 4)?;
+        let payload = &bytes[WIRE_HEADER_BYTES..WIRE_HEADER_BYTES + need];
+        let mut t = Tensor::uninit(rows, cols);
+        for (dst, src) in t
+            .data_mut()
+            .chunks_mut(BLOCK)
+            .zip(payload.chunks(BLOCK * 4))
+        {
+            for (d, s) in dst.iter_mut().zip(src.chunks_exact(4)) {
+                *d = f32::from_bits(u32::from_le_bytes(s.try_into().unwrap()));
+            }
         }
-        let rows = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
-        let cols = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as u64;
-        if rows.saturating_mul(cols) > MAX_ELEMS {
-            return Err(WireError::ImplausibleShape { rows, cols });
-        }
-        let n = (rows * cols) as usize;
-        let need = n * 4;
-        let payload = &bytes[WIRE_HEADER_BYTES..];
-        if payload.len() < need {
-            return Err(WireError::TruncatedPayload {
-                expected: need,
-                got: payload.len(),
-            });
-        }
-        let mut t = Tensor::uninit(rows as usize, cols as usize);
-        for (dst, src) in t.data_mut().iter_mut().zip(payload.chunks_exact(4)) {
-            *dst = f32::from_bits(u32::from_le_bytes(src.try_into().unwrap()));
+        Ok((t, WIRE_HEADER_BYTES + need))
+    }
+
+    /// Decodes a bf16-encoded tensor from the front of `bytes` (the
+    /// [`Tensor::encode_bf16_into`] format), widening each element back
+    /// to `f32`. The output buffer is served by the installed arena.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::decode`].
+    pub fn decode_bf16(bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        let (rows, cols, need) = decode_shape(bytes, 2)?;
+        let payload = &bytes[WIRE_HEADER_BYTES..WIRE_HEADER_BYTES + need];
+        let mut t = Tensor::uninit(rows, cols);
+        for (dst, src) in t
+            .data_mut()
+            .chunks_mut(BLOCK)
+            .zip(payload.chunks(BLOCK * 2))
+        {
+            for (d, s) in dst.iter_mut().zip(src.chunks_exact(2)) {
+                *d = bf16_to_f32(u16::from_le_bytes(s.try_into().unwrap()));
+            }
         }
         Ok((t, WIRE_HEADER_BYTES + need))
     }
@@ -183,6 +284,62 @@ mod tests {
             Tensor::decode(&buf),
             Err(WireError::ImplausibleShape { .. })
         ));
+    }
+
+    #[test]
+    fn bf16_round_trip_is_within_bound() {
+        let t = Tensor::from_vec(
+            2,
+            4,
+            vec![
+                1.5,
+                -0.0,
+                f32::NAN,
+                f32::INFINITY,
+                -3.25e7,
+                1e-20,
+                0.1,
+                -65504.0,
+            ],
+        );
+        let mut buf = Vec::new();
+        t.encode_bf16_into(&mut buf);
+        assert_eq!(buf.len(), t.encoded_len_bf16());
+        let (back, used) = Tensor::decode_bf16(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        for (&a, &b) in t.data().iter().zip(back.data()) {
+            if a.is_nan() {
+                assert!(b.is_nan());
+            } else if a.is_infinite() || a == 0.0 {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                assert!(((a - b) / a).abs() <= BF16_MAX_REL_ERR, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 sits exactly halfway between bf16(1.0) and the next
+        // bf16 up (ULP 2^-7); ties-to-even keeps the even mantissa (1.0).
+        let tie = 1.0f32 + 1.0 / 256.0;
+        assert_eq!(bf16_to_f32(f32_to_bf16(tie)), 1.0);
+        // Just above the tie rounds up to the next bf16.
+        let above_tie = f32::from_bits(tie.to_bits() + 1);
+        assert_eq!(bf16_to_f32(f32_to_bf16(above_tie)), 1.0078125);
+        // Overflow near f32::MAX saturates to infinity, sign preserved.
+        assert_eq!(f32_to_bf16(f32::MAX), f32_to_bf16(f32::INFINITY));
+        assert!(bf16_to_f32(f32_to_bf16(-f32::MAX)).is_infinite());
+    }
+
+    #[test]
+    fn bf16_truncation_is_rejected_at_every_length() {
+        let t = Tensor::from_vec(3, 3, (0..9).map(|x| x as f32).collect());
+        let mut buf = Vec::new();
+        t.encode_bf16_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Tensor::decode_bf16(&buf[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@
 //!   writes a single Chrome/Perfetto JSON to `F`, validated to hold one
 //!   compute track per stage. `--metrics-out F` writes the reference
 //!   run's metrics registry (`.prom` extension selects Prometheus text,
-//!   anything else JSON).
+//!   anything else JSON). `--codec {f32,bf16,lossy}` selects the wire
+//!   codec on every link; the in-process reference applies the same
+//!   codec, so the bit-identity check holds for lossy codecs too.
 //! * `trace-report [opts]` — the full measured-vs-modeled loop in one
 //!   command: run one traced iteration in-process, profile the same
 //!   model, simulate the same schedule, and write measured trace,
@@ -40,7 +42,9 @@
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 
-use mepipe_comm::{FaultSpec, SocketMode, SocketTransport, Transport, TransportConfig};
+use mepipe_comm::{
+    CodecId, CommConfig, FaultSpec, SocketMode, SocketTransport, Transport, TransportConfig,
+};
 use mepipe_core::svpp::Mepipe;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
@@ -65,6 +69,7 @@ struct Scenario {
     layers: usize,
     seed: u64,
     mode: WgradMode,
+    codec: CodecId,
 }
 
 impl Scenario {
@@ -112,6 +117,8 @@ impl Scenario {
                 WgradMode::AtWeightOp => "at-weight-op".into(),
                 WgradMode::DrainOnWait => "drain".into(),
             },
+            "--codec".into(),
+            self.codec.name().into(),
         ]
     }
 }
@@ -134,6 +141,7 @@ fn parse_args(rest: &[String]) -> Args {
         layers: 4,
         seed: 7,
         mode: WgradMode::DrainOnWait,
+        codec: CodecId::F32,
     };
     let mut stage = None;
     let mut dir = std::env::temp_dir().join(format!("mepipe-mesh-{}", std::process::id()));
@@ -166,6 +174,11 @@ fn parse_args(rest: &[String]) -> Args {
                     "drain" => WgradMode::DrainOnWait,
                     m => panic!("unknown --mode {m}"),
                 }
+            }
+            "--codec" => {
+                let v = value();
+                scenario.codec = CodecId::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown --codec {v} (expected f32|bf16|lossy)"));
             }
             f => panic!("unknown flag {f}"),
         }
@@ -301,7 +314,11 @@ fn run_worker(args: &Args) {
     let rt = sc.runtime().with_tracing(args.trace_out.is_some());
     let schedule = sc.schedule();
     let batch = sc.batch();
-    let transport = SocketTransport::new(SocketMode::Uds(args.dir.clone()), sc.stages);
+    let transport = SocketTransport::with_config(
+        SocketMode::Uds(args.dir.clone()),
+        sc.stages,
+        CommConfig::new().with_codec(sc.codec),
+    );
     let ep = transport.endpoint(stage).expect("claim stage endpoint");
     let out = rt
         .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
@@ -397,8 +414,12 @@ fn run_launch(args: &Args) {
     }
     let _ = std::fs::remove_dir_all(&args.dir);
 
+    // The reference runs in-process under the *same* codec: the
+    // in-process backend applies lossy codecs as an encode/decode round
+    // trip, so losses stay bit-identical even when the wire is bf16.
     let reference = sc
         .runtime()
+        .with_transport(TransportConfig::in_proc().with_codec(sc.codec))
         .run_iteration(&sc.schedule(), &sc.batch(), sc.mode, None)
         .expect("in-process reference run");
     if let Some(metrics_out) = &args.metrics_out {
@@ -406,8 +427,10 @@ fn run_launch(args: &Args) {
         println!("wrote reference-run metrics to {}", metrics_out.display());
     }
     println!(
-        "multi-process loss {loss:.6} ({} workers over uds), in-process loss {:.6}",
-        sc.stages, reference.loss
+        "multi-process loss {loss:.6} ({} workers over uds, {} codec), in-process loss {:.6}",
+        sc.stages,
+        sc.codec.name(),
+        reference.loss
     );
     assert_eq!(
         loss.to_bits(),

@@ -114,6 +114,24 @@ pub fn record_run(reg: &mut MetricsRegistry, stats: &RunStats) {
             &labels,
             cs.recv_wait_ns as f64 * 1e-9,
         );
+        reg.counter(
+            "mepipe_comm_payload_precodec_bytes_total",
+            "Tensor payload bytes before wire-codec encoding",
+            &labels,
+            t.payload_bytes_precodec as f64,
+        );
+        reg.counter(
+            "mepipe_comm_payload_postcodec_bytes_total",
+            "Tensor payload bytes after wire-codec encoding",
+            &labels,
+            t.payload_bytes_postcodec as f64,
+        );
+        reg.counter(
+            "mepipe_comm_encode_overlap_seconds_total",
+            "Encode time overlapped with in-flight wire transfers",
+            &labels,
+            t.encode_overlap_ns as f64 * 1e-9,
+        );
     }
     if let Some(trace) = &stats.trace {
         for st in &trace.stages {
@@ -177,6 +195,9 @@ mod tests {
             "mepipe_stage_idle_seconds",
             "mepipe_arena_hits_total",
             "mepipe_comm_tx_bytes_total",
+            "mepipe_comm_payload_precodec_bytes_total",
+            "mepipe_comm_payload_postcodec_bytes_total",
+            "mepipe_comm_encode_overlap_seconds_total",
             "mepipe_op_duration_seconds",
         ] {
             assert!(text.contains(family), "missing {family}");

@@ -518,8 +518,12 @@ impl PipelineRuntime {
     ///
     /// Replicas execute concurrently on scoped threads (each owns its
     /// transport, stage threads and arena set), and their results are
-    /// merged in replica index order — the same addition order as a
-    /// serial replica loop, so the output is bit-identical to one.
+    /// merged streamingly as each replica joins, in replica index order
+    /// — the same addition order as a serial replica loop, so the
+    /// output is bit-identical to one. Merging inside the join loop
+    /// keeps at most one un-merged `RunStats` (a full set of model
+    /// gradients) alive besides the accumulator, instead of one per
+    /// replica.
     /// Replicas always use the in-process transport shape of the
     /// configured backend; socket backends would collide on their
     /// rendezvous addresses across replicas, so use `InProc` here.
@@ -545,61 +549,59 @@ impl PipelineRuntime {
             "batch must split evenly across replicas"
         );
         let shard = batch.len() / replicas;
-        let mut results: Vec<Option<Result<RunStats, CommError>>> =
-            (0..replicas).map(|_| None).collect();
-        std::thread::scope(|scope| {
+        let mut out = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..replicas)
                 .map(|r| {
                     let shard_batch = &batch[r * shard..(r + 1) * shard];
                     scope.spawn(move || self.run_iteration(schedule, shard_batch, mode, None))
                 })
                 .collect();
-            for (slot, h) in results.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("replica thread panicked"));
-            }
-        });
-        let mut merged: Option<RunStats> = None;
-        for (r, stats) in results.into_iter().enumerate() {
-            let mut stats = stats.expect("replica result present")?;
-            // Tag this replica's spans so merged traces keep one process
-            // track per replica (`PidKey::Replica`).
-            if let Some(trace) = &mut stats.trace {
-                for st in &mut trace.stages {
-                    st.replica = r;
+            // Join in index order and fold each result into the
+            // accumulator immediately (an early error still joins the
+            // remaining replicas — scope exit does that).
+            let mut merged: Option<RunStats> = None;
+            for (r, h) in handles.into_iter().enumerate() {
+                let mut stats = h.join().expect("replica thread panicked")?;
+                // Tag this replica's spans so merged traces keep one
+                // process track per replica (`PidKey::Replica`).
+                if let Some(trace) = &mut stats.trace {
+                    for st in &mut trace.stages {
+                        st.replica = r;
+                    }
                 }
+                merged = Some(match merged {
+                    None => stats,
+                    Some(mut acc) => {
+                        acc.loss += stats.loss;
+                        add_grads(&mut acc.grads, &stats.grads, 1.0);
+                        for (a, b) in acc.peak_bytes.iter_mut().zip(&stats.peak_bytes) {
+                            *a = (*a).max(*b);
+                        }
+                        for (a, b) in acc.drained_wgrads.iter_mut().zip(&stats.drained_wgrads) {
+                            *a += b;
+                        }
+                        for (a, b) in acc.arena.iter_mut().zip(&stats.arena) {
+                            *a = a.merged(b);
+                        }
+                        for (a, b) in acc.comm.iter_mut().zip(&stats.comm) {
+                            *a = a.merged(b);
+                        }
+                        for (a, b) in acc.busy_seconds.iter_mut().zip(&stats.busy_seconds) {
+                            *a += b;
+                        }
+                        for (a, b) in acc.idle_seconds.iter_mut().zip(&stats.idle_seconds) {
+                            *a += b;
+                        }
+                        if let (Some(at), Some(bt)) = (&mut acc.trace, stats.trace) {
+                            at.stages.extend(bt.stages);
+                        }
+                        acc.oom = acc.oom.or(stats.oom);
+                        acc
+                    }
+                });
             }
-            merged = Some(match merged {
-                None => stats,
-                Some(mut acc) => {
-                    acc.loss += stats.loss;
-                    add_grads(&mut acc.grads, &stats.grads, 1.0);
-                    for (a, b) in acc.peak_bytes.iter_mut().zip(&stats.peak_bytes) {
-                        *a = (*a).max(*b);
-                    }
-                    for (a, b) in acc.drained_wgrads.iter_mut().zip(&stats.drained_wgrads) {
-                        *a += b;
-                    }
-                    for (a, b) in acc.arena.iter_mut().zip(&stats.arena) {
-                        *a = a.merged(b);
-                    }
-                    for (a, b) in acc.comm.iter_mut().zip(&stats.comm) {
-                        *a = a.merged(b);
-                    }
-                    for (a, b) in acc.busy_seconds.iter_mut().zip(&stats.busy_seconds) {
-                        *a += b;
-                    }
-                    for (a, b) in acc.idle_seconds.iter_mut().zip(&stats.idle_seconds) {
-                        *a += b;
-                    }
-                    if let (Some(at), Some(bt)) = (&mut acc.trace, stats.trace) {
-                        at.stages.extend(bt.stages);
-                    }
-                    acc.oom = acc.oom.or(stats.oom);
-                    acc
-                }
-            });
-        }
-        let mut out = merged.expect("at least one replica ran");
+            Ok::<RunStats, CommError>(merged.expect("at least one replica ran"))
+        })?;
         // Each replica normalised by its shard size; the DP average
         // divides by the replica count (gradients) and the replica count
         // (losses).

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use mepipe_comm::{Backend, FaultSpec, TransportConfig};
+use mepipe_comm::{Backend, CodecId, FaultSpec, TransportConfig};
 use mepipe_core::svpp::Mepipe;
 use mepipe_hw::LinkSpec;
 use mepipe_model::config::TransformerConfig;
@@ -99,6 +99,93 @@ proptest! {
             .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
         prop_assert!(totals.injected_drops >= 1, "no drops injected");
         prop_assert!(totals.retries >= totals.injected_drops, "drops were not retried");
+        prop_assert_eq!(clean.loss.to_bits(), faulted.loss.to_bits(), "faulted loss differs");
+        prop_assert_eq!(clean.grads.max_abs_diff(&faulted.grads), 0.0, "faulted grads differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Backend equivalence holds under every wire codec: the in-process
+    /// backend applies lossy codecs as an encode/decode round trip, so
+    /// InProc, Socket and Emulated still agree bit-for-bit even when
+    /// the wire carries bf16. The socket run's codec counters prove the
+    /// compression actually happened.
+    #[test]
+    fn backends_agree_under_every_codec(
+        seed in 1u64..1000,
+        codec in prop::sample::select(vec![CodecId::F32, CodecId::Bf16, CodecId::Lossy]),
+    ) {
+        let stages = 2;
+        let (inproc, _) = run_with(seed, stages, TransportConfig::in_proc().with_codec(codec));
+
+        let dir = uds_dir("codec", seed, stages);
+        let (socket, _) = run_with(seed, stages, TransportConfig {
+            backend: Backend::Uds(dir.clone()),
+            ..TransportConfig::default()
+        }.with_codec(codec));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let (emulated, _) = run_with(
+            seed,
+            stages,
+            TransportConfig::in_proc().with_link(LinkSpec::loopback()).with_codec(codec),
+        );
+
+        prop_assert_eq!(inproc.loss.to_bits(), socket.loss.to_bits(), "socket loss differs");
+        prop_assert_eq!(inproc.loss.to_bits(), emulated.loss.to_bits(), "emulated loss differs");
+        prop_assert_eq!(inproc.grads.max_abs_diff(&socket.grads), 0.0, "socket grads differ");
+        prop_assert_eq!(inproc.grads.max_abs_diff(&emulated.grads), 0.0, "emulated grads differ");
+
+        let totals = socket
+            .comm
+            .iter()
+            .map(|c| c.total())
+            .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+        prop_assert!(totals.payload_bytes_precodec > 0, "no payload counted");
+        if codec == CodecId::F32 {
+            prop_assert_eq!(totals.payload_bytes_postcodec, totals.payload_bytes_precodec);
+        } else {
+            prop_assert!(
+                totals.payload_bytes_postcodec < totals.payload_bytes_precodec,
+                "lossy codec did not shrink the wire payload"
+            );
+        }
+    }
+
+    /// Fault recovery composes with codec frames: dropped/corrupted
+    /// bf16 frames are retransmitted and the result still matches a
+    /// clean run under the same codec, bit for bit.
+    #[test]
+    fn faults_recover_bit_identically_with_codec(seed in 1u64..1000) {
+        let stages = 2;
+        let codec = CodecId::Bf16;
+        let (clean, _) = run_with(seed, stages, TransportConfig::in_proc().with_codec(codec));
+        let faults = FaultSpec {
+            drop_first_n: 1,
+            drop_permille: 100,
+            corrupt_permille: 100,
+            seed,
+            ..FaultSpec::default()
+        };
+        let (faulted, _) = run_with(
+            seed,
+            stages,
+            TransportConfig::in_proc().with_faults(faults).with_codec(codec),
+        );
+
+        let totals = faulted
+            .comm
+            .iter()
+            .map(|c| c.total())
+            .fold(mepipe_comm::LinkStats::default(), |a, l| a.merged(&l));
+        prop_assert!(totals.injected_drops >= 1, "no drops injected");
+        prop_assert!(totals.retries >= totals.injected_drops, "drops were not retried");
+        prop_assert!(
+            totals.payload_bytes_postcodec < totals.payload_bytes_precodec,
+            "bf16 frames did not shrink on the wire"
+        );
         prop_assert_eq!(clean.loss.to_bits(), faulted.loss.to_bits(), "faulted loss differs");
         prop_assert_eq!(clean.grads.max_abs_diff(&faulted.grads), 0.0, "faulted grads differ");
     }

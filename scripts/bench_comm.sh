@@ -3,7 +3,11 @@
 # repo root: the same MEPipe training iteration (2 stages x 4 slices x 4
 # micro-batches) on every mepipe-comm backend — in-process bounded
 # queues, framed tensors over Unix-domain sockets, and link emulation at
-# PCIe 4.0 and 100G InfiniBand speeds. Emulated rows include the
+# PCIe 4.0 and 100G InfiniBand speeds. The socket and in-process rows are
+# repeated under the bf16 wire codec (socket_uds_bf16, inproc_bf16) so
+# the JSON records the payload compression alongside the f32 baseline;
+# each row carries payload_precodec_bytes / payload_postcodec_bytes /
+# encode_overlap_s from the per-link codec counters. Emulated rows include the
 # measured/modeled wire-time ratio from mepipe_sim::commcheck; expect it
 # well above 1 on fast links, where per-frame sleeps are dominated by OS
 # timer granularity and ack round trips (see crates/sim/src/commcheck.rs).

@@ -24,8 +24,14 @@ cargo bench -p mepipe-bench --bench train -- --smoke
 echo "==> comm bench smoke (one untimed iteration per transport backend)"
 cargo bench -p mepipe-bench --bench comm -- --smoke
 
+echo "==> comm bench gate (socket_uds <= 1.10x inproc, bf16 codec parity)"
+cargo bench -p mepipe-bench --bench comm -- --gate
+
 echo "==> multi-process smoke (4 worker processes over Unix sockets)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- launch --stages 4
+
+echo "==> multi-process codec smoke (2 workers, bf16 wire codec)"
+cargo run --release -p mepipe-train --bin mepipe-worker -- launch --stages 2 --codec bf16
 
 echo "==> trace-report smoke (traced 2-stage iteration: measured+sim traces, bubble, metrics)"
 TRACE_DIR="$(mktemp -d)"
