@@ -114,18 +114,6 @@ impl SocketTransport {
         }
     }
 
-    /// Overrides how long a stage waits for its peers to appear.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build with `SocketTransport::with_config` and \
-                `CommConfig::with_connect_timeout` instead"
-    )]
-    #[must_use]
-    pub fn with_connect_timeout(mut self, t: Duration) -> Self {
-        self.config.connect_timeout = t;
-        self
-    }
-
     fn uds_path(dir: &std::path::Path, stage: usize) -> PathBuf {
         dir.join(format!("mepipe-stage-{stage}.sock"))
     }
@@ -1133,14 +1121,6 @@ mod tests {
             e.close();
         });
         let _ = std::fs::remove_dir_all(dir);
-    }
-
-    #[test]
-    fn deprecated_connect_timeout_shim_still_builds() {
-        #[allow(deprecated)]
-        let t = SocketTransport::new(SocketMode::Tcp(39731), 1)
-            .with_connect_timeout(Duration::from_secs(1));
-        assert_eq!(t.stages(), 1);
     }
 
     #[test]

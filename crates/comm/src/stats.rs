@@ -27,8 +27,14 @@ pub struct LinkStats {
     /// Time packets from this peer sat in the inbox before the stage
     /// dequeued them.
     pub queue_wait_ns: u64,
-    /// Emulated wire occupancy (bandwidth/latency sleeps) plus ack wait.
+    /// Emulated wire occupancy: the bandwidth/latency sleeps alone, so
+    /// the counter is directly comparable to the alpha–beta link model.
     pub wire_ns: u64,
+    /// Time the reliable layer spent waiting for acknowledgements after
+    /// a transmission (draining inbound traffic until the peer acks).
+    /// Dominated by the *receiver's* schedule, not the link, so it is
+    /// kept apart from `wire_ns`.
+    pub ack_wait_ns: u64,
     /// Retransmissions performed by the reliable layer.
     pub retries: u64,
     /// Frames the fault injector dropped.
@@ -65,6 +71,7 @@ impl LinkStats {
             send_stall_ns: self.send_stall_ns + o.send_stall_ns,
             queue_wait_ns: self.queue_wait_ns + o.queue_wait_ns,
             wire_ns: self.wire_ns + o.wire_ns,
+            ack_wait_ns: self.ack_wait_ns + o.ack_wait_ns,
             retries: self.retries + o.retries,
             injected_drops: self.injected_drops + o.injected_drops,
             injected_corrupts: self.injected_corrupts + o.injected_corrupts,

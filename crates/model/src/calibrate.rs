@@ -1,0 +1,339 @@
+//! Least-squares calibration of the cost model from measured samples.
+//!
+//! The paper's Section 6 profiler exists so the schedule search optimizes
+//! costs the target hardware actually exhibits, not datasheet constants.
+//! This module is the pure fitting math: given per-(op-kind, shape)
+//! samples extracted from measured spans it fits
+//!
+//! * an affine curve `y = α + β·x` ([`fit_affine`]) — the general tool,
+//! * an alpha–beta link `T = messages·latency + bytes/bandwidth`
+//!   ([`fit_link`]) from per-link traffic aggregates,
+//! * the [`GemmEfficiency`] achieved-throughput curve
+//!   ([`fit_gemm_efficiency`]) from per-GEMM `(flops, tokens, kernels,
+//!   seconds)` samples,
+//!
+//! plus the [`blend`] update rule that damps round-to-round oscillation
+//! in the online calibration loop. Extracting samples from traces lives
+//! in `mepipe-sim` (`sim::calibrate`); the loop that re-runs the
+//! schedule search under fitted costs lives in `mepipe-train`.
+
+use mepipe_hw::link::LinkSpec;
+
+use crate::gemm::GemmEfficiency;
+
+/// A fitted affine curve `y = alpha + beta·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Intercept (fixed per-sample cost).
+    pub alpha: f64,
+    /// Slope (marginal cost per unit of `x`).
+    pub beta: f64,
+    /// Samples the fit was computed from.
+    pub samples: usize,
+}
+
+/// Ordinary least squares for `y = alpha + beta·x`.
+///
+/// Returns `None` when there are fewer than two samples or the `x`
+/// values are (numerically) all identical — an intercept and a slope
+/// cannot both be identified from a single abscissa.
+pub fn fit_affine(samples: &[(f64, f64)]) -> Option<AffineFit> {
+    let n = samples.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = samples.iter().map(|(x, _)| x).sum();
+    let sy: f64 = samples.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = samples.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = samples.iter().map(|(x, y)| x * y).sum();
+    let det = nf * sxx - sx * sx;
+    // Degenerate abscissa: the x spread is lost to rounding.
+    if !(det.is_finite() && det.abs() > 1e-12 * nf * sxx.max(1.0)) {
+        return None;
+    }
+    let beta = (nf * sxy - sx * sy) / det;
+    let alpha = (sy - beta * sx) / nf;
+    Some(AffineFit {
+        alpha,
+        beta,
+        samples: n,
+    })
+}
+
+/// Least squares for the no-intercept two-term model `y = a·x1 + b·x2`,
+/// solved from the 2×2 normal equations. Returns `None` when the system
+/// is singular (the two regressors are collinear across all samples).
+pub fn fit_two_term(samples: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let (mut s11, mut s12, mut s22, mut s1y, mut s2y) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x1, x2, y) in samples {
+        s11 += x1 * x1;
+        s12 += x1 * x2;
+        s22 += x2 * x2;
+        s1y += x1 * y;
+        s2y += x2 * y;
+    }
+    let det = s11 * s22 - s12 * s12;
+    if !(det.is_finite() && det.abs() > 1e-12 * (s11 * s22).max(1.0)) {
+        return None;
+    }
+    Some(((s22 * s1y - s12 * s2y) / det, (s11 * s2y - s12 * s1y) / det))
+}
+
+/// One round's damped update: moves `old` a fraction `eta` of the way to
+/// `target`. `eta = 1` adopts the new fit outright; smaller values trade
+/// convergence speed for robustness to per-round measurement noise.
+pub fn blend(old: f64, target: f64, eta: f64) -> f64 {
+    old + eta * (target - old)
+}
+
+/// Traffic aggregate for one directed link over one measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSample {
+    /// Messages transmitted.
+    pub messages: f64,
+    /// Bytes transmitted.
+    pub bytes: f64,
+    /// Seconds the wire was occupied by this traffic.
+    pub seconds: f64,
+}
+
+/// Fits an alpha–beta [`LinkSpec`] from per-link traffic aggregates:
+/// each sample contributes one equation
+/// `seconds = messages·latency + bytes/bandwidth`.
+///
+/// When the samples cannot identify both parameters — fewer than two
+/// rows, or every row carrying the same bytes-per-message so the two
+/// regressors are collinear — the prior's bandwidth is kept and only the
+/// latency is re-fitted (per-message latency is what the trace pins down
+/// best). Fits that come out non-physical (negative latency or
+/// bandwidth) are clamped the same way. The fitted spec is named
+/// `"fitted"` to mark it as measured rather than datasheet.
+pub fn fit_link(samples: &[LinkSample], prior: &LinkSpec) -> LinkSpec {
+    let fitted = |latency: f64, bandwidth: f64| LinkSpec {
+        name: "fitted",
+        bandwidth,
+        latency,
+    };
+    let rows: Vec<(f64, f64, f64)> = samples
+        .iter()
+        .filter(|s| s.messages > 0.0 && s.seconds.is_finite())
+        .map(|s| (s.messages, s.bytes, s.seconds))
+        .collect();
+    if let Some((alpha, inv_bw)) = fit_two_term(&rows) {
+        if alpha >= 0.0 && inv_bw > 0.0 {
+            return fitted(alpha, 1.0 / inv_bw);
+        }
+    }
+    // Fallback: keep the prior bandwidth, fit latency as the mean
+    // per-message residual after the bandwidth term.
+    if rows.is_empty() {
+        return prior.clone();
+    }
+    let alpha = rows
+        .iter()
+        .map(|(m, b, t)| (t - b / prior.bandwidth) / m)
+        .sum::<f64>()
+        / rows.len() as f64;
+    fitted(alpha.max(0.0), prior.bandwidth)
+}
+
+/// One measured GEMM-class execution: total FLOPs, the token (row)
+/// dimension, how many kernel launches it took, and the wall seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GemmSample {
+    /// FLOPs executed.
+    pub flops: f64,
+    /// Token (row) dimension of the GEMMs.
+    pub tokens: usize,
+    /// Kernel launches performed.
+    pub kernels: usize,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Fits `max_efficiency` and `launch_overhead` of a [`GemmEfficiency`]
+/// curve from measured samples, keeping the prior's saturation shape
+/// (`half_saturation_tokens` needs a sweep over token sizes to identify;
+/// the online loop measures one shape per round).
+///
+/// The model `seconds = flops / (peak·eff(tokens)) + overhead·kernels`
+/// is linear in `(1/max_efficiency, launch_overhead)` once the
+/// saturation shape is fixed, so this is the two-term least squares of
+/// [`fit_two_term`]. The fitted `max_efficiency` is *effective* — it may
+/// exceed 1.0 when `peak_flops` under-states the machine, which is
+/// exactly the correction calibration exists to make. Degenerate or
+/// non-physical fits keep the prior's launch overhead and rescale
+/// `max_efficiency` alone from the aggregate throughput.
+pub fn fit_gemm_efficiency(
+    samples: &[GemmSample],
+    peak_flops: f64,
+    prior: &GemmEfficiency,
+) -> GemmEfficiency {
+    // eff(t) = max_efficiency · shape(t); recover the prior's shape.
+    let shape = |tokens: usize| prior.efficiency(tokens) / prior.max_efficiency;
+    let rows: Vec<(f64, f64, f64)> = samples
+        .iter()
+        .filter(|s| s.tokens > 0 && s.flops > 0.0 && s.seconds > 0.0)
+        .map(|s| {
+            (
+                s.kernels as f64,
+                s.flops / (peak_flops * shape(s.tokens)),
+                s.seconds,
+            )
+        })
+        .collect();
+    if let Some((overhead, inv_emax)) = fit_two_term(&rows) {
+        if overhead >= 0.0 && inv_emax > 0.0 {
+            return GemmEfficiency {
+                max_efficiency: 1.0 / inv_emax,
+                half_saturation_tokens: prior.half_saturation_tokens,
+                launch_overhead: overhead,
+            };
+        }
+    }
+    // Fallback: keep the prior overhead, match aggregate throughput.
+    let (mut num, mut den) = (0.0, 0.0);
+    for (k, x2, y) in &rows {
+        let residual = y - prior.launch_overhead * k;
+        if *x2 > 0.0 && residual > 0.0 {
+            num += x2 * residual;
+            den += x2 * x2;
+        }
+    }
+    if den > 0.0 && num > 0.0 {
+        GemmEfficiency {
+            max_efficiency: den / num,
+            half_saturation_tokens: prior.half_saturation_tokens,
+            launch_overhead: prior.launch_overhead,
+        }
+    } else {
+        *prior
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_recovers_exact_line() {
+        let samples: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 3.0 + 0.5 * i as f64)).collect();
+        let f = fit_affine(&samples).unwrap();
+        assert!((f.alpha - 3.0).abs() < 1e-12);
+        assert!((f.beta - 0.5).abs() < 1e-12);
+        assert_eq!(f.samples, 8);
+    }
+
+    #[test]
+    fn affine_rejects_degenerate_abscissa() {
+        assert!(fit_affine(&[(2.0, 1.0), (2.0, 3.0), (2.0, 5.0)]).is_none());
+        assert!(fit_affine(&[(2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn two_term_recovers_exact_plane() {
+        let rows: Vec<(f64, f64, f64)> = [(1.0, 10.0), (2.0, 5.0), (3.0, 40.0), (4.0, 2.0)]
+            .iter()
+            .map(|&(x1, x2)| (x1, x2, 7.0 * x1 + 0.25 * x2))
+            .collect();
+        let (a, b) = fit_two_term(&rows).unwrap();
+        assert!((a - 7.0).abs() < 1e-9);
+        assert!((b - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_term_rejects_collinear_regressors() {
+        let rows = vec![(1.0, 2.0, 3.0), (2.0, 4.0, 6.0), (5.0, 10.0, 15.0)];
+        assert!(fit_two_term(&rows).is_none());
+    }
+
+    #[test]
+    fn link_fit_recovers_alpha_beta() {
+        let truth = LinkSpec {
+            name: "truth",
+            bandwidth: 2e9,
+            latency: 50e-6,
+        };
+        // Distinct bytes-per-message rows identify both parameters.
+        let samples: Vec<LinkSample> = [(10.0, 1e6), (20.0, 8e6), (5.0, 64e6), (40.0, 2e6)]
+            .iter()
+            .map(|&(messages, bytes)| LinkSample {
+                messages,
+                bytes,
+                seconds: messages * truth.latency + bytes / truth.bandwidth,
+            })
+            .collect();
+        let fit = fit_link(&samples, &LinkSpec::pcie4());
+        assert!((fit.latency - truth.latency).abs() / truth.latency < 1e-6);
+        assert!((fit.bandwidth - truth.bandwidth).abs() / truth.bandwidth < 1e-6);
+        assert_eq!(fit.name, "fitted");
+    }
+
+    #[test]
+    fn link_fit_collinear_keeps_prior_bandwidth() {
+        // Every row has 1 KiB/message: only latency is identifiable.
+        let prior = LinkSpec::pcie4();
+        let samples: Vec<LinkSample> = [10.0, 20.0, 40.0]
+            .iter()
+            .map(|&messages| LinkSample {
+                messages,
+                bytes: messages * 1024.0,
+                seconds: messages * 1e-3 + messages * 1024.0 / prior.bandwidth,
+            })
+            .collect();
+        let fit = fit_link(&samples, &prior);
+        assert_eq!(fit.bandwidth, prior.bandwidth);
+        assert!((fit.latency - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_fit_empty_returns_prior() {
+        let prior = LinkSpec::ib_100g();
+        assert_eq!(fit_link(&[], &prior), prior);
+    }
+
+    #[test]
+    fn gemm_fit_recovers_throughput_and_overhead() {
+        let truth = GemmEfficiency {
+            max_efficiency: 0.031,
+            half_saturation_tokens: DEFAULT_HALF_SAT,
+            launch_overhead: 2e-5,
+        };
+        let peak = 165e12;
+        let samples: Vec<GemmSample> = [(1e9, 64, 9), (8e9, 512, 18), (2e9, 128, 36), (5e8, 16, 7)]
+            .iter()
+            .map(|&(flops, tokens, kernels)| GemmSample {
+                flops,
+                tokens,
+                kernels,
+                seconds: truth.gemm_time(flops, tokens, peak, kernels),
+            })
+            .collect();
+        let fit = fit_gemm_efficiency(&samples, peak, &GemmEfficiency::default());
+        assert!(
+            (fit.max_efficiency - truth.max_efficiency).abs() / truth.max_efficiency < 1e-6,
+            "max_efficiency {}",
+            fit.max_efficiency
+        );
+        assert!((fit.launch_overhead - truth.launch_overhead).abs() / truth.launch_overhead < 1e-6);
+    }
+
+    const DEFAULT_HALF_SAT: f64 = crate::gemm::DEFAULT_HALF_SATURATION_TOKENS;
+
+    #[test]
+    fn gemm_fit_no_samples_keeps_prior() {
+        let prior = GemmEfficiency::default();
+        assert_eq!(fit_gemm_efficiency(&[], 165e12, &prior), prior);
+    }
+
+    #[test]
+    fn blend_moves_toward_target() {
+        assert_eq!(blend(1.0, 3.0, 0.5), 2.0);
+        assert_eq!(blend(1.0, 3.0, 1.0), 3.0);
+        assert_eq!(blend(1.0, 3.0, 0.0), 1.0);
+    }
+}

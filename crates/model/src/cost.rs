@@ -81,6 +81,47 @@ impl ExecutionCost {
         })
     }
 
+    /// Replaces the GEMM-efficiency curve — the calibration hook through
+    /// which fitted (measured) throughput and launch-overhead constants
+    /// enter the pricing (see [`crate::calibrate`]).
+    #[must_use]
+    pub fn with_gemm_efficiency(mut self, eff: GemmEfficiency) -> Self {
+        self.eff = eff;
+        self
+    }
+
+    /// Replaces the pipeline-parallel link spec — the calibration hook
+    /// for fitted wire alpha–beta constants (see [`crate::calibrate`]).
+    #[must_use]
+    pub fn with_pp_link(mut self, link: LinkSpec) -> Self {
+        self.pp_link = link;
+        self
+    }
+
+    /// Re-prices the same model, cluster and calibrated constants under a
+    /// different sequence-slice count — how the autotuner prices candidate
+    /// schedules whose slicing differs from the one it measured.
+    pub fn with_slices(mut self, slices: usize) -> Result<Self, String> {
+        if slices == 0 || !self.cfg.seq_len.is_multiple_of(slices) {
+            return Err(format!(
+                "seq_len {} does not divide into {slices} slices",
+                self.cfg.seq_len
+            ));
+        }
+        self.spec.seq = SequenceSplit::SlicePipeline { slices };
+        Ok(self)
+    }
+
+    /// The GEMM-efficiency curve currently pricing compute.
+    pub fn gemm_efficiency(&self) -> &GemmEfficiency {
+        &self.eff
+    }
+
+    /// The link currently pricing pipeline boundary transfers.
+    pub fn pp_link(&self) -> &LinkSpec {
+        &self.pp_link
+    }
+
     /// The model being priced.
     pub fn config(&self) -> &TransformerConfig {
         &self.cfg
@@ -141,60 +182,92 @@ impl ExecutionCost {
         }
     }
 
-    /// Forward time in seconds of one unit (slice `slice_idx`) through one
-    /// virtual chunk.
-    pub fn forward_time(&self, slice_idx: usize) -> f64 {
+    /// The `(FLOPs, tokens, kernel launches)` triple the GEMM term of
+    /// [`ExecutionCost::forward_time`] prices — the regressors that
+    /// calibration fits [`GemmEfficiency`] against (see
+    /// [`crate::calibrate`]).
+    pub fn forward_gemm_shape(&self, slice_idx: usize) -> (f64, usize, usize) {
         let t = self.tokens_per_unit();
         let slots = self.slots_per_chunk;
         let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
         let attn =
             4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64 * slots as f64;
-        let gemm = self.eff.gemm_time(
-            dense + attn,
-            t,
-            self.accel.effective_matmul_flops,
-            KERNELS_PER_LAYER_FWD * slots,
-        );
-        gemm + self.vector_time(slots, t) + self.cp_time_per_layer() * slots as f64
+        (dense + attn, t, KERNELS_PER_LAYER_FWD * slots)
     }
 
-    /// Input-gradient (activation-gradient) backward time of one unit.
-    /// When recomputation is enabled the forward is replayed first.
-    pub fn backward_input_time(&self, slice_idx: usize) -> f64 {
+    /// Like [`ExecutionCost::forward_gemm_shape`] for the input-gradient
+    /// backward: dX GEMMs cost one forward-equivalent of dense work;
+    /// attention backward costs ~2 forward-equivalents (dQ, dK, dV).
+    pub fn backward_input_gemm_shape(&self, slice_idx: usize) -> (f64, usize, usize) {
         let t = self.tokens_per_unit();
         let slots = self.slots_per_chunk;
         let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
         let attn =
             4.0 * t as f64 * self.context_tokens(slice_idx) * self.cfg.hidden as f64 * slots as f64;
-        // dX GEMMs cost one forward-equivalent of dense work; attention
-        // backward costs ~2 forward-equivalents (dQ, dK, dV).
-        let flops_bi = dense + 2.0 * attn;
-        let gemm = self.eff.gemm_time(
-            flops_bi,
-            t,
-            self.accel.effective_matmul_flops,
-            KERNELS_PER_LAYER_FWD * slots,
-        );
+        (dense + 2.0 * attn, t, KERNELS_PER_LAYER_FWD * slots)
+    }
+
+    /// Like [`ExecutionCost::forward_gemm_shape`] for one unit's whole
+    /// weight-gradient pass (dense only, slice-independent).
+    pub fn wgrad_gemm_shape(&self) -> (f64, usize, usize) {
+        let t = self.tokens_per_unit();
+        let slots = self.slots_per_chunk;
+        let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
+        (dense, t, flops::WGRAD_GEMMS_PER_LAYER * slots)
+    }
+
+    /// The peak GEMM throughput the efficiency curve is relative to —
+    /// calibration's fitting reference.
+    pub fn peak_matmul_flops(&self) -> f64 {
+        self.accel.effective_matmul_flops
+    }
+
+    /// Seconds of [`ExecutionCost::forward_time`] *not* priced by the
+    /// GEMM term (bandwidth-bound kernels + CP collectives) — what
+    /// calibration subtracts from a measured span before fitting the
+    /// GEMM curve to the remainder.
+    pub fn forward_non_gemm_time(&self, _slice_idx: usize) -> f64 {
+        let t = self.tokens_per_unit();
+        let slots = self.slots_per_chunk;
+        self.vector_time(slots, t) + self.cp_time_per_layer() * slots as f64
+    }
+
+    /// Like [`ExecutionCost::forward_non_gemm_time`] for the
+    /// input-gradient backward, including the recomputed forward when
+    /// recomputation is enabled.
+    pub fn backward_input_non_gemm_time(&self, slice_idx: usize) -> f64 {
         let recompute = if self.spec.recompute {
             self.forward_time(slice_idx)
         } else {
             0.0
         };
-        gemm + self.vector_time(slots, t) + self.cp_time_per_layer() * slots as f64 + recompute
+        self.forward_non_gemm_time(slice_idx) + recompute
+    }
+
+    /// Forward time in seconds of one unit (slice `slice_idx`) through one
+    /// virtual chunk.
+    pub fn forward_time(&self, slice_idx: usize) -> f64 {
+        let (flops, t, kernels) = self.forward_gemm_shape(slice_idx);
+        self.eff
+            .gemm_time(flops, t, self.accel.effective_matmul_flops, kernels)
+            + self.forward_non_gemm_time(slice_idx)
+    }
+
+    /// Input-gradient (activation-gradient) backward time of one unit.
+    /// When recomputation is enabled the forward is replayed first.
+    pub fn backward_input_time(&self, slice_idx: usize) -> f64 {
+        let (flops, t, kernels) = self.backward_input_gemm_shape(slice_idx);
+        self.eff
+            .gemm_time(flops, t, self.accel.effective_matmul_flops, kernels)
+            + self.backward_input_non_gemm_time(slice_idx)
     }
 
     /// Weight-gradient backward time of one unit — dense only, hence
     /// slice-independent (Section 5).
     pub fn wgrad_time(&self) -> f64 {
-        let t = self.tokens_per_unit();
-        let slots = self.slots_per_chunk;
-        let dense = flops::dense_forward_flops(&self.cfg, t) * slots as f64;
-        self.eff.gemm_time(
-            dense,
-            t,
-            self.accel.effective_matmul_flops,
-            flops::WGRAD_GEMMS_PER_LAYER * slots,
-        )
+        let (flops, t, kernels) = self.wgrad_gemm_shape();
+        self.eff
+            .gemm_time(flops, t, self.accel.effective_matmul_flops, kernels)
     }
 
     /// Number of individually schedulable weight-gradient GEMMs per unit.

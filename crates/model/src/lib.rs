@@ -14,9 +14,13 @@
 //! * [`memory`] — activation / static / temporary memory (Section 4.5);
 //! * [`comm`] — per-strategy communication volumes (Table 2);
 //! * [`cost`] — ties it all together into per-op durations and transfer
-//!   sizes for a concrete accelerator.
+//!   sizes for a concrete accelerator;
+//! * [`calibrate`] — least-squares fits that replace the hand-set
+//!   constants above with values measured on the running hardware
+//!   (Section 6's profiler).
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod comm;
 pub mod config;
 pub mod cost;

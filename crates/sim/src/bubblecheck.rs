@@ -151,6 +151,26 @@ impl BubbleCheckReport {
         m / p
     }
 
+    /// Mean over `(stage, op kind)` rows of
+    /// `|measured − modeled| / measured`, skipping rows with no measured
+    /// time. This is the calibration loop's convergence metric: fitting
+    /// the cost model from the measured spans drives it toward zero, and
+    /// the autotune smoke asserts it shrinks monotonically across
+    /// calibration rounds. `NaN` when no row has measured time.
+    pub fn mean_relative_error(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for o in self.ops.iter().filter(|o| o.measured_s > 0.0) {
+            sum += (o.measured_s - o.modeled_s).abs() / o.measured_s;
+            n += 1;
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
     /// Worst per-row |log ratio| distance from a perfect fit, over rows
     /// with time on both sides. 0 means every op class matched exactly.
     pub fn max_misfit(&self) -> f64 {
@@ -259,6 +279,7 @@ mod tests {
         // Rounding seconds -> ns keeps every ratio within a hair of 1.
         assert!(r.max_misfit() < 1e-6, "misfit {}", r.max_misfit());
         assert!((r.ratio() - 1.0).abs() < 1e-6);
+        assert!(r.mean_relative_error() < 1e-6);
         for o in &r.ops {
             assert_eq!(o.measured_count, o.modeled_count);
         }
@@ -282,6 +303,8 @@ mod tests {
         let r = BubbleCheckReport::from_run(&trace, &sim);
         assert!((r.ratio() - 2.0).abs() < 1e-6, "ratio {}", r.ratio());
         assert!(r.max_misfit() > 0.5);
+        // Every row doubled: |m − m/2| / m = 0.5 on each row.
+        assert!((r.mean_relative_error() - 0.5).abs() < 1e-6);
     }
 
     #[test]

@@ -8,16 +8,29 @@
 //! reconstructs what the cost model would have predicted for the same
 //! traffic and reports measured/modeled per directed link.
 //!
-//! The measured side can only exceed the model: the emulator sleeps for
-//! at least the modeled wire time per transmission, and its `wire_ns`
-//! additionally includes waiting for acks, OS timer overshoot, and any
-//! retransmission rounds (whose extra bytes the model does see, since
-//! `tx_bytes` counts every attempt). A large ratio therefore flags real
-//! scheduling interference, not model error — exactly the signal the
-//! paper's profile-predict-execute loop needs.
+//! The measured side can only exceed the model, but not by much: the
+//! emulator sleeps for at least the modeled wire time per transmission,
+//! and `wire_ns` counts exactly those sleeps (plus OS timer overshoot)
+//! — ack waiting is accounted separately in `ack_wait_ns`, because it
+//! measures the receiver's schedule rather than the link. Ratios should
+//! therefore sit near 1.0; [`CommCheckReport::warnings`] names every
+//! link whose ratio falls outside [`RATIO_WARN_LO`, `RATIO_WARN_HI`],
+//! which indicates either a cost-model bug or heavy timer interference
+//! — exactly the signal the paper's profile-predict-execute loop needs.
 
 use mepipe_comm::CommStats;
 use mepipe_hw::LinkSpec;
+
+/// Below this measured/modeled ratio a link is flagged: the emulator
+/// slept less than the model predicts, i.e. the model over-prices the
+/// link.
+pub const RATIO_WARN_LO: f64 = 0.5;
+
+/// Above this measured/modeled ratio a link is flagged: the wire spent
+/// far longer occupied than the model predicts, i.e. the model
+/// under-prices the link (the old ack-wait accounting bug produced
+/// ratios in the hundreds here).
+pub const RATIO_WARN_HI: f64 = 2.0;
 
 /// Measured vs modeled times for one directed link (stage → peer).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,8 +92,15 @@ impl CommCheckReport {
                 }
                 // Alpha-beta over the aggregate: each message pays the
                 // latency once, the bytes share the bandwidth term.
-                let modeled_s = ls.tx_messages as f64 * link.transfer_time(0)
-                    + (link.transfer_time(ls.tx_bytes) - link.transfer_time(0));
+                // (`transfer_time(0)` is pinned to zero, so the latency
+                // term must come straight from the spec — pricing it via
+                // `transfer_time` once charged the latency per *run*.)
+                let bandwidth_s = if link.bandwidth.is_finite() {
+                    ls.tx_bytes as f64 / link.bandwidth
+                } else {
+                    0.0
+                };
+                let modeled_s = ls.tx_messages as f64 * link.latency + bandwidth_s;
                 links.push(LinkCheck {
                     stage: cs.stage,
                     peer,
@@ -124,7 +144,35 @@ impl CommCheckReport {
             .all(|l| l.measured_s + tolerance_s >= l.modeled_s)
     }
 
-    /// Plain-text table for logs and EXPERIMENTS.md-style reports.
+    /// Named `WIRE_MODEL_MISMATCH` warnings for every link whose
+    /// measured/modeled ratio falls outside
+    /// [[`RATIO_WARN_LO`], [`RATIO_WARN_HI`]]. Links the model prices at
+    /// zero (e.g. loopback) are exempt — their ratio is undefined.
+    pub fn warnings(&self) -> Vec<String> {
+        self.links
+            .iter()
+            .filter(|l| l.modeled_s > 0.0)
+            .filter(|l| {
+                let r = l.ratio();
+                !(RATIO_WARN_LO..=RATIO_WARN_HI).contains(&r)
+            })
+            .map(|l| {
+                format!(
+                    "WIRE_MODEL_MISMATCH: link {} -> {} measured/modeled = {:.2} \
+                     (outside [{RATIO_WARN_LO}, {RATIO_WARN_HI}]; measured {:.3} ms, modeled {:.3} ms)",
+                    l.stage,
+                    l.peer,
+                    l.ratio(),
+                    l.measured_s * 1e3,
+                    l.modeled_s * 1e3,
+                )
+            })
+            .collect()
+    }
+
+    /// Plain-text table for logs and EXPERIMENTS.md-style reports, with
+    /// [`CommCheckReport::warnings`] appended so out-of-band ratios are
+    /// flagged by name rather than silently printed.
     pub fn render(&self) -> String {
         let mut out = format!(
             "link {} (bw {:.3e} B/s, lat {:.1} us): measured/modeled = {:.2}\n",
@@ -148,6 +196,10 @@ impl CommCheckReport {
                 l.modeled_s * 1e3,
                 l.ratio()
             ));
+        }
+        for w in self.warnings() {
+            out.push_str(&w);
+            out.push('\n');
         }
         out
     }
@@ -225,5 +277,44 @@ mod tests {
         let report = CommCheckReport::from_run(&stats, &link);
         assert_eq!(report.modeled_total(), 0.0);
         assert!(report.measured_covers_model(0.0));
+        // Zero-priced links never warn even though their ratio is NaN.
+        assert!(report.warnings().is_empty());
+    }
+
+    #[test]
+    fn wire_ratio_lands_near_one_with_no_warnings() {
+        // Post-fix, wire_ns is the sleeps alone, so even a slow link
+        // that forces the receiver to wait lands inside [0.5, 2.0].
+        let link = LinkSpec {
+            name: "test-slow",
+            bandwidth: 1e6,
+            latency: 1e-3,
+        };
+        let stats = emulated_ping(link.clone(), 1024);
+        let report = CommCheckReport::from_run(&stats, &link);
+        let r = report.ratio();
+        assert!(
+            (RATIO_WARN_LO..=RATIO_WARN_HI).contains(&r),
+            "wire_measured_over_modeled {r:.3} outside the healthy band"
+        );
+        assert!(report.warnings().is_empty(), "{:?}", report.warnings());
+    }
+
+    #[test]
+    fn out_of_band_ratios_are_flagged_by_name() {
+        let link = LinkSpec {
+            name: "test",
+            bandwidth: 1e6,
+            latency: 1e-3,
+        };
+        let mut stats = CommStats::new(0, 2);
+        stats.links[1].tx_messages = 1;
+        stats.links[1].tx_bytes = 1000;
+        stats.links[1].wire_ns = 600_000_000; // 0.6 s vs ~2 ms modeled
+        let report = CommCheckReport::from_run(&[stats], &link);
+        let warnings = report.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].starts_with("WIRE_MODEL_MISMATCH"));
+        assert!(report.render().contains("WIRE_MODEL_MISMATCH"));
     }
 }

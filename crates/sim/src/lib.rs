@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod bubblecheck;
+pub mod calibrate;
 pub mod commcheck;
 pub mod cost;
 pub mod engine;
@@ -26,6 +27,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use bubblecheck::BubbleCheckReport;
+pub use calibrate::{extract_samples, fit_execution_cost, ConvergenceReport, MeasuredSamples};
 pub use commcheck::{CommCheckReport, LinkCheck};
 pub use cost::{ModelCost, SimCost, UniformSimCost};
 pub use engine::{simulate, SimConfig, SimResult, SimSummary};

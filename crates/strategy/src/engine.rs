@@ -181,6 +181,11 @@ impl SearchEngine {
         self
     }
 
+    /// The shared generation cache (used by the retune path too).
+    pub(crate) fn schedules(&self) -> &ScheduleCache {
+        &self.schedules
+    }
+
     /// Snapshot of the work counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {

@@ -25,6 +25,16 @@
 //!   anything else JSON). `--codec {f32,bf16,lossy}` selects the wire
 //!   codec on every link; the in-process reference applies the same
 //!   codec, so the bit-identity check holds for lossy codecs too.
+//! * `autotune --rounds R --calibrate-iters N [opts]` — the closed
+//!   calibration loop: R fit cycles of N traced mesh iterations each,
+//!   merging every round's per-process span dumps, scoring the model in
+//!   force against the measurement, and refitting from the pooled
+//!   samples. Asserts the round-by-round mean relative error strictly
+//!   decreases, then re-searches the hot-swap-compatible schedule space
+//!   under the fitted costs and — when a different shape wins — runs one
+//!   mesh iteration under the swapped schedule (regenerated from
+//!   `--slices/--warmup/--reschedule` flags by every worker) and checks
+//!   its loss bit-identical to in-process.
 //! * `trace-report [opts]` — the full measured-vs-modeled loop in one
 //!   command: run one traced iteration in-process, profile the same
 //!   model, simulate the same schedule, and write measured trace,
@@ -45,6 +55,7 @@ use std::process::{Command, Stdio};
 use mepipe_comm::{
     CodecId, CommConfig, FaultSpec, SocketMode, SocketTransport, Transport, TransportConfig,
 };
+use mepipe_core::reschedule::reschedule_backwards;
 use mepipe_core::svpp::Mepipe;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
@@ -56,7 +67,8 @@ use mepipe_trace::{
     bubble, chrome::traces_to_chrome, IterationTrace, PidKey, Span, SpanKind, StageTrace,
 };
 use mepipe_train::{
-    metrics::run_metrics, params::ModelParams, profiler::profile_chunk, PipelineRuntime, WgradMode,
+    calibrate::Calibrator, metrics::run_metrics, params::ModelParams, profiler::profile_chunk,
+    PipelineRuntime, WgradMode,
 };
 
 /// The deterministic scenario every process reconstructs from flags.
@@ -70,13 +82,28 @@ struct Scenario {
     seed: u64,
     mode: WgradMode,
     codec: CodecId,
+    /// SVPP warmup cap (`None` = generator default). Set by the
+    /// autotuner so spawned workers regenerate its chosen schedule.
+    warmup: Option<usize>,
+    /// Apply the backward-rescheduling polish after generation
+    /// (deterministic, so every process computes the same schedule).
+    reschedule: bool,
 }
 
 impl Scenario {
     fn schedule(&self) -> Schedule {
-        Mepipe::new()
+        let mut gen = Mepipe::new();
+        if let Some(f) = self.warmup {
+            gen = gen.warmup_cap(f);
+        }
+        let sch = gen
             .generate(&Dims::new(self.stages, self.micro_batches).slices(self.slices))
-            .expect("schedule generation")
+            .expect("schedule generation");
+        if self.reschedule {
+            reschedule_backwards(&sch).expect("backward rescheduling")
+        } else {
+            sch
+        }
     }
 
     fn runtime(&self) -> PipelineRuntime {
@@ -98,7 +125,7 @@ impl Scenario {
     }
 
     fn as_args(&self) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "--stages".into(),
             self.stages.to_string(),
             "--micro-batches".into(),
@@ -119,7 +146,15 @@ impl Scenario {
             },
             "--codec".into(),
             self.codec.name().into(),
-        ]
+        ];
+        if let Some(f) = self.warmup {
+            args.push("--warmup".into());
+            args.push(f.to_string());
+        }
+        if self.reschedule {
+            args.push("--reschedule".into());
+        }
+        args
     }
 }
 
@@ -130,6 +165,10 @@ struct Args {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     out: PathBuf,
+    /// Calibration fit cycles for `autotune`.
+    rounds: usize,
+    /// Traced mesh iterations per calibration round.
+    calibrate_iters: usize,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -142,12 +181,16 @@ fn parse_args(rest: &[String]) -> Args {
         seed: 7,
         mode: WgradMode::DrainOnWait,
         codec: CodecId::F32,
+        warmup: None,
+        reschedule: false,
     };
     let mut stage = None;
     let mut dir = std::env::temp_dir().join(format!("mepipe-mesh-{}", std::process::id()));
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut out = PathBuf::from("target/trace-report");
+    let mut rounds = 2usize;
+    let mut calibrate_iters = 1usize;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -163,6 +206,10 @@ fn parse_args(rest: &[String]) -> Args {
             "--seq-len" => scenario.seq_len = value().parse().expect("--seq-len"),
             "--layers" => scenario.layers = value().parse().expect("--layers"),
             "--seed" => scenario.seed = value().parse().expect("--seed"),
+            "--warmup" => scenario.warmup = Some(value().parse().expect("--warmup")),
+            "--reschedule" => scenario.reschedule = true,
+            "--rounds" => rounds = value().parse().expect("--rounds"),
+            "--calibrate-iters" => calibrate_iters = value().parse().expect("--calibrate-iters"),
             "--dir" => dir = PathBuf::from(value()),
             "--trace-out" => trace_out = Some(PathBuf::from(value())),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value())),
@@ -190,6 +237,8 @@ fn parse_args(rest: &[String]) -> Args {
         trace_out,
         metrics_out,
         out,
+        rounds,
+        calibrate_iters,
     }
 }
 
@@ -340,12 +389,14 @@ fn run_worker(args: &Args) {
     );
 }
 
-/// `launch`: the multi-process mesh, verified against in-process.
-fn run_launch(args: &Args) {
-    let sc = &args.scenario;
+/// Spawns one multi-process mesh iteration under `dir` and returns the
+/// stage-order loss sum plus the merged per-process trace (when
+/// `traced`). The mesh directory is removed afterwards, so callers can
+/// run many iterations back to back with distinct dirs.
+fn mesh_iteration(sc: &Scenario, dir: &Path, traced: bool) -> (f64, Option<IterationTrace>) {
     let exe = std::env::current_exe().expect("current exe");
-    std::fs::create_dir_all(&args.dir).expect("mesh dir");
-    let stage_trace_path = |stage: usize| args.dir.join(format!("trace-stage-{stage}.txt"));
+    std::fs::create_dir_all(dir).expect("mesh dir");
+    let stage_trace_path = |stage: usize| dir.join(format!("trace-stage-{stage}.txt"));
     let children: Vec<_> = (0..sc.stages)
         .map(|stage| {
             let mut cmd = Command::new(&exe);
@@ -353,10 +404,10 @@ fn run_launch(args: &Args) {
                 .arg("--stage")
                 .arg(stage.to_string())
                 .arg("--dir")
-                .arg(&args.dir)
+                .arg(dir)
                 .args(sc.as_args())
                 .stdout(Stdio::piped());
-            if args.trace_out.is_some() {
+            if traced {
                 cmd.arg("--trace-out").arg(stage_trace_path(stage));
             }
             (stage, cmd.spawn().expect("spawn worker"))
@@ -387,18 +438,25 @@ fn run_launch(args: &Args) {
         loss += f64::from_bits(bits);
     }
 
-    // Merge the per-process span dumps onto one time axis. Each worker
-    // recorded offsets from its own clock anchor; `traces_to_chrome`
-    // shifts every trace by its anchor's epoch delta, which is the
-    // cross-process alignment (anchors bound their own epoch-read
-    // uncertainty at construction).
-    if let Some(trace_out) = &args.trace_out {
-        let merged = IterationTrace {
-            stages: (0..sc.stages)
-                .map(|stage| read_stage_trace(&stage_trace_path(stage)))
-                .collect(),
-        };
-        let json = traces_to_chrome(&merged, PidKey::Stage);
+    // Merge the per-process span dumps onto one time axis: each worker
+    // recorded offsets from its own clock anchor, whose epoch position
+    // lets the traces line up across processes.
+    let merged = traced.then(|| IterationTrace {
+        stages: (0..sc.stages)
+            .map(|stage| read_stage_trace(&stage_trace_path(stage)))
+            .collect(),
+    });
+    let _ = std::fs::remove_dir_all(dir);
+    (loss, merged)
+}
+
+/// `launch`: the multi-process mesh, verified against in-process.
+fn run_launch(args: &Args) {
+    let sc = &args.scenario;
+    let (loss, merged) = mesh_iteration(sc, &args.dir, args.trace_out.is_some());
+
+    if let (Some(trace_out), Some(merged)) = (&args.trace_out, &merged) {
+        let json = traces_to_chrome(merged, PidKey::Stage);
         let complete = validate_chrome_trace(&json, sc.stages);
         if let Some(parent) = trace_out.parent() {
             let _ = std::fs::create_dir_all(parent);
@@ -410,9 +468,8 @@ fn run_launch(args: &Args) {
             sc.stages,
             trace_out.display()
         );
-        print!("{}", bubble::attribute(&merged).render());
+        print!("{}", bubble::attribute(merged).render());
     }
-    let _ = std::fs::remove_dir_all(&args.dir);
 
     // The reference runs in-process under the *same* codec: the
     // in-process backend applies lossy codecs as an encode/decode round
@@ -542,6 +599,106 @@ fn run_trace_report(args: &Args) {
     println!("OK: traced loss bit-identical to untraced; busy/idle reconciled per stage");
 }
 
+/// `autotune`: the closed calibration loop over the multi-process mesh.
+///
+/// Runs `--rounds` fit cycles of `--calibrate-iters` traced mesh
+/// iterations each; every round scores the model in force against the
+/// measurement, pools the samples and refits. The error trajectory must
+/// strictly decrease (asserted — `scripts/check.sh` relies on it). The
+/// fitted model then re-searches the hot-swap-compatible schedule space;
+/// when it proposes a different shape, one mesh iteration runs under the
+/// swapped schedule — regenerated purely from flags by every worker
+/// process — and its loss is verified bit-identical to an in-process run.
+fn run_autotune(args: &Args) {
+    let sc = &args.scenario;
+    let cfg = TransformerConfig {
+        seq_len: sc.seq_len,
+        ..TransformerConfig::tiny(sc.layers)
+    };
+    let prior = Calibrator::prior_for(&cfg, sc.stages, sc.slices, sc.micro_batches)
+        .expect("prior cost model");
+    let mut cal = Calibrator::new(prior);
+    let schedule = sc.schedule();
+    let mut first_makespan = None;
+    for round in 0..args.rounds.max(1) {
+        let mut last = None;
+        for iter in 0..args.calibrate_iters.max(1) {
+            let dir = args.dir.join(format!("round-{round}-iter-{iter}"));
+            let (_, trace) = mesh_iteration(sc, &dir, true);
+            let trace = trace.expect("traced mesh run");
+            cal.absorb(&trace);
+            last = Some(trace);
+        }
+        let trace = last.expect("at least one iteration per round");
+        if first_makespan.is_none() {
+            first_makespan = Some(bubble::attribute(&trace).makespan_s);
+        }
+        let err = cal.record_round(&schedule, &trace).expect("round scoring");
+        println!("round {round}: mean relative error {err:.4}");
+        cal.refit();
+    }
+    print!("{}", cal.report().render());
+    assert!(
+        cal.report().is_strictly_decreasing(),
+        "calibration error did not strictly decrease:\n{}",
+        cal.report().render()
+    );
+    let Some(p) = cal.propose(None).expect("calibrated re-search") else {
+        println!("no swap candidate generated; keeping the running schedule");
+        return;
+    };
+    println!(
+        "fitted search proposes slices={} warmup={} (predicted {:.3} ms/iter{})",
+        p.slices,
+        p.warmup,
+        p.predicted_s * 1e3,
+        if p.rescheduled {
+            ", backward-rescheduled"
+        } else {
+            ""
+        },
+    );
+    if p.schedule.workers == schedule.workers {
+        println!("OK: calibration error strictly decreased; running schedule already optimal under the fitted model");
+        return;
+    }
+    // Regenerate the chosen schedule purely from flags, exactly as every
+    // worker process will, and check that reproduces the proposal.
+    let swapped = Scenario {
+        slices: p.slices,
+        warmup: Some(p.warmup),
+        reschedule: p.rescheduled,
+        ..sc.clone()
+    };
+    assert_eq!(
+        swapped.schedule().workers,
+        p.schedule.workers,
+        "flag-regenerated schedule does not reproduce the proposal"
+    );
+    let (loss, trace) = mesh_iteration(&swapped, &args.dir.join("swapped"), true);
+    let reference = swapped
+        .runtime()
+        .with_transport(TransportConfig::in_proc().with_codec(sc.codec))
+        .run_iteration(&swapped.schedule(), &swapped.batch(), sc.mode, None)
+        .expect("in-process reference of the swapped schedule");
+    assert_eq!(
+        loss.to_bits(),
+        reference.loss.to_bits(),
+        "swapped-schedule mesh loss is not bit-identical to in-process"
+    );
+    let after = bubble::attribute(&trace.expect("traced swapped run")).makespan_s;
+    println!(
+        "measured makespan {:.3} ms under {} slices -> {:.3} ms under {} slices",
+        first_makespan.unwrap_or(f64::NAN) * 1e3,
+        sc.slices,
+        after * 1e3,
+        p.slices,
+    );
+    println!(
+        "OK: calibration error strictly decreased; swapped schedule bit-identical across processes"
+    );
+}
+
 /// `selftest-faults`: fault injection recovers to a bit-identical loss.
 fn run_selftest_faults(args: &Args) {
     let sc = &args.scenario;
@@ -594,15 +751,18 @@ fn run_selftest_faults(args: &Args) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (mode, rest) = argv
-        .split_first()
-        .expect("usage: mepipe-worker <worker|launch|trace-report|selftest-faults> [flags]");
+    let (mode, rest) = argv.split_first().expect(
+        "usage: mepipe-worker <worker|launch|autotune|trace-report|selftest-faults> [flags]",
+    );
     let args = parse_args(rest);
     match mode.as_str() {
         "worker" => run_worker(&args),
         "launch" => run_launch(&args),
+        "autotune" => run_autotune(&args),
         "trace-report" => run_trace_report(&args),
         "selftest-faults" => run_selftest_faults(&args),
-        m => panic!("unknown mode {m} (expected worker|launch|trace-report|selftest-faults)"),
+        m => panic!(
+            "unknown mode {m} (expected worker|launch|autotune|trace-report|selftest-faults)"
+        ),
     }
 }

@@ -23,9 +23,13 @@
 //! [`profiler`] (measures real per-slice op times and feeds them to the
 //! simulator — the paper's profiler → scheduler → engine pipeline),
 //! [`metrics`] (bridges run statistics into a `mepipe-trace` metrics
-//! registry for JSON / Prometheus exposition).
+//! registry for JSON / Prometheus exposition), [`calibrate`] (the online
+//! loop that fits the cost model to measured spans, re-searches the
+//! schedule space under the fitted costs, and hot-swaps the winner into
+//! the running job).
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod checkpoint;
 pub mod cp;
 pub mod layer;

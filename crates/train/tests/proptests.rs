@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 
+use mepipe_comm::{Backend, TransportConfig};
 use mepipe_core::svpp::Mepipe;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
@@ -145,6 +146,85 @@ proptest! {
         let (serial_loss, serial_grads) = serial_data_parallel(&rt, &sch, &batch, replicas, mode);
         prop_assert_eq!(par.loss.to_bits(), serial_loss.to_bits());
         prop_assert_eq!(par.grads.max_abs_diff(&serial_grads), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Hot-swapping to a different schedule between iterations — what the
+    /// calibration loop does mid-run — is bitwise invisible: an iteration
+    /// under the new schedule on a runtime already warmed by the old one
+    /// (recycled arenas, live transport links) equals a fresh runtime
+    /// running the new schedule from scratch, on both the InProc and UDS
+    /// transports and under every weight-gradient mode.
+    #[test]
+    fn hot_swapped_schedule_matches_fresh_run(
+        seed in 0u64..1000,
+        from_slices in prop::sample::select(vec![2usize, 4, 8]),
+        to_slices in prop::sample::select(vec![1usize, 2, 4]),
+        mode_idx in 0usize..3,
+        uds in proptest::bool::ANY,
+    ) {
+        let stages = 2;
+        let cfg = TransformerConfig {
+            seq_len: 16,
+            ..TransformerConfig::tiny(4)
+        };
+        let mode = mode_of(mode_idx);
+        let micro_batches = stages;
+        let from = Mepipe::new()
+            .generate(&Dims::new(stages, micro_batches).slices(from_slices))
+            .unwrap();
+        let to = Mepipe::new()
+            .generate(&Dims::new(stages, micro_batches).slices(to_slices))
+            .unwrap();
+        let batch = make_batch(&cfg, micro_batches, seed);
+
+        let run = |warm: bool, tag: &str| {
+            let dir = uds.then(|| {
+                std::env::temp_dir().join(format!(
+                    "mepipe-swap-{tag}-{}-{seed}-{from_slices}-{to_slices}",
+                    std::process::id()
+                ))
+            });
+            let config = match &dir {
+                Some(d) => TransportConfig {
+                    backend: Backend::Uds(d.clone()),
+                    ..TransportConfig::default()
+                },
+                None => TransportConfig::in_proc(),
+            };
+            let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), stages, 1)
+                .with_transport(config);
+            if warm {
+                // The pre-swap iteration seeds the arenas and exercises
+                // the links with the *old* slicing before the swap.
+                rt.run_iteration(&from, &batch, mode, None)
+                    .expect("pre-swap iteration");
+            }
+            let stats = rt
+                .run_iteration(&to, &batch, mode, None)
+                .expect("post-swap iteration");
+            drop(rt);
+            if let Some(d) = dir {
+                let _ = std::fs::remove_dir_all(&d);
+            }
+            stats
+        };
+
+        let swapped = run(true, "warm");
+        let fresh = run(false, "fresh");
+        prop_assert_eq!(
+            swapped.loss.to_bits(),
+            fresh.loss.to_bits(),
+            "hot-swapped loss differs from a scratch run of the new schedule"
+        );
+        prop_assert_eq!(
+            swapped.grads.max_abs_diff(&fresh.grads),
+            0.0,
+            "hot-swapped grads differ from a scratch run of the new schedule"
+        );
     }
 }
 

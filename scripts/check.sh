@@ -52,6 +52,15 @@ test -s "$MERGE_DIR/merged.trace.json" || { echo "launch did not write a merged 
 test -s "$MERGE_DIR/metrics.prom" || { echo "launch did not write metrics"; exit 1; }
 rm -rf "$MERGE_DIR"
 
+echo "==> autotune smoke (4 workers over UDS, 2 calibration rounds, strict error decrease)"
+# The binary asserts the bubblecheck mean relative error strictly
+# decreases across rounds and that the hot-swapped schedule reproduces
+# the in-process loss bit for bit.
+AUTOTUNE_DIR="$(mktemp -d)"
+cargo run --release -p mepipe-train --bin mepipe-worker -- autotune \
+  --stages 4 --rounds 2 --dir "$AUTOTUNE_DIR"
+rm -rf "$AUTOTUNE_DIR"
+
 echo "==> fault-injection smoke (dropped/corrupted frames, retried, same loss)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- selftest-faults
 
