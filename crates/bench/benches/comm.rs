@@ -184,8 +184,15 @@ fn main() {
             r.recv_wait_s * 1e3,
             ratio_txt
         );
+        // `wire_measured_over_modeled` only exists for emulated links —
+        // non-emulated rows omit the key entirely rather than carrying a
+        // null downstream consumers would have to special-case.
+        let ratio_field = r
+            .ratio
+            .map(|x| format!(", \"wire_measured_over_modeled\": {x:.4}"))
+            .unwrap_or_default();
         entries.push(format!(
-            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"recv_wait_s\": {:.6}, \"payload_precodec_bytes\": {}, \"payload_postcodec_bytes\": {}, \"encode_overlap_s\": {:.6}, \"wire_measured_over_modeled\": {}}}",
+            "    \"{}\": {{\"secs_per_iter\": {:.6}, \"vs_inproc\": {:.4}, \"tx_messages\": {}, \"tx_bytes\": {}, \"retries\": {}, \"recv_wait_s\": {:.6}, \"payload_precodec_bytes\": {}, \"payload_postcodec_bytes\": {}, \"encode_overlap_s\": {:.6}{}}}",
             r.name,
             r.secs,
             r.secs / base,
@@ -196,7 +203,7 @@ fn main() {
             total.payload_bytes_precodec,
             total.payload_bytes_postcodec,
             total.encode_overlap_ns as f64 * 1e-9,
-            r.ratio.map(|x| format!("{x:.4}")).unwrap_or_else(|| "null".into()),
+            ratio_field,
         ));
     }
     let json = format!(

@@ -110,7 +110,11 @@ fn main() {
         ));
     }
 
-    // --- Worker scaling at 512, fixed grain => bit-identical results. ---
+    // --- Worker scaling at 512, fixed grain => bit-identical results.
+    // 512³ sits below the engine's parallel break-even floor, so the
+    // pool is ignored there: the row here documents that multi-worker
+    // no longer *loses* to single-worker at sub-break-even shapes
+    // (scaling pins to ~1.0x instead of the old 0.9x). ---
     println!("== matmul 512 worker scaling ==");
     json.push_str("  \"worker_scaling_512\": [\n");
     let mut r = rng(2);

@@ -9,10 +9,11 @@ use std::time::Instant;
 
 use criterion::black_box;
 use mepipe_comm::TransportConfig;
-use mepipe_core::svpp::Mepipe;
+use mepipe_core::{svpp::Mepipe, Synth};
 use mepipe_hw::LinkSpec;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_schedule::DualPipe;
 use mepipe_tensor::init::synthetic_tokens;
 use mepipe_train::{
     calibrate::{autotune, Calibrator},
@@ -274,6 +275,70 @@ fn main() {
         BASELINE_DP_S / t_dp
     );
 
+    // --- Scenario 2b: best synthesized schedule vs the SVPP template on
+    // the same model — the end-to-end check that the synthesis layer's
+    // simulated win survives the real threaded runtime. Two synthesized
+    // tiers compete (fig8's "best synthesized" logic): the order solver,
+    // which keeps SVPP's shape (v=1, same slicing, same runtime) and
+    // only reorders per-worker ops, and DualPipe bidirectional (v=2,
+    // its own two-chunk runtime). Interleaved min-of-5 on all sides —
+    // drift and interference hit every schedule equally. ---
+    let solver_sch = Synth::new()
+        .generate(&Dims::new(STAGES, MICRO_BATCHES).slices(SLICES))
+        .unwrap();
+    let dual_sch = DualPipe::new()
+        .generate(
+            &Dims::new(STAGES, MICRO_BATCHES)
+                .virtual_chunks(2)
+                .slices(SLICES),
+        )
+        .unwrap();
+    let dual_rt = PipelineRuntime::new(ModelParams::init(cfg, 7), STAGES, 2);
+    let once = Instant::now();
+    let _ = dual_rt.run_iteration(&dual_sch, &batch, WgradMode::DrainOnWait, None);
+    let secs_once = once.elapsed().as_secs_f64();
+    let per_sample = if secs_once <= 0.0 {
+        4
+    } else {
+        ((0.5 / secs_once) as usize).clamp(1, 8)
+    };
+    let mut t_svpp = f64::INFINITY;
+    let mut t_solver = f64::INFINITY;
+    let mut t_dual = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(rt.run_iteration(&sch, &batch, WgradMode::DrainOnWait, None))
+                .expect("svpp iteration");
+        }
+        t_svpp = t_svpp.min(start.elapsed().as_secs_f64() / per_sample as f64);
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(rt.run_iteration(&solver_sch, &batch, WgradMode::DrainOnWait, None))
+                .expect("solver iteration");
+        }
+        t_solver = t_solver.min(start.elapsed().as_secs_f64() / per_sample as f64);
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(dual_rt.run_iteration(&dual_sch, &batch, WgradMode::DrainOnWait, None))
+                .expect("dualpipe iteration");
+        }
+        t_dual = t_dual.min(start.elapsed().as_secs_f64() / per_sample as f64);
+    }
+    let (synth_name, t_synth) = if t_solver <= t_dual {
+        ("solver", t_solver)
+    } else {
+        ("dualpipe", t_dual)
+    };
+    let synth_speedup = t_svpp / t_synth;
+    println!("== best synthesized vs svpp ==");
+    println!(
+        "  svpp {:.1} ms/iter, solver {:.1} ms/iter, dualpipe {:.1} ms/iter -> best ({synth_name}) = {synth_speedup:.2}x",
+        t_svpp * 1e3,
+        t_solver * 1e3,
+        t_dual * 1e3
+    );
+
     // --- Scenario 3: multi-process `launch` — real worker processes
     // over Unix sockets, full wall time per launch (spawn + rendezvous +
     // iteration + in-process bit-identity reference). The worker binary
@@ -378,7 +443,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4},\n    \"launch_s\": {launch_s},\n    \"launch_baseline_s\": {BASELINE_LAUNCH_S:.6},\n    \"launch_speedup\": {launch_speedup},\n    \"autotune_link_latency_s\": {:.6},\n    \"autotune_before_s\": {t_at_before:.6},\n    \"autotune_after_s\": {t_at_after:.6},\n    \"autotune_slices_before\": {AUTOTUNE_SLICES},\n    \"autotune_slices_after\": {},\n    \"autotune_warmup\": {},\n    \"autotune_rescheduled\": {},\n    \"autotune_error_first\": {at_err_first:.4},\n    \"autotune_error_last\": {at_err_last:.4},\n    \"autotune_speedup\": {autotune_speedup:.4}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4},\n    \"launch_s\": {launch_s},\n    \"launch_baseline_s\": {BASELINE_LAUNCH_S:.6},\n    \"launch_speedup\": {launch_speedup},\n    \"autotune_link_latency_s\": {:.6},\n    \"autotune_before_s\": {t_at_before:.6},\n    \"autotune_after_s\": {t_at_after:.6},\n    \"autotune_slices_before\": {AUTOTUNE_SLICES},\n    \"autotune_slices_after\": {},\n    \"autotune_warmup\": {},\n    \"autotune_rescheduled\": {},\n    \"autotune_error_first\": {at_err_first:.4},\n    \"autotune_error_last\": {at_err_last:.4},\n    \"autotune_speedup\": {autotune_speedup:.4},\n    \"synthesized_vs_svpp\": {{\"schedule\": \"{synth_name}\", \"svpp_s\": {t_svpp:.6}, \"solver_s\": {t_solver:.6}, \"dualpipe_s\": {t_dual:.6}, \"synthesized_s\": {t_synth:.6}, \"speedup\": {synth_speedup:.4}}}\n  }}\n}}\n",
         cfg.seq_len,
         cfg.layers,
         cfg.hidden,

@@ -39,7 +39,8 @@ pub fn run() -> ExperimentReport {
                     );
                     if *m == Method::Mepipe {
                         mepipe_time = e.iteration_time;
-                    } else {
+                    } else if !m.is_synthesized() {
+                        // Synthesized tiers are not Figure-10 baselines.
                         best_baseline = best_baseline.min(e.iteration_time);
                     }
                 }

@@ -12,6 +12,7 @@ pub mod tab2;
 pub mod tab3;
 pub mod tab67;
 pub mod tab9;
+pub mod zoo;
 
 use crate::report::ExperimentReport;
 
@@ -43,5 +44,7 @@ pub fn all() -> Vec<Experiment> {
         ("abl_nonuniform", ablations::abl_nonuniform),
         ("abl_messages", ablations::abl_messages),
         ("disc9", disc9::run),
+        ("zoo", zoo::run),
+        ("solver_smoke", zoo::solver),
     ]
 }

@@ -905,22 +905,33 @@ impl Endpoint for SocketEndpoint {
             return;
         }
         self.closed = true;
-        // Put goodbyes behind any frames still in flight, then let the
-        // writer drain everything before the streams come down.
-        for to in 0..self.stages {
-            if self.writers[to].is_some() {
-                let mut buf = self.lend_tx_buf();
-                frame::encode_bye_into(&mut buf, self.stage);
-                let _ = self.dispatch_frame(to, buf);
-            }
-        }
+        // Let the writer drain every data frame still in flight, then
+        // take the tx machinery down before the goodbyes go out.
         {
+            let start = Instant::now();
             let mut st = self.tx.state.lock().expect("tx lock");
+            while st.err.is_none() && st.in_flight > 0 && start.elapsed() < self.send_deadline {
+                st = self.tx.cv_room.wait_timeout(st, POLL).expect("tx lock").0;
+            }
             st.shutdown = true;
         }
         self.tx.cv_send.notify_all();
         if let Some(w) = self.writer.take() {
             let _ = w.join();
+        }
+        // Goodbyes go straight onto each stream, best-effort *per peer*:
+        // routing them through the shared tx queue would let one
+        // already-departed peer poison the queue's error state and
+        // suppress the goodbyes to peers still listening. That matters
+        // under bidirectional schedules, where the middle stages finish
+        // and close first — the end stages outlive some of their peers
+        // and must still say goodbye to each other.
+        for to in 0..self.stages {
+            if let Some(w) = &self.writers[to] {
+                let mut buf = Vec::new();
+                frame::encode_bye_into(&mut buf, self.stage);
+                let _ = write_frame(&mut w.lock().expect("stream lock"), &buf);
+            }
         }
         for s in self.shut.iter().flatten() {
             s.shutdown();

@@ -11,6 +11,9 @@
 //!   the simulator and the threaded runtime drain opportunistically.
 //! * [`analytic`] — the closed-form bubble-ratio and activation-memory
 //!   expressions of Table 3 for every scheduling method.
+//! * [`solver`] — OptPipe-style bound-pruned beam search over per-worker
+//!   op orders, seeded with the greedy SVPP family and priced with exact
+//!   list-order execution.
 //! * [`nonuniform`] — TeraPipe's dynamic-programming slice balancing and
 //!   the uniform-vs-non-uniform crossover analysis of Section 5.
 #![warn(missing_docs)]
@@ -18,10 +21,12 @@
 pub mod analytic;
 pub mod nonuniform;
 pub mod reschedule;
+pub mod solver;
 pub mod svpp;
 pub mod variants;
 pub mod wgrad;
 
+pub use solver::{SliceCosts, SolverConfig, SolverStats, Synth, Synthesis};
 pub use svpp::{Mepipe, Svpp, SvppConfig};
 pub use variants::{select_variant_for_budget, variant_peak_units, SvppVariant};
 pub use wgrad::{WgradEntry, WgradQueue};

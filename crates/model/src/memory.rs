@@ -75,6 +75,16 @@ pub fn static_bytes_per_worker(cfg: &TransformerConfig, spec: &PartitionSpec) ->
     4.0 * m / p + 12.0 * m / workers
 }
 
+/// Extra static bytes a *bidirectional* (DualPipe-style) schedule costs
+/// per worker: the reverse direction runs through a second replica of the
+/// worker's layer block, duplicating fp16 parameters and gradients
+/// (`4·m/p` more). Optimizer state is not duplicated — ZeRO shards one
+/// master copy per parameter across all devices regardless of how many
+/// replicas serve it.
+pub fn bidirectional_extra_static_bytes(cfg: &TransformerConfig, spec: &PartitionSpec) -> f64 {
+    4.0 * cfg.num_params() as f64 / spec.pp as f64
+}
+
 /// Temporary workspace per worker in bytes: framework/runtime buffers plus
 /// the fp32 logits + logit-gradient buffers on the worker holding the head.
 pub fn temporary_bytes_per_worker(

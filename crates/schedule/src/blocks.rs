@@ -1,0 +1,164 @@
+//! Controllable-memory building-block schedules.
+//!
+//! "Pipeline Parallelism with Controllable Memory" observes that the
+//! hand-written zoo samples a much larger family: a schedule is a repeated
+//! *building block* — one forward, one (split) backward, offset by the
+//! activation **lifespan**, the time a forward's activations stay resident
+//! before their backward reclaims them. The lifespan is a free parameter:
+//! shrinking it trades bubble time for activation memory, and the chunk
+//! placement (interleaved vs V-shape) sets where along the pipeline the
+//! memory concentrates.
+//!
+//! This module exposes that family through the same capacity-bounded
+//! greedy machinery as SVPP: the lifespan knob becomes a *uniform*
+//! per-stage in-flight cap (`floor + k` everywhere), in contrast to
+//! SVPP's stage-sloped `max(f − w, floor)` ramp. Two placements are
+//! offered:
+//!
+//! * [`Blocks::uniform`] — interleaved placement, uniform lifespan caps;
+//! * [`Blocks::v_shape`] — V-shaped placement (`v = 2`), where each
+//!   worker's two chunks sit symmetrically so the first and last model
+//!   blocks share stage 0 and per-stage memory is naturally balanced.
+
+use crate::generate::{cap_floor, greedy_generate};
+use crate::generator::{require, Dims, ScheduleError, ScheduleGenerator};
+use crate::ir::{ChunkPlacement, Schedule, ScheduleMeta};
+
+/// Which building-block family variant to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockShape {
+    /// Interleaved chunk placement with uniform lifespan caps.
+    Uniform,
+    /// V-shaped two-chunk placement (requires `v = 2`).
+    VShape,
+}
+
+/// Lifespan-parameterized building-block schedule generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocks {
+    shape: BlockShape,
+    lifespan: Option<usize>,
+}
+
+impl Blocks {
+    /// Interleaved placement, uniform lifespan caps.
+    pub fn uniform() -> Self {
+        Self {
+            shape: BlockShape::Uniform,
+            lifespan: None,
+        }
+    }
+
+    /// V-shaped placement (`v = 2`).
+    pub fn v_shape() -> Self {
+        Self {
+            shape: BlockShape::VShape,
+            lifespan: None,
+        }
+    }
+
+    /// Sets the lifespan knob `k`: every stage may hold `floor + k`
+    /// in-flight forward units (`floor = v·s`, the feasibility minimum).
+    /// `k = 0` is the most memory-frugal member of the family; larger `k`
+    /// buys bubble time with activation memory.
+    pub fn lifespan(mut self, k: usize) -> Self {
+        self.lifespan = Some(k);
+        self
+    }
+
+    /// Largest useful lifespan: with `k` at `n·v·s − floor` every unit is
+    /// admitted immediately and larger values change nothing.
+    pub fn max_lifespan(dims: &Dims) -> usize {
+        (dims.n * dims.v * dims.s).saturating_sub(dims.v * dims.s)
+    }
+
+    fn meta(&self, dims: &Dims) -> ScheduleMeta {
+        ScheduleMeta {
+            name: match self.shape {
+                BlockShape::Uniform => "Blocks".into(),
+                BlockShape::VShape => "Blocks-V".into(),
+            },
+            stages: dims.p,
+            virtual_chunks: dims.v,
+            slices: dims.s,
+            micro_batches: dims.n,
+            split_backward: true,
+            placement: match self.shape {
+                BlockShape::Uniform => ChunkPlacement::Interleaved,
+                BlockShape::VShape => ChunkPlacement::VShape,
+            },
+        }
+    }
+}
+
+impl ScheduleGenerator for Blocks {
+    fn name(&self) -> &'static str {
+        match self.shape {
+            BlockShape::Uniform => "Blocks",
+            BlockShape::VShape => "Blocks-V",
+        }
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        if self.shape == BlockShape::VShape {
+            require(self.name(), dims.v == 2, || {
+                format!("V-shaped blocks need v = 2 chunks (v = {})", dims.v)
+            })?;
+        }
+        let meta = self.meta(dims);
+        let floor = cap_floor(&meta);
+        // Default lifespan: one extra pipeline depth of units — a middle
+        // point of the family that keeps the steady state fed.
+        let k = self
+            .lifespan
+            .unwrap_or(dims.p)
+            .min(Self::max_lifespan(dims));
+        let caps = vec![floor + k; dims.p];
+        Ok(greedy_generate(&meta, &caps)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{peak_in_flight, validate};
+
+    #[test]
+    fn both_families_generate_valid_schedules() {
+        for dims in [
+            Dims::new(4, 8),
+            Dims::new(4, 8).virtual_chunks(2),
+            Dims::new(4, 8).virtual_chunks(2).slices(2),
+            Dims::new(2, 4).slices(4),
+        ] {
+            let u = Blocks::uniform().generate(&dims).unwrap();
+            validate(&u).unwrap_or_else(|e| panic!("uniform {dims}: {e}"));
+            if dims.v == 2 {
+                let v = Blocks::v_shape().generate(&dims).unwrap();
+                validate(&v).unwrap_or_else(|e| panic!("v-shape {dims}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn lifespan_is_a_monotone_memory_knob() {
+        let dims = Dims::new(4, 16).slices(2);
+        let peak = |k: usize| {
+            let s = Blocks::uniform().lifespan(k).generate(&dims).unwrap();
+            validate(&s).unwrap();
+            peak_in_flight(&s).into_iter().max().unwrap()
+        };
+        let frugal = peak(0);
+        let mid = peak(4);
+        let rich = peak(Blocks::max_lifespan(&dims));
+        assert!(frugal <= mid && mid <= rich, "{frugal} {mid} {rich}");
+        assert!(frugal < rich, "knob has no effect: {frugal} == {rich}");
+        // k = 0 pins every stage at the feasibility floor.
+        assert_eq!(frugal, dims.v * dims.s);
+    }
+
+    #[test]
+    fn v_shape_requires_two_chunks() {
+        assert!(Blocks::v_shape().generate(&Dims::new(4, 8)).is_err());
+    }
+}

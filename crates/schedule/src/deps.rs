@@ -44,12 +44,18 @@ pub fn dependencies(meta: &ScheduleMeta, stage: usize, op: Op) -> Vec<Dep> {
     } else {
         OpKind::Backward
     };
-    let g = meta.global_pos(stage, op.chunk);
+    if let Some(c) = meta.chunk_of_mb(op.micro_batch) {
+        assert_eq!(
+            op.chunk, c,
+            "bidirectional micro-batch on the wrong chunk: {op}"
+        );
+    }
+    let g = meta.chain_pos(op.micro_batch, stage, op.chunk);
     let mut deps = Vec::with_capacity(3);
     match op.kind {
         OpKind::Forward => {
             if g > 0 {
-                let (pw, pc) = meta.stage_chunk_of(g - 1);
+                let (pw, pc) = meta.chain_stage_chunk(op.micro_batch, g - 1);
                 deps.push(Dep {
                     op: Op::new(OpKind::Forward, op.micro_batch, op.slice, pc),
                     stage: pw,
@@ -69,8 +75,8 @@ pub fn dependencies(meta: &ScheduleMeta, stage: usize, op: Op) -> Vec<Dep> {
                 op.kind, backward_kind,
                 "backward kind must match meta.split_backward"
             );
-            if g < meta.last_global_pos() {
-                let (nw, nc) = meta.stage_chunk_of(g + 1);
+            if g < meta.last_chain_pos() {
+                let (nw, nc) = meta.chain_stage_chunk(op.micro_batch, g + 1);
                 deps.push(Dep {
                     op: Op::new(backward_kind, op.micro_batch, op.slice, nc),
                     stage: nw,
@@ -116,12 +122,18 @@ pub fn dependencies(meta: &ScheduleMeta, stage: usize, op: Op) -> Vec<Dep> {
 /// worker's chunks come *after* this one in backward order.
 pub fn backward_descendants(meta: &ScheduleMeta, stage: usize, op: Op) -> usize {
     debug_assert!(op.kind.is_backward_pass());
-    let g = meta.global_pos(stage, op.chunk);
-    // Chunks on this worker whose global position is below g (they run
-    // after this one in the backward direction).
-    let later_chunks = (0..meta.virtual_chunks)
-        .filter(|&c| meta.global_pos(stage, c) < g)
-        .count();
+    // Under bidirectional placement a micro-batch occupies exactly one
+    // chunk per worker, so there is no same-worker later chunk to unlock.
+    let later_chunks = if meta.bidirectional() {
+        0
+    } else {
+        let g = meta.global_pos(stage, op.chunk);
+        // Chunks on this worker whose global position is below g (they run
+        // after this one in the backward direction).
+        (0..meta.virtual_chunks)
+            .filter(|&c| meta.global_pos(stage, c) < g)
+            .count()
+    };
     (op.slice + 1) * (later_chunks + 1) - 1
 }
 
@@ -223,6 +235,45 @@ mod tests {
             backward_descendants(&m, 3, Op::new(OpKind::Backward, 0, 0, 0)),
             0
         );
+    }
+
+    #[test]
+    fn bidirectional_streams_enter_from_opposite_ends() {
+        let mut m = meta(4, 2, 1, true);
+        m.placement = ChunkPlacement::Bidirectional;
+        // Even micro-batch: slice-0 forward on stage 0 chunk 0 is a source.
+        assert!(dependencies(&m, 0, Op::new(OpKind::Forward, 0, 0, 0)).is_empty());
+        // Odd micro-batch: slice-0 forward on stage 3 chunk 1 is a source.
+        assert!(dependencies(&m, 3, Op::new(OpKind::Forward, 1, 0, 1)).is_empty());
+        // The odd stream flows downward: stage 2 chunk 1 waits on stage 3.
+        let d = dependencies(&m, 2, Op::new(OpKind::Forward, 1, 0, 1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].stage, 3);
+        assert_eq!(d[0].op.chunk, 1);
+        assert!(d[0].cross_stage);
+        // Odd stream's loss sits on stage 0: its backward there needs only
+        // its own forward.
+        let d = dependencies(&m, 0, Op::new(OpKind::BackwardInput, 1, 0, 1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].op.kind, OpKind::Forward);
+        // Even stream's backward on stage 0 waits on stage 1.
+        let d = dependencies(&m, 0, Op::new(OpKind::BackwardInput, 0, 0, 0));
+        assert!(d
+            .iter()
+            .any(|x| x.cross_stage && x.stage == 1 && x.op.chunk == 0));
+        // No same-worker later chunk: descendants count only slices.
+        assert_eq!(
+            backward_descendants(&m, 1, Op::new(OpKind::BackwardInput, 0, 0, 0)),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong chunk")]
+    fn bidirectional_wrong_chunk_panics() {
+        let mut m = meta(4, 2, 1, true);
+        m.placement = ChunkPlacement::Bidirectional;
+        dependencies(&m, 0, Op::new(OpKind::Forward, 1, 0, 0));
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! DualPipe bidirectional scheduling.
+//!
+//! Two micro-batch streams enter the pipeline from opposite ends: even
+//! micro-batches flow `0 → p−1` through each stage's chunk-0 model
+//! replica, odd micro-batches flow `p−1 → 0` through the chunk-1 replica
+//! (see [`ChunkPlacement::Bidirectional`]). Because both ends are entry
+//! stages, warmup ramps from both sides at once and the steady state
+//! interleaves the two streams' forwards and backwards on every worker —
+//! the bubble concentrates in the middle instead of rolling across the
+//! whole pipeline.
+//!
+//! Generation reuses the capacity-bounded greedy machinery
+//! ([`greedy_generate`]) on a bidirectional meta; each worker's resulting
+//! op list factors into the classic three-phase shape — warmup (forwards
+//! only), steady (mixed), cooldown (backwards only) — which
+//! [`DualPipe::phases`] recovers for reports and tests.
+
+use crate::generate::{cap_floor, default_caps, greedy_generate};
+use crate::generator::{Dims, ScheduleError, ScheduleGenerator};
+use crate::ir::{ChunkPlacement, Schedule, ScheduleMeta};
+
+/// Execution phase of one position in a worker's op list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DualPipePhase {
+    /// Before the worker's first backward: ramping in-flight work up.
+    Warmup,
+    /// Between the first backward and the last forward: both streams live.
+    Steady,
+    /// After the worker's last forward: draining backwards only.
+    Cooldown,
+}
+
+/// DualPipe bidirectional schedule generator. Defined for `v = 2` (the
+/// two directions' model replicas) and an even micro-batch count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DualPipe {
+    warmup: Option<usize>,
+}
+
+impl DualPipe {
+    /// A generator with the default warmup budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps each direction's entry admissions at `f` in-flight units —
+    /// the bidirectional analogue of SVPP's warmup parameter and the
+    /// memory knob the budget selector sweeps.
+    pub fn warmup_cap(mut self, f: usize) -> Self {
+        self.warmup = Some(f);
+        self
+    }
+
+    /// Smallest feasible warmup budget: one micro-batch's slices.
+    pub fn min_warmup(dims: &Dims) -> usize {
+        dims.s
+    }
+
+    /// Largest useful warmup budget: every unit of one direction admitted
+    /// with no backoff (`n/2` micro-batches × `s` slices).
+    pub fn max_warmup(dims: &Dims) -> usize {
+        (dims.n / 2).max(1) * dims.s
+    }
+
+    fn meta(dims: &Dims) -> ScheduleMeta {
+        ScheduleMeta {
+            name: "DualPipe".into(),
+            stages: dims.p,
+            virtual_chunks: 2,
+            slices: dims.s,
+            micro_batches: dims.n,
+            split_backward: true,
+            placement: ChunkPlacement::Bidirectional,
+        }
+    }
+
+    /// Labels each position of each worker's op list with its phase.
+    pub fn phases(schedule: &Schedule) -> Vec<Vec<DualPipePhase>> {
+        schedule
+            .workers
+            .iter()
+            .map(|ops| {
+                let first_bwd = ops
+                    .iter()
+                    .position(|o| o.kind.is_backward_pass())
+                    .unwrap_or(ops.len());
+                let last_fwd = ops
+                    .iter()
+                    .rposition(|o| o.kind == crate::ir::OpKind::Forward)
+                    .unwrap_or(0);
+                (0..ops.len())
+                    .map(|i| {
+                        if i < first_bwd {
+                            DualPipePhase::Warmup
+                        } else if i <= last_fwd {
+                            DualPipePhase::Steady
+                        } else {
+                            DualPipePhase::Cooldown
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl ScheduleGenerator for DualPipe {
+    fn name(&self) -> &'static str {
+        "DualPipe"
+    }
+
+    fn generate(&self, dims: &Dims) -> Result<Schedule, ScheduleError> {
+        crate::generator::require(self.name(), dims.v == 2, || {
+            format!("defined only for v = 2 model replicas (v = {})", dims.v)
+        })?;
+        crate::generator::require(self.name(), dims.n.is_multiple_of(2) && dims.n >= 2, || {
+            format!("needs an even micro-batch count ≥ 2 (n = {})", dims.n)
+        })?;
+        let meta = Self::meta(dims);
+        // Default: enough budget for both ramps to overlap — roughly half
+        // the pipeline depth of micro-batches per direction.
+        let f = self
+            .warmup
+            .unwrap_or_else(|| (dims.s * (dims.p / 2 + 1)).min(Self::max_warmup(dims)))
+            .max(cap_floor(&meta));
+        let caps = default_caps(&meta, f);
+        Ok(greedy_generate(&meta, &caps)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{peak_in_flight, validate};
+
+    #[test]
+    fn dualpipe_generates_valid_schedules() {
+        for (p, s, n) in [(2usize, 1usize, 4usize), (4, 1, 8), (4, 2, 4), (8, 1, 16)] {
+            let dims = Dims::new(p, n).virtual_chunks(2).slices(s);
+            let sched = DualPipe::new()
+                .generate(&dims)
+                .unwrap_or_else(|e| panic!("p={p} s={s} n={n}: {e}"));
+            validate(&sched).unwrap_or_else(|e| panic!("p={p} s={s} n={n}: {e}"));
+            assert_eq!(sched.meta.placement, ChunkPlacement::Bidirectional);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        assert!(DualPipe::new().generate(&Dims::new(4, 8)).is_err());
+        assert!(DualPipe::new()
+            .generate(&Dims::new(4, 3).virtual_chunks(2))
+            .is_err());
+    }
+
+    #[test]
+    fn warmup_cap_bounds_entry_admissions() {
+        let dims = Dims::new(4, 16).virtual_chunks(2);
+        let tight = DualPipe::new()
+            .warmup_cap(DualPipe::min_warmup(&dims))
+            .generate(&dims)
+            .unwrap();
+        let loose = DualPipe::new()
+            .warmup_cap(DualPipe::max_warmup(&dims))
+            .generate(&dims)
+            .unwrap();
+        validate(&tight).unwrap();
+        validate(&loose).unwrap();
+        let peak = |s: &Schedule| peak_in_flight(s).into_iter().max().unwrap();
+        assert!(
+            peak(&tight) < peak(&loose),
+            "tight {} vs loose {}",
+            peak(&tight),
+            peak(&loose)
+        );
+    }
+
+    #[test]
+    fn every_worker_walks_warmup_steady_cooldown() {
+        let dims = Dims::new(4, 8).virtual_chunks(2);
+        let sched = DualPipe::new().generate(&dims).unwrap();
+        for (w, phases) in DualPipe::phases(&sched).iter().enumerate() {
+            // Phases are monotone and all three occur.
+            assert!(phases.windows(2).all(|p| !matches!(
+                (p[0], p[1]),
+                (DualPipePhase::Steady, DualPipePhase::Warmup)
+                    | (DualPipePhase::Cooldown, DualPipePhase::Warmup)
+                    | (DualPipePhase::Cooldown, DualPipePhase::Steady)
+            )));
+            for ph in [
+                DualPipePhase::Warmup,
+                DualPipePhase::Steady,
+                DualPipePhase::Cooldown,
+            ] {
+                assert!(phases.contains(&ph), "worker {w} missing {ph:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_ends_start_immediately() {
+        // The defining bidirectional property: stage p−1 is an entry
+        // stage, so its first op is a forward of an odd micro-batch —
+        // no waiting for the wavefront from stage 0.
+        let dims = Dims::new(4, 8).virtual_chunks(2);
+        let sched = DualPipe::new().generate(&dims).unwrap();
+        let first_last = sched.workers[3][0];
+        assert_eq!(first_last.kind, crate::ir::OpKind::Forward);
+        assert!(!first_last.micro_batch.is_multiple_of(2));
+        assert_eq!(first_last.chunk, 1);
+        let first_zero = sched.workers[0][0];
+        assert!(first_zero.micro_batch.is_multiple_of(2));
+        assert_eq!(first_zero.chunk, 0);
+    }
+}

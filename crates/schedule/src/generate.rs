@@ -25,22 +25,39 @@ use std::collections::HashSet;
 
 use crate::ir::{Op, OpKind, Schedule, ScheduleMeta};
 
+/// The per-worker in-flight floor below which generation cannot make
+/// progress: the first backward needs one whole micro-batch's units on the
+/// loss worker — `v·s` for interleaved placements (Section 4.2: "at least
+/// `v × s` forward passes must be executed before the first backward
+/// pass"), `s` for bidirectional placement where each micro-batch holds
+/// only one chunk per worker.
+pub fn cap_floor(meta: &ScheduleMeta) -> usize {
+    if meta.bidirectional() {
+        meta.slices
+    } else {
+        meta.virtual_chunks * meta.slices
+    }
+}
+
 /// Generates a schedule under per-stage in-flight capacities.
 ///
 /// `caps[w]` bounds the number of forward units worker `w` may hold before
-/// backing off; every cap must be at least `v·s` (the first backward needs
-/// the whole first micro-batch in flight — Section 4.2: "at least `v × s`
-/// forward passes must be executed before the first backward pass").
+/// backing off; every cap must be at least [`cap_floor`].
+///
+/// Bidirectional metas are handled natively: each micro-batch is seeded at
+/// its own end of the pipeline and all position arithmetic follows its
+/// direction, so the same greedy machinery produces DualPipe-style
+/// two-stream schedules.
 pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, String> {
     meta.check_shape()?;
     let p = meta.stages;
     if caps.len() != p {
         return Err(format!("need {p} caps, got {}", caps.len()));
     }
-    let min_cap = meta.virtual_chunks * meta.slices;
+    let min_cap = cap_floor(meta);
     if let Some(w) = caps.iter().position(|&c| c < min_cap) {
         return Err(format!(
-            "cap {} at stage {w} below the feasibility floor v*s = {min_cap}",
+            "cap {} at stage {w} below the feasibility floor {min_cap}",
             caps[w]
         ));
     }
@@ -64,13 +81,12 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
     // consumer finish in the same tick.
     let mut queued: HashSet<(usize, Op)> = HashSet::new();
 
-    // Seed: forwards with no producers (slice 0 of every micro-batch at
-    // global position 0).
-    {
-        let (w0, c0) = meta.stage_chunk_of(0);
-        for mb in 0..meta.micro_batches {
-            ready_fwd[w0].push(Op::new(OpKind::Forward, mb, 0, c0));
-        }
+    // Seed: forwards with no producers — slice 0 of every micro-batch at
+    // its chain entry (position 0 for everyone; bidirectional streams
+    // enter from opposite ends).
+    for mb in 0..meta.micro_batches {
+        let (w0, c0) = meta.chain_stage_chunk(mb, 0);
+        ready_fwd[w0].push(Op::new(OpKind::Forward, mb, 0, c0));
     }
 
     let mut lists: Vec<Vec<Op>> = vec![Vec::new(); p];
@@ -88,10 +104,15 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
     // same-worker backward chains (s > 1 or v > 1) would monopolise the
     // worker and starve downstream stages.
     let mut prefer_forward = vec![false; p];
+    // Under bidirectional placement every admitted unit is its own "pair"
+    // (one chunk per worker per micro-batch), so the reservation machinery
+    // degenerates: every admission is shallow and reserves nothing.
+    let bidir = meta.bidirectional();
+    let pair_units = if bidir { 1 } else { meta.virtual_chunks };
     let shallow_chunk: Vec<usize> = (0..p)
         .map(|w| {
             (0..meta.virtual_chunks)
-                .min_by_key(|&c| meta.global_pos(w, c))
+                .min_by_key(|&c| meta.placement.global_pos(p, w, c))
                 .expect("at least one chunk")
         })
         .collect();
@@ -131,7 +152,7 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
             //    backward wavefront), older micro-batch on ties.
             let mut bwd_best: Option<(usize, usize)> = None; // (index, g)
             for (i, op) in ready_bwd[w].iter().enumerate() {
-                let g = meta.global_pos(w, op.chunk);
+                let g = meta.chain_pos(op.micro_batch, w, op.chunk);
                 let better = match bwd_best {
                     None => true,
                     Some((bi, bg)) => {
@@ -153,14 +174,26 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
             // backward can always be reached within the capacity.
             let mut fwd_best: Option<(usize, usize)> = None; // (index, g)
             for (i, op) in ready_fwd[w].iter().enumerate() {
-                let is_shallow = op.chunk == shallow_chunk[w];
+                let g = meta.chain_pos(op.micro_batch, w, op.chunk);
+                // Admission control: interleaved placements admit a
+                // (micro-batch, slice) pair at the worker's shallow chunk
+                // and reserve room for its deep chunks; bidirectional
+                // placements admit at the chain entry (g = 0) and let
+                // pass-through forwards bypass the check — capping them
+                // creates a store-and-forward cycle between the two
+                // streams (each end full of its own admissions while the
+                // other stream's loss unit waits), i.e. deadlock.
+                let is_admission = if bidir {
+                    g == 0
+                } else {
+                    op.chunk == shallow_chunk[w]
+                };
                 // Admission reserves room for the WHOLE (micro-batch,
                 // slice) pair — its deep chunks will arrive and bypass the
                 // check — so the cap is a hard bound on in-flight units.
-                if is_shallow && in_flight[w] + reserved[w] + meta.virtual_chunks > caps[w] {
+                if is_admission && in_flight[w] + reserved[w] + pair_units > caps[w] {
                     continue;
                 }
-                let g = meta.global_pos(w, op.chunk);
                 let better = match fwd_best {
                     None => true,
                     Some((bi, bg)) => {
@@ -182,8 +215,10 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
             if run_forward {
                 let (i, _) = fwd_best.expect("forward candidate exists");
                 let op = ready_fwd[w].swap_remove(i);
-                if op.chunk == shallow_chunk[w] {
-                    reserved[w] += meta.virtual_chunks - 1;
+                if bidir {
+                    // One-chunk pairs: nothing to reserve.
+                } else if op.chunk == shallow_chunk[w] {
+                    reserved[w] += pair_units - 1;
                 } else {
                     reserved[w] -= 1;
                 }
@@ -234,19 +269,21 @@ pub fn greedy_generate(meta: &ScheduleMeta, caps: &[usize]) -> Result<Schedule, 
 
 /// Consumers an op can unlock — the inverse of
 /// [`crate::deps::dependencies`]. Weight ops are excluded (the generator
-/// appends them inline after their input-gradient op).
-fn dependents(
+/// appends them inline after their input-gradient op). Public so order
+/// synthesizers outside this crate can reuse the incremental readiness
+/// machinery.
+pub fn dependents(
     meta: &ScheduleMeta,
     stage: usize,
     op: Op,
     backward_kind: OpKind,
 ) -> Vec<(usize, Op)> {
-    let g = meta.global_pos(stage, op.chunk);
+    let g = meta.chain_pos(op.micro_batch, stage, op.chunk);
     let mut out = Vec::with_capacity(3);
     match op.kind {
         OpKind::Forward => {
-            if g < meta.last_global_pos() {
-                let (nw, nc) = meta.stage_chunk_of(g + 1);
+            if g < meta.last_chain_pos() {
+                let (nw, nc) = meta.chain_stage_chunk(op.micro_batch, g + 1);
                 out.push((nw, Op::new(OpKind::Forward, op.micro_batch, op.slice, nc)));
             }
             if op.slice + 1 < meta.slices {
@@ -264,7 +301,7 @@ fn dependents(
         }
         OpKind::Backward | OpKind::BackwardInput => {
             if g > 0 {
-                let (pw, pc) = meta.stage_chunk_of(g - 1);
+                let (pw, pc) = meta.chain_stage_chunk(op.micro_batch, g - 1);
                 out.push((pw, Op::new(backward_kind, op.micro_batch, op.slice, pc)));
             }
             if op.slice > 0 {
@@ -280,12 +317,23 @@ fn dependents(
 }
 
 /// Default per-stage capacities for a warmup budget `f` at stage 0:
-/// `max(f − w, v·s)` — later stages start later and drain sooner, so they
-/// never need the full budget (Section 4.1's analysis focuses on stage 0).
+/// `max(f − w, floor)` — later stages start later and drain sooner, so
+/// they never need the full budget (Section 4.1's analysis focuses on
+/// stage 0). For bidirectional metas the slope is symmetric — both ends
+/// are entry stages — so the budget decays toward the middle:
+/// `max(f − min(w, p−1−w), floor)`.
 pub fn default_caps(meta: &ScheduleMeta, f: usize) -> Vec<usize> {
-    let floor = meta.virtual_chunks * meta.slices;
-    (0..meta.stages)
-        .map(|w| f.saturating_sub(w).max(floor))
+    let floor = cap_floor(meta);
+    let p = meta.stages;
+    (0..p)
+        .map(|w| {
+            let depth = if meta.bidirectional() {
+                w.min(p - 1 - w)
+            } else {
+                w
+            };
+            f.saturating_sub(depth).max(floor)
+        })
         .collect()
 }
 
@@ -387,6 +435,32 @@ mod tests {
         let caps: Vec<usize> = (0..4).map(|w| (2 * (4 - w)).max(2)).collect();
         let s = greedy_generate(&m, &caps).unwrap();
         validate(&s).unwrap();
+    }
+
+    #[test]
+    fn bidirectional_generation_is_valid() {
+        for (p, s, n) in [(2usize, 1usize, 4usize), (4, 2, 4), (4, 1, 8)] {
+            let m = ScheduleMeta {
+                placement: ChunkPlacement::Bidirectional,
+                split_backward: true,
+                ..meta(p, 2, s, n)
+            };
+            for f in [cap_floor(&m), 2 * cap_floor(&m)] {
+                let caps = default_caps(&m, f);
+                let sched = greedy_generate(&m, &caps)
+                    .unwrap_or_else(|e| panic!("p={p} s={s} n={n} f={f}: {e}"));
+                validate(&sched).unwrap_or_else(|e| panic!("p={p} s={s} n={n} f={f}: {e}"));
+                // Pass-through forwards bypass the cap (only admissions
+                // are charged), so a stage can hold up to both directions'
+                // budgets at once — but never more.
+                let peaks = peak_in_flight(&sched);
+                let bound = 2 * f.max(cap_floor(&m));
+                assert!(
+                    peaks.iter().all(|&pk| pk <= bound),
+                    "p={p} s={s} n={n} f={f}: peaks {peaks:?} exceed {bound}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub trait ScheduleGenerator {
 }
 
 /// Rejects dimensions a method has no notion of.
-fn require(
+pub(crate) fn require(
     method: &'static str,
     cond: bool,
     reason: impl FnOnce() -> String,

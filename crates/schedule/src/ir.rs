@@ -96,6 +96,16 @@ pub enum ChunkPlacement {
     /// stages, odd chunks climb back (a zigzag of `v` waves). Identical to
     /// [`ChunkPlacement::VShape`] at `v = 2`.
     Wave,
+    /// DualPipe bidirectional placement (requires `v = 2`, even `n`): the
+    /// model is replicated, not interleaved. Stage `w` holds model block
+    /// `w` in chunk 0 and block `p − 1 − w` in chunk 1, so *even*
+    /// micro-batches traverse the stages `0 → p−1` through the chunk-0
+    /// copies while *odd* micro-batches traverse `p−1 → 0` through the
+    /// chunk-1 copies. Each micro-batch's forward chain has length `p`
+    /// (not `p·v`), and which stage owns a chain position depends on the
+    /// micro-batch's direction — use the `ScheduleMeta::chain_*` methods,
+    /// which take the micro-batch, instead of the placement-level maps.
+    Bidirectional,
 }
 
 impl ChunkPlacement {
@@ -118,10 +128,29 @@ impl ChunkPlacement {
                     chunk * p + (p - 1 - stage)
                 }
             }
+            // For bidirectional placement the *model block* index: chunk 0
+            // of stage `w` is block `w`, chunk 1 is the replica of block
+            // `p − 1 − w`. Chain traversal is per-micro-batch — see
+            // `ScheduleMeta::chain_pos`.
+            ChunkPlacement::Bidirectional => {
+                if chunk == 0 {
+                    stage
+                } else {
+                    p - 1 - stage
+                }
+            }
         }
     }
 
     /// Inverse of [`ChunkPlacement::global_pos`].
+    ///
+    /// # Panics
+    ///
+    /// For [`ChunkPlacement::Bidirectional`] the block → `(stage, chunk)`
+    /// map is two-valued (every block has a chunk-0 and a chunk-1 host),
+    /// so this panics; callers must use
+    /// [`ScheduleMeta::chain_stage_chunk`], which disambiguates by
+    /// micro-batch direction.
     pub fn stage_chunk_of(self, p: usize, g: usize) -> (usize, usize) {
         match self {
             ChunkPlacement::Interleaved => (g % p, g / p),
@@ -140,6 +169,9 @@ impl ChunkPlacement {
                 } else {
                     (p - 1 - r, c)
                 }
+            }
+            ChunkPlacement::Bidirectional => {
+                panic!("bidirectional placement has no micro-batch-independent chain; use ScheduleMeta::chain_stage_chunk")
             }
         }
     }
@@ -186,12 +218,102 @@ impl ScheduleMeta {
         self.placement.stage_chunk_of(self.stages, g)
     }
 
-    /// Work units (slice × chunk × micro-batch) per worker for one op kind.
-    pub fn units_per_worker(&self) -> usize {
-        self.micro_batches * self.slices * self.virtual_chunks
+    /// Whether micro-batches enter the pipeline from both ends.
+    pub fn bidirectional(&self) -> bool {
+        self.placement == ChunkPlacement::Bidirectional
     }
 
-    /// Basic shape sanity: nonzero dimensions, V-placement only at `v = 2`.
+    /// Length of one micro-batch's forward chain. Equal to
+    /// [`ScheduleMeta::total_chunks`] for interleaved placements; `p` for
+    /// bidirectional placement, where each micro-batch crosses every stage
+    /// exactly once.
+    pub fn chain_len(&self) -> usize {
+        if self.bidirectional() {
+            self.stages
+        } else {
+            self.total_chunks()
+        }
+    }
+
+    /// Last chain position (where the loss is computed for a micro-batch).
+    pub fn last_chain_pos(&self) -> usize {
+        self.chain_len() - 1
+    }
+
+    /// Chain position of `(stage, chunk)` along micro-batch `mb`'s
+    /// forward chain. For non-bidirectional placements this is
+    /// micro-batch-independent and equals [`ScheduleMeta::global_pos`].
+    pub fn chain_pos(&self, mb: usize, stage: usize, chunk: usize) -> usize {
+        if self.bidirectional() {
+            if mb.is_multiple_of(2) {
+                debug_assert_eq!(chunk, 0, "even micro-batches run in chunk 0");
+                stage
+            } else {
+                debug_assert_eq!(chunk, 1, "odd micro-batches run in chunk 1");
+                self.stages - 1 - stage
+            }
+        } else {
+            self.global_pos(stage, chunk)
+        }
+    }
+
+    /// `(stage, chunk)` that executes chain position `g` of micro-batch
+    /// `mb`. Inverse of [`ScheduleMeta::chain_pos`].
+    pub fn chain_stage_chunk(&self, mb: usize, g: usize) -> (usize, usize) {
+        if self.bidirectional() {
+            if mb.is_multiple_of(2) {
+                (g, 0)
+            } else {
+                (self.stages - 1 - g, 1)
+            }
+        } else {
+            self.stage_chunk_of(g)
+        }
+    }
+
+    /// Which chunk micro-batch `mb` occupies on any stage it visits.
+    /// Non-bidirectional micro-batches visit every chunk.
+    pub fn chunk_of_mb(&self, mb: usize) -> Option<usize> {
+        if self.bidirectional() {
+            Some(mb % 2)
+        } else {
+            None
+        }
+    }
+
+    /// Number of model blocks the layer stack divides into. Equals
+    /// [`ScheduleMeta::total_chunks`] except under bidirectional
+    /// placement, where the two chunks per stage are *replicas*: the model
+    /// has `p` blocks and stage `w` hosts blocks `w` and `p − 1 − w`.
+    pub fn model_blocks(&self) -> usize {
+        if self.bidirectional() {
+            self.stages
+        } else {
+            self.total_chunks()
+        }
+    }
+
+    /// Model block computed by `(stage, chunk)`.
+    pub fn block_of(&self, stage: usize, chunk: usize) -> usize {
+        // For every placement this is exactly the placement-level
+        // position map (bidirectional defines it as the block index).
+        self.placement.global_pos(self.stages, stage, chunk)
+    }
+
+    /// Work units (slice × chunk × micro-batch) per worker for one op kind.
+    /// Under bidirectional placement each micro-batch visits one chunk per
+    /// stage, so the per-worker unit count is `n·s` rather than `n·s·v`.
+    pub fn units_per_worker(&self) -> usize {
+        if self.bidirectional() {
+            self.micro_batches * self.slices
+        } else {
+            self.micro_batches * self.slices * self.virtual_chunks
+        }
+    }
+
+    /// Basic shape sanity: nonzero dimensions, V-placement only at `v = 2`,
+    /// bidirectional placement only at `v = 2` with an even micro-batch
+    /// count (the two streams must be balanced).
     pub fn check_shape(&self) -> Result<(), String> {
         if self.stages == 0 || self.virtual_chunks == 0 || self.slices == 0 {
             return Err("stages, virtual_chunks and slices must be nonzero".into());
@@ -201,6 +323,14 @@ impl ScheduleMeta {
         }
         if self.placement == ChunkPlacement::VShape && self.virtual_chunks != 2 {
             return Err("V-shaped placement requires exactly 2 chunks per stage".into());
+        }
+        if self.placement == ChunkPlacement::Bidirectional {
+            if self.virtual_chunks != 2 {
+                return Err("bidirectional placement requires exactly 2 chunks per stage".into());
+            }
+            if !self.micro_batches.is_multiple_of(2) {
+                return Err("bidirectional placement requires an even micro-batch count".into());
+            }
         }
         Ok(())
     }
@@ -310,6 +440,55 @@ mod tests {
         assert!(m.check_shape().is_err());
         m.virtual_chunks = 0;
         assert!(m.check_shape().is_err());
+    }
+
+    #[test]
+    fn bidirectional_chains_enter_from_both_ends() {
+        let m = ScheduleMeta {
+            name: "dualpipe".into(),
+            stages: 4,
+            virtual_chunks: 2,
+            slices: 2,
+            micro_batches: 4,
+            split_backward: true,
+            placement: ChunkPlacement::Bidirectional,
+        };
+        assert!(m.check_shape().is_ok());
+        assert!(m.bidirectional());
+        assert_eq!(m.chain_len(), 4);
+        assert_eq!(m.model_blocks(), 4);
+        assert_eq!(m.units_per_worker(), 8);
+        // Even micro-batches descend through chunk 0.
+        assert_eq!(m.chain_stage_chunk(0, 0), (0, 0));
+        assert_eq!(m.chain_stage_chunk(0, 3), (3, 0));
+        // Odd micro-batches climb through chunk 1.
+        assert_eq!(m.chain_stage_chunk(1, 0), (3, 1));
+        assert_eq!(m.chain_stage_chunk(1, 3), (0, 1));
+        // Round trip + both chunks of a stage map to mirrored blocks.
+        for mb in 0..4 {
+            for g in 0..m.chain_len() {
+                let (w, c) = m.chain_stage_chunk(mb, g);
+                assert_eq!(m.chain_pos(mb, w, c), g);
+                assert_eq!(c, m.chunk_of_mb(mb).unwrap());
+                // Chain position g always computes model block g: the
+                // chunk-1 replica on stage p−1−g hosts block g.
+                assert_eq!(m.block_of(w, c), g);
+            }
+        }
+        assert_eq!(m.block_of(0, 0), 0);
+        assert_eq!(m.block_of(0, 1), 3);
+        assert_eq!(m.block_of(3, 1), 0);
+        // Odd micro-batch count rejected.
+        let odd = ScheduleMeta {
+            micro_batches: 3,
+            ..m.clone()
+        };
+        assert!(odd.check_shape().is_err());
+        let v1 = ScheduleMeta {
+            virtual_chunks: 1,
+            ..m
+        };
+        assert!(v1.check_shape().is_err());
     }
 
     #[test]

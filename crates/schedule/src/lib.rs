@@ -18,10 +18,20 @@
 //! * [`baselines::zb`] — ZB-1P: 1F1B with split backward (zero bubble).
 //! * [`baselines::zbv`] — ZBV: V-shaped two-chunk placement with split
 //!   backward.
+//!
+//! Beyond the hand-written zoo, two *synthesized* families share the same
+//! IR and validators:
+//!
+//! * [`dualpipe`] — DualPipe bidirectional scheduling: two micro-batch
+//!   streams entering from opposite ends of the pipeline.
+//! * [`blocks`] — controllable-memory building-block schedules with a
+//!   lifespan (activation-residency) knob.
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod blocks;
 pub mod deps;
+pub mod dualpipe;
 pub mod exec;
 pub mod generate;
 pub mod generator;
@@ -30,5 +40,7 @@ pub mod render;
 pub mod stats;
 pub mod validate;
 
+pub use blocks::{BlockShape, Blocks};
+pub use dualpipe::{DualPipe, DualPipePhase};
 pub use generator::{Dims, ScheduleError, ScheduleGenerator};
 pub use ir::{ChunkPlacement, Op, OpKind, Schedule, ScheduleMeta};

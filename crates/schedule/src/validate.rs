@@ -54,6 +54,15 @@ fn check_completeness(schedule: &Schedule) -> Result<(), String> {
             {
                 return Err(format!("worker {w}: op {op} out of shape"));
             }
+            if let Some(c) = meta.chunk_of_mb(op.micro_batch) {
+                if op.chunk != c {
+                    return Err(format!(
+                        "worker {w}: op {op} on chunk {} but its micro-batch's \
+                         direction uses chunk {c}",
+                        op.chunk
+                    ));
+                }
+            }
             match op.kind {
                 OpKind::Forward => {}
                 k if k == backward_kind => {}

@@ -294,7 +294,9 @@ impl SearchEngine {
     ) -> Option<EvalKey> {
         let cost = ExecutionCost::new(*model, candidate.spec, cluster).ok()?;
         let sim_cost = match candidate.method {
-            Method::Mepipe => ModelCost::new(cost),
+            Method::Mepipe | Method::DualPipe | Method::Blocks | Method::Synth => {
+                ModelCost::new(cost)
+            }
             _ => ModelCost::new_coarse(cost),
         };
         let usable = cluster.accelerator.usable_memory_bytes();
@@ -333,9 +335,17 @@ impl SearchEngine {
             n: dims.n,
         };
         let fits = match candidate.method {
-            // `evaluate` rejects MEPipe when even the f = v·s floor
-            // exceeds the units that fit; otherwise it lowers f to fit.
-            Method::Mepipe => SvppConfig::from_dims(&dims).min_warmup() <= max_units,
+            // `evaluate` rejects MEPipe (and the solver tier, which seeds
+            // from the same family) when even the f = v·s floor exceeds
+            // the units that fit; otherwise it lowers f to fit.
+            Method::Mepipe | Method::Synth => {
+                SvppConfig::from_dims(&dims).min_warmup() <= max_units
+            }
+            // A bidirectional entry stage admits at least one
+            // micro-batch's slices per direction.
+            Method::DualPipe => dims.s <= max_units,
+            // The lifespan-0 member of the family pins every stage at v·s.
+            Method::Blocks => dims.v * dims.s <= max_units,
             // 1F1B-family schedules hold at least the warmup floor.
             _ => analytic::warmup_units_floor(params) <= max_units,
         };
@@ -345,15 +355,28 @@ impl SearchEngine {
         let s = spec.seq.spp_slices();
         let forward: Vec<f64> = (0..s).map(|i| cost.forward_time(i)).collect();
         let backward: Vec<f64> = (0..s).map(|i| cost.backward_input_time(i)).collect();
-        let floor = analytic::compute_floor_seconds(
-            params,
-            analytic::FloorInputs {
-                forward: &forward,
-                backward_input: &backward,
-                wgrad: cost.wgrad_time(),
-                overhead: cost.dp_sync_time() + cost.optimizer_time(),
-            },
-        );
+        let overhead = cost.dp_sync_time() + cost.optimizer_time();
+        let floor = match candidate.method {
+            // Bidirectional pipelines start from both ends at t = 0, so
+            // the unidirectional ramp/chain terms of the closed-form
+            // floor do not apply; the per-worker busy time (every worker
+            // runs every micro-batch through one L/p block) is the sound
+            // bound.
+            Method::DualPipe => {
+                let fwd_sum: f64 = forward.iter().sum();
+                let bwd_sum: f64 = backward.iter().sum();
+                dims.n as f64 * (fwd_sum + bwd_sum + s as f64 * cost.wgrad_time()) + overhead
+            }
+            _ => analytic::compute_floor_seconds(
+                params,
+                analytic::FloorInputs {
+                    forward: &forward,
+                    backward_input: &backward,
+                    wgrad: cost.wgrad_time(),
+                    overhead,
+                },
+            ),
+        };
         Prepass::Ready { floor }
     }
 

@@ -3,12 +3,13 @@
 use std::sync::Arc;
 
 use mepipe_core::svpp::{self, SvppConfig};
+use mepipe_core::Synth;
 use mepipe_hw::topology::ClusterSpec;
 use mepipe_model::{config::TransformerConfig, cost::ExecutionCost, memory};
 use mepipe_schedule::{
     generator::{ScheduleError, ScheduleGenerator},
     ir::Schedule,
-    validate,
+    validate, Blocks, DualPipe,
 };
 use mepipe_sim::{
     engine::{simulate, SimConfig},
@@ -31,7 +32,9 @@ pub struct Evaluated {
     pub peak_activation_bytes: f64,
     /// Model FLOPS utilisation.
     pub mfu: f64,
-    /// The SVPP warmup budget actually used (MEPipe only).
+    /// The memory-knob value actually used: SVPP warmup (MEPipe),
+    /// per-direction admissions (DualPipe), lifespan (Blocks) or the
+    /// solver's unit cap (Synth). `None` for knob-free methods.
     pub warmup: Option<usize>,
 }
 
@@ -70,6 +73,21 @@ pub(crate) fn evaluate_with(
         ));
     }
     let max_units = memory::max_in_flight_units(model, &spec, usable);
+    // Bidirectional schedules pay for a second parameter replica before
+    // any activation fits.
+    let (budget, max_units) = if candidate.method == Method::DualPipe {
+        let b = budget - memory::bidirectional_extra_static_bytes(model, &spec);
+        if b <= 0.0 {
+            return Err(format!(
+                "the reverse-direction parameter replica alone overflows the device ({:.1} GiB over)",
+                -b / 1024f64.powi(3)
+            ));
+        }
+        let unit = memory::activation_bytes_per_unit(model, &spec);
+        (b, (b / unit).floor() as usize)
+    } else {
+        (budget, max_units)
+    };
 
     let dims = candidate.dims();
     let build = |warmup: Option<usize>,
@@ -106,6 +124,51 @@ pub(crate) fn evaluate_with(
                 Some(f),
             )
         }
+        Method::DualPipe => {
+            let f_min = DualPipe::min_warmup(&dims);
+            if max_units < f_min {
+                return Err(format!(
+                    "even the f = s = {f_min} floor needs more than the {max_units} units that fit"
+                ));
+            }
+            // Both directions ramp at once and pass through each other's
+            // stages, so a worker can hold both streams' admissions:
+            // budget each direction half the units that fit.
+            let f = (max_units / 2).max(f_min).min(DualPipe::max_warmup(&dims));
+            (
+                build(Some(f), &|| DualPipe::new().warmup_cap(f).generate(&dims))?,
+                Some(f),
+            )
+        }
+        Method::Blocks => {
+            let floor = dims.v * dims.s;
+            if max_units < floor {
+                return Err(format!(
+                    "even the lifespan-0 floor of {floor} units needs more than the {max_units} that fit"
+                ));
+            }
+            let k = (max_units - floor).min(Blocks::max_lifespan(&dims));
+            (
+                build(Some(k), &|| Blocks::uniform().lifespan(k).generate(&dims))?,
+                Some(k),
+            )
+        }
+        Method::Synth => {
+            let base = SvppConfig::from_dims(&dims);
+            if max_units < base.min_warmup() {
+                return Err(format!(
+                    "even the f = v*s = {} floor needs more than the {} units that fit",
+                    base.min_warmup(),
+                    max_units
+                ));
+            }
+            (
+                build(Some(max_units), &|| {
+                    Synth::new().cap(max_units).generate(&dims)
+                })?,
+                Some(max_units),
+            )
+        }
         _ => (build(None, &|| candidate.method.generate(&dims))?, None),
     };
 
@@ -121,11 +184,22 @@ pub(crate) fn evaluate_with(
         ));
     }
 
+    // The synthesized tiers run on the MEPipe runtime and inherit its
+    // per-GEMM weight-gradient granularity; the zero-bubble baselines
+    // defer whole weight ops.
     let sim_cost = match candidate.method {
-        Method::Mepipe => ModelCost::new(cost),
+        Method::Mepipe | Method::DualPipe | Method::Blocks | Method::Synth => ModelCost::new(cost),
         _ => ModelCost::new_coarse(cost),
     };
-    let dynamic = matches!(candidate.method, Method::Zb | Method::Zbv | Method::Mepipe);
+    let dynamic = matches!(
+        candidate.method,
+        Method::Zb
+            | Method::Zbv
+            | Method::Mepipe
+            | Method::DualPipe
+            | Method::Blocks
+            | Method::Synth
+    );
     let result = simulate(
         &schedule,
         &sim_cost,

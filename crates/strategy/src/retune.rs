@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use mepipe_core::svpp::{self, SvppConfig};
+use mepipe_core::Synth;
 use mepipe_model::cost::ExecutionCost;
 use mepipe_schedule::{
     generator::{Dims, ScheduleGenerator},
@@ -42,8 +43,16 @@ const MAX_SLICES: usize = 64;
 pub struct Retuned {
     /// Sequence slices per micro-batch.
     pub slices: usize,
-    /// SVPP warmup cap `f` used by the generator.
+    /// The regeneration knob: SVPP warmup cap `f` for template rows, the
+    /// solver's per-worker unit cap for synthesized rows. Broadcasting
+    /// `(synthesized, slices, warmup)` lets every worker rebuild the
+    /// identical schedule.
     pub warmup: usize,
+    /// Whether this row came out of the order solver ([`Synth`]) rather
+    /// than the hand-written SVPP generator. Solver output is
+    /// MEPipe-shaped (same stages, chunks, micro-batches, split
+    /// backward), so it is hot-swap compatible too.
+    pub synthesized: bool,
     /// The generated schedule, ready to hand to a trainer.
     pub schedule: Arc<Schedule>,
     /// Iteration time under the supplied cost model, in seconds.
@@ -118,16 +127,65 @@ impl SearchEngine {
                 rows.push(Retuned {
                     slices: s,
                     warmup: f,
+                    synthesized: false,
                     schedule,
                     iteration_time: summary.iteration_time,
                     bubble_ratio: summary.bubble_ratio,
                     peak_units,
                 });
             }
+            // One solver row per slice count. The order search prices
+            // with the *default* deterministic SliceCosts — not the
+            // fitted model — so peer workers can regenerate the same
+            // schedule from the broadcast knob alone; the fitted model
+            // still does the ranking below, like every other row.
+            let total_units = n * v * s;
+            let cap = max_units.map_or(total_units, |c| c.min(total_units));
+            let key = ScheduleKey {
+                method: Method::Synth,
+                p,
+                v,
+                s,
+                n,
+                warmup: Some(cap),
+            };
+            let built = self
+                .schedules()
+                .get_or_build(key, || Synth::new().cap(cap).generate(&dims));
+            // An infeasible cap (below the SVPP floor) just means no
+            // solver row at this slice count.
+            if let Ok(schedule) = built {
+                let peak_units = validate::peak_in_flight(&schedule)
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+                if max_units.is_none_or(|cap| peak_units <= cap) {
+                    let sim_cost = ModelCost::new(cost.clone());
+                    let result = simulate(
+                        &schedule,
+                        &sim_cost,
+                        &SimConfig {
+                            dynamic_wgrad: true,
+                            ..Default::default()
+                        },
+                    )?;
+                    let summary = result.summary();
+                    rows.push(Retuned {
+                        slices: s,
+                        warmup: cap,
+                        synthesized: true,
+                        schedule,
+                        iteration_time: summary.iteration_time,
+                        bubble_ratio: summary.bubble_ratio,
+                        peak_units,
+                    });
+                }
+            }
         }
         rows.sort_by(|a, b| {
             a.iteration_time
                 .total_cmp(&b.iteration_time)
+                .then(a.synthesized.cmp(&b.synthesized))
                 .then(a.slices.cmp(&b.slices))
                 .then(a.warmup.cmp(&b.warmup))
         });
@@ -213,6 +271,38 @@ mod tests {
             best_fast.slices
         );
         assert!(best_laggy.slices <= 2, "laggy best: {}", best_laggy.slices);
+    }
+
+    #[test]
+    fn solver_rows_are_present_and_swap_compatible() {
+        let engine = SearchEngine::new();
+        let rows = engine
+            .retune_mepipe(&fitted(2, 4, LinkSpec::pcie4()), None)
+            .unwrap();
+        let synth: Vec<_> = rows.iter().filter(|r| r.synthesized).collect();
+        assert!(!synth.is_empty(), "no solver rows in the retune ranking");
+        for r in &synth {
+            assert_eq!(r.schedule.num_workers(), 2);
+            assert_eq!(64 % r.slices, 0);
+            validate::validate(&r.schedule).unwrap();
+        }
+        // The solver row at a given slice count is never slower than the
+        // best template row at the same slice count under the *solver's*
+        // seed family; under the fitted pricing it must at least stay in
+        // the same ballpark (within 10%) of the best template overall.
+        let best_template = rows
+            .iter()
+            .filter(|r| !r.synthesized)
+            .map(|r| r.iteration_time)
+            .fold(f64::INFINITY, f64::min);
+        let best_synth = synth
+            .iter()
+            .map(|r| r.iteration_time)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_synth <= best_template * 1.10,
+            "solver rows uncompetitive: {best_synth} vs {best_template}"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use mepipe_schedule::{
     ir::Schedule,
 };
 
-/// The five systems compared in Section 7.
+/// The five systems compared in Section 7, plus the three synthesized
+/// schedule tiers that share the same IR, validator and simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     /// DAPPLE / 1F1B (optionally with CP and recomputation).
@@ -24,11 +25,35 @@ pub enum Method {
     Zbv,
     /// MEPipe: SVPP + fine-grained weight gradients.
     Mepipe,
+    /// DualPipe bidirectional scheduling (two streams entering from
+    /// opposite ends; duplicates parameters per worker).
+    DualPipe,
+    /// Controllable-memory building-block schedules (lifespan knob).
+    Blocks,
+    /// Solver-synthesized per-worker op orders (bound-pruned beam search
+    /// over the SVPP-shaped IR).
+    Synth,
 }
 
 impl Method {
-    /// All methods in the paper's plotting order.
-    pub fn all() -> [Method; 5] {
+    /// All methods: the hand-written zoo in the paper's plotting order,
+    /// then the synthesized tiers.
+    pub fn all() -> [Method; 8] {
+        [
+            Method::Dapple,
+            Method::Vpp,
+            Method::Zb,
+            Method::Zbv,
+            Method::Mepipe,
+            Method::DualPipe,
+            Method::Blocks,
+            Method::Synth,
+        ]
+    }
+
+    /// The hand-written templates of Section 7 (the Figure 8 baselines
+    /// plus MEPipe itself).
+    pub fn templates() -> [Method; 5] {
         [
             Method::Dapple,
             Method::Vpp,
@@ -36,6 +61,18 @@ impl Method {
             Method::Zbv,
             Method::Mepipe,
         ]
+    }
+
+    /// The synthesized tiers: generated families and solver output, never
+    /// counted as "baselines" in the paper's figures.
+    pub fn synthesized() -> [Method; 3] {
+        [Method::DualPipe, Method::Blocks, Method::Synth]
+    }
+
+    /// Whether this method is a synthesized tier (see
+    /// [`Method::synthesized`]).
+    pub fn is_synthesized(self) -> bool {
+        matches!(self, Method::DualPipe | Method::Blocks | Method::Synth)
     }
 
     /// Display name matching the paper's figures.
@@ -46,6 +83,9 @@ impl Method {
             Method::Zb => "ZB",
             Method::Zbv => "ZBV",
             Method::Mepipe => "MEPipe",
+            Method::DualPipe => "DualPipe",
+            Method::Blocks => "Blocks",
+            Method::Synth => "Synth",
         }
     }
 
@@ -65,6 +105,9 @@ impl Method {
             Method::Zb => Box::new(generator::Zb),
             Method::Zbv => Box::new(generator::Zbv),
             Method::Mepipe => Box::new(svpp::Mepipe::new()),
+            Method::DualPipe => Box::new(mepipe_schedule::DualPipe::new()),
+            Method::Blocks => Box::new(mepipe_schedule::Blocks::uniform()),
+            Method::Synth => Box::new(mepipe_core::Synth::new()),
         }
     }
 
@@ -88,9 +131,18 @@ impl Candidate {
     /// The schedule dimensions of this candidate. Context parallelism
     /// affects only the cost model, not the schedule shape, so `s` comes
     /// from slice pipelining alone.
+    ///
+    /// DualPipe's two chunks are the two directions' *replicas* of the
+    /// same `p`-way layer split, not an interleaved refinement, so its
+    /// partition keeps `vp = 1` (each op prices `L/p` layers) while the
+    /// schedule dims carry `v = 2`.
     pub fn dims(&self) -> Dims {
+        let v = match self.method {
+            Method::DualPipe => 2,
+            _ => self.spec.vp,
+        };
         Dims::new(self.spec.pp, self.spec.micro_batches())
-            .virtual_chunks(self.spec.vp)
+            .virtual_chunks(v)
             .slices(self.spec.seq.spp_slices())
     }
 
@@ -129,10 +181,13 @@ pub fn enumerate_candidates(
     let vps: &[usize] = match method {
         Method::Vpp => &[2, 4],
         Method::Zbv => &[2],
+        // DualPipe's v = 2 is a replica count, not a partition refinement
+        // (see `Candidate::dims`); the synthesized tiers search slices.
         _ => &[1],
     };
     let seqs: &[usize] = match method {
-        Method::Mepipe => &[1, 2, 4, 8, 16],
+        Method::Mepipe | Method::Synth => &[1, 2, 4, 8, 16],
+        Method::DualPipe | Method::Blocks => &[1, 2, 4, 8],
         _ => &[1, 2, 4, 8],
     };
     let recomputes: &[bool] = if method.supports_recompute() {
@@ -148,12 +203,10 @@ pub fn enumerate_candidates(
             }
             for &seq in seqs {
                 let seq_split = match method {
-                    Method::Mepipe => {
-                        if seq == 1 {
-                            SequenceSplit::SlicePipeline { slices: 1 }
-                        } else {
-                            SequenceSplit::SlicePipeline { slices: seq }
-                        }
+                    // Slice-level schedules: SPP shares the sequence
+                    // across pipeline time, consuming no workers.
+                    Method::Mepipe | Method::DualPipe | Method::Blocks | Method::Synth => {
+                        SequenceSplit::SlicePipeline { slices: seq }
                     }
                     _ if seq == 1 => SequenceSplit::None,
                     _ => SequenceSplit::Context { size: seq },
@@ -189,6 +242,12 @@ pub fn enumerate_candidates(
                     if method == Method::Vpp && !spec.micro_batches().is_multiple_of(pp) {
                         continue;
                     }
+                    // DualPipe pairs micro-batches into two streams.
+                    if method == Method::DualPipe
+                        && (spec.micro_batches() < 2 || !spec.micro_batches().is_multiple_of(2))
+                    {
+                        continue;
+                    }
                     out.push(Candidate { method, spec });
                 }
             }
@@ -208,6 +267,49 @@ mod tests {
         for m in Method::all() {
             let c = enumerate_candidates(m, &model, &cluster, 128);
             assert!(!c.is_empty(), "{} has an empty space", m.name());
+        }
+    }
+
+    #[test]
+    fn templates_and_synthesized_partition_all() {
+        let mut combined: Vec<Method> = Method::templates().to_vec();
+        combined.extend(Method::synthesized());
+        assert_eq!(combined, Method::all().to_vec());
+        for m in Method::templates() {
+            assert!(!m.is_synthesized());
+        }
+        for m in Method::synthesized() {
+            assert!(m.is_synthesized());
+        }
+    }
+
+    #[test]
+    fn dualpipe_dims_carry_two_replica_chunks() {
+        let spec = PartitionSpec {
+            pp: 8,
+            vp: 1,
+            dp: 8,
+            seq: SequenceSplit::SlicePipeline { slices: 2 },
+            recompute: false,
+            micro_batch_size: 1,
+            global_batch: 128,
+        };
+        let c = Candidate {
+            method: Method::DualPipe,
+            spec,
+        };
+        assert_eq!(c.dims().v, 2);
+        assert_eq!(c.spec.vp, 1, "pricing partition stays vp = 1");
+        let every = enumerate_candidates(
+            Method::DualPipe,
+            &TransformerConfig::llama2_13b(),
+            &ClusterSpec::rtx4090_cluster(),
+            128,
+        );
+        assert!(!every.is_empty());
+        for c in every {
+            assert!(c.spec.micro_batches().is_multiple_of(2), "{:?}", c);
+            assert_eq!(c.dims().v, 2);
         }
     }
 

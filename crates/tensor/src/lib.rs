@@ -38,4 +38,4 @@ pub mod wire;
 pub use arena::{ArenaStats, TensorArena};
 pub use pool::KernelPool;
 pub use tensor::Tensor;
-pub use wire::{bf16_to_f32, f32_to_bf16, WireError, BF16_MAX_REL_ERR};
+pub use wire::{bf16_to_f32, f32_to_bf16, WireError, BF16_MAX_REL_ERR, LOSSY_MAX_REL_ERR};

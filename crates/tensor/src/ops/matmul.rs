@@ -18,10 +18,12 @@
 //! accumulator tile in registers. The transposed operands of the two
 //! gradient halves are absorbed by the packing routines ([`View`]), so
 //! no transposed temporary is ever materialised. Row blocks are
-//! distributed over a [`KernelPool`]; because every output element is
-//! written by exactly one block and the accumulation order along the
-//! inner dimension is fixed, results are bit-identical across worker
-//! counts.
+//! distributed over a [`KernelPool`] — unless the GEMM is below its
+//! parallel break-even size ([`PAR_FLOP_FLOOR`]), where the spawn/join
+//! overhead loses and the blocks run inline instead. Because every
+//! output element is written by exactly one block and the accumulation
+//! order along the inner dimension is fixed, results are bit-identical
+//! across worker counts (and across the inline fallback).
 //!
 //! The original scalar triple loops survive in [`crate::ops::naive`] as
 //! the reference the parity proptests and the `kernels` bench run
@@ -51,6 +53,21 @@ const MC: usize = 48;
 /// Inner-dimension block: one `MC×KC` A panel (~48 KiB) plus one `KC×NR`
 /// B strip (~8 KiB) stay cache-resident under the accumulator tile.
 const KC: usize = 256;
+/// FLOP count (`2·m·n·k`) below which [`gemm`] ignores the pool and runs
+/// the row blocks inline. Fanning out pays a scoped-thread spawn plus a
+/// join on every call (tens of microseconds) and splits a working set
+/// that fits one core's cache across several; below this much
+/// arithmetic those costs outweigh the parallel win — on the bench grid
+/// multi-worker *lost* to single-worker up through 512³
+/// (`2·512³ ≈ 2.7e8` FLOPs). Chunking is untouched (the grain stays
+/// [`MC`]) and a 1-worker `for_each` visits blocks in index order, so
+/// the inline path is bit-identical to the fanned-out one.
+#[cfg(not(test))]
+const PAR_FLOP_FLOOR: usize = 1 << 30;
+/// Unit tests shrink the floor so test-sized shapes still exercise the
+/// parallel path.
+#[cfg(test)]
+const PAR_FLOP_FLOOR: usize = 1 << 16;
 
 /// A logical `[rows, cols]` operand over row-major storage, optionally
 /// transposed. Packing reads through this view, which is how the dgrad
@@ -324,6 +341,11 @@ fn gemm(
     // Every output element is stored on the first KC pass (the kernel
     // skips the C read when `pk == 0`), so the zero-fill would be dead.
     let mut out = Tensor::uninit(m, n);
+    let pool = if 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k) < PAR_FLOP_FLOOR {
+        KernelPool::shared_serial()
+    } else {
+        pool
+    };
     let run = |out: &mut Tensor, b_pack: &[f32]| {
         let mut blocks = row_blocks(out.data_mut(), n, MC);
         pool.for_each(&mut blocks, |_, (i0, c_rows)| {
@@ -543,18 +565,35 @@ mod tests {
     #[test]
     fn multi_worker_is_bit_identical_to_serial() {
         let mut r = rng(99);
+        // Big enough to clear the (test-shrunk) break-even floor, so the
+        // parallel path really runs.
         let a = uniform(3 * MC + 7, 100, 1.0, &mut r);
         let b = uniform(100, 37, 1.0, &mut r);
         let serial = matmul(&a, &b);
         for workers in [2, 3, 4] {
             let pool = KernelPool::new(workers);
             let par = matmul_in(&pool, &a, &b);
+            assert_eq!(pool.parallel_dispatches(), 1, "expected a fan-out");
             assert_eq!(
                 serial.data(),
                 par.data(),
                 "worker count {workers} changed bits"
             );
         }
+    }
+
+    #[test]
+    fn below_break_even_matmul_ignores_the_pool() {
+        // 100 rows make three row blocks, but only ~3e3 FLOPs — far
+        // below the floor, so the pool must not spawn workers and the
+        // result must still be right.
+        let mut r = rng(7);
+        let a = uniform(100, 4, 1.0, &mut r);
+        let b = uniform(4, 4, 1.0, &mut r);
+        let pool = KernelPool::new(4);
+        let c = matmul_in(&pool, &a, &b);
+        assert_eq!(pool.parallel_dispatches(), 0, "tiny GEMM fanned out");
+        assert!(c.max_abs_diff(&naive::matmul(&a, &b)) < 1e-5);
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub enum WireError {
         /// Decoded column count.
         cols: u64,
     },
+    /// A lossy-payload block tag names no known block mode.
+    UnknownBlockTag {
+        /// The unrecognized tag byte.
+        tag: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -67,6 +72,9 @@ impl fmt::Display for WireError {
             }
             WireError::ImplausibleShape { rows, cols } => {
                 write!(f, "tensor frame shape {rows}x{cols} exceeds the wire limit")
+            }
+            WireError::UnknownBlockTag { tag } => {
+                write!(f, "lossy tensor frame block tag {tag:#04x} is unknown")
             }
         }
     }
@@ -108,6 +116,103 @@ pub fn bf16_to_f32(b: u16) -> f32 {
 /// (magnitude below ~1.2e-38) can lose all precision and are bounded
 /// only in absolute terms by the smallest bf16 subnormal step.
 pub const BF16_MAX_REL_ERR: f32 = 1.0 / 256.0;
+
+/// Elements per block of the lossy encoding: small enough that one
+/// outlier only degrades 64 elements to the bf16 fallback, large enough
+/// that the two bytes of per-block header stay under 4% overhead.
+const LOSSY_BLOCK: usize = 64;
+
+/// Block tag: 8-bit minifloat payload, one byte per element after a
+/// shared anchor-exponent byte.
+const LOSSY_MODE_MINI: u8 = 0;
+/// Block tag: bf16 fallback payload, two bytes per element.
+const LOSSY_MODE_BF16: u8 = 1;
+
+/// Relative round-trip error bound of the lossy block encoding for
+/// normal values, `2^-4`. The minifloat path rounds a 23-bit mantissa to
+/// 3 bits (ties to even), so the error is at most half a mantissa step:
+/// `2^-4 · 2^e ≤ 2^-4 · |v|`. The one clamp case — the block maximum
+/// rounding up past `2^(anchor+1)` — decodes to `1.875 · 2^anchor` with
+/// error `< (2 - 1.875)/2 = 2^-4` relative. The bf16 fallback is far
+/// inside the bound (`2^-8`).
+pub const LOSSY_MAX_REL_ERR: f32 = 1.0 / 16.0;
+
+/// Decides how one block travels. `Some(anchor)` — the f32 biased
+/// exponent of the block's largest magnitude — when every element fits
+/// the minifloat form: all finite, no subnormals, and every nonzero
+/// magnitude within 14 octaves of the maximum (the 4-bit exponent field
+/// spans 15 values, with 0 reserved for zero). `None` sends the block
+/// as bf16, whose full 8-bit exponent absorbs any spread and whose
+/// NaN/infinity handling is already defined.
+fn lossy_block_mode(chunk: &[f32]) -> Option<u8> {
+    let mut emax = 0u32;
+    let mut emin = u32::MAX;
+    for &v in chunk {
+        let bits = v.to_bits();
+        let e = (bits >> 23) & 0xFF;
+        if e == 0xFF {
+            return None; // NaN or infinity
+        }
+        if bits & 0x7FFF_FFFF == 0 {
+            continue; // ±0 is exact in every mode
+        }
+        if e == 0 {
+            return None; // subnormal: no 1.m form to round
+        }
+        emax = emax.max(e);
+        emin = emin.min(e);
+    }
+    if emin == u32::MAX {
+        // All-zero block: every code is a signed zero, any anchor works.
+        Some(1)
+    } else if emax - emin <= 14 {
+        Some(emax as u8)
+    } else {
+        None
+    }
+}
+
+/// Quantizes one finite, non-subnormal f32 to the 8-bit minifloat form:
+/// sign (1) | exponent (4, biased against `anchor`) | mantissa (3,
+/// round-to-nearest-even). Callers guarantee `v`'s exponent lies in
+/// `[anchor - 14, anchor]` (see [`lossy_block_mode`]).
+fn f32_to_mini(v: f32, anchor: u8) -> u8 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 31) as u8) << 7;
+    if bits & 0x7FFF_FFFF == 0 {
+        return sign; // exponent field 0 encodes ±0
+    }
+    let mut e = (bits >> 23) & 0xFF;
+    let m = bits & 0x7F_FFFF;
+    let mut m3 = (m + 0x7_FFFF + ((m >> 20) & 1)) >> 20;
+    if m3 == 8 {
+        m3 = 0;
+        e += 1;
+    }
+    let anchor = u32::from(anchor);
+    if e > anchor {
+        // The block maximum rounded up past 2^(anchor+1): clamp to the
+        // top code, still within LOSSY_MAX_REL_ERR (see its docs).
+        e = anchor;
+        m3 = 7;
+    }
+    let f = (e + 15 - anchor) as u8; // 1..=15 by block eligibility
+    sign | (f << 3) | m3 as u8
+}
+
+/// Inverse of [`f32_to_mini`]: exact (every minifloat value is an f32).
+/// Defensive about garbage bytes — an out-of-window exponent clamps into
+/// the normal f32 range instead of fabricating an infinity or a panic.
+fn mini_to_f32(code: u8, anchor: u8) -> f32 {
+    let sign = u32::from(code >> 7) << 31;
+    let f = u32::from(code >> 3) & 0xF;
+    if f == 0 {
+        return f32::from_bits(sign); // ±0
+    }
+    let e = (f as i32 + i32::from(anchor) - 15).clamp(1, 254) as u32;
+    let m = (u32::from(code) & 0x7) << 20;
+    f32::from_bits(sign | (e << 23) | m)
+}
 
 fn decode_shape(bytes: &[u8], elem_bytes: usize) -> Result<(usize, usize, usize), WireError> {
     if bytes.len() < WIRE_HEADER_BYTES {
@@ -231,6 +336,111 @@ impl Tensor {
         }
         Ok((t, WIRE_HEADER_BYTES + need))
     }
+
+    /// Number of bytes [`Tensor::encode_lossy_into`] appends. Scans the
+    /// data (block modes are data-dependent), so this is exact, not an
+    /// upper bound.
+    pub fn encoded_len_lossy(&self) -> usize {
+        let mut len = WIRE_HEADER_BYTES;
+        for chunk in self.data().chunks(LOSSY_BLOCK) {
+            len += 1 + match lossy_block_mode(chunk) {
+                Some(_) => 1 + chunk.len(),
+                None => 2 * chunk.len(),
+            };
+        }
+        len
+    }
+
+    /// Appends the error-bounded lossy wire encoding to `out`: the shape
+    /// header, then one block per [`LOSSY_BLOCK`] elements. A block is a
+    /// tag byte plus either an anchor-exponent byte and one minifloat
+    /// byte per element ([`LOSSY_MODE_MINI`]), or two bf16 bytes per
+    /// element ([`LOSSY_MODE_BF16`]) when the block holds nonfinite,
+    /// subnormal, or wider-than-14-octave values. Relative error per
+    /// normal element is bounded by [`LOSSY_MAX_REL_ERR`]; payloads
+    /// always shrink versus f32 (≤ ~0.26x typical, ≤ 0.52x worst case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension exceeds `u32::MAX`.
+    pub fn encode_lossy_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len_lossy());
+        push_shape(out, self);
+        for chunk in self.data().chunks(LOSSY_BLOCK) {
+            match lossy_block_mode(chunk) {
+                Some(anchor) => {
+                    out.push(LOSSY_MODE_MINI);
+                    out.push(anchor);
+                    for &v in chunk {
+                        out.push(f32_to_mini(v, anchor));
+                    }
+                }
+                None => {
+                    out.push(LOSSY_MODE_BF16);
+                    for &v in chunk {
+                        out.extend_from_slice(&f32_to_bf16(v).to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a lossy-encoded tensor from the front of `bytes` (the
+    /// [`Tensor::encode_lossy_into`] format). The output buffer is
+    /// served by the installed arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the buffer is truncated, a block tag
+    /// is unknown, or the shape header is implausible.
+    pub fn decode_lossy(bytes: &[u8]) -> Result<(Tensor, usize), WireError> {
+        if bytes.len() < WIRE_HEADER_BYTES {
+            return Err(WireError::TruncatedHeader);
+        }
+        let rows = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as u64;
+        let cols = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as u64;
+        if rows.saturating_mul(cols) > MAX_ELEMS {
+            return Err(WireError::ImplausibleShape { rows, cols });
+        }
+        let avail = bytes.len() - WIRE_HEADER_BYTES;
+        // Payload length is data-dependent, so "expected" reports the
+        // bytes needed through the block that fell off the end.
+        let trunc = |need_through: usize| WireError::TruncatedPayload {
+            expected: need_through - WIRE_HEADER_BYTES,
+            got: avail,
+        };
+        let mut t = Tensor::uninit(rows as usize, cols as usize);
+        let mut pos = WIRE_HEADER_BYTES;
+        for dst in t.data_mut().chunks_mut(LOSSY_BLOCK) {
+            let tag = *bytes.get(pos).ok_or_else(|| trunc(pos + 1))?;
+            pos += 1;
+            match tag {
+                LOSSY_MODE_MINI => {
+                    let end = pos + 1 + dst.len();
+                    if bytes.len() < end {
+                        return Err(trunc(end));
+                    }
+                    let anchor = bytes[pos];
+                    for (d, &c) in dst.iter_mut().zip(&bytes[pos + 1..end]) {
+                        *d = mini_to_f32(c, anchor);
+                    }
+                    pos = end;
+                }
+                LOSSY_MODE_BF16 => {
+                    let end = pos + 2 * dst.len();
+                    if bytes.len() < end {
+                        return Err(trunc(end));
+                    }
+                    for (d, s) in dst.iter_mut().zip(bytes[pos..end].chunks_exact(2)) {
+                        *d = bf16_to_f32(u16::from_le_bytes(s.try_into().unwrap()));
+                    }
+                    pos = end;
+                }
+                tag => return Err(WireError::UnknownBlockTag { tag }),
+            }
+        }
+        Ok((t, pos))
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +550,116 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(Tensor::decode_bf16(&buf[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn lossy_round_trip_is_within_bound_and_shrinks() {
+        // Well-conditioned block (gradient-like magnitudes): minifloat.
+        let n = 3 * LOSSY_BLOCK + 17;
+        let data: Vec<f32> = (0..n)
+            .map(|i| {
+                let mag = 0.5 + (i % 97) as f32 / 50.0;
+                if i % 2 == 0 {
+                    mag
+                } else {
+                    -mag
+                }
+            })
+            .collect();
+        let t = Tensor::from_vec(1, n, data);
+        let mut buf = Vec::new();
+        t.encode_lossy_into(&mut buf);
+        assert_eq!(buf.len(), t.encoded_len_lossy());
+        // All blocks qualify for minifloat: ~1 byte/elem + 2/block.
+        assert_eq!(
+            buf.len(),
+            WIRE_HEADER_BYTES + n + 2 * n.div_ceil(LOSSY_BLOCK)
+        );
+        // Element bytes roughly halve again versus bf16 (2 -> ~1.03).
+        assert!(buf.len() < t.encoded_len_bf16(), "should beat bf16");
+        assert!(buf.len() * 3 < t.encoded_len(), "should be < f32/3");
+        let (back, used) = Tensor::decode_lossy(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        for (&a, &b) in t.data().iter().zip(back.data()) {
+            assert!(
+                (a - b).abs() <= a.abs() * LOSSY_MAX_REL_ERR,
+                "lossy error out of bound: {a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_wide_and_nonfinite_blocks_fall_back_to_bf16() {
+        // One block spanning > 14 octaves, one holding a NaN: both must
+        // take the bf16 fallback and still round-trip within the bound.
+        let mut data = vec![0.25f32; 2 * LOSSY_BLOCK];
+        data[3] = 1e-3;
+        data[7] = 100.0; // octave spread ~17 in block 0
+        data[LOSSY_BLOCK + 5] = f32::NAN;
+        data[LOSSY_BLOCK + 6] = f32::INFINITY;
+        let t = Tensor::from_vec(2, LOSSY_BLOCK, data);
+        let mut buf = Vec::new();
+        t.encode_lossy_into(&mut buf);
+        assert_eq!(buf.len(), t.encoded_len_lossy());
+        assert_eq!(buf.len(), WIRE_HEADER_BYTES + 2 * (1 + 2 * LOSSY_BLOCK));
+        let (back, _) = Tensor::decode_lossy(&buf).unwrap();
+        for (&a, &b) in t.data().iter().zip(back.data()) {
+            if a.is_nan() {
+                assert!(b.is_nan());
+            } else if a.is_infinite() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                assert!(
+                    (a - b).abs() <= a.abs() * BF16_MAX_REL_ERR,
+                    "fallback error out of bound: {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_preserves_signed_zeros_and_block_maxima() {
+        let mut data = vec![0.0f32; LOSSY_BLOCK];
+        data[0] = -0.0;
+        data[1] = 1.0; // exactly representable
+        data[2] = 1.875; // the top minifloat mantissa
+        data[3] = 1.99; // rounds up past the top code: clamp case
+        let t = Tensor::from_vec(1, LOSSY_BLOCK, data);
+        let mut buf = Vec::new();
+        t.encode_lossy_into(&mut buf);
+        let (back, _) = Tensor::decode_lossy(&buf).unwrap();
+        assert_eq!(back.data()[0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(back.data()[1], 1.0);
+        assert_eq!(back.data()[2], 1.875);
+        assert_eq!(back.data()[3], 1.875, "clamped to the top code");
+        assert!((1.99 - back.data()[3]) / 1.99 <= LOSSY_MAX_REL_ERR);
+        assert!(back.data()[4..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lossy_truncation_is_rejected_at_every_length() {
+        let mut data: Vec<f32> = (0..LOSSY_BLOCK + 9).map(|i| 1.0 + i as f32).collect();
+        data[2] = f32::NAN; // force one bf16 block, one minifloat block
+        let t = Tensor::from_vec(1, LOSSY_BLOCK + 9, data);
+        let mut buf = Vec::new();
+        t.encode_lossy_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(Tensor::decode_lossy(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+        let (_, used) = Tensor::decode_lossy(&buf).unwrap();
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn lossy_unknown_block_tag_is_rejected() {
+        let t = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut buf = Vec::new();
+        t.encode_lossy_into(&mut buf);
+        buf[WIRE_HEADER_BYTES] = 0x7E;
+        assert!(matches!(
+            Tensor::decode_lossy(&buf),
+            Err(WireError::UnknownBlockTag { tag: 0x7E })
+        ));
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   anything else JSON). `--codec {f32,bf16,lossy}` selects the wire
 //!   codec on every link; the in-process reference applies the same
 //!   codec, so the bit-identity check holds for lossy codecs too.
+//!   `--schedule {mepipe,dualpipe,blocks,synth}` picks the schedule
+//!   family every process regenerates from flags — `dualpipe` runs the
+//!   bidirectional two-stream schedule (stage 0 and stage P−1 both act
+//!   as entry and loss stages), `synth` the per-worker order solver.
 //! * `autotune --rounds R --calibrate-iters N [opts]` — the closed
 //!   calibration loop: R fit cycles of N traced mesh iterations each,
 //!   merging every round's per-process span dumps, scoring the model in
@@ -57,9 +61,11 @@ use mepipe_comm::{
 };
 use mepipe_core::reschedule::reschedule_backwards;
 use mepipe_core::svpp::Mepipe;
+use mepipe_core::Synth;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::ir::Schedule;
+use mepipe_schedule::{Blocks, DualPipe};
 use mepipe_sim::engine::{simulate, SimConfig};
 use mepipe_sim::{to_chrome_trace, BubbleCheckReport};
 use mepipe_tensor::init::synthetic_tokens;
@@ -70,6 +76,40 @@ use mepipe_train::{
     calibrate::Calibrator, metrics::run_metrics, params::ModelParams, profiler::profile_chunk,
     PipelineRuntime, WgradMode,
 };
+
+/// Which schedule family the scenario regenerates from flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScheduleKind {
+    /// Hand-written SVPP with split backward (the default).
+    Mepipe,
+    /// Bidirectional two-stream scheduling (`--schedule dualpipe`).
+    DualPipe,
+    /// Controllable-memory building blocks (`--schedule blocks`).
+    Blocks,
+    /// The per-worker order solver (`--schedule synth`).
+    Synth,
+}
+
+impl ScheduleKind {
+    fn name(self) -> &'static str {
+        match self {
+            ScheduleKind::Mepipe => "mepipe",
+            ScheduleKind::DualPipe => "dualpipe",
+            ScheduleKind::Blocks => "blocks",
+            ScheduleKind::Synth => "synth",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mepipe" => Some(Self::Mepipe),
+            "dualpipe" => Some(Self::DualPipe),
+            "blocks" => Some(Self::Blocks),
+            "synth" => Some(Self::Synth),
+            _ => None,
+        }
+    }
+}
 
 /// The deterministic scenario every process reconstructs from flags.
 #[derive(Debug, Clone)]
@@ -82,7 +122,10 @@ struct Scenario {
     seed: u64,
     mode: WgradMode,
     codec: CodecId,
-    /// SVPP warmup cap (`None` = generator default). Set by the
+    /// Schedule family to regenerate (`--schedule`).
+    schedule: ScheduleKind,
+    /// The family's memory knob (`None` = generator default): SVPP/
+    /// DualPipe warmup cap, Blocks lifespan, solver unit cap. Set by the
     /// autotuner so spawned workers regenerate its chosen schedule.
     warmup: Option<usize>,
     /// Apply the backward-rescheduling polish after generation
@@ -92,14 +135,46 @@ struct Scenario {
 
 impl Scenario {
     fn schedule(&self) -> Schedule {
-        let mut gen = Mepipe::new();
-        if let Some(f) = self.warmup {
-            gen = gen.warmup_cap(f);
+        let dims = Dims::new(self.stages, self.micro_batches).slices(self.slices);
+        let sch = match self.schedule {
+            ScheduleKind::Mepipe => {
+                let mut gen = Mepipe::new();
+                if let Some(f) = self.warmup {
+                    gen = gen.warmup_cap(f);
+                }
+                gen.generate(&dims)
+            }
+            ScheduleKind::DualPipe => {
+                let mut gen = DualPipe::new();
+                if let Some(f) = self.warmup {
+                    gen = gen.warmup_cap(f);
+                }
+                gen.generate(&dims.virtual_chunks(2))
+            }
+            ScheduleKind::Blocks => {
+                let mut gen = Blocks::uniform();
+                if let Some(k) = self.warmup {
+                    gen = gen.lifespan(k);
+                }
+                gen.generate(&dims)
+            }
+            // The solver prices with its default deterministic costs, so
+            // every process derives the identical op order from flags.
+            ScheduleKind::Synth => {
+                let mut gen = Synth::new();
+                if let Some(c) = self.warmup {
+                    gen = gen.cap(c);
+                }
+                gen.generate(&dims)
+            }
         }
-        let sch = gen
-            .generate(&Dims::new(self.stages, self.micro_batches).slices(self.slices))
-            .expect("schedule generation");
+        .expect("schedule generation");
         if self.reschedule {
+            assert_ne!(
+                self.schedule,
+                ScheduleKind::DualPipe,
+                "--reschedule is not defined for bidirectional schedules"
+            );
             reschedule_backwards(&sch).expect("backward rescheduling")
         } else {
             sch
@@ -111,7 +186,12 @@ impl Scenario {
             seq_len: self.seq_len,
             ..TransformerConfig::tiny(self.layers)
         };
-        PipelineRuntime::new(ModelParams::init(cfg, self.seed), self.stages, 1)
+        let chunks = if self.schedule == ScheduleKind::DualPipe {
+            2
+        } else {
+            1
+        };
+        PipelineRuntime::new(ModelParams::init(cfg, self.seed), self.stages, chunks)
     }
 
     fn batch(&self) -> Vec<Vec<usize>> {
@@ -146,6 +226,8 @@ impl Scenario {
             },
             "--codec".into(),
             self.codec.name().into(),
+            "--schedule".into(),
+            self.schedule.name().into(),
         ];
         if let Some(f) = self.warmup {
             args.push("--warmup".into());
@@ -181,6 +263,7 @@ fn parse_args(rest: &[String]) -> Args {
         seed: 7,
         mode: WgradMode::DrainOnWait,
         codec: CodecId::F32,
+        schedule: ScheduleKind::Mepipe,
         warmup: None,
         reschedule: false,
     };
@@ -226,6 +309,12 @@ fn parse_args(rest: &[String]) -> Args {
                 let v = value();
                 scenario.codec = CodecId::parse(&v)
                     .unwrap_or_else(|| panic!("unknown --codec {v} (expected f32|bf16|lossy)"));
+            }
+            "--schedule" => {
+                let v = value();
+                scenario.schedule = ScheduleKind::parse(&v).unwrap_or_else(|| {
+                    panic!("unknown --schedule {v} (expected mepipe|dualpipe|blocks|synth)")
+                });
             }
             f => panic!("unknown flag {f}"),
         }
@@ -663,11 +752,18 @@ fn run_autotune(args: &Args) {
         return;
     }
     // Regenerate the chosen schedule purely from flags, exactly as every
-    // worker process will, and check that reproduces the proposal.
+    // worker process will, and check that reproduces the proposal. A
+    // synthesized winner regenerates through the solver (deterministic
+    // from its default costs), a template winner through SVPP.
     let swapped = Scenario {
         slices: p.slices,
         warmup: Some(p.warmup),
         reschedule: p.rescheduled,
+        schedule: if p.synthesized {
+            ScheduleKind::Synth
+        } else {
+            ScheduleKind::Mepipe
+        },
         ..sc.clone()
     };
     assert_eq!(

@@ -52,8 +52,13 @@ use crate::pipeline::{PipelineRuntime, WgradMode};
 pub struct Proposal {
     /// Sequence slices per micro-batch.
     pub slices: usize,
-    /// SVPP warmup cap the generator used.
+    /// Regeneration knob: SVPP warmup cap for template rows, the
+    /// solver's unit cap for synthesized rows.
     pub warmup: usize,
+    /// Whether the winning row came out of the order solver rather than
+    /// the hand-written SVPP generator (both are MEPipe-shaped and
+    /// hot-swap compatible).
+    pub synthesized: bool,
     /// Iteration time the fitted model predicts, seconds.
     pub predicted_s: f64,
     /// The schedule, already polished by backward rescheduling.
@@ -216,6 +221,7 @@ impl Calibrator {
         Ok(Some(Proposal {
             slices: best.slices,
             warmup: best.warmup,
+            synthesized: best.synthesized,
             predicted_s: best.iteration_time,
             schedule: if rescheduled {
                 Arc::new(polished)

@@ -172,12 +172,16 @@ impl PipelineRuntime {
     ///
     /// # Panics
     ///
-    /// Panics if the layer count is not divisible by the chunk count.
+    /// Panics if the layer count is not divisible by the stage count.
+    /// (The full block-count divisibility check happens per schedule in
+    /// `run_iteration`, because the block count depends on the placement:
+    /// `p·v` blocks for interleaved chunks, `p` for bidirectional ones,
+    /// where the two chunks per stage are replicas of the same blocks.)
     pub fn new(model: ModelParams, stages: usize, virtual_chunks: usize) -> Self {
         assert_eq!(
-            model.cfg.layers % (stages * virtual_chunks),
+            model.cfg.layers % stages,
             0,
-            "layers must divide evenly into chunks"
+            "layers must divide evenly across stages"
         );
         let kernel_workers = KernelPool::auto(stages).workers();
         Self {
@@ -255,6 +259,11 @@ impl PipelineRuntime {
         let meta = &schedule.meta;
         assert_eq!(meta.stages, self.stages, "stage mismatch");
         assert_eq!(meta.virtual_chunks, self.virtual_chunks, "chunk mismatch");
+        assert_eq!(
+            self.model.cfg.layers % meta.model_blocks(),
+            0,
+            "layers must divide evenly into the schedule's model blocks"
+        );
         assert_eq!(meta.micro_batches, batch.len(), "batch size mismatch");
         let seq = self.model.cfg.seq_len;
         for s in batch {
@@ -748,8 +757,12 @@ impl<'m> WorkerCtx<'m> {
     }
 
     fn layers_of_chunk(&self, chunk: usize) -> (usize, usize) {
-        let g = self.meta.global_pos(self.w, chunk);
-        self.model.chunk_layer_range(g, self.meta.total_chunks())
+        // The *model block* this (stage, chunk) computes — under
+        // bidirectional placement the two chunks are replicas of blocks
+        // `w` and `p − 1 − w`, and the model splits into `p` blocks
+        // rather than `p·v`.
+        let b = self.meta.block_of(self.w, chunk);
+        self.model.chunk_layer_range(b, self.meta.model_blocks())
     }
 
     /// Blocking receive with optional W-drain while waiting.
@@ -817,7 +830,9 @@ impl<'m> WorkerCtx<'m> {
         self.inbox.insert(key, m.tensor);
     }
 
-    /// Sends a boundary tensor to the stage owning global position `g`.
+    /// Sends a boundary tensor to the stage executing chain position `g`
+    /// of micro-batch `mb` (which stage that is depends on the
+    /// micro-batch's direction under bidirectional placement).
     fn send_boundary(
         &mut self,
         kind: MsgKind,
@@ -826,7 +841,7 @@ impl<'m> WorkerCtx<'m> {
         g: usize,
         tensor: Tensor,
     ) -> Result<(), CommError> {
-        let (to, _chunk) = self.meta.stage_chunk_of(g);
+        let (to, _chunk) = self.meta.chain_stage_chunk(mb, g);
         let t0 = self.tracer.clock_ns();
         let out = self.ep.send(
             to,
@@ -859,7 +874,7 @@ impl<'m> WorkerCtx<'m> {
     }
 
     fn forward(&mut self, mb: usize, slice: usize, chunk: usize) -> Result<(), CommError> {
-        let g = self.meta.global_pos(self.w, chunk);
+        let g = self.meta.chain_pos(mb, self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
         // The compute span opens once the input is in hand: receive waits
@@ -895,7 +910,7 @@ impl<'m> WorkerCtx<'m> {
         self.charge(x.bytes());
         self.saves.insert((mb, slice, chunk), (x, saves));
         self.note_compute(SpanKind::Forward, mb, slice, chunk, c0);
-        if g == self.meta.last_global_pos() {
+        if g == self.meta.last_chain_pos() {
             self.charge(cur.bytes());
             self.finals.insert((mb, slice), cur);
         } else {
@@ -911,7 +926,7 @@ impl<'m> WorkerCtx<'m> {
         chunk: usize,
         span: SpanKind,
     ) -> Result<(), CommError> {
-        let g = self.meta.global_pos(self.w, chunk);
+        let g = self.meta.chain_pos(mb, self.w, chunk);
         let ts = self.tokens_per_slice;
         let offset = slice * ts;
         let n_batch = self.batch.len();
@@ -920,7 +935,7 @@ impl<'m> WorkerCtx<'m> {
         // On the loss-owning stage the whole op is compute; elsewhere the
         // span opens after the output gradient arrives.
         let mut c0 = self.tracer.clock_ns();
-        let mut dy = if g == self.meta.last_global_pos() {
+        let mut dy = if g == self.meta.last_chain_pos() {
             // Loss path: final norm + head + cross-entropy on this slice.
             let hidden = self
                 .finals
@@ -1072,8 +1087,10 @@ impl<'m> WorkerCtx<'m> {
 mod tests {
     use super::*;
     use mepipe_core::svpp::{Mepipe, Svpp};
+    use mepipe_core::Synth;
     use mepipe_model::config::TransformerConfig;
     use mepipe_schedule::generator::{Dapple, Dims, Hanayo, ScheduleGenerator, Zbv};
+    use mepipe_schedule::{Blocks, DualPipe};
     use mepipe_tensor::init::synthetic_tokens;
 
     use crate::reference::batch_forward_backward;
@@ -1244,6 +1261,94 @@ mod tests {
         let sch = Hanayo.generate(&Dims::new(2, 4).virtual_chunks(2)).unwrap();
         let stats = rt
             .run_iteration(&sch, &batch, WgradMode::Immediate, None)
+            .unwrap();
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn dualpipe_schedule_runs_on_the_runtime() {
+        // Bidirectional placement: even micro-batches enter at stage 0,
+        // odd ones at stage p−1, each direction through its own replica
+        // of the model blocks. Loss and embedding work therefore happen
+        // on *both* boundary stages; the merged totals must still match
+        // the single-device reference.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 54);
+        let batch = make_batch(&cfg, 4, 33);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 2);
+        let sch = DualPipe::new()
+            .generate(&Dims::new(2, 4).virtual_chunks(2).slices(2))
+            .unwrap();
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
+        assert!(
+            (stats.loss - reference.loss).abs() < 1e-4,
+            "loss {} vs reference {}",
+            stats.loss,
+            reference.loss
+        );
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+        // Same schedule, same batch: bit-identical on a repeat run.
+        let again = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
+        assert_eq!(stats.loss.to_bits(), again.loss.to_bits());
+        assert_eq!(stats.grads.max_abs_diff(&again.grads), 0.0);
+    }
+
+    #[test]
+    fn four_stage_dualpipe_matches_reference() {
+        // Deeper bidirectional pipeline: 4 stages, 8 micro-batches, with
+        // the middle stages pure pass-through for both directions.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 55);
+        let batch = make_batch(&cfg, 8, 35);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 4, 2);
+        let sch = DualPipe::new()
+            .generate(&Dims::new(4, 8).virtual_chunks(2))
+            .unwrap();
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn blocks_schedule_runs_on_the_runtime() {
+        // The controllable-memory family at its most frugal lifespan.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 56);
+        let batch = make_batch(&cfg, 4, 37);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let sch = Blocks::uniform()
+            .lifespan(0)
+            .generate(&Dims::new(2, 4).slices(2))
+            .unwrap();
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+            .unwrap();
+        assert!((stats.loss - reference.loss).abs() < 1e-4);
+        assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);
+    }
+
+    #[test]
+    fn solver_schedule_runs_on_the_runtime() {
+        // The order solver's output is MEPipe-shaped, so it must train
+        // like any hand-written schedule of the same dims.
+        let cfg = tiny_cfg();
+        let model = ModelParams::init(cfg, 57);
+        let batch = make_batch(&cfg, 4, 39);
+        let reference = batch_forward_backward(&model, &batch);
+        let rt = PipelineRuntime::new(model, 2, 1);
+        let sch = Synth::new().generate(&Dims::new(2, 4).slices(2)).unwrap();
+        let stats = rt
+            .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
             .unwrap();
         assert!((stats.loss - reference.loss).abs() < 1e-4);
         assert!(stats.grads.max_abs_diff(&reference.grads) < 1e-3);

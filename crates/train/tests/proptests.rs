@@ -7,13 +7,21 @@ use proptest::prelude::*;
 
 use mepipe_comm::{Backend, TransportConfig};
 use mepipe_core::svpp::Mepipe;
+use mepipe_core::{Svpp, Synth};
 use mepipe_model::config::TransformerConfig;
-use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_schedule::generator::{
+    Dapple, Dims, GPipe, Hanayo, ScheduleGenerator, TeraPipe, Vpp, Zb, Zbv,
+};
 use mepipe_schedule::ir::Schedule;
+use mepipe_schedule::validate::validate;
+use mepipe_schedule::{Blocks, DualPipe};
+use mepipe_sim::{simulate, SimConfig, UniformSimCost};
 use mepipe_tensor::init::synthetic_tokens;
 use mepipe_train::{
-    optim::ModelGrads, params::ModelParams, reference::add_grads, PipelineRuntime, RunStats,
-    WgradMode,
+    optim::ModelGrads,
+    params::ModelParams,
+    reference::{add_grads, batch_forward_backward},
+    PipelineRuntime, RunStats, WgradMode,
 };
 
 fn make_batch(cfg: &TransformerConfig, n: usize, seed: u64) -> Vec<Vec<usize>> {
@@ -225,6 +233,99 @@ proptest! {
             0.0,
             "hot-swapped grads differ from a scratch run of the new schedule"
         );
+    }
+}
+
+/// The whole registered generator zoo — the seven literature baselines,
+/// SVPP and MEPipe, and the three synthesized tiers — with the dims each
+/// family defines at a sampled grid point. The third element is the
+/// runtime's virtual-chunk count (= the schedule dims' `v`).
+fn generator_zoo(p: usize, n: usize, s: usize) -> Vec<(Box<dyn ScheduleGenerator>, Dims, usize)> {
+    let flat = Dims::new(p, n);
+    vec![
+        (Box::new(GPipe) as Box<dyn ScheduleGenerator>, flat, 1),
+        (Box::new(Dapple), flat, 1),
+        (Box::new(Zb), flat, 1),
+        (Box::new(Vpp), flat.virtual_chunks(2), 2),
+        (Box::new(Hanayo), flat.virtual_chunks(2), 2),
+        (Box::new(Zbv), flat.virtual_chunks(2), 2),
+        (Box::new(TeraPipe), flat.slices(s), 1),
+        (Box::new(Svpp::new()), flat.slices(s), 1),
+        (Box::new(Mepipe::new()), flat.slices(s), 1),
+        (
+            Box::new(DualPipe::new()),
+            flat.virtual_chunks(2).slices(s),
+            2,
+        ),
+        (Box::new(Blocks::uniform()), flat.slices(s), 1),
+        (Box::new(Synth::new()), flat.slices(s), 1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Every registered schedule generator — old zoo and synthesized
+    /// tiers alike — produces schedules at sampled Fig-8-style grid
+    /// points that (a) pass the structural validator, (b) clear the
+    /// simulator, and (c) train on the in-process runtime: loss and
+    /// gradients within tolerance of the single-device batch reference
+    /// (schedules reorder float accumulation, so bitwise equality with
+    /// the reference is not expected), and bitwise *repeatable* across
+    /// two runs of the same schedule. The model is deliberately minute:
+    /// the 12-generator × 2-run loop runs under the debug profile in CI.
+    #[test]
+    fn generator_zoo_validates_simulates_and_trains(
+        p in prop::sample::select(vec![2usize, 4]),
+        s in prop::sample::select(vec![1usize, 2]),
+        seed in 0u64..1000,
+    ) {
+        // n = 2p: even (DualPipe) and a multiple of p (VPP).
+        let n = 2 * p;
+        let cfg = TransformerConfig {
+            hidden: 32,
+            layers: 8, // divisible by every p·v ≤ 8 in the grid
+            ffn_hidden: 64,
+            heads: 2,
+            kv_heads: 2,
+            vocab: 64,
+            seq_len: 8,
+        };
+        let batch = make_batch(&cfg, n, seed + 1);
+        let reference = batch_forward_backward(&ModelParams::init(cfg, seed), &batch);
+        for (g, dims, chunks) in generator_zoo(p, n, s) {
+            let sch = g
+                .generate(&dims)
+                .unwrap_or_else(|e| panic!("{} rejected {dims}: {e}", g.name()));
+            validate(&sch).unwrap_or_else(|e| panic!("{} invalid at {dims}: {e}", g.name()));
+            let sim = simulate(&sch, &UniformSimCost::default(), &SimConfig::default())
+                .unwrap_or_else(|e| panic!("{} failed to simulate at {dims}: {e}", g.name()));
+            prop_assert!(
+                sim.makespan > 0.0,
+                "{}: empty simulated makespan at {}", g.name(), dims
+            );
+            let rt = PipelineRuntime::new(ModelParams::init(cfg, seed), p, chunks);
+            let stats = rt
+                .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+                .unwrap_or_else(|e| panic!("{} run failed at {dims}: {e:?}", g.name()));
+            prop_assert!(
+                (stats.loss - reference.loss).abs() < 1e-4,
+                "{}: loss {} vs reference {} at {}", g.name(), stats.loss, reference.loss, dims
+            );
+            prop_assert!(
+                stats.grads.max_abs_diff(&reference.grads) < 1e-3,
+                "{}: grads off reference at {}", g.name(), dims
+            );
+            let again = rt
+                .run_iteration(&sch, &batch, WgradMode::DrainOnWait, None)
+                .unwrap();
+            prop_assert_eq!(
+                stats.loss.to_bits(),
+                again.loss.to_bits(),
+                "{} is not bitwise repeatable at {}", g.name(), dims
+            );
+            prop_assert_eq!(stats.grads.max_abs_diff(&again.grads), 0.0);
+        }
     }
 }
 

@@ -18,6 +18,12 @@ cargo build --release
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
+echo "==> schedule-zoo smoke (render + validate every registered generator)"
+cargo run --release -p mepipe-bench --bin experiments -- zoo
+
+echo "==> solver smoke (full synthesis per grid point, 10 s wall-clock cap)"
+cargo run --release -p mepipe-bench --bin experiments -- solver_smoke
+
 echo "==> train bench smoke (one untimed pipeline iteration)"
 cargo bench -p mepipe-bench --bench train -- --smoke
 

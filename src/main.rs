@@ -63,7 +63,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "mepipe — slice-level pipeline scheduling toolkit
 
 USAGE:
-  mepipe schedule --method <svpp|dapple|gpipe|terapipe|vpp|zb|zbv|hanayo>
+  mepipe schedule --method <svpp|dapple|gpipe|terapipe|vpp|zb|zbv|hanayo|dualpipe|blocks|synth>
                   -p <stages> [-v <chunks>] [-s <slices>] -n <micro-batches>
                   [-f <warmup>] [--split] [--render]
   mepipe simulate --model <7b|13b|34b> --gbs <N> --pp <N> --dp <N>
@@ -157,11 +157,23 @@ fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
         "zb" => Box::new(generator::Zb),
         "zbv" => Box::new(generator::Zbv),
         "hanayo" => Box::new(generator::Hanayo),
+        "dualpipe" => match warmup {
+            Some(f) => Box::new(mepipe::schedule::DualPipe::new().warmup_cap(f)),
+            None => Box::new(mepipe::schedule::DualPipe::new()),
+        },
+        "blocks" => match warmup {
+            Some(f) => Box::new(mepipe::schedule::Blocks::uniform().lifespan(f)),
+            None => Box::new(mepipe::schedule::Blocks::uniform()),
+        },
+        "synth" => match warmup {
+            Some(f) => Box::new(mepipe::core::Synth::new().cap(f)),
+            None => Box::new(mepipe::core::Synth::new()),
+        },
         other => return Err(format!("unknown method `{other}`")),
     };
     let dims = match method {
         "vpp" | "hanayo" => dims.virtual_chunks(v.max(2)),
-        "zbv" => dims.virtual_chunks(2),
+        "zbv" | "dualpipe" => dims.virtual_chunks(2),
         _ => dims,
     };
     let schedule: Schedule = generator.generate(&dims)?;
