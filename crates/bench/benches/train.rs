@@ -5,12 +5,13 @@
 //! that was measured on the same config before the tensor arena landed,
 //! so the recorded speedup is a real before/after.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::black_box;
 use mepipe_comm::TransportConfig;
 use mepipe_core::{svpp::Mepipe, Synth};
-use mepipe_hw::LinkSpec;
+use mepipe_ctl::{Daemon, JobState};
+use mepipe_hw::{Fleet, LinkSpec};
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::DualPipe;
@@ -348,9 +349,9 @@ fn main() {
         .ok()
         .and_then(|p| Some(p.parent()?.parent()?.join("mepipe-worker")))
         .filter(|p| p.exists());
-    let t_launch = worker_bin.map(|bin| {
+    let t_launch = worker_bin.as_ref().map(|bin| {
         time(|| {
-            let status = std::process::Command::new(&bin)
+            let status = std::process::Command::new(bin)
                 .args(LAUNCH_ARGS)
                 .stdout(std::process::Stdio::null())
                 .status()
@@ -442,8 +443,65 @@ fn main() {
         out.report.rounds.len()
     );
 
+    // --- Scenario 5: failure recovery through the control plane. The
+    // same 6-iteration job runs twice under `mepipe-ctl`'s daemon on a
+    // 1-node fleet: once clean, once with stage 1 chaos-killed at
+    // iteration 3. With checkpoints every 2 iterations the chaotic run
+    // restarts from iteration 2 and re-runs at most one interval;
+    // `recovery_overhead` is the wall-clock price of that detection +
+    // restart + re-run, as a fraction of the clean run. ---
+    let recovery = worker_bin.as_ref().map(|bin| {
+        let out =
+            std::env::temp_dir().join(format!("mepipe-bench-recovery-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let run = |name: &str, chaos: &str| {
+            let mut d = Daemon::new(Fleet::homogeneous(1, 2), bin.clone(), out.join(name))
+                .expect("recovery daemon");
+            d.submit(&format!(
+                "name = \"{name}\"\niters = 6\nstages = 2\nlayers = 4\nmicro_batches = 2\n\
+                 slices = 2\nseq_len = 16\ncheckpoint_interval = 2\n{chaos}"
+            ))
+            .expect("submit recovery job");
+            let start = Instant::now();
+            while !d.all_done() {
+                d.tick();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let job = &d.jobs()[0];
+            assert_eq!(job.state, JobState::Completed, "{}", d.status_text());
+            assert_eq!(job.lost_beyond, 0, "recovery re-ran more than one interval");
+            (wall, job.restarts, job.lost_iters)
+        };
+        let (t_clean, r_clean, _) = run("clean", "");
+        assert_eq!(r_clean, 0, "clean run restarted");
+        let (t_chaos, r_chaos, lost) = run("chaotic", "kill_stage = 1\nkill_at_iter = 3\n");
+        assert_eq!(r_chaos, 1, "chaos run must restart exactly once");
+        let _ = std::fs::remove_dir_all(&out);
+        (t_clean, t_chaos, lost)
+    });
+    match recovery {
+        Some((t_clean, t_chaos, lost)) => println!(
+            "== chaos recovery (kill stage 1 at iter 3, ckpt interval 2) ==\n  clean {:.1} ms, killed {:.1} ms ({} iters re-run) -> {:+.1}% overhead",
+            t_clean * 1e3,
+            t_chaos * 1e3,
+            lost,
+            (t_chaos / t_clean - 1.0) * 100.0
+        ),
+        None => println!("== chaos recovery skipped (mepipe-worker not built) =="),
+    }
+    let (recovery_clean_s, recovery_chaos_s, recovery_lost, recovery_overhead) = match recovery {
+        Some((tc, tk, lost)) => (
+            format!("{tc:.6}"),
+            format!("{tk:.6}"),
+            lost.to_string(),
+            format!("{:.4}", tk / tc - 1.0),
+        ),
+        None => ("null".into(), "null".into(), "null".into(), "null".into()),
+    };
+
     let json = format!(
-        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4},\n    \"launch_s\": {launch_s},\n    \"launch_baseline_s\": {BASELINE_LAUNCH_S:.6},\n    \"launch_speedup\": {launch_speedup},\n    \"autotune_link_latency_s\": {:.6},\n    \"autotune_before_s\": {t_at_before:.6},\n    \"autotune_after_s\": {t_at_after:.6},\n    \"autotune_slices_before\": {AUTOTUNE_SLICES},\n    \"autotune_slices_after\": {},\n    \"autotune_warmup\": {},\n    \"autotune_rescheduled\": {},\n    \"autotune_error_first\": {at_err_first:.4},\n    \"autotune_error_last\": {at_err_last:.4},\n    \"autotune_speedup\": {autotune_speedup:.4},\n    \"synthesized_vs_svpp\": {{\"schedule\": \"{synth_name}\", \"svpp_s\": {t_svpp:.6}, \"solver_s\": {t_solver:.6}, \"dualpipe_s\": {t_dual:.6}, \"synthesized_s\": {t_synth:.6}, \"speedup\": {synth_speedup:.4}}}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"stages\": {STAGES}, \"slices\": {SLICES}, \"micro_batches\": {MICRO_BATCHES}, \"seq_len\": {}, \"layers\": {}, \"hidden\": {}, \"replicas\": {REPLICAS}, \"wgrad_mode\": \"drain_on_wait\"}},\n  \"baseline\": {{\n    \"commit\": \"bbe7e18\",\n    \"train_step_s\": {BASELINE_STEP_S:.6},\n    \"train_step_iters_per_sec\": {:.4},\n    \"data_parallel_s\": {BASELINE_DP_S:.6},\n    \"data_parallel_iters_per_sec\": {:.4}\n  }},\n  \"current\": {{\n    \"train_step_s\": {t_step:.6},\n    \"train_step_iters_per_sec\": {iters_per_sec:.4},\n    \"train_step_speedup\": {:.4},\n    \"peak_bytes\": {:?},\n    \"arena_hit_rate\": {:.4},\n    \"arena_hits\": {},\n    \"arena_misses\": {},\n    \"tracing_untraced_s\": {t_plain:.6},\n    \"tracing_traced_s\": {t_traced:.6},\n    \"tracing_overhead\": {tracing_overhead:.4},\n    \"data_parallel_s\": {t_dp:.6},\n    \"data_parallel_iters_per_sec\": {:.4},\n    \"data_parallel_speedup\": {:.4},\n    \"launch_s\": {launch_s},\n    \"launch_baseline_s\": {BASELINE_LAUNCH_S:.6},\n    \"launch_speedup\": {launch_speedup},\n    \"autotune_link_latency_s\": {:.6},\n    \"autotune_before_s\": {t_at_before:.6},\n    \"autotune_after_s\": {t_at_after:.6},\n    \"autotune_slices_before\": {AUTOTUNE_SLICES},\n    \"autotune_slices_after\": {},\n    \"autotune_warmup\": {},\n    \"autotune_rescheduled\": {},\n    \"autotune_error_first\": {at_err_first:.4},\n    \"autotune_error_last\": {at_err_last:.4},\n    \"autotune_speedup\": {autotune_speedup:.4},\n    \"recovery_clean_s\": {recovery_clean_s},\n    \"recovery_chaos_s\": {recovery_chaos_s},\n    \"recovery_lost_iterations\": {recovery_lost},\n    \"recovery_overhead\": {recovery_overhead},\n    \"synthesized_vs_svpp\": {{\"schedule\": \"{synth_name}\", \"svpp_s\": {t_svpp:.6}, \"solver_s\": {t_solver:.6}, \"dualpipe_s\": {t_dual:.6}, \"synthesized_s\": {t_synth:.6}, \"speedup\": {synth_speedup:.4}}}\n  }}\n}}\n",
         cfg.seq_len,
         cfg.layers,
         cfg.hidden,

@@ -1,0 +1,209 @@
+//! Control-channel protocol between `mepipe-ctl` and its clients.
+//!
+//! One request or response per line, encoded as a flat JSON object.
+//! Encoding is hand-rolled (the vendored `serde_json` shim only
+//! parses); decoding goes through that shim, so the wire format is
+//! real JSON and a human can drive the daemon with `nc -U`.
+//!
+//! Requests: `{"cmd":"submit","spec":"<job document>"}`,
+//! `{"cmd":"status"}`, `{"cmd":"drain","node":"node-1"}`,
+//! `{"cmd":"add_node","slots":4}`, `{"cmd":"shutdown"}`.
+//! Responses: `{"ok":true,"detail":"..."}` or
+//! `{"ok":false,"reason":"..."}`.
+
+use serde_json::Value;
+
+/// A client-to-daemon control command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job: `spec` is the raw job document (JSON or TOML),
+    /// parsed daemon-side so clients stay format-agnostic.
+    Submit {
+        /// The job-spec document text, verbatim.
+        spec: String,
+    },
+    /// Ask for a human-readable snapshot of queue and fleet state.
+    Status,
+    /// Drain a node: running gangs migrate off, no new work lands.
+    Drain {
+        /// Fleet node name, e.g. `node-1`.
+        node: String,
+    },
+    /// Grow the fleet by one node with the given slot count.
+    AddNode {
+        /// Accelerator slots on the new node.
+        slots: usize,
+    },
+    /// Finish running jobs, then exit the serve loop.
+    Shutdown,
+}
+
+/// The daemon's one-line reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The command was accepted; `detail` is free-form text (the status
+    /// snapshot, the new node's name, the submitted job's id, ...).
+    Ok(String),
+    /// The command was rejected with a reason.
+    Err(String),
+}
+
+/// Escapes `s` as the inside of a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Request {
+    /// Encodes the request as one line of JSON (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit { spec } => {
+                format!("{{\"cmd\":\"submit\",\"spec\":\"{}\"}}", escape(spec))
+            }
+            Request::Status => "{\"cmd\":\"status\"}".to_string(),
+            Request::Drain { node } => {
+                format!("{{\"cmd\":\"drain\",\"node\":\"{}\"}}", escape(node))
+            }
+            Request::AddNode { slots } => {
+                format!("{{\"cmd\":\"add_node\",\"slots\":{slots}}}")
+            }
+            Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming what is malformed or missing.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line.trim())
+            .map_err(|e| format!("control request is not JSON: {e}"))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or("control request missing \"cmd\"")?;
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{cmd} request missing \"{name}\""))
+        };
+        match cmd {
+            "submit" => Ok(Request::Submit {
+                spec: str_field("spec")?,
+            }),
+            "status" => Ok(Request::Status),
+            "drain" => Ok(Request::Drain {
+                node: str_field("node")?,
+            }),
+            "add_node" => Ok(Request::AddNode {
+                slots: v
+                    .get("slots")
+                    .and_then(Value::as_u64)
+                    .ok_or("add_node request missing \"slots\"")? as usize,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown control command {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one line of JSON (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok(detail) => {
+                format!("{{\"ok\":true,\"detail\":\"{}\"}}", escape(detail))
+            }
+            Response::Err(reason) => {
+                format!("{{\"ok\":false,\"reason\":\"{}\"}}", escape(reason))
+            }
+        }
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming what is malformed or missing.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(line.trim())
+            .map_err(|e| format!("control response is not JSON: {e}"))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(Response::Ok(
+                v.get("detail")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            )),
+            Some(false) => Ok(Response::Err(
+                v.get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            None => Err("control response missing \"ok\"".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_real_json() {
+        let cases = [
+            Request::Submit {
+                spec: "name = \"j1\"\niters = 8\n# with \"quotes\"".to_string(),
+            },
+            Request::Status,
+            Request::Drain {
+                node: "node-1".to_string(),
+            },
+            Request::AddNode { slots: 4 },
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one request per line: {line}");
+            assert_eq!(Request::parse(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok("job-0 queued\nfleet: 4 free".to_string()),
+            Response::Err("no such node".to_string()),
+        ] {
+            assert_eq!(Response::parse(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"cmd\":\"warp\"}").is_err());
+        assert!(Request::parse("{\"cmd\":\"drain\"}")
+            .unwrap_err()
+            .contains("node"));
+        assert!(Request::parse("{\"cmd\":\"add_node\"}")
+            .unwrap_err()
+            .contains("slots"));
+        assert!(Response::parse("{}").is_err());
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod codec;
 pub mod config;
+pub mod control;
 pub mod emulated;
 pub mod error;
 pub mod frame;

@@ -1,0 +1,163 @@
+//! `mepipe-ctl`: drive the control plane from a shell.
+//!
+//! Subcommands:
+//!
+//! * `serve --socket S [--spool DIR] [--out DIR] [--nodes N]
+//!   [--slots-per-node K] [--worker-bin PATH] [--hang-timeout-secs T]
+//!   [--tick-ms M] [--oneshot --expect-jobs J]` — run the daemon over a
+//!   simulated fleet of `N × K` slots. `--oneshot` exits once J jobs
+//!   are terminal; the exit code is 0 only if every job completed with
+//!   zero iterations lost beyond its checkpoint interval and every
+//!   requested verification passed.
+//! * `submit --socket S SPECFILE` — submit a job document (JSON or
+//!   TOML).
+//! * `status --socket S` — print the queue and fleet snapshot.
+//! * `drain --socket S NODE` — drain a node; gangs on it re-shard off.
+//! * `add-node --socket S --slots K` — grow the fleet; running jobs
+//!   re-shard wider when the strategy search says the capacity helps.
+//! * `shutdown --socket S` — finish running jobs, then exit.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mepipe_comm::control::{Request, Response};
+use mepipe_ctl::{request, serve, Daemon, ServeOptions};
+use mepipe_hw::Fleet;
+
+fn default_worker_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.join("mepipe-worker")))
+        .unwrap_or_else(|| PathBuf::from("mepipe-worker"))
+}
+
+struct Flags {
+    values: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(rest: &[String], bare: &[&str]) -> Flags {
+        let mut values = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = rest.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if bare.contains(&name) {
+                    values.push((name.to_string(), "true".to_string()));
+                } else {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("missing value for --{name}"));
+                    values.push((name.to_string(), v.clone()));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Flags { values, positional }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for --{name}: {v}")),
+            None => default,
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn socket_from(flags: &Flags) -> PathBuf {
+    PathBuf::from(flags.get("socket").unwrap_or("ctl.sock"))
+}
+
+fn run_client(req: &Request, flags: &Flags) -> i32 {
+    match request(&socket_from(flags), req, Duration::from_secs(10)) {
+        Ok(Response::Ok(detail)) => {
+            println!("{detail}");
+            0
+        }
+        Ok(Response::Err(reason)) => {
+            eprintln!("error: {reason}");
+            1
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, rest) = argv
+        .split_first()
+        .expect("usage: mepipe-ctl <serve|submit|status|drain|add-node|shutdown> [flags]");
+    let flags = Flags::parse(rest, &["oneshot"]);
+    let code = match mode.as_str() {
+        "serve" => {
+            let out_dir = PathBuf::from(flags.get("out").unwrap_or("target/ctl"));
+            let fleet = Fleet::homogeneous(
+                flags.parsed("nodes", 1usize),
+                flags.parsed("slots-per-node", 4usize),
+            );
+            let worker_bin = flags
+                .get("worker-bin")
+                .map(PathBuf::from)
+                .unwrap_or_else(default_worker_bin);
+            let daemon = Daemon::new(fleet, worker_bin, out_dir)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .with_hang_timeout(Duration::from_secs(
+                    flags.parsed("hang-timeout-secs", 60u64),
+                ));
+            let opts = ServeOptions {
+                socket: socket_from(&flags),
+                spool: flags.get("spool").map(PathBuf::from),
+                oneshot: flags.has("oneshot"),
+                expect_jobs: flags.parsed("expect-jobs", 0usize),
+                tick: Duration::from_millis(flags.parsed("tick-ms", 50u64)),
+            };
+            serve(daemon, &opts).unwrap_or_else(|e| panic!("{e}"))
+        }
+        "submit" => {
+            let path = flags
+                .positional
+                .first()
+                .expect("usage: mepipe-ctl submit --socket S SPECFILE");
+            let spec = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read job spec {path}: {e}"));
+            run_client(&Request::Submit { spec }, &flags)
+        }
+        "status" => run_client(&Request::Status, &flags),
+        "drain" => {
+            let node = flags
+                .positional
+                .first()
+                .expect("usage: mepipe-ctl drain --socket S NODE")
+                .clone();
+            run_client(&Request::Drain { node }, &flags)
+        }
+        "add-node" => run_client(
+            &Request::AddNode {
+                slots: flags.parsed("slots", 4usize),
+            },
+            &flags,
+        ),
+        "shutdown" => run_client(&Request::Shutdown, &flags),
+        m => panic!("unknown mode {m} (expected serve|submit|status|drain|add-node|shutdown)"),
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,203 @@
+//! The daemon's serve loop and its line-protocol client.
+//!
+//! Serving is a single-threaded poll loop: accept any pending control
+//! connections on a non-blocking Unix socket (one request line, one
+//! response line each), sweep the spool directory for dropped-off job
+//! files, run one scheduler tick, sleep. Single-threadedness is a
+//! feature — every mutation of daemon state happens between ticks, so
+//! there is no locking and the whole control plane is deterministic
+//! enough to drive from tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use mepipe_comm::control::{Request, Response};
+
+use crate::daemon::{Daemon, JobState};
+
+/// Knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Control socket path (recreated on startup).
+    pub socket: PathBuf,
+    /// Optional spool directory: `*.json` / `*.toml` files dropped here
+    /// are submitted and renamed `.accepted` or `.rejected`.
+    pub spool: Option<PathBuf>,
+    /// Exit once `expect_jobs` jobs have reached a terminal state —
+    /// the CI mode, where no human sends a shutdown.
+    pub oneshot: bool,
+    /// How many terminal jobs `oneshot` waits for.
+    pub expect_jobs: usize,
+    /// Scheduler tick period.
+    pub tick: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from("ctl.sock"),
+            spool: None,
+            oneshot: false,
+            expect_jobs: 0,
+            tick: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Runs the daemon until shutdown (or the oneshot condition) and
+/// returns the process exit code: 0 when every job completed with zero
+/// iterations lost beyond its checkpoint interval and no verification
+/// failed, 1 otherwise.
+///
+/// # Errors
+///
+/// Returns an error if the control socket cannot be bound.
+pub fn serve(mut daemon: Daemon, opts: &ServeOptions) -> Result<i32, String> {
+    if let Some(parent) = opts.socket.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket)
+        .map_err(|e| format!("bind control socket {}: {e}", opts.socket.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("control socket nonblocking: {e}"))?;
+    eprintln!("ctl: serving on {}", opts.socket.display());
+
+    loop {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => serve_connection(&mut daemon, stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("accept on control socket: {e}")),
+            }
+        }
+        if let Some(spool) = &opts.spool {
+            sweep_spool(&mut daemon, spool);
+        }
+        daemon.tick();
+        if daemon.shutting_down && daemon.idle() {
+            break;
+        }
+        if opts.oneshot
+            && daemon.jobs().len() >= opts.expect_jobs
+            && daemon.jobs().iter().filter(|j| j.state.terminal()).count() >= opts.expect_jobs
+            && daemon.all_done()
+        {
+            break;
+        }
+        std::thread::sleep(opts.tick);
+    }
+    daemon.write_artifacts();
+    let _ = std::fs::remove_file(&opts.socket);
+
+    let mut code = 0;
+    for job in daemon.jobs() {
+        let ok =
+            job.state == JobState::Completed && job.lost_beyond == 0 && job.verified != Some(false);
+        if !ok {
+            code = 1;
+        }
+    }
+    eprintln!("ctl: exiting\n{}", daemon.status_text());
+    Ok(code)
+}
+
+/// One request line in, one response line out. Malformed input gets an
+/// error response rather than killing the serve loop.
+fn serve_connection(daemon: &mut Daemon, stream: UnixStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let resp = match reader.read_line(&mut line) {
+        Ok(0) => return,
+        Ok(_) => match Request::parse(&line) {
+            Ok(req) => daemon.handle(&req),
+            Err(e) => Response::Err(e),
+        },
+        Err(e) => Response::Err(format!("read control request: {e}")),
+    };
+    let mut stream = reader.into_inner();
+    let _ = writeln!(stream, "{}", resp.encode());
+}
+
+/// Submits every job file sitting in the spool, renaming each to record
+/// the outcome so a sweep never re-submits.
+fn sweep_spool(daemon: &mut Daemon, spool: &Path) {
+    let Ok(entries) = std::fs::read_dir(spool) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let ext = path.extension()?.to_str()?;
+            (ext == "json" || ext == "toml").then_some(path)
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ctl: spool read {}: {e}", path.display());
+                continue;
+            }
+        };
+        let (suffix, note) = match daemon.submit(&text) {
+            Ok(detail) => {
+                eprintln!("ctl: spool {}: {detail}", path.display());
+                ("accepted", None)
+            }
+            Err(reason) => {
+                eprintln!("ctl: spool {}: rejected: {reason}", path.display());
+                ("rejected", Some(reason))
+            }
+        };
+        let mut renamed = path.clone().into_os_string();
+        renamed.push(format!(".{suffix}"));
+        if let Err(e) = std::fs::rename(&path, &renamed) {
+            eprintln!("ctl: spool rename {}: {e}", path.display());
+        } else if let Some(reason) = note {
+            let _ = std::fs::write(PathBuf::from(renamed).with_extension("reason"), reason);
+        }
+    }
+}
+
+/// Sends one request to a serving daemon and returns its response.
+/// Retries the connect until `timeout` so clients can race daemon
+/// startup.
+///
+/// # Errors
+///
+/// Returns an error when the daemon stays unreachable past `timeout`
+/// or replies with something unparseable.
+pub fn request(socket: &Path, req: &Request, timeout: Duration) -> Result<Response, String> {
+    let deadline = Instant::now() + timeout;
+    let stream = loop {
+        match UnixStream::connect(socket) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "connect to {} failed within {timeout:?}: {e}",
+                        socket.display()
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone control stream: {e}"))?;
+    writeln!(writer, "{}", req.encode()).map_err(|e| format!("send control request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("read control response: {e}"))?;
+    Response::parse(&line)
+}

@@ -1,0 +1,231 @@
+//! Mutable fleet capacity model for the control plane.
+//!
+//! [`ClusterSpec`] describes the hardware the paper evaluates on; a
+//! [`Fleet`] tracks what of it is *available right now* — slots per
+//! node, which slots a running gang holds, which nodes an operator has
+//! drained — so `mepipe-ctl` can gang-schedule jobs, admit them with
+//! backfill, and react to capacity changes by re-sharding. The model is
+//! deliberately slot-granular: one slot hosts one pipeline-stage
+//! process, mirroring the one-GPU-per-stage mapping in
+//! [`crate::mapping`].
+
+use crate::topology::ClusterSpec;
+
+/// One server's worth of schedulable accelerator slots.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operator-assigned name, unique within the fleet.
+    pub name: String,
+    /// Total accelerator slots on this node.
+    pub slots: usize,
+    /// Slots currently held by running gangs.
+    pub used: usize,
+    /// Drained nodes accept no new allocations (running gangs keep
+    /// their slots until the control plane migrates them off).
+    pub drained: bool,
+}
+
+impl Node {
+    /// Slots a new allocation may take from this node.
+    pub fn free(&self) -> usize {
+        if self.drained {
+            0
+        } else {
+            self.slots - self.used
+        }
+    }
+}
+
+/// The slots one gang holds: `count` slots spread over the named nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GangAlloc {
+    /// `(node name, slots taken on that node)`, in allocation order.
+    pub slots: Vec<(String, usize)>,
+}
+
+impl GangAlloc {
+    /// Total slots held across all nodes.
+    pub fn total(&self) -> usize {
+        self.slots.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Whether the allocation touches the named node.
+    pub fn uses(&self, node: &str) -> bool {
+        self.slots.iter().any(|(name, _)| name == node)
+    }
+}
+
+/// A fleet of nodes with slot-level capacity accounting.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    nodes: Vec<Node>,
+    next_name: usize,
+}
+
+impl Fleet {
+    /// A fleet of `nodes` homogeneous servers with `slots_per_node`
+    /// accelerators each, named `node-0..`.
+    pub fn homogeneous(nodes: usize, slots_per_node: usize) -> Self {
+        let mut fleet = Self {
+            nodes: Vec::new(),
+            next_name: 0,
+        };
+        for _ in 0..nodes {
+            fleet.add_node(slots_per_node);
+        }
+        fleet
+    }
+
+    /// The fleet a [`ClusterSpec`] describes, fully idle.
+    pub fn from_cluster(cluster: &ClusterSpec) -> Self {
+        Self::homogeneous(cluster.nodes, cluster.gpus_per_node)
+    }
+
+    /// All nodes, in allocation-preference order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Adds a fresh node with `slots` accelerators; returns its name.
+    pub fn add_node(&mut self, slots: usize) -> String {
+        let name = format!("node-{}", self.next_name);
+        self.next_name += 1;
+        self.nodes.push(Node {
+            name: name.clone(),
+            slots,
+            used: 0,
+            drained: false,
+        });
+        name
+    }
+
+    /// Marks a node drained so it accepts no new allocations. Returns
+    /// false if no node has that name.
+    pub fn drain(&mut self, node: &str) -> bool {
+        match self.nodes.iter_mut().find(|n| n.name == node) {
+            Some(n) => {
+                n.drained = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total slots new allocations may currently take.
+    pub fn free_slots(&self) -> usize {
+        self.nodes.iter().map(Node::free).sum()
+    }
+
+    /// Total slots on undrained nodes, busy or not — the ceiling a
+    /// re-shard search should plan against.
+    pub fn schedulable_slots(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !n.drained)
+            .map(|n| n.slots)
+            .sum()
+    }
+
+    /// Total slots held by running gangs.
+    pub fn used_slots(&self) -> usize {
+        self.nodes.iter().map(|n| n.used).sum()
+    }
+
+    /// Takes `count` slots for one gang, packing nodes in order (fewest
+    /// node crossings for the pipeline's p2p links). Returns `None` —
+    /// and changes nothing — if the fleet cannot currently hold the
+    /// gang.
+    pub fn allocate(&mut self, count: usize) -> Option<GangAlloc> {
+        if count == 0 || self.free_slots() < count {
+            return None;
+        }
+        let mut remaining = count;
+        let mut slots = Vec::new();
+        for node in &mut self.nodes {
+            let take = node.free().min(remaining);
+            if take > 0 {
+                node.used += take;
+                slots.push((node.name.clone(), take));
+                remaining -= take;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(remaining, 0);
+        Some(GangAlloc { slots })
+    }
+
+    /// Returns a gang's slots to the fleet. Slots on nodes that no
+    /// longer exist are dropped silently (the node left with the gang).
+    pub fn release(&mut self, alloc: &GangAlloc) {
+        for (name, n) in &alloc.slots {
+            if let Some(node) = self.nodes.iter_mut().find(|x| &x.name == name) {
+                node.used = node.used.saturating_sub(*n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_packs_nodes_and_releases_cleanly() {
+        let mut fleet = Fleet::homogeneous(2, 2);
+        assert_eq!(fleet.free_slots(), 4);
+
+        let a = fleet.allocate(3).expect("3 of 4 slots");
+        assert_eq!(a.total(), 3);
+        assert_eq!(
+            a.slots,
+            vec![("node-0".to_string(), 2), ("node-1".to_string(), 1)]
+        );
+        assert_eq!(fleet.free_slots(), 1);
+
+        assert!(fleet.allocate(2).is_none(), "must not over-commit");
+        assert_eq!(fleet.free_slots(), 1, "failed allocation changes nothing");
+
+        let b = fleet.allocate(1).expect("last slot");
+        fleet.release(&a);
+        fleet.release(&b);
+        assert_eq!(fleet.free_slots(), 4);
+        assert_eq!(fleet.used_slots(), 0);
+    }
+
+    #[test]
+    fn drained_nodes_accept_no_new_work() {
+        let mut fleet = Fleet::homogeneous(2, 2);
+        let gang = fleet.allocate(1).unwrap();
+        assert!(gang.uses("node-0"));
+
+        assert!(fleet.drain("node-0"));
+        assert!(!fleet.drain("node-9"));
+        assert_eq!(fleet.free_slots(), 2, "only node-1 counts");
+        assert_eq!(fleet.schedulable_slots(), 2);
+
+        let next = fleet.allocate(2).expect("fits on node-1");
+        assert!(!next.uses("node-0"));
+        // The running gang still holds its slot on the drained node.
+        assert_eq!(fleet.used_slots(), 3);
+    }
+
+    #[test]
+    fn added_nodes_extend_capacity() {
+        let mut fleet = Fleet::homogeneous(1, 2);
+        assert!(fleet.allocate(4).is_none());
+        let name = fleet.add_node(2);
+        assert_eq!(name, "node-1");
+        let gang = fleet.allocate(4).expect("fits after expansion");
+        assert_eq!(gang.total(), 4);
+        assert_eq!(fleet.free_slots(), 0);
+    }
+
+    #[test]
+    fn from_cluster_matches_the_spec() {
+        let fleet = Fleet::from_cluster(&ClusterSpec::rtx4090_cluster());
+        assert_eq!(fleet.nodes().len(), 8);
+        assert_eq!(fleet.free_slots(), 64);
+    }
+}

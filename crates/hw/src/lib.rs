@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod accelerator;
+pub mod fleet;
 pub mod link;
 pub mod mapping;
 pub mod pricing;
 pub mod topology;
 
 pub use accelerator::AcceleratorSpec;
+pub use fleet::{Fleet, GangAlloc};
 pub use link::LinkSpec;
 pub use mapping::{ParallelLayout, RankMapping};
 pub use pricing::{CostReport, ServerPricing};

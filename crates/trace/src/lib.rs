@@ -29,6 +29,7 @@
 pub mod bubble;
 pub mod chrome;
 pub mod clock;
+pub mod dump;
 pub mod metrics;
 pub mod span;
 

@@ -14,6 +14,16 @@
 //!   print its loss share as f64 bits. With `--trace-out F` the stage
 //!   records measured spans and dumps them to `F` as a line-oriented
 //!   text file (epoch-stamped, so a launcher can merge processes).
+//! * `job --stage I --stages P --dir D --iters T [opts]` — run one
+//!   stage for many iterations under a supervisor (`mepipe-ctl`): a
+//!   fresh UDS mesh per iteration under `D/iter-K`, an SGD step after
+//!   every iteration, an appended `--progress` line per iteration (the
+//!   supervisor's heartbeat and loss feed), an atomic per-stage
+//!   checkpoint every `--ckpt-interval` iterations into `--ckpt-dir`,
+//!   `--restore-from F` to resume a checkpointed model at
+//!   `--start-iter K`, and `--kill-at-iter M` to abort the process at
+//!   the start of iteration M — the chaos knob the control plane's
+//!   fault-injection layer drives.
 //! * `launch --stages P [opts]` — spawn P workers over a fresh UDS
 //!   mesh, combine their loss shares in stage order, and compare
 //!   bit-for-bit against an in-process run of the same iteration. With
@@ -69,12 +79,10 @@ use mepipe_schedule::{Blocks, DualPipe};
 use mepipe_sim::engine::{simulate, SimConfig};
 use mepipe_sim::{to_chrome_trace, BubbleCheckReport};
 use mepipe_tensor::init::synthetic_tokens;
-use mepipe_trace::{
-    bubble, chrome::traces_to_chrome, IterationTrace, PidKey, Span, SpanKind, StageTrace,
-};
+use mepipe_trace::{bubble, chrome::traces_to_chrome, dump, IterationTrace, PidKey};
 use mepipe_train::{
-    calibrate::Calibrator, metrics::run_metrics, params::ModelParams, profiler::profile_chunk,
-    PipelineRuntime, WgradMode,
+    calibrate::Calibrator, checkpoint, data::batch_for_iter, metrics::run_metrics, optim::Sgd,
+    params::ModelParams, profiler::profile_chunk, PipelineRuntime, WgradMode,
 };
 
 /// Which schedule family the scenario regenerates from flags.
@@ -181,24 +189,33 @@ impl Scenario {
         }
     }
 
-    fn runtime(&self) -> PipelineRuntime {
-        let cfg = TransformerConfig {
+    fn config(&self) -> TransformerConfig {
+        TransformerConfig {
             seq_len: self.seq_len,
             ..TransformerConfig::tiny(self.layers)
-        };
-        let chunks = if self.schedule == ScheduleKind::DualPipe {
+        }
+    }
+
+    fn virtual_chunks(&self) -> usize {
+        if self.schedule == ScheduleKind::DualPipe {
             2
         } else {
             1
-        };
-        PipelineRuntime::new(ModelParams::init(cfg, self.seed), self.stages, chunks)
+        }
+    }
+
+    fn runtime(&self) -> PipelineRuntime {
+        self.runtime_from(ModelParams::init(self.config(), self.seed))
+    }
+
+    /// A runtime around an existing model (a restored checkpoint) with
+    /// this scenario's pipeline shape.
+    fn runtime_from(&self, model: ModelParams) -> PipelineRuntime {
+        PipelineRuntime::new(model, self.stages, self.virtual_chunks())
     }
 
     fn batch(&self) -> Vec<Vec<usize>> {
-        let cfg = TransformerConfig {
-            seq_len: self.seq_len,
-            ..TransformerConfig::tiny(self.layers)
-        };
+        let cfg = self.config();
         (0..self.micro_batches)
             .map(|i| synthetic_tokens(cfg.seq_len + 1, cfg.vocab, self.seed + 1000 + i as u64))
             .collect()
@@ -251,6 +268,26 @@ struct Args {
     rounds: usize,
     /// Traced mesh iterations per calibration round.
     calibrate_iters: usize,
+    /// `job`: target iteration count (exclusive upper bound).
+    iters: usize,
+    /// `job`: first iteration to run (the restore point).
+    start_iter: usize,
+    /// `job`: checkpoint every this many completed iterations (0 = never).
+    ckpt_interval: usize,
+    /// `job`: directory receiving `stage-I/iter-N.bin` checkpoints.
+    ckpt_dir: Option<PathBuf>,
+    /// `job`: file receiving one appended line per completed iteration.
+    progress: Option<PathBuf>,
+    /// `job`: checkpoint file to restore the model from before running.
+    restore_from: Option<PathBuf>,
+    /// `job`: abort the process at the start of this iteration (chaos).
+    kill_at_iter: Option<usize>,
+    /// `job`: SGD learning rate.
+    lr: f32,
+    /// `launch`: spawn this stage with `--kill-at-iter 0` so it aborts
+    /// immediately — a deterministic straggler for testing that the
+    /// launcher reaps a broken gang instead of hanging.
+    chaos_stage: Option<usize>,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -274,6 +311,15 @@ fn parse_args(rest: &[String]) -> Args {
     let mut out = PathBuf::from("target/trace-report");
     let mut rounds = 2usize;
     let mut calibrate_iters = 1usize;
+    let mut iters = 1usize;
+    let mut start_iter = 0usize;
+    let mut ckpt_interval = 0usize;
+    let mut ckpt_dir = None;
+    let mut progress = None;
+    let mut restore_from = None;
+    let mut kill_at_iter = None;
+    let mut lr = 0.1f32;
+    let mut chaos_stage = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -293,6 +339,15 @@ fn parse_args(rest: &[String]) -> Args {
             "--reschedule" => scenario.reschedule = true,
             "--rounds" => rounds = value().parse().expect("--rounds"),
             "--calibrate-iters" => calibrate_iters = value().parse().expect("--calibrate-iters"),
+            "--iters" => iters = value().parse().expect("--iters"),
+            "--start-iter" => start_iter = value().parse().expect("--start-iter"),
+            "--ckpt-interval" => ckpt_interval = value().parse().expect("--ckpt-interval"),
+            "--ckpt-dir" => ckpt_dir = Some(PathBuf::from(value())),
+            "--progress" => progress = Some(PathBuf::from(value())),
+            "--restore-from" => restore_from = Some(PathBuf::from(value())),
+            "--kill-at-iter" => kill_at_iter = Some(value().parse().expect("--kill-at-iter")),
+            "--lr" => lr = value().parse().expect("--lr"),
+            "--chaos-stage" => chaos_stage = Some(value().parse().expect("--chaos-stage")),
             "--dir" => dir = PathBuf::from(value()),
             "--trace-out" => trace_out = Some(PathBuf::from(value())),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value())),
@@ -328,78 +383,15 @@ fn parse_args(rest: &[String]) -> Args {
         out,
         rounds,
         calibrate_iters,
-    }
-}
-
-/// One stage's spans as a line-oriented text file another process can
-/// reassemble: header fields, then `span <letter> <mb> <slice> <chunk>
-/// <peer> <start_ns> <end_ns>` lines. Text rather than JSON so the dump
-/// path needs no serializer and the merge path exercises the same
-/// epoch-alignment code the in-process writer uses.
-fn write_stage_trace(path: &Path, st: &StageTrace) {
-    let mut out = format!(
-        "MEPIPE-STAGE-TRACE v1\nstage {}\nreplica {}\nepoch_ns {}\ndropped {}\n",
-        st.stage, st.replica, st.epoch_ns, st.dropped
-    );
-    for s in &st.spans {
-        out.push_str(&format!(
-            "span {} {} {} {} {} {} {}\n",
-            s.kind.letter(),
-            s.mb,
-            s.slice,
-            s.chunk,
-            s.peer,
-            s.start_ns,
-            s.end_ns
-        ));
-    }
-    std::fs::write(path, out).expect("write stage trace dump");
-}
-
-fn read_stage_trace(path: &Path) -> StageTrace {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("read stage trace {}: {e}", path.display()));
-    let mut lines = text.lines();
-    assert_eq!(
-        lines.next(),
-        Some("MEPIPE-STAGE-TRACE v1"),
-        "bad trace dump header in {}",
-        path.display()
-    );
-    let mut field = |name: &str| -> u64 {
-        let line = lines.next().unwrap_or_else(|| panic!("missing {name}"));
-        line.strip_prefix(name)
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or_else(|| panic!("bad {name} line: {line}"))
-    };
-    let stage = field("stage") as usize;
-    let replica = field("replica") as usize;
-    let epoch_ns = field("epoch_ns");
-    let dropped = field("dropped");
-    let spans = lines
-        .map(|line| {
-            let mut f = line.split_whitespace();
-            assert_eq!(f.next(), Some("span"), "bad span line: {line}");
-            let letter = f.next().and_then(|s| s.chars().next()).expect("letter");
-            let mut num = || f.next().and_then(|s| s.parse::<u64>().ok()).expect("field");
-            Span {
-                kind: SpanKind::from_letter(letter)
-                    .unwrap_or_else(|| panic!("unknown span letter {letter}")),
-                mb: num() as u32,
-                slice: num() as u32,
-                chunk: num() as u32,
-                peer: num() as u32,
-                start_ns: num(),
-                end_ns: num(),
-            }
-        })
-        .collect();
-    StageTrace {
-        stage,
-        replica,
-        epoch_ns,
-        spans,
-        dropped,
+        iters,
+        start_iter,
+        ckpt_interval,
+        ckpt_dir,
+        progress,
+        restore_from,
+        kill_at_iter,
+        lr,
+        chaos_stage,
     }
 }
 
@@ -448,6 +440,11 @@ fn validate_chrome_trace(json: &str, stages: usize) -> usize {
 /// `worker`: one stage of the pipeline as this whole process.
 fn run_worker(args: &Args) {
     let stage = args.stage.expect("worker needs --stage");
+    if args.kill_at_iter.is_some() {
+        // A single-iteration worker has only one place to die: before it.
+        eprintln!("chaos: stage {stage} aborting before its iteration");
+        std::process::abort();
+    }
     let sc = &args.scenario;
     let rt = sc.runtime().with_tracing(args.trace_out.is_some());
     let schedule = sc.schedule();
@@ -462,7 +459,7 @@ fn run_worker(args: &Args) {
         .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
         .expect("stage run");
     if let (Some(path), Some(trace)) = (&args.trace_out, &out.trace) {
-        write_stage_trace(path, trace);
+        dump::write_stage_trace(path, trace).expect("write stage trace dump");
     }
     let t = out.comm.total();
     // The launcher parses this line; keep it stable (appending fields is
@@ -482,11 +479,21 @@ fn run_worker(args: &Args) {
 /// stage-order loss sum plus the merged per-process trace (when
 /// `traced`). The mesh directory is removed afterwards, so callers can
 /// run many iterations back to back with distinct dirs.
-fn mesh_iteration(sc: &Scenario, dir: &Path, traced: bool) -> (f64, Option<IterationTrace>) {
+///
+/// Children are polled rather than awaited in stage order: a stage that
+/// dies mid-iteration leaves its peers blocked in transport waits, so
+/// the first failure kills and reaps the whole gang and the error names
+/// the stage that started it.
+fn mesh_iteration(
+    sc: &Scenario,
+    dir: &Path,
+    traced: bool,
+    chaos_stage: Option<usize>,
+) -> Result<(f64, Option<IterationTrace>), String> {
     let exe = std::env::current_exe().expect("current exe");
     std::fs::create_dir_all(dir).expect("mesh dir");
     let stage_trace_path = |stage: usize| dir.join(format!("trace-stage-{stage}.txt"));
-    let children: Vec<_> = (0..sc.stages)
+    let mut children: Vec<_> = (0..sc.stages)
         .map(|stage| {
             let mut cmd = Command::new(&exe);
             cmd.arg("worker")
@@ -499,25 +506,76 @@ fn mesh_iteration(sc: &Scenario, dir: &Path, traced: bool) -> (f64, Option<Itera
             if traced {
                 cmd.arg("--trace-out").arg(stage_trace_path(stage));
             }
-            (stage, cmd.spawn().expect("spawn worker"))
+            if chaos_stage == Some(stage) {
+                cmd.arg("--kill-at-iter").arg("0");
+            }
+            let mut child = cmd.spawn().expect("spawn worker");
+            // Drain stdout on a thread so a chatty worker can't dead-
+            // lock against a full pipe while we poll exit statuses.
+            let mut stdout = child.stdout.take().expect("piped stdout");
+            let reader = std::thread::spawn(move || {
+                use std::io::Read;
+                let mut buf = String::new();
+                let _ = stdout.read_to_string(&mut buf);
+                buf
+            });
+            (stage, Some(child), Some(reader))
         })
         .collect();
+
+    let mut outputs: Vec<Option<String>> = (0..sc.stages).map(|_| None).collect();
+    let mut first_failure: Option<(usize, std::process::ExitStatus)> = None;
+    let mut live = sc.stages;
+    while live > 0 && first_failure.is_none() {
+        let mut progressed = false;
+        for (stage, child, reader) in children.iter_mut() {
+            let Some(c) = child.as_mut() else { continue };
+            if let Some(status) = c.try_wait().expect("poll worker") {
+                progressed = true;
+                live -= 1;
+                child.take();
+                let text = reader
+                    .take()
+                    .expect("reader thread")
+                    .join()
+                    .expect("join stdout reader");
+                if status.success() {
+                    outputs[*stage] = Some(text);
+                } else {
+                    first_failure.get_or_insert((*stage, status));
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    if let Some((stage, status)) = first_failure {
+        // Reap the stragglers: their transport waits will never finish.
+        for (_, child, reader) in children.iter_mut() {
+            if let Some(mut c) = child.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            if let Some(r) = reader.take() {
+                let _ = r.join();
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+        return Err(format!(
+            "stage {stage} exited with {status}; remaining workers killed"
+        ));
+    }
 
     // Workers' loss shares, combined in stage order — the same addition
     // order as the in-process merge, so f64 bits match exactly.
     let mut loss = 0.0f64;
-    for (stage, child) in children {
-        let out = child.wait_with_output().expect("worker exit");
-        assert!(
-            out.status.success(),
-            "worker {stage} failed with {}",
-            out.status
-        );
-        let stdout = String::from_utf8_lossy(&out.stdout);
+    for (stage, text) in outputs.iter().enumerate() {
+        let stdout = text.as_ref().expect("every worker exited cleanly");
         let bits_field = stdout
             .lines()
             .find_map(|l| l.strip_prefix(&format!("RESULT stage={stage} loss_bits=")))
-            .unwrap_or_else(|| panic!("worker {stage} printed no RESULT line: {stdout}"));
+            .ok_or_else(|| format!("worker {stage} printed no RESULT line: {stdout}"))?;
         let bits: u64 = bits_field
             .split_whitespace()
             .next()
@@ -530,19 +588,29 @@ fn mesh_iteration(sc: &Scenario, dir: &Path, traced: bool) -> (f64, Option<Itera
     // Merge the per-process span dumps onto one time axis: each worker
     // recorded offsets from its own clock anchor, whose epoch position
     // lets the traces line up across processes.
-    let merged = traced.then(|| IterationTrace {
-        stages: (0..sc.stages)
-            .map(|stage| read_stage_trace(&stage_trace_path(stage)))
-            .collect(),
-    });
+    let merged = if traced {
+        Some(IterationTrace {
+            stages: (0..sc.stages)
+                .map(|stage| {
+                    dump::read_stage_trace(&stage_trace_path(stage)).expect("merge stage trace")
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
     let _ = std::fs::remove_dir_all(dir);
-    (loss, merged)
+    Ok((loss, merged))
 }
 
 /// `launch`: the multi-process mesh, verified against in-process.
 fn run_launch(args: &Args) {
     let sc = &args.scenario;
-    let (loss, merged) = mesh_iteration(sc, &args.dir, args.trace_out.is_some());
+    let (loss, merged) = mesh_iteration(sc, &args.dir, args.trace_out.is_some(), args.chaos_stage)
+        .unwrap_or_else(|e| {
+            eprintln!("launch failed: {e}");
+            std::process::exit(1);
+        });
 
     if let (Some(trace_out), Some(merged)) = (&args.trace_out, &merged) {
         let json = traces_to_chrome(merged, PidKey::Stage);
@@ -584,6 +652,98 @@ fn run_launch(args: &Args) {
         "multi-process loss is not bit-identical to in-process"
     );
     println!("OK: losses bit-identical across process boundaries");
+}
+
+/// `job`: one stage of a supervised multi-iteration training job.
+///
+/// Every iteration runs on a fresh UDS mesh under `--dir/iter-K` (all
+/// gang members derive the same directory name, so rendezvous needs no
+/// coordinator), steps the model with SGD over this stage's own-layer
+/// gradients (peer layers' grads are zero, and SGD with a zero grad is
+/// a bitwise no-op, so per-stage stepping equals full-model stepping),
+/// appends a `iter K loss_bits B` heartbeat line, and checkpoints its
+/// model shard atomically every `--ckpt-interval` completed iterations.
+/// `--kill-at-iter M` aborts the whole process at the start of
+/// iteration M — the control plane's chaos knob.
+fn run_job(args: &Args) {
+    let stage = args.stage.expect("job needs --stage");
+    let sc = &args.scenario;
+    let cfg = sc.config();
+    let mut rt = match &args.restore_from {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| panic!("read checkpoint {}: {e}", path.display()));
+            let model = checkpoint::restore(&bytes)
+                .unwrap_or_else(|e| panic!("restore checkpoint {}: {e}", path.display()));
+            sc.runtime_from(model)
+        }
+        None => sc.runtime(),
+    }
+    .with_tracing(args.trace_out.is_some());
+    let schedule = sc.schedule();
+    let progress = |line: String| {
+        if let Some(path) = &args.progress {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("open progress {}: {e}", path.display()));
+            writeln!(f, "{line}").expect("append progress line");
+        }
+    };
+    let mut last_bits = f64::NAN.to_bits();
+    for k in args.start_iter..args.iters {
+        if args.kill_at_iter == Some(k) {
+            eprintln!("chaos: stage {stage} aborting at the start of iteration {k}");
+            std::process::abort();
+        }
+        // Old mesh dirs only hold socket files nobody will connect to
+        // again (starting iteration k means every peer finished k-1);
+        // stage 0 prunes with one iteration of slack.
+        if stage == 0 && k >= args.start_iter + 2 {
+            let _ = std::fs::remove_dir_all(args.dir.join(format!("iter-{}", k - 2)));
+        }
+        let mesh = args.dir.join(format!("iter-{k}"));
+        std::fs::create_dir_all(&mesh).expect("mesh dir");
+        let transport = SocketTransport::with_config(
+            SocketMode::Uds(mesh),
+            sc.stages,
+            CommConfig::new().with_codec(sc.codec),
+        );
+        let ep = transport.endpoint(stage).expect("claim stage endpoint");
+        let batch = batch_for_iter(&cfg, sc.micro_batches, sc.seed, k);
+        let out = rt
+            .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
+            .unwrap_or_else(|e| panic!("stage {stage} iteration {k}: {e}"));
+        Sgd { lr: args.lr }.step_model(&mut rt.model, &out.grads);
+        last_bits = out.loss_sum.to_bits();
+        // Dump the latest iteration's spans on every lap so whatever
+        // iteration turns out to be the last leaves a merged-trace part.
+        if let (Some(path), Some(trace)) = (&args.trace_out, &out.trace) {
+            dump::write_stage_trace(path, trace).expect("write stage trace dump");
+        }
+        progress(format!("iter {k} loss_bits {last_bits}"));
+        let completed = k + 1;
+        if args.ckpt_interval > 0 && completed.is_multiple_of(args.ckpt_interval) {
+            let dir = args
+                .ckpt_dir
+                .clone()
+                .expect("--ckpt-interval needs --ckpt-dir")
+                .join(format!("stage-{stage}"));
+            std::fs::create_dir_all(&dir).expect("checkpoint dir");
+            let path = dir.join(format!("iter-{completed}.bin"));
+            let tmp = dir.join(format!("iter-{completed}.tmp"));
+            std::fs::write(&tmp, checkpoint::save(&rt.model)).expect("write checkpoint");
+            std::fs::rename(&tmp, &path).expect("publish checkpoint");
+            progress(format!("ckpt {completed}"));
+        }
+    }
+    // The supervisor parses this line; keep it stable.
+    println!(
+        "RESULT stage={stage} loss_bits={last_bits} start={} end={}",
+        args.start_iter, args.iters
+    );
 }
 
 /// `trace-report`: one traced iteration, profiled + simulated, with
@@ -713,7 +873,8 @@ fn run_autotune(args: &Args) {
         let mut last = None;
         for iter in 0..args.calibrate_iters.max(1) {
             let dir = args.dir.join(format!("round-{round}-iter-{iter}"));
-            let (_, trace) = mesh_iteration(sc, &dir, true);
+            let (_, trace) =
+                mesh_iteration(sc, &dir, true, None).expect("calibration mesh iteration");
             let trace = trace.expect("traced mesh run");
             cal.absorb(&trace);
             last = Some(trace);
@@ -771,7 +932,8 @@ fn run_autotune(args: &Args) {
         p.schedule.workers,
         "flag-regenerated schedule does not reproduce the proposal"
     );
-    let (loss, trace) = mesh_iteration(&swapped, &args.dir.join("swapped"), true);
+    let (loss, trace) = mesh_iteration(&swapped, &args.dir.join("swapped"), true, None)
+        .expect("swapped mesh iteration");
     let reference = swapped
         .runtime()
         .with_transport(TransportConfig::in_proc().with_codec(sc.codec))
@@ -848,17 +1010,18 @@ fn run_selftest_faults(args: &Args) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (mode, rest) = argv.split_first().expect(
-        "usage: mepipe-worker <worker|launch|autotune|trace-report|selftest-faults> [flags]",
+        "usage: mepipe-worker <worker|job|launch|autotune|trace-report|selftest-faults> [flags]",
     );
     let args = parse_args(rest);
     match mode.as_str() {
         "worker" => run_worker(&args),
+        "job" => run_job(&args),
         "launch" => run_launch(&args),
         "autotune" => run_autotune(&args),
         "trace-report" => run_trace_report(&args),
         "selftest-faults" => run_selftest_faults(&args),
         m => panic!(
-            "unknown mode {m} (expected worker|launch|autotune|trace-report|selftest-faults)"
+            "unknown mode {m} (expected worker|job|launch|autotune|trace-report|selftest-faults)"
         ),
     }
 }

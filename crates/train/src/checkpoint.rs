@@ -7,15 +7,63 @@
 //! "in-memory checkpoint"), restore it bit-exactly, and verify that
 //! training resumes on the identical trajectory.
 //!
-//! The format is deliberately trivial — a header of shape metadata plus
-//! little-endian `f32`s — because the interesting questions (how often to
-//! checkpoint, what failures cost) live in [`failure_overhead`], not in
-//! the encoding.
+//! The format is a versioned magic header, the shape metadata plus
+//! little-endian `f32` payload, and a trailing FNV-1a checksum over
+//! everything before it. [`restore`] rejects corruption with a typed
+//! [`CheckpointError`] *before* any tensor is built: a truncated or
+//! bit-flipped buffer can never partially deserialize into a model. The
+//! interesting policy questions (how often to checkpoint, what failures
+//! cost) live in [`failure_overhead`] and [`optimal_interval`]; the
+//! control plane (`mepipe-ctl`) composes both with [`merge_stage_parts`]
+//! to rebuild one canonical model out of per-stage checkpoints when it
+//! re-shards a job across a different stage count.
 
+use mepipe_comm::frame::checksum;
 use mepipe_model::config::TransformerConfig;
 use mepipe_tensor::Tensor;
 
 use crate::params::{LayerParams, ModelParams};
+
+/// Leading magic of every checkpoint: identifies the file type and pins
+/// the format version (bump the trailing digit on layout changes).
+pub const MAGIC: &[u8; 8] = b"MEPCKPT2";
+
+/// Why a checkpoint buffer was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer does not start with [`MAGIC`] — not a checkpoint, or a
+    /// version this build does not read.
+    BadMagic,
+    /// The buffer ends before the named section is complete.
+    Truncated(&'static str),
+    /// The trailing FNV checksum does not match the bytes before it —
+    /// the payload was corrupted in memory or on the wire.
+    Corrupt {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// Framing is intact but the contents are inconsistent (trailing
+    /// bytes, impossible shapes).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::Truncated(what) => write!(f, "truncated checkpoint: {what}"),
+            CheckpointError::Corrupt { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// Serialises a model to an in-memory checkpoint.
 ///
@@ -32,6 +80,7 @@ use crate::params::{LayerParams, ModelParams};
 /// ```
 pub fn save(model: &ModelParams) -> Vec<u8> {
     let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
     let push_usize = |out: &mut Vec<u8>, v: usize| out.extend((v as u64).to_le_bytes());
     push_usize(&mut out, model.cfg.hidden);
     push_usize(&mut out, model.cfg.layers);
@@ -57,21 +106,48 @@ pub fn save(model: &ModelParams) -> Vec<u8> {
     }
     push_tensor(&mut out, &model.final_norm);
     push_tensor(&mut out, &model.head);
+    let sum = checksum(&out);
+    out.extend(sum.to_le_bytes());
     out
 }
 
 /// Restores a model from a checkpoint produced by [`save`].
 ///
-/// Returns `Err` on truncated or malformed input.
-pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
-    let mut pos = 0usize;
-    let mut read_u64 = |bytes: &[u8]| -> Result<usize, String> {
+/// The magic header and trailing checksum are verified before any
+/// payload byte is interpreted, so corrupt or truncated buffers are
+/// rejected whole — never partially deserialized.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] naming what was wrong with the buffer.
+pub fn restore(bytes: &[u8]) -> Result<ModelParams, CheckpointError> {
+    // Frame checks first: magic, then the checksum over everything
+    // before the 8-byte trailer.
+    let Some(head) = bytes.get(..MAGIC.len()) else {
+        return Err(CheckpointError::Truncated("magic"));
+    };
+    if head != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(CheckpointError::Truncated("checksum trailer"));
+    }
+    let body_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8-byte trailer"));
+    let computed = checksum(&bytes[..body_end]);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt { stored, computed });
+    }
+    let bytes = &bytes[..body_end];
+
+    let mut pos = MAGIC.len();
+    let mut read_u64 = |bytes: &[u8]| -> Result<usize, CheckpointError> {
         let end = pos + 8;
         let chunk: [u8; 8] = bytes
             .get(pos..end)
-            .ok_or("truncated checkpoint header")?
+            .ok_or(CheckpointError::Truncated("header field"))?
             .try_into()
-            .map_err(|_| "bad header chunk".to_string())?;
+            .expect("8-byte slice");
         pos = end;
         Ok(u64::from_le_bytes(chunk) as usize)
     };
@@ -92,35 +168,36 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
         seq_len,
     };
 
-    let read_tensor = |bytes: &[u8], pos: &mut usize| -> Result<Tensor, String> {
-        let rows = u64::from_le_bytes(
-            bytes
+    let read_tensor = |bytes: &[u8], pos: &mut usize| -> Result<Tensor, CheckpointError> {
+        let mut dim = || -> Result<usize, CheckpointError> {
+            let chunk: [u8; 8] = bytes
                 .get(*pos..*pos + 8)
-                .ok_or("truncated tensor header")?
+                .ok_or(CheckpointError::Truncated("tensor header"))?
                 .try_into()
-                .unwrap(),
-        ) as usize;
-        *pos += 8;
-        let cols = u64::from_le_bytes(
-            bytes
-                .get(*pos..*pos + 8)
-                .ok_or("truncated tensor header")?
-                .try_into()
-                .unwrap(),
-        ) as usize;
-        *pos += 8;
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            let v = f32::from_le_bytes(
-                bytes
-                    .get(*pos..*pos + 4)
-                    .ok_or("truncated tensor data")?
-                    .try_into()
-                    .unwrap(),
-            );
-            *pos += 4;
-            data.push(v);
-        }
+                .expect("8-byte slice");
+            *pos += 8;
+            Ok(u64::from_le_bytes(chunk) as usize)
+        };
+        let rows = dim()?;
+        let cols = dim()?;
+        // Bound the element count by the bytes actually present before
+        // allocating, so an absurd header can never trigger a huge
+        // allocation (the checksum already makes this unreachable in
+        // practice; this keeps the parser safe standalone).
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CheckpointError::Malformed("tensor shape overflows".into()))?;
+        let need = elems
+            .checked_mul(4)
+            .ok_or_else(|| CheckpointError::Malformed("tensor bytes overflow".into()))?;
+        let data_bytes = bytes
+            .get(*pos..*pos + need)
+            .ok_or(CheckpointError::Truncated("tensor data"))?;
+        *pos += need;
+        let data = data_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
         Ok(Tensor::from_vec(rows, cols, data))
     };
 
@@ -151,10 +228,10 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
     let final_norm = read_tensor(bytes, &mut pos)?;
     let head = read_tensor(bytes, &mut pos)?;
     if pos != bytes.len() {
-        return Err(format!(
+        return Err(CheckpointError::Malformed(format!(
             "{} trailing bytes in checkpoint",
             bytes.len() - pos
-        ));
+        )));
     }
     Ok(ModelParams {
         cfg,
@@ -162,6 +239,55 @@ pub fn restore(bytes: &[u8]) -> Result<ModelParams, String> {
         layers: layer_params,
         final_norm,
         head,
+    })
+}
+
+/// Rebuilds one canonical model from per-stage checkpoints.
+///
+/// In a multi-process gang every stage steps only the parameters it
+/// owns: stage `i` of `p` updates layers `[i·L/p, (i+1)·L/p)`, stage 0
+/// additionally the embedding, stage `p−1` the final norm and output
+/// head — all other tensors in its checkpoint are stale. Merging takes
+/// each tensor from its owner, yielding the full model state the gang
+/// collectively reached, which is what a re-shard to a *different*
+/// stage count must restore from.
+///
+/// `parts[i]` must be stage `i`'s checkpointed model (same config,
+/// same iteration).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Malformed`] when the parts disagree on
+/// the config, the list is empty, or layers don't divide evenly.
+pub fn merge_stage_parts(parts: &[ModelParams]) -> Result<ModelParams, CheckpointError> {
+    let first = parts
+        .first()
+        .ok_or_else(|| CheckpointError::Malformed("no stage parts to merge".into()))?;
+    let p = parts.len();
+    let cfg = first.cfg;
+    for (i, part) in parts.iter().enumerate() {
+        if part.cfg != cfg {
+            return Err(CheckpointError::Malformed(format!(
+                "stage {i} config disagrees with stage 0"
+            )));
+        }
+    }
+    if cfg.layers % p != 0 {
+        return Err(CheckpointError::Malformed(format!(
+            "{} layers not divisible across {p} stages",
+            cfg.layers
+        )));
+    }
+    let per = cfg.layers / p;
+    let layers = (0..cfg.layers)
+        .map(|l| parts[l / per].layers[l].clone())
+        .collect();
+    Ok(ModelParams {
+        cfg,
+        embedding: first.embedding.clone(),
+        layers,
+        final_norm: parts[p - 1].final_norm.clone(),
+        head: parts[p - 1].head.clone(),
     })
 }
 
@@ -210,9 +336,40 @@ mod tests {
         let bytes = save(&model);
         assert!(restore(&bytes[..bytes.len() - 3]).is_err());
         assert!(restore(&bytes[..10]).is_err());
+        assert!(restore(&bytes[..3]).is_err());
+        assert!(restore(&[]).is_err());
         let mut extra = bytes.clone();
         extra.push(0);
         assert!(restore(&extra).is_err());
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let model = ModelParams::init(TransformerConfig::tiny(1), 5);
+        let bytes = save(&model);
+        // Wrong magic: not a checkpoint at all.
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xff;
+        assert!(matches!(
+            restore(&wrong_magic),
+            Err(CheckpointError::BadMagic)
+        ));
+        // Any payload bit flip: checksum catches it before parsing.
+        let mut flipped = bytes.clone();
+        let mid = bytes.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            restore(&flipped),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        // A flipped trailer bit is also a checksum mismatch.
+        let mut bad_trailer = bytes.clone();
+        let last = bytes.len() - 1;
+        bad_trailer[last] ^= 1;
+        assert!(matches!(
+            restore(&bad_trailer),
+            Err(CheckpointError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -238,6 +395,53 @@ mod tests {
         assert_eq!(a.embedding, b.embedding);
         assert_eq!(a.layers[0].wq, b.layers[0].wq);
         assert_eq!(a.head, b.head);
+    }
+
+    #[test]
+    fn merge_takes_each_tensor_from_its_owner() {
+        let cfg = TransformerConfig::tiny(4);
+        // Every stage starts from the shared init, then perturbs exactly
+        // the parameters it owns — the multi-process update pattern.
+        let base = ModelParams::init(cfg, 9);
+        let p = 2;
+        let per = cfg.layers / p;
+        let parts: Vec<ModelParams> = (0..p)
+            .map(|stage| {
+                let mut m = base.clone();
+                for l in stage * per..(stage + 1) * per {
+                    m.layers[l].wq.data_mut()[0] = 100.0 + stage as f32;
+                }
+                if stage == 0 {
+                    m.embedding.data_mut()[0] = -7.0;
+                }
+                if stage == p - 1 {
+                    m.head.data_mut()[0] = -9.0;
+                    m.final_norm.data_mut()[0] = -11.0;
+                }
+                m
+            })
+            .collect();
+        let merged = merge_stage_parts(&parts).unwrap();
+        assert_eq!(merged.embedding.data()[0], -7.0);
+        assert_eq!(merged.head.data()[0], -9.0);
+        assert_eq!(merged.final_norm.data()[0], -11.0);
+        for l in 0..cfg.layers {
+            assert_eq!(merged.layers[l].wq.data()[0], 100.0 + (l / per) as f32);
+        }
+        // Untouched tensors come through bit-identical to the base.
+        assert_eq!(merged.layers[0].wd, base.layers[0].wd);
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_parts() {
+        let a = ModelParams::init(TransformerConfig::tiny(2), 1);
+        let b = ModelParams::init(TransformerConfig::tiny(4), 1);
+        assert!(merge_stage_parts(&[]).is_err());
+        assert!(merge_stage_parts(&[a.clone(), b]).is_err());
+        // 2 layers across 3 stages cannot divide.
+        let c = ModelParams::init(TransformerConfig::tiny(2), 2);
+        let d = ModelParams::init(TransformerConfig::tiny(2), 3);
+        assert!(merge_stage_parts(&[a, c, d]).is_err());
     }
 
     #[test]

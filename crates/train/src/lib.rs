@@ -32,6 +32,7 @@
 pub mod calibrate;
 pub mod checkpoint;
 pub mod cp;
+pub mod data;
 pub mod layer;
 pub mod memtrack;
 pub mod metrics;

@@ -1,0 +1,130 @@
+//! Property tests for checkpoint integrity and recovery correctness.
+//!
+//! Two families:
+//!
+//! * **Integrity** — random truncations and bit-flips of a serialized
+//!   checkpoint are *always* rejected with a typed error, never
+//!   partially deserialized (the magic + FNV trailer added for the
+//!   control plane's crash-recovery path).
+//! * **Recovery** — killing a training run at iteration `k` and
+//!   restoring from the last checkpoint replays onto a bit-identical
+//!   trajectory: the final loss equals an uninterrupted run's bit for
+//!   bit, across the in-process and UDS socket transports.
+
+use proptest::prelude::*;
+
+use mepipe_comm::{Backend, TransportConfig};
+use mepipe_core::svpp::Mepipe;
+use mepipe_model::config::TransformerConfig;
+use mepipe_schedule::generator::{Dims, ScheduleGenerator};
+use mepipe_train::{
+    checkpoint, data::batch_for_iter, params::ModelParams, PipelineRuntime, WgradMode,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any truncation of a valid checkpoint is rejected.
+    #[test]
+    fn truncations_are_always_rejected(
+        seed in 0u64..1000,
+        cut_permille in 0usize..1000,
+    ) {
+        let model = ModelParams::init(TransformerConfig::tiny(2), seed);
+        let bytes = checkpoint::save(&model);
+        let keep = bytes.len() * cut_permille / 1000;
+        prop_assert!(keep < bytes.len());
+        prop_assert!(checkpoint::restore(&bytes[..keep]).is_err());
+    }
+
+    /// Any single bit-flip anywhere in a valid checkpoint is rejected.
+    #[test]
+    fn bit_flips_are_always_rejected(
+        seed in 0u64..1000,
+        pos_permille in 0usize..1000,
+        bit in 0usize..8,
+    ) {
+        let model = ModelParams::init(TransformerConfig::tiny(2), seed);
+        let mut bytes = checkpoint::save(&model);
+        let pos = bytes.len() * pos_permille / 1000;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(checkpoint::restore(&bytes).is_err());
+    }
+}
+
+/// Runs `iters` training iterations from `start`, stepping the model
+/// with SGD, returning the last iteration's loss. Batches derive from
+/// the iteration index alone, exactly like the job runner's.
+fn run_span(rt: &mut PipelineRuntime, start: usize, iters: usize, seed: u64) -> f64 {
+    let cfg = rt.model.cfg;
+    let sch = Mepipe::new().generate(&Dims::new(2, 2).slices(4)).unwrap();
+    let mut last = f64::NAN;
+    for k in start..start + iters {
+        let batch = batch_for_iter(&cfg, 2, seed, k);
+        let stats = rt
+            .train_step(&sch, &batch, WgradMode::DrainOnWait, 0.1)
+            .expect("train step");
+        last = stats.loss;
+    }
+    last
+}
+
+fn uds_config(tag: &str) -> TransportConfig {
+    let dir = std::env::temp_dir().join(format!("mepipe-ckpt-test-{}-{tag}", std::process::id()));
+    TransportConfig {
+        backend: Backend::Uds(dir),
+        ..TransportConfig::in_proc()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Kill at iteration `k`, restore from the last checkpoint, finish
+    /// the job: final loss is bit-identical to an uninterrupted run —
+    /// over the in-process transport and over a real UDS socket mesh
+    /// (threads of one process on both ends of the sockets).
+    #[test]
+    fn kill_and_restore_is_bit_identical(
+        seed in 0u64..100,
+        total in 4usize..7,
+        interval in 1usize..4,
+        kill_offset in 0usize..3,
+        uds in 0usize..2,
+    ) {
+        let cfg = TransformerConfig { seq_len: 16, ..TransformerConfig::tiny(2) };
+        let transport = if uds == 1 {
+            uds_config(&format!("{seed}-{total}-{interval}-{kill_offset}"))
+        } else {
+            TransportConfig::in_proc()
+        };
+
+        // Uninterrupted reference.
+        let mut reference = PipelineRuntime::new(ModelParams::init(cfg, seed), 2, 1)
+            .with_transport(transport.clone());
+        let ref_loss = run_span(&mut reference, 0, total, seed);
+
+        // Interrupted run: train to the kill point, checkpointing every
+        // `interval` iterations; "crash"; restore the last checkpoint
+        // and replay the rest.
+        let ckpt_at = interval.min(total - 1);
+        let kill_at = (ckpt_at + kill_offset).min(total - 1);
+        let mut rt = PipelineRuntime::new(ModelParams::init(cfg, seed), 2, 1)
+            .with_transport(transport.clone());
+        run_span(&mut rt, 0, ckpt_at, seed);
+        let ckpt = checkpoint::save(&rt.model);
+        // Work past the checkpoint that the crash will throw away.
+        run_span(&mut rt, ckpt_at, kill_at - ckpt_at, seed);
+        drop(rt); // the crash
+
+        let restored = checkpoint::restore(&ckpt).expect("restore last checkpoint");
+        let mut rt = PipelineRuntime::new(restored, 2, 1).with_transport(transport.clone());
+        let final_loss = run_span(&mut rt, ckpt_at, total - ckpt_at, seed);
+
+        prop_assert_eq!(
+            ref_loss.to_bits(),
+            final_loss.to_bits(),
+            "recovered trajectory diverged: {} vs {}", ref_loss, final_loss
+        );
+    }
+}

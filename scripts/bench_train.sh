@@ -3,9 +3,12 @@
 # BENCH_train.json at the repo root: whole `train_step` iterations of the
 # threaded pipeline runtime on a mini-Llama (2 stages x 8 slices x 4
 # micro-batches), the data-parallel replica scenario, the multi-process
-# launch scenario, and the online-autotune scenario (calibration loop on
+# launch scenario, the online-autotune scenario (calibration loop on
 # an emulated 2 ms/message link; `autotune_speedup` records iteration
-# time before vs after the calibrated hot-swap). The JSON also records
+# time before vs after the calibrated hot-swap), and the chaos-recovery
+# scenario (the same job clean vs chaos-killed under the mepipe-ctl
+# daemon; `recovery_overhead` is the wall-clock price of detection +
+# restart + re-running at most one checkpoint interval). The JSON also records
 # the pre-arena baseline measured on the same config, so the speedup
 # field is a real before/after; see crates/bench/benches/train.rs.
 #

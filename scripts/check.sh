@@ -70,6 +70,81 @@ rm -rf "$AUTOTUNE_DIR"
 echo "==> fault-injection smoke (dropped/corrupted frames, retried, same loss)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- selftest-faults
 
+echo "==> control-plane smoke 1/2 (oneshot: 2 spooled jobs, one chaos-killed, on a 1x4 fleet)"
+# The serve exit code is the assertion: 0 only if every job completed
+# with zero iterations lost beyond its checkpoint interval and every
+# requested replay verification was bit-identical.
+cargo build --release -p mepipe-ctl --bin mepipe-ctl
+CTL_BIN=target/release/mepipe-ctl
+CTL_DIR="$(mktemp -d)"
+mkdir -p "$CTL_DIR/spool"
+cat > "$CTL_DIR/spool/steady.toml" <<'EOF'
+name = "steady"
+iters = 4
+stages = 2
+layers = 4
+micro_batches = 2
+slices = 2
+seq_len = 16
+checkpoint_interval = 2
+verify = true
+EOF
+cat > "$CTL_DIR/spool/chaotic.toml" <<'EOF'
+name = "chaotic"
+iters = 6
+stages = 2
+layers = 4
+micro_batches = 2
+slices = 2
+seq_len = 16
+checkpoint_interval = 2
+verify = true
+kill_stage = 1
+kill_at_iter = 3
+EOF
+timeout 300 "$CTL_BIN" serve --socket "$CTL_DIR/ctl.sock" --spool "$CTL_DIR/spool" \
+  --out "$CTL_DIR/out" --nodes 1 --slots-per-node 4 --tick-ms 20 \
+  --oneshot --expect-jobs 2
+grep -q 'mepipe_ctl_job_restarts_total{job="chaotic"} 1' "$CTL_DIR/out/metrics.prom" \
+  || { echo "chaos job did not restart exactly once"; exit 1; }
+grep -q 'mepipe_ctl_job_lost_beyond_interval_total{job="chaotic"} 0' "$CTL_DIR/out/metrics.prom" \
+  || { echo "recovery lost more than one checkpoint interval"; exit 1; }
+rm -rf "$CTL_DIR"
+
+echo "==> control-plane smoke 2/2 (drain mid-run: live re-shard off the drained node)"
+CTL_DIR="$(mktemp -d)"
+cat > "$CTL_DIR/elastic.toml" <<'EOF'
+name = "elastic"
+iters = 40
+stages = 2
+layers = 4
+micro_batches = 4
+slices = 2
+seq_len = 16
+checkpoint_interval = 2
+verify = true
+EOF
+timeout 300 "$CTL_BIN" serve --socket "$CTL_DIR/ctl.sock" --out "$CTL_DIR/out" \
+  --nodes 2 --slots-per-node 2 --tick-ms 20 &
+CTL_PID=$!
+"$CTL_BIN" submit --socket "$CTL_DIR/ctl.sock" "$CTL_DIR/elastic.toml"
+# Wait for a published checkpoint (a stage logs iter 2 only after
+# iter-2.bin landed), then drain the node the gang packed onto.
+for _ in $(seq 1 600); do
+  DONE=$(awk -F' ' '/^mepipe_ctl_job_completed_iterations\{job="elastic"\}/ {print $2}' \
+    "$CTL_DIR/out/metrics.prom" 2>/dev/null || true)
+  if [ -n "${DONE:-}" ] && [ "$DONE" -ge 3 ]; then break; fi
+  sleep 0.05
+done
+"$CTL_BIN" drain --socket "$CTL_DIR/ctl.sock" node-0
+"$CTL_BIN" shutdown --socket "$CTL_DIR/ctl.sock"
+wait "$CTL_PID"
+grep -q 'mepipe_ctl_job_reshards_total{job="elastic"} 1' "$CTL_DIR/out/metrics.prom" \
+  || { echo "drain did not trigger exactly one live re-shard"; exit 1; }
+grep -q 'mepipe_ctl_job_lost_beyond_interval_total{job="elastic"} 0' "$CTL_DIR/out/metrics.prom" \
+  || { echo "re-shard lost more than one checkpoint interval"; exit 1; }
+rm -rf "$CTL_DIR"
+
 echo "==> cargo test -q --workspace (tier-1 + workspace suites)"
 cargo test -q --workspace
 
