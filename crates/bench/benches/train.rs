@@ -16,6 +16,8 @@ use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::DualPipe;
 use mepipe_tensor::init::synthetic_tokens;
+use mepipe_trace::metrics::ITERATION_BUCKETS;
+use mepipe_trace::{http_get, EventLog, HttpExporter, Level, MetricsRegistry};
 use mepipe_train::{
     calibrate::{autotune, Calibrator},
     params::ModelParams,
@@ -112,11 +114,15 @@ fn make_batch(cfg: &TransformerConfig, n: usize) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// Measures the cost of enabled span tracing: interleaved min-of-5
-/// seconds per untraced and traced `run_iteration` (alternating samples,
-/// so clock drift, frequency scaling and cache warm-up hit both sides
-/// equally), plus the loss bits of each (the tracer must be
-/// bit-invisible). Returns the runtime with tracing off.
+/// Measures the cost of the full observability plane: interleaved
+/// min-of-8 seconds per bare `run_iteration` vs one with span tracing
+/// enabled *and* the live telemetry a production worker runs per
+/// iteration — a latency-histogram observe, a ring-buffered event-log
+/// entry, and a fresh Prometheus render published to a live
+/// `HttpExporter` (alternating samples, so clock drift, frequency
+/// scaling and cache warm-up hit both sides equally), plus the loss
+/// bits of each (the whole plane must be bit-invisible). Returns the
+/// runtime with tracing off.
 fn measure_tracing(
     rt: PipelineRuntime,
     sch: &mepipe_schedule::ir::Schedule,
@@ -137,6 +143,16 @@ fn measure_tracing(
         traced.trace.as_ref().is_some_and(|t| !t.stages.is_empty()),
         "traced run recorded no spans"
     );
+    // The traced side also carries the telemetry a worker publishes per
+    // iteration, so `tracing_overhead` prices the whole plane: the
+    // exporter thread is live (scraped once below to prove it), the
+    // event log is the ring-only flight recorder, and every iteration
+    // renders + publishes the registry.
+    let exporter = HttpExporter::spawn("127.0.0.1:0").expect("bind bench exporter");
+    let mut events = EventLog::silent("bench");
+    let mut reg = MetricsRegistry::new();
+    let obs_labels: [(&str, String); 1] = [("stage", "0".to_string())];
+    let mut iter: u64 = 0;
     // Warm-up sized the sample count; one runtime (same warm arena) does
     // both sides, alternating per round.
     rt = rt.with_tracing(false);
@@ -163,11 +179,47 @@ fn measure_tracing(
         rt = rt.with_tracing(true);
         let start = Instant::now();
         for _ in 0..per_sample {
+            let t0 = Instant::now();
             black_box(rt.run_iteration(sch, batch, WgradMode::DrainOnWait, None))
                 .expect("traced iteration");
+            iter += 1;
+            reg.observe(
+                "mepipe_bench_iteration_seconds",
+                "bench iteration latency",
+                &obs_labels,
+                &ITERATION_BUCKETS,
+                t0.elapsed().as_secs_f64(),
+            );
+            reg.counter(
+                "mepipe_bench_iterations_total",
+                "bench iterations finished",
+                &obs_labels,
+                1.0,
+            );
+            events.event(
+                Level::Info,
+                None,
+                Some(0),
+                "iteration",
+                &[("iter", iter.to_string())],
+            );
+            exporter.publish_metrics(reg.to_prometheus_text());
+            exporter.publish_status(format!("{{\"completed\":{iter}}}"));
         }
         t_traced = t_traced.min(start.elapsed().as_secs_f64() / per_sample as f64);
     }
+    // The endpoint the overhead number paid for must actually answer.
+    let (code, body) = http_get(
+        &exporter.addr().to_string(),
+        "/metrics",
+        Duration::from_secs(5),
+    )
+    .expect("scrape bench exporter");
+    assert_eq!(code, 200, "bench exporter scrape failed");
+    assert!(
+        body.contains("mepipe_bench_iterations_total"),
+        "scrape missing bench counter"
+    );
     (
         rt.with_tracing(false),
         t_plain,
@@ -191,8 +243,9 @@ fn main() {
 
     if smoke {
         // One iteration, no timing JSON — the check.sh smoke path — plus
-        // the tracing-overhead bound: enabled tracing must not change the
-        // loss bits and must cost only a few percent.
+        // the observability-overhead bound: enabled tracing, the event
+        // log and a live metrics exporter must not change the loss bits
+        // and must cost only a few percent.
         let stats = rt
             .train_step(&sch, &batch, WgradMode::DrainOnWait, 0.05)
             .expect("smoke iteration");
@@ -202,14 +255,14 @@ fn main() {
         assert_eq!(plain_bits, traced_bits, "tracing changed the loss bits");
         let overhead = t_traced / t_plain - 1.0;
         println!(
-            "smoke: tracing overhead {:.2}% ({:.1} -> {:.1} ms/iter)",
+            "smoke: tracing+telemetry overhead {:.2}% ({:.1} -> {:.1} ms/iter)",
             overhead * 100.0,
             t_plain * 1e3,
             t_traced * 1e3
         );
         assert!(
             overhead < 0.05,
-            "enabled tracing costs {:.1}% (> 5%)",
+            "tracing + live telemetry costs {:.1}% (> 5%)",
             overhead * 100.0
         );
         return;
@@ -246,14 +299,16 @@ fn main() {
         BASELINE_STEP_S / t_step
     );
 
-    // --- Tracing overhead: the same iteration with span recording on.
-    // Recorded in BENCH_train.json so regressions in the tracer's hot
-    // path (two clock reads + one ring write per span) show up here. ---
+    // --- Observability overhead: the same iteration with span recording
+    // on plus the per-iteration telemetry (histogram observe, event-log
+    // ring push, Prometheus render published to a live exporter).
+    // Recorded in BENCH_train.json so regressions anywhere on the
+    // plane's hot path show up here. ---
     let (rt, t_plain, t_traced, plain_bits, traced_bits) = measure_tracing(rt, &sch, &batch);
     assert_eq!(plain_bits, traced_bits, "tracing changed the loss bits");
     let tracing_overhead = t_traced / t_plain - 1.0;
     println!(
-        "  tracing: {:.1} -> {:.1} ms/iter with spans on ({:+.2}% overhead)",
+        "  tracing: {:.1} -> {:.1} ms/iter with spans + live telemetry on ({:+.2}% overhead)",
         t_plain * 1e3,
         t_traced * 1e3,
         tracing_overhead * 100.0

@@ -4,10 +4,12 @@
 //!
 //! * `serve --socket S [--spool DIR] [--out DIR] [--nodes N]
 //!   [--slots-per-node K] [--worker-bin PATH] [--hang-timeout-secs T]
-//!   [--tick-ms M] [--oneshot --expect-jobs J]` — run the daemon over a
-//!   simulated fleet of `N × K` slots. `--oneshot` exits once J jobs
-//!   are terminal; the exit code is 0 only if every job completed with
-//!   zero iterations lost beyond its checkpoint interval and every
+//!   [--tick-ms M] [--http ADDR] [--oneshot --expect-jobs J]` — run the
+//!   daemon over a simulated fleet of `N × K` slots. `--http` mounts
+//!   the observability endpoint (`/metrics`, `/status`, `/healthz`) on
+//!   a TCP address, polled from the tick loop. `--oneshot` exits once J
+//!   jobs are terminal; the exit code is 0 only if every job completed
+//!   with zero iterations lost beyond its checkpoint interval and every
 //!   requested verification passed.
 //! * `submit --socket S SPECFILE` — submit a job document (JSON or
 //!   TOML).
@@ -129,6 +131,7 @@ fn main() {
                 oneshot: flags.has("oneshot"),
                 expect_jobs: flags.parsed("expect-jobs", 0usize),
                 tick: Duration::from_millis(flags.parsed("tick-ms", 50u64)),
+                http: flags.get("http").map(str::to_string),
             };
             serve(daemon, &opts).unwrap_or_else(|e| panic!("{e}"))
         }

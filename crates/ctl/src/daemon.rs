@@ -35,8 +35,11 @@ use mepipe_model::partition::{PartitionSpec, SequenceSplit};
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::ir::Schedule;
 use mepipe_strategy::SearchEngine;
-use mepipe_trace::chrome::traces_to_chrome;
-use mepipe_trace::{dump, IterationTrace, MetricsRegistry, PidKey};
+use mepipe_trace::chrome::{push_json_string, traces_to_chrome};
+use mepipe_trace::{
+    dump, EventLog, IterationTrace, Level, MetricsRegistry, PidKey, StragglerDetector,
+    StragglerFlag, DEFAULT_STRAGGLER_FACTOR, DEFAULT_STRAGGLER_ROUNDS,
+};
 use mepipe_train::data::batch_for_iter;
 use mepipe_train::params::ModelParams;
 use mepipe_train::{checkpoint, PipelineRuntime, WgradMode};
@@ -148,6 +151,13 @@ pub struct Job {
     attempt: usize,
     /// One-shot fault injection, consumed by the first launch.
     chaos: Option<(usize, usize)>,
+    /// Progress-lag straggler detector fed each poll of a running gang.
+    straggler: StragglerDetector,
+    /// Currently-flagged straggling stages, surfaced in `/status`.
+    pub straggler_flags: Vec<StragglerFlag>,
+    /// Last per-stage progress sample (completed iterations), for
+    /// `/status` and the per-stage metrics aggregation.
+    pub stage_progress: Vec<usize>,
 }
 
 impl Job {
@@ -180,6 +190,9 @@ impl Job {
             epoch_base: (0, None),
             attempt: 0,
             chaos,
+            straggler: StragglerDetector::new(DEFAULT_STRAGGLER_FACTOR, DEFAULT_STRAGGLER_ROUNDS),
+            straggler_flags: Vec::new(),
+            stage_progress: Vec::new(),
         }
     }
 }
@@ -344,6 +357,10 @@ pub struct Daemon {
     max_restarts: u64,
     /// Set by a shutdown request: stop admitting, finish what runs.
     pub shutting_down: bool,
+    /// Structured event log doubling as the crash flight recorder;
+    /// postmortems dump its ring alongside a metrics snapshot.
+    pub events: EventLog,
+    artifact_write_errors: u64,
 }
 
 impl Daemon {
@@ -366,6 +383,8 @@ impl Daemon {
             hang_timeout: Duration::from_secs(60),
             max_restarts: 5,
             shutting_down: false,
+            events: EventLog::stderr("ctl"),
+            artifact_write_errors: 0,
         })
     }
 
@@ -425,7 +444,8 @@ impl Daemon {
             None => {
                 let derived = derive_checkpoint_interval(&spec, measure_iteration_seconds);
                 let note = derived.describe(&spec);
-                eprintln!("ctl: {note}");
+                self.events
+                    .event(Level::Info, Some(&spec.name), None, &note, &[]);
                 (derived.iters, Some(note))
             }
         };
@@ -520,9 +540,12 @@ impl Daemon {
         if let Some(alloc) = job.alloc.take() {
             self.fleet.release(&alloc);
         }
-        eprintln!(
-            "ctl: job {}: displaced ({why}), re-sharding from checkpoint",
-            job.spec.name
+        self.events.event(
+            Level::Warn,
+            Some(&job.spec.name),
+            None,
+            format!("displaced ({why}), re-sharding from checkpoint"),
+            &[],
         );
         job.state = JobState::Resharding;
     }
@@ -551,13 +574,53 @@ impl Daemon {
         };
         match gang.poll(hang) {
             GangPoll::Running => {
-                let done = gang.completed_iters();
+                let progress = gang.progress_iters();
+                let done = progress.iter().copied().min().unwrap_or(0);
                 let job = &mut self.jobs[i];
                 job.completed = job.completed.max(done);
+                job.stage_progress = progress;
+                self.detect_stragglers(i);
             }
             GangPoll::Completed { loss } => self.on_completed(i, loss),
             GangPoll::Failed { why } => self.on_failed(i, why),
         }
+    }
+
+    /// Feeds job `i`'s per-stage progress into its straggler detector.
+    ///
+    /// The daemon sees iteration *counts*, not latencies, so the
+    /// observation is each stage's progress lag behind the front-runner
+    /// (`max - mine + 1`, so a fully level gang observes all-ones). A
+    /// stage persistently lagging the median by more than the factor for
+    /// the persistence window gets flagged — the cross-process analog of
+    /// the latency-histogram detector the in-process launcher runs.
+    fn detect_stragglers(&mut self, i: usize) {
+        let job = &mut self.jobs[i];
+        if job.stage_progress.is_empty() {
+            return;
+        }
+        let max = job.stage_progress.iter().copied().max().unwrap_or(0);
+        let lag: Vec<f64> = job
+            .stage_progress
+            .iter()
+            .map(|&p| (max - p + 1) as f64)
+            .collect();
+        let flags = job.straggler.observe(&lag);
+        for f in &flags {
+            if !job.straggler_flags.iter().any(|old| old.stage == f.stage) {
+                self.events.event(
+                    Level::Warn,
+                    Some(&job.spec.name),
+                    Some(f.stage),
+                    format!(
+                        "straggler: stage {} progress lag {:.1}x the gang median for {} poll(s)",
+                        f.stage, f.ratio, f.rounds
+                    ),
+                    &[],
+                );
+            }
+        }
+        job.straggler_flags = flags;
     }
 
     fn on_completed(&mut self, i: usize, loss: f64) {
@@ -573,9 +636,12 @@ impl Daemon {
             self.fleet.release(&alloc);
         }
         let job = &self.jobs[i];
-        eprintln!(
-            "ctl: job {}: completed {} iterations, final loss {loss:.6}",
-            job.spec.name, job.spec.iters
+        self.events.event(
+            Level::Info,
+            Some(&job.spec.name),
+            None,
+            format!("completed {} iterations", job.spec.iters),
+            &[("final_loss", format!("{loss:.6}"))],
         );
         if job.spec.verify {
             let verdict = verify_replay(&job.spec, &job.segments);
@@ -585,29 +651,61 @@ impl Daemon {
                     let ok = replay.to_bits() == loss.to_bits();
                     job.verified = Some(ok);
                     if ok {
-                        eprintln!(
-                            "ctl: job {}: verified — replay loss bit-identical across {} segment(s)",
-                            job.spec.name,
-                            job.segments.len()
+                        self.events.event(
+                            Level::Info,
+                            Some(&job.spec.name),
+                            None,
+                            format!(
+                                "verified: replay loss bit-identical across {} segment(s)",
+                                job.segments.len()
+                            ),
+                            &[],
                         );
                     } else {
-                        job.error = Some(format!(
+                        let why = format!(
                             "verification failed: gang loss {loss} != replay loss {replay}"
-                        ));
-                        eprintln!("ctl: job {}: VERIFICATION FAILED", job.spec.name);
+                        );
+                        job.error = Some(why.clone());
+                        let name = job.spec.name.clone();
+                        self.events
+                            .event(Level::Error, Some(&name), None, &why, &[]);
+                        self.dump_postmortem(&name, &why);
                     }
                 }
                 Err(e) => {
                     job.verified = Some(false);
-                    job.error = Some(format!("verification replay errored: {e}"));
+                    let why = format!("verification replay errored: {e}");
+                    job.error = Some(why.clone());
+                    let name = job.spec.name.clone();
+                    self.events
+                        .event(Level::Error, Some(&name), None, &why, &[]);
+                    self.dump_postmortem(&name, &why);
                 }
             }
         }
     }
 
+    /// Dumps the flight recorder — last events, open spans, and a
+    /// metrics snapshot — to `out_dir/postmortem-<job>.json`. Called on
+    /// gang death, verification failure, and restart-budget exhaustion
+    /// so the last recorded events name what died.
+    fn dump_postmortem(&mut self, name: &str, reason: &str) {
+        let reg = self.metrics();
+        let path = self.out_dir.join(format!("postmortem-{name}.json"));
+        if let Err(e) = self.events.dump_postmortem(&path, reason, Some(&reg)) {
+            self.events.event(
+                Level::Error,
+                Some(name),
+                None,
+                format!("write postmortem {}: {e}", path.display()),
+                &[],
+            );
+        }
+    }
+
     /// Merges the gang's per-stage span dumps (each stage's last
     /// iteration) into one Chrome trace at `out_dir/job-NAME.trace.json`.
-    fn write_merged_trace(&self, i: usize) {
+    fn write_merged_trace(&mut self, i: usize) {
         let job = &self.jobs[i];
         let Some(gang) = job.gang.as_ref() else {
             return;
@@ -623,10 +721,22 @@ impl Daemon {
                     .out_dir
                     .join(format!("job-{}.trace.json", job.spec.name));
                 if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("ctl: job {}: write merged trace: {e}", job.spec.name);
+                    self.events.event(
+                        Level::Error,
+                        Some(&job.spec.name),
+                        None,
+                        format!("write merged trace: {e}"),
+                        &[],
+                    );
                 }
             }
-            Err(e) => eprintln!("ctl: job {}: merge stage traces: {e}", job.spec.name),
+            Err(e) => self.events.event(
+                Level::Error,
+                Some(&job.spec.name),
+                None,
+                format!("merge stage traces: {e}"),
+                &[],
+            ),
         }
     }
 
@@ -639,10 +749,14 @@ impl Daemon {
         }
         job.restarts += 1;
         job.error = Some(why.clone());
+        let name = job.spec.name.clone();
+        let stage = parse_stage_tag(&why);
         if job.restarts > max_restarts {
-            let name = job.spec.name.clone();
-            self.fail(i, format!("{why} (restart budget exhausted)"));
-            eprintln!("ctl: job {name}: giving up after {max_restarts} restarts");
+            self.fail(
+                i,
+                format!("{why} (giving up after {max_restarts} restarts)"),
+            );
+            self.dump_postmortem(&name, &why);
             return;
         }
         // Account the lost work now so metrics show it while recovering.
@@ -651,16 +765,27 @@ impl Daemon {
         job.lost_iters += lost as u64;
         job.lost_beyond += lost.saturating_sub(job.interval) as u64;
         job.state = JobState::Recovering;
-        eprintln!(
-            "ctl: job {}: {why}; recovering from iteration {c} ({lost} iteration(s) to re-run)",
-            job.spec.name
+        self.events.event(
+            Level::Error,
+            Some(&name),
+            stage,
+            format!("{why}; recovering from iteration {c} ({lost} iteration(s) to re-run)"),
+            &[],
         );
+        self.dump_postmortem(&name, &why);
     }
 
     fn fail(&mut self, i: usize, why: String) {
         let job = &mut self.jobs[i];
         job.gang = None;
         job.state = JobState::Failed;
+        self.events.event(
+            Level::Error,
+            Some(&job.spec.name),
+            parse_stage_tag(&why),
+            format!("failed: {why}"),
+            &[],
+        );
         job.error = Some(why);
         let alloc = job.alloc.take();
         if let Some(alloc) = alloc {
@@ -778,9 +903,15 @@ impl Daemon {
             start_iter: c,
             shape,
         });
-        eprintln!(
-            "ctl: job {}: re-sharded {} -> {} stage(s) (slices {} -> {}), resuming at iteration {c}",
-            job.spec.name, old_shape.stages, shape.stages, old_shape.slices, shape.slices
+        self.events.event(
+            Level::Info,
+            Some(&job.spec.name),
+            None,
+            format!(
+                "re-sharded {} -> {} stage(s) (slices {} -> {}), resuming at iteration {c}",
+                old_shape.stages, shape.stages, old_shape.slices, shape.slices
+            ),
+            &[],
         );
         let stages = shape.stages;
         self.launch_attempt(i, c, vec![restore; stages]);
@@ -819,9 +950,15 @@ impl Daemon {
             };
             let job = &mut self.jobs[i];
             if shape.stages < job.spec.stages {
-                eprintln!(
-                    "ctl: job {}: admitted shrunk to {} of {} requested stage(s)",
-                    job.spec.name, shape.stages, job.spec.stages
+                self.events.event(
+                    Level::Warn,
+                    Some(&job.spec.name),
+                    None,
+                    format!(
+                        "admitted shrunk to {} of {} requested stage(s)",
+                        shape.stages, job.spec.stages
+                    ),
+                    &[],
                 );
             }
             job.alloc = Some(alloc);
@@ -943,7 +1080,33 @@ impl Daemon {
                     f64::from(u8::from(ok)),
                 );
             }
+            // Per-gang aggregation: each stage process reports progress
+            // through its progress file; the daemon re-exports the whole
+            // gang as one labelled family.
+            for (stage, &iters) in job.stage_progress.iter().enumerate() {
+                let sl: [(&str, String); 2] =
+                    [("job", job.spec.name.clone()), ("stage", stage.to_string())];
+                reg.gauge(
+                    "mepipe_ctl_stage_completed_iterations",
+                    "Iterations each stage of the gang has completed",
+                    &sl,
+                    iters as f64,
+                );
+                let flagged = job.straggler_flags.iter().any(|f| f.stage == stage);
+                reg.gauge(
+                    "mepipe_ctl_stage_straggler",
+                    "1 while the stage persistently lags the gang median",
+                    &sl,
+                    f64::from(u8::from(flagged)),
+                );
+            }
         }
+        reg.counter(
+            "mepipe_ctl_artifact_write_errors_total",
+            "Failed metrics/status artifact writes under the out dir",
+            &[],
+            self.artifact_write_errors as f64,
+        );
         reg.gauge(
             "mepipe_ctl_fleet_slots_free",
             "Slots new allocations may take",
@@ -980,11 +1143,30 @@ impl Daemon {
         reg
     }
 
-    /// Writes `metrics.json` and `metrics.prom` under the out dir.
-    pub fn write_artifacts(&self) {
+    /// Writes `metrics.json`, `metrics.prom` and `status.json` under
+    /// the out dir. Failures are not swallowed: each one is logged and
+    /// counted in `mepipe_ctl_artifact_write_errors_total`, so a full
+    /// disk or bad mount shows up in the very metrics that still render
+    /// over HTTP.
+    pub fn write_artifacts(&mut self) {
         let reg = self.metrics();
-        let _ = std::fs::write(self.out_dir.join("metrics.json"), reg.to_json());
-        let _ = std::fs::write(self.out_dir.join("metrics.prom"), reg.to_prometheus_text());
+        let writes = [
+            ("metrics.json", reg.to_json()),
+            ("metrics.prom", reg.to_prometheus_text()),
+            ("status.json", self.status_json()),
+        ];
+        for (file, body) in writes {
+            if let Err(e) = std::fs::write(self.out_dir.join(file), body) {
+                self.artifact_write_errors += 1;
+                self.events.event(
+                    Level::Error,
+                    None,
+                    None,
+                    format!("write artifact {file}: {e}"),
+                    &[("errors_total", self.artifact_write_errors.to_string())],
+                );
+            }
+        }
     }
 
     /// Human-readable queue and fleet snapshot for `status`.
@@ -1033,6 +1215,112 @@ impl Daemon {
         }
         out
     }
+
+    /// Machine-readable control-plane snapshot for `/status`: every
+    /// job's lifecycle, shape, segment history, per-stage progress and
+    /// straggler flags, plus the fleet. Valid JSON by construction.
+    pub fn status_json(&self) -> String {
+        let mut out = String::from("{\"shutting_down\":");
+        out.push_str(if self.shutting_down { "true" } else { "false" });
+        out.push_str(",\"jobs\":[");
+        for (ji, job) in self.jobs.iter().enumerate() {
+            if ji > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &job.spec.name);
+            out.push_str(",\"state\":");
+            push_json_string(&mut out, job.state.name());
+            out.push_str(&format!(
+                ",\"completed\":{},\"target\":{},\"stages\":{},\"slices\":{},\
+                 \"checkpoint_interval\":{},\"restarts\":{},\"reshards\":{},\
+                 \"lost_iterations\":{},\"lost_beyond_interval\":{}",
+                job.completed,
+                job.spec.iters,
+                job.shape.stages,
+                job.shape.slices,
+                job.interval,
+                job.restarts,
+                job.reshards,
+                job.lost_iters,
+                job.lost_beyond,
+            ));
+            out.push_str(",\"stage_progress\":[");
+            for (si, p) in job.stage_progress.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str(&p.to_string());
+            }
+            out.push_str("],\"stragglers\":[");
+            for (fi, f) in job.straggler_flags.iter().enumerate() {
+                if fi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"stage\":{},\"ratio\":{:.3},\"rounds\":{}}}",
+                    f.stage, f.ratio, f.rounds
+                ));
+            }
+            out.push_str("],\"segments\":[");
+            for (si, seg) in job.segments.iter().enumerate() {
+                if si > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"start_iter\":{},\"stages\":{},\"slices\":{}}}",
+                    seg.start_iter, seg.shape.stages, seg.shape.slices
+                ));
+            }
+            out.push(']');
+            match job.final_loss {
+                Some(loss) => out.push_str(&format!(",\"final_loss\":{loss}")),
+                None => out.push_str(",\"final_loss\":null"),
+            }
+            match job.verified {
+                Some(ok) => out.push_str(&format!(",\"verified\":{ok}")),
+                None => out.push_str(",\"verified\":null"),
+            }
+            match &job.error {
+                Some(e) => {
+                    out.push_str(",\"error\":");
+                    push_json_string(&mut out, e);
+                }
+                None => out.push_str(",\"error\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\"fleet\":{{\"used\":{},\"free\":{},\"schedulable\":{},\"nodes\":[",
+            self.fleet.used_slots(),
+            self.fleet.free_slots(),
+            self.fleet.schedulable_slots()
+        ));
+        for (ni, node) in self.fleet.nodes().iter().enumerate() {
+            if ni > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &node.name);
+            out.push_str(&format!(
+                ",\"slots\":{},\"used\":{},\"drained\":{}}}",
+                node.slots, node.used, node.drained
+            ));
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+/// Extracts the stage index from a gang failure message of the form
+/// `stage N ...`, so flight-recorder events can carry the stage tag of
+/// whatever died.
+fn parse_stage_tag(why: &str) -> Option<usize> {
+    why.strip_prefix("stage ")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
 }
 
 /// Measures one real in-process iteration of the spec's model at its
@@ -1188,5 +1476,103 @@ mod tests {
         assert!(d.fleet.drain("node-1"));
         assert_eq!(d.metrics().get("mepipe_ctl_node_drained", &n), Some(1.0));
         let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn metric_names_pass_the_prometheus_lint() {
+        let out = std::env::temp_dir().join(format!("mepipe-ctl-lint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let mut d = Daemon::new(
+            Fleet::homogeneous(1, 2),
+            PathBuf::from("mepipe-worker"),
+            out.clone(),
+        )
+        .unwrap();
+        d.submit("name = \"a\"\niters = 4\ncheckpoint_interval = 2\n")
+            .unwrap();
+        d.jobs[0].stage_progress = vec![3, 1];
+        let violations = d.metrics().lint_names();
+        assert!(violations.is_empty(), "{violations:?}");
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn status_json_is_valid_and_covers_jobs_and_fleet() {
+        let out = std::env::temp_dir().join(format!("mepipe-ctl-sj-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let mut d = Daemon::new(
+            Fleet::homogeneous(1, 2),
+            PathBuf::from("mepipe-worker"),
+            out.clone(),
+        )
+        .unwrap();
+        d.submit("name = \"a\"\niters = 4\ncheckpoint_interval = 2\n")
+            .unwrap();
+        d.jobs[0].error = Some("note with \"quotes\"\nand a newline".to_string());
+        d.jobs[0].stage_progress = vec![3, 1];
+        d.jobs[0].straggler_flags = vec![StragglerFlag {
+            stage: 1,
+            ratio: 3.0,
+            rounds: 4,
+        }];
+        let v: serde_json::Value = serde_json::from_str(&d.status_json()).expect("valid JSON");
+        let jobs = v["jobs"].as_array().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0]["name"].as_str(), Some("a"));
+        assert_eq!(jobs[0]["state"].as_str(), Some("pending"));
+        assert_eq!(
+            jobs[0]["error"].as_str(),
+            Some("note with \"quotes\"\nand a newline")
+        );
+        assert_eq!(jobs[0]["stage_progress"][1].as_u64(), Some(1));
+        assert_eq!(jobs[0]["stragglers"][0]["stage"].as_u64(), Some(1));
+        assert_eq!(v["fleet"]["free"].as_u64(), Some(2));
+        assert_eq!(v["fleet"]["nodes"][0]["drained"].as_bool(), Some(false));
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn failed_artifact_writes_are_counted_not_swallowed() {
+        let out = std::env::temp_dir().join(format!("mepipe-ctl-aw-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&out);
+        let mut d = Daemon::new(
+            Fleet::homogeneous(1, 2),
+            PathBuf::from("mepipe-worker"),
+            out.clone(),
+        )
+        .unwrap();
+        d.events = EventLog::silent("ctl");
+        d.write_artifacts();
+        assert_eq!(
+            d.metrics()
+                .get("mepipe_ctl_artifact_write_errors_total", &[]),
+            Some(0.0)
+        );
+        assert!(out.join("metrics.prom").exists());
+        assert!(out.join("status.json").exists());
+        // Make the out dir unwritable by replacing it with a file.
+        std::fs::remove_dir_all(&out).unwrap();
+        std::fs::create_dir_all(&out).unwrap();
+        for f in ["metrics.json", "metrics.prom", "status.json"] {
+            std::fs::create_dir_all(out.join(f)).unwrap();
+        }
+        d.write_artifacts();
+        assert_eq!(
+            d.metrics()
+                .get("mepipe_ctl_artifact_write_errors_total", &[]),
+            Some(3.0)
+        );
+        assert!(d
+            .events
+            .events()
+            .any(|e| e.message.contains("write artifact")));
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn gang_failure_messages_yield_stage_tags() {
+        assert_eq!(parse_stage_tag("stage 2 exited with signal 9"), Some(2));
+        assert_eq!(parse_stage_tag("stage 0 made no progress for 5s"), Some(0));
+        assert_eq!(parse_stage_tag("gang launch: spawn failed"), None);
     }
 }

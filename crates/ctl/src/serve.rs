@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use mepipe_comm::control::{Request, Response};
+use mepipe_trace::{route_obs, HttpServer, Level, ObsSnapshot};
 
 use crate::daemon::{Daemon, JobState};
 
@@ -32,6 +33,10 @@ pub struct ServeOptions {
     pub expect_jobs: usize,
     /// Scheduler tick period.
     pub tick: Duration,
+    /// Optional TCP address (`host:port`) for the HTTP observability
+    /// endpoint serving `/metrics`, `/status` and `/healthz`. Polled
+    /// from the tick loop, so scrapes never race daemon state.
+    pub http: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -42,6 +47,7 @@ impl Default for ServeOptions {
             oneshot: false,
             expect_jobs: 0,
             tick: Duration::from_millis(50),
+            http: None,
         }
     }
 }
@@ -64,7 +70,27 @@ pub fn serve(mut daemon: Daemon, opts: &ServeOptions) -> Result<i32, String> {
     listener
         .set_nonblocking(true)
         .map_err(|e| format!("control socket nonblocking: {e}"))?;
-    eprintln!("ctl: serving on {}", opts.socket.display());
+    let http = match &opts.http {
+        Some(addr) => {
+            let srv = HttpServer::bind(addr)
+                .map_err(|e| format!("bind http observability endpoint {addr}: {e}"))?;
+            let bound = srv
+                .local_addr()
+                .map_err(|e| format!("http endpoint local addr: {e}"))?;
+            daemon.events.event(
+                Level::Info,
+                None,
+                None,
+                format!("observability endpoint on http://{bound}"),
+                &[],
+            );
+            Some(srv)
+        }
+        None => None,
+    };
+    daemon
+        .events
+        .info(format!("serving on {}", opts.socket.display()));
 
     loop {
         loop {
@@ -73,6 +99,18 @@ pub fn serve(mut daemon: Daemon, opts: &ServeOptions) -> Result<i32, String> {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) => return Err(format!("accept on control socket: {e}")),
             }
+        }
+        if let Some(srv) = &http {
+            // The snapshot is rendered inside the closure, so idle polls
+            // (no scraper connected) cost nothing.
+            srv.poll(|path| {
+                let snapshot = ObsSnapshot {
+                    metrics_text: daemon.metrics().to_prometheus_text(),
+                    status_json: daemon.status_json(),
+                    healthy: !daemon.shutting_down,
+                };
+                route_obs(&snapshot, path)
+            });
         }
         if let Some(spool) = &opts.spool {
             sweep_spool(&mut daemon, spool);
@@ -101,7 +139,8 @@ pub fn serve(mut daemon: Daemon, opts: &ServeOptions) -> Result<i32, String> {
             code = 1;
         }
     }
-    eprintln!("ctl: exiting\n{}", daemon.status_text());
+    daemon.events.info("exiting");
+    eprintln!("{}", daemon.status_text());
     Ok(code)
 }
 
@@ -142,24 +181,32 @@ fn sweep_spool(daemon: &mut Daemon, spool: &Path) {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("ctl: spool read {}: {e}", path.display());
+                daemon
+                    .events
+                    .error(format!("spool read {}: {e}", path.display()));
                 continue;
             }
         };
         let (suffix, note) = match daemon.submit(&text) {
             Ok(detail) => {
-                eprintln!("ctl: spool {}: {detail}", path.display());
+                daemon
+                    .events
+                    .info(format!("spool {}: {detail}", path.display()));
                 ("accepted", None)
             }
             Err(reason) => {
-                eprintln!("ctl: spool {}: rejected: {reason}", path.display());
+                daemon
+                    .events
+                    .warn(format!("spool {}: rejected: {reason}", path.display()));
                 ("rejected", Some(reason))
             }
         };
         let mut renamed = path.clone().into_os_string();
         renamed.push(format!(".{suffix}"));
         if let Err(e) = std::fs::rename(&path, &renamed) {
-            eprintln!("ctl: spool rename {}: {e}", path.display());
+            daemon
+                .events
+                .error(format!("spool rename {}: {e}", path.display()));
         } else if let Some(reason) = note {
             let _ = std::fs::write(PathBuf::from(renamed).with_extension("reason"), reason);
         }

@@ -22,6 +22,7 @@ pub mod calibrate;
 pub mod commcheck;
 pub mod cost;
 pub mod engine;
+pub mod memcheck;
 pub mod metrics;
 pub mod timeline;
 pub mod trace;
@@ -31,5 +32,6 @@ pub use calibrate::{extract_samples, fit_execution_cost, ConvergenceReport, Meas
 pub use commcheck::{CommCheckReport, LinkCheck};
 pub use cost::{ModelCost, SimCost, UniformSimCost};
 pub use engine::{simulate, SimConfig, SimResult, SimSummary};
+pub use memcheck::{MemCheckReport, StageMemCheck};
 pub use timeline::{Segment, SegmentKind};
 pub use trace::{replicas_to_chrome_trace, to_chrome_trace};

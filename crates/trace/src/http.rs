@@ -1,0 +1,370 @@
+//! Dependency-free HTTP/1.1 exporter for live metrics and status.
+//!
+//! Observability so far has been post-hoc files — `metrics.prom`,
+//! `metrics.json`, merged Chrome traces — written after a run ends. A
+//! long-running control plane needs the *live* view: this module serves
+//! it over plain `std::net::TcpListener`, no HTTP library, because the
+//! protocol surface we need (GET, three routes, `Connection: close`) is
+//! ~40 lines.
+//!
+//! Two integration shapes, matching the two runtime architectures:
+//!
+//! * [`HttpServer`] — a non-blocking listener polled from a
+//!   single-threaded loop. `mepipe-ctl serve` calls
+//!   [`HttpServer::poll`] once per scheduler tick, so the daemon's
+//!   no-locking design is preserved: responses are rendered from daemon
+//!   state between ticks, never concurrently with it.
+//! * [`HttpExporter`] — a background thread wrapping an `HttpServer`
+//!   around a mutex-held [`ObsSnapshot`]. The worker's driver thread
+//!   *publishes* fresh snapshots after each iteration; the exporter
+//!   thread only ever reads them, so scrapes cannot perturb (or be
+//!   blocked by) the compute path beyond one mutex swap.
+//!
+//! Routes: `/metrics` (Prometheus text 0.0.4), `/status` (JSON),
+//! `/healthz`. [`http_get`] is the matching client — check.sh smokes
+//! use it through `mepipe-worker http-get` so CI needs no curl.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One HTTP response: status, content type, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 503).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 with the given content type.
+    pub fn ok(content_type: &'static str, body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    /// A 404 with a plain-text body.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain",
+            body: "not found\n".to_string(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())
+    }
+}
+
+/// The state an exporter serves: pre-rendered documents, swapped in
+/// whole so a scrape never observes a half-updated view.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSnapshot {
+    /// Prometheus text exposition served at `/metrics`.
+    pub metrics_text: String,
+    /// JSON document served at `/status`.
+    pub status_json: String,
+    /// `/healthz` verdict: `true` serves 200 "ok", `false` a 503.
+    pub healthy: bool,
+}
+
+/// Routes one of the three well-known paths against a snapshot.
+pub fn route_obs(snapshot: &ObsSnapshot, path: &str) -> HttpResponse {
+    match path {
+        "/metrics" => HttpResponse::ok("text/plain; version=0.0.4", snapshot.metrics_text.clone()),
+        "/status" => HttpResponse::ok("application/json", snapshot.status_json.clone()),
+        "/healthz" => {
+            if snapshot.healthy {
+                HttpResponse::ok("text/plain", "ok\n".to_string())
+            } else {
+                HttpResponse {
+                    status: 503,
+                    content_type: "text/plain",
+                    body: "unhealthy\n".to_string(),
+                }
+            }
+        }
+        _ => HttpResponse::not_found(),
+    }
+}
+
+/// Reads the request head off `stream` and returns the GET path, or
+/// `None` for anything malformed (the connection is just dropped —
+/// a scraper that can't say `GET /path HTTP/1.x` gets no reply).
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 256];
+    // Read until the blank line ending the header block (or 8 KiB).
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    (method == "GET").then(|| path.to_string())
+}
+
+/// A non-blocking HTTP listener meant to be polled from a
+/// single-threaded loop.
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` to let the OS pick a port) and
+    /// switches the listener to non-blocking accepts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configure failures.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(HttpServer { listener })
+    }
+
+    /// The address actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves every connection currently pending, routing each GET path
+    /// through `respond`. Returns how many requests were answered.
+    /// Never blocks beyond the per-connection read timeout.
+    pub fn poll<F: FnMut(&str) -> HttpResponse>(&self, mut respond: F) -> usize {
+        let mut served = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    if let Some(path) = read_request_path(&mut stream) {
+                        let _ = respond(&path).write_to(&mut stream);
+                        served += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        served
+    }
+}
+
+/// A background-thread exporter serving published [`ObsSnapshot`]s.
+#[derive(Debug)]
+pub struct HttpExporter {
+    state: Arc<Mutex<ObsSnapshot>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpExporter {
+    /// Binds `addr` and spawns the serving thread. The exporter starts
+    /// healthy with empty documents; publish real ones as they exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(addr: &str) -> std::io::Result<Self> {
+        let server = HttpServer::bind(addr)?;
+        let addr = server.local_addr()?;
+        let state = Arc::new(Mutex::new(ObsSnapshot {
+            healthy: true,
+            ..ObsSnapshot::default()
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_state = Arc::clone(&state);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                let served = server.poll(|path| {
+                    let snap = thread_state.lock().expect("exporter state poisoned");
+                    route_obs(&snap, path)
+                });
+                if served == 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        });
+        Ok(HttpExporter {
+            state,
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address scrapers should hit.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the `/metrics` document.
+    pub fn publish_metrics(&self, text: String) {
+        self.state
+            .lock()
+            .expect("exporter state poisoned")
+            .metrics_text = text;
+    }
+
+    /// Replaces the `/status` document.
+    pub fn publish_status(&self, json: String) {
+        self.state
+            .lock()
+            .expect("exporter state poisoned")
+            .status_json = json;
+    }
+
+    /// Flips the `/healthz` verdict.
+    pub fn set_healthy(&self, healthy: bool) {
+        self.state.lock().expect("exporter state poisoned").healthy = healthy;
+    }
+}
+
+impl Drop for HttpExporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Minimal HTTP GET client: returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read failures and malformed responses.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> std::io::Result<(u16, String)> {
+    let sock_addr: SocketAddr = addr.parse().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}"))
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let header_end = text.find("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no header terminator")
+    })?;
+    let status = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, text[header_end + 4..].to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exporter_serves_all_three_routes() {
+        let exporter = HttpExporter::spawn("127.0.0.1:0").expect("bind loopback");
+        exporter.publish_metrics("# HELP a_total a\n# TYPE a_total counter\na_total 1\n".into());
+        exporter.publish_status("{\"jobs\":[]}".into());
+        let addr = exporter.addr().to_string();
+        let t = Duration::from_secs(5);
+        let (code, body) = http_get(&addr, "/metrics", t).expect("GET /metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("a_total 1"));
+        let (code, body) = http_get(&addr, "/status", t).expect("GET /status");
+        assert_eq!(code, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+        assert!(v["jobs"].as_array().is_some());
+        let (code, body) = http_get(&addr, "/healthz", t).expect("GET /healthz");
+        assert_eq!(code, 200);
+        assert_eq!(body, "ok\n");
+        let (code, _) = http_get(&addr, "/nope", t).expect("GET 404");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn unhealthy_exporter_serves_503() {
+        let exporter = HttpExporter::spawn("127.0.0.1:0").expect("bind loopback");
+        exporter.set_healthy(false);
+        let (code, _) = http_get(
+            &exporter.addr().to_string(),
+            "/healthz",
+            Duration::from_secs(5),
+        )
+        .expect("GET /healthz");
+        assert_eq!(code, 503);
+    }
+
+    #[test]
+    fn polled_server_answers_between_polls() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr().expect("addr").to_string();
+        let client = std::thread::spawn(move || {
+            http_get(&addr, "/status", Duration::from_secs(5)).expect("GET /status")
+        });
+        // Poll until the request lands (the client retries nothing; the
+        // listener queues the connection, so one poll after connect wins).
+        let mut served = 0;
+        for _ in 0..500 {
+            served += server.poll(|path| {
+                assert_eq!(path, "/status");
+                HttpResponse::ok("application/json", "{}".to_string())
+            });
+            if served > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(served, 1);
+        let (code, body) = client.join().expect("client thread");
+        assert_eq!(code, 200);
+        assert_eq!(body, "{}");
+    }
+}

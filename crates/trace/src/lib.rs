@@ -16,8 +16,16 @@
 //!   warmup / comm-stall / dependency / tail buckets, the runtime-side
 //!   counterpart of `sim::timeline::stage_activity`.
 //! * [`metrics`] — a small counter/gauge/histogram registry with JSON and
-//!   Prometheus text exposition, unifying the runtime's scattered stat
-//!   structs behind one schema.
+//!   Prometheus text exposition (plus bucket-interpolated quantile
+//!   estimates), unifying the runtime's scattered stat structs behind
+//!   one schema.
+//! * [`event`] — a structured JSON-lines event log whose bounded ring
+//!   doubles as a crash flight recorder ([`EventLog::dump_postmortem`]).
+//! * [`http`] — a dependency-free HTTP/1.1 exporter serving `/metrics`,
+//!   `/status` and `/healthz` live, either polled from a single-threaded
+//!   loop ([`HttpServer`]) or on a background thread ([`HttpExporter`]).
+//! * [`straggler`] — persistence-gated detection of stages running
+//!   `k ×` above the stage median iteration latency.
 //!
 //! Tracing has three states: *statically off* (the `off` cargo feature
 //! removes every record call at compile time), *runtime-disabled* (the
@@ -30,13 +38,21 @@ pub mod bubble;
 pub mod chrome;
 pub mod clock;
 pub mod dump;
+pub mod event;
+pub mod http;
 pub mod metrics;
 pub mod span;
+pub mod straggler;
 
 pub use bubble::{BubbleReport, IdleBuckets, StageBubble};
 pub use chrome::{ChromeTraceWriter, PidKey};
 pub use clock::ClockAnchor;
+pub use event::{Event, EventLog, Level};
+pub use http::{http_get, route_obs, HttpExporter, HttpResponse, HttpServer, ObsSnapshot};
 pub use metrics::MetricsRegistry;
 pub use span::{
     IterationTrace, Span, SpanKind, StageTrace, StageTracer, DEFAULT_RING_CAPACITY, NO_TAG,
+};
+pub use straggler::{
+    StragglerDetector, StragglerFlag, DEFAULT_STRAGGLER_FACTOR, DEFAULT_STRAGGLER_ROUNDS,
 };

@@ -18,6 +18,13 @@ use crate::chrome::push_json_string;
 /// Default histogram buckets for op/span durations, seconds.
 pub const DURATION_BUCKETS: [f64; 10] = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0];
 
+/// Histogram buckets for whole-iteration latencies, seconds — the
+/// duration ladder extended upward, since an iteration of a real model
+/// can run for minutes while a span never should.
+pub const ITERATION_BUCKETS: [f64; 12] = [
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 60.0,
+];
+
 #[derive(Debug, Clone, PartialEq)]
 enum Value {
     Counter(f64),
@@ -146,6 +153,43 @@ impl MetricsRegistry {
         }
     }
 
+    /// Estimates the `q`-quantile (0..=1) of the histogram
+    /// `name{labels}` by linear interpolation inside the bucket holding
+    /// the target rank — the same estimate `histogram_quantile` makes
+    /// server-side in Prometheus. Values above the last finite bucket
+    /// clamp to that bucket's bound (their true position is unknowable
+    /// from `+Inf` alone). Returns `None` for missing samples, empty
+    /// histograms, or non-histogram metrics.
+    pub fn quantile(&self, name: &str, labels: Labels, q: f64) -> Option<f64> {
+        let sample = self.families.get(name)?.samples.get(&label_key(labels))?;
+        let Value::Histogram {
+            buckets,
+            counts,
+            count,
+            ..
+        } = sample
+        else {
+            return None;
+        };
+        if *count == 0 || buckets.is_empty() {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * *count as f64).ceil() as u64).max(1);
+        let mut lower = 0.0;
+        let mut below = 0u64;
+        for (b, c) in buckets.iter().zip(counts) {
+            // Counts are cumulative: `c` samples are <= `b`.
+            if *c >= rank {
+                let in_bucket = c - below;
+                let frac = (rank - below) as f64 / in_bucket as f64;
+                return Some(lower + (b - lower) * frac);
+            }
+            lower = *b;
+            below = *c;
+        }
+        buckets.last().copied()
+    }
+
     /// Prometheus text exposition (format version 0.0.4).
     pub fn to_prometheus_text(&self) -> String {
         let mut out = String::new();
@@ -179,6 +223,34 @@ impl MetricsRegistry {
             }
         }
         out
+    }
+
+    /// Lints every family name against Prometheus conventions: the
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar, and `_total` on counters
+    /// (and on nothing else). Returns one message per violation; empty
+    /// means conforming.
+    pub fn lint_names(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (name, fam) in &self.families {
+            let mut chars = name.chars();
+            let head_ok = chars
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+            let tail_ok = chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+            if !head_ok || !tail_ok {
+                problems.push(format!(
+                    "{name}: invalid Prometheus metric name (grammar [a-zA-Z_:][a-zA-Z0-9_:]*)"
+                ));
+                continue;
+            }
+            if fam.kind == "counter" && !name.ends_with("_total") {
+                problems.push(format!("{name}: counter must end in _total"));
+            }
+            if fam.kind != "counter" && name.ends_with("_total") {
+                problems.push(format!("{name}: _total suffix on a {}", fam.kind));
+            }
+        }
+        problems
     }
 
     /// JSON exposition: an object keyed by family name, each with kind,
@@ -290,6 +362,41 @@ mod tests {
         assert_eq!(v["c_total"]["samples"][0]["value"].as_f64(), Some(7.0));
         assert_eq!(v["h_seconds"]["samples"][0]["count"].as_f64(), Some(1.0));
         assert_eq!(v["c_total"]["help"].as_str(), Some("a \"quoted\" help"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_rank_bucket() {
+        let mut r = MetricsRegistry::new();
+        // 10 samples: 4 land in (0,1], 4 in (1,10], 2 in (10, +Inf).
+        for v in [0.2, 0.4, 0.6, 0.8, 2.0, 4.0, 6.0, 8.0, 20.0, 30.0] {
+            r.observe("lat_seconds", "latency", &[], &[1.0, 10.0], v);
+        }
+        // p50 rank = 5 → second bucket, first of its 4 → 1 + 9/4.
+        let p50 = r.quantile("lat_seconds", &[], 0.5).expect("p50");
+        assert!((p50 - 3.25).abs() < 1e-9, "p50 = {p50}");
+        // p99 rank = 10 → beyond the last finite bucket: clamp to 10.
+        assert_eq!(r.quantile("lat_seconds", &[], 0.99), Some(10.0));
+        // p0 clamps to rank 1 → interpolates inside the first bucket.
+        let p0 = r.quantile("lat_seconds", &[], 0.0).expect("p0");
+        assert!(p0 > 0.0 && p0 <= 1.0, "p0 = {p0}");
+        // Non-histograms and missing samples yield None.
+        r.gauge("g", "g", &[], 1.0);
+        assert_eq!(r.quantile("g", &[], 0.5), None);
+        assert_eq!(r.quantile("missing", &[], 0.5), None);
+    }
+
+    #[test]
+    fn name_lint_catches_bad_names_and_suffixes() {
+        let mut r = MetricsRegistry::new();
+        r.counter("good_total", "ok", &[], 1.0);
+        r.gauge("good_seconds", "ok", &[], 1.0);
+        assert!(r.lint_names().is_empty(), "{:?}", r.lint_names());
+        r.counter("bad_counter", "no _total", &[], 1.0);
+        r.gauge("bad_gauge_total", "_total on a gauge", &[], 1.0);
+        r.gauge("0bad", "leading digit", &[], 1.0);
+        r.gauge("bad-dash", "dash", &[], 1.0);
+        let problems = r.lint_names();
+        assert_eq!(problems.len(), 4, "{problems:?}");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Straggler detection over per-stage iteration latencies.
+//!
+//! A pipeline moves at the speed of its slowest stage, and on the
+//! commodity fleets MEPipe targets the slow stage is rarely slow by
+//! design — it is a thermally-throttled card, a noisy neighbour, a
+//! half-broken link. The detector watches the per-stage iteration
+//! latency stream the runtime already measures (span-derived busy+idle
+//! per stage per iteration) and flags any stage that stays above
+//! `k ×` the across-stage median for several consecutive iterations.
+//! Persistence matters: a single slow iteration is noise (page fault,
+//! GC of the host, checkpoint write); a stage that is slow *every*
+//! iteration is a straggler, and is exactly the process the control
+//! plane's hang detector will eventually declare dead — this flag is
+//! the early warning.
+
+/// Default latency multiple over the stage median that counts a strike.
+pub const DEFAULT_STRAGGLER_FACTOR: f64 = 1.5;
+
+/// Default consecutive strikes before a stage is flagged.
+pub const DEFAULT_STRAGGLER_ROUNDS: u32 = 3;
+
+/// One flagged stage: how far above the median, for how long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerFlag {
+    /// The persistently slow stage.
+    pub stage: usize,
+    /// This iteration's latency over the across-stage median.
+    pub ratio: f64,
+    /// Consecutive iterations the stage has been over threshold.
+    pub rounds: u32,
+}
+
+/// Persistence-gated straggler detector.
+#[derive(Debug, Clone)]
+pub struct StragglerDetector {
+    factor: f64,
+    min_rounds: u32,
+    strikes: Vec<u32>,
+}
+
+impl Default for StragglerDetector {
+    fn default() -> Self {
+        Self::new(DEFAULT_STRAGGLER_FACTOR, DEFAULT_STRAGGLER_ROUNDS)
+    }
+}
+
+impl StragglerDetector {
+    /// A detector flagging stages > `factor` × median for `min_rounds`
+    /// consecutive observations.
+    pub fn new(factor: f64, min_rounds: u32) -> Self {
+        StragglerDetector {
+            factor: factor.max(1.0),
+            min_rounds: min_rounds.max(1),
+            strikes: Vec::new(),
+        }
+    }
+
+    /// Feeds one iteration's per-stage latencies; returns the stages
+    /// currently flagged (strike count already at the persistence bar).
+    pub fn observe(&mut self, per_stage_seconds: &[f64]) -> Vec<StragglerFlag> {
+        if self.strikes.len() != per_stage_seconds.len() {
+            // Stage count changed (re-shard): restart the persistence count.
+            self.strikes = vec![0; per_stage_seconds.len()];
+        }
+        let median = median(per_stage_seconds);
+        if median.is_nan() || median <= 0.0 {
+            for s in &mut self.strikes {
+                *s = 0;
+            }
+            return Vec::new();
+        }
+        let mut flags = Vec::new();
+        for (stage, (&lat, strikes)) in per_stage_seconds
+            .iter()
+            .zip(self.strikes.iter_mut())
+            .enumerate()
+        {
+            let ratio = lat / median;
+            if ratio > self.factor {
+                *strikes += 1;
+                if *strikes >= self.min_rounds {
+                    flags.push(StragglerFlag {
+                        stage,
+                        ratio,
+                        rounds: *strikes,
+                    });
+                }
+            } else {
+                *strikes = 0;
+            }
+        }
+        flags
+    }
+
+    /// Current consecutive-strike count per stage.
+    pub fn strikes(&self) -> &[u32] {
+        &self.strikes
+    }
+}
+
+/// Median of a slice (average of the middle two for even lengths);
+/// 0.0 for an empty slice.
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_slow_iteration_is_not_a_straggler() {
+        let mut d = StragglerDetector::new(1.5, 3);
+        assert!(d.observe(&[1.0, 1.0, 5.0, 1.0]).is_empty());
+        assert!(d.observe(&[1.0, 1.0, 1.0, 1.0]).is_empty());
+        assert_eq!(d.strikes(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn persistent_slowness_is_flagged_with_ratio() {
+        let mut d = StragglerDetector::new(1.5, 3);
+        assert!(d.observe(&[1.0, 1.0, 4.0, 1.0]).is_empty());
+        assert!(d.observe(&[1.0, 1.0, 4.0, 1.0]).is_empty());
+        let flags = d.observe(&[1.0, 1.0, 4.0, 1.0]);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].stage, 2);
+        assert_eq!(flags[0].rounds, 3);
+        assert!((flags[0].ratio - 4.0).abs() < 1e-9);
+        // Stays flagged while slow, unflags the moment it recovers.
+        assert_eq!(d.observe(&[1.0, 1.0, 4.0, 1.0]).len(), 1);
+        assert!(d.observe(&[1.0, 1.0, 1.0, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn reshard_resets_persistence() {
+        let mut d = StragglerDetector::new(1.5, 2);
+        d.observe(&[1.0, 1.0, 4.0, 1.0]);
+        assert_eq!(d.strikes().len(), 4);
+        assert_eq!(d.strikes()[2], 1);
+        // A stage-count change (live re-shard) restarts every count.
+        d.observe(&[1.0, 1.0]);
+        assert_eq!(d.strikes(), &[0, 0]);
+    }
+
+    #[test]
+    fn all_equal_latencies_never_flag() {
+        let mut d = StragglerDetector::default();
+        for _ in 0..10 {
+            assert!(d.observe(&[2.0, 2.0, 2.0]).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_median_is_a_no_op() {
+        let mut d = StragglerDetector::new(1.5, 1);
+        assert!(d.observe(&[0.0, 0.0]).is_empty());
+        assert!(d.observe(&[]).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Observability-plane properties: quantile estimates bound the true
+//! sample quantiles, and the loopback HTTP exporter serves well-formed
+//! Prometheus text and JSON status mid-run.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use mepipe_trace::metrics::{MetricsRegistry, ITERATION_BUCKETS};
+use mepipe_trace::{http_get, HttpExporter};
+
+/// Deterministic splitmix64 stream so failures reproduce from the seed.
+fn samples_from_seed(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let u = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Span past the last finite bucket (60 s) so the clamp path is
+        // exercised too.
+        out.push(u * 80.0);
+    }
+    out
+}
+
+/// The bucket interval `(lower, upper]` of `ITERATION_BUCKETS` that
+/// contains `v`, with 0.0 as the floor of the first bucket. `None` when
+/// `v` lies beyond the last finite bucket.
+fn bucket_interval(v: f64) -> Option<(f64, f64)> {
+    let mut lower = 0.0;
+    for &b in &ITERATION_BUCKETS {
+        if v <= b {
+            return Some((lower, b));
+        }
+        lower = b;
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A bucket-interpolated quantile estimate can never leave the
+    /// bucket holding the true sample quantile: for the rank the
+    /// registry targets (`max(1, ceil(q n))`), the estimate and the
+    /// sorted sample at that rank land in the same `(lower, upper]`
+    /// interval, so the estimate is off by at most one bucket width.
+    /// Samples beyond the last finite bucket clamp to its bound, which
+    /// under-reports but never over-reports.
+    #[test]
+    fn quantile_estimate_bounds_true_sample_quantile(
+        seed in 0u64..u64::MAX,
+        n in 1usize..150,
+        q in prop::sample::select(vec![0.5f64, 0.9, 0.99]),
+    ) {
+        let samples = samples_from_seed(seed, n);
+        let mut reg = MetricsRegistry::new();
+        for &v in &samples {
+            reg.observe(
+                "p_iteration_seconds",
+                "test histogram",
+                &[],
+                &ITERATION_BUCKETS,
+                v,
+            );
+        }
+        let est = reg.quantile("p_iteration_seconds", &[], q).unwrap();
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * n as f64).ceil() as usize).max(1);
+        let truth = sorted[rank - 1];
+
+        match bucket_interval(truth) {
+            Some((lower, upper)) => {
+                prop_assert!(
+                    est >= lower && est <= upper,
+                    "estimate {est} outside bucket ({lower}, {upper}] of true quantile {truth}"
+                );
+                prop_assert!(
+                    (est - truth).abs() <= upper - lower,
+                    "estimate {est} further than one bucket width from {truth}"
+                );
+            }
+            None => {
+                // True quantile beyond +Inf's neighbour: estimate clamps
+                // to the last finite bound.
+                let last = *ITERATION_BUCKETS.last().unwrap();
+                prop_assert!(
+                    (est - last).abs() < 1e-12 && est <= truth,
+                    "clamped estimate {est} should equal {last} and lower-bound {truth}"
+                );
+            }
+        }
+    }
+}
+
+/// Splits a Prometheus sample line into (name, value-str), tolerating an
+/// optional `{labels}` block. Returns `None` for malformed lines.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let (name_part, value) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}')?;
+            (&line[..open], line[close + 1..].trim())
+        }
+        None => {
+            let sp = line.find(' ')?;
+            (&line[..sp], line[sp + 1..].trim())
+        }
+    };
+    Some((name_part, value))
+}
+
+fn assert_valid_name(name: &str) {
+    assert!(!name.is_empty(), "empty metric name");
+    let mut chars = name.chars();
+    let first = chars.next().unwrap();
+    assert!(
+        first.is_ascii_alphabetic() || first == '_' || first == ':',
+        "bad metric name start in {name:?}"
+    );
+    assert!(
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "bad metric name char in {name:?}"
+    );
+}
+
+/// Asserts `text` conforms to the Prometheus 0.0.4 exposition grammar:
+/// every line is a `# HELP`, a `# TYPE` with a known kind, or a sample
+/// whose name is legal and whose value parses as a float.
+fn assert_prometheus_grammar(text: &str) -> usize {
+    let mut sample_lines = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert_valid_name(rest.split(' ').next().unwrap());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            assert_valid_name(it.next().unwrap());
+            let kind = it.next().unwrap_or("");
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ),
+                "unknown TYPE {kind:?} in {line:?}"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment line {line:?}");
+            let (name, value) = split_sample(line).unwrap_or_else(|| {
+                panic!("malformed sample line {line:?}");
+            });
+            assert_valid_name(name);
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+                "bad sample value {value:?} in {line:?}"
+            );
+            sample_lines += 1;
+        }
+    }
+    sample_lines
+}
+
+fn populated_registry(iter: u64) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    let labels: &[(&str, String)] = &[("stage", "0".to_string())];
+    reg.counter(
+        "p_iterations_total",
+        "iterations finished",
+        labels,
+        iter as f64,
+    );
+    reg.gauge("p_completed_iterations", "progress", labels, iter as f64);
+    for k in 0..=iter {
+        reg.observe(
+            "p_iteration_seconds",
+            "latency",
+            labels,
+            &ITERATION_BUCKETS,
+            1e-3 * (k + 1) as f64,
+        );
+    }
+    assert!(reg.lint_names().is_empty());
+    reg
+}
+
+/// Loopback smoke: a background writer keeps republishing a growing
+/// registry while the test scrapes `/metrics` (Prometheus 0.0.4
+/// grammar), `/status` (valid JSON with the expected fields) and
+/// `/healthz` — the "scrape a live run" contract, in-process.
+#[test]
+fn loopback_exporter_serves_metrics_and_status_mid_run() {
+    let exporter = HttpExporter::spawn("127.0.0.1:0").expect("bind loopback exporter");
+    let addr = exporter.addr().to_string();
+    exporter.publish_metrics(populated_registry(0).to_prometheus_text());
+    exporter.publish_status(r#"{"stage":0,"completed":0,"target":32}"#.to_string());
+
+    let writer = std::thread::spawn(move || {
+        for iter in 1..=32u64 {
+            exporter.publish_metrics(populated_registry(iter).to_prometheus_text());
+            exporter.publish_status(format!(
+                "{{\"stage\":0,\"completed\":{iter},\"target\":32}}"
+            ));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        exporter
+    });
+
+    let timeout = Duration::from_secs(5);
+    let (code, body) = http_get(&addr, "/healthz", timeout).expect("GET /healthz");
+    assert_eq!(code, 200);
+    assert_eq!(body.trim(), "ok");
+
+    let mut last_completed = 0u64;
+    for _ in 0..4 {
+        let (code, metrics) = http_get(&addr, "/metrics", timeout).expect("GET /metrics");
+        assert_eq!(code, 200);
+        let samples = assert_prometheus_grammar(&metrics);
+        assert!(samples > 3, "expected sample lines, got {samples}");
+        assert!(metrics.contains("p_iterations_total"));
+        assert!(metrics.contains("p_iteration_seconds_bucket"));
+
+        let (code, status) = http_get(&addr, "/status", timeout).expect("GET /status");
+        assert_eq!(code, 200);
+        let v = serde_json::from_str(&status).expect("status is JSON");
+        assert_eq!(v.get("stage").and_then(|s| s.as_u64()), Some(0));
+        let completed = v.get("completed").and_then(|c| c.as_u64()).unwrap();
+        assert!(completed >= last_completed, "progress went backwards");
+        last_completed = completed;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let exporter = writer.join().expect("writer thread");
+    let (code, _) = http_get(&addr, "/nope", timeout).expect("GET /nope");
+    assert_eq!(code, 404);
+    drop(exporter);
+}

@@ -62,6 +62,23 @@
 //!   endpoint dropped, plus random delays) and verify the loss is
 //!   bit-identical to the clean run, with retransmissions actually
 //!   observed and no panic anywhere.
+//! * `memcheck [opts]` — measured-vs-modeled activation memory: a
+//!   1-micro-batch probe run prices one in-flight unit per stage, then
+//!   the full schedule runs on live tensors and the per-stage peaks are
+//!   reconciled against `peak_in_flight × unit` — the paper's linear
+//!   in-flight scaling claim, asserted to land inside the warning band.
+//!   Also lints every exported metric name against the Prometheus
+//!   grammar.
+//! * `http-get ADDR [PATH]` — dependency-free scrape client for the
+//!   observability endpoints (`mepipe-ctl serve --http`, `job --http`):
+//!   prints the response body, exits 0 only on HTTP 200.
+//!
+//! `job` grows two observability flags: `--http ADDR` mounts a
+//! per-stage HTTP exporter (`/metrics` with iteration-latency
+//! histograms, `/status` with p50/p99, `/healthz`), and
+//! `--postmortem F` arms the flight recorder — on a chaos abort or a
+//! stage-run failure the last events, open spans and a metrics snapshot
+//! land in `F` before the process dies.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
@@ -75,11 +92,16 @@ use mepipe_core::Synth;
 use mepipe_model::config::TransformerConfig;
 use mepipe_schedule::generator::{Dims, ScheduleGenerator};
 use mepipe_schedule::ir::Schedule;
+use mepipe_schedule::validate::peak_in_flight;
 use mepipe_schedule::{Blocks, DualPipe};
 use mepipe_sim::engine::{simulate, SimConfig};
+use mepipe_sim::memcheck::{vm_hwm_bytes, MemCheckReport, StageMemCheck};
 use mepipe_sim::{to_chrome_trace, BubbleCheckReport};
 use mepipe_tensor::init::synthetic_tokens;
-use mepipe_trace::{bubble, chrome::traces_to_chrome, dump, IterationTrace, PidKey};
+use mepipe_trace::{
+    bubble, chrome::traces_to_chrome, dump, http_get, EventLog, HttpExporter, IterationTrace,
+    Level, MetricsRegistry, PidKey,
+};
 use mepipe_train::{
     calibrate::Calibrator, checkpoint, data::batch_for_iter, metrics::run_metrics, optim::Sgd,
     params::ModelParams, profiler::profile_chunk, PipelineRuntime, WgradMode,
@@ -288,6 +310,10 @@ struct Args {
     /// immediately — a deterministic straggler for testing that the
     /// launcher reaps a broken gang instead of hanging.
     chaos_stage: Option<usize>,
+    /// `job`: TCP address for the per-stage HTTP observability endpoint.
+    http: Option<String>,
+    /// `job`: flight-recorder postmortem file, written on abort/failure.
+    postmortem: Option<PathBuf>,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -320,6 +346,8 @@ fn parse_args(rest: &[String]) -> Args {
     let mut kill_at_iter = None;
     let mut lr = 0.1f32;
     let mut chaos_stage = None;
+    let mut http = None;
+    let mut postmortem = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -348,6 +376,8 @@ fn parse_args(rest: &[String]) -> Args {
             "--kill-at-iter" => kill_at_iter = Some(value().parse().expect("--kill-at-iter")),
             "--lr" => lr = value().parse().expect("--lr"),
             "--chaos-stage" => chaos_stage = Some(value().parse().expect("--chaos-stage")),
+            "--http" => http = Some(value()),
+            "--postmortem" => postmortem = Some(PathBuf::from(value())),
             "--dir" => dir = PathBuf::from(value()),
             "--trace-out" => trace_out = Some(PathBuf::from(value())),
             "--metrics-out" => metrics_out = Some(PathBuf::from(value())),
@@ -392,12 +422,18 @@ fn parse_args(rest: &[String]) -> Args {
         kill_at_iter,
         lr,
         chaos_stage,
+        http,
+        postmortem,
     }
 }
 
 /// Writes a metrics registry to `path`: Prometheus text exposition when
-/// the extension is `.prom`, JSON otherwise.
-fn write_metrics(path: &Path, reg: &mepipe_trace::MetricsRegistry) {
+/// the extension is `.prom`, JSON otherwise. Every write lints the
+/// registry's metric names first, so a malformed name fails the smoke
+/// that produced it instead of a scrape downstream.
+fn write_metrics(path: &Path, reg: &MetricsRegistry) {
+    let violations = reg.lint_names();
+    assert!(violations.is_empty(), "metric name lint: {violations:?}");
     let body = if path.extension().is_some_and(|e| e == "prom") {
         reg.to_prometheus_text()
     } else {
@@ -442,7 +478,14 @@ fn run_worker(args: &Args) {
     let stage = args.stage.expect("worker needs --stage");
     if args.kill_at_iter.is_some() {
         // A single-iteration worker has only one place to die: before it.
-        eprintln!("chaos: stage {stage} aborting before its iteration");
+        let mut events = EventLog::stderr("worker");
+        events.event(
+            Level::Error,
+            None,
+            Some(stage),
+            format!("chaos: stage {stage} aborting before its iteration"),
+            &[],
+        );
         std::process::abort();
     }
     let sc = &args.scenario;
@@ -669,6 +712,19 @@ fn run_job(args: &Args) {
     let stage = args.stage.expect("job needs --stage");
     let sc = &args.scenario;
     let cfg = sc.config();
+    let mut events = EventLog::stderr("worker");
+    let exporter = args.http.as_deref().map(|addr| {
+        let exp = HttpExporter::spawn(addr)
+            .unwrap_or_else(|e| panic!("bind http observability endpoint {addr}: {e}"));
+        // The supervisor (or a curious human) learns the bound address
+        // from this line — `--http 127.0.0.1:0` picks a free port.
+        println!("HTTP stage={stage} addr={}", exp.addr());
+        exp
+    });
+    // Accumulated across iterations: the latency histogram is what
+    // `/status` derives its p50/p99 from.
+    let mut reg = MetricsRegistry::new();
+    let latency_labels: [(&str, String); 1] = [("stage", stage.to_string())];
     let mut rt = match &args.restore_from {
         Some(path) => {
             let bytes = std::fs::read(path)
@@ -695,7 +751,11 @@ fn run_job(args: &Args) {
     let mut last_bits = f64::NAN.to_bits();
     for k in args.start_iter..args.iters {
         if args.kill_at_iter == Some(k) {
-            eprintln!("chaos: stage {stage} aborting at the start of iteration {k}");
+            let why = format!("chaos: stage {stage} aborting at the start of iteration {k}");
+            events.event(Level::Error, None, Some(stage), &why, &[]);
+            if let Some(path) = &args.postmortem {
+                let _ = events.dump_postmortem(path, &why, Some(&reg));
+            }
             std::process::abort();
         }
         // Old mesh dirs only hold socket files nobody will connect to
@@ -713,9 +773,31 @@ fn run_job(args: &Args) {
         );
         let ep = transport.endpoint(stage).expect("claim stage endpoint");
         let batch = batch_for_iter(&cfg, sc.micro_batches, sc.seed, k);
+        let t0 = std::time::Instant::now();
         let out = rt
             .run_stage(&schedule, stage, &batch, sc.mode, None, ep)
-            .unwrap_or_else(|e| panic!("stage {stage} iteration {k}: {e}"));
+            .unwrap_or_else(|e| {
+                // Transport errors (a dead peer, a poisoned frame) land
+                // here: record the failure, dump the flight recorder,
+                // then die loudly for the supervisor.
+                let why = format!("stage {stage} iteration {k}: {e}");
+                events.event(Level::Error, None, Some(stage), &why, &[]);
+                if let Some(path) = &args.postmortem {
+                    let _ = events.dump_postmortem(path, &why, Some(&reg));
+                }
+                panic!("{why}");
+            });
+        observe_iteration(&mut reg, &latency_labels, t0.elapsed().as_secs_f64(), k + 1);
+        if let Some(exp) = &exporter {
+            exp.publish_metrics(reg.to_prometheus_text());
+            exp.publish_status(job_status_json(
+                &reg,
+                &latency_labels,
+                stage,
+                k + 1,
+                args.iters,
+            ));
+        }
         Sgd { lr: args.lr }.step_model(&mut rt.model, &out.grads);
         last_bits = out.loss_sum.to_bits();
         // Dump the latest iteration's spans on every lap so whatever
@@ -737,13 +819,77 @@ fn run_job(args: &Args) {
             std::fs::write(&tmp, checkpoint::save(&rt.model)).expect("write checkpoint");
             std::fs::rename(&tmp, &path).expect("publish checkpoint");
             progress(format!("ckpt {completed}"));
+            events.event(
+                Level::Info,
+                None,
+                Some(stage),
+                format!("checkpointed at iteration {completed}"),
+                &[],
+            );
         }
     }
+    events.event(
+        Level::Info,
+        None,
+        Some(stage),
+        format!("completed iterations {}..{}", args.start_iter, args.iters),
+        &[],
+    );
     // The supervisor parses this line; keep it stable.
     println!(
         "RESULT stage={stage} loss_bits={last_bits} start={} end={}",
         args.start_iter, args.iters
     );
+}
+
+/// Records one iteration's wall time and progress into the job's
+/// registry (the exporter's `/metrics` content).
+fn observe_iteration(
+    reg: &mut MetricsRegistry,
+    labels: &[(&str, String)],
+    seconds: f64,
+    completed: usize,
+) {
+    reg.observe(
+        "mepipe_worker_iteration_seconds",
+        "Wall-clock time of one pipeline-stage iteration",
+        labels,
+        &mepipe_trace::metrics::ITERATION_BUCKETS,
+        seconds,
+    );
+    reg.counter(
+        "mepipe_worker_iterations_total",
+        "Iterations this stage process has completed",
+        labels,
+        1.0,
+    );
+    reg.gauge(
+        "mepipe_worker_completed_iterations",
+        "Iterations this stage process has completed, as a level",
+        labels,
+        completed as f64,
+    );
+}
+
+/// The job exporter's `/status` document: progress plus the span-derived
+/// latency quantiles the straggler analysis keys off.
+fn job_status_json(
+    reg: &MetricsRegistry,
+    labels: &[(&str, String)],
+    stage: usize,
+    completed: usize,
+    target: usize,
+) -> String {
+    let q = |q: f64| {
+        reg.quantile("mepipe_worker_iteration_seconds", labels, q)
+            .map_or("null".to_string(), |v| format!("{v:.6}"))
+    };
+    format!(
+        "{{\"stage\":{stage},\"completed\":{completed},\"target\":{target},\
+         \"iteration_p50_seconds\":{},\"iteration_p99_seconds\":{}}}",
+        q(0.5),
+        q(0.99),
+    )
 }
 
 /// `trace-report`: one traced iteration, profiled + simulated, with
@@ -1007,11 +1153,119 @@ fn run_selftest_faults(args: &Args) {
     println!("OK: dropped/corrupted frames recovered, loss bit-identical");
 }
 
+/// `memcheck`: the measured-vs-modeled memory reconciliation.
+///
+/// A one-micro-batch probe run prices each stage's in-flight unit (its
+/// measured peak divided by its scheduled peak units), then the full
+/// schedule runs and the per-stage measured peaks are compared against
+/// `peak_in_flight × unit` — testing exactly the paper's claim that
+/// peak activation memory scales linearly with the *scheduled* in-flight
+/// count. Exits nonzero when any stage leaves the warning band.
+fn run_memcheck(args: &Args) {
+    // Fused backward only: the in-flight model charges a unit at forward
+    // and credits it at backward, which is exactly when the fused-B
+    // runtime frees its saves. Deferred-W modes retain operands past the
+    // credit point — real memory the model deliberately does not price,
+    // and precisely what the warning band exists to flag.
+    let sc = Scenario {
+        mode: WgradMode::Immediate,
+        ..args.scenario.clone()
+    };
+    let probe_sc = Scenario {
+        micro_batches: 1,
+        ..sc.clone()
+    };
+    let probe_schedule = probe_sc.schedule();
+    let probe_units = peak_in_flight(&probe_schedule);
+    let probe = probe_sc
+        .runtime()
+        .run_iteration(&probe_schedule, &probe_sc.batch(), sc.mode, None)
+        .expect("probe run");
+
+    let schedule = sc.schedule();
+    let units = peak_in_flight(&schedule);
+    let run = sc
+        .runtime()
+        .run_iteration(&schedule, &sc.batch(), sc.mode, None)
+        .expect("full run");
+
+    // Per-stage unit prices from the probe: sharper than one global
+    // price, since entry/loss stages hold different tensors per unit.
+    let unit_prices: Vec<f64> = probe
+        .peak_bytes
+        .iter()
+        .zip(&probe_units)
+        .map(|(&bytes, &u)| bytes as f64 / u.max(1) as f64)
+        .collect();
+    let mean_unit = unit_prices.iter().sum::<f64>() / unit_prices.len().max(1) as f64;
+    let stages: Vec<StageMemCheck> = run
+        .peak_bytes
+        .iter()
+        .zip(&units)
+        .zip(&unit_prices)
+        .enumerate()
+        .map(|(stage, ((&measured, &peak_units), &unit))| StageMemCheck {
+            stage,
+            peak_units,
+            measured_bytes: measured as f64,
+            modeled_bytes: peak_units as f64 * unit,
+        })
+        .collect();
+    let report = MemCheckReport {
+        unit_bytes: mean_unit,
+        stages,
+        process_hwm_bytes: vm_hwm_bytes(),
+    };
+    print!("{}", report.render());
+
+    // The metrics the run exports must also survive the naming lint —
+    // the same gate `/metrics` consumers rely on.
+    let violations = run_metrics(&run).lint_names();
+    assert!(violations.is_empty(), "metric name lint: {violations:?}");
+
+    if !report.in_band() {
+        eprintln!("memcheck: measured/modeled outside the warning band");
+        std::process::exit(1);
+    }
+    println!(
+        "OK: measured/modeled = {:.2} per-stage within [{}, {}]; metric names lint clean",
+        report.ratio(),
+        mepipe_sim::memcheck::MEM_RATIO_WARN_LO,
+        mepipe_sim::memcheck::MEM_RATIO_WARN_HI,
+    );
+}
+
+/// `http-get`: scrape an observability endpoint with the exporter's own
+/// client — no curl in the loop, so `scripts/check.sh` stays
+/// dependency-free. Prints the body; exit 0 only on HTTP 200.
+fn run_http_get(rest: &[String]) {
+    let addr = rest
+        .first()
+        .expect("usage: mepipe-worker http-get ADDR [PATH]");
+    let path = rest.get(1).map_or("/metrics", String::as_str);
+    match http_get(addr, path, std::time::Duration::from_secs(5)) {
+        Ok((200, body)) => print!("{body}"),
+        Ok((status, body)) => {
+            eprintln!("http-get {addr}{path}: HTTP {status}");
+            print!("{body}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("http-get {addr}{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (mode, rest) = argv.split_first().expect(
-        "usage: mepipe-worker <worker|job|launch|autotune|trace-report|selftest-faults> [flags]",
+        "usage: mepipe-worker <worker|job|launch|autotune|trace-report|selftest-faults|memcheck|http-get> [flags]",
     );
+    if mode == "http-get" {
+        run_http_get(rest);
+        return;
+    }
     let args = parse_args(rest);
     match mode.as_str() {
         "worker" => run_worker(&args),
@@ -1020,8 +1274,9 @@ fn main() {
         "autotune" => run_autotune(&args),
         "trace-report" => run_trace_report(&args),
         "selftest-faults" => run_selftest_faults(&args),
+        "memcheck" => run_memcheck(&args),
         m => panic!(
-            "unknown mode {m} (expected worker|job|launch|autotune|trace-report|selftest-faults)"
+            "unknown mode {m} (expected worker|job|launch|autotune|trace-report|selftest-faults|memcheck|http-get)"
         ),
     }
 }

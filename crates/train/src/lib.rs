@@ -43,4 +43,5 @@ pub mod profiler;
 pub mod reference;
 pub mod tp;
 
+pub use memtrack::{MemError, MemTracker};
 pub use pipeline::{PipelineRuntime, RunStats, StageRunStats, WgradMode};

@@ -7,34 +7,65 @@
 //! into an explicit error — the "OOM" rows of the paper's configuration
 //! tables.
 
+/// A typed over-cap verdict: which stage blew which cap, by how much.
+///
+/// The OOM rows of the Tables 5–8 reproduction used to travel as
+/// formatted strings; machine consumers (the status exporter, the
+/// memcheck report, the strategy evaluator) want the numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// Live bytes at the moment the cap was exceeded.
+    pub current: usize,
+    /// The cap that was exceeded, bytes.
+    pub cap: usize,
+    /// The pipeline stage the tracker accounts for.
+    pub stage: usize,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage {}: activation memory {} exceeds cap {}",
+            self.stage, self.current, self.cap
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// Byte-level activation tracker with optional cap.
 #[derive(Debug, Clone)]
 pub struct MemTracker {
     current: usize,
     peak: usize,
     cap: Option<usize>,
+    stage: usize,
 }
 
 impl MemTracker {
-    /// A tracker with an optional capacity in bytes.
-    pub fn new(cap: Option<usize>) -> Self {
+    /// A tracker for `stage` with an optional capacity in bytes.
+    pub fn new(stage: usize, cap: Option<usize>) -> Self {
         Self {
             current: 0,
             peak: 0,
             cap,
+            stage,
         }
     }
 
-    /// Charges `bytes`; returns `Err` if a cap would be exceeded (the
-    /// charge is still recorded so callers can report the overshoot).
-    pub fn alloc(&mut self, bytes: usize) -> Result<(), String> {
+    /// Charges `bytes`; returns a typed [`MemError`] if a cap would be
+    /// exceeded (the charge is still recorded so callers can report the
+    /// overshoot).
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), MemError> {
         self.current += bytes;
         self.peak = self.peak.max(self.current);
         match self.cap {
-            Some(cap) if self.current > cap => Err(format!(
-                "activation memory {} exceeds cap {cap}",
-                self.current
-            )),
+            Some(cap) if self.current > cap => Err(MemError {
+                current: self.current,
+                cap,
+                stage: self.stage,
+            }),
             _ => Ok(()),
         }
     }
@@ -66,7 +97,7 @@ mod tests {
 
     #[test]
     fn tracks_peak_across_churn() {
-        let mut m = MemTracker::new(None);
+        let mut m = MemTracker::new(0, None);
         m.alloc(100).unwrap();
         m.alloc(50).unwrap();
         m.free(120);
@@ -77,9 +108,18 @@ mod tests {
 
     #[test]
     fn cap_violation_is_reported_once_exceeded() {
-        let mut m = MemTracker::new(Some(100));
+        let mut m = MemTracker::new(3, Some(100));
         assert!(m.alloc(80).is_ok());
-        assert!(m.alloc(30).is_err());
+        let err = m.alloc(30).expect_err("over cap");
+        assert_eq!(
+            err,
+            MemError {
+                current: 110,
+                cap: 100,
+                stage: 3
+            }
+        );
+        assert!(err.to_string().contains("stage 3"));
         assert_eq!(m.peak(), 110);
     }
 
@@ -87,7 +127,7 @@ mod tests {
     #[should_panic(expected = "freeing more than allocated")]
     #[allow(unused_must_use)]
     fn double_free_panics() {
-        let mut m = MemTracker::new(None);
+        let mut m = MemTracker::new(0, None);
         m.alloc(10);
         m.free(20);
     }

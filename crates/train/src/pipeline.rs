@@ -63,7 +63,7 @@ use mepipe_trace::{
 
 use crate::{
     layer::{apply_wgrads, backward_input_slice, forward_slice, Kv, LayerFwdSaved, WgradGemm},
-    memtrack::MemTracker,
+    memtrack::{MemError, MemTracker},
     optim::{ModelGrads, Sgd},
     params::ModelParams,
     reference::add_grads,
@@ -92,8 +92,9 @@ pub struct RunStats {
     pub peak_bytes: Vec<usize>,
     /// Weight-gradient GEMMs drained while waiting, per stage.
     pub drained_wgrads: Vec<usize>,
-    /// First stage that exceeded the memory cap, with the bytes it held.
-    pub oom: Option<(usize, usize)>,
+    /// First stage that exceeded the memory cap: the typed verdict
+    /// (stage, live bytes, cap) the paper's OOM table cells reduce to.
+    pub oom: Option<MemError>,
     /// Per-stage tensor-arena counters for this run (all zero when
     /// pooling is disabled). On the second and later iterations of a
     /// runtime the hit rate approaches 1: the steady state allocates
@@ -129,8 +130,8 @@ pub struct StageRunStats {
     pub peak_bytes: usize,
     /// Weight-gradient GEMMs drained while waiting.
     pub drained: usize,
-    /// Whether the stage exceeded its memory cap.
-    pub oom: bool,
+    /// The cap-exceeded verdict, if the stage went over its budget.
+    pub oom: Option<MemError>,
     /// Transport counters for this stage's endpoint.
     pub comm: CommStats,
     /// Arena counters for this stage (zero when pooling is off).
@@ -433,8 +434,8 @@ impl PipelineRuntime {
             if let Some(t) = out.trace {
                 stage_traces.push(t);
             }
-            if out.oom && oom.is_none() {
-                oom = Some((w, out.peak_bytes));
+            if oom.is_none() {
+                oom = out.oom;
             }
             add_grads(&mut grads, &out.grads, 1.0);
         }
@@ -643,7 +644,7 @@ struct WorkerOut {
     grads: ModelGrads,
     peak_bytes: usize,
     drained: usize,
-    oom: bool,
+    oom: Option<MemError>,
     comm: CommStats,
     busy_ns: u64,
     idle_ns: u64,
@@ -673,7 +674,7 @@ struct WorkerCtx<'m> {
     pending_w: VecDeque<(usize, usize, usize, usize, WgradGemm)>,
     inbox: HashMap<(bool, usize, usize, usize), Tensor>,
     mem: MemTracker,
-    oom: bool,
+    oom: Option<MemError>,
     loss_sum: f64,
     drained: usize,
     tokens_per_slice: usize,
@@ -721,8 +722,8 @@ impl<'m> WorkerCtx<'m> {
             finals: HashMap::new(),
             pending_w: VecDeque::new(),
             inbox: HashMap::new(),
-            mem: MemTracker::new(mem_cap),
-            oom: false,
+            mem: MemTracker::new(w, mem_cap),
+            oom: None,
             loss_sum: 0.0,
             drained: 0,
             tokens_per_slice: model.cfg.seq_len / meta.slices,
@@ -811,12 +812,13 @@ impl<'m> WorkerCtx<'m> {
         }
     }
 
-    /// Charges activation bytes, remembering cap violations (the runtime
-    /// keeps executing so gradients stay comparable — the flag is the
-    /// verdict, as in the paper's OOM table cells).
+    /// Charges activation bytes, remembering the first cap violation
+    /// (the runtime keeps executing so gradients stay comparable — the
+    /// verdict travels as a typed [`MemError`], as in the paper's OOM
+    /// table cells).
     fn charge(&mut self, bytes: usize) {
-        if self.mem.alloc(bytes).is_err() {
-            self.oom = true;
+        if let Err(e) = self.mem.alloc(bytes) {
+            self.oom.get_or_insert(e);
         }
     }
 

@@ -70,6 +70,12 @@ rm -rf "$AUTOTUNE_DIR"
 echo "==> fault-injection smoke (dropped/corrupted frames, retried, same loss)"
 cargo run --release -p mepipe-train --bin mepipe-worker -- selftest-faults
 
+echo "==> memcheck smoke (measured stage peaks vs the schedule's in-flight model, Fig-8 shape)"
+# The binary exits non-zero when any stage's measured/modeled ratio
+# leaves the [0.5, 2] warning band or a metric name fails the lint.
+cargo run --release -p mepipe-train --bin mepipe-worker -- memcheck \
+  --stages 4 --micro-batches 8 --slices 2 --seq-len 32 --layers 4
+
 echo "==> control-plane smoke 1/2 (oneshot: 2 spooled jobs, one chaos-killed, on a 1x4 fleet)"
 # The serve exit code is the assertion: 0 only if every job completed
 # with zero iterations lost beyond its checkpoint interval and every
@@ -109,6 +115,14 @@ grep -q 'mepipe_ctl_job_restarts_total{job="chaotic"} 1' "$CTL_DIR/out/metrics.p
   || { echo "chaos job did not restart exactly once"; exit 1; }
 grep -q 'mepipe_ctl_job_lost_beyond_interval_total{job="chaotic"} 0' "$CTL_DIR/out/metrics.prom" \
   || { echo "recovery lost more than one checkpoint interval"; exit 1; }
+# The chaos kill must also leave a flight-recorder dump whose recent
+# events name the killed stage.
+test -s "$CTL_DIR/out/postmortem-chaotic.json" \
+  || { echo "chaos kill left no postmortem dump"; exit 1; }
+grep -q 'stage 1 exited' "$CTL_DIR/out/postmortem-chaotic.json" \
+  || { echo "postmortem does not name the killed stage"; exit 1; }
+grep -q '"stage":1' "$CTL_DIR/out/postmortem-chaotic.json" \
+  || { echo "postmortem events carry no stage tag"; exit 1; }
 rm -rf "$CTL_DIR"
 
 echo "==> control-plane smoke 2/2 (drain mid-run: live re-shard off the drained node)"
@@ -125,17 +139,44 @@ checkpoint_interval = 2
 verify = true
 EOF
 timeout 300 "$CTL_BIN" serve --socket "$CTL_DIR/ctl.sock" --out "$CTL_DIR/out" \
-  --nodes 2 --slots-per-node 2 --tick-ms 20 &
+  --nodes 2 --slots-per-node 2 --tick-ms 20 --http 127.0.0.1:0 \
+  2> "$CTL_DIR/serve.log" &
 CTL_PID=$!
 "$CTL_BIN" submit --socket "$CTL_DIR/ctl.sock" "$CTL_DIR/elastic.toml"
-# Wait for a published checkpoint (a stage logs iter 2 only after
-# iter-2.bin landed), then drain the node the gang packed onto.
-for _ in $(seq 1 600); do
-  DONE=$(awk -F' ' '/^mepipe_ctl_job_completed_iterations\{job="elastic"\}/ {print $2}' \
-    "$CTL_DIR/out/metrics.prom" 2>/dev/null || true)
-  if [ -n "${DONE:-}" ] && [ "$DONE" -ge 3 ]; then break; fi
+# The daemon announces its bound observability address in the event log.
+WORKER_BIN=target/release/mepipe-worker
+OBS_ADDR=""
+for _ in $(seq 1 200); do
+  OBS_ADDR=$(grep -o 'http://[0-9.:]*' "$CTL_DIR/serve.log" 2>/dev/null | head -1 | sed 's|http://||' || true)
+  if [ -n "$OBS_ADDR" ]; then break; fi
   sleep 0.05
 done
+test -n "$OBS_ADDR" || { echo "daemon never announced its observability endpoint"; exit 1; }
+[ "$("$WORKER_BIN" http-get "$OBS_ADDR" /healthz)" = "ok" ] \
+  || { echo "/healthz did not answer ok"; exit 1; }
+"$WORKER_BIN" http-get "$OBS_ADDR" /status | grep -q '"jobs"' \
+  || { echo "/status is missing the jobs array"; exit 1; }
+# Wait for a published checkpoint (a stage logs iter 2 only after
+# iter-2.bin landed) by scraping the live endpoint with the exporter's
+# own client; the completed-iterations gauge must be monotone under
+# load. Then drain the node the gang packed onto.
+PREV=-1
+for _ in $(seq 1 600); do
+  DONE=$("$WORKER_BIN" http-get "$OBS_ADDR" /metrics 2>/dev/null \
+    | awk '/^mepipe_ctl_job_completed_iterations\{job="elastic"\}/ {print $2}' || true)
+  DONE=${DONE%%.*}
+  DONE=${DONE:-0}
+  if [ "$DONE" -lt "$PREV" ]; then
+    echo "completed iterations went backwards ($PREV -> $DONE)"; exit 1
+  fi
+  PREV=$DONE
+  if [ "$DONE" -ge 3 ]; then break; fi
+  sleep 0.05
+done
+[ "$PREV" -ge 3 ] || { echo "job never reached 3 completed iterations"; exit 1; }
+"$WORKER_BIN" http-get "$OBS_ADDR" /metrics \
+  | grep -q 'mepipe_ctl_stage_completed_iterations' \
+  || { echo "live scrape is missing per-stage progress"; exit 1; }
 "$CTL_BIN" drain --socket "$CTL_DIR/ctl.sock" node-0
 "$CTL_BIN" shutdown --socket "$CTL_DIR/ctl.sock"
 wait "$CTL_PID"
